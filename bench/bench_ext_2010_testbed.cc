@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension experiment: replay the Blake et al. 2010 study inside
+ * this toolkit (paper Section II) — period-appropriate application
+ * models on the dual-socket Nehalem + GTX 285 machine — and verify
+ * its two conclusions hold there:
+ *   1. "2-3 processor cores were still more than sufficient for
+ *      most applications" (TLP pinned under ~2 and insensitive to
+ *      core count, HandBrake the exception);
+ *   2. "the GPU was mostly underutilized".
+ * Running both eras in one framework is what makes the title's
+ * 18-year perspective reproducible end to end.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/legacy.hh"
+#include "bench_util.hh"
+
+using namespace deskpar;
+
+int
+main()
+{
+    bench::banner("Extension - the 2010 testbed, replayed",
+                  "Section II (Blake et al. 2010)");
+
+    apps::RunOptions options = bench::paperRunOptions();
+    options.config = apps::blake2010Config();
+
+    std::printf("2010 suite on the 2010 machine (16 logical "
+                "CPUs, GTX 285):\n");
+    report::TextTable table({"Application", "TLP", "2010 figure",
+                             "GPU util (%)", "2010 figure "});
+    double gpu_max_nongame = 0.0;
+    for (const auto &entry : apps::legacySuite()) {
+        auto model = entry.factory();
+        apps::AppRunResult result =
+            apps::runWorkload(*model, options);
+        table.row()
+            .cell(model->spec().name)
+            .cell(result.tlp(), 2)
+            .cell(entry.tlp2010, 1)
+            .cell(result.gpuUtil(), 1)
+            .cell(entry.gpu2010, 1);
+        gpu_max_nongame =
+            std::max(gpu_max_nongame, result.gpuUtil());
+    }
+    table.print(std::cout);
+
+    std::printf("\nCore scaling on the 2010 machine (physical "
+                "cores, SMT off):\n");
+    report::TextTable scaling(
+        {"Application", "2 cores", "3 cores", "4 cores",
+         "8 cores"});
+    for (const char *id :
+         {"photoshop-cs4", "excel-2007", "firefox-35",
+          "handbrake-09"}) {
+        const apps::LegacyEntry *entry = nullptr;
+        for (const auto &e : apps::legacySuite()) {
+            if (e.id == id)
+                entry = &e;
+        }
+        scaling.row().cell(std::string(id));
+        for (unsigned cores : {2u, 3u, 4u, 8u}) {
+            apps::RunOptions sweep = options;
+            sweep.config.smtEnabled = false;
+            sweep.config.activeCpus = cores;
+            auto model = entry->factory();
+            apps::AppRunResult result =
+                apps::runWorkload(*model, sweep);
+            scaling.cell(result.tlp(), 2);
+        }
+    }
+    scaling.print(std::cout);
+
+    std::printf(
+        "\nExpected shape: every interactive 2010 application sits "
+        "at TLP <= ~2 and gains nothing past 2-3 cores —\nBlake's "
+        "'2-3 cores are sufficient' — while HandBrake 0.9 is the "
+        "scaling exception; GPU utilization stays in the\nsingle "
+        "digits except media playback (~15%%): 'the GPU was mostly "
+        "underutilized'.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Extension experiment (the 2000-era thread the paper builds on):
+ * Flautner et al. observed that even when average TLP stayed under
+ * 2, "a second processor improved the responsiveness of interactive
+ * applications" (paper Section II). We reproduce that: Microsoft
+ * Word runs together with a saturating background transcode, and we
+ * measure the input-to-dispatch latency of Word's UI as the active
+ * core count grows. The background job is a fixed two-thread encode
+ * (it does not grow with the machine), as in the 2000 study's
+ * uniprocessor-vs-SMP comparison.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/responsiveness.hh"
+#include "apps/blocks.hh"
+#include "apps/registry.hh"
+#include "bench_util.hh"
+#include "input/driver.hh"
+
+using namespace deskpar;
+
+int
+main()
+{
+    bench::banner(
+        "Extension - responsiveness vs core count under load",
+        "Section II background (Flautner et al. 2000)");
+
+    report::TextTable table({"Logical cores", "Word TLP",
+                             "Inputs", "Mean response (ms)",
+                             "Max response (ms)"});
+
+    for (unsigned cores : {1u, 2u, 4u, 6u}) {
+        sim::MachineConfig config =
+            sim::MachineConfig::paperDefault();
+        config.seed = 42;
+        config.smtEnabled = false; // physical cores, 2000-style
+        config.activeCpus = cores;
+        sim::Machine machine(config);
+        machine.session().start(0);
+
+        // The interactive app under test plus a fixed-width
+        // CPU-bound background job ("video encode in background").
+        auto word = apps::makeWorkload("word");
+        apps::AppInstance instance = word->instantiate(machine);
+        auto &encoder = machine.createProcess("bg-encode", 0.2);
+        for (int t = 0; t < 2; ++t) {
+            encoder.createThread(
+                std::make_shared<apps::CpuGrinder>(
+                    sim::Dist::normal(40.0, 5.0)),
+                "enc-" + std::to_string(t));
+        }
+
+        input::AutomationDriver driver;
+        driver.install(machine, instance.script);
+
+        machine.run(sim::sec(30.0));
+        machine.session().stop(machine.now());
+        trace::TraceBundle bundle = machine.session().takeBundle();
+
+        auto pids = trace::pidsWithPrefix(bundle, "word");
+        auto metrics = analysis::analyzeApp(bundle, pids);
+        auto response =
+            analysis::computeResponsiveness(bundle, pids);
+
+        table.row()
+            .cell(std::uint64_t(cores))
+            .cell(metrics.tlp(), 2)
+            .cell(std::uint64_t(response.inputs))
+            .cell(response.meanLatencyMs(), 2)
+            .cell(response.maxLatencyMs(), 2);
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nExpected shape: with a single core the UI input waits "
+        "behind the transcoder's quantum (response in the\n"
+        "milliseconds); from two cores on, an idle CPU is almost "
+        "always available and response collapses toward zero —\n"
+        "Flautner's 'second processor improves responsiveness' "
+        "result, even though Word's TLP barely moves.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 8: transcode rate and GPU utilization of HandBrake and WinX
+ * for 2-6 logical cores, with and without SMT, on the GTX 1080 Ti
+ * and the GTX 680 — plus the Section V-C-2 SMT contention counters
+ * (the VTune observation that SMT raises intra-core stalls from
+ * ~5.3% to ~10.7% for HandBrake while relieving the LLC).
+ *
+ * With SMT, n logical cores are n/2 physical cores; without, n
+ * physical cores. The paper's findings: transcode rates drop when
+ * SMT is enabled at equal logical-core count; WinX outruns HandBrake
+ * thanks to NVENC; transcode rates are GPU-independent while the
+ * GTX 680 shows ~4x the utilization of the 1080 Ti.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/video.hh"
+#include "bench_util.hh"
+
+using namespace deskpar;
+
+int
+main()
+{
+    bench::banner("Figure 8 - SMT and GPU offload on transcoding",
+                  "Section V-C-2 / V-D-1, Figure 8");
+
+    struct GpuChoice
+    {
+        const char *label;
+        sim::GpuSpec spec;
+    };
+    const GpuChoice kGpus[] = {
+        {"GTX 1080 Ti", sim::GpuSpec::gtx1080Ti()},
+        {"GTX 680", sim::GpuSpec::gtx680()},
+    };
+
+    report::TextTable table({"App", "GPU", "SMT", "Logical cores",
+                             "Transcode rate (FPS)", "GPU util (%)",
+                             "SMT-shared busy (%)",
+                             "Contention stalls (%)"});
+
+    for (const char *app : {"handbrake", "winx"}) {
+        for (const auto &gpu : kGpus) {
+            for (bool smt : {true, false}) {
+                for (unsigned cores : {2u, 4u, 6u}) {
+                    apps::RunOptions options =
+                        bench::paperRunOptions();
+                    options.config.gpu = gpu.spec;
+                    options.config.smtEnabled = smt;
+                    options.config.activeCpus = cores;
+                    apps::AppRunResult result =
+                        apps::runWorkload(app, options);
+
+                    const auto &sched =
+                        result.iterations.back().sched;
+                    double shared =
+                        sched.busyTime
+                            ? 100.0 *
+                                  static_cast<double>(
+                                      sched.smtSharedTime) /
+                                  static_cast<double>(sched.busyTime)
+                            : 0.0;
+                    table.row()
+                        .cell(std::string(app))
+                        .cell(gpu.label)
+                        .cell(smt ? "on" : "off")
+                        .cell(std::uint64_t(cores))
+                        .cell(result.fps.mean(), 1)
+                        .cell(result.gpuUtil(), 1)
+                        .cell(shared, 1)
+                        .cell(sched.contentionStallFraction() * 100.0,
+                              1);
+                }
+            }
+        }
+    }
+
+    table.print(std::cout);
+    std::printf(
+        "\nExpected shape: at equal logical-core count, SMT-on rates "
+        "are lower (half the physical cores; contention stalls rise "
+        "from ~5.3%% toward ~10.7%%).\nWinX beats HandBrake via "
+        "NVENC; rates are nearly identical across GPUs while the "
+        "GTX 680 runs at ~4x the utilization.\n");
+    return 0;
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks for the measurement pipeline
+ * itself: trace generation (simulation throughput), TLP computation,
+ * GPU-utilization computation, ETL serialization and CSV export.
+ * These quantify the toolkit's own costs, independent of the paper's
+ * experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "analysis/gpu_util.hh"
+#include "analysis/timeseries.hh"
+#include "analysis/tlp.hh"
+#include "apps/harness.hh"
+#include "apps/registry.hh"
+#include "trace/csv.hh"
+#include "trace/etl.hh"
+
+using namespace deskpar;
+
+namespace {
+
+/** One shared trace: HandBrake, 12 cores, 10 simulated seconds. */
+const trace::TraceBundle &
+sampleBundle()
+{
+    static const trace::TraceBundle kBundle = [] {
+        apps::RunOptions options;
+        options.iterations = 1;
+        options.duration = sim::sec(10.0);
+        auto result = apps::runWorkload("handbrake", options);
+        return result.lastBundle;
+    }();
+    return kBundle;
+}
+
+const trace::PidSet &
+samplePids()
+{
+    static const trace::PidSet kPids =
+        trace::pidsWithPrefix(sampleBundle(), "handbrake");
+    return kPids;
+}
+
+void
+BM_SimulateSecond(benchmark::State &state)
+{
+    apps::RunOptions options;
+    options.iterations = 1;
+    options.duration = sim::sec(static_cast<double>(state.range(0)));
+    for (auto _ : state) {
+        auto result = apps::runWorkload("handbrake", options);
+        benchmark::DoNotOptimize(result.tlp());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulateSecond)->Arg(1)->Arg(5);
+
+void
+BM_ComputeTlp(benchmark::State &state)
+{
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        auto profile = analysis::computeConcurrency(bundle, pids);
+        benchmark::DoNotOptimize(profile.tlp());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            bundle.cswitches.size());
+}
+BENCHMARK(BM_ComputeTlp);
+
+void
+BM_ComputeGpuUtil(benchmark::State &state)
+{
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        auto util = analysis::computeGpuUtil(bundle, pids);
+        benchmark::DoNotOptimize(util.aggregateRatio);
+    }
+}
+BENCHMARK(BM_ComputeGpuUtil);
+
+void
+BM_TlpTimeSeries(benchmark::State &state)
+{
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        auto series =
+            analysis::tlpSeries(bundle, pids, sim::msec(250));
+        benchmark::DoNotOptimize(series.maxValue());
+    }
+}
+BENCHMARK(BM_TlpTimeSeries);
+
+void
+BM_EtlWrite(benchmark::State &state)
+{
+    const auto &bundle = sampleBundle();
+    for (auto _ : state) {
+        std::ostringstream out;
+        trace::writeEtl(bundle, out);
+        benchmark::DoNotOptimize(out.str().size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            bundle.totalEvents());
+}
+BENCHMARK(BM_EtlWrite);
+
+void
+BM_EtlRoundTrip(benchmark::State &state)
+{
+    const auto &bundle = sampleBundle();
+    std::ostringstream out;
+    trace::writeEtl(bundle, out);
+    const std::string data = out.str();
+    for (auto _ : state) {
+        std::istringstream in(data);
+        auto loaded = trace::readEtl(in);
+        benchmark::DoNotOptimize(loaded.cswitches.size());
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_EtlRoundTrip);
+
+void
+BM_CsvExport(benchmark::State &state)
+{
+    const auto &bundle = sampleBundle();
+    for (auto _ : state) {
+        std::ostringstream out;
+        trace::writeCpuUsageCsv(bundle, out);
+        benchmark::DoNotOptimize(out.str().size());
+    }
+}
+BENCHMARK(BM_CsvExport);
+
+} // namespace
+
+BENCHMARK_MAIN();

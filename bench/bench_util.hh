@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared helpers for the table/figure bench binaries: standard run
+ * options (3 iterations x 30 s, the paper's protocol) and small
+ * formatting utilities.
+ */
+
+#ifndef DESKPAR_BENCH_BENCH_UTIL_HH
+#define DESKPAR_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.hh"
+#include "apps/harness.hh"
+#include "apps/registry.hh"
+#include "report/figure.hh"
+#include "report/table.hh"
+
+namespace deskpar::bench {
+
+/** The paper's measurement protocol. */
+inline apps::RunOptions
+paperRunOptions()
+{
+    apps::RunOptions options;
+    options.iterations = 3;
+    options.duration = sim::sec(30.0);
+    options.seedBase = 42;
+    // DESKPAR_FAST=1 trims the protocol for smoke runs.
+    if (const char *fast = std::getenv("DESKPAR_FAST");
+        fast && fast[0] == '1') {
+        options.iterations = 1;
+        options.duration = sim::sec(8.0);
+    }
+    return options;
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *what, const char *paper_ref)
+{
+    std::printf("== deskpar reproduction: %s ==\n", what);
+    std::printf("   (paper: %s)\n\n", paper_ref);
+}
+
+/** "x.x +- y.y" cell for avg/sigma pairs. */
+inline std::string
+meanSigma(const analysis::RunningStat &stat, int precision = 1)
+{
+    return report::formatNumber(stat.mean(), precision) + " +- " +
+           report::formatNumber(stat.stddev(), precision);
+}
+
+/**
+ * Shared driver for the Figures 5-7 timelines: run @p id once per
+ * core count, print the instantaneous-TLP and GPU-utilization series
+ * plus summary stats.
+ */
+inline void
+runTimelineFigure(const std::string &id,
+                  const std::vector<unsigned> &core_counts,
+                  sim::SimDuration window)
+{
+    for (unsigned cores : core_counts) {
+        apps::RunOptions options = paperRunOptions();
+        options.iterations = 1;
+        options.config.activeCpus = cores;
+        apps::AppRunResult result = apps::runWorkload(id, options);
+
+        auto conc = analysis::concurrencySeries(result.lastBundle,
+                                                result.lastPids,
+                                                window);
+        auto gpu = analysis::gpuUtilSeries(result.lastBundle,
+                                           result.lastPids, window);
+
+        std::printf("\n--- %u logical cores (SMT on) ---\n", cores);
+        std::printf("avg TLP %.2f | max instantaneous TLP %.1f | "
+                    "GPU util %.1f%% | frames/s %.1f\n",
+                    result.tlp(), conc.maxValue(), result.gpuUtil(),
+                    result.fps.mean());
+
+        report::Figure figure(
+            "Instantaneous TLP (window avg), " +
+                std::to_string(cores) + " cores",
+            "time (s)", "threads running");
+        auto &series = figure.addSeries("TLP");
+        for (const auto &point : conc.points)
+            series.add(sim::toSeconds(point.t), point.value);
+        figure.printAscii(std::cout, 64, 10);
+
+        report::Figure gfig("GPU utilization (%), " +
+                                std::to_string(cores) + " cores",
+                            "time (s)", "GPU %");
+        auto &gseries = gfig.addSeries("GPU");
+        for (const auto &point : gpu.points)
+            gseries.add(sim::toSeconds(point.t), point.value);
+        gfig.printAscii(std::cout, 64, 8);
+    }
+}
+
+} // namespace deskpar::bench
+
+#endif // DESKPAR_BENCH_BENCH_UTIL_HH

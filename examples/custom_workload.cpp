@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Authoring a custom workload model: a "photo organizer" that
+ * periodically imports a batch of images (fork-join thumbnailing on
+ * a worker pool) between user interactions, then studying how its
+ * TLP scales with the active core count — the Figure 4 methodology
+ * applied to your own application.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/harness.hh"
+#include "apps/standard.hh"
+#include "report/figure.hh"
+
+using namespace deskpar;
+using namespace deskpar::apps;
+
+namespace {
+
+/** Build the custom model from the standard skeleton. */
+WorkloadPtr
+makePhotoOrganizer()
+{
+    StandardAppParams p;
+    p.spec = {"photo-organizer", "Photo Organizer (custom)",
+              "Example"};
+    p.smtFriendliness = 0.3;
+
+    // The user clicks around the library at 2 Hz.
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = sim::Dist::normal(3.0, 0.8);
+    p.uiGpuMs = sim::Dist::fixed(0.5); // thumbnail grid redraw
+
+    // Every 4th interaction triggers a batch import: 8 workers
+    // thumbnail ~15 ms of work each, two rounds.
+    p.renderWorkers = 8;
+    p.workerChunkMs = sim::Dist::normal(15.0, 3.0);
+    p.phaseEveryNthInput = 4;
+    p.phaseRounds = 2;
+
+    // A background indexer ticks along.
+    StandardAppParams::Service indexer;
+    indexer.name = "indexer";
+    indexer.params.periodMs = sim::Dist::normal(250.0, 50.0);
+    indexer.params.burstMs = sim::Dist::normal(2.0, 0.5);
+    p.services.push_back(indexer);
+
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Custom workload: core-scaling study "
+                "(Figure 4 methodology)\n\n");
+
+    report::Figure figure("Photo Organizer: TLP vs logical cores",
+                          "logical cores", "TLP");
+    auto &series = figure.addSeries("photo-organizer");
+    auto &ideal = figure.addSeries("ideal");
+
+    for (unsigned cores : {2u, 4u, 6u, 8u, 10u, 12u}) {
+        RunOptions options;
+        options.iterations = 3;
+        options.duration = sim::sec(15.0);
+        options.config.activeCpus = cores;
+
+        auto model = makePhotoOrganizer();
+        AppRunResult result = runWorkload(*model, options);
+        series.add(cores, result.tlp());
+        ideal.add(cores, cores);
+        std::printf("  %2u logical cores: TLP %.2f, GPU %.1f%%\n",
+                    cores, result.tlp(), result.gpuUtil());
+    }
+
+    std::printf("\n");
+    figure.printAscii(std::cout, 56, 12);
+    std::printf("\nThe import phases scale with the pool while UI "
+                "handling stays serial, so TLP grows sub-linearly "
+                "and saturates near the pool width.\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The title experiment in one program: the same application lineage
+ * measured on its contemporary machine — Photoshop CS4 / HandBrake
+ * 0.9 / Firefox 3.5 / QuickTime 7.6 on the 2010 dual-Xeon + GTX 285
+ * testbed versus Photoshop CC / HandBrake 1.1 / Firefox 60 /
+ * QuickTime 7.7.9 on the 2018 i7-8700K + GTX 1080 Ti — an
+ * 18-year-perspective snapshot of how software caught up with
+ * hardware.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "apps/harness.hh"
+#include "apps/legacy.hh"
+#include "apps/registry.hh"
+#include "report/table.hh"
+
+using namespace deskpar;
+
+int
+main()
+{
+    struct Pair
+    {
+        const char *lineage;
+        const char *id2010; // legacy suite id
+        const char *id2018; // Table II suite id
+    };
+    const Pair kPairs[] = {
+        {"Photoshop", "photoshop-cs4", "photoshop"},
+        {"Excel", "excel-2007", "excel"},
+        {"Word", "word-2007", "word"},
+        {"HandBrake", "handbrake-09", "handbrake"},
+        {"Firefox", "firefox-35", "firefox"},
+        {"QuickTime", "quicktime-76", "quicktime"},
+        {"PowerDirector", "powerdirector-7", "powerdirector"},
+    };
+
+    apps::RunOptions on2010;
+    on2010.iterations = 1;
+    on2010.duration = sim::sec(20.0);
+    on2010.config = apps::blake2010Config();
+
+    apps::RunOptions on2018;
+    on2018.iterations = 1;
+    on2018.duration = sim::sec(20.0);
+
+    std::printf("The 18-year perspective: one lineage, two "
+                "machines\n\n");
+    report::TextTable table({"Lineage", "TLP 2010", "TLP 2018",
+                             "GPU% 2010", "GPU% 2018"});
+
+    for (const Pair &pair : kPairs) {
+        const apps::LegacyEntry *legacy = nullptr;
+        for (const auto &entry : apps::legacySuite()) {
+            if (entry.id == pair.id2010)
+                legacy = &entry;
+        }
+        auto old_model = legacy->factory();
+        auto old_run = apps::runWorkload(*old_model, on2010);
+        auto new_run = apps::runWorkload(pair.id2018, on2018);
+
+        table.row()
+            .cell(std::string(pair.lineage))
+            .cell(old_run.tlp(), 2)
+            .cell(new_run.tlp(), 2)
+            .cell(old_run.gpuUtil(), 1)
+            .cell(new_run.gpuUtil(), 1);
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nReading the table (the paper's Figures 2-3 in "
+        "miniature): TLP held or grew wherever software invested in "
+        "parallelism\n(Photoshop's filter engine, HandBrake's pool, "
+        "multi-process Firefox), while GPU utilization mostly *fell* "
+        "despite\nabsolute GPU work growing — the 1080 Ti brings "
+        "~50x the GTX 285's shader throughput, far outpacing what "
+        "applications\noffload. Browsers are the exception: "
+        "compositing moved wholesale onto the GPU.\n");
+    return 0;
+}

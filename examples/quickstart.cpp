@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Quickstart: run one application from the benchmark suite on the
+ * paper's machine and print its TLP and GPU utilization — the whole
+ * measurement pipeline in a dozen lines.
+ *
+ *   $ ./examples/quickstart [workload-id]
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "apps/harness.hh"
+#include "apps/registry.hh"
+#include "report/heatmap.hh"
+
+using namespace deskpar;
+
+int
+main(int argc, char **argv)
+{
+    std::string id = argc > 1 ? argv[1] : "handbrake";
+
+    // 1. Configure the machine (Table I defaults: i7-8700K with 12
+    //    logical CPUs, GTX 1080 Ti) and the paper's protocol.
+    apps::RunOptions options;
+    options.iterations = 3;
+    options.duration = sim::sec(20.0);
+
+    // 2. Run the workload; the harness traces each iteration and
+    //    aggregates the analysis results.
+    apps::AppRunResult result = apps::runWorkload(id, options);
+
+    // 3. Report.
+    std::printf("%s on %s\n",
+                apps::makeWorkload(id)->spec().name.c_str(),
+                options.config.cpu.model.c_str());
+    std::printf("  TLP            %.2f +- %.2f (max instantaneous "
+                "%.0f)\n",
+                result.agg.tlp.mean(), result.agg.tlp.stddev(),
+                result.agg.maxConcurrency.max());
+    std::printf("  GPU util       %.1f%% +- %.1f%%\n",
+                result.agg.gpuUtil.mean(),
+                result.agg.gpuUtil.stddev());
+    std::printf("  frames/second  %.1f\n", result.fps.mean());
+    std::printf("  exec time      %s\n",
+                report::heatmapRow(result.agg.meanC).c_str());
+    std::printf("  (%s)\n", report::heatmapLegend().c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * VR frame pacing explorer: pick a game, sweep headsets and core
+ * counts, and watch how ASW / asynchronous reprojection shape the
+ * real and presented frame streams (the Section V-F methodology).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/timeseries.hh"
+#include "apps/harness.hh"
+#include "apps/vr.hh"
+#include "report/table.hh"
+
+using namespace deskpar;
+
+int
+main()
+{
+    const apps::VrGame game = apps::VrGame::ProjectCars2;
+    const apps::Headset headsets[] = {apps::Headset::rift(),
+                                      apps::Headset::vive(),
+                                      apps::Headset::vivePro()};
+
+    std::printf("VR frame pacing: %s\n\n", apps::vrGameName(game));
+
+    report::TextTable table({"Headset", "Cores", "TLP",
+                             "GPU util (%)", "Presented FPS",
+                             "Real FPS", "Synth (%)"});
+
+    for (unsigned cores : {12u, 8u, 4u}) {
+        for (const auto &headset : headsets) {
+            apps::RunOptions options;
+            options.iterations = 1;
+            options.duration = sim::sec(12.0);
+            options.config.activeCpus = cores;
+
+            auto model = apps::makeVrGame(game, headset);
+            apps::AppRunResult result =
+                apps::runWorkload(*model, options);
+            const auto &frames =
+                result.iterations[0].metrics.frames;
+
+            table.row()
+                .cell(headset.name)
+                .cell(std::uint64_t(cores))
+                .cell(result.tlp(), 2)
+                .cell(result.gpuUtil(), 1)
+                .cell(result.fps.mean(), 1)
+                .cell(result.realFps.mean(), 1)
+                .cell(frames.synthesizedShare() * 100.0, 1);
+        }
+    }
+    table.print(std::cout);
+
+    std::printf(
+        "\nWhat to look for: at 12 logical cores everything holds "
+        "90 FPS; at 4, the Rift's ASW clamps the game to 45 real "
+        "FPS\n(half the presents are synthesized) while the Vive "
+        "headsets keep pushing toward 90 and pay with oscillating "
+        "dips.\n");
+    return 0;
+}

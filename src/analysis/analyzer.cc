@@ -1,0 +1,49 @@
+#include "analysis/analyzer.hh"
+
+#include "sim/logging.hh"
+
+namespace deskpar::analysis {
+
+AppMetrics
+analyzeApp(const TraceBundle &bundle, const std::string &process_prefix)
+{
+    PidSet pids;
+    if (!process_prefix.empty()) {
+        pids = trace::pidsWithPrefix(bundle, process_prefix);
+        if (pids.empty()) {
+            deskpar::fatal("analyzeApp: no process named " +
+                           process_prefix);
+        }
+    }
+    return analyzeApp(bundle, pids);
+}
+
+AppMetrics
+analyzeApp(const TraceBundle &bundle, const PidSet &pids)
+{
+    AppMetrics metrics;
+    metrics.concurrency = computeConcurrency(bundle, pids);
+    metrics.gpu = computeGpuUtil(bundle, pids);
+    metrics.frames = computeFrameStats(bundle, pids);
+    return metrics;
+}
+
+void
+IterationAggregate::add(const AppMetrics &metrics)
+{
+    tlp.add(metrics.tlp());
+    gpuUtil.add(metrics.gpuUtilPercent());
+    maxConcurrency.add(
+        static_cast<double>(metrics.concurrency.maxConcurrency()));
+    gpuOverlapped = gpuOverlapped || metrics.gpu.overlapped;
+
+    const auto &c = metrics.concurrency.c;
+    if (meanC.size() < c.size())
+        meanC.resize(c.size(), 0.0);
+    // Incremental mean: meanC_k = meanC_{k-1} + (x - meanC_{k-1}) / k.
+    double k = static_cast<double>(tlp.count());
+    for (std::size_t i = 0; i < c.size(); ++i)
+        meanC[i] += (c[i] - meanC[i]) / k;
+}
+
+} // namespace deskpar::analysis

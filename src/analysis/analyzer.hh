@@ -1,0 +1,64 @@
+/**
+ * @file
+ * High-level analysis entry points: summarize one trace into the
+ * paper's per-application metrics, and aggregate repeated iterations
+ * into mean / standard deviation rows (Table II reports avg and sigma
+ * of 3 iterations).
+ */
+
+#ifndef DESKPAR_ANALYSIS_ANALYZER_HH
+#define DESKPAR_ANALYSIS_ANALYZER_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/framerate.hh"
+#include "analysis/gpu_util.hh"
+#include "analysis/stats.hh"
+#include "analysis/tlp.hh"
+
+namespace deskpar::analysis {
+
+/**
+ * Metrics of one application in one trace (one iteration).
+ */
+struct AppMetrics
+{
+    ConcurrencyProfile concurrency;
+    GpuUtilization gpu;
+    FrameStats frames;
+
+    double tlp() const { return concurrency.tlp(); }
+    double gpuUtilPercent() const { return gpu.utilizationPercent(); }
+};
+
+/**
+ * Analyze @p bundle for the application consisting of processes whose
+ * names start with @p process_prefix (empty = system-wide).
+ */
+AppMetrics analyzeApp(const TraceBundle &bundle,
+                      const std::string &process_prefix);
+
+/** Analyze with an explicit pid set. */
+AppMetrics analyzeApp(const TraceBundle &bundle, const PidSet &pids);
+
+/**
+ * Aggregate of N iterations of one application: the Table II row.
+ */
+struct IterationAggregate
+{
+    std::string app;
+    RunningStat tlp;
+    RunningStat gpuUtil;
+    RunningStat maxConcurrency;
+    /** Mean execution-time fractions c_0 .. c_n across iterations. */
+    std::vector<double> meanC;
+    bool gpuOverlapped = false;
+
+    /** Fold one iteration's metrics in. */
+    void add(const AppMetrics &metrics);
+};
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_ANALYZER_HH

@@ -1,0 +1,29 @@
+#include "analysis/gpu_queue.hh"
+
+namespace deskpar::analysis {
+
+GpuQueueStats
+computeGpuQueueStats(const trace::TraceBundle &bundle,
+                     const trace::PidSet &pids)
+{
+    GpuQueueStats out;
+    std::array<RunningStat, trace::kNumGpuEngines> perEngine;
+
+    for (const auto &e : bundle.gpuPackets) {
+        if (!pids.empty() && pids.count(e.pid) == 0)
+            continue;
+        ++out.packets;
+        auto wait = static_cast<double>(e.start - e.queued);
+        auto exec = static_cast<double>(e.finish - e.start);
+        out.waitNs.add(wait);
+        out.execNs.add(exec);
+        if (wait > 0.0)
+            ++out.delayedPackets;
+        perEngine[static_cast<unsigned>(e.engine)].add(wait);
+    }
+    for (unsigned i = 0; i < trace::kNumGpuEngines; ++i)
+        out.meanWaitPerEngine[i] = perEngine[i].mean();
+    return out;
+}
+
+} // namespace deskpar::analysis

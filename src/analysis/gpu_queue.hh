@@ -1,0 +1,61 @@
+/**
+ * @file
+ * GPU queue-delay analysis: how long packets wait in an engine queue
+ * before executing. Utilization (gpu_util.hh) answers "is the GPU
+ * busy?"; queue delay answers "is the GPU a bottleneck?" — the
+ * distinction behind the paper's GTX 680 observations, where the
+ * mid-end board reaches high utilization while transcode rates stay
+ * unchanged (deep queues, no stall) but mining throughput collapses.
+ */
+
+#ifndef DESKPAR_ANALYSIS_GPU_QUEUE_HH
+#define DESKPAR_ANALYSIS_GPU_QUEUE_HH
+
+#include <array>
+
+#include "analysis/stats.hh"
+#include "trace/event.hh"
+#include "trace/filter.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis {
+
+/**
+ * Queue-delay statistics of one trace window.
+ */
+struct GpuQueueStats
+{
+    /** Packets analyzed. */
+    std::size_t packets = 0;
+    /** Packets that waited at all. */
+    std::size_t delayedPackets = 0;
+    /** Wait (start - queued) stats in nanoseconds, all packets. */
+    RunningStat waitNs;
+    /** Execution (finish - start) stats in nanoseconds. */
+    RunningStat execNs;
+    /** Per-engine mean wait in ns. */
+    std::array<double, trace::kNumGpuEngines> meanWaitPerEngine{};
+
+    double meanWaitMs() const { return waitNs.mean() * 1e-6; }
+    double maxWaitMs() const { return waitNs.max() * 1e-6; }
+
+    /** Fraction of packets that queued behind earlier work. */
+    double
+    delayedShare() const
+    {
+        return packets ? static_cast<double>(delayedPackets) /
+                             static_cast<double>(packets)
+                       : 0.0;
+    }
+};
+
+/**
+ * Compute queue statistics for the processes in @p pids (empty =
+ * all) over the whole bundle window.
+ */
+GpuQueueStats computeGpuQueueStats(const trace::TraceBundle &bundle,
+                                   const trace::PidSet &pids);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_GPU_QUEUE_HH

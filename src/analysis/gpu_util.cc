@@ -1,0 +1,45 @@
+#include "analysis/gpu_util.hh"
+
+#include "analysis/intervals.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::analysis {
+
+GpuUtilization
+computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
+               sim::SimTime t0, sim::SimTime t1)
+{
+    if (t1 <= t0)
+        deskpar::fatal("computeGpuUtil: empty window");
+
+    GpuUtilization out;
+    double window = static_cast<double>(t1 - t0);
+
+    std::vector<Interval> busy;
+    for (const auto &e : bundle.gpuPackets) {
+        if (!pids.empty() && pids.count(e.pid) == 0)
+            continue;
+        Interval iv = Interval{e.start, e.finish}.clampTo(t0, t1);
+        if (iv.empty())
+            continue;
+        ++out.packetCount;
+        double share = static_cast<double>(iv.length()) / window;
+        out.aggregateRatio += share;
+        out.perEngine[static_cast<unsigned>(e.engine)] += share;
+        busy.push_back(iv);
+    }
+
+    out.busyRatio =
+        static_cast<double>(unionLength(std::move(busy))) / window;
+    out.overlapped = out.aggregateRatio > out.busyRatio + 1e-9;
+    return out;
+}
+
+GpuUtilization
+computeGpuUtil(const TraceBundle &bundle, const PidSet &pids)
+{
+    return computeGpuUtil(bundle, pids, bundle.startTime,
+                          bundle.stopTime);
+}
+
+} // namespace deskpar::analysis

@@ -1,0 +1,52 @@
+#include "analysis/intervals.hh"
+
+#include <algorithm>
+
+namespace deskpar::analysis {
+
+Interval
+Interval::clampTo(SimTime lo, SimTime hi) const
+{
+    Interval out;
+    out.begin = std::max(begin, lo);
+    out.end = std::min(end, hi);
+    if (out.end < out.begin)
+        out.end = out.begin;
+    return out;
+}
+
+SimDuration
+totalLength(const std::vector<Interval> &intervals)
+{
+    SimDuration total = 0;
+    for (const auto &iv : intervals)
+        total += iv.length();
+    return total;
+}
+
+std::vector<Interval>
+mergeIntervals(std::vector<Interval> intervals)
+{
+    std::erase_if(intervals,
+                  [](const Interval &iv) { return iv.empty(); });
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval &a, const Interval &b) {
+                  return a.begin < b.begin;
+              });
+    std::vector<Interval> merged;
+    for (const auto &iv : intervals) {
+        if (!merged.empty() && iv.begin <= merged.back().end)
+            merged.back().end = std::max(merged.back().end, iv.end);
+        else
+            merged.push_back(iv);
+    }
+    return merged;
+}
+
+SimDuration
+unionLength(std::vector<Interval> intervals)
+{
+    return totalLength(mergeIntervals(std::move(intervals)));
+}
+
+} // namespace deskpar::analysis

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Interval algebra shared by the TLP and GPU-utilization analyses.
+ */
+
+#ifndef DESKPAR_ANALYSIS_INTERVALS_HH
+#define DESKPAR_ANALYSIS_INTERVALS_HH
+
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deskpar::analysis {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+/** Half-open interval [begin, end). */
+struct Interval
+{
+    SimTime begin = 0;
+    SimTime end = 0;
+
+    SimDuration
+    length() const
+    {
+        return end > begin ? end - begin : 0;
+    }
+
+    bool empty() const { return end <= begin; }
+
+    /** Intersect with [lo, hi); may produce an empty interval. */
+    Interval clampTo(SimTime lo, SimTime hi) const;
+};
+
+/** Sum of interval lengths (no overlap handling). */
+SimDuration totalLength(const std::vector<Interval> &intervals);
+
+/**
+ * Merge overlapping/adjacent intervals; input need not be sorted.
+ * Returns sorted disjoint intervals.
+ */
+std::vector<Interval> mergeIntervals(std::vector<Interval> intervals);
+
+/** Length of the union of @p intervals. */
+SimDuration unionLength(std::vector<Interval> intervals);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_INTERVALS_HH

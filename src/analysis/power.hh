@@ -1,0 +1,59 @@
+/**
+ * @file
+ * First-order power/energy estimation from a trace.
+ *
+ * The paper's framing (Dennard scaling, dark silicon, TDP walls,
+ * Section I and the ASIC-vs-GPU mining citation) motivates asking
+ * what the measured utilization *costs*. This estimator converts a
+ * trace's CPU concurrency and GPU busy time into package power using
+ * the specs' TDP/idle figures:
+ *
+ *   P_cpu = idle + (TDP - idle) * busy-logical-CPUs / num-logical
+ *   P_gpu = idle + (TDP - idle) * busy-fraction
+ *
+ * It is deliberately linear-in-utilization — good enough to compare
+ * configurations (SMT on/off, core counts, GPU offload) and to rank
+ * energy-per-frame, not to predict wall-socket watts.
+ */
+
+#ifndef DESKPAR_ANALYSIS_POWER_HH
+#define DESKPAR_ANALYSIS_POWER_HH
+
+#include "sim/cpu.hh"
+#include "sim/gpu.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis {
+
+/**
+ * Power/energy summary of one trace window.
+ */
+struct PowerEstimate
+{
+    double cpuWatts = 0.0;
+    double gpuWatts = 0.0;
+    /** Window length in seconds. */
+    double seconds = 0.0;
+
+    double totalWatts() const { return cpuWatts + gpuWatts; }
+    double energyJoules() const { return totalWatts() * seconds; }
+
+    /** Joules per unit of work (e.g. per transcoded frame). */
+    double
+    energyPer(double units) const
+    {
+        return units > 0.0 ? energyJoules() / units : 0.0;
+    }
+};
+
+/**
+ * Estimate average power over the whole bundle window. All processes
+ * contribute (power is a machine-level quantity).
+ */
+PowerEstimate estimatePower(const trace::TraceBundle &bundle,
+                            const sim::CpuSpec &cpu,
+                            const sim::GpuSpec &gpu);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_POWER_HH

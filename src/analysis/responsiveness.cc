@@ -1,0 +1,46 @@
+#include "analysis/responsiveness.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace deskpar::analysis {
+
+Responsiveness
+computeResponsiveness(const trace::TraceBundle &bundle,
+                      const trace::PidSet &pids)
+{
+    Responsiveness out;
+
+    // Dispatch times of the application's threads, sorted (cswitch
+    // streams are time-ordered already, but be defensive).
+    std::vector<sim::SimTime> dispatches;
+    for (const auto &e : bundle.cswitches) {
+        bool is_app = e.newPid != 0 &&
+                      (pids.empty() || pids.count(e.newPid) != 0);
+        if (is_app)
+            dispatches.push_back(e.timestamp);
+    }
+    std::sort(dispatches.begin(), dispatches.end());
+
+    const std::size_t prefix_len =
+        std::strlen(kInputMarkerPrefix);
+    for (const auto &marker : bundle.markers) {
+        if (marker.label.compare(0, prefix_len,
+                                 kInputMarkerPrefix) != 0) {
+            continue;
+        }
+        ++out.inputs;
+        auto it = std::lower_bound(dispatches.begin(),
+                                   dispatches.end(),
+                                   marker.timestamp);
+        if (it == dispatches.end())
+            continue;
+        ++out.answered;
+        out.latency.add(
+            static_cast<double>(*it - marker.timestamp));
+    }
+    return out;
+}
+
+} // namespace deskpar::analysis

@@ -1,0 +1,23 @@
+#include "analysis/stats.hh"
+
+namespace deskpar::analysis {
+
+double
+meanOf(const std::vector<double> &values)
+{
+    RunningStat stat;
+    for (double v : values)
+        stat.add(v);
+    return stat.mean();
+}
+
+double
+stddevOf(const std::vector<double> &values)
+{
+    RunningStat stat;
+    for (double v : values)
+        stat.add(v);
+    return stat.stddev();
+}
+
+} // namespace deskpar::analysis

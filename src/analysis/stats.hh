@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Small statistics helpers: Welford running mean/variance and
+ * aggregation of repeated-iteration results (the paper reports the
+ * average and standard deviation of 3 iterations per application).
+ */
+
+#ifndef DESKPAR_ANALYSIS_STATS_HH
+#define DESKPAR_ANALYSIS_STATS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace deskpar::analysis {
+
+/**
+ * Numerically stable running mean / standard deviation.
+ */
+class RunningStat
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (n_ == 1 || x < min_)
+            min_ = x;
+        if (n_ == 1 || x > max_)
+            max_ = x;
+    }
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population standard deviation (the paper's sigma). */
+    double
+    stddev() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        return std::sqrt(m2_ / static_cast<double>(n_));
+    }
+
+    /** Sample standard deviation (n-1 denominator). */
+    double
+    sampleStddev() const
+    {
+        if (n_ < 2)
+            return 0.0;
+        return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+    }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Mean of a vector (0 for empty input). */
+double meanOf(const std::vector<double> &values);
+
+/** Population standard deviation of a vector. */
+double stddevOf(const std::vector<double> &values);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_STATS_HH

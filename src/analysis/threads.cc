@@ -1,0 +1,94 @@
+#include "analysis/threads.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace deskpar::analysis {
+
+double
+ThreadActivity::busyShare(sim::SimDuration window) const
+{
+    if (window == 0)
+        return 0.0;
+    return static_cast<double>(busyTime) /
+           static_cast<double>(window);
+}
+
+std::vector<ThreadActivity>
+threadBreakdown(const trace::TraceBundle &bundle,
+                const trace::PidSet &pids)
+{
+    auto isTarget = [&pids](trace::Pid pid) {
+        return pid != 0 && (pids.empty() || pids.count(pid) != 0);
+    };
+
+    struct Running
+    {
+        trace::Tid tid = 0;
+        trace::Pid pid = 0;
+        sim::SimTime since = 0;
+        bool busy = false;
+    };
+    std::map<trace::CpuId, Running> perCpu;
+    std::map<std::pair<trace::Pid, trace::Tid>, ThreadActivity> acc;
+
+    auto charge = [&](const Running &running, sim::SimTime until) {
+        auto &activity = acc[{running.pid, running.tid}];
+        activity.pid = running.pid;
+        activity.tid = running.tid;
+        activity.busyTime += until - running.since;
+    };
+
+    for (const auto &e : bundle.cswitches) {
+        Running &running = perCpu[e.cpu];
+        if (running.busy)
+            charge(running, e.timestamp);
+        running.busy = isTarget(e.newPid);
+        running.tid = e.newTid;
+        running.pid = e.newPid;
+        running.since = e.timestamp;
+        if (running.busy)
+            ++acc[{e.newPid, e.newTid}].dispatches;
+    }
+    for (auto &[cpu, running] : perCpu) {
+        if (running.busy)
+            charge(running, bundle.stopTime);
+    }
+
+    // Attach names from lifecycle events and the process table.
+    std::unordered_map<trace::Tid, std::string> threadNames;
+    for (const auto &e : bundle.threadEvents) {
+        if (e.created)
+            threadNames[e.tid] = e.name;
+    }
+
+    std::vector<ThreadActivity> out;
+    out.reserve(acc.size());
+    for (auto &[key, activity] : acc) {
+        auto pname = bundle.processNames.find(activity.pid);
+        if (pname != bundle.processNames.end())
+            activity.processName = pname->second;
+        auto tname = threadNames.find(activity.tid);
+        if (tname != threadNames.end())
+            activity.threadName = tname->second;
+        out.push_back(std::move(activity));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ThreadActivity &a, const ThreadActivity &b) {
+                  return a.busyTime > b.busyTime;
+              });
+    return out;
+}
+
+std::vector<ThreadActivity>
+topThreads(const trace::TraceBundle &bundle, const trace::PidSet &pids,
+           std::size_t n)
+{
+    auto all = threadBreakdown(bundle, pids);
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+} // namespace deskpar::analysis

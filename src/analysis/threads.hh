@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-thread trace breakdown: busy time, dispatch counts, and names
+ * per tid — WPA's "CPU Usage (Precise) by thread" view, used to see
+ * *which* threads carry an application's TLP.
+ */
+
+#ifndef DESKPAR_ANALYSIS_THREADS_HH
+#define DESKPAR_ANALYSIS_THREADS_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/filter.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis {
+
+/**
+ * Aggregate activity of one thread over the trace window.
+ */
+struct ThreadActivity
+{
+    trace::Pid pid = 0;
+    trace::Tid tid = 0;
+    std::string processName;
+    std::string threadName;
+    /** Total on-CPU time. */
+    sim::SimDuration busyTime = 0;
+    /** Number of dispatches (switch-ins). */
+    std::uint64_t dispatches = 0;
+
+    /** Busy time as a fraction of the window. */
+    double busyShare(sim::SimDuration window) const;
+};
+
+/**
+ * Per-thread activity for the processes in @p pids (empty = all
+ * non-idle), sorted by descending busy time.
+ */
+std::vector<ThreadActivity>
+threadBreakdown(const trace::TraceBundle &bundle,
+                const trace::PidSet &pids);
+
+/** The @p n busiest threads. */
+std::vector<ThreadActivity>
+topThreads(const trace::TraceBundle &bundle, const trace::PidSet &pids,
+           std::size_t n);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_THREADS_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Windowed time series over a trace: instantaneous TLP, concurrency,
+ * GPU utilization and frame rate. These back the paper's Figures 5-7
+ * (TLP/GPU over time under core scaling) and Figure 13 (instantaneous
+ * VR frame rate per headset).
+ */
+
+#ifndef DESKPAR_ANALYSIS_TIMESERIES_HH
+#define DESKPAR_ANALYSIS_TIMESERIES_HH
+
+#include <vector>
+
+#include "trace/filter.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis {
+
+using trace::PidSet;
+using trace::TraceBundle;
+
+/** One sample of a time series; @p t is the window's start time. */
+struct TimePoint
+{
+    sim::SimTime t = 0;
+    double value = 0.0;
+};
+
+/** A named series, ready for plotting or table dumps. */
+struct TimeSeries
+{
+    std::string name;
+    sim::SimDuration window = 0;
+    std::vector<TimePoint> points;
+
+    double maxValue() const;
+    double meanValue() const;
+};
+
+/**
+ * Per-window TLP (Eq. 1 within each window; 0 for fully idle
+ * windows). Windows of length @p window tile [bundle.startTime,
+ * bundle.stopTime).
+ */
+TimeSeries tlpSeries(const TraceBundle &bundle, const PidSet &pids,
+                     sim::SimDuration window);
+
+/**
+ * Per-window average concurrency including idle time — the
+ * "instantaneous TLP" curve of Figures 5-7.
+ */
+TimeSeries concurrencySeries(const TraceBundle &bundle,
+                             const PidSet &pids,
+                             sim::SimDuration window);
+
+/** Per-window GPU utilization percent (aggregate, capped at 100). */
+TimeSeries gpuUtilSeries(const TraceBundle &bundle, const PidSet &pids,
+                         sim::SimDuration window);
+
+/**
+ * Per-window presented frames per second (synthesized frames
+ * included: that's what the display shows).
+ */
+TimeSeries frameRateSeries(const TraceBundle &bundle,
+                           const PidSet &pids,
+                           sim::SimDuration window);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_TIMESERIES_HH

@@ -1,0 +1,117 @@
+#include "analysis/tlp.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/logging.hh"
+
+namespace deskpar::analysis {
+
+double
+ConcurrencyProfile::tlp() const
+{
+    if (c.empty())
+        return 0.0;
+    double busy = 1.0 - c[0];
+    if (busy <= 0.0)
+        return 0.0;
+    double weighted = 0.0;
+    for (std::size_t i = 1; i < c.size(); ++i)
+        weighted += c[i] * static_cast<double>(i);
+    return weighted / busy;
+}
+
+unsigned
+ConcurrencyProfile::maxConcurrency() const
+{
+    for (std::size_t i = c.size(); i-- > 1;) {
+        if (c[i] > 0.0)
+            return static_cast<unsigned>(i);
+    }
+    return 0;
+}
+
+double
+ConcurrencyProfile::utilization() const
+{
+    double weighted = 0.0;
+    for (std::size_t i = 1; i < c.size(); ++i)
+        weighted += c[i] * static_cast<double>(i);
+    return weighted;
+}
+
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
+                   sim::SimTime t0, sim::SimTime t1, unsigned num_cpus)
+{
+    using sim::SimTime;
+
+    if (num_cpus == 0)
+        num_cpus = bundle.numLogicalCpus;
+    if (num_cpus == 0)
+        deskpar::fatal("computeConcurrency: unknown CPU count");
+    if (t1 <= t0)
+        deskpar::fatal("computeConcurrency: empty window");
+
+    auto isTarget = [&pids](trace::Pid pid) {
+        if (pid == 0)
+            return false;
+        return pids.empty() || pids.count(pid) != 0;
+    };
+
+    // Sweep the per-CPU run timelines into +1/-1 deltas at the times
+    // a target thread starts/stops occupying a CPU.
+    std::map<SimTime, int> deltas;
+    std::map<trace::CpuId, bool> cpuBusy; // target thread on cpu?
+
+    for (const auto &e : bundle.cswitches) {
+        bool &busy = cpuBusy[e.cpu];
+        bool now_busy = isTarget(e.newPid);
+        if (busy == now_busy)
+            continue;
+        SimTime ts = std::clamp(e.timestamp, t0, t1);
+        deltas[ts] += now_busy ? 1 : -1;
+        busy = now_busy;
+    }
+    // Threads still on a CPU at the window end: close at t1 (the
+    // deltas map records the +1; no -1 needed since the sweep ends).
+
+    ConcurrencyProfile profile;
+    profile.numCpus = num_cpus;
+    profile.window = t1 - t0;
+    profile.c.assign(num_cpus + 1, 0.0);
+
+    SimTime prev = t0;
+    int level = 0;
+    std::vector<sim::SimDuration> timeAt(num_cpus + 1, 0);
+    for (const auto &[ts, delta] : deltas) {
+        if (ts > prev) {
+            auto lvl = static_cast<unsigned>(std::clamp(
+                level, 0, static_cast<int>(num_cpus)));
+            timeAt[lvl] += ts - prev;
+            prev = ts;
+        }
+        level += delta;
+        if (level < 0)
+            deskpar::panic("computeConcurrency: negative concurrency");
+    }
+    if (t1 > prev) {
+        auto lvl = static_cast<unsigned>(
+            std::clamp(level, 0, static_cast<int>(num_cpus)));
+        timeAt[lvl] += t1 - prev;
+    }
+
+    double window = static_cast<double>(profile.window);
+    for (unsigned i = 0; i <= num_cpus; ++i)
+        profile.c[i] = static_cast<double>(timeAt[i]) / window;
+    return profile;
+}
+
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids)
+{
+    return computeConcurrency(bundle, pids, bundle.startTime,
+                              bundle.stopTime);
+}
+
+} // namespace deskpar::analysis

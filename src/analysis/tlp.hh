@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Thread-Level Parallelism per the paper's Equation 1:
+ *
+ *     TLP = ( sum_{i=1..n} c_i * i ) / ( 1 - c_0 )
+ *
+ * where c_i is the fraction of the observation window during which
+ * exactly i logical CPUs were simultaneously running threads of the
+ * application under study, and n is the number of logical CPUs.
+ * c_0 (idle time) is factored out, so waiting for user input does not
+ * dilute the metric.
+ */
+
+#ifndef DESKPAR_ANALYSIS_TLP_HH
+#define DESKPAR_ANALYSIS_TLP_HH
+
+#include <vector>
+
+#include "trace/filter.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis {
+
+using trace::PidSet;
+using trace::TraceBundle;
+
+/**
+ * The concurrency histogram of one trace window plus derived metrics.
+ */
+struct ConcurrencyProfile
+{
+    /**
+     * c[i]: fraction of the window with exactly i target threads
+     * running; size is numCpus + 1 and the entries sum to 1.
+     */
+    std::vector<double> c;
+
+    /** Logical CPU count n (the TLP ceiling). */
+    unsigned numCpus = 0;
+
+    /** Window length the fractions refer to. */
+    sim::SimDuration window = 0;
+
+    /** TLP per Equation 1; 0 when the window is fully idle. */
+    double tlp() const;
+
+    /** Highest concurrency level observed (max instantaneous TLP). */
+    unsigned maxConcurrency() const;
+
+    /** c_0: fraction of the window with no target thread running. */
+    double
+    idleFraction() const
+    {
+        return c.empty() ? 1.0 : c[0];
+    }
+
+    /** Average concurrency including idle time (TLP * (1 - c0)). */
+    double utilization() const;
+};
+
+/**
+ * Compute the concurrency profile of @p bundle over
+ * [@p t0, @p t1) for the processes in @p pids.
+ *
+ * An empty @p pids means "every non-idle process" — the system-wide
+ * TLP of the 2000/2010 studies. @p num_cpus caps the histogram; pass
+ * bundle.numLogicalCpus (the default 0 means exactly that).
+ */
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
+                   sim::SimTime t0, sim::SimTime t1,
+                   unsigned num_cpus = 0);
+
+/** Convenience: whole-bundle window. */
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids);
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_TLP_HH

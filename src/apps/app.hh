@@ -1,0 +1,72 @@
+/**
+ * @file
+ * WorkloadModel: the interface every benchmark application implements,
+ * plus the AppInstance handle returned when a model is instantiated
+ * on a machine.
+ */
+
+#ifndef DESKPAR_APPS_APP_HH
+#define DESKPAR_APPS_APP_HH
+
+#include <memory>
+#include <string>
+
+#include "input/script.hh"
+#include "sim/machine.hh"
+
+namespace deskpar::apps {
+
+/**
+ * Static identity of a benchmark application (the Table II rows).
+ */
+struct AppSpec
+{
+    /** Stable identifier used by the registry ("photoshop"). */
+    std::string id;
+    /** Display name with version ("Adobe Photoshop CC"). */
+    std::string name;
+    /** Category ("Image Authoring", "VR Gaming", ...). */
+    std::string category;
+};
+
+/**
+ * Handle returned by WorkloadModel::instantiate(): which processes
+ * belong to the app and which input script drives it.
+ */
+struct AppInstance
+{
+    /** Prefix matching every process of the application. */
+    std::string processPrefix;
+    /** Scripted user input; empty for input-free workloads. */
+    input::InputScript script;
+};
+
+/**
+ * A benchmark application model. instantiate() creates the app's
+ * processes and threads on a machine; the harness then installs the
+ * input script, records a trace for duration(), and analyzes it.
+ */
+class WorkloadModel
+{
+  public:
+    virtual ~WorkloadModel() = default;
+
+    /** Application identity. */
+    virtual const AppSpec &spec() const = 0;
+
+    /** Length of the measured run. */
+    virtual sim::SimDuration
+    duration() const
+    {
+        return sim::sec(30.0);
+    }
+
+    /** Build the application's processes/threads on @p machine. */
+    virtual AppInstance instantiate(sim::Machine &machine) = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<WorkloadModel>;
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_APP_HH

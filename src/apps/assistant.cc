@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Personal-assistant workload models (Table II category 9). The
+ * testbench issues voice requests (news, weather, reminders, general
+ * knowledge); the heavy inference runs in the datacenter, so locally
+ * the apps do audio capture/feature extraction, then idle while the
+ * cloud responds, then render the answer (Section IV-H).
+ *
+ * Calibration targets (TLP / GPU%): Cortana 1.4/2.7, Braina 1.1/0.0.
+ */
+
+#include "apps/standard.hh"
+#include "apps/suite.hh"
+
+namespace deskpar::apps {
+
+WorkloadPtr
+makeCortana()
+{
+    StandardAppParams p;
+    p.spec = {"cortana", "Cortana", "Personal Assistant"};
+    p.smtFriendliness = 0.3;
+    // A voice request roughly every five seconds.
+    p.inputRateHz = 0.2;
+    p.inputKind = input::InputKind::VoiceRequest;
+    // Local audio pipeline + response handling per request.
+    p.uiBurstMs = Dist::normal(55.0, 12.0);
+    p.uiGpuMs = Dist::fixed(1.0);
+    p.actionSequence = {"daily news", "weather forecast",
+                        "set alarm", "manage reminder",
+                        "general knowledge", "word definition",
+                        "simple math"};
+    // Local feature extraction fans out to two helper threads that
+    // overlap the main audio burst.
+    p.uiHelpers = 2;
+    p.uiHelperMs = Dist::normal(31.0, 7.0);
+    // Wake-word detector and a UI animation loop keep two light
+    // threads alive; the animation streams small GPU packets.
+    PeriodicBurstParams waked;
+    waked.periodMs = Dist::fixed(50.0);
+    waked.burstMs = Dist::normal(0.5, 0.15);
+    p.services.push_back({"wake-word", waked});
+    PeriodicBurstParams anim;
+    anim.periodMs = Dist::fixed(33.3);
+    anim.burstMs = Dist::normal(0.3, 0.1);
+    anim.gpuPacketMs = Dist::normal(0.85, 0.2);
+    p.services.push_back({"animation", anim});
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeBraina()
+{
+    StandardAppParams p;
+    p.spec = {"braina", "Braina 1.43", "Personal Assistant"};
+    p.smtFriendliness = 0.3;
+    p.inputRateHz = 0.167; // one request per six seconds
+    p.inputKind = input::InputKind::VoiceRequest;
+    p.uiBurstMs = Dist::normal(75.0, 18.0);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(9.0, 3.0);
+    p.actionSequence = {"daily news", "weather forecast",
+                        "set alarm", "general knowledge",
+                        "word definition", "simple math"};
+    // Speech feature extraction ticks while listening; no GPU use.
+    PeriodicBurstParams listen;
+    listen.periodMs = Dist::fixed(80.0);
+    listen.burstMs = Dist::normal(0.9, 0.25);
+    p.services.push_back({"listener", listen});
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+} // namespace deskpar::apps

@@ -1,0 +1,259 @@
+#include "apps/blocks.hh"
+
+#include "sim/logging.hh"
+
+namespace deskpar::apps {
+
+sim::WorkUnits
+gpuMs(GpuEngineId engine, double ms)
+{
+    static const sim::GpuSpec kRef = sim::GpuSpec::gtx1080Ti();
+    return kRef.workForMs(engine, ms);
+}
+
+Action
+PeriodicBurst::next(ThreadContext &ctx)
+{
+    while (true) {
+        switch (step_) {
+          case Step::Start:
+            step_ = Step::Compute;
+            {
+                double delay = params_.startDelayMs.sample(*ctx.rng);
+                // Anchor the tick grid at the first burst, so
+                // equal-period threads with equal delays stay
+                // phase-locked regardless of burst lengths.
+                nextTick_ = ctx.now + sim::msec(delay);
+                if (delay > 0.0)
+                    return Action::sleep(sim::msec(delay));
+            }
+            continue;
+
+          case Step::Sleep:
+            if (params_.tickLimit &&
+                ticks_ >= params_.tickLimit) {
+                return Action::exit();
+            }
+            step_ = Step::Compute;
+            if (params_.anchorPeriod) {
+                nextTick_ += sim::msec(
+                    params_.periodMs.sample(*ctx.rng));
+                if (nextTick_ <= ctx.now)
+                    nextTick_ = ctx.now; // overran; realign
+                return Action::sleepUntil(nextTick_);
+            }
+            return Action::sleep(
+                sim::msec(params_.periodMs.sample(*ctx.rng)));
+
+          case Step::Compute: {
+            ++ticks_;
+            step_ = Step::Gpu;
+            double ms = params_.burstMs.sample(*ctx.rng);
+            if (ms > 0.0)
+                return Action::compute(cpuMs(ms));
+            continue;
+          }
+
+          case Step::Gpu: {
+            step_ = params_.gpuSync ? Step::GpuWait : Step::Present;
+            double ms = params_.gpuPacketMs.sample(*ctx.rng);
+            if (ms > 0.0) {
+                return Action::gpuAsync(params_.gpuEngine,
+                                        gpuMs(params_.gpuEngine, ms));
+            }
+            step_ = Step::Present;
+            continue;
+          }
+
+          case Step::GpuWait:
+            step_ = Step::Present;
+            return Action::gpuSync();
+
+          case Step::Present:
+            step_ = Step::Sleep;
+            if (params_.presentsFrame)
+                return Action::present();
+            continue;
+        }
+    }
+}
+
+CrewSync
+makeCrew(sim::Machine &machine, unsigned workers)
+{
+    if (workers == 0)
+        deskpar::fatal("makeCrew: zero workers");
+    CrewSync crew;
+    crew.work = machine.sync().alloc();
+    crew.done = machine.sync().alloc();
+    crew.workers = workers;
+    return crew;
+}
+
+Action
+PoolWorker::next(ThreadContext &ctx)
+{
+    switch (step_) {
+      case Step::Wait:
+        step_ = Step::Compute;
+        return Action::waitSync(crew_.work);
+      case Step::Compute:
+        step_ = Step::Signal;
+        return Action::compute(cpuMs(chunkMs_.sample(*ctx.rng)));
+      case Step::Signal:
+        step_ = Step::Wait;
+        return Action::signalSync(crew_.done);
+    }
+    deskpar::panic("PoolWorker: bad step");
+}
+
+void
+spawnCrewWorkers(sim::SimProcess &process, const CrewSync &crew,
+                 Dist chunk_ms, const std::string &name_prefix)
+{
+    for (unsigned i = 0; i < crew.workers; ++i) {
+        process.createThread(
+            std::make_shared<PoolWorker>(crew, chunk_ms),
+            name_prefix + "-" + std::to_string(i));
+    }
+}
+
+Action
+SignalDrivenWorker::next(ThreadContext &ctx)
+{
+    while (true) {
+        switch (step_) {
+          case Step::Wait:
+            step_ = Step::Compute;
+            return Action::waitSync(trigger_);
+          case Step::Compute: {
+            step_ = Step::Gpu;
+            double ms = burstMs_.sample(*ctx.rng);
+            if (ms > 0.0)
+                return Action::compute(cpuMs(ms));
+            continue;
+          }
+          case Step::Gpu: {
+            step_ = Step::Wait;
+            double ms = gpuMs_.sample(*ctx.rng);
+            if (ms > 0.0)
+                return Action::gpuAsync(engine_, gpuMs(engine_, ms));
+            continue;
+          }
+        }
+    }
+}
+
+Action
+InteractiveUi::next(ThreadContext &ctx)
+{
+    while (true) {
+        switch (step_) {
+          case Step::WaitInput:
+            step_ = Step::HelperSignal;
+            return Action::waitSync(params_.inputChannel);
+
+          case Step::HelperSignal:
+            step_ = Step::Burst;
+            if (params_.helperTrigger != sim::kNoSync) {
+                return Action::signalSync(params_.helperTrigger,
+                                          params_.helperCount);
+            }
+            continue;
+
+          case Step::Burst: {
+            ++inputsSeen_;
+            step_ = Step::Gpu;
+            double ms = params_.uiBurstMs.sample(*ctx.rng);
+            if (ms > 0.0)
+                return Action::compute(cpuMs(ms));
+            continue;
+          }
+
+          case Step::Gpu: {
+            bool phase_due =
+                params_.phaseEveryNthInput != 0 &&
+                params_.crew.workers != 0 &&
+                inputsSeen_ % params_.phaseEveryNthInput == 0;
+            step_ = phase_due ? Step::PhaseSetup : Step::WaitInput;
+            double ms = params_.uiGpuMs.sample(*ctx.rng);
+            if (ms > 0.0) {
+                return Action::gpuAsync(
+                    params_.uiGpuEngine,
+                    gpuMs(params_.uiGpuEngine, ms));
+            }
+            continue;
+          }
+
+          case Step::PhaseSetup:
+            roundsLeft_ = params_.phaseRounds ? params_.phaseRounds
+                                              : 1;
+            step_ = Step::PhaseDispatch;
+            return Action::compute(
+                cpuMs(params_.phaseSetupMs.sample(*ctx.rng)));
+
+          case Step::PhaseDispatch:
+            joinsLeft_ = params_.crew.workers;
+            --roundsLeft_;
+            step_ = Step::PhaseJoin;
+            return Action::signalSync(params_.crew.work,
+                                      params_.crew.workers);
+
+          case Step::PhaseJoin:
+            if (joinsLeft_ > 0) {
+                --joinsLeft_;
+                return Action::waitSync(params_.crew.done);
+            }
+            step_ = roundsLeft_ > 0 ? Step::PhaseDispatch
+                                    : Step::WaitInput;
+            continue;
+        }
+    }
+}
+
+Action
+GpuKernelLoop::next(ThreadContext &ctx)
+{
+    switch (step_) {
+      case Step::Prep: {
+        step_ = Step::Launch;
+        double ms = params_.prepMs.sample(*ctx.rng);
+        if (ms > 0.0)
+            return Action::compute(cpuMs(ms));
+        [[fallthrough]];
+      }
+      case Step::Launch:
+        step_ = Step::Wait;
+        return Action::gpuAsync(
+            params_.engine,
+            gpuMs(params_.engine, params_.kernelMs.sample(*ctx.rng)));
+      case Step::Wait: {
+        step_ = Step::Gap;
+        return Action::gpuSync();
+      }
+      case Step::Gap: {
+        step_ = Step::Prep;
+        double ms = params_.gapMs.sample(*ctx.rng);
+        if (ms > 0.0)
+            return Action::sleep(sim::msec(ms));
+        return next(ctx);
+      }
+    }
+    deskpar::panic("GpuKernelLoop: bad step");
+}
+
+Action
+CpuGrinder::next(ThreadContext &ctx)
+{
+    if (computing_) {
+        computing_ = false;
+        return Action::compute(cpuMs(chunkMs_.sample(*ctx.rng)));
+    }
+    computing_ = true;
+    double gap = gapMs_.sample(*ctx.rng);
+    if (gap > 0.0)
+        return Action::sleep(sim::msec(gap));
+    return Action::compute(cpuMs(chunkMs_.sample(*ctx.rng)));
+}
+
+} // namespace deskpar::apps

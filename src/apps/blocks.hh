@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Reusable thread-behavior building blocks for workload models.
+ *
+ * Workload models compose these blocks into processes:
+ *  - PeriodicBurst:  service/decode/render threads that tick;
+ *  - PoolWorker:     persistent fork-join worker;
+ *  - crewDispatch /  fork-join coordination helpers used by masters;
+ *  - InteractiveUi:  input-driven UI thread with optional parallel
+ *    render phases (the Photoshop-filter pattern);
+ *  - GpuKernelLoop:  back-to-back GPU kernel submission (miners);
+ *  - CpuGrinder:     saturating CPU worker (CPU mining).
+ *
+ * All durations are expressed as Dist (sampled per occurrence from
+ * the process RNG), CPU work in milliseconds at the reference base
+ * clock (3.7 GHz), and GPU work in milliseconds on the reference
+ * GTX 1080 Ti — so one parameterization produces the paper-calibrated
+ * operating point while scaling effects emerge from the machine.
+ */
+
+#ifndef DESKPAR_APPS_BLOCKS_HH
+#define DESKPAR_APPS_BLOCKS_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/behavior.hh"
+#include "sim/dist.hh"
+#include "sim/machine.hh"
+
+namespace deskpar::apps {
+
+using sim::Action;
+using sim::Dist;
+using sim::GpuEngineId;
+using sim::SyncId;
+using sim::ThreadBehavior;
+using sim::ThreadContext;
+
+/** Reference base clock for expressing CPU bursts in milliseconds. */
+inline constexpr double kRefClockGhz = 3.7;
+
+/** CPU work units for @p ms milliseconds at the reference clock. */
+inline sim::WorkUnits
+cpuMs(double ms)
+{
+    return sim::workForMs(ms, kRefClockGhz);
+}
+
+/** GPU work units for @p ms milliseconds on the reference 1080 Ti. */
+sim::WorkUnits gpuMs(GpuEngineId engine, double ms);
+
+/**
+ * Parameters for PeriodicBurst threads.
+ */
+struct PeriodicBurstParams
+{
+    /** Time between burst starts. */
+    Dist periodMs = Dist::fixed(100.0);
+    /** CPU burst per tick (ms at reference clock); may be zero. */
+    Dist burstMs = Dist::fixed(1.0);
+    /** GPU packet per tick (ms on reference GPU); zero disables. */
+    Dist gpuPacketMs = Dist::fixed(0.0);
+    GpuEngineId gpuEngine = GpuEngineId::Graphics3D;
+    /** Wait for the GPU packet to finish before sleeping again. */
+    bool gpuSync = false;
+    /** Present a frame each tick (media/render threads). */
+    bool presentsFrame = false;
+    /** Initial offset before the first tick. */
+    Dist startDelayMs = Dist::fixed(0.0);
+    /** Stop after this many ticks; 0 = run forever. */
+    unsigned tickLimit = 0;
+    /**
+     * Anchor ticks to absolute period boundaries (drift-free), so
+     * same-period threads stay phase-locked — pipeline stages that
+     * process the same frame (decoders, vsync-driven threads).
+     * When false, the thread sleeps for a period *between* bursts.
+     */
+    bool anchorPeriod = false;
+};
+
+/**
+ * A thread that periodically wakes, computes, optionally talks to the
+ * GPU, optionally presents a frame, and sleeps again.
+ */
+class PeriodicBurst : public ThreadBehavior
+{
+  public:
+    explicit PeriodicBurst(PeriodicBurstParams params)
+        : params_(std::move(params))
+    {}
+
+    Action next(ThreadContext &ctx) override;
+
+  private:
+    enum class Step { Start, Sleep, Compute, Gpu, GpuWait, Present };
+
+    PeriodicBurstParams params_;
+    Step step_ = Step::Start;
+    unsigned ticks_ = 0;
+    sim::SimTime nextTick_ = 0;
+};
+
+/**
+ * Fork-join crew handles: allocated once per crew via makeCrew().
+ */
+struct CrewSync
+{
+    SyncId work = sim::kNoSync;
+    SyncId done = sim::kNoSync;
+    unsigned workers = 0;
+};
+
+/** Allocate crew semaphores on @p machine. */
+CrewSync makeCrew(sim::Machine &machine, unsigned workers);
+
+/**
+ * Persistent fork-join worker: waits for a work token, computes a
+ * chunk, signals completion, repeats forever.
+ */
+class PoolWorker : public ThreadBehavior
+{
+  public:
+    PoolWorker(CrewSync crew, Dist chunk_ms)
+        : crew_(crew), chunkMs_(chunk_ms)
+    {}
+
+    Action next(ThreadContext &ctx) override;
+
+  private:
+    enum class Step { Wait, Compute, Signal };
+
+    CrewSync crew_;
+    Dist chunkMs_;
+    Step step_ = Step::Wait;
+};
+
+/** Spawn @p crew.workers PoolWorker threads in @p process. */
+void spawnCrewWorkers(sim::SimProcess &process, const CrewSync &crew,
+                      Dist chunk_ms, const std::string &name_prefix);
+
+/**
+ * Parameters for InteractiveUi threads.
+ */
+struct InteractiveUiParams
+{
+    /** Input channel sync id the thread waits on. */
+    SyncId inputChannel = sim::kNoSync;
+    /** CPU burst per input event. */
+    Dist uiBurstMs = Dist::fixed(2.0);
+    /** GPU packet per input event (ms on reference GPU); 0 = none. */
+    Dist uiGpuMs = Dist::fixed(0.0);
+    GpuEngineId uiGpuEngine = GpuEngineId::Graphics3D;
+    /**
+     * Semaphore signalled per input event before the UI burst runs;
+     * SignalDrivenWorkers listening on it overlap the burst.
+     */
+    SyncId helperTrigger = sim::kNoSync;
+    /** Tokens signalled per event (number of helpers to wake). */
+    unsigned helperCount = 1;
+    /** Every Nth input triggers a parallel crew phase; 0 = never. */
+    unsigned phaseEveryNthInput = 0;
+    /** Crew used for parallel phases. */
+    CrewSync crew;
+    /** Serial master work before the phase is dispatched. */
+    Dist phaseSetupMs = Dist::fixed(1.0);
+    /** Rounds of crew dispatch per phase (chunked fork/join). */
+    unsigned phaseRounds = 1;
+};
+
+/**
+ * Input-driven UI thread: waits for a user event, runs a burst, and
+ * on every Nth event dispatches a fork-join render phase to its crew
+ * (the Photoshop-filter / Excel-sort pattern).
+ */
+class InteractiveUi : public ThreadBehavior
+{
+  public:
+    explicit InteractiveUi(InteractiveUiParams params)
+        : params_(std::move(params))
+    {}
+
+    Action next(ThreadContext &ctx) override;
+
+  private:
+    enum class Step {
+        WaitInput,
+        HelperSignal,
+        Burst,
+        Gpu,
+        PhaseSetup,
+        PhaseDispatch,
+        PhaseJoin,
+    };
+
+    InteractiveUiParams params_;
+    Step step_ = Step::WaitInput;
+    unsigned inputsSeen_ = 0;
+    unsigned joinsLeft_ = 0;
+    unsigned roundsLeft_ = 0;
+};
+
+/**
+ * A worker that bursts whenever its trigger semaphore is signalled
+ * (no completion signal) — used to model work that fans out from a
+ * user interaction and overlaps the UI burst: page loads, background
+ * exports, NLU helpers.
+ */
+class SignalDrivenWorker : public ThreadBehavior
+{
+  public:
+    SignalDrivenWorker(SyncId trigger, Dist burst_ms,
+                       Dist gpu_ms = Dist::fixed(0.0),
+                       GpuEngineId engine = GpuEngineId::Graphics3D)
+        : trigger_(trigger), burstMs_(burst_ms), gpuMs_(gpu_ms),
+          engine_(engine)
+    {}
+
+    Action next(ThreadContext &ctx) override;
+
+  private:
+    enum class Step { Wait, Compute, Gpu };
+
+    SyncId trigger_;
+    Dist burstMs_;
+    Dist gpuMs_;
+    GpuEngineId engine_;
+    Step step_ = Step::Wait;
+};
+
+/**
+ * Parameters for GpuKernelLoop threads.
+ */
+struct GpuKernelLoopParams
+{
+    /** Kernel size, ms on the reference GPU. */
+    Dist kernelMs = Dist::fixed(50.0);
+    GpuEngineId engine = GpuEngineId::Compute;
+    /** CPU-side preparation per kernel (ms at reference clock). */
+    Dist prepMs = Dist::fixed(0.2);
+    /** Idle gap inserted between kernels (unoptimized paths). */
+    Dist gapMs = Dist::fixed(0.0);
+};
+
+/**
+ * Submits GPU kernels back to back: prep on CPU, launch, wait,
+ * optional gap, repeat (cryptocurrency mining, GPU export).
+ */
+class GpuKernelLoop : public ThreadBehavior
+{
+  public:
+    explicit GpuKernelLoop(GpuKernelLoopParams params)
+        : params_(std::move(params))
+    {}
+
+    Action next(ThreadContext &ctx) override;
+
+  private:
+    enum class Step { Prep, Launch, Wait, Gap };
+
+    GpuKernelLoopParams params_;
+    Step step_ = Step::Prep;
+};
+
+/**
+ * A CPU-saturating worker: computes chunks forever with optional
+ * tiny gaps (CPU mining threads).
+ */
+class CpuGrinder : public ThreadBehavior
+{
+  public:
+    CpuGrinder(Dist chunk_ms, Dist gap_ms = Dist::fixed(0.0))
+        : chunkMs_(chunk_ms), gapMs_(gap_ms)
+    {}
+
+    Action next(ThreadContext &ctx) override;
+
+  private:
+    Dist chunkMs_;
+    Dist gapMs_;
+    bool computing_ = true;
+};
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_BLOCKS_HH

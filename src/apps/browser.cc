@@ -1,0 +1,290 @@
+#include "apps/browser.hh"
+
+#include <memory>
+#include <string>
+
+#include "apps/blocks.hh"
+#include "apps/startup.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+/** Engine-specific structure and cost knobs. */
+struct EngineTraits
+{
+    const char *name;
+    /** Renderer processes per site instance (Chrome's model). */
+    bool processPerSite;
+    /** Content processes cap (Firefox uses a small pool). */
+    unsigned rendererCap;
+    /** Raster/tile workers per active renderer (Blink uses >1). */
+    unsigned rasterWorkers;
+    /** Compositor GPU packet per 60 Hz frame, ms on ref GPU. */
+    double gpuFrameMs;
+    /** Main-process burst per user event. */
+    double mainBurstMs;
+    /** Renderer layout/JS burst scale. */
+    double rendererBurstMs;
+};
+
+EngineTraits
+traitsOf(BrowserEngine engine)
+{
+    switch (engine) {
+      case BrowserEngine::Chrome:
+        return {"chrome", true, 10, 2, 0.30, 2.2, 4.2};
+      case BrowserEngine::Firefox:
+        // Fewer content processes; more GPU work to match.
+        return {"firefox", false, 4, 2, 0.90, 2.4, 4.4};
+      case BrowserEngine::Edge:
+        return {"edge", false, 2, 1, 0.12, 2.0, 3.6};
+    }
+    deskpar::panic("traitsOf: bad engine");
+}
+
+/** Scenario-specific site mix. */
+struct ScenarioTraits
+{
+    const char *name;
+    unsigned sites;         ///< distinct site instances
+    bool multiTab;          ///< inactive tabs exist (throttled)
+    double activityScale;   ///< active-content factor (ESPN high)
+    bool hasVideo;          ///< YouTube-style video present
+    double videoDuty;       ///< fraction of the run the video plays
+};
+
+ScenarioTraits
+traitsOf(BrowseScenario scenario)
+{
+    switch (scenario) {
+      case BrowseScenario::MultiTab:
+        return {"multi-tab", 5, true, 1.0, true, 1.0};
+      case BrowseScenario::SingleTab:
+        return {"single-tab", 5, false, 1.0, true, 0.35};
+      case BrowseScenario::Espn:
+        return {"espn", 1, false, 1.8, false, 0.0};
+      case BrowseScenario::Wiki:
+        return {"wiki", 1, false, 0.25, false, 0.0};
+    }
+    deskpar::panic("traitsOf: bad scenario");
+}
+
+class BrowserModel : public WorkloadModel
+{
+  public:
+    BrowserModel(BrowserEngine engine, BrowseScenario scenario)
+        : engine_(traitsOf(engine)), scenario_(traitsOf(scenario))
+    {
+        spec_ = {engine_.name,
+                 std::string(engine_.name) + " (" +
+                     scenario_.name + ")",
+                 "Web Browsing"};
+    }
+
+    const AppSpec &spec() const override { return spec_; }
+
+    AppInstance
+    instantiate(sim::Machine &machine) override
+    {
+        // Every user interaction fans out through the process tree:
+        // network fetch in the main process, parse/layout in the
+        // active renderer, raster in the GPU process. They all
+        // listen on one load trigger the UI thread signals.
+        sim::SyncId load = machine.sync().alloc();
+        unsigned listeners = 0;
+
+        // Browser (main) process: UI thread + network service.
+        auto &main = machine.createProcess(engine_.name, 0.3);
+        spawnStartupBurst(machine, main);
+        InteractiveUiParams ui;
+        ui.inputChannel = machine.inputChannel(
+            input::channelOf(input::InputKind::MouseClick));
+        ui.uiBurstMs = Dist::normal(engine_.mainBurstMs,
+                                    engine_.mainBurstMs * 0.3);
+        ui.helperTrigger = load;
+        main.createThread(
+            std::make_shared<SignalDrivenWorker>(
+                load, Dist::normal(1.5, 0.5)),
+            "network");
+        ++listeners;
+        PeriodicBurstParams net;
+        net.periodMs = Dist::exponential(90.0 /
+                                         scenario_.activityScale);
+        net.burstMs = Dist::normal(0.8, 0.25);
+        main.createThread(std::make_shared<PeriodicBurst>(net),
+                          "io-poll");
+
+        // GPU process: 60 Hz compositor, plus video decode when a
+        // video tab is playing.
+        auto &gpu = machine.createProcess(
+            std::string(engine_.name) + "-gpu", 0.3);
+        PeriodicBurstParams compositor;
+        compositor.periodMs = Dist::fixed(16.7);
+        compositor.burstMs = Dist::normal(1.8, 0.45);
+        compositor.startDelayMs = Dist::fixed(1.0);
+        compositor.anchorPeriod = true;
+        compositor.gpuPacketMs = Dist::normal(
+            engine_.gpuFrameMs * scenario_.activityScale,
+            engine_.gpuFrameMs * 0.15);
+        gpu.createThread(std::make_shared<PeriodicBurst>(compositor),
+                         "compositor");
+        gpu.createThread(
+            std::make_shared<SignalDrivenWorker>(
+                load, Dist::normal(1.2, 0.4),
+                Dist::normal(1.5 * scenario_.activityScale, 0.4)),
+            "raster");
+        ++listeners;
+        if (scenario_.hasVideo) {
+            PeriodicBurstParams video;
+            video.periodMs = Dist::fixed(33.3);
+            video.burstMs = Dist::normal(
+                0.3 * scenario_.videoDuty, 0.1);
+            video.gpuPacketMs = Dist::normal(
+                1.1 * scenario_.videoDuty, 0.25);
+            video.gpuEngine = GpuEngineId::VideoDecode;
+            video.presentsFrame = true;
+            gpu.createThread(std::make_shared<PeriodicBurst>(video),
+                             "video-decode");
+        }
+
+        // Renderer processes. Multi-tab keeps one process per open
+        // site (plus subframe processes for Chrome); a single tab
+        // only keeps the current page and the one being torn down.
+        unsigned renderers =
+            engine_.processPerSite
+                ? scenario_.sites +
+                      (scenario_.activityScale > 1.2 ? 2 : 1)
+                : std::min<unsigned>(engine_.rendererCap,
+                                     scenario_.sites);
+        if (!scenario_.multiTab)
+            renderers = std::min(renderers,
+                                 engine_.processPerSite ? 3u : 2u);
+        if (scenario_.sites == 1 && engine_.processPerSite &&
+            scenario_.activityScale > 1.2) {
+            renderers = 3; // ESPN: main frame + ad/subframe processes
+        }
+
+        for (unsigned r = 0; r < renderers; ++r) {
+            auto &proc = machine.createProcess(
+                std::string(engine_.name) + "-renderer-" +
+                    std::to_string(r),
+                0.3);
+            // Only the foreground page renders every vsync; other
+            // processes are throttled background tabs (Chrome
+            // 57-style) or lightly active subframes.
+            bool active = r == 0;
+            bool subframe = !active && scenario_.sites == 1;
+            if (active) {
+                // Vsync-driven rendering pipeline: the renderer main
+                // thread (JS/style/layout) and its raster worker run
+                // every frame, phase-locked with the compositor —
+                // the parallel content loading the paper credits
+                // multi-process browsers with.
+                double burst = engine_.rendererBurstMs *
+                               scenario_.activityScale;
+                PeriodicBurstParams layout;
+                layout.periodMs = Dist::fixed(16.7);
+                layout.burstMs = Dist::normal(burst, burst * 0.15);
+                layout.startDelayMs = Dist::fixed(0.0);
+                layout.anchorPeriod = true;
+                proc.createThread(
+                    std::make_shared<PeriodicBurst>(layout),
+                    "main");
+                for (unsigned w = 0; w < engine_.rasterWorkers;
+                     ++w) {
+                    PeriodicBurstParams raster;
+                    raster.periodMs = Dist::fixed(16.7);
+                    raster.burstMs = Dist::normal(
+                        burst * (w == 0 ? 1.0 : 0.22),
+                        burst * 0.15);
+                    raster.startDelayMs =
+                        Dist::fixed(0.5 + 0.3 * w);
+                    raster.anchorPeriod = true;
+                    proc.createThread(
+                        std::make_shared<PeriodicBurst>(raster),
+                        "raster-" + std::to_string(w));
+                }
+            } else if (subframe) {
+                // Ad/embed subframe process: animated ads render on
+                // the same vsync grid as the main frame.
+                PeriodicBurstParams layout;
+                layout.periodMs = Dist::fixed(33.3);
+                layout.burstMs = Dist::normal(2.4, 0.5);
+                layout.startDelayMs = Dist::fixed(0.0);
+                layout.anchorPeriod = true;
+                proc.createThread(
+                    std::make_shared<PeriodicBurst>(layout),
+                    "subframe");
+            } else {
+                PeriodicBurstParams layout;
+                layout.periodMs = Dist::exponential(600.0);
+                layout.burstMs = Dist::normal(0.8, 0.3);
+                layout.startDelayMs = Dist::uniform(0.0, 50.0);
+                proc.createThread(
+                    std::make_shared<PeriodicBurst>(layout),
+                    "layout");
+            }
+            if (active) {
+                // Parse/style/layout burst on each navigation.
+                proc.createThread(
+                    std::make_shared<SignalDrivenWorker>(
+                        load,
+                        Dist::normal(
+                            4.5 * scenario_.activityScale, 1.2)),
+                    "page-load");
+                ++listeners;
+            }
+            if (active && scenario_.activityScale >= 1.0) {
+                PeriodicBurstParams worker;
+                worker.periodMs = Dist::exponential(70.0);
+                worker.burstMs = Dist::normal(
+                    1.6 * scenario_.activityScale, 0.5);
+                worker.startDelayMs = Dist::uniform(0.0, 60.0);
+                proc.createThread(
+                    std::make_shared<PeriodicBurst>(worker),
+                    "js-worker");
+            }
+        }
+
+        ui.helperCount = listeners;
+        main.createThread(std::make_shared<InteractiveUi>(ui), "ui");
+
+        AppInstance instance;
+        instance.processPrefix = engine_.name;
+        // Browsing interactions: scrolls and clicks at ~2 Hz.
+        auto count = static_cast<unsigned>(
+            sim::toSeconds(duration()) * 2.0);
+        instance.script.every(sim::msec(500), sim::msec(500), count,
+                              input::InputKind::MouseClick);
+        return instance;
+    }
+
+  private:
+    EngineTraits engine_;
+    ScenarioTraits scenario_;
+    AppSpec spec_;
+};
+
+} // namespace
+
+const char *
+browserName(BrowserEngine engine)
+{
+    return traitsOf(engine).name;
+}
+
+const char *
+scenarioName(BrowseScenario scenario)
+{
+    return traitsOf(scenario).name;
+}
+
+WorkloadPtr
+makeBrowser(BrowserEngine engine, BrowseScenario scenario)
+{
+    return std::make_unique<BrowserModel>(engine, scenario);
+}
+
+} // namespace deskpar::apps

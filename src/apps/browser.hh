@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Web-browsing workloads (Table II category 6 and the Figure 11
+ * scenario study). Browsers are the suite's multi-process
+ * applications: a main/browser process, a GPU/compositor process,
+ * and per-site renderer processes (with background-tab throttling),
+ * which is why their application-level TLP spans several pids.
+ */
+
+#ifndef DESKPAR_APPS_BROWSER_HH
+#define DESKPAR_APPS_BROWSER_HH
+
+#include "apps/app.hh"
+
+namespace deskpar::apps {
+
+/** The three browsers of the paper. */
+enum class BrowserEngine { Chrome, Firefox, Edge };
+
+/** The paper's four browsing tests (Section IV-E). */
+enum class BrowseScenario {
+    MultiTab,  ///< YouTube + ESPN + CNN + BestBuy + flash, one tab each
+    SingleTab, ///< the same sites visited in a single tab
+    Espn,      ///< ESPN only: plenty of active content
+    Wiki,      ///< Wikipedia only: little active content
+};
+
+/** Name of a browser engine ("chrome", "firefox", "edge"). */
+const char *browserName(BrowserEngine engine);
+
+/** Name of a scenario ("multi-tab", ...). */
+const char *scenarioName(BrowseScenario scenario);
+
+/** Build a browser workload for @p engine running @p scenario. */
+WorkloadPtr makeBrowser(BrowserEngine engine,
+                        BrowseScenario scenario =
+                            BrowseScenario::MultiTab);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_BROWSER_HH

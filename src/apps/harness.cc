@@ -1,0 +1,85 @@
+#include "apps/harness.hh"
+
+#include "apps/noise.hh"
+#include "apps/registry.hh"
+#include "input/driver.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::apps {
+
+AppRunResult
+runWorkload(WorkloadModel &model, const RunOptions &options)
+{
+    if (options.iterations == 0)
+        fatal("runWorkload: zero iterations");
+
+    AppRunResult result;
+    result.agg.app = model.spec().name;
+
+    sim::SimDuration duration =
+        options.duration ? options.duration : model.duration();
+
+    for (unsigned iter = 0; iter < options.iterations; ++iter) {
+        sim::MachineConfig config = options.config;
+        config.seed = options.seedBase + iter * 7919;
+        sim::Machine machine(config);
+
+        machine.session().start(machine.now());
+        if (options.noiseIntensity > 0.0)
+            spawnBackgroundNoise(machine, options.noiseIntensity);
+        AppInstance instance = model.instantiate(machine);
+
+        if (!instance.script.empty()) {
+            if (options.manualInput) {
+                input::ManualDriver driver;
+                driver.install(machine, instance.script);
+            } else {
+                input::AutomationDriver driver;
+                driver.install(machine, instance.script);
+            }
+        }
+
+        machine.run(duration);
+        machine.session().stop(machine.now());
+        trace::TraceBundle bundle = machine.session().takeBundle();
+
+        trace::PidSet pids =
+            trace::pidsWithPrefix(bundle, instance.processPrefix);
+        if (pids.empty()) {
+            fatal("runWorkload: no processes matched prefix " +
+                  instance.processPrefix);
+        }
+
+        IterationResult ir;
+        ir.metrics = analysis::analyzeApp(bundle, pids);
+        ir.sched = machine.scheduler().stats();
+        for (trace::Pid pid : pids)
+            ir.gpuWork += machine.gpu().completedWork(pid);
+
+        result.agg.add(ir.metrics);
+        result.fps.add(ir.metrics.frames.avgFps);
+        double span = sim::toSeconds(bundle.duration());
+        if (span > 0.0) {
+            auto real = static_cast<double>(
+                ir.metrics.frames.frames -
+                ir.metrics.frames.synthesizedFrames);
+            result.realFps.add(real / span);
+        }
+        result.iterations.push_back(std::move(ir));
+
+        if (iter + 1 == options.iterations) {
+            result.lastPids = pids;
+            result.lastBundle = std::move(bundle);
+        }
+    }
+    return result;
+}
+
+AppRunResult
+runWorkload(const std::string &id, const RunOptions &options)
+{
+    WorkloadPtr model = makeWorkload(id);
+    return runWorkload(*model, options);
+}
+
+} // namespace deskpar::apps

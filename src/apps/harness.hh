@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The experiment harness: runs a workload model for N iterations on
+ * configured machines, reproducing the paper's measurement loop of
+ * Figure 1 (start app -> start trace -> drive inputs -> stop ->
+ * analyze), and aggregates the per-iteration metrics.
+ */
+
+#ifndef DESKPAR_APPS_HARNESS_HH
+#define DESKPAR_APPS_HARNESS_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hh"
+#include "apps/app.hh"
+#include "sim/machine.hh"
+#include "trace/session.hh"
+
+namespace deskpar::apps {
+
+/**
+ * Options for one experiment (iterations share everything except
+ * the seed).
+ */
+struct RunOptions
+{
+    sim::MachineConfig config = sim::MachineConfig::paperDefault();
+    unsigned iterations = 3;
+    std::uint64_t seedBase = 1;
+    /** 0 = use the model's duration(). */
+    sim::SimDuration duration = 0;
+    /** Drive inputs manually (jittered) instead of via automation. */
+    bool manualInput = false;
+    /**
+     * Spawn OS background noise alongside the application (the
+     * processes the paper kills before tracing); 0 disables,
+     * 1.0 is a typical idle desktop. Application-level filtering
+     * keeps the app metrics clean either way.
+     */
+    double noiseIntensity = 0.0;
+};
+
+/**
+ * Metrics of one iteration.
+ */
+struct IterationResult
+{
+    analysis::AppMetrics metrics;
+    sim::SchedulerStats sched;
+    /** GPU work units completed for the app (hash-rate style). */
+    double gpuWork = 0.0;
+};
+
+/**
+ * Aggregated result of an experiment.
+ */
+struct AppRunResult
+{
+    analysis::IterationAggregate agg;
+    std::vector<IterationResult> iterations;
+    /** Presented/transcoded frames per second across iterations. */
+    analysis::RunningStat fps;
+    /** Real (non-synthesized) frames per second. */
+    analysis::RunningStat realFps;
+    /** Trace of the last iteration (timeline figures). */
+    trace::TraceBundle lastBundle;
+    /** Pid set of the app in lastBundle. */
+    trace::PidSet lastPids;
+
+    double tlp() const { return agg.tlp.mean(); }
+    double gpuUtil() const { return agg.gpuUtil.mean(); }
+};
+
+/** Run @p model under @p options. */
+AppRunResult runWorkload(WorkloadModel &model,
+                         const RunOptions &options);
+
+/** Convenience: look up the workload by registry id and run it. */
+AppRunResult runWorkload(const std::string &id,
+                         const RunOptions &options);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_HARNESS_HH

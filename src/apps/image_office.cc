@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Image-authoring and office workload models (Table II categories 1
+ * and 2), built on StandardAppModel.
+ *
+ * Calibration targets (TLP / GPU%): Photoshop 8.6/1.6, Maya 2.7/9.9,
+ * AutoCAD 1.2/9.0, Acrobat 1.3/0.0, Excel 2.1/2.1, PowerPoint
+ * 1.2/4.0, Word 1.3/1.7, Outlook 1.3/2.5.
+ */
+
+#include "apps/standard.hh"
+#include "apps/suite.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+StandardAppParams::Service
+service(std::string name, PeriodicBurstParams params)
+{
+    return StandardAppParams::Service{std::move(name),
+                                      std::move(params)};
+}
+
+} // namespace
+
+WorkloadPtr
+makePhotoshop()
+{
+    StandardAppParams p;
+    p.spec = {"photoshop", "Adobe Photoshop CC", "Image Authoring"};
+    // Filter rendering is embarrassingly parallel and dominates busy
+    // time; user interaction is serial and bursty.
+    p.smtFriendliness = 0.35;
+    p.llcFootprintMiB = 10.0; // the 100-megapixel photograph
+    p.inputRateHz = 1.0;
+    p.uiBurstMs = Dist::normal(7.0, 1.5);
+    p.uiGpuMs = Dist::fixed(0.2);
+    p.actionSequence = {"pan canvas", "zoom", "apply filter",
+                        "adjust layers", "select region",
+                        "apply filter"};
+    p.renderWorkers = 12;
+    p.workerChunkMs = Dist::normal(26.0, 4.0);
+    p.phaseEveryNthInput = 3; // a filter every ~3 interactions
+    p.phaseRounds = 4;
+    p.phaseSetupMs = Dist::normal(2.0, 0.5);
+    // Canvas compositor keeps a light GPU stream alive.
+    PeriodicBurstParams compositor;
+    compositor.periodMs = Dist::fixed(100.0);
+    compositor.burstMs = Dist::normal(0.4, 0.1);
+    compositor.gpuPacketMs = Dist::normal(1.6, 0.3);
+    p.services.push_back(service("compositor", compositor));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeMaya()
+{
+    StandardAppParams p;
+    p.spec = {"maya", "Autodesk Maya 3D 2019", "Image Authoring"};
+    // Software raytrace phases use a moderate worker pool; hardware
+    // rendering streams sizable packets to the 3D engine.
+    p.smtFriendliness = 0.30;
+    p.inputRateHz = 1.0;
+    p.uiBurstMs = Dist::normal(9.0, 2.0);
+    p.uiGpuMs = Dist::fixed(0.5);
+    p.actionSequence = {"rotate camera", "pan", "zoom",
+                        "smooth mesh", "software render",
+                        "hardware render"};
+    p.renderWorkers = 8;
+    p.workerChunkMs = Dist::normal(20.0, 3.5);
+    p.phaseEveryNthInput = 4;
+    p.phaseRounds = 2;
+    p.phaseSetupMs = Dist::normal(4.0, 1.0);
+    PeriodicBurstParams viewport;
+    viewport.periodMs = Dist::fixed(33.3);
+    viewport.burstMs = Dist::normal(0.8, 0.2);
+    viewport.gpuPacketMs = Dist::normal(3.3, 0.5);
+    p.services.push_back(service("hw-render", viewport));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeAutoCad()
+{
+    StandardAppParams p;
+    p.spec = {"autocad", "Autodesk AutoCAD LT", "Image Authoring"};
+    // CAD editing is essentially serial; the 3D viewport keeps the
+    // GPU moderately busy redrawing the floorplan.
+    p.smtFriendliness = 0.25;
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(4.5, 1.0);
+    p.uiGpuMs = Dist::fixed(0.6);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(2.6, 0.7);
+    p.actionSequence = {"pan", "zoom", "draw", "fillet edges",
+                        "mirror", "enter text"};
+    PeriodicBurstParams viewport;
+    viewport.periodMs = Dist::fixed(33.3);
+    viewport.burstMs = Dist::normal(0.5, 0.15);
+    viewport.gpuPacketMs = Dist::normal(3.0, 0.4);
+    p.services.push_back(service("viewport", viewport));
+    PeriodicBurstParams regen;
+    regen.periodMs = Dist::normal(400.0, 50.0);
+    regen.burstMs = Dist::normal(2.0, 0.5);
+    p.services.push_back(service("regen", regen));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeAcrobat()
+{
+    StandardAppParams p;
+    p.spec = {"acrobat", "Adobe Acrobat Pro DC", "Office"};
+    // PDF manipulation: serial UI work plus an indexing service;
+    // no measurable GPU usage (Table II reports 0.0%).
+    p.smtFriendliness = 0.25;
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(6.0, 1.5);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(2.8, 0.8);
+    p.actionSequence = {"scan document", "combine files",
+                        "move pages", "insert link",
+                        "add watermark", "sign",
+                        "export to slides"};
+    PeriodicBurstParams indexer;
+    indexer.periodMs = Dist::normal(350.0, 60.0);
+    indexer.burstMs = Dist::normal(3.5, 1.0);
+    p.services.push_back(service("indexer", indexer));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeExcel()
+{
+    StandardAppParams p;
+    p.spec = {"excel", "Microsoft Excel 2016", "Office"};
+    // The 1M-row workbook: recalculation uses the multithreaded
+    // engine in short full-width phases (Excel touches all 12
+    // logical CPUs; the paper highlights 3.7% of time at max TLP).
+    p.smtFriendliness = 0.35;
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(4.0, 1.0);
+    p.uiGpuMs = Dist::fixed(0.3);
+    p.actionSequence = {"copy columns", "zoom", "pan",
+                        "change layout", "compute means",
+                        "sort rows", "filter rows",
+                        "plot histogram"};
+    p.renderWorkers = 12;
+    p.workerChunkMs = Dist::normal(3.6, 0.9);
+    p.phaseEveryNthInput = 6; // sort / mean / filter operations
+    p.phaseRounds = 1;
+    p.phaseSetupMs = Dist::normal(1.5, 0.4);
+    PeriodicBurstParams redraw;
+    redraw.periodMs = Dist::fixed(60.0);
+    redraw.burstMs = Dist::normal(0.5, 0.1);
+    redraw.gpuPacketMs = Dist::normal(1.2, 0.2);
+    p.services.push_back(service("grid-redraw", redraw));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeOutlook()
+{
+    StandardAppParams p;
+    p.spec = {"outlook", "Microsoft Outlook 2016", "Office"};
+    p.smtFriendliness = 0.25;
+    p.inputRateHz = 1.5;
+    p.uiBurstMs = Dist::normal(5.0, 1.2);
+    p.uiGpuMs = Dist::fixed(0.3);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(4.6, 1.0);
+    p.actionSequence = {"compose email", "save draft",
+                        "delete draft", "search", "reply",
+                        "delete email", "recover email",
+                        "move to junk", "categorize", "filter"};
+    PeriodicBurstParams sync;
+    sync.periodMs = Dist::normal(450.0, 80.0);
+    sync.burstMs = Dist::normal(5.0, 1.5);
+    p.services.push_back(service("mail-sync", sync));
+    PeriodicBurstParams render;
+    render.periodMs = Dist::fixed(60.0);
+    render.burstMs = Dist::normal(0.4, 0.1);
+    render.gpuPacketMs = Dist::normal(1.4, 0.3);
+    p.services.push_back(service("list-render", render));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makePowerPoint()
+{
+    StandardAppParams p;
+    p.spec = {"powerpoint", "Microsoft PowerPoint 2016", "Office"};
+    // Shape animation keeps a steady GPU stream (4%); editing is
+    // serial.
+    p.smtFriendliness = 0.25;
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(4.5, 1.0);
+    p.uiGpuMs = Dist::fixed(0.4);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(1.8, 0.5);
+    p.actionSequence = {"add bullet points", "format text",
+                        "add shapes", "animate shapes",
+                        "insert picture", "scale picture",
+                        "rotate picture", "create table",
+                        "fill table"};
+    PeriodicBurstParams animate;
+    animate.periodMs = Dist::fixed(33.3);
+    animate.burstMs = Dist::normal(0.35, 0.1);
+    animate.gpuPacketMs = Dist::normal(1.32, 0.25);
+    p.services.push_back(service("animation", animate));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeWord()
+{
+    StandardAppParams p;
+    p.spec = {"word", "Microsoft Word 2016", "Office"};
+    p.smtFriendliness = 0.25;
+    p.inputRateHz = 3.0; // typing
+    p.uiBurstMs = Dist::normal(2.2, 0.6);
+    p.uiGpuMs = Dist::fixed(0.15);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(2.6, 0.6);
+    p.actionSequence = {"add text", "delete text",
+                        "change formatting", "insert image",
+                        "scale image", "move image"};
+    PeriodicBurstParams spellcheck;
+    spellcheck.periodMs = Dist::normal(300.0, 50.0);
+    spellcheck.burstMs = Dist::normal(4.0, 1.2);
+    p.services.push_back(service("proofing", spellcheck));
+    PeriodicBurstParams paint;
+    paint.periodMs = Dist::fixed(66.7);
+    paint.burstMs = Dist::normal(0.3, 0.1);
+    paint.gpuPacketMs = Dist::normal(1.0, 0.2);
+    p.services.push_back(service("paint", paint));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+} // namespace deskpar::apps

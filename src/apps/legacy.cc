@@ -1,0 +1,203 @@
+#include "apps/legacy.hh"
+
+#include "apps/standard.hh"
+#include "apps/video.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+/** GPU work sized as milliseconds on the GTX 285 (2010 packets were
+ *  authored for 2010 boards, not for a 1080 Ti). */
+sim::WorkUnits
+gpu285Ms(GpuEngineId engine, double ms)
+{
+    static const sim::GpuSpec kBoard = sim::GpuSpec::gtx285();
+    return kBoard.workForMs(engine, ms);
+}
+
+/** PeriodicBurst whose GPU packet is sized for the GTX 285. */
+StandardAppParams::Service
+gpu285Service(std::string name, double period_ms, double burst_ms,
+              double gpu_ms,
+              GpuEngineId engine = GpuEngineId::Graphics3D)
+{
+    StandardAppParams::Service service;
+    service.name = std::move(name);
+    service.params.periodMs = Dist::fixed(period_ms);
+    service.params.burstMs = Dist::normal(burst_ms, burst_ms * 0.25);
+    // Re-express the 285-milliseconds in reference-board units (the
+    // blocks helper divides by the 1080 Ti rate at submission).
+    double ref_ms = gpu285Ms(engine, gpu_ms) /
+                    sim::GpuSpec::gtx1080Ti().throughput(engine) *
+                    1e3;
+    service.params.gpuPacketMs = Dist::normal(ref_ms, ref_ms * 0.1);
+    service.params.gpuEngine = engine;
+    service.params.anchorPeriod = true;
+    return service;
+}
+
+} // namespace
+
+sim::MachineConfig
+blake2010Config()
+{
+    sim::MachineConfig config;
+    sim::CpuSpec cpu = sim::CpuSpec::xeon2010();
+    // Dual socket x 4 cores modeled as one 8-core package; no turbo
+    // on the 2010 part, 2-way SMT, 8 MiB LLC per socket.
+    cpu.model = "2x Intel Xeon (Nehalem), 4 cores each";
+    cpu.physicalCores = 8;
+    cpu.llcMiB = 16;
+    cpu.ramGiB = 6;
+    cpu.tdpWatts = 160.0;
+    cpu.idleWatts = 25.0;
+    config.cpu = cpu;
+    config.gpu = sim::GpuSpec::gtx285();
+    config.activeCpus = 16;
+    config.smtEnabled = true;
+    return config;
+}
+
+WorkloadPtr
+makePhotoshopCs4()
+{
+    StandardAppParams p;
+    p.spec = {"photoshop-cs4", "Adobe Photoshop CS4 (2010)",
+              "Image Authoring"};
+    p.smtFriendliness = 0.3;
+    p.inputRateHz = 1.0;
+    p.uiBurstMs = Dist::normal(8.0, 2.0);
+    // 2010 filters: a 2-wide pool, not the 12-wide CC engine.
+    p.renderWorkers = 2;
+    p.workerChunkMs = Dist::normal(24.0, 4.0);
+    p.phaseEveryNthInput = 3;
+    p.phaseRounds = 2;
+    p.services.push_back(
+        gpu285Service("compositor", 100.0, 0.4, 4.0));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeExcel2007()
+{
+    StandardAppParams p;
+    p.spec = {"excel-2007", "Microsoft Excel 2007", "Office"};
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(5.0, 1.2);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(3.2, 0.8);
+    p.services.push_back(
+        gpu285Service("grid-redraw", 60.0, 0.5, 1.5));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeWord2007()
+{
+    StandardAppParams p;
+    p.spec = {"word-2007", "Microsoft Word 2007", "Office"};
+    p.inputRateHz = 3.0;
+    p.uiBurstMs = Dist::normal(2.5, 0.6);
+    p.uiHelpers = 1;
+    p.uiHelperMs = Dist::normal(2.2, 0.6);
+    p.services.push_back(gpu285Service("paint", 66.7, 0.4, 1.3));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeHandBrake09()
+{
+    TranscoderParams p;
+    p.spec = {"handbrake-09", "HandBrake 0.9 (2010)",
+              "Video Transcoding"};
+    p.smtFriendliness = 0.15;
+    p.parallelFrameMs = 200.0;
+    p.serialFrameMs = 21.0;
+    p.workersPerLogicalCpu = 1.0;
+    p.maxWorkers = 16;
+    p.previewGpuMs = 0.01; // ~0.5 ms on the GTX 285
+    return std::make_unique<TranscoderModel>(std::move(p));
+}
+
+WorkloadPtr
+makeFirefox35()
+{
+    // 2010 browsers ran single-process: one UI/content thread plus
+    // a garbage collector and a compositor — the model whose higher
+    // single-tab TLP (GC churn on navigation) the paper contrasts
+    // with today's multi-process designs.
+    StandardAppParams p;
+    p.spec = {"firefox-35", "Mozilla Firefox 3.5", "Web Browsing"};
+    p.inputRateHz = 3.0;
+    p.uiBurstMs = Dist::normal(6.0, 1.8);
+    // GC + layout helpers after each navigation: the garbage-
+    // collection churn the paper credits with 2010's higher
+    // single-tab TLP.
+    p.uiHelpers = 2;
+    p.uiHelperMs = Dist::normal(5.0, 1.5);
+    p.services.push_back(
+        gpu285Service("compositor", 33.3, 0.7, 1.65));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeQuicktime76()
+{
+    StandardAppParams p;
+    p.spec = {"quicktime-76", "QuickTime 7.6 (2010)",
+              "Media Playback"};
+    p.smtFriendliness = 0.4;
+    p.inputRateHz = 0.2;
+    p.uiBurstMs = Dist::normal(3.0, 0.8);
+    // Two aligned decode threads: the 2010 player's TLP of ~2.
+    for (int i = 0; i < 2; ++i) {
+        StandardAppParams::Service decode;
+        decode.name = "decode-" + std::to_string(i);
+        decode.params.periodMs = Dist::fixed(33.3);
+        decode.params.burstMs = Dist::normal(3.2, 0.8);
+        decode.params.startDelayMs = Dist::fixed(4.0);
+        decode.params.anchorPeriod = true;
+        p.services.push_back(decode);
+    }
+    auto render = gpu285Service("render", 33.3, 0.5, 5.0,
+                                GpuEngineId::VideoDecode);
+    render.params.presentsFrame = true;
+    render.params.startDelayMs = Dist::fixed(4.2);
+    p.services.push_back(render);
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makePowerDirector7()
+{
+    StandardAppParams p;
+    p.spec = {"powerdirector-7", "CyberLink PowerDirector v7",
+              "Video Authoring"};
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(6.0, 1.5);
+    p.renderWorkers = 5;
+    p.workerChunkMs = Dist::normal(28.0, 4.0);
+    p.phaseEveryNthInput = 2;
+    p.phaseRounds = 4;
+    p.services.push_back(
+        gpu285Service("preview", 33.3, 0.6, 3.3));
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+const std::vector<LegacyEntry> &
+legacySuite()
+{
+    static const std::vector<LegacyEntry> kSuite = {
+        {"photoshop-cs4", makePhotoshopCs4, 1.7, 4.0},
+        {"excel-2007", makeExcel2007, 1.5, 2.5},
+        {"word-2007", makeWord2007, 1.4, 2.0},
+        {"handbrake-09", makeHandBrake09, 8.3, 1.0},
+        {"firefox-35", makeFirefox35, 1.8, 5.0},
+        {"quicktime-76", makeQuicktime76, 2.0, 15.0},
+        {"powerdirector-7", makePowerDirector7, 4.0, 10.0},
+    };
+    return kSuite;
+}
+
+} // namespace deskpar::apps

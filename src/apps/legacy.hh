@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The 2010 testbed replication: period-appropriate workload models
+ * for the Blake et al. comparison machine (dual-socket Nehalem-era
+ * Xeon, GTX 285) so the "18-year perspective" can be replayed inside
+ * one toolkit. The paper's Section II summarizes the 2010 findings
+ * this module reproduces: "2-3 processor cores were still more than
+ * sufficient for most applications and the GPU was mostly
+ * underutilized."
+ *
+ * Models are calibrated to the 2010 bars of Figures 2-3 (see
+ * report/history.cc): Photoshop CS4 1.7 TLP / 4% GPU, Office 2007
+ * ~1.4 / ~2.5%, HandBrake 0.9 8.3 / 1%, Firefox 3.5 1.8 / 5%,
+ * Quicktime 7.6 2.0 / 15%, PowerDirector v7 4.0 / 10%.
+ */
+
+#ifndef DESKPAR_APPS_LEGACY_HH
+#define DESKPAR_APPS_LEGACY_HH
+
+#include <vector>
+
+#include "apps/app.hh"
+#include "sim/machine.hh"
+
+namespace deskpar::apps {
+
+/**
+ * The Blake et al. 2010 machine: 8 Nehalem cores (two sockets
+ * modeled as one package) with SMT, and the GTX 285.
+ */
+sim::MachineConfig blake2010Config();
+
+/** @{ 2010-era application models (Figure 2/3 bars). */
+WorkloadPtr makePhotoshopCs4();
+WorkloadPtr makeExcel2007();
+WorkloadPtr makeWord2007();
+WorkloadPtr makeHandBrake09();
+WorkloadPtr makeFirefox35();
+WorkloadPtr makeQuicktime76();
+WorkloadPtr makePowerDirector7();
+/** @} */
+
+/** One 2010 suite member with its historical calibration targets. */
+struct LegacyEntry
+{
+    std::string id;
+    WorkloadPtr (*factory)();
+    /** 2010 targets (TLP, GPU %) from Figures 2-3. */
+    double tlp2010;
+    double gpu2010;
+};
+
+/** All legacy models, for suite-style iteration. */
+const std::vector<LegacyEntry> &legacySuite();
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_LEGACY_HH

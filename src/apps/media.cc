@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multimedia playback workload models (Table II category 3): a 480p
+ * clip for the first half of the run, then the 1080p version of the
+ * same video (the paper's Section IV-C testbench). The pipeline is
+ * demux -> decode -> render; the render thread streams decode/
+ * compose packets to the GPU's video engine and presents at the
+ * content frame rate. The 1080p half submits ~4x the decode work of
+ * the 480p half (pixel ratio), so the GPU-utilization timeline steps
+ * up mid-run while the run average stays at the Table II value.
+ *
+ * Calibration targets (TLP / GPU%): QuickTime 1.1/16.4,
+ * WMP 1.3/16.1, VLC 1.8/15.7.
+ */
+
+#include "apps/standard.hh"
+#include "apps/suite.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+/**
+ * Shared skeleton: playback at 30 FPS with per-player knobs for
+ * thread structure and per-frame costs.
+ */
+StandardAppParams
+playerParams(AppSpec spec, double decode_threads_ms,
+             unsigned extra_decoders, double gpu_frame_ms,
+             double decoder_stagger_ms, double render_delay_ms)
+{
+    StandardAppParams p;
+    p.spec = std::move(spec);
+    p.smtFriendliness = 0.4;
+    // Transport control: a couple of clicks to start each clip.
+    p.inputRateHz = 0.2;
+    p.uiBurstMs = Dist::normal(3.0, 0.8);
+
+    // Demuxer: light periodic container parsing.
+    PeriodicBurstParams demux;
+    demux.periodMs = Dist::fixed(33.3);
+    demux.burstMs = Dist::normal(0.25, 0.08);
+    demux.anchorPeriod = true;
+    p.services.push_back({"demux", demux});
+
+    // Decoder(s): the CPU share of hybrid decode.
+    for (unsigned i = 0; i <= extra_decoders; ++i) {
+        PeriodicBurstParams decode;
+        decode.periodMs = Dist::fixed(33.3);
+        decode.burstMs =
+            Dist::normal(decode_threads_ms, decode_threads_ms * 0.3);
+        // Staggered slice decoders: bursts of one frame overlap
+        // each other by (burst - stagger).
+        decode.startDelayMs =
+            Dist::fixed(4.0 + decoder_stagger_ms * i);
+        decode.anchorPeriod = true;
+        p.services.push_back(
+            {"decode-" + std::to_string(i), decode});
+    }
+
+    // Renderer: GPU video-engine packet per frame + present. The
+    // run splits into the 480p clip (first half) and the 1080p clip
+    // (second half); packet sizes keep the run average at
+    // gpu_frame_ms while the instantaneous utilization steps up 4x
+    // at the clip switch.
+    constexpr double kRunSeconds = 30.0;
+    constexpr double kFrameMs = 33.3;
+    const auto half_ticks = static_cast<unsigned>(
+        kRunSeconds * 500.0 / kFrameMs);
+    const double p480 = gpu_frame_ms * 2.0 / 5.0;
+    const double p1080 = p480 * 4.0;
+
+    PeriodicBurstParams clip480;
+    clip480.periodMs = Dist::fixed(kFrameMs);
+    clip480.burstMs = Dist::normal(0.5, 0.15);
+    clip480.gpuPacketMs = Dist::normal(p480, p480 * 0.12);
+    clip480.gpuEngine = GpuEngineId::VideoDecode;
+    clip480.presentsFrame = true;
+    clip480.startDelayMs = Dist::fixed(render_delay_ms);
+    clip480.anchorPeriod = true;
+    clip480.tickLimit = half_ticks;
+    p.services.push_back({"render-480p", clip480});
+
+    PeriodicBurstParams clip1080 = clip480;
+    clip1080.gpuPacketMs = Dist::normal(p1080, p1080 * 0.12);
+    clip1080.startDelayMs =
+        Dist::fixed(kRunSeconds * 500.0 + render_delay_ms);
+    clip1080.tickLimit = 0;
+    p.services.push_back({"render-1080p", clip1080});
+    return p;
+}
+
+} // namespace
+
+WorkloadPtr
+makeQuickTime()
+{
+    // Mostly sequential pipeline: tiny CPU decode share, decode
+    // offloaded to the video engine.
+    auto p = playerParams(
+        {"quicktime", "QuickTime Player 7.7.9",
+         "Multimedia Playback"},
+        0.9, 0, 5.4, 0.0, 4.7);
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeWindowsMediaPlayer()
+{
+    auto p = playerParams(
+        {"wmplayer", "Windows Media Player 12.0",
+         "Multimedia Playback"},
+        1.7, 1, 5.3, 0.9, 4.2);
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makeVlc()
+{
+    // VLC decodes with a small thread pool (higher TLP).
+    auto p = playerParams(
+        {"vlc", "VLC Media Player 3.0.3", "Multimedia Playback"},
+        2.2, 2, 5.2, 0.7, 4.2);
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+} // namespace deskpar::apps

@@ -1,0 +1,148 @@
+#include "apps/mining.hh"
+
+#include <memory>
+#include <string>
+
+#include "apps/blocks.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+/**
+ * One workload class covers all four miners; the factories below
+ * select the knobs.
+ */
+struct MinerParams
+{
+    AppSpec spec;
+    double smtFriendliness = 0.55; // hashing mixes ALU/memory well
+    /** Number of saturating CPU hash threads; -1 = one per LCPU. */
+    int cpuThreads = 0;
+    double cpuChunkMs = 25.0;
+    double cpuGapMs = 0.0;
+    /** Parallel GPU kernel streams. */
+    unsigned gpuStreams = 1;
+    double kernelMs = 20.0;
+    double prepMs = 0.2;
+    /** Extra inter-kernel gap on pre-crypto GPU generations. */
+    double keplerGapMs = 0.0;
+};
+
+class MinerModel : public WorkloadModel
+{
+  public:
+    explicit MinerModel(MinerParams params)
+        : params_(std::move(params))
+    {}
+
+    const AppSpec &spec() const override { return params_.spec; }
+
+    AppInstance
+    instantiate(sim::Machine &machine) override
+    {
+        auto &process = machine.createProcess(
+            params_.spec.id, params_.smtFriendliness);
+
+        unsigned cpu_threads =
+            params_.cpuThreads < 0
+                ? machine.activeLogicalCpus()
+                : static_cast<unsigned>(params_.cpuThreads);
+        for (unsigned i = 0; i < cpu_threads; ++i) {
+            Dist gap = params_.cpuGapMs > 0.0
+                           ? Dist::exponential(params_.cpuGapMs)
+                           : Dist::fixed(0.0);
+            process.createThread(
+                std::make_shared<CpuGrinder>(
+                    Dist::normal(params_.cpuChunkMs,
+                                 params_.cpuChunkMs * 0.1),
+                    gap),
+                "hash-" + std::to_string(i));
+        }
+
+        GpuKernelLoopParams kernel;
+        kernel.engine = GpuEngineId::Compute;
+        kernel.kernelMs = Dist::normal(params_.kernelMs,
+                                       params_.kernelMs * 0.05);
+        kernel.prepMs = Dist::fixed(params_.prepMs);
+        if (params_.keplerGapMs > 0.0 &&
+            machine.gpu().spec().generation ==
+                sim::GpuGeneration::Kepler) {
+            kernel.gapMs = Dist::normal(params_.keplerGapMs,
+                                        params_.keplerGapMs * 0.1);
+        }
+        for (unsigned s = 0; s < params_.gpuStreams; ++s) {
+            process.createThread(
+                std::make_shared<GpuKernelLoop>(kernel),
+                "gpu-stream-" + std::to_string(s));
+        }
+
+        AppInstance instance;
+        instance.processPrefix = params_.spec.id;
+        return instance;
+    }
+
+  private:
+    MinerParams params_;
+};
+
+} // namespace
+
+WorkloadPtr
+makeBitcoinMiner()
+{
+    MinerParams p;
+    p.spec = {"bitcoinminer", "Bitcoin Miner 1.54.0",
+              "Cryptocurrency Mining"};
+    p.cpuThreads = 6;
+    p.cpuChunkMs = 30.0;
+    p.cpuGapMs = 3.3;
+    p.gpuStreams = 1;
+    p.kernelMs = 18.0;
+    p.prepMs = 0.15;
+    return std::make_unique<MinerModel>(std::move(p));
+}
+
+WorkloadPtr
+makeEasyMiner()
+{
+    MinerParams p;
+    p.spec = {"easyminer", "EasyMiner v0.87",
+              "Cryptocurrency Mining"};
+    p.cpuThreads = -1; // one hash thread per logical CPU
+    p.cpuChunkMs = 25.0;
+    p.cpuGapMs = 0.15;
+    p.gpuStreams = 1;
+    p.kernelMs = 15.0;
+    p.prepMs = 0.12;
+    return std::make_unique<MinerModel>(std::move(p));
+}
+
+WorkloadPtr
+makePhoenixMiner()
+{
+    MinerParams p;
+    p.spec = {"phoenixminer", "PhoenixMiner 3.0c",
+              "Cryptocurrency Mining"};
+    p.cpuThreads = 0;
+    p.gpuStreams = 2; // dual command queues: overlapping packets
+    p.kernelMs = 30.0;
+    p.prepMs = 0.08;
+    return std::make_unique<MinerModel>(std::move(p));
+}
+
+WorkloadPtr
+makeWindowsEthMiner()
+{
+    MinerParams p;
+    p.spec = {"wineth", "Windows Ethereum Miner 1.5.27",
+              "Cryptocurrency Mining"};
+    p.cpuThreads = 0;
+    p.gpuStreams = 1;
+    p.kernelMs = 25.0;
+    p.prepMs = 0.1;
+    p.keplerGapMs = 30.0; // unoptimized path on Kepler (Fig. 10)
+    return std::make_unique<MinerModel>(std::move(p));
+}
+
+} // namespace deskpar::apps

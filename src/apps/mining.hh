@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Cryptocurrency-mining workloads (Table II category 8): Bitcoin
+ * Miner and EasyMiner (Bitcoin, CPU+GPU), PhoenixMiner and Windows
+ * Ethereum Miner (Ethereum, GPU).
+ *
+ * PhoenixMiner keeps two compute packets in flight (the paper's
+ * "*100.0" footnote). Windows Ethereum Miner is not optimized for
+ * pre-crypto architectures: on a Kepler board its submission path
+ * leaves gaps between kernels, reproducing the lower GTX 680
+ * utilization of Figure 10.
+ */
+
+#ifndef DESKPAR_APPS_MINING_HH
+#define DESKPAR_APPS_MINING_HH
+
+#include "apps/app.hh"
+
+namespace deskpar::apps {
+
+/** Bitcoin Miner 1.54.0: GPU kernels + a small CPU hash pool. */
+WorkloadPtr makeBitcoinMiner();
+
+/** EasyMiner 0.87: CPU mining on every logical CPU + GPU kernels. */
+WorkloadPtr makeEasyMiner();
+
+/** PhoenixMiner 3.0c: dual-stream GPU ethash (overlapping packets). */
+WorkloadPtr makePhoenixMiner();
+
+/** Windows Ethereum Miner 1.5.27: single-stream GPU ethash. */
+WorkloadPtr makeWindowsEthMiner();
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_MINING_HH

@@ -1,0 +1,54 @@
+#include "apps/noise.hh"
+
+#include <memory>
+
+#include "apps/blocks.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+struct NoiseSource
+{
+    const char *process;
+    const char *thread;
+    double periodMs;
+    double burstMs;
+    double gpuMs;
+};
+
+/** A typical idle-desktop census. */
+const NoiseSource kSources[] = {
+    {"svchost", "timer-work", 120.0, 0.5, 0.0},
+    {"svchost", "net-poll", 300.0, 0.9, 0.0},
+    {"dwm", "compose", 16.7, 0.15, 0.25},
+    {"explorer", "shell-tick", 250.0, 0.7, 0.0},
+    {"antivirus", "scan", 450.0, 2.2, 0.0},
+    {"search-indexer", "crawl", 800.0, 3.0, 0.0},
+};
+
+} // namespace
+
+void
+spawnBackgroundNoise(sim::Machine &machine, double intensity)
+{
+    sim::SimProcess *current = nullptr;
+    const char *current_name = "";
+    for (const auto &src : kSources) {
+        if (!current || std::string(current_name) != src.process) {
+            current = &machine.createProcess(src.process, 0.3);
+            current_name = src.process;
+        }
+        PeriodicBurstParams params;
+        params.periodMs =
+            Dist::exponential(src.periodMs / intensity);
+        params.burstMs = Dist::normal(src.burstMs * intensity,
+                                      src.burstMs * 0.3);
+        if (src.gpuMs > 0.0)
+            params.gpuPacketMs = Dist::fixed(src.gpuMs * intensity);
+        current->createThread(
+            std::make_shared<PeriodicBurst>(params), src.thread);
+    }
+}
+
+} // namespace deskpar::apps

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Background system noise: the unrelated processes (service hosts,
+ * compositor, indexer, antivirus) the paper explicitly *ends* before
+ * tracing (Section III-C). Spawning them deliberately demonstrates
+ * why the paper measures application-level TLP — system-wide TLP is
+ * inflated by whatever else runs — and lets experiments quantify the
+ * distortion.
+ */
+
+#ifndef DESKPAR_APPS_NOISE_HH
+#define DESKPAR_APPS_NOISE_HH
+
+#include "sim/machine.hh"
+
+namespace deskpar::apps {
+
+/**
+ * Spawn a set of OS background processes on @p machine.
+ *
+ * @param intensity scales burst lengths and frequencies; 1.0 is a
+ *        "typical idle Windows desktop" level (~3-5% of one core).
+ */
+void spawnBackgroundNoise(sim::Machine &machine,
+                          double intensity = 1.0);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_NOISE_HH

@@ -1,0 +1,87 @@
+#include "apps/registry.hh"
+
+#include "apps/browser.hh"
+#include "apps/mining.hh"
+#include "apps/suite.hh"
+#include "apps/video.hh"
+#include "apps/vr.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::apps {
+
+const std::vector<SuiteEntry> &
+tableTwoSuite()
+{
+    static const std::vector<SuiteEntry> kSuite = {
+        {"photoshop", "Image Authoring", makePhotoshop},
+        {"maya", "Image Authoring", makeMaya},
+        {"autocad", "Image Authoring", makeAutoCad},
+
+        {"acrobat", "Office", makeAcrobat},
+        {"excel", "Office", makeExcel},
+        {"powerpoint", "Office", makePowerPoint},
+        {"word", "Office", makeWord},
+        {"outlook", "Office", makeOutlook},
+
+        {"quicktime", "Multimedia Playback", makeQuickTime},
+        {"wmplayer", "Multimedia Playback", makeWindowsMediaPlayer},
+        {"vlc", "Multimedia Playback", makeVlc},
+
+        {"powerdirector", "Video Authoring", makePowerDirector},
+        {"premiere", "Video Authoring", [] { return makePremiere(); }},
+
+        {"handbrake", "Video Transcoding", makeHandBrake},
+        {"winx", "Video Transcoding", [] { return makeWinX(true); }},
+
+        {"firefox", "Web Browsing",
+         [] { return makeBrowser(BrowserEngine::Firefox); }},
+        {"chrome", "Web Browsing",
+         [] { return makeBrowser(BrowserEngine::Chrome); }},
+        {"edge", "Web Browsing",
+         [] { return makeBrowser(BrowserEngine::Edge); }},
+
+        {"azsunshine", "VR Gaming",
+         [] { return makeVrGame(VrGame::ArizonaSunshine); }},
+        {"fallout4", "VR Gaming",
+         [] { return makeVrGame(VrGame::Fallout4); }},
+        {"rawdata", "VR Gaming",
+         [] { return makeVrGame(VrGame::RawData); }},
+        {"serioussam", "VR Gaming",
+         [] { return makeVrGame(VrGame::SeriousSamVr); }},
+        {"spacepirate", "VR Gaming",
+         [] { return makeVrGame(VrGame::SpacePirateTrainer); }},
+        {"projectcars2", "VR Gaming",
+         [] { return makeVrGame(VrGame::ProjectCars2); }},
+
+        {"bitcoinminer", "Cryptocurrency Mining", makeBitcoinMiner},
+        {"easyminer", "Cryptocurrency Mining", makeEasyMiner},
+        {"phoenixminer", "Cryptocurrency Mining", makePhoenixMiner},
+        {"wineth", "Cryptocurrency Mining", makeWindowsEthMiner},
+
+        {"cortana", "Personal Assistant", makeCortana},
+        {"braina", "Personal Assistant", makeBraina},
+    };
+    return kSuite;
+}
+
+WorkloadPtr
+makeWorkload(const std::string &id)
+{
+    for (const auto &entry : tableTwoSuite()) {
+        if (entry.id == id)
+            return entry.factory();
+    }
+    fatal("makeWorkload: unknown workload id " + id);
+}
+
+std::vector<std::string>
+workloadIds()
+{
+    std::vector<std::string> ids;
+    ids.reserve(tableTwoSuite().size());
+    for (const auto &entry : tableTwoSuite())
+        ids.push_back(entry.id);
+    return ids;
+}
+
+} // namespace deskpar::apps

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The benchmark-suite registry: every Table II application by stable
+ * id, in the paper's row order, with its category.
+ */
+
+#ifndef DESKPAR_APPS_REGISTRY_HH
+#define DESKPAR_APPS_REGISTRY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+
+namespace deskpar::apps {
+
+/** One suite member. */
+struct SuiteEntry
+{
+    std::string id;
+    std::string category;
+    std::function<WorkloadPtr()> factory;
+};
+
+/**
+ * The 30-application Table II suite in row order (default
+ * configurations: Rift headset, WinX with CUDA, Premiere editing,
+ * browsers on the multi-tab test).
+ */
+const std::vector<SuiteEntry> &tableTwoSuite();
+
+/**
+ * Instantiate a suite member by id.
+ * Throws FatalError for unknown ids.
+ */
+WorkloadPtr makeWorkload(const std::string &id);
+
+/** All registered ids (diagnostics, CLI listings). */
+std::vector<std::string> workloadIds();
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_REGISTRY_HH

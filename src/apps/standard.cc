@@ -1,0 +1,70 @@
+#include "apps/standard.hh"
+
+#include "apps/startup.hh"
+
+namespace deskpar::apps {
+
+AppInstance
+StandardAppModel::instantiate(sim::Machine &machine)
+{
+    auto &process = machine.createProcess(params_.spec.id,
+                                          params_.smtFriendliness);
+    process.setLlcFootprintMiB(params_.llcFootprintMiB);
+    spawnStartupBurst(machine, process);
+
+    InteractiveUiParams ui;
+    ui.inputChannel =
+        machine.inputChannel(input::channelOf(params_.inputKind));
+    ui.uiBurstMs = params_.uiBurstMs;
+    ui.uiGpuMs = params_.uiGpuMs;
+    ui.uiGpuEngine = params_.uiGpuEngine;
+    if (params_.uiHelpers > 0) {
+        ui.helperTrigger = machine.sync().alloc();
+        ui.helperCount = params_.uiHelpers;
+        for (unsigned i = 0; i < params_.uiHelpers; ++i) {
+            process.createThread(
+                std::make_shared<SignalDrivenWorker>(
+                    ui.helperTrigger, params_.uiHelperMs),
+                "helper-" + std::to_string(i));
+        }
+    }
+    if (params_.renderWorkers > 0) {
+        ui.crew = makeCrew(machine, params_.renderWorkers);
+        ui.phaseEveryNthInput = params_.phaseEveryNthInput;
+        ui.phaseRounds = params_.phaseRounds;
+        ui.phaseSetupMs = params_.phaseSetupMs;
+        spawnCrewWorkers(process, ui.crew, params_.workerChunkMs,
+                         "render");
+    }
+    auto &ui_thread = process.createThread(
+        std::make_shared<InteractiveUi>(ui), "ui");
+    if (params_.elevatedUi)
+        ui_thread.setPriority(sim::ThreadPriority::Elevated);
+
+    for (const auto &service : params_.services) {
+        process.createThread(
+            std::make_shared<PeriodicBurst>(service.params),
+            service.name);
+    }
+
+    AppInstance instance;
+    instance.processPrefix = params_.spec.id;
+    if (params_.inputRateHz > 0.0) {
+        auto period = static_cast<sim::SimDuration>(
+            1e9 / params_.inputRateHz);
+        auto count = static_cast<unsigned>(
+            sim::toSeconds(duration()) * params_.inputRateHz);
+        const auto &actions = params_.actionSequence;
+        for (unsigned i = 0; i < count; ++i) {
+            std::string label =
+                actions.empty()
+                    ? std::string{}
+                    : actions[i % actions.size()];
+            instance.script.at(period * (i + 1), params_.inputKind,
+                               std::move(label));
+        }
+    }
+    return instance;
+}
+
+} // namespace deskpar::apps

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * StandardAppModel: a parameterized workload skeleton covering the
+ * interactive single-process applications of the suite (image
+ * authoring, office, media playback, personal assistants, simple
+ * video editors). It composes:
+ *   - an input-driven UI thread (with optional fork-join render
+ *     phases on every Nth event),
+ *   - a crew of persistent pool workers for those phases,
+ *   - any number of periodic service threads (decode, autosave,
+ *     compositor, viewport, ...),
+ * and generates the AutoIt-style input script that drives it.
+ */
+
+#ifndef DESKPAR_APPS_STANDARD_HH
+#define DESKPAR_APPS_STANDARD_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/app.hh"
+#include "apps/blocks.hh"
+
+namespace deskpar::apps {
+
+/**
+ * Full parameterization of a StandardAppModel.
+ */
+struct StandardAppParams
+{
+    AppSpec spec;
+    double smtFriendliness = 0.3;
+    /** Working set for the (opt-in) LLC contention model. */
+    double llcFootprintMiB = 1.5;
+
+    /** @{ Input script. */
+    double inputRateHz = 2.0;
+    input::InputKind inputKind = input::InputKind::MouseClick;
+    /**
+     * The testbench's user-action sequence (the Section IV scripts,
+     * e.g. Excel's "copy columns, zoom, ..."). Labels are assigned
+     * to the generated input events cyclically and appear as trace
+     * markers; an empty list leaves events unlabeled.
+     */
+    std::vector<std::string> actionSequence;
+    /** @} */
+
+    /** @{ UI thread. */
+    Dist uiBurstMs = Dist::normal(2.0, 0.5);
+    Dist uiGpuMs = Dist::fixed(0.0);
+    GpuEngineId uiGpuEngine = GpuEngineId::Graphics3D;
+    /** Helper threads bursting concurrently with the UI burst. */
+    unsigned uiHelpers = 0;
+    Dist uiHelperMs = Dist::fixed(0.0);
+    /**
+     * Run the UI thread at Elevated priority (Windows foreground
+     * boost): input handling preempts batch work under contention.
+     */
+    bool elevatedUi = false;
+    /** @} */
+
+    /** @{ Fork-join render phases (0 workers disables). */
+    unsigned renderWorkers = 0;
+    Dist workerChunkMs = Dist::fixed(5.0);
+    unsigned phaseEveryNthInput = 0;
+    unsigned phaseRounds = 1;
+    Dist phaseSetupMs = Dist::fixed(1.0);
+    /** @} */
+
+    /** Named periodic service threads. */
+    struct Service
+    {
+        std::string name;
+        PeriodicBurstParams params;
+    };
+    std::vector<Service> services;
+};
+
+/**
+ * The configurable single-process interactive application.
+ */
+class StandardAppModel : public WorkloadModel
+{
+  public:
+    explicit StandardAppModel(StandardAppParams params)
+        : params_(std::move(params))
+    {}
+
+    const AppSpec &spec() const override { return params_.spec; }
+
+    const StandardAppParams &params() const { return params_; }
+
+    AppInstance instantiate(sim::Machine &machine) override;
+
+  private:
+    StandardAppParams params_;
+};
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_STANDARD_HH

@@ -1,0 +1,22 @@
+#include "apps/startup.hh"
+
+#include "apps/blocks.hh"
+#include "sim/behaviors_basic.hh"
+
+namespace deskpar::apps {
+
+void
+spawnStartupBurst(sim::Machine &machine, sim::SimProcess &process,
+                  double burst_ms)
+{
+    unsigned width = machine.activeLogicalCpus();
+    for (unsigned i = 0; i < width; ++i) {
+        double ms = process.rng().normalNonNeg(burst_ms,
+                                               burst_ms * 0.25);
+        process.createThread(
+            sim::makeSequence({sim::Action::compute(cpuMs(ms))}),
+            "loader-" + std::to_string(i));
+    }
+}
+
+} // namespace deskpar::apps

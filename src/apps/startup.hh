@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Application-startup burst: real desktop applications touch every
+ * logical CPU briefly while loading (DLL mapping, JIT, asset
+ * decompression, cache warmup). This is why the paper observes most
+ * applications attaining the maximum instantaneous TLP of 12 at some
+ * point during execution even when their steady-state TLP is low
+ * (e.g. Excel spends 3.7% of time at max width).
+ */
+
+#ifndef DESKPAR_APPS_STARTUP_HH
+#define DESKPAR_APPS_STARTUP_HH
+
+#include "sim/machine.hh"
+
+namespace deskpar::apps {
+
+/**
+ * Spawn one short-lived loader thread per active logical CPU in
+ * @p process, each computing a burst of ~@p burst_ms (at the
+ * reference clock) and exiting.
+ */
+void spawnStartupBurst(sim::Machine &machine,
+                       sim::SimProcess &process,
+                       double burst_ms = 1.2);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_STARTUP_HH

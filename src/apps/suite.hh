@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Factory functions for the StandardAppModel-based suite members:
+ * image authoring, office, multimedia playback, and personal
+ * assistants. The custom multi-process / pipeline workloads live in
+ * their own headers (video.hh, browser.hh, vr.hh, mining.hh).
+ *
+ * Parameter values are calibrated so the Table II operating points
+ * (TLP, GPU utilization at 12 logical CPUs with SMT on a GTX 1080 Ti)
+ * are reproduced; every scaling trend then emerges from the machine
+ * model (see DESIGN.md section 4).
+ */
+
+#ifndef DESKPAR_APPS_SUITE_HH
+#define DESKPAR_APPS_SUITE_HH
+
+#include "apps/app.hh"
+
+namespace deskpar::apps {
+
+/** @{ Image authoring (Section IV-A). */
+WorkloadPtr makePhotoshop();
+WorkloadPtr makeMaya();
+WorkloadPtr makeAutoCad();
+/** @} */
+
+/** @{ Office (Section IV-B). */
+WorkloadPtr makeAcrobat();
+WorkloadPtr makeExcel();
+WorkloadPtr makeOutlook();
+WorkloadPtr makePowerPoint();
+WorkloadPtr makeWord();
+/** @} */
+
+/** @{ Multimedia playback (Section IV-C). */
+WorkloadPtr makeQuickTime();
+WorkloadPtr makeWindowsMediaPlayer();
+WorkloadPtr makeVlc();
+/** @} */
+
+/** @{ Personal assistants (Section IV-H). */
+WorkloadPtr makeCortana();
+WorkloadPtr makeBraina();
+/** @} */
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_SUITE_HH

@@ -1,0 +1,272 @@
+#include "apps/video.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/standard.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+/**
+ * The transcode master: serial mux work, fork a frame to the crew,
+ * join, hand the frame to the GPU encoder if configured, present.
+ */
+class TranscodeMaster : public ThreadBehavior
+{
+  public:
+    TranscodeMaster(const TranscoderParams &params, CrewSync crew)
+        : params_(params), crew_(crew)
+    {}
+
+    Action
+    next(ThreadContext &ctx) override
+    {
+        while (true) {
+            switch (step_) {
+              case Step::Serial:
+                step_ = Step::Dispatch;
+                return Action::compute(cpuMs(ctx.rng->normalNonNeg(
+                    params_.serialFrameMs,
+                    params_.serialFrameMs * 0.15)));
+
+              case Step::Dispatch:
+                joinsLeft_ = crew_.workers;
+                step_ = Step::Join;
+                return Action::signalSync(crew_.work, crew_.workers);
+
+              case Step::Join:
+                if (joinsLeft_ > 0) {
+                    --joinsLeft_;
+                    return Action::waitSync(crew_.done);
+                }
+                step_ = Step::Gpu;
+                continue;
+
+              case Step::Gpu:
+                step_ = Step::GpuWait;
+                if (params_.gpuPacketMs > 0.0) {
+                    return Action::gpuAsync(
+                        params_.gpuEngine,
+                        gpuMs(params_.gpuEngine,
+                              params_.gpuPacketMs));
+                }
+                continue;
+
+              case Step::GpuWait:
+                step_ = Step::Preview;
+                if (params_.gpuPacketMs > 0.0 &&
+                    (params_.gpuSyncPerFrame ||
+                     ctx.gpuOutstanding > params_.gpuBacklogCap)) {
+                    return Action::gpuSync();
+                }
+                continue;
+
+              case Step::Preview:
+                step_ = Step::Present;
+                if (params_.previewGpuMs > 0.0) {
+                    return Action::gpuAsync(
+                        GpuEngineId::Graphics3D,
+                        gpuMs(GpuEngineId::Graphics3D,
+                              params_.previewGpuMs));
+                }
+                continue;
+
+              case Step::Present:
+                step_ = Step::Serial;
+                return Action::present();
+            }
+        }
+    }
+
+  private:
+    enum class Step {
+        Serial,
+        Dispatch,
+        Join,
+        Gpu,
+        GpuWait,
+        Preview,
+        Present,
+    };
+
+    TranscoderParams params_;
+    CrewSync crew_;
+    Step step_ = Step::Serial;
+    unsigned joinsLeft_ = 0;
+};
+
+} // namespace
+
+AppInstance
+TranscoderModel::instantiate(sim::Machine &machine)
+{
+    auto &process = machine.createProcess(params_.spec.id,
+                                          params_.smtFriendliness);
+    process.setLlcFootprintMiB(params_.llcFootprintMiB);
+
+    auto workers = static_cast<unsigned>(std::lround(
+        params_.workersPerLogicalCpu *
+        static_cast<double>(machine.activeLogicalCpus())));
+    workers = std::clamp(workers, 1u, params_.maxWorkers);
+
+    CrewSync crew = makeCrew(machine, workers);
+    double chunk_ms = params_.parallelFrameMs /
+                      static_cast<double>(workers);
+    spawnCrewWorkers(process, crew,
+                     Dist::normal(chunk_ms, chunk_ms * 0.08),
+                     "slice");
+    process.createThread(
+        std::make_shared<TranscodeMaster>(params_, crew), "master");
+
+    AppInstance instance;
+    instance.processPrefix = params_.spec.id;
+    return instance;
+}
+
+WorkloadPtr
+makeHandBrake()
+{
+    TranscoderParams p;
+    p.spec = {"handbrake", "HandBrake 1.1.0", "Video Transcoding"};
+    p.smtFriendliness = 0.15;
+    p.parallelFrameMs = 220.0;
+    p.serialFrameMs = 9.0;
+    p.workersPerLogicalCpu = 1.0;
+    p.previewGpuMs = 0.17;
+    return std::make_unique<TranscoderModel>(std::move(p));
+}
+
+WorkloadPtr
+makeWinX(bool gpu_encode)
+{
+    TranscoderParams p;
+    p.spec = {"winx", "WinX HD Video Converter 5.12.1",
+              "Video Transcoding"};
+    p.smtFriendliness = 0.15;
+    if (gpu_encode) {
+        // NVENC handles encoding; the CPU pool decodes and filters.
+        p.parallelFrameMs = 160.0;
+        p.serialFrameMs = 3.0;
+        p.workersPerLogicalCpu = 0.92;
+        p.gpuPacketMs = 3.9;
+        p.gpuEngine = GpuEngineId::VideoEncode;
+        p.gpuSyncPerFrame = false;
+        p.gpuBacklogCap = 4;
+    } else {
+        p.parallelFrameMs = 236.0;
+        p.serialFrameMs = 1.5;
+        p.workersPerLogicalCpu = 1.0;
+    }
+    return std::make_unique<TranscoderModel>(std::move(p));
+}
+
+WorkloadPtr
+makePowerDirector()
+{
+    StandardAppParams p;
+    p.spec = {"powerdirector", "CyberLink PowerDirector v16",
+              "Video Authoring"};
+    // Timeline editing with a 6-wide preview-render pool and a GPU
+    // preview stream (transitions, color correction).
+    p.smtFriendliness = 0.25;
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = Dist::normal(6.0, 1.5);
+    p.uiGpuMs = Dist::fixed(0.4);
+    p.renderWorkers = 6;
+    p.workerChunkMs = Dist::normal(25.5, 4.0);
+    p.phaseEveryNthInput = 2;
+    p.phaseRounds = 3;
+    p.phaseSetupMs = Dist::normal(2.0, 0.5);
+    StandardAppParams::Service preview;
+    preview.name = "preview";
+    preview.params.periodMs = Dist::fixed(33.3);
+    preview.params.burstMs = Dist::normal(0.6, 0.15);
+    preview.params.gpuPacketMs = Dist::normal(2.1, 0.4);
+    p.services.push_back(preview);
+    return std::make_unique<StandardAppModel>(std::move(p));
+}
+
+WorkloadPtr
+makePowerDirectorExport(bool cuda)
+{
+    TranscoderParams p;
+    p.spec = {"powerdirector", "CyberLink PowerDirector v16 (export)",
+              "Video Authoring"};
+    p.smtFriendliness = 0.2;
+    p.workersPerLogicalCpu = 0.5;
+    p.maxWorkers = 6;
+    p.serialFrameMs = 4.0;
+    if (cuda) {
+        // Transitions/color correction rendered on CUDA.
+        p.parallelFrameMs = 95.0;
+        p.gpuPacketMs = 2.4;
+        p.gpuEngine = GpuEngineId::Compute;
+        p.gpuBacklogCap = 2;
+    } else {
+        p.parallelFrameMs = 135.0;
+    }
+    return std::make_unique<TranscoderModel>(std::move(p));
+}
+
+WorkloadPtr
+makePremiere(PremiereScenario scenario)
+{
+    if (scenario == PremiereScenario::Editing) {
+        StandardAppParams p;
+        p.spec = {"premiere", "Adobe Premiere Pro CC",
+                  "Video Authoring"};
+        // Interactive editing: serial UI with a preview decoder; the
+        // measured GPU use is minimal (0.6%).
+        p.smtFriendliness = 0.25;
+        p.inputRateHz = 1.5;
+        p.uiBurstMs = Dist::normal(8.0, 2.0);
+        p.uiGpuMs = Dist::fixed(0.15);
+        p.uiHelpers = 1;
+        p.uiHelperMs = Dist::normal(6.5, 1.5);
+        StandardAppParams::Service decode;
+        decode.name = "preview-decode";
+        decode.params.periodMs = Dist::fixed(33.3);
+        decode.params.burstMs = Dist::normal(4.5, 1.0);
+        decode.params.startDelayMs = Dist::fixed(5.0);
+        decode.params.anchorPeriod = true;
+        p.services.push_back(decode);
+        StandardAppParams::Service prender;
+        prender.name = "preview-render";
+        prender.params.periodMs = Dist::fixed(33.3);
+        prender.params.burstMs = Dist::normal(3.2, 0.8);
+        prender.params.startDelayMs = Dist::fixed(5.0);
+        prender.params.anchorPeriod = true;
+        p.services.push_back(prender);
+        StandardAppParams::Service paint;
+        paint.name = "paint";
+        paint.params.periodMs = Dist::fixed(100.0);
+        paint.params.burstMs = Dist::normal(0.4, 0.1);
+        paint.params.gpuPacketMs = Dist::normal(0.55, 0.12);
+        p.services.push_back(paint);
+        return std::make_unique<StandardAppModel>(std::move(p));
+    }
+
+    TranscoderParams p;
+    p.spec = {"premiere", "Adobe Premiere Pro CC (export)",
+              "Video Authoring"};
+    p.smtFriendliness = 0.2;
+    p.workersPerLogicalCpu = 0.5;
+    p.maxWorkers = 6;
+    p.serialFrameMs = 5.0;
+    if (scenario == PremiereScenario::ExportCuda) {
+        // Mercury Playback Engine offloads effects to CUDA; the
+        // paper observes little runtime change but lower TLP.
+        p.parallelFrameMs = 105.0;
+        p.gpuPacketMs = 3.0;
+        p.gpuEngine = GpuEngineId::Compute;
+        p.gpuSyncPerFrame = false;
+        p.gpuBacklogCap = 2;
+    } else {
+        p.parallelFrameMs = 120.0;
+    }
+    return std::make_unique<TranscoderModel>(std::move(p));
+}
+
+} // namespace deskpar::apps

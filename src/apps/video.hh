@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Video authoring and transcoding workloads (Table II categories 4
+ * and 5): HandBrake, WinX HD Video Converter (with/without
+ * CUDA/NVENC), CyberLink PowerDirector, and Adobe Premiere Pro
+ * (editing, or export with/without CUDA for Figure 9).
+ *
+ * The transcoders follow the x264-style structure the paper
+ * describes: a worker pool sized to the logical CPU count crunches
+ * slices of each output frame, a master serializes muxing between
+ * frames (the periodic TLP troughs of Figure 5), and the NVENC path
+ * offloads encoding as asynchronous video-engine packets.
+ */
+
+#ifndef DESKPAR_APPS_VIDEO_HH
+#define DESKPAR_APPS_VIDEO_HH
+
+#include "apps/app.hh"
+#include "apps/blocks.hh"
+
+namespace deskpar::apps {
+
+/**
+ * Parameters of a pool-based transcoder/exporter.
+ */
+struct TranscoderParams
+{
+    AppSpec spec;
+    /** Transcoders share data poorly across SMT siblings. */
+    double smtFriendliness = 0.15;
+    /** Frame buffers + reference frames: a large working set. */
+    double llcFootprintMiB = 9.0;
+    /** Total parallel CPU work per output frame (ms @ ref clock). */
+    double parallelFrameMs = 200.0;
+    /** Serial master work per frame (muxing, rate control). */
+    double serialFrameMs = 5.0;
+    /** Worker threads per active logical CPU. */
+    double workersPerLogicalCpu = 1.0;
+    unsigned maxWorkers = 12;
+    /** Per-frame GPU packet (ms on reference GPU); 0 disables. */
+    double gpuPacketMs = 0.0;
+    GpuEngineId gpuEngine = GpuEngineId::VideoEncode;
+    /** Block on the packet each frame (else pipeline w/ backlog cap). */
+    bool gpuSyncPerFrame = false;
+    /** Max in-flight GPU packets before the master stalls. */
+    unsigned gpuBacklogCap = 4;
+    /** Tiny per-frame preview packet (HandBrake's <1% GPU). */
+    double previewGpuMs = 0.0;
+};
+
+/**
+ * The transcoder workload. Each completed output frame is recorded
+ * as a frame-present event, so the analysis frame rate is the
+ * transcode rate of Figure 8 / Table III.
+ */
+class TranscoderModel : public WorkloadModel
+{
+  public:
+    explicit TranscoderModel(TranscoderParams params)
+        : params_(std::move(params))
+    {}
+
+    const AppSpec &spec() const override { return params_.spec; }
+    const TranscoderParams &params() const { return params_; }
+
+    AppInstance instantiate(sim::Machine &machine) override;
+
+  private:
+    TranscoderParams params_;
+};
+
+/** HandBrake 1.1.0: CPU-only x264-style transcode. */
+WorkloadPtr makeHandBrake();
+
+/** WinX HD Video Converter; @p gpu_encode selects CUDA/NVENC. */
+WorkloadPtr makeWinX(bool gpu_encode = true);
+
+/** CyberLink PowerDirector v16: interactive editing + preview. */
+WorkloadPtr makePowerDirector();
+
+/**
+ * PowerDirector's video export ("render it with and without CUDA
+ * support", Section IV-D). @p cuda enables the GPU render path.
+ */
+WorkloadPtr makePowerDirectorExport(bool cuda);
+
+/** Premiere Pro scenarios. */
+enum class PremiereScenario {
+    Editing,        ///< The Table II interactive session.
+    ExportSoftware, ///< Figure 9 export, CUDA off.
+    ExportCuda,     ///< Figure 9 export, CUDA on.
+};
+
+/** Adobe Premiere Pro CC. */
+WorkloadPtr makePremiere(
+    PremiereScenario scenario = PremiereScenario::Editing);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_VIDEO_HH

@@ -1,0 +1,408 @@
+#include "apps/vr.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "apps/blocks.hh"
+#include "apps/startup.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::apps {
+
+namespace {
+
+/** 90 Hz compositor slot. */
+constexpr double kSlotMs = 1000.0 / 90.0;
+
+/** Per-game cost/structure knobs. */
+struct VrGameParams
+{
+    const char *id;
+    const char *name;
+    double smtFriendliness;
+    /** Main-thread simulation per frame (ms @ ref clock). */
+    double cpuFrameMs;
+    /** Fork-join helper jobs per frame. */
+    unsigned workers;
+    double workerFrameMs;
+    /** Render packet at resolution scale 1.0 (ms on ref GPU). */
+    double gpuFrameMs;
+    /** Dynamic-resolution cap (Fallout renders capped internally). */
+    double dynamicResCap;
+    /** Extra CPU cost per unit of resolution above 1.0 (Fallout). */
+    double cpuResPenalty;
+    /** Render-cost multiplier during heavy scenes. */
+    double spikeFactor;
+};
+
+VrGameParams
+paramsOf(VrGame game)
+{
+    switch (game) {
+      case VrGame::ArizonaSunshine:
+        return {"azsunshine", "Arizona Sunshine 1.5", 0.35,
+                2.2, 6, 2.55, 7.3, 2.0, 0.0, 1.08};
+      case VrGame::Fallout4:
+        return {"fallout4", "Fallout 4 VR 1.2", 0.35,
+                3.6, 8, 2.75, 9.1, 1.0, 11.0, 1.05};
+      case VrGame::RawData:
+        return {"rawdata", "RAW Data 1.1.0", 0.35,
+                1.8, 4, 2.7, 10.0, 2.0, 0.0, 1.02};
+      case VrGame::SeriousSamVr:
+        return {"serioussam", "Serious Sam VR BFE", 0.35,
+                1.6, 4, 1.8, 7.7, 2.0, 0.0, 1.08};
+      case VrGame::SpacePirateTrainer:
+        return {"spacepirate", "Space Pirate Trainer 1.01", 0.35,
+                1.7, 4, 2.9, 6.5, 2.0, 0.0, 1.08};
+      case VrGame::ProjectCars2:
+        return {"projectcars2", "Project CARS 2 1.7", 0.35,
+                3.9, 7, 3.7, 8.6, 2.0, 0.0, 1.08};
+    }
+    deskpar::panic("paramsOf: bad VR game");
+}
+
+/**
+ * The 90 Hz game loop with headset frame pacing.
+ */
+class GameLoop : public ThreadBehavior
+{
+  public:
+    GameLoop(const VrGameParams &game, const Headset &headset,
+             CrewSync crew)
+        : game_(game), headset_(headset), crew_(crew)
+    {
+        effScale_ =
+            std::min(headset_.resolutionScale, game_.dynamicResCap);
+        cpuMs_ = game_.cpuFrameMs *
+                 (1.0 + game_.cpuResPenalty *
+                            std::max(0.0,
+                                     headset_.resolutionScale - 1.0));
+    }
+
+    Action
+    next(ThreadContext &ctx) override
+    {
+        while (true) {
+            switch (step_) {
+              case Step::FrameStart:
+                if (slotNs_ == 0)
+                    slotNs_ = sim::msec(kSlotMs);
+                if (nextSlot_ == 0)
+                    nextSlot_ = ctx.now;
+                step_ = Step::Submit;
+                continue;
+
+              case Step::Submit: {
+                // Render of frame N is submitted first and overlaps
+                // the CPU simulation of frame N+1 (standard engine
+                // pipelining). The Oculus runtime throttles the app
+                // to one frame in flight; SteamVR lets it run one
+                // frame ahead, keeping the GPU saturated when the
+                // render exceeds the vsync budget.
+                step_ = Step::Sim;
+                // Occasional heavy scenes (zombie waves, crowded
+                // grids) inflate render cost for ~half a second.
+                if (spikeFramesLeft_ > 0) {
+                    --spikeFramesLeft_;
+                } else if (ctx.rng->bernoulli(1.0 / 300.0)) {
+                    spikeFramesLeft_ = 30;
+                }
+                frameWorkStart_ = ctx.now;
+                unsigned depth =
+                    headset_.pacing == Headset::Pacing::Asw ? 1 : 2;
+                if (ctx.gpuOutstanding < depth) {
+                    ++submittedFrames_;
+                    double spike =
+                        spikeFramesLeft_ > 0 ? game_.spikeFactor : 1.0;
+                    double ms = ctx.rng->normalNonNeg(
+                        game_.gpuFrameMs * effScale_ * spike,
+                        game_.gpuFrameMs * 0.03);
+                    ms += ctx.rng->normalNonNeg(
+                        headset_.compositorGpuMs,
+                        headset_.compositorGpuMs * 0.25);
+                    return Action::gpuAsync(
+                        GpuEngineId::Graphics3D,
+                        gpuMs(GpuEngineId::Graphics3D, ms));
+                }
+                continue;
+              }
+
+              case Step::Sim:
+                step_ = Step::Dispatch;
+                return Action::compute(cpuMs(
+                    ctx.rng->normalNonNeg(cpuMs_, cpuMs_ * 0.12)));
+
+              case Step::Dispatch:
+                joinsLeft_ = crew_.workers;
+                step_ = Step::Join;
+                return Action::signalSync(crew_.work, crew_.workers);
+
+              case Step::Join:
+                if (joinsLeft_ > 0) {
+                    --joinsLeft_;
+                    return Action::waitSync(crew_.done);
+                }
+                step_ = Step::Deadline;
+                continue;
+
+              case Step::Deadline: {
+                // Predictive ASW: Oculus drops the app to half rate
+                // when per-frame CPU headroom runs out, and only
+                // returns to full rate once a frame would fit in a
+                // single vsync again.
+                trackSlack(ctx.now - frameWorkStart_);
+                unsigned periods = halfRate_ ? 2 : 1;
+                nextSlot_ += periods * slotNs_;
+                step_ = Step::Present;
+                if (nextSlot_ > ctx.now)
+                    return Action::sleepUntil(nextSlot_);
+                // The CPU overran the slot; realign to now.
+                nextSlot_ = ctx.now;
+                continue;
+              }
+
+              case Step::Present: {
+                // A real frame is shown when a submitted render has
+                // completed and not been displayed yet (possibly one
+                // vsync late — reprojection holds the previous image
+                // meanwhile).
+                unsigned completed =
+                    submittedFrames_ - ctx.gpuOutstanding;
+                bool rendered = completed > shownFrames_;
+                if (rendered)
+                    ++shownFrames_;
+                trackMiss(!rendered);
+                step_ = halfRate_ ? Step::AswFill
+                                  : Step::FrameStart;
+                return Action::present(!rendered);
+              }
+
+              case Step::AswFill:
+                // ASW at 45 FPS: the runtime synthesizes the frame
+                // between two real ones.
+                step_ = Step::FrameStart;
+                return Action::present(true);
+            }
+        }
+    }
+
+  private:
+    enum class Step {
+        FrameStart,
+        Submit,
+        Sim,
+        Dispatch,
+        Join,
+        Deadline,
+        Present,
+        AswFill,
+    };
+
+    void
+    trackMiss(bool missed)
+    {
+        if (headset_.pacing != Headset::Pacing::Asw)
+            return;
+        if (missed) {
+            ++missStreak_;
+            hitStreak_ = 0;
+            if (!halfRate_ && missStreak_ >= 4)
+                halfRate_ = true;
+        } else {
+            ++hitStreak_;
+            missStreak_ = 0;
+        }
+    }
+
+    void
+    trackSlack(sim::SimDuration frame_busy)
+    {
+        if (headset_.pacing != Headset::Pacing::Asw)
+            return;
+        if (!halfRate_) {
+            // Engage when CPU headroom drops under 15% of the slot.
+            auto budget = static_cast<sim::SimDuration>(
+                0.85 * static_cast<double>(slotNs_));
+            if (frame_busy > budget) {
+                if (++slackMisses_ >= 4)
+                    halfRate_ = true;
+            } else {
+                slackMisses_ = 0;
+            }
+        } else {
+            // Disengage only when the frame would comfortably fit
+            // in a single vsync again.
+            auto budget = static_cast<sim::SimDuration>(
+                0.70 * static_cast<double>(slotNs_));
+            if (frame_busy < budget) {
+                if (++slackHits_ >= 45) {
+                    halfRate_ = false;
+                    slackHits_ = 0;
+                }
+            } else {
+                slackHits_ = 0;
+            }
+        }
+    }
+
+    VrGameParams game_;
+    Headset headset_;
+    CrewSync crew_;
+    double effScale_ = 1.0;
+    double cpuMs_ = 1.0;
+    Step step_ = Step::FrameStart;
+    unsigned joinsLeft_ = 0;
+    sim::SimDuration slotNs_ = 0;
+    sim::SimTime nextSlot_ = 0;
+    unsigned submittedFrames_ = 0;
+    unsigned shownFrames_ = 0;
+    sim::SimTime frameWorkStart_ = 0;
+    unsigned slackMisses_ = 0;
+    unsigned slackHits_ = 0;
+    bool halfRate_ = false;
+    unsigned spikeFramesLeft_ = 0;
+    unsigned missStreak_ = 0;
+    unsigned hitStreak_ = 0;
+};
+
+class VrGameModel : public WorkloadModel
+{
+  public:
+    VrGameModel(VrGame game, Headset headset)
+        : game_(paramsOf(game)), headset_(std::move(headset))
+    {
+        spec_ = {game_.id, game_.name, "VR Gaming"};
+    }
+
+    const AppSpec &spec() const override { return spec_; }
+
+    AppInstance
+    instantiate(sim::Machine &machine) override
+    {
+        auto &process = machine.createProcess(game_.id,
+                                              game_.smtFriendliness);
+        // Level/asset loading at start: wide, short-lived.
+        spawnStartupBurst(machine, process, 2.5);
+
+        CrewSync crew = makeCrew(machine, game_.workers);
+        spawnCrewWorkers(
+            process, crew,
+            Dist::normal(game_.workerFrameMs,
+                         game_.workerFrameMs * 0.2),
+            "job");
+        process.createThread(
+            std::make_shared<GameLoop>(game_, headset_, crew),
+            "game-loop");
+
+        // Sensor-fusion/tracking thread: light 250 Hz ticks.
+        PeriodicBurstParams tracking;
+        tracking.periodMs = Dist::fixed(4.0);
+        tracking.burstMs = Dist::normal(0.12, 0.03);
+        process.createThread(std::make_shared<PeriodicBurst>(tracking),
+                             "tracking");
+
+        // Headset runtime helpers (compositor/ASW workers).
+        for (unsigned i = 0; i < headset_.runtimeThreads; ++i) {
+            PeriodicBurstParams runtime;
+            runtime.periodMs = Dist::fixed(kSlotMs);
+            runtime.burstMs = Dist::normal(
+                headset_.runtimeFrameMs,
+                headset_.runtimeFrameMs * 0.2);
+            // Phase-locked with the game loop's frame work.
+            runtime.startDelayMs = Dist::fixed(0.2 * i);
+            runtime.anchorPeriod = true;
+            process.createThread(
+                std::make_shared<PeriodicBurst>(runtime),
+                "vr-runtime-" + std::to_string(i));
+        }
+
+        // Controller handler: responds to player actions.
+        InteractiveUiParams controller;
+        controller.inputChannel = machine.inputChannel(
+            input::channelOf(input::InputKind::VrController));
+        controller.uiBurstMs = Dist::normal(1.2, 0.4);
+        process.createThread(
+            std::make_shared<InteractiveUi>(controller),
+            "controller");
+
+        AppInstance instance;
+        instance.processPrefix = game_.id;
+        auto count = static_cast<unsigned>(
+            sim::toSeconds(duration()) * 3.0);
+        instance.script.every(sim::msec(333), sim::msec(333), count,
+                              input::InputKind::VrController);
+        return instance;
+    }
+
+  private:
+    VrGameParams game_;
+    Headset headset_;
+    AppSpec spec_;
+};
+
+} // namespace
+
+Headset
+Headset::rift()
+{
+    Headset h;
+    h.name = "Oculus Rift";
+    h.resolutionScale = 1.0;
+    h.pacing = Pacing::Asw;
+    h.runtimeThreads = 2;
+    h.runtimeFrameMs = 0.8;
+    h.compositorGpuMs = 0.3;
+    return h;
+}
+
+Headset
+Headset::vive()
+{
+    Headset h;
+    h.name = "HTC Vive";
+    h.resolutionScale = 1.02;
+    h.pacing = Pacing::Reprojection;
+    h.runtimeThreads = 1;
+    h.runtimeFrameMs = 0.5;
+    h.compositorGpuMs = 1.0;
+    return h;
+}
+
+Headset
+Headset::vivePro()
+{
+    Headset h;
+    h.name = "HTC Vive Pro";
+    h.resolutionScale = 1.15;
+    h.pacing = Pacing::Reprojection;
+    h.runtimeThreads = 1;
+    h.runtimeFrameMs = 0.5;
+    h.compositorGpuMs = 1.2;
+    return h;
+}
+
+const char *
+vrGameName(VrGame game)
+{
+    return paramsOf(game).name;
+}
+
+const char *
+vrGameId(VrGame game)
+{
+    return paramsOf(game).id;
+}
+
+WorkloadPtr
+makeVrGame(VrGame game, const Headset &headset)
+{
+    return std::make_unique<VrGameModel>(game, headset);
+}
+
+WorkloadPtr
+makeVrGame(VrGame game)
+{
+    return makeVrGame(game, Headset::rift());
+}
+
+} // namespace deskpar::apps

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Virtual-reality gaming workloads (Table II category 7, Figures 12
+ * and 13): six games across three headsets.
+ *
+ * The game loop targets 90 FPS: per frame the main thread simulates,
+ * fork-joins helper jobs (physics/audio/culling), submits the render
+ * packet, and presents at the compositor deadline. Headsets differ in
+ * render resolution and in their miss policy:
+ *  - Oculus Rift: Asynchronous Spacewarp — on sustained misses the
+ *    app is clamped to 45 FPS and the runtime synthesizes every other
+ *    frame (the paper's 4-core observation);
+ *  - HTC Vive / Vive Pro: asynchronous reprojection — the runtime
+ *    keeps pushing 90 FPS and inserts an adjusted frame whenever the
+ *    real render misses, so the real-frame rate oscillates 90/45.
+ */
+
+#ifndef DESKPAR_APPS_VR_HH
+#define DESKPAR_APPS_VR_HH
+
+#include <string>
+
+#include "apps/app.hh"
+
+namespace deskpar::apps {
+
+/**
+ * A VR headset model.
+ */
+struct Headset
+{
+    enum class Pacing { Asw, Reprojection };
+
+    std::string name;
+    /** Render-cost multiplier relative to Rift/Vive resolution. */
+    double resolutionScale = 1.0;
+    Pacing pacing = Pacing::Asw;
+    /** In-process runtime/compositor helper threads. */
+    unsigned runtimeThreads = 1;
+    /** Per-frame work of each runtime thread (ms @ ref clock). */
+    double runtimeFrameMs = 0.5;
+    /** Per-frame GPU cost of the runtime compositor (lens warp,
+     *  reprojection), added to every render packet. */
+    double compositorGpuMs = 0.3;
+
+    static Headset rift();
+    static Headset vive();
+    static Headset vivePro();
+};
+
+/** The six games of Section IV-F. */
+enum class VrGame {
+    ArizonaSunshine,
+    Fallout4,
+    RawData,
+    SeriousSamVr,
+    SpacePirateTrainer,
+    ProjectCars2,
+};
+
+/** Display name of @p game ("Fallout 4 VR"). */
+const char *vrGameName(VrGame game);
+
+/** Registry id of @p game ("fallout4"). */
+const char *vrGameId(VrGame game);
+
+/** Build the workload for @p game on @p headset. */
+WorkloadPtr makeVrGame(VrGame game, const Headset &headset);
+
+/** Table II default: the Oculus Rift. */
+WorkloadPtr makeVrGame(VrGame game);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_VR_HH

@@ -1,0 +1,34 @@
+#include "input/driver.hh"
+
+#include <cmath>
+
+namespace deskpar::input {
+
+DeliveryStats
+InputDriver::install(sim::Machine &machine, const InputScript &script)
+{
+    DeliveryStats stats;
+    sim::Rng rng = machine.forkRng("input-driver");
+    sim::SimTime base = machine.now();
+
+    double jitter_sum = 0.0;
+    for (const auto &event : script.events()) {
+        sim::SimDuration jitter = jitterFor(rng, event);
+        sim::SimTime when = base + event.time + jitter;
+        int channel = channelOf(event.kind);
+        std::string label = event.label;
+        machine.queue().schedule(
+            when, [&machine, channel, label = std::move(label)] {
+                machine.deliverInput(channel, 1, label);
+            });
+        ++stats.delivered;
+        jitter_sum += static_cast<double>(jitter);
+    }
+    if (stats.delivered > 0) {
+        stats.meanAbsJitter =
+            jitter_sum / static_cast<double>(stats.delivered);
+    }
+    return stats;
+}
+
+} // namespace deskpar::input

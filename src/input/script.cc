@@ -1,0 +1,117 @@
+#include "input/script.hh"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace deskpar::input {
+
+const char *
+inputKindName(InputKind kind)
+{
+    switch (kind) {
+      case InputKind::MouseClick:
+        return "MouseClick";
+      case InputKind::MouseMove:
+        return "MouseMove";
+      case InputKind::KeyStroke:
+        return "KeyStroke";
+      case InputKind::VoiceRequest:
+        return "VoiceRequest";
+      case InputKind::VrPose:
+        return "VrPose";
+      case InputKind::VrController:
+        return "VrController";
+    }
+    return "Unknown";
+}
+
+InputScript &
+InputScript::at(sim::SimTime at, InputKind kind, std::string label)
+{
+    events_.push_back(InputEvent{at, kind, std::move(label)});
+    normalize();
+    return *this;
+}
+
+InputScript &
+InputScript::every(sim::SimTime start, sim::SimDuration period,
+                   unsigned count, InputKind kind, std::string label)
+{
+    for (unsigned i = 0; i < count; ++i) {
+        events_.push_back(
+            InputEvent{start + i * period, kind, label});
+    }
+    normalize();
+    return *this;
+}
+
+sim::SimTime
+InputScript::lastEventTime() const
+{
+    return events_.empty() ? 0 : events_.back().time;
+}
+
+void
+InputScript::save(std::ostream &out) const
+{
+    out << "# deskpar input script v1\n";
+    for (const auto &event : events_) {
+        out << event.time << ' '
+            << inputKindName(event.kind);
+        if (!event.label.empty())
+            out << ' ' << event.label;
+        out << '\n';
+    }
+}
+
+InputScript
+InputScript::load(std::istream &in)
+{
+    InputScript script;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::uint64_t time = 0;
+        std::string kind_name;
+        if (!(fields >> time >> kind_name))
+            deskpar::fatal("InputScript::load: malformed line: " +
+                           line);
+
+        bool found = false;
+        InputKind kind = InputKind::MouseClick;
+        for (int k = static_cast<int>(InputKind::MouseClick);
+             k <= static_cast<int>(InputKind::VrController); ++k) {
+            auto candidate = static_cast<InputKind>(k);
+            if (kind_name == inputKindName(candidate)) {
+                kind = candidate;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            deskpar::fatal("InputScript::load: unknown kind " +
+                           kind_name);
+
+        std::string label;
+        std::getline(fields >> std::ws, label);
+        script.at(time, kind, std::move(label));
+    }
+    return script;
+}
+
+void
+InputScript::normalize()
+{
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const InputEvent &a, const InputEvent &b) {
+                         return a.time < b.time;
+                     });
+}
+
+} // namespace deskpar::input

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * User-input scripts: the AutoIt-equivalent substrate (paper Section
+ * III-D/E). A script is a timed sequence of input events (mouse,
+ * keyboard, voice requests, VR poses) that a driver delivers into the
+ * machine, where application UI threads wait on input channels.
+ */
+
+#ifndef DESKPAR_INPUT_SCRIPT_HH
+#define DESKPAR_INPUT_SCRIPT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deskpar::input {
+
+/** Input modality, matching the paper's testbench inputs. */
+enum class InputKind : int {
+    MouseClick = 1,
+    MouseMove = 2,
+    KeyStroke = 3,
+    VoiceRequest = 4,
+    VrPose = 5,
+    VrController = 6,
+};
+
+/** Human-readable name of an input kind. */
+const char *inputKindName(InputKind kind);
+
+/** The machine input channel used to deliver @p kind. */
+constexpr int
+channelOf(InputKind kind)
+{
+    return static_cast<int>(kind);
+}
+
+/** One scripted user action. */
+struct InputEvent
+{
+    sim::SimTime time = 0;
+    InputKind kind = InputKind::MouseClick;
+    /** Optional annotation ("open file dialog", "ask weather"). */
+    std::string label;
+};
+
+/**
+ * A timed input sequence. Build with the fluent helpers, then hand to
+ * an input driver (driver.hh).
+ */
+class InputScript
+{
+  public:
+    InputScript() = default;
+
+    /** Append one event at absolute time @p at. */
+    InputScript &at(sim::SimTime at, InputKind kind,
+                    std::string label = {});
+
+    /**
+     * Append @p count events of @p kind spaced @p period apart,
+     * starting at @p start.
+     */
+    InputScript &every(sim::SimTime start, sim::SimDuration period,
+                       unsigned count, InputKind kind,
+                       std::string label = {});
+
+    /** Events sorted by time. */
+    const std::vector<InputEvent> &events() const { return events_; }
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** Time of the last event (0 if empty). */
+    sim::SimTime lastEventTime() const;
+
+    /**
+     * Serialize as a line-oriented text format (the shareable
+     * .au3-equivalent):  "<time_ns> <kind> [label...]".
+     */
+    void save(std::ostream &out) const;
+
+    /**
+     * Parse the text format back. Throws FatalError on malformed
+     * lines or unknown kinds.
+     */
+    static InputScript load(std::istream &in);
+
+  private:
+    void normalize();
+
+    std::vector<InputEvent> events_;
+};
+
+} // namespace deskpar::input
+
+#endif // DESKPAR_INPUT_SCRIPT_HH

@@ -1,0 +1,145 @@
+#include "report/figure.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "report/table.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::report {
+
+Series &
+Figure::addSeries(const std::string &name)
+{
+    series_.push_back(Series{name, {}, {}});
+    return series_.back();
+}
+
+void
+Figure::printData(std::ostream &out) const
+{
+    out << "# " << title_ << "\n";
+    out << "# x: " << xLabel_ << ", y: " << yLabel_ << "\n";
+
+    // Collect the union of x values across series.
+    std::map<double, std::vector<std::string>> rows;
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        for (std::size_t i = 0; i < series_[s].x.size(); ++i) {
+            auto &row = rows[series_[s].x[i]];
+            row.resize(series_.size());
+            row[s] = formatNumber(series_[s].y[i], 3);
+        }
+    }
+
+    out << xLabel_;
+    for (const auto &s : series_)
+        out << '\t' << s.name;
+    out << '\n';
+    for (const auto &[x, cells] : rows) {
+        out << formatNumber(x, 3);
+        for (std::size_t s = 0; s < series_.size(); ++s) {
+            out << '\t'
+                << (s < cells.size() && !cells[s].empty()
+                        ? cells[s]
+                        : std::string("-"));
+        }
+        out << '\n';
+    }
+}
+
+void
+Figure::printAscii(std::ostream &out, unsigned width,
+                   unsigned height) const
+{
+    if (series_.empty() || width < 8 || height < 4) {
+        out << "(no data)\n";
+        return;
+    }
+
+    double xmin = 1e300, xmax = -1e300;
+    double ymin = 0.0, ymax = -1e300;
+    for (const auto &s : series_) {
+        for (double v : s.x) {
+            xmin = std::min(xmin, v);
+            xmax = std::max(xmax, v);
+        }
+        for (double v : s.y) {
+            ymin = std::min(ymin, v);
+            ymax = std::max(ymax, v);
+        }
+    }
+    if (xmax <= xmin)
+        xmax = xmin + 1.0;
+    if (ymax <= ymin)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(height, std::string(width, ' '));
+    const char glyphs[] = "*o+x%&";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        char glyph = glyphs[s % (sizeof(glyphs) - 1)];
+        for (std::size_t i = 0; i < series_[s].x.size(); ++i) {
+            double fx = (series_[s].x[i] - xmin) / (xmax - xmin);
+            double fy = (series_[s].y[i] - ymin) / (ymax - ymin);
+            auto col = static_cast<unsigned>(
+                std::lround(fx * (width - 1)));
+            auto row = static_cast<unsigned>(
+                std::lround((1.0 - fy) * (height - 1)));
+            grid[row][col] = glyph;
+        }
+    }
+
+    out << title_ << "\n";
+    for (unsigned r = 0; r < height; ++r) {
+        double yv = ymax - (ymax - ymin) * r / (height - 1);
+        char label[16];
+        std::snprintf(label, sizeof(label), "%8.1f |", yv);
+        out << label << grid[r] << '\n';
+    }
+    out << "          " << std::string(width, '-') << '\n';
+    char xlab[64];
+    std::snprintf(xlab, sizeof(xlab), "%10.1f%*s%.1f  (%s)\n", xmin,
+                  static_cast<int>(width - 8), "", xmax,
+                  xLabel_.c_str());
+    out << xlab;
+    out << "  legend:";
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        out << "  " << glyphs[s % (sizeof(glyphs) - 1)] << '='
+            << series_[s].name;
+    }
+    out << '\n';
+}
+
+void
+printBarGroups(std::ostream &out, const std::string &title,
+               const std::vector<std::string> &groups,
+               const std::vector<Series> &series, double max_value,
+               unsigned bar_width)
+{
+    if (max_value <= 0.0)
+        fatal("printBarGroups: non-positive max");
+    out << title << "\n";
+    std::size_t label_width = 0;
+    for (const auto &s : series)
+        label_width = std::max(label_width, s.name.size());
+
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        out << groups[g] << "\n";
+        for (const auto &s : series) {
+            if (g >= s.y.size())
+                continue;
+            double v = s.y[g];
+            auto bars = static_cast<unsigned>(std::lround(
+                std::clamp(v / max_value, 0.0, 1.0) * bar_width));
+            out << "  ";
+            out << s.name;
+            out << std::string(label_width - s.name.size() + 1, ' ');
+            out << '|' << std::string(bars, '#')
+                << std::string(bar_width - bars, ' ') << "| "
+                << formatNumber(v, 1) << '\n';
+        }
+    }
+}
+
+} // namespace deskpar::report

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure helpers: named series containers, ASCII charts, and data
+ * dumps for the paper's line/bar figures.
+ */
+
+#ifndef DESKPAR_REPORT_FIGURE_HH
+#define DESKPAR_REPORT_FIGURE_HH
+
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deskpar::report {
+
+/** One (x, y) series of a figure. */
+struct Series
+{
+    std::string name;
+    std::vector<double> x;
+    std::vector<double> y;
+
+    void
+    add(double xv, double yv)
+    {
+        x.push_back(xv);
+        y.push_back(yv);
+    }
+};
+
+/**
+ * A figure: a titled collection of series sharing axes.
+ */
+class Figure
+{
+  public:
+    Figure(std::string title, std::string x_label,
+           std::string y_label)
+        : title_(std::move(title)), xLabel_(std::move(x_label)),
+          yLabel_(std::move(y_label))
+    {}
+
+    /**
+     * Add a series; the returned reference stays valid across later
+     * addSeries() calls (deque storage).
+     */
+    Series &addSeries(const std::string &name);
+
+    const std::deque<Series> &series() const { return series_; }
+    const std::string &title() const { return title_; }
+
+    /**
+     * Print the data as a column table: x, then one column per
+     * series (series must share x grids; missing points blank).
+     */
+    void printData(std::ostream &out) const;
+
+    /**
+     * Render an ASCII chart (y down-sampled to @p height rows,
+     * x to @p width columns), one glyph per series.
+     */
+    void printAscii(std::ostream &out, unsigned width = 72,
+                    unsigned height = 16) const;
+
+  private:
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::deque<Series> series_;
+};
+
+/** Grouped-bar rendering for categorical figures (Figs 2/3/11/12). */
+void printBarGroups(std::ostream &out, const std::string &title,
+                    const std::vector<std::string> &groups,
+                    const std::vector<Series> &series,
+                    double max_value, unsigned bar_width = 40);
+
+} // namespace deskpar::report
+
+#endif // DESKPAR_REPORT_FIGURE_HH

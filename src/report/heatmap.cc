@@ -1,0 +1,58 @@
+#include "report/heatmap.hh"
+
+#include <algorithm>
+
+namespace deskpar::report {
+
+namespace {
+
+/** Nine shades from empty to full. */
+constexpr const char kRamp[] = " .:-=+*#@";
+constexpr int kRampSteps = 9;
+
+} // namespace
+
+char
+shadeFor(double fraction)
+{
+    double f = std::clamp(fraction, 0.0, 1.0);
+    // Emphasize small fractions: most cells hold a few percent.
+    int idx = 0;
+    if (f >= 0.001) {
+        static const double kThresholds[] = {
+            0.005, 0.02, 0.05, 0.12, 0.25, 0.45, 0.70};
+        idx = 1;
+        for (double t : kThresholds) {
+            if (f >= t)
+                ++idx;
+        }
+        idx = std::min(idx, kRampSteps - 1);
+    }
+    return kRamp[idx];
+}
+
+std::string
+heatmapRow(const std::vector<double> &fractions)
+{
+    std::string out;
+    out.reserve(fractions.size() * 2 + 2);
+    out += '[';
+    for (double f : fractions) {
+        out += shadeFor(f);
+        out += ' ';
+    }
+    if (!fractions.empty())
+        out.pop_back();
+    out += ']';
+    return out;
+}
+
+std::string
+heatmapLegend()
+{
+    return "heat map shades (share of wall time): ' '<0.1% "
+           "'.'<0.5% ':'<2% '-'<5% '='<12% '+'<25% '*'<45% "
+           "'#'<70% '@'>=70%";
+}
+
+} // namespace deskpar::report

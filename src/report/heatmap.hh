@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Execution-time heat map: the Table II visualization — for each
+ * application, the percentage of wall time spent with exactly i
+ * logical CPUs busy, shaded per cell.
+ */
+
+#ifndef DESKPAR_REPORT_HEATMAP_HH
+#define DESKPAR_REPORT_HEATMAP_HH
+
+#include <string>
+#include <vector>
+
+namespace deskpar::report {
+
+/**
+ * Render one c_0..c_n row as shaded cells. Shades use a 9-step ASCII
+ * ramp; each cell is annotated only by shade (the paper's heat map
+ * carries no numbers either).
+ */
+std::string heatmapRow(const std::vector<double> &fractions);
+
+/** The shade character for a fraction in [0, 1]. */
+char shadeFor(double fraction);
+
+/** Legend line explaining the ramp. */
+std::string heatmapLegend();
+
+} // namespace deskpar::report
+
+#endif // DESKPAR_REPORT_HEATMAP_HH

@@ -1,0 +1,71 @@
+#include "report/history.hh"
+
+namespace deskpar::report {
+
+const std::vector<HistoryEntry> &
+tlpHistory()
+{
+    static const std::vector<HistoryEntry> kEntries = {
+        // 3D gaming
+        {"Quake 2", "3D Gaming", 2000, 1.2},
+        {"Crysis", "3D Gaming", 2010, 2.0},
+        {"Call of Duty 4", "3D Gaming", 2010, 1.8},
+        {"Bioshock", "3D Gaming", 2010, 1.6},
+        // Image authoring
+        {"Photoshop 4.0.1", "Image Authoring", 2000, 1.5},
+        {"Maya3D 2010", "Image Authoring", 2010, 2.3},
+        {"Photoshop CS4", "Image Authoring", 2010, 1.7},
+        // Office
+        {"AdobeReader 4.0", "Office", 2000, 1.1},
+        {"PowerPoint 97", "Office", 2000, 1.1},
+        {"Word 97", "Office", 2000, 1.2},
+        {"Excel 97", "Office", 2000, 1.1},
+        {"AdobeReader 9.0", "Office", 2010, 1.3},
+        {"PowerPoint 2007", "Office", 2010, 1.4},
+        {"Word 2007", "Office", 2010, 1.4},
+        {"Excel 2007", "Office", 2010, 1.5},
+        // Media playback
+        {"Win Media Player (2000)", "Media Playback", 2000, 1.8},
+        {"Quicktime 4.0.3", "Media Playback", 2000, 1.3},
+        {"Quicktime 7.6", "Media Playback", 2010, 2.0},
+        {"Win Media Player (2010)", "Media Playback", 2010, 2.3},
+        // Video authoring & transcoding
+        {"Premier 4.2", "Video Authoring & Transcoding", 2000, 2.1},
+        {"PowerDirector v7", "Video Authoring & Transcoding", 2010,
+         4.0},
+        {"HandBrake 0.9", "Video Authoring & Transcoding", 2010,
+         8.3},
+        // Web browsing
+        {"IE 5", "Web Browsing", 2000, 1.4},
+        {"Firefox 3.5", "Web Browsing", 2010, 1.8},
+    };
+    return kEntries;
+}
+
+const std::vector<HistoryEntry> &
+gpuHistory()
+{
+    static const std::vector<HistoryEntry> kEntries = {
+        {"Call of Duty 4", "3D Gaming", 2010, 60.0},
+        {"Bioshock", "3D Gaming", 2010, 65.0},
+        {"Crysis", "3D Gaming", 2010, 75.0},
+        {"Maya3D 2010", "Image Authoring", 2010, 12.0},
+        {"Photoshop CS4", "Image Authoring", 2010, 4.0},
+        {"Street & Trips 2010", "Office", 2010, 2.0},
+        {"AdobeReader 9.0", "Office", 2010, 1.0},
+        {"PowerPoint 2007", "Office", 2010, 2.5},
+        {"Word 2007", "Office", 2010, 2.0},
+        {"Excel 2007", "Office", 2010, 2.5},
+        {"Quicktime 7.6", "Media Playback", 2010, 15.0},
+        {"Win Media Player (2010)", "Media Playback", 2010, 20.0},
+        {"PowerDirector v7", "Video Authoring & Transcoding", 2010,
+         10.0},
+        {"HandBrake 0.9", "Video Authoring & Transcoding", 2010,
+         1.0},
+        {"Safari 4.0", "Web Browsing", 2010, 8.0},
+        {"Firefox 3.5", "Web Browsing", 2010, 5.0},
+    };
+    return kEntries;
+}
+
+} // namespace deskpar::report

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Historical comparison data for Figures 2 and 3: the 2000 (Flautner
+ * et al.) and 2010 (Blake et al.) TLP / GPU-utilization numbers the
+ * paper plots next to its 2018 measurements.
+ *
+ * The paper itself imports these from prior work; the values here are
+ * transcribed from the bars of Figures 2 and 3 (the originals publish
+ * no tables), so they are approximate to within the figure's
+ * resolution (~0.1 TLP / ~2% GPU).
+ */
+
+#ifndef DESKPAR_REPORT_HISTORY_HH
+#define DESKPAR_REPORT_HISTORY_HH
+
+#include <string>
+#include <vector>
+
+namespace deskpar::report {
+
+/** One historical bar of Figure 2 or 3. */
+struct HistoryEntry
+{
+    std::string app;      ///< display label ("Photoshop CS4")
+    std::string category; ///< figure group ("Image Authoring")
+    int year;             ///< 2000 or 2010
+    double value;         ///< TLP or GPU utilization %
+};
+
+/** Figure 2's 2000/2010 TLP bars. */
+const std::vector<HistoryEntry> &tlpHistory();
+
+/** Figure 3's 2010 GPU-utilization bars. */
+const std::vector<HistoryEntry> &gpuHistory();
+
+} // namespace deskpar::report
+
+#endif // DESKPAR_REPORT_HISTORY_HH

@@ -1,0 +1,195 @@
+#include "report/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace deskpar::report {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separator()
+{
+    if (!hasElement_.empty()) {
+        if (hasElement_.back() == '1')
+            out_ << ',';
+        else
+            hasElement_.back() = '1';
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    out_ << '{';
+    hasElement_.push_back('0');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (hasElement_.empty())
+        panic("JsonWriter::endObject: nothing open");
+    hasElement_.pop_back();
+    out_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &name)
+{
+    if (!name.empty())
+        key(name);
+    // Mark the array itself as the parent level's element (after a
+    // key the flag is '0' so this adds no comma).
+    separator();
+    out_ << '[';
+    hasElement_.push_back('0');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (hasElement_.empty())
+        panic("JsonWriter::endArray: nothing open");
+    hasElement_.pop_back();
+    out_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separator();
+    out_ << '"' << escape(name) << "\":";
+    // The upcoming value must not emit another separator.
+    if (!hasElement_.empty())
+        hasElement_.back() = '0';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    out_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    if (std::isfinite(v)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        out_ << buf;
+    } else {
+        out_ << "null";
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    out_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    out_ << (v ? "true" : "false");
+    return *this;
+}
+
+void
+writeJson(std::ostream &out, const analysis::AppMetrics &metrics)
+{
+    JsonWriter json(out);
+    json.beginObject()
+        .field("tlp", metrics.tlp())
+        .field("gpu_util_percent", metrics.gpuUtilPercent())
+        .field("gpu_aggregate_ratio", metrics.gpu.aggregateRatio)
+        .field("gpu_busy_ratio", metrics.gpu.busyRatio)
+        .field("gpu_overlapped", metrics.gpu.overlapped)
+        .field("idle_fraction", metrics.concurrency.idleFraction())
+        .field("max_concurrency",
+               std::uint64_t(metrics.concurrency.maxConcurrency()))
+        .field("avg_fps", metrics.frames.avgFps)
+        .field("frames", std::uint64_t(metrics.frames.frames));
+    json.beginArray("c");
+    for (double c : metrics.concurrency.c)
+        json.value(c);
+    json.endArray();
+    json.endObject();
+    out << '\n';
+}
+
+void
+writeJson(std::ostream &out,
+          const analysis::IterationAggregate &aggregate)
+{
+    JsonWriter json(out);
+    json.beginObject()
+        .field("app", aggregate.app)
+        .field("iterations", std::uint64_t(aggregate.tlp.count()))
+        .field("tlp_mean", aggregate.tlp.mean())
+        .field("tlp_stddev", aggregate.tlp.stddev())
+        .field("gpu_util_mean", aggregate.gpuUtil.mean())
+        .field("gpu_util_stddev", aggregate.gpuUtil.stddev())
+        .field("max_concurrency_mean",
+               aggregate.maxConcurrency.mean())
+        .field("gpu_overlapped", aggregate.gpuOverlapped);
+    json.beginArray("mean_c");
+    for (double c : aggregate.meanC)
+        json.value(c);
+    json.endArray();
+    json.endObject();
+    out << '\n';
+}
+
+} // namespace deskpar::report

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * JSON result export: machine-readable output of the analysis
+ * results for downstream tooling (plotting, CI regression checks).
+ * Includes a minimal escape-correct writer — no external JSON
+ * dependency.
+ */
+
+#ifndef DESKPAR_REPORT_JSON_HH
+#define DESKPAR_REPORT_JSON_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/analyzer.hh"
+
+namespace deskpar::report {
+
+/**
+ * Minimal streaming JSON writer. Call the begin/end pairs in
+ * document order; keys and values are escaped.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out)
+        : out_(out)
+    {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray(const std::string &key = {});
+    JsonWriter &endArray();
+
+    JsonWriter &key(const std::string &name);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(bool v);
+
+    /** key + value in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** Escape @p s per RFC 8259 (quotes not included). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void separator();
+
+    std::ostream &out_;
+    /** Whether the current nesting level already has an element. */
+    std::string hasElement_; // stack of 0/1 flags
+};
+
+/** Serialize one trace's application metrics. */
+void writeJson(std::ostream &out,
+               const analysis::AppMetrics &metrics);
+
+/** Serialize a multi-iteration aggregate (the Table II row). */
+void writeJson(std::ostream &out,
+               const analysis::IterationAggregate &aggregate);
+
+} // namespace deskpar::report
+
+#endif // DESKPAR_REPORT_JSON_HH

@@ -1,0 +1,130 @@
+#include "report/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace deskpar::report {
+
+std::string
+formatNumber(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("TextTable: no columns");
+}
+
+TextTable &
+TextTable::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &value)
+{
+    if (rows_.empty())
+        fatal("TextTable::cell: call row() first");
+    if (rows_.back().size() >= headers_.size())
+        fatal("TextTable::cell: too many cells in row");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(double value, int precision)
+{
+    return cell(formatNumber(value, precision));
+}
+
+TextTable &
+TextTable::cell(std::uint64_t value)
+{
+    return cell(std::to_string(value));
+}
+
+namespace {
+
+std::vector<std::size_t>
+columnWidths(const std::vector<std::string> &headers,
+             const std::vector<std::vector<std::string>> &rows)
+{
+    std::vector<std::size_t> widths(headers.size());
+    for (std::size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+    return widths;
+}
+
+void
+printPadded(std::ostream &out, const std::string &value,
+            std::size_t width)
+{
+    out << value;
+    for (std::size_t i = value.size(); i < width; ++i)
+        out << ' ';
+}
+
+} // namespace
+
+void
+TextTable::print(std::ostream &out) const
+{
+    auto widths = columnWidths(headers_, rows_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            out << "  ";
+        printPadded(out, headers_[c], widths[c]);
+    }
+    out << '\n';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c)
+            out << "  ";
+        out << std::string(widths[c], '-');
+    }
+    out << '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << "  ";
+            printPadded(out, row[c], widths[c]);
+        }
+        out << '\n';
+    }
+}
+
+void
+TextTable::printMarkdown(std::ostream &out) const
+{
+    out << '|';
+    for (const auto &header : headers_)
+        out << ' ' << header << " |";
+    out << "\n|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        out << "---|";
+    out << '\n';
+    for (const auto &row : rows_) {
+        out << '|';
+        for (const auto &value : row)
+            out << ' ' << value << " |";
+        for (std::size_t c = row.size(); c < headers_.size(); ++c)
+            out << " |";
+        out << '\n';
+    }
+}
+
+} // namespace deskpar::report

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Text-table builder for benchmark output: fixed-precision numeric
+ * cells, alignment, and optional markdown rendering — the formatting
+ * layer every bench binary shares.
+ */
+
+#ifndef DESKPAR_REPORT_TABLE_HH
+#define DESKPAR_REPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deskpar::report {
+
+/**
+ * A simple column-aligned table.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    TextTable &row();
+
+    /** Append a string cell to the current row. */
+    TextTable &cell(const std::string &value);
+
+    /** Append a numeric cell with @p precision decimals. */
+    TextTable &cell(double value, int precision = 1);
+
+    /** Append an integer cell. */
+    TextTable &cell(std::uint64_t value);
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render with ASCII rules. */
+    void print(std::ostream &out) const;
+
+    /** Render as a GitHub-flavored markdown table. */
+    void printMarkdown(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p value with @p precision decimals. */
+std::string formatNumber(double value, int precision);
+
+} // namespace deskpar::report
+
+#endif // DESKPAR_REPORT_TABLE_HH

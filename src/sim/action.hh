@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Thread actions: the vocabulary a workload behavior uses to drive its
+ * thread. The thread runtime pulls the next Action from the behavior
+ * whenever the previous one completes; zero-time actions (GPU submit,
+ * signal, marker, present, spawn) are processed inline, while Compute,
+ * Sleep and the Wait* actions occupy or block the thread.
+ */
+
+#ifndef DESKPAR_SIM_ACTION_HH
+#define DESKPAR_SIM_ACTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/types.hh"
+#include "trace/event.hh"
+
+namespace deskpar::sim {
+
+class ThreadBehavior;
+
+/** Identifier of a counting-semaphore sync object (see SyncHub). */
+using SyncId = std::int32_t;
+
+/** Sentinel for "no sync object". */
+inline constexpr SyncId kNoSync = -1;
+
+/**
+ * One step of thread execution. Construct via the static factories.
+ */
+struct Action
+{
+    enum class Kind : std::uint8_t {
+        Compute,    ///< Occupy a CPU for `work` units.
+        GpuAsync,   ///< Submit a GPU packet and continue.
+        GpuSync,    ///< Block until this thread's GPU packets finish.
+        Sleep,      ///< Block for `duration` ns.
+        SleepUntil, ///< Block until absolute time `until`.
+        WaitSync,   ///< Consume a token from sync object `syncId`.
+        SignalSync, ///< Add `count` tokens to sync object `syncId`.
+        Spawn,      ///< Create a sibling thread running `spawnBehavior`.
+        Present,    ///< Emit a frame-present trace event.
+        Marker,     ///< Emit a marker trace event.
+        Exit,       ///< Terminate the thread.
+    };
+
+    Kind kind = Kind::Exit;
+    WorkUnits work = 0;
+    trace::GpuEngineId engine = trace::GpuEngineId::Graphics3D;
+    SimDuration duration = 0;
+    SimTime until = 0;
+    SyncId syncId = kNoSync;
+    std::uint32_t count = 1;
+    std::shared_ptr<ThreadBehavior> spawnBehavior;
+    std::string label;
+    bool frameSynthesized = false;
+
+    /** Occupy a CPU for @p work units (cycles). */
+    static Action
+    compute(WorkUnits work)
+    {
+        Action a;
+        a.kind = Kind::Compute;
+        a.work = work;
+        return a;
+    }
+
+    /** Submit @p work units to GPU engine @p engine; don't wait. */
+    static Action
+    gpuAsync(trace::GpuEngineId engine, WorkUnits work)
+    {
+        Action a;
+        a.kind = Kind::GpuAsync;
+        a.engine = engine;
+        a.work = work;
+        return a;
+    }
+
+    /** Block until all packets this thread submitted have finished. */
+    static Action
+    gpuSync()
+    {
+        Action a;
+        a.kind = Kind::GpuSync;
+        return a;
+    }
+
+    /** Block for @p duration ns. */
+    static Action
+    sleep(SimDuration duration)
+    {
+        Action a;
+        a.kind = Kind::Sleep;
+        a.duration = duration;
+        return a;
+    }
+
+    /** Block until absolute simulated time @p until (no-op if past). */
+    static Action
+    sleepUntil(SimTime until)
+    {
+        Action a;
+        a.kind = Kind::SleepUntil;
+        a.until = until;
+        return a;
+    }
+
+    /** Consume one token from @p id, blocking while none available. */
+    static Action
+    waitSync(SyncId id)
+    {
+        Action a;
+        a.kind = Kind::WaitSync;
+        a.syncId = id;
+        return a;
+    }
+
+    /** Add @p count tokens to @p id, waking blocked waiters. */
+    static Action
+    signalSync(SyncId id, std::uint32_t count = 1)
+    {
+        Action a;
+        a.kind = Kind::SignalSync;
+        a.syncId = id;
+        a.count = count;
+        return a;
+    }
+
+    /** Create a new thread in this process running @p behavior. */
+    static Action
+    spawn(std::shared_ptr<ThreadBehavior> behavior, std::string name)
+    {
+        Action a;
+        a.kind = Kind::Spawn;
+        a.spawnBehavior = std::move(behavior);
+        a.label = std::move(name);
+        return a;
+    }
+
+    /** Emit a frame-present event (frame ids assigned per process). */
+    static Action
+    present(bool synthesized = false)
+    {
+        Action a;
+        a.kind = Kind::Present;
+        a.frameSynthesized = synthesized;
+        return a;
+    }
+
+    /** Emit a marker event labelled @p label. */
+    static Action
+    marker(std::string label)
+    {
+        Action a;
+        a.kind = Kind::Marker;
+        a.label = std::move(label);
+        return a;
+    }
+
+    /** Terminate the thread. */
+    static Action
+    exit()
+    {
+        return Action{};
+    }
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_ACTION_HH

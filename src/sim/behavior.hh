@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ThreadBehavior: the interface between workload models and the thread
+ * runtime. A behavior is a small state machine; the runtime calls
+ * next() whenever the previous action completes and executes whatever
+ * it returns. Behaviors own all their state, so conditional logic
+ * (frame pacing, adaptive offload, input-driven bursts) is plain C++.
+ */
+
+#ifndef DESKPAR_SIM_BEHAVIOR_HH
+#define DESKPAR_SIM_BEHAVIOR_HH
+
+#include "sim/action.hh"
+#include "sim/gpu.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+/**
+ * Read-mostly view of the simulation handed to ThreadBehavior::next().
+ * Deliberately minimal: behaviors interact with the machine only
+ * through the actions they return.
+ */
+struct ThreadContext
+{
+    SimTime now = 0;
+    Pid pid = 0;
+    Tid tid = 0;
+    /** Process-local RNG; draws are reproducible per seed. */
+    Rng *rng = nullptr;
+    /** Spec of the GPU board in the machine. */
+    const GpuSpec *gpu = nullptr;
+    /** Number of active logical CPUs (the TLP ceiling). */
+    unsigned activeLogicalCpus = 0;
+    /** True when both hardware threads per core are enabled. */
+    bool smtEnabled = false;
+    /** GPU packets this thread submitted that are still in flight. */
+    unsigned gpuOutstanding = 0;
+};
+
+/**
+ * A thread's program. Implementations return the next Action each time
+ * the previous one finishes; returning Action::exit() (or any action of
+ * Kind::Exit) terminates the thread.
+ */
+class ThreadBehavior
+{
+  public:
+    virtual ~ThreadBehavior() = default;
+
+    /** Produce the thread's next action. */
+    virtual Action next(ThreadContext &ctx) = 0;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_BEHAVIOR_HH

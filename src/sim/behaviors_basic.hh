@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Elementary ThreadBehavior implementations used by tests, examples
+ * and as leaves of composed workload models: a fixed action sequence
+ * and a function-driven behavior.
+ */
+
+#ifndef DESKPAR_SIM_BEHAVIORS_BASIC_HH
+#define DESKPAR_SIM_BEHAVIORS_BASIC_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/behavior.hh"
+
+namespace deskpar::sim {
+
+/**
+ * Plays a fixed list of actions once, then exits.
+ */
+class SequenceBehavior : public ThreadBehavior
+{
+  public:
+    explicit SequenceBehavior(std::vector<Action> actions)
+        : actions_(std::move(actions))
+    {}
+
+    Action
+    next(ThreadContext &) override
+    {
+        if (index_ >= actions_.size())
+            return Action::exit();
+        return actions_[index_++];
+    }
+
+  private:
+    std::vector<Action> actions_;
+    std::size_t index_ = 0;
+};
+
+/**
+ * Delegates to a callable; convenient for ad-hoc behaviors in tests:
+ *
+ *   std::make_shared<FunctionBehavior>([n = 0](ThreadContext &ctx)
+ *       mutable {
+ *           if (n++ < 10) return Action::compute(1e6);
+ *           return Action::exit();
+ *       });
+ */
+class FunctionBehavior : public ThreadBehavior
+{
+  public:
+    using Fn = std::function<Action(ThreadContext &)>;
+
+    explicit FunctionBehavior(Fn fn)
+        : fn_(std::move(fn))
+    {}
+
+    Action
+    next(ThreadContext &ctx) override
+    {
+        return fn_(ctx);
+    }
+
+  private:
+    Fn fn_;
+};
+
+/** Convenience factory for FunctionBehavior. */
+inline std::shared_ptr<ThreadBehavior>
+makeBehavior(FunctionBehavior::Fn fn)
+{
+    return std::make_shared<FunctionBehavior>(std::move(fn));
+}
+
+/** Convenience factory for SequenceBehavior. */
+inline std::shared_ptr<ThreadBehavior>
+makeSequence(std::vector<Action> actions)
+{
+    return std::make_shared<SequenceBehavior>(std::move(actions));
+}
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_BEHAVIORS_BASIC_HH

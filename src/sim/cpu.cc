@@ -1,0 +1,78 @@
+#include "sim/cpu.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace deskpar::sim {
+
+double
+CpuSpec::clockGhz(unsigned busyPhysicalCores) const
+{
+    if (busyPhysicalCores <= 2 || physicalCores <= 2)
+        return turboClockGhz;
+    if (busyPhysicalCores >= physicalCores)
+        return baseClockGhz;
+    // Linear taper from full turbo at 2 busy cores to base at all-busy.
+    double span = static_cast<double>(physicalCores - 2);
+    double over = static_cast<double>(busyPhysicalCores - 2);
+    return turboClockGhz - (turboClockGhz - baseClockGhz) * (over / span);
+}
+
+CpuSpec
+CpuSpec::i78700K()
+{
+    CpuSpec spec;
+    spec.model = "Intel Core i7-8700K";
+    spec.physicalCores = 6;
+    spec.threadsPerCore = 2;
+    spec.baseClockGhz = 3.70;
+    spec.turboClockGhz = 4.70;
+    spec.llcMiB = 12;
+    spec.ramGiB = 64;
+    spec.tdpWatts = 95.0;
+    spec.idleWatts = 8.0;
+    return spec;
+}
+
+CpuSpec
+CpuSpec::xeon2010()
+{
+    CpuSpec spec;
+    spec.model = "2010 dual-socket Xeon (one socket)";
+    spec.physicalCores = 4;
+    spec.threadsPerCore = 2;
+    spec.baseClockGhz = 2.26;
+    spec.turboClockGhz = 2.26;
+    spec.llcMiB = 8;
+    spec.ramGiB = 6;
+    return spec;
+}
+
+std::vector<bool>
+CpuTopology::maskSmt(unsigned n_logical) const
+{
+    if (spec_.threadsPerCore != 2)
+        fatal("CpuTopology::maskSmt: package has no SMT");
+    if (n_logical == 0 || n_logical % 2 != 0 ||
+        n_logical > numLogicalCpus()) {
+        fatal("CpuTopology::maskSmt: bad logical-CPU count");
+    }
+    std::vector<bool> mask(numLogicalCpus(), false);
+    for (unsigned i = 0; i < n_logical; ++i)
+        mask[i] = true;
+    return mask;
+}
+
+std::vector<bool>
+CpuTopology::maskNoSmt(unsigned n_physical) const
+{
+    if (n_physical == 0 || n_physical > spec_.physicalCores)
+        fatal("CpuTopology::maskNoSmt: bad physical-core count");
+    std::vector<bool> mask(numLogicalCpus(), false);
+    for (unsigned core = 0; core < n_physical; ++core)
+        mask[core * spec_.threadsPerCore] = true;
+    return mask;
+}
+
+} // namespace deskpar::sim

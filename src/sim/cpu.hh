@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CPU specification and topology: physical cores, SMT sibling pairing,
+ * clock/turbo model, and the SMT contention model.
+ *
+ * Logical CPUs are numbered the way Windows enumerates Intel consumer
+ * parts: logical CPUs 2k and 2k+1 are the two hardware threads of
+ * physical core k (when SMT is present).
+ *
+ * The SMT contention model: a thread running alone on a physical core
+ * proceeds at the full clock rate. When both siblings are busy, each
+ * proceeds at a fraction (0.5 + 0.5 * f) of full rate, where f in [0,1]
+ * is the workload's "SMT friendliness" — how much the co-running
+ * threads benefit from shared-cache reuse versus suffering functional-
+ * unit contention. f = 1 gives no slowdown (perfect sharing, 2x chip
+ * throughput); f = 0 gives 0.5x each (no SMT benefit at all). The
+ * whole-chip SMT speedup for a saturating workload is thus (1 + f),
+ * matching the paper's observation that transcoders (low f) gain
+ * nearly nothing from SMT while paying for halved per-thread capacity.
+ */
+
+#ifndef DESKPAR_SIM_CPU_HH
+#define DESKPAR_SIM_CPU_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+/**
+ * Static description of a CPU package.
+ */
+struct CpuSpec
+{
+    std::string model;
+    unsigned physicalCores = 1;
+    unsigned threadsPerCore = 1;
+    double baseClockGhz = 1.0;
+    double turboClockGhz = 1.0;
+    unsigned llcMiB = 0;
+    unsigned ramGiB = 0;
+    /** Package TDP in watts (for the power estimator). */
+    double tdpWatts = 65.0;
+    /** Package idle power in watts. */
+    double idleWatts = 6.0;
+
+    /** Total logical CPUs in the package. */
+    unsigned
+    numLogicalCpus() const
+    {
+        return physicalCores * threadsPerCore;
+    }
+
+    /**
+     * Effective clock in GHz given the number of busy physical cores.
+     * Simple Intel-style turbo ladder: full turbo with <= 2 active
+     * cores, linear taper down to the base clock with all cores busy.
+     */
+    double clockGhz(unsigned busyPhysicalCores) const;
+
+    /** The paper's benchmarking CPU (Table I): Intel Core i7-8700K. */
+    static CpuSpec i78700K();
+
+    /** Blake et al. 2010 testbed CPU (one socket), for history notes. */
+    static CpuSpec xeon2010();
+};
+
+/**
+ * Maps logical CPUs to physical cores and builds active-CPU masks for
+ * the core-scaling and SMT experiments.
+ */
+class CpuTopology
+{
+  public:
+    explicit CpuTopology(const CpuSpec &spec)
+        : spec_(spec)
+    {}
+
+    const CpuSpec &spec() const { return spec_; }
+
+    unsigned numLogicalCpus() const { return spec_.numLogicalCpus(); }
+
+    /** Physical core that hosts logical CPU @p cpu. */
+    unsigned
+    physicalOf(CpuId cpu) const
+    {
+        return cpu / spec_.threadsPerCore;
+    }
+
+    /**
+     * The SMT sibling of @p cpu, or the CPU itself when the package
+     * has one thread per core.
+     */
+    CpuId
+    siblingOf(CpuId cpu) const
+    {
+        if (spec_.threadsPerCore != 2)
+            return cpu;
+        return cpu ^ 1u;
+    }
+
+    /**
+     * Active-CPU mask for "n logical cores with SMT": the first
+     * n/2 physical cores with both hardware threads enabled.
+     * @p n must be even and within range.
+     */
+    std::vector<bool> maskSmt(unsigned n_logical) const;
+
+    /**
+     * Active-CPU mask for "n cores without SMT": the first n physical
+     * cores with only the even (primary) hardware thread enabled.
+     */
+    std::vector<bool> maskNoSmt(unsigned n_physical) const;
+
+  private:
+    CpuSpec spec_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_CPU_HH

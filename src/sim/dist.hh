@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Declarative distribution specifications for workload parameters.
+ *
+ * Workload models describe burst lengths, think times, and packet sizes
+ * as Dist values; samples are drawn at runtime from a process-local Rng
+ * so each iteration with a new seed sees fresh but reproducible values.
+ */
+
+#ifndef DESKPAR_SIM_DIST_HH
+#define DESKPAR_SIM_DIST_HH
+
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace deskpar::sim {
+
+/**
+ * A small value-type describing a scalar distribution.
+ *
+ * Supported shapes: fixed constant, uniform, non-negative normal,
+ * and exponential.
+ */
+class Dist
+{
+  public:
+    /** Default: the constant zero. */
+    Dist() = default;
+
+    /** Constant value. */
+    static Dist
+    fixed(double v)
+    {
+        return Dist(Kind::Fixed, v, 0.0);
+    }
+
+    /** Uniform in [lo, hi). */
+    static Dist
+    uniform(double lo, double hi)
+    {
+        if (hi < lo)
+            fatal("Dist::uniform: hi < lo");
+        return Dist(Kind::Uniform, lo, hi);
+    }
+
+    /** Normal(mean, stddev) clamped at zero. */
+    static Dist
+    normal(double mean, double stddev)
+    {
+        if (stddev < 0.0)
+            fatal("Dist::normal: negative stddev");
+        return Dist(Kind::Normal, mean, stddev);
+    }
+
+    /** Exponential with the given mean. */
+    static Dist
+    exponential(double mean)
+    {
+        if (mean <= 0.0)
+            fatal("Dist::exponential: non-positive mean");
+        return Dist(Kind::Exponential, mean, 0.0);
+    }
+
+    /** Draw one sample. */
+    double
+    sample(Rng &rng) const
+    {
+        switch (kind_) {
+          case Kind::Fixed:
+            return a_;
+          case Kind::Uniform:
+            return rng.uniform(a_, b_);
+          case Kind::Normal:
+            return rng.normalNonNeg(a_, b_);
+          case Kind::Exponential:
+            return rng.exponential(a_);
+        }
+        panic("Dist::sample: bad kind");
+    }
+
+    /** Expected value of the distribution. */
+    double
+    mean() const
+    {
+        switch (kind_) {
+          case Kind::Fixed:
+            return a_;
+          case Kind::Uniform:
+            return 0.5 * (a_ + b_);
+          case Kind::Normal:
+            return a_; // clamping bias ignored for small stddev/mean
+          case Kind::Exponential:
+            return a_;
+        }
+        panic("Dist::mean: bad kind");
+    }
+
+    /** Return a copy scaled by @p factor (scales both parameters). */
+    Dist
+    scaled(double factor) const
+    {
+        Dist d = *this;
+        d.a_ *= factor;
+        if (kind_ == Kind::Uniform || kind_ == Kind::Normal)
+            d.b_ *= factor;
+        return d;
+    }
+
+  private:
+    enum class Kind { Fixed, Uniform, Normal, Exponential };
+
+    Dist(Kind kind, double a, double b)
+        : kind_(kind), a_(a), b_(b)
+    {}
+
+    Kind kind_ = Kind::Fixed;
+    double a_ = 0.0;
+    double b_ = 0.0;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_DIST_HH

@@ -1,0 +1,97 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace deskpar::sim {
+
+EventQueue::Handle
+EventQueue::schedule(SimTime when, Callback cb)
+{
+    if (when < now_)
+        panic("EventQueue::schedule: event in the past");
+    if (!cb)
+        panic("EventQueue::schedule: empty callback");
+
+    auto node = std::make_shared<Handle::Node>();
+    node->when = when;
+    node->seq = nextSeq_++;
+    node->callback = std::move(cb);
+    heap_.push(node);
+    ++liveCount_;
+    return Handle(node);
+}
+
+void
+EventQueue::cancel(Handle &handle)
+{
+    auto node = handle.node_.lock();
+    if (node && !node->cancelled && !node->fired) {
+        node->cancelled = true;
+        node->callback = nullptr;
+        --liveCount_;
+    }
+    handle.node_.reset();
+}
+
+EventQueue::NodePtr
+EventQueue::popLive()
+{
+    while (!heap_.empty()) {
+        NodePtr node = heap_.top();
+        heap_.pop();
+        if (!node->cancelled)
+            return node;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::runOne()
+{
+    NodePtr node = popLive();
+    if (!node)
+        return false;
+
+    now_ = node->when;
+    node->fired = true;
+    --liveCount_;
+    Callback cb = std::move(node->callback);
+    node->callback = nullptr;
+    cb();
+    return true;
+}
+
+void
+EventQueue::runUntil(SimTime until)
+{
+    while (!heap_.empty()) {
+        // Peek at the earliest live node without executing it yet.
+        NodePtr node = heap_.top();
+        if (node->cancelled) {
+            heap_.pop();
+            continue;
+        }
+        if (node->when > until)
+            break;
+        heap_.pop();
+        now_ = node->when;
+        node->fired = true;
+        --liveCount_;
+        Callback cb = std::move(node->callback);
+        node->callback = nullptr;
+        cb();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runOne()) {
+    }
+}
+
+} // namespace deskpar::sim

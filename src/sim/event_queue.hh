@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulation substrate.
+ *
+ * Components schedule callbacks at future simulated times; the queue
+ * executes them in time order (FIFO among equal timestamps). Scheduled
+ * events can be cancelled through their Handle. Cancellation is lazy:
+ * cancelled nodes stay in the heap until popped.
+ */
+
+#ifndef DESKPAR_SIM_EVENT_QUEUE_HH
+#define DESKPAR_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+/**
+ * Time-ordered event queue with cancellable events.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Opaque reference to a scheduled event; valid until the event
+     * fires or is cancelled. Default-constructed handles are inert.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        /** True if this handle refers to a still-pending event. */
+        bool
+        pending() const
+        {
+            auto node = node_.lock();
+            return node && !node->cancelled && !node->fired;
+        }
+
+      private:
+        friend class EventQueue;
+
+        struct Node
+        {
+            SimTime when = 0;
+            std::uint64_t seq = 0;
+            bool cancelled = false;
+            bool fired = false;
+            Callback callback;
+        };
+
+        explicit Handle(std::shared_ptr<Node> node)
+            : node_(std::move(node))
+        {}
+
+        std::weak_ptr<Node> node_;
+    };
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * @p when must not be in the past.
+     */
+    Handle schedule(SimTime when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    Handle
+    scheduleAfter(SimDuration delay, Callback cb)
+    {
+        return schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Cancel a pending event; no-op if already fired or cancelled. */
+    void cancel(Handle &handle);
+
+    /**
+     * Pop and execute the earliest pending event.
+     * @return false if the queue held no live events.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or simulated time would exceed
+     * @p until. Events at exactly @p until still run. Afterwards, now()
+     * is advanced to @p until even if the queue drained early.
+     */
+    void runUntil(SimTime until);
+
+    /** Run until the queue is empty. */
+    void runAll();
+
+    /** Number of live (non-cancelled) pending events. */
+    std::size_t pendingCount() const { return liveCount_; }
+
+    /** True if no live events remain. */
+    bool empty() const { return liveCount_ == 0; }
+
+  private:
+    using NodePtr = std::shared_ptr<Handle::Node>;
+
+    struct Later
+    {
+        bool
+        operator()(const NodePtr &a, const NodePtr &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    /** Pop dead nodes; return the earliest live node or nullptr. */
+    NodePtr popLive();
+
+    SimTime now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::size_t liveCount_ = 0;
+    std::priority_queue<NodePtr, std::vector<NodePtr>, Later> heap_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,213 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace deskpar::sim {
+
+double
+GpuSpec::throughput(GpuEngineId engine) const
+{
+    switch (engine) {
+      case GpuEngineId::Graphics3D:
+      case GpuEngineId::Compute:
+        return shaderThroughput();
+      case GpuEngineId::Copy:
+        // Copy engines are bandwidth-bound; scale with generation via
+        // ipcFactor against a nominal shader-independent base.
+        return 0.25 * shaderThroughput();
+      case GpuEngineId::VideoDecode:
+        return videoRate;
+      case GpuEngineId::VideoEncode:
+        if (!hasNvenc)
+            fatal("GpuSpec::throughput: board has no NVENC");
+        return videoRate;
+    }
+    panic("GpuSpec::throughput: bad engine");
+}
+
+GpuSpec
+GpuSpec::gtx1080Ti()
+{
+    GpuSpec spec;
+    spec.model = "NVIDIA GTX 1080 Ti";
+    spec.generation = GpuGeneration::Pascal;
+    spec.cudaCores = 3584;
+    spec.coreClockMhz = 1481.0;
+    spec.ipcFactor = 1.0;
+    // Pascal NVDEC/NVENC: comfortably faster than realtime at 4K.
+    spec.videoRate = 1.6e12;
+    spec.hasNvenc = true;
+    spec.computeQueueSlots = 2;
+    spec.vramMiB = 11264;
+    spec.tdpWatts = 250.0;
+    spec.idleWatts = 12.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::gtx680()
+{
+    GpuSpec spec;
+    spec.model = "NVIDIA GTX 680";
+    spec.generation = GpuGeneration::Kepler;
+    spec.cudaCores = 1536;
+    spec.coreClockMhz = 1006.0;
+    spec.ipcFactor = 0.85; // Kepler per-core-clock efficiency deficit
+    spec.videoRate = 0.45e12;
+    spec.hasNvenc = true; // first-generation NVENC
+    spec.computeQueueSlots = 1;
+    spec.vramMiB = 2048;
+    spec.tdpWatts = 195.0;
+    spec.idleWatts = 15.0;
+    return spec;
+}
+
+GpuSpec
+GpuSpec::gtx285()
+{
+    GpuSpec spec;
+    spec.model = "NVIDIA GTX 285";
+    spec.generation = GpuGeneration::Tesla;
+    spec.cudaCores = 240;
+    spec.coreClockMhz = 648.0;
+    spec.ipcFactor = 0.7;
+    spec.videoRate = 0.1e12;
+    spec.hasNvenc = false;
+    spec.computeQueueSlots = 1;
+    spec.vramMiB = 1024;
+    spec.tdpWatts = 204.0;
+    spec.idleWatts = 30.0;
+    return spec;
+}
+
+GpuModel::GpuModel(const GpuSpec &spec, EventQueue &queue,
+                   trace::TraceSession &session)
+    : spec_(spec), queue_(queue), session_(session)
+{
+    for (unsigned e = 0; e < kNumGpuEngines; ++e) {
+        unsigned slots = 1;
+        if (static_cast<GpuEngineId>(e) == GpuEngineId::Compute)
+            slots = std::max(1u, spec_.computeQueueSlots);
+        engines_[e].slots.resize(slots);
+    }
+}
+
+void
+GpuModel::submit(Pid pid, GpuEngineId engineId, WorkUnits work,
+                 Completion onComplete)
+{
+    if (work <= 0.0)
+        fatal("GpuModel::submit: non-positive work");
+    if (engineId == GpuEngineId::VideoEncode && !spec_.hasNvenc)
+        fatal("GpuModel::submit: board has no NVENC");
+
+    ++outstanding_[pid];
+    Packet packet{pid, work, queue_.now(), std::move(onComplete)};
+
+    Engine &engine = engines_[static_cast<unsigned>(engineId)];
+    for (unsigned s = 0; s < engine.slots.size(); ++s) {
+        if (!engine.slots[s].busy) {
+            startPacket(engineId, s, std::move(packet));
+            return;
+        }
+    }
+    engine.pending.push_back(std::move(packet));
+}
+
+void
+GpuModel::startPacket(GpuEngineId engineId, unsigned slotIdx,
+                      Packet packet)
+{
+    Engine &engine = engines_[static_cast<unsigned>(engineId)];
+    Slot &slot = engine.slots[slotIdx];
+
+    if (engine.busySlots == 0)
+        engine.busySince = queue_.now();
+    ++engine.busySlots;
+
+    slot.busy = true;
+    slot.packet = std::move(packet);
+    slot.start = queue_.now();
+
+    double rate = spec_.throughput(engineId);
+    auto service = static_cast<SimDuration>(slot.packet.work / rate * 1e9);
+    if (service == 0)
+        service = 1; // packets are never instantaneous
+
+    slot.finishEvent = queue_.scheduleAfter(
+        service, [this, engineId, slotIdx] {
+            finishPacket(engineId, slotIdx);
+        });
+}
+
+void
+GpuModel::finishPacket(GpuEngineId engineId, unsigned slotIdx)
+{
+    Engine &engine = engines_[static_cast<unsigned>(engineId)];
+    Slot &slot = engine.slots[slotIdx];
+    if (!slot.busy)
+        panic("GpuModel::finishPacket: idle slot");
+
+    trace::GpuPacketEvent event;
+    event.queued = slot.packet.queued;
+    event.start = slot.start;
+    event.finish = queue_.now();
+    event.pid = slot.packet.pid;
+    event.engine = engineId;
+    event.packetId = nextPacketId_++;
+    event.queueSlot = static_cast<std::uint8_t>(slotIdx);
+    session_.recordGpuPacket(event);
+
+    Pid pid = slot.packet.pid;
+    completedWork_[pid] += slot.packet.work;
+    ++packetsCompleted_;
+    Completion done = std::move(slot.packet.onComplete);
+
+    slot.busy = false;
+    --engine.busySlots;
+    if (engine.busySlots == 0)
+        engine.busyAccum += queue_.now() - engine.busySince;
+
+    auto it = outstanding_.find(pid);
+    if (it == outstanding_.end() || it->second == 0)
+        panic("GpuModel::finishPacket: outstanding underflow");
+    --it->second;
+
+    if (!engine.pending.empty()) {
+        Packet next = std::move(engine.pending.front());
+        engine.pending.pop_front();
+        startPacket(engineId, slotIdx, std::move(next));
+    }
+
+    if (done)
+        done();
+}
+
+unsigned
+GpuModel::outstanding(Pid pid) const
+{
+    auto it = outstanding_.find(pid);
+    return it == outstanding_.end() ? 0 : it->second;
+}
+
+double
+GpuModel::completedWork(Pid pid) const
+{
+    auto it = completedWork_.find(pid);
+    return it == completedWork_.end() ? 0.0 : it->second;
+}
+
+SimDuration
+GpuModel::engineBusyTime(GpuEngineId engineId) const
+{
+    const Engine &engine = engines_[static_cast<unsigned>(engineId)];
+    SimDuration busy = engine.busyAccum;
+    if (engine.busySlots > 0)
+        busy += queue_.now() - engine.busySince;
+    return busy;
+}
+
+} // namespace deskpar::sim

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * GPU model: a discrete GPU with independent engines (3D, compute,
+ * copy, video decode, video encode), each draining a FIFO of work
+ * packets, in the spirit of WDDM command-stream scheduling.
+ *
+ * A "packet" is what the paper measures: a large collection of API
+ * calls packaged into a command stream. Packet service time is
+ * work / engine-throughput. Shader engines (3D/compute/copy) scale
+ * with cudaCores x clock x ipcFactor, so the same offered stream
+ * yields ~4x higher utilization on a GTX 680 than a GTX 1080 Ti.
+ * Video engines are fixed-function (NVDEC/NVENC) with their own rate.
+ * The compute engine exposes two hardware queue slots on modern parts,
+ * letting two packets overlap (the paper's PhoenixMiner footnote).
+ */
+
+#ifndef DESKPAR_SIM_GPU_HH
+#define DESKPAR_SIM_GPU_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+#include "trace/event.hh"
+#include "trace/session.hh"
+
+namespace deskpar::sim {
+
+using trace::GpuEngineId;
+using trace::kNumGpuEngines;
+
+/** GPU micro-architecture generation (drives app code paths). */
+enum class GpuGeneration : std::uint8_t {
+    Tesla,  ///< GTX 285 era (2010 testbed)
+    Kepler, ///< GTX 680 (mid-end comparison GPU)
+    Pascal, ///< GTX 1080 Ti (the paper's primary GPU)
+};
+
+/**
+ * Static description of a GPU board.
+ */
+struct GpuSpec
+{
+    std::string model;
+    GpuGeneration generation = GpuGeneration::Pascal;
+    unsigned cudaCores = 1;
+    double coreClockMhz = 1000.0;
+    /** Per core-clock architectural efficiency (relative IPC). */
+    double ipcFactor = 1.0;
+    /** Fixed-function video engine rate, work units per second. */
+    double videoRate = 1.0;
+    /** True if the board has an NVENC hardware encoder. */
+    bool hasNvenc = true;
+    /** Hardware queue slots on the compute engine. */
+    unsigned computeQueueSlots = 2;
+    /** VRAM in MiB (reported, not modeled). */
+    unsigned vramMiB = 0;
+    /** Board TDP in watts (for the power estimator). */
+    double tdpWatts = 150.0;
+    /** Board idle power in watts. */
+    double idleWatts = 10.0;
+
+    /** Shader-engine throughput in work units per second. */
+    double
+    shaderThroughput() const
+    {
+        return static_cast<double>(cudaCores) * coreClockMhz * 1e6 *
+               ipcFactor;
+    }
+
+    /** Throughput of @p engine in work units per second. */
+    double throughput(GpuEngineId engine) const;
+
+    /**
+     * Work units that occupy @p engine for @p ms milliseconds on this
+     * board. Workload models call this on the reference board
+     * (gtx1080Ti()) to express packet sizes as target durations there.
+     */
+    WorkUnits
+    workForMs(GpuEngineId engine, double ms) const
+    {
+        return throughput(engine) * ms * 1e-3;
+    }
+
+    /** The paper's primary GPU (Table I). */
+    static GpuSpec gtx1080Ti();
+    /** The paper's mid-end comparison GPU. */
+    static GpuSpec gtx680();
+    /** Blake et al.'s 2010 GPU (history only). */
+    static GpuSpec gtx285();
+};
+
+/**
+ * Runtime GPU: engines with queue slots, event-driven packet service,
+ * trace emission, and per-process completion accounting.
+ */
+class GpuModel
+{
+  public:
+    /** Callback invoked (at finish time) when a packet completes. */
+    using Completion = std::function<void()>;
+
+    GpuModel(const GpuSpec &spec, EventQueue &queue,
+             trace::TraceSession &session);
+
+    GpuModel(const GpuModel &) = delete;
+    GpuModel &operator=(const GpuModel &) = delete;
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Submit a packet of @p work units from process @p pid to
+     * @p engine. @p onComplete (may be empty) fires when the packet
+     * finishes.
+     */
+    void submit(Pid pid, GpuEngineId engine, WorkUnits work,
+                Completion onComplete = {});
+
+    /** Packets submitted but not yet finished, for process @p pid. */
+    unsigned outstanding(Pid pid) const;
+
+    /** Total work units completed for @p pid (hash-rate style stat). */
+    double completedWork(Pid pid) const;
+
+    /** Busy time (any slot active) accumulated on @p engine. */
+    SimDuration engineBusyTime(GpuEngineId engine) const;
+
+    /** Total packets executed. */
+    std::uint64_t packetsCompleted() const { return packetsCompleted_; }
+
+  private:
+    struct Packet
+    {
+        Pid pid = 0;
+        WorkUnits work = 0;
+        SimTime queued = 0;
+        Completion onComplete;
+    };
+
+    struct Slot
+    {
+        bool busy = false;
+        Packet packet;
+        SimTime start = 0;
+        EventQueue::Handle finishEvent;
+    };
+
+    struct Engine
+    {
+        std::vector<Slot> slots;
+        std::deque<Packet> pending;
+        /** Number of currently busy slots. */
+        unsigned busySlots = 0;
+        /** When busySlots last transitioned 0 -> nonzero. */
+        SimTime busySince = 0;
+        SimDuration busyAccum = 0;
+    };
+
+    void startPacket(GpuEngineId engineId, unsigned slotIdx,
+                     Packet packet);
+    void finishPacket(GpuEngineId engineId, unsigned slotIdx);
+
+    GpuSpec spec_;
+    EventQueue &queue_;
+    trace::TraceSession &session_;
+    std::array<Engine, kNumGpuEngines> engines_;
+    std::unordered_map<Pid, unsigned> outstanding_;
+    std::unordered_map<Pid, double> completedWork_;
+    std::uint32_t nextPacketId_ = 1;
+    std::uint64_t packetsCompleted_ = 0;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_GPU_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 spirit: fatal() for user errors
+ * (bad configuration, invalid arguments) and panic() for internal
+ * invariant violations.
+ */
+
+#ifndef DESKPAR_SIM_LOGGING_HH
+#define DESKPAR_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace deskpar {
+
+/** Thrown by fatal(): the simulation cannot continue due to user error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Thrown by panic(): an internal invariant was violated (a bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * Report a condition that is the user's fault (bad configuration,
+ * invalid arguments). Throws FatalError so callers and tests can catch.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+/**
+ * Report a condition that should never happen regardless of user input
+ * (an internal bug). Throws PanicError.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+/** Report a recoverable oddity to stderr without stopping. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace deskpar
+
+#endif // DESKPAR_SIM_LOGGING_HH

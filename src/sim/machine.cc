@@ -1,0 +1,103 @@
+#include "sim/machine.hh"
+
+#include "sim/logging.hh"
+
+namespace deskpar::sim {
+
+namespace {
+
+std::vector<bool>
+buildMask(const CpuTopology &topology, const MachineConfig &config)
+{
+    if (config.smtEnabled)
+        return topology.maskSmt(config.activeCpus);
+    return topology.maskNoSmt(config.activeCpus);
+}
+
+} // namespace
+
+MachineConfig
+MachineConfig::paperDefault()
+{
+    MachineConfig config;
+    config.cpu = CpuSpec::i78700K();
+    config.gpu = GpuSpec::gtx1080Ti();
+    config.activeCpus = 12;
+    config.smtEnabled = true;
+    return config;
+}
+
+Machine::Machine(const MachineConfig &config)
+    : config_(config), topology_(config.cpu), rootRng_(config.seed),
+      queue_(), session_(trace::kProviderAll),
+      gpu_(config.gpu, queue_, session_),
+      scheduler_(topology_, buildMask(topology_, config), config.quantum,
+                 queue_, session_),
+      llcModel_(static_cast<double>(config.cpu.llcMiB))
+{
+    session_.setNumLogicalCpus(scheduler_.activeCpuCount());
+    session_.registerProcess(0, "Idle");
+    if (config.llcModelEnabled)
+        scheduler_.setLlcModel(&llcModel_);
+}
+
+SimProcess &
+Machine::createProcess(const std::string &name, double smt_friendliness)
+{
+    if (smt_friendliness < 0.0 || smt_friendliness > 1.0)
+        fatal("Machine::createProcess: smt_friendliness out of [0,1]");
+
+    Pid pid = nextPid_++;
+    auto process = std::make_unique<SimProcess>(
+        *this, pid, name, smt_friendliness, rootRng_.fork(name));
+    SimProcess &ref = *process;
+    processes_.push_back(std::move(process));
+
+    trace::ProcessLifeEvent event;
+    event.timestamp = now();
+    event.pid = pid;
+    event.created = true;
+    event.name = name;
+    session_.recordProcessLife(event);
+    return ref;
+}
+
+SimProcess *
+Machine::findProcess(Pid pid)
+{
+    for (auto &process : processes_) {
+        if (process->pid() == pid)
+            return process.get();
+    }
+    return nullptr;
+}
+
+SyncId
+Machine::inputChannel(int channel)
+{
+    auto it = inputChannels_.find(channel);
+    if (it != inputChannels_.end())
+        return it->second;
+    SyncId id = sync_.alloc(0);
+    inputChannels_.emplace(channel, id);
+    return id;
+}
+
+void
+Machine::deliverInput(int channel, std::uint32_t count,
+                      const std::string &label)
+{
+    // Stamp the delivery so responsiveness analyses can measure
+    // input-to-dispatch latency (analysis/responsiveness.hh) and
+    // timelines can show the scripted user action.
+    trace::MarkerEvent marker;
+    marker.timestamp = now();
+    marker.label = "input:" + std::to_string(channel);
+    if (!label.empty())
+        marker.label += ":" + label;
+    session_.recordMarker(marker);
+
+    sync_.signal(inputChannel(channel), count);
+}
+
+} // namespace deskpar::sim

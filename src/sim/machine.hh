@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Machine: the top-level simulated desktop — CPU topology, GPU,
+ * scheduler, sync hub, trace session, and process table. One Machine
+ * per experiment iteration.
+ */
+
+#ifndef DESKPAR_SIM_MACHINE_HH
+#define DESKPAR_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cpu.hh"
+#include "sim/event_queue.hh"
+#include "sim/gpu.hh"
+#include "sim/memory.hh"
+#include "sim/process.hh"
+#include "sim/rng.hh"
+#include "sim/scheduler.hh"
+#include "sim/sync.hh"
+#include "sim/types.hh"
+#include "trace/session.hh"
+
+namespace deskpar::sim {
+
+/**
+ * Machine configuration: hardware specs plus the experiment's
+ * core-scaling and SMT knobs.
+ */
+struct MachineConfig
+{
+    CpuSpec cpu = CpuSpec::i78700K();
+    GpuSpec gpu = GpuSpec::gtx1080Ti();
+
+    /**
+     * With SMT enabled: the number of active logical CPUs (must be
+     * even; the paper sweeps 4/8/12). With SMT disabled: the number
+     * of active physical cores, each exposing one logical CPU.
+     */
+    unsigned activeCpus = 12;
+    bool smtEnabled = true;
+
+    /** Scheduler timeslice. */
+    SimDuration quantum = msec(10);
+
+    /**
+     * Enable the LLC contention model (sim/memory.hh). Off by
+     * default: the calibrated workloads assume uncontended caches.
+     */
+    bool llcModelEnabled = false;
+
+    /** Master seed; every stochastic component forks from it. */
+    std::uint64_t seed = 1;
+
+    /** The paper's Table I machine at full resources. */
+    static MachineConfig paperDefault();
+
+    /** Number of logical CPUs that will be active. */
+    unsigned
+    activeLogicalCpus() const
+    {
+        return activeCpus;
+    }
+};
+
+/**
+ * The simulated desktop machine.
+ */
+class Machine
+{
+  public:
+    explicit Machine(const MachineConfig &config);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    const MachineConfig &config() const { return config_; }
+    const CpuTopology &topology() const { return topology_; }
+
+    EventQueue &queue() { return queue_; }
+    trace::TraceSession &session() { return session_; }
+    GpuModel &gpu() { return gpu_; }
+    OsScheduler &scheduler() { return scheduler_; }
+    SyncHub &sync() { return sync_; }
+
+    /** Current simulated time. */
+    SimTime now() const { return queue_.now(); }
+
+    /** Number of active logical CPUs. */
+    unsigned
+    activeLogicalCpus() const
+    {
+        return scheduler_.activeCpuCount();
+    }
+
+    bool smtEnabled() const { return config_.smtEnabled; }
+
+    /**
+     * Create a process named @p name. @p smt_friendliness is the
+     * workload's SMT contention parameter (see CpuSpec docs).
+     */
+    SimProcess &createProcess(const std::string &name,
+                              double smt_friendliness = 0.3);
+
+    /** All processes, in creation order. */
+    const std::vector<std::unique_ptr<SimProcess>> &
+    processes() const
+    {
+        return processes_;
+    }
+
+    /** Look up a process by pid (nullptr if unknown). */
+    SimProcess *findProcess(Pid pid);
+
+    /**
+     * Sync id used to deliver user-input events on @p channel
+     * (allocated on first use). Threads wait on it; input drivers
+     * signal it.
+     */
+    SyncId inputChannel(int channel);
+
+    /**
+     * Deliver @p count input events on @p channel. @p label (may be
+     * empty) names the user action and is appended to the trace
+     * marker ("input:3:sort rows").
+     */
+    void deliverInput(int channel, std::uint32_t count = 1,
+                      const std::string &label = {});
+
+    /** Advance simulated time to @p until, running all due events. */
+    void run(SimTime until) { queue_.runUntil(until); }
+
+    /** Fork an RNG substream keyed by @p name from the machine seed. */
+    Rng
+    forkRng(const std::string &name) const
+    {
+        return rootRng_.fork(name);
+    }
+
+  private:
+    MachineConfig config_;
+    CpuTopology topology_;
+    Rng rootRng_;
+    EventQueue queue_;
+    trace::TraceSession session_;
+    GpuModel gpu_;
+    OsScheduler scheduler_;
+    SyncHub sync_;
+    LlcModel llcModel_;
+    Pid nextPid_ = 1000;
+    std::vector<std::unique_ptr<SimProcess>> processes_;
+    std::unordered_map<int, SyncId> inputChannels_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_MACHINE_HH

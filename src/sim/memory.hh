@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Last-level-cache contention model (opt-in).
+ *
+ * The paper's Section V-C-2 explains SMT's transcoding behavior with
+ * cache effects measured by VTune: co-running threads relieve LLC /
+ * off-chip pressure by sharing data, but contend for intra-core
+ * resources. The base machine captures the intra-core half with the
+ * SMT friendliness factor; this model adds the chip-level half: when
+ * the working sets of the *running* processes oversubscribe the LLC,
+ * every running thread pays a throughput penalty (the extra-miss
+ * stall time).
+ *
+ * The model is deliberately coarse — one footprint per process, a
+ * smooth penalty curve — and disabled by default so the calibrated
+ * Table II operating points stay put; enable it via
+ * MachineConfig::llcModelEnabled to study cache-pressure scenarios
+ * (see bench_ablation_machine section E).
+ */
+
+#ifndef DESKPAR_SIM_MEMORY_HH
+#define DESKPAR_SIM_MEMORY_HH
+
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+/**
+ * LLC contention calculator. Stateless aside from its parameters;
+ * the scheduler feeds it the aggregate running footprint.
+ */
+class LlcModel
+{
+  public:
+    /**
+     * @param llc_mib       cache capacity (from CpuSpec)
+     * @param penalty_slope throughput lost per unit of
+     *                      oversubscription (dimensionless)
+     * @param min_factor    floor on the throughput factor
+     */
+    LlcModel(double llc_mib, double penalty_slope = 0.30,
+             double min_factor = 0.55)
+        : llcMiB_(llc_mib), penaltySlope_(penalty_slope),
+          minFactor_(min_factor)
+    {}
+
+    double llcMiB() const { return llcMiB_; }
+
+    /**
+     * Throughput factor in (0, 1] for the current aggregate working
+     * set of running processes. 1.0 while the LLC holds everything;
+     * smoothly decreasing once @p running_footprint_mib exceeds
+     * capacity.
+     */
+    double
+    throughputFactor(double running_footprint_mib) const
+    {
+        if (running_footprint_mib <= llcMiB_ || llcMiB_ <= 0.0)
+            return 1.0;
+        double oversub = running_footprint_mib / llcMiB_ - 1.0;
+        double factor = 1.0 / (1.0 + penaltySlope_ * oversub);
+        return factor < minFactor_ ? minFactor_ : factor;
+    }
+
+  private:
+    double llcMiB_;
+    double penaltySlope_;
+    double minFactor_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_MEMORY_HH

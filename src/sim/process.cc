@@ -1,0 +1,43 @@
+#include "sim/process.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace deskpar::sim {
+
+SimProcess::SimProcess(Machine &machine, Pid pid, std::string name,
+                       double smt_friendliness, Rng rng)
+    : machine_(machine), pid_(pid), name_(std::move(name)),
+      smtFriendliness_(smt_friendliness), rng_(std::move(rng))
+{}
+
+SimThread &
+SimProcess::createThread(std::shared_ptr<ThreadBehavior> behavior,
+                         std::string name)
+{
+    if (!behavior)
+        fatal("SimProcess::createThread: null behavior");
+    Tid tid = pid_ * 10000 + nextTid_++;
+    auto thread = std::make_unique<SimThread>(*this, tid,
+                                              std::move(name),
+                                              std::move(behavior));
+    SimThread &ref = *thread;
+    threads_.push_back(std::move(thread));
+    ref.start();
+    return ref;
+}
+
+unsigned
+SimProcess::liveThreads() const
+{
+    unsigned live = 0;
+    for (const auto &thread : threads_) {
+        if (!thread->terminated())
+            ++live;
+    }
+    return live;
+}
+
+} // namespace deskpar::sim

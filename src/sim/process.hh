@@ -1,0 +1,89 @@
+/**
+ * @file
+ * SimProcess: a group of threads sharing a pid, a name, an RNG stream,
+ * and workload-wide properties (SMT friendliness). Mirrors an OS
+ * process as seen by the tracing/analysis pipeline.
+ */
+
+#ifndef DESKPAR_SIM_PROCESS_HH
+#define DESKPAR_SIM_PROCESS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/thread.hh"
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+class Machine;
+
+/**
+ * A simulated process. Created through Machine::createProcess().
+ */
+class SimProcess
+{
+  public:
+    SimProcess(Machine &machine, Pid pid, std::string name,
+               double smt_friendliness, Rng rng);
+
+    SimProcess(const SimProcess &) = delete;
+    SimProcess &operator=(const SimProcess &) = delete;
+
+    Machine &machine() { return machine_; }
+    Pid pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    /**
+     * SMT friendliness f in [0,1]: throughput factor (0.5 + 0.5 f)
+     * per thread when both hardware siblings of a core are busy.
+     */
+    double smtFriendliness() const { return smtFriendliness_; }
+
+    /** Process-local RNG stream. */
+    Rng &rng() { return rng_; }
+
+    /**
+     * Working-set footprint in MiB, consumed by the LLC contention
+     * model when it is enabled (default small: UI-scale data).
+     */
+    double llcFootprintMiB() const { return llcFootprintMiB_; }
+    void setLlcFootprintMiB(double mib) { llcFootprintMiB_ = mib; }
+
+    /**
+     * Create and start a thread running @p behavior. The thread begins
+     * executing immediately (at the current simulated time).
+     */
+    SimThread &createThread(std::shared_ptr<ThreadBehavior> behavior,
+                            std::string name);
+
+    /** All threads ever created in this process. */
+    const std::vector<std::unique_ptr<SimThread>> &
+    threads() const
+    {
+        return threads_;
+    }
+
+    /** Number of threads not yet terminated. */
+    unsigned liveThreads() const;
+
+    /** Next frame id for Present actions (monotonic per process). */
+    std::uint32_t nextFrameId() { return nextFrameId_++; }
+
+  private:
+    Machine &machine_;
+    Pid pid_;
+    std::string name_;
+    double smtFriendliness_;
+    double llcFootprintMiB_ = 1.5;
+    Rng rng_;
+    Tid nextTid_ = 1;
+    std::uint32_t nextFrameId_ = 1;
+    std::vector<std::unique_ptr<SimThread>> threads_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_PROCESS_HH

@@ -1,0 +1,76 @@
+#include "sim/sync.hh"
+
+#include "sim/logging.hh"
+#include "sim/thread.hh"
+
+namespace deskpar::sim {
+
+SyncId
+SyncHub::alloc(std::uint32_t initial)
+{
+    objects_.push_back(Semaphore{initial, {}});
+    return static_cast<SyncId>(objects_.size() - 1);
+}
+
+SyncHub::Semaphore &
+SyncHub::at(SyncId id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= objects_.size())
+        panic("SyncHub: bad sync id");
+    return objects_[static_cast<std::size_t>(id)];
+}
+
+const SyncHub::Semaphore &
+SyncHub::at(SyncId id) const
+{
+    return const_cast<SyncHub *>(this)->at(id);
+}
+
+std::uint32_t
+SyncHub::tokens(SyncId id) const
+{
+    return at(id).count;
+}
+
+std::size_t
+SyncHub::waiters(SyncId id) const
+{
+    return at(id).waiters.size();
+}
+
+bool
+SyncHub::tryWait(SyncId id)
+{
+    Semaphore &sem = at(id);
+    if (sem.count == 0)
+        return false;
+    --sem.count;
+    return true;
+}
+
+void
+SyncHub::addWaiter(SyncId id, SimThread *thread)
+{
+    at(id).waiters.push_back(thread);
+}
+
+void
+SyncHub::signal(SyncId id, std::uint32_t count)
+{
+    at(id).count += count;
+    // Wake waiters FIFO while tokens remain; each wake consumes one.
+    // Re-fetch the semaphore every iteration: a woken thread may
+    // allocate new semaphores (reallocating objects_) or signal this
+    // one reentrantly.
+    while (true) {
+        Semaphore &sem = at(id);
+        if (sem.count == 0 || sem.waiters.empty())
+            break;
+        SimThread *thread = sem.waiters.front();
+        sem.waiters.pop_front();
+        --sem.count;
+        thread->wake();
+    }
+}
+
+} // namespace deskpar::sim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * SyncHub: counting semaphores used for all inter-thread coordination
+ * (fork/join, pipelines, producer/consumer queues) and for delivering
+ * user-input events to waiting threads.
+ */
+
+#ifndef DESKPAR_SIM_SYNC_HH
+#define DESKPAR_SIM_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/action.hh"
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+class SimThread;
+
+/**
+ * A registry of counting semaphores. Waiters are woken FIFO; each
+ * wake consumes one token.
+ */
+class SyncHub
+{
+  public:
+    SyncHub() = default;
+
+    SyncHub(const SyncHub &) = delete;
+    SyncHub &operator=(const SyncHub &) = delete;
+
+    /** Allocate a new semaphore with @p initial tokens. */
+    SyncId alloc(std::uint32_t initial = 0);
+
+    /** Current token count of @p id. */
+    std::uint32_t tokens(SyncId id) const;
+
+    /** Number of threads blocked on @p id. */
+    std::size_t waiters(SyncId id) const;
+
+    /**
+     * Consume a token without blocking.
+     * @return true if a token was available and consumed.
+     */
+    bool tryWait(SyncId id);
+
+    /** Park @p thread on @p id (called by the thread runtime). */
+    void addWaiter(SyncId id, SimThread *thread);
+
+    /**
+     * Add @p count tokens, waking up to @p count blocked threads.
+     * Woken threads resume via SimThread::wake().
+     */
+    void signal(SyncId id, std::uint32_t count = 1);
+
+    /** Total semaphores allocated. */
+    std::size_t size() const { return objects_.size(); }
+
+  private:
+    struct Semaphore
+    {
+        std::uint32_t count = 0;
+        std::deque<SimThread *> waiters;
+    };
+
+    Semaphore &at(SyncId id);
+    const Semaphore &at(SyncId id) const;
+
+    std::vector<Semaphore> objects_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_SYNC_HH

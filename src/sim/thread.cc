@@ -1,0 +1,240 @@
+#include "sim/thread.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+#include "sim/process.hh"
+
+namespace deskpar::sim {
+
+const char *
+threadStateName(ThreadState state)
+{
+    switch (state) {
+      case ThreadState::Created:
+        return "Created";
+      case ThreadState::Ready:
+        return "Ready";
+      case ThreadState::Running:
+        return "Running";
+      case ThreadState::Sleeping:
+        return "Sleeping";
+      case ThreadState::BlockedSync:
+        return "BlockedSync";
+      case ThreadState::BlockedGpu:
+        return "BlockedGpu";
+      case ThreadState::Terminated:
+        return "Terminated";
+    }
+    return "Unknown";
+}
+
+SimThread::SimThread(SimProcess &process, Tid tid, std::string name,
+                     std::shared_ptr<ThreadBehavior> behavior)
+    : process_(process), tid_(tid), name_(std::move(name)),
+      behavior_(std::move(behavior))
+{
+    if (!behavior_)
+        fatal("SimThread: null behavior");
+}
+
+Pid
+SimThread::pid() const
+{
+    return process_.pid();
+}
+
+ThreadContext
+SimThread::makeContext()
+{
+    Machine &machine = process_.machine();
+    ThreadContext ctx;
+    ctx.now = machine.now();
+    ctx.pid = pid();
+    ctx.tid = tid_;
+    ctx.rng = &process_.rng();
+    ctx.gpu = &machine.gpu().spec();
+    ctx.activeLogicalCpus = machine.activeLogicalCpus();
+    ctx.smtEnabled = machine.smtEnabled();
+    ctx.gpuOutstanding = gpuOutstanding_;
+    return ctx;
+}
+
+void
+SimThread::consumeWork(WorkUnits done)
+{
+    if (done > remainingWork_)
+        done = remainingWork_;
+    remainingWork_ -= done;
+    retiredWork_ += done;
+}
+
+bool
+SimThread::step(const Action &action, AdvanceResult &result)
+{
+    Machine &machine = process_.machine();
+
+    switch (action.kind) {
+      case Action::Kind::Compute:
+        if (action.work <= 0.0)
+            return true;
+        remainingWork_ = action.work;
+        result = AdvanceResult::WantsCpu;
+        return false;
+
+      case Action::Kind::GpuAsync:
+        ++gpuOutstanding_;
+        machine.gpu().submit(pid(), action.engine, action.work,
+                             [this] { onGpuPacketDone(); });
+        return true;
+
+      case Action::Kind::GpuSync:
+        if (gpuOutstanding_ == 0)
+            return true;
+        state_ = ThreadState::BlockedGpu;
+        result = AdvanceResult::Blocked;
+        return false;
+
+      case Action::Kind::Sleep:
+        if (action.duration == 0)
+            return true;
+        state_ = ThreadState::Sleeping;
+        sleepEvent_ = machine.queue().scheduleAfter(
+            action.duration, [this] { wake(); });
+        result = AdvanceResult::Blocked;
+        return false;
+
+      case Action::Kind::SleepUntil:
+        if (action.until <= machine.now())
+            return true;
+        state_ = ThreadState::Sleeping;
+        sleepEvent_ = machine.queue().schedule(action.until,
+                                               [this] { wake(); });
+        result = AdvanceResult::Blocked;
+        return false;
+
+      case Action::Kind::WaitSync:
+        if (machine.sync().tryWait(action.syncId))
+            return true;
+        state_ = ThreadState::BlockedSync;
+        machine.sync().addWaiter(action.syncId, this);
+        result = AdvanceResult::Blocked;
+        return false;
+
+      case Action::Kind::SignalSync:
+        machine.sync().signal(action.syncId, action.count);
+        return true;
+
+      case Action::Kind::Spawn:
+        process_.createThread(action.spawnBehavior, action.label);
+        return true;
+
+      case Action::Kind::Present: {
+        trace::FrameEvent event;
+        event.timestamp = machine.now();
+        event.pid = pid();
+        event.frameId = process_.nextFrameId();
+        event.synthesized = action.frameSynthesized;
+        machine.session().recordFrame(event);
+        return true;
+      }
+
+      case Action::Kind::Marker: {
+        trace::MarkerEvent event;
+        event.timestamp = machine.now();
+        event.label = action.label;
+        machine.session().recordMarker(event);
+        return true;
+      }
+
+      case Action::Kind::Exit: {
+        state_ = ThreadState::Terminated;
+        trace::ThreadLifeEvent event;
+        event.timestamp = machine.now();
+        event.pid = pid();
+        event.tid = tid_;
+        event.created = false;
+        event.name = name_;
+        machine.session().recordThreadLife(event);
+        result = AdvanceResult::Terminated;
+        return false;
+      }
+    }
+    panic("SimThread::step: bad action kind");
+}
+
+SimThread::AdvanceResult
+SimThread::advance()
+{
+    // Guard against behaviors spinning forever on zero-time actions.
+    constexpr unsigned kMaxInlineActions = 100000;
+
+    AdvanceResult result = AdvanceResult::Terminated;
+    for (unsigned i = 0; i < kMaxInlineActions; ++i) {
+        ThreadContext ctx = makeContext();
+        Action action = behavior_->next(ctx);
+        if (!step(action, result))
+            return result;
+    }
+    panic("SimThread::advance: behavior yielded too many zero-time "
+          "actions (infinite loop?)");
+}
+
+void
+SimThread::start()
+{
+    if (state_ != ThreadState::Created)
+        panic("SimThread::start: already started");
+
+    Machine &machine = process_.machine();
+    trace::ThreadLifeEvent event;
+    event.timestamp = machine.now();
+    event.pid = pid();
+    event.tid = tid_;
+    event.created = true;
+    event.name = name_;
+    machine.session().recordThreadLife(event);
+
+    if (advance() == AdvanceResult::WantsCpu)
+        machine.scheduler().makeReady(*this);
+}
+
+void
+SimThread::wake()
+{
+    if (state_ != ThreadState::Sleeping &&
+        state_ != ThreadState::BlockedSync &&
+        state_ != ThreadState::BlockedGpu) {
+        panic("SimThread::wake: thread not blocked");
+    }
+    if (advance() == AdvanceResult::WantsCpu)
+        process_.machine().scheduler().makeReady(*this);
+}
+
+bool
+SimThread::continueOnCpu()
+{
+    if (state_ != ThreadState::Running)
+        panic("SimThread::continueOnCpu: thread not running");
+
+    AdvanceResult result = advance();
+    if (result == AdvanceResult::WantsCpu) {
+        // Stay on the CPU; the scheduler reschedules completion.
+        state_ = ThreadState::Running;
+        return true;
+    }
+    return false;
+}
+
+void
+SimThread::onGpuPacketDone()
+{
+    if (gpuOutstanding_ == 0)
+        panic("SimThread::onGpuPacketDone: underflow");
+    --gpuOutstanding_;
+    if (state_ == ThreadState::BlockedGpu && gpuOutstanding_ == 0)
+        wake();
+}
+
+} // namespace deskpar::sim

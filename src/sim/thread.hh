@@ -1,0 +1,152 @@
+/**
+ * @file
+ * SimThread: the runtime of one simulated OS thread. A thread owns a
+ * ThreadBehavior and interprets the actions it yields: zero-time
+ * actions are processed inline; Compute hands the thread to the
+ * scheduler; Sleep/Wait/GpuSync park it until the corresponding wakeup.
+ */
+
+#ifndef DESKPAR_SIM_THREAD_HH
+#define DESKPAR_SIM_THREAD_HH
+
+#include <memory>
+#include <string>
+
+#include "sim/action.hh"
+#include "sim/behavior.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace deskpar::sim {
+
+class SimProcess;
+class OsScheduler;
+
+/** Lifecycle states of a simulated thread. */
+enum class ThreadState : std::uint8_t {
+    Created,    ///< Not yet started.
+    Ready,      ///< Has compute work, waiting for a CPU.
+    Running,    ///< On a CPU.
+    Sleeping,   ///< Timed block.
+    BlockedSync,///< Waiting on a semaphore (or user input).
+    BlockedGpu, ///< Waiting for its GPU packets to drain.
+    Terminated, ///< Done.
+};
+
+/** Human-readable state name (for diagnostics and tests). */
+const char *threadStateName(ThreadState state);
+
+/**
+ * Scheduling priority class, Windows-flavored: Elevated threads are
+ * dispatched ahead of Normal ones, Normal ahead of Background.
+ * Interactive applications mark their UI threads Elevated so input
+ * handling preempts batch work promptly (the responsiveness
+ * mechanism of the 2000 study).
+ */
+enum class ThreadPriority : std::uint8_t {
+    Background = 0,
+    Normal = 1,
+    Elevated = 2,
+};
+
+/**
+ * One simulated thread. Created through SimProcess::createThread().
+ */
+class SimThread
+{
+  public:
+    SimThread(SimProcess &process, Tid tid, std::string name,
+              std::shared_ptr<ThreadBehavior> behavior);
+
+    SimThread(const SimThread &) = delete;
+    SimThread &operator=(const SimThread &) = delete;
+
+    Tid tid() const { return tid_; }
+    Pid pid() const;
+    const std::string &name() const { return name_; }
+
+    /** Scheduling priority class (default Normal). */
+    ThreadPriority priority() const { return priority_; }
+    void setPriority(ThreadPriority priority)
+    {
+        priority_ = priority;
+    }
+    SimProcess &process() { return process_; }
+    const SimProcess &process() const { return process_; }
+    ThreadState state() const { return state_; }
+    bool terminated() const { return state_ == ThreadState::Terminated; }
+
+    /**
+     * Begin execution: process actions until the thread blocks, wants
+     * a CPU (then it enqueues with the scheduler), or exits.
+     */
+    void start();
+
+    /**
+     * Wake a blocked thread (semaphore token granted, sleep expired,
+     * GPU drained). Continues interpreting the behavior.
+     */
+    void wake();
+
+    /** @{ Scheduler interface. */
+
+    /** Remaining compute work of the current Compute action. */
+    WorkUnits remainingWork() const { return remainingWork_; }
+
+    /** Deduct completed work (on preemption or rate change). */
+    void consumeWork(WorkUnits done);
+
+    /** Time this thread last became ready (CSwitch "Ready Time"). */
+    SimTime readyTime() const { return readyTime_; }
+
+    /** Scheduler bookkeeping: mark running on @p cpu / ready / etc. */
+    void setState(ThreadState state) { state_ = state; }
+    void setReadyTime(SimTime t) { readyTime_ = t; }
+
+    /**
+     * Called by the scheduler when the current Compute action's work
+     * reaches zero while the thread is on a CPU. Pulls further actions;
+     * @return true if the thread has a fresh Compute action and should
+     * keep running on its CPU without a context switch.
+     */
+    bool continueOnCpu();
+    /** @} */
+
+    /** GPU completion callback target. */
+    void onGpuPacketDone();
+
+    /** Total compute work units this thread has retired. */
+    WorkUnits retiredWork() const { return retiredWork_; }
+
+  private:
+    enum class AdvanceResult { WantsCpu, Blocked, Terminated };
+
+    /**
+     * Interpret actions until one blocks the thread, requests CPU, or
+     * exits. Never called while Running (the scheduler path uses
+     * continueOnCpu()).
+     */
+    AdvanceResult advance();
+
+    /** Handle one action; returns true to keep advancing. */
+    bool step(const Action &action, AdvanceResult &result);
+
+    ThreadContext makeContext();
+
+    SimProcess &process_;
+    Tid tid_;
+    std::string name_;
+    std::shared_ptr<ThreadBehavior> behavior_;
+
+    ThreadState state_ = ThreadState::Created;
+    ThreadPriority priority_ = ThreadPriority::Normal;
+    WorkUnits remainingWork_ = 0;
+    WorkUnits retiredWork_ = 0;
+    SimTime readyTime_ = 0;
+    unsigned gpuOutstanding_ = 0;
+    EventQueue::Handle sleepEvent_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_THREAD_HH

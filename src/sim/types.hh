@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fundamental simulation types: simulated time, identifiers, work units.
+ *
+ * Simulated time is measured in integer nanoseconds from the start of the
+ * simulation. Compute work is measured in abstract "work units"; one work
+ * unit corresponds to one CPU cycle at the modeled clock, so a thread
+ * running on a core clocked at G GHz retires G work units per nanosecond
+ * (before SMT-contention derating).
+ */
+
+#ifndef DESKPAR_SIM_TYPES_HH
+#define DESKPAR_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace deskpar::sim {
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = std::uint64_t;
+
+/** A span of simulated time in nanoseconds. */
+using SimDuration = std::uint64_t;
+
+/** Sentinel for "no time" / unset timestamps. */
+inline constexpr SimTime kNoTime = std::numeric_limits<SimTime>::max();
+
+/** Compute work in abstract units (cycles at the modeled clock). */
+using WorkUnits = double;
+
+/** OS-level identifiers. Pid/tid 0 is reserved for the idle process. */
+using Pid = std::uint32_t;
+using Tid = std::uint32_t;
+
+/** Identifier of a logical CPU (hardware thread). */
+using CpuId = std::uint32_t;
+
+/** Convert microseconds to SimTime ticks. */
+constexpr SimTime
+usec(double us)
+{
+    return static_cast<SimTime>(us * 1e3);
+}
+
+/** Convert milliseconds to SimTime ticks. */
+constexpr SimTime
+msec(double ms)
+{
+    return static_cast<SimTime>(ms * 1e6);
+}
+
+/** Convert seconds to SimTime ticks. */
+constexpr SimTime
+sec(double s)
+{
+    return static_cast<SimTime>(s * 1e9);
+}
+
+/** Convert a SimTime/SimDuration to floating-point seconds. */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert a SimTime/SimDuration to floating-point milliseconds. */
+constexpr double
+toMillis(SimTime t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/**
+ * Work units needed to occupy a core clocked at @p ghz for @p ms
+ * milliseconds. Used by workload models to express compute bursts as
+ * target durations at a reference clock.
+ */
+constexpr WorkUnits
+workForMs(double ms, double ghz)
+{
+    return ms * 1e6 * ghz;
+}
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_TYPES_HH

@@ -1,0 +1,226 @@
+#include "trace/csv.hh"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace deskpar::trace {
+
+namespace {
+
+std::string
+quote(const std::string &s)
+{
+    if (s.find(',') == std::string::npos &&
+        s.find('"') == std::string::npos) {
+        return s;
+    }
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+processLabel(const TraceBundle &bundle, Pid pid)
+{
+    auto it = bundle.processNames.find(pid);
+    std::string name =
+        it == bundle.processNames.end() ? "Unknown" : it->second;
+    return name + " (" + std::to_string(pid) + ")";
+}
+
+/** Parse "name (pid)" back into its parts. */
+void
+parseProcessLabel(const std::string &label, std::string &name, Pid &pid)
+{
+    auto open = label.rfind(" (");
+    auto close = label.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open) {
+        fatal("csv: malformed process label: " + label);
+    }
+    name = label.substr(0, open);
+    pid = static_cast<Pid>(
+        std::stoul(label.substr(open + 2, close - open - 2)));
+}
+
+std::uint64_t
+toU64(const std::string &s)
+{
+    if (s.empty())
+        fatal("csv: empty numeric field");
+    return std::stoull(s);
+}
+
+} // namespace
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(field);
+            field.clear();
+        } else if (c != '\r') {
+            field += c;
+        }
+    }
+    fields.push_back(field);
+    return fields;
+}
+
+void
+writeCpuUsageCsv(const TraceBundle &bundle, std::ostream &out)
+{
+    out << "New Process,New PID,New TID,CPU,Ready Time (ns),"
+           "Switch-In Time (ns),Old Process,Old PID,Old TID\n";
+    for (const auto &e : bundle.cswitches) {
+        out << quote(processLabel(bundle, e.newPid)) << ','
+            << e.newPid << ',' << e.newTid << ',' << e.cpu << ','
+            << e.readyTime << ',' << e.timestamp << ','
+            << quote(processLabel(bundle, e.oldPid)) << ','
+            << e.oldPid << ',' << e.oldTid << '\n';
+    }
+    if (!out)
+        fatal("writeCpuUsageCsv: stream write failed");
+}
+
+void
+writeCpuUsageCsv(const TraceBundle &bundle, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeCpuUsageCsv: cannot open " + path);
+    writeCpuUsageCsv(bundle, out);
+}
+
+void
+writeGpuUtilCsv(const TraceBundle &bundle, std::ostream &out)
+{
+    out << "Process,PID,Engine,Queue Slot,Queued (ns),"
+           "Start Execution (ns),Finished (ns)\n";
+    for (const auto &e : bundle.gpuPackets) {
+        out << quote(processLabel(bundle, e.pid)) << ',' << e.pid
+            << ',' << gpuEngineName(e.engine) << ','
+            << static_cast<unsigned>(e.queueSlot) << ',' << e.queued
+            << ',' << e.start << ',' << e.finish << '\n';
+    }
+    if (!out)
+        fatal("writeGpuUtilCsv: stream write failed");
+}
+
+void
+writeGpuUtilCsv(const TraceBundle &bundle, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("writeGpuUtilCsv: cannot open " + path);
+    writeGpuUtilCsv(bundle, out);
+}
+
+void
+readCpuUsageCsv(std::istream &in, TraceBundle &bundle)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("readCpuUsageCsv: empty input");
+    if (line.rfind("New Process,", 0) != 0)
+        fatal("readCpuUsageCsv: unexpected header");
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto fields = splitCsvLine(line);
+        if (fields.size() != 9)
+            fatal("readCpuUsageCsv: bad field count");
+        CSwitchEvent e;
+        std::string name;
+        Pid pid = 0;
+        parseProcessLabel(fields[0], name, pid);
+        e.newPid = static_cast<Pid>(toU64(fields[1]));
+        if (pid != e.newPid)
+            fatal("readCpuUsageCsv: label/PID mismatch");
+        bundle.processNames[e.newPid] = name;
+        e.newTid = static_cast<Tid>(toU64(fields[2]));
+        e.cpu = static_cast<CpuId>(toU64(fields[3]));
+        e.readyTime = toU64(fields[4]);
+        e.timestamp = toU64(fields[5]);
+        parseProcessLabel(fields[6], name, pid);
+        e.oldPid = static_cast<Pid>(toU64(fields[7]));
+        bundle.processNames[e.oldPid] = name;
+        e.oldTid = static_cast<Tid>(toU64(fields[8]));
+        bundle.cswitches.push_back(e);
+    }
+}
+
+void
+readGpuUtilCsv(std::istream &in, TraceBundle &bundle)
+{
+    std::string line;
+    if (!std::getline(in, line))
+        fatal("readGpuUtilCsv: empty input");
+    if (line.rfind("Process,", 0) != 0)
+        fatal("readGpuUtilCsv: unexpected header");
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        auto fields = splitCsvLine(line);
+        if (fields.size() != 7)
+            fatal("readGpuUtilCsv: bad field count");
+        GpuPacketEvent e;
+        std::string name;
+        Pid pid = 0;
+        parseProcessLabel(fields[0], name, pid);
+        e.pid = static_cast<Pid>(toU64(fields[1]));
+        if (pid != e.pid)
+            fatal("readGpuUtilCsv: label/PID mismatch");
+        bundle.processNames[e.pid] = name;
+
+        const std::string &engine = fields[2];
+        bool found = false;
+        for (unsigned i = 0; i < kNumGpuEngines; ++i) {
+            auto id = static_cast<GpuEngineId>(i);
+            if (engine == gpuEngineName(id)) {
+                e.engine = id;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("readGpuUtilCsv: unknown engine " + engine);
+
+        e.queueSlot = static_cast<std::uint8_t>(toU64(fields[3]));
+        e.queued = toU64(fields[4]);
+        e.start = toU64(fields[5]);
+        e.finish = toU64(fields[6]);
+        bundle.gpuPackets.push_back(e);
+    }
+}
+
+} // namespace deskpar::trace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * wpaexporter-equivalent CSV export and re-import.
+ *
+ * The paper's Figure 1 workflow extracts two column sets from WPA:
+ *  - CPU Usage (Precise):  Process, PID, TID, CPU, Ready Time,
+ *    Switch-In Time, New/Old process identity;
+ *  - GPU Utilization (FM): Process, PID, Engine, Start Execution,
+ *    Finished.
+ * This module writes those CSVs from a TraceBundle and parses them
+ * back, so the offline half of the pipeline (custom scripts processing
+ * wpaexporter output) can be exercised end to end.
+ */
+
+#ifndef DESKPAR_TRACE_CSV_HH
+#define DESKPAR_TRACE_CSV_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/session.hh"
+
+namespace deskpar::trace {
+
+/** Write the "CPU Usage (Precise)" view of @p bundle as CSV. */
+void writeCpuUsageCsv(const TraceBundle &bundle, std::ostream &out);
+void writeCpuUsageCsv(const TraceBundle &bundle,
+                      const std::string &path);
+
+/** Write the "GPU Utilization" view of @p bundle as CSV. */
+void writeGpuUtilCsv(const TraceBundle &bundle, std::ostream &out);
+void writeGpuUtilCsv(const TraceBundle &bundle, const std::string &path);
+
+/**
+ * Parse a "CPU Usage (Precise)" CSV back into cswitch events and the
+ * process-name table of @p bundle. Header row required. Other fields
+ * of @p bundle are left untouched.
+ */
+void readCpuUsageCsv(std::istream &in, TraceBundle &bundle);
+
+/** Parse a "GPU Utilization" CSV back into @p bundle. */
+void readGpuUtilCsv(std::istream &in, TraceBundle &bundle);
+
+/**
+ * Split one CSV line into fields. Handles quoted fields containing
+ * commas; exposed for tests.
+ */
+std::vector<std::string> splitCsvLine(const std::string &line);
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_CSV_HH

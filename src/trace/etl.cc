@@ -1,0 +1,332 @@
+#include "trace/etl.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace deskpar::trace {
+
+namespace {
+
+const char kMagic[8] = {'D', 'P', 'E', 'T', 'L', '\x01', '\x00',
+                        '\x00'};
+
+/** Section tags. */
+enum class Section : std::uint8_t {
+    ProcessNames = 1,
+    CSwitch = 2,
+    GpuPackets = 3,
+    Frames = 4,
+    ThreadLife = 5,
+    ProcessLife = 6,
+    Markers = 7,
+    End = 0xff,
+};
+
+void
+putString(std::string &out, const std::string &s)
+{
+    putVarint(out, s.size());
+    out.append(s);
+}
+
+std::string
+getString(const std::string &data, std::size_t &pos)
+{
+    std::uint64_t len = getVarint(data, pos);
+    if (pos + len > data.size())
+        fatal("readEtl: truncated string");
+    std::string s = data.substr(pos, len);
+    pos += len;
+    return s;
+}
+
+} // namespace
+
+void
+putVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t
+getVarint(const std::string &data, std::size_t &pos)
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    while (true) {
+        if (pos >= data.size())
+            fatal("readEtl: truncated varint");
+        if (shift >= 64)
+            fatal("readEtl: varint overflow");
+        auto byte = static_cast<std::uint8_t>(data[pos++]);
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return value;
+        shift += 7;
+    }
+}
+
+void
+writeEtl(const TraceBundle &bundle, std::ostream &out)
+{
+    std::string body;
+
+    putVarint(body, kEtlVersion);
+    putVarint(body, bundle.startTime);
+    putVarint(body, bundle.stopTime);
+    putVarint(body, bundle.numLogicalCpus);
+
+    body.push_back(static_cast<char>(Section::ProcessNames));
+    putVarint(body, bundle.processNames.size());
+    // Sort pids so the encoding is deterministic.
+    std::vector<Pid> pids;
+    pids.reserve(bundle.processNames.size());
+    for (const auto &[pid, name] : bundle.processNames)
+        pids.push_back(pid);
+    std::sort(pids.begin(), pids.end());
+    for (Pid pid : pids) {
+        putVarint(body, pid);
+        putString(body, bundle.processNames.at(pid));
+    }
+
+    body.push_back(static_cast<char>(Section::CSwitch));
+    putVarint(body, bundle.cswitches.size());
+    SimTime prev = 0;
+    for (const auto &e : bundle.cswitches) {
+        putVarint(body, e.timestamp - prev);
+        prev = e.timestamp;
+        putVarint(body, e.cpu);
+        putVarint(body, e.oldPid);
+        putVarint(body, e.oldTid);
+        putVarint(body, e.newPid);
+        putVarint(body, e.newTid);
+        putVarint(body, e.readyTime);
+    }
+
+    body.push_back(static_cast<char>(Section::GpuPackets));
+    putVarint(body, bundle.gpuPackets.size());
+    prev = 0;
+    for (const auto &e : bundle.gpuPackets) {
+        putVarint(body, e.start - prev);
+        prev = e.start;
+        putVarint(body, e.start - e.queued);
+        putVarint(body, e.finish - e.start);
+        putVarint(body, e.pid);
+        putVarint(body, static_cast<std::uint8_t>(e.engine));
+        putVarint(body, e.packetId);
+        putVarint(body, e.queueSlot);
+    }
+
+    body.push_back(static_cast<char>(Section::Frames));
+    putVarint(body, bundle.frames.size());
+    prev = 0;
+    for (const auto &e : bundle.frames) {
+        putVarint(body, e.timestamp - prev);
+        prev = e.timestamp;
+        putVarint(body, e.pid);
+        putVarint(body, e.frameId);
+        putVarint(body, e.synthesized ? 1 : 0);
+    }
+
+    body.push_back(static_cast<char>(Section::ThreadLife));
+    putVarint(body, bundle.threadEvents.size());
+    for (const auto &e : bundle.threadEvents) {
+        putVarint(body, e.timestamp);
+        putVarint(body, e.pid);
+        putVarint(body, e.tid);
+        putVarint(body, e.created ? 1 : 0);
+        putString(body, e.name);
+    }
+
+    body.push_back(static_cast<char>(Section::ProcessLife));
+    putVarint(body, bundle.processEvents.size());
+    for (const auto &e : bundle.processEvents) {
+        putVarint(body, e.timestamp);
+        putVarint(body, e.pid);
+        putVarint(body, e.created ? 1 : 0);
+        putString(body, e.name);
+    }
+
+    body.push_back(static_cast<char>(Section::Markers));
+    putVarint(body, bundle.markers.size());
+    for (const auto &e : bundle.markers) {
+        putVarint(body, e.timestamp);
+        putString(body, e.label);
+    }
+
+    body.push_back(static_cast<char>(Section::End));
+
+    out.write(kMagic, sizeof(kMagic));
+    out.write(body.data(), static_cast<std::streamsize>(body.size()));
+    if (!out)
+        fatal("writeEtl: stream write failed");
+}
+
+void
+writeEtl(const TraceBundle &bundle, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("writeEtl: cannot open " + path);
+    writeEtl(bundle, out);
+}
+
+TraceBundle
+readEtl(std::istream &in)
+{
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || !std::equal(magic, magic + 8, kMagic))
+        fatal("readEtl: bad magic");
+
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string data = buf.str();
+    std::size_t pos = 0;
+
+    std::uint64_t version = getVarint(data, pos);
+    if (version != kEtlVersion)
+        fatal("readEtl: unsupported version");
+
+    TraceBundle bundle;
+    bundle.startTime = getVarint(data, pos);
+    bundle.stopTime = getVarint(data, pos);
+    bundle.numLogicalCpus =
+        static_cast<std::uint32_t>(getVarint(data, pos));
+
+    while (true) {
+        if (pos >= data.size())
+            fatal("readEtl: missing end section");
+        auto tag = static_cast<Section>(
+            static_cast<std::uint8_t>(data[pos++]));
+        if (tag == Section::End)
+            break;
+
+        std::uint64_t count = getVarint(data, pos);
+        // Each record encodes to at least 2 bytes, so a declared
+        // count beyond half the remaining input is corrupt; failing
+        // here also keeps reserve() from ballooning on bad counts.
+        if (count > (data.size() - pos))
+            fatal("readEtl: section count exceeds input size");
+        switch (tag) {
+          case Section::ProcessNames:
+            for (std::uint64_t i = 0; i < count; ++i) {
+                auto pid = static_cast<Pid>(getVarint(data, pos));
+                bundle.processNames[pid] = getString(data, pos);
+            }
+            break;
+
+          case Section::CSwitch: {
+            SimTime prev = 0;
+            bundle.cswitches.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                CSwitchEvent e;
+                e.timestamp = prev + getVarint(data, pos);
+                prev = e.timestamp;
+                e.cpu = static_cast<CpuId>(getVarint(data, pos));
+                e.oldPid = static_cast<Pid>(getVarint(data, pos));
+                e.oldTid = static_cast<Tid>(getVarint(data, pos));
+                e.newPid = static_cast<Pid>(getVarint(data, pos));
+                e.newTid = static_cast<Tid>(getVarint(data, pos));
+                e.readyTime = getVarint(data, pos);
+                bundle.cswitches.push_back(e);
+            }
+            break;
+          }
+
+          case Section::GpuPackets: {
+            SimTime prev = 0;
+            bundle.gpuPackets.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                GpuPacketEvent e;
+                e.start = prev + getVarint(data, pos);
+                prev = e.start;
+                e.queued = e.start - getVarint(data, pos);
+                e.finish = e.start + getVarint(data, pos);
+                e.pid = static_cast<Pid>(getVarint(data, pos));
+                e.engine = static_cast<GpuEngineId>(
+                    getVarint(data, pos));
+                e.packetId =
+                    static_cast<std::uint32_t>(getVarint(data, pos));
+                e.queueSlot =
+                    static_cast<std::uint8_t>(getVarint(data, pos));
+                bundle.gpuPackets.push_back(e);
+            }
+            break;
+          }
+
+          case Section::Frames: {
+            SimTime prev = 0;
+            bundle.frames.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                FrameEvent e;
+                e.timestamp = prev + getVarint(data, pos);
+                prev = e.timestamp;
+                e.pid = static_cast<Pid>(getVarint(data, pos));
+                e.frameId =
+                    static_cast<std::uint32_t>(getVarint(data, pos));
+                e.synthesized = getVarint(data, pos) != 0;
+                bundle.frames.push_back(e);
+            }
+            break;
+          }
+
+          case Section::ThreadLife:
+            bundle.threadEvents.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                ThreadLifeEvent e;
+                e.timestamp = getVarint(data, pos);
+                e.pid = static_cast<Pid>(getVarint(data, pos));
+                e.tid = static_cast<Tid>(getVarint(data, pos));
+                e.created = getVarint(data, pos) != 0;
+                e.name = getString(data, pos);
+                bundle.threadEvents.push_back(e);
+            }
+            break;
+
+          case Section::ProcessLife:
+            bundle.processEvents.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                ProcessLifeEvent e;
+                e.timestamp = getVarint(data, pos);
+                e.pid = static_cast<Pid>(getVarint(data, pos));
+                e.created = getVarint(data, pos) != 0;
+                e.name = getString(data, pos);
+                bundle.processEvents.push_back(e);
+            }
+            break;
+
+          case Section::Markers:
+            bundle.markers.reserve(count);
+            for (std::uint64_t i = 0; i < count; ++i) {
+                MarkerEvent e;
+                e.timestamp = getVarint(data, pos);
+                e.label = getString(data, pos);
+                bundle.markers.push_back(e);
+            }
+            break;
+
+          default:
+            fatal("readEtl: unknown section tag");
+        }
+    }
+    return bundle;
+}
+
+TraceBundle
+readEtl(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("readEtl: cannot open " + path);
+    return readEtl(in);
+}
+
+} // namespace deskpar::trace

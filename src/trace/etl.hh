@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Binary trace container: the .etl-equivalent on-disk format.
+ *
+ * Layout: an 8-byte magic ("DPETL\x01\x00\x00"), a header (version,
+ * window, CPU count), the process-name table, then one section per
+ * event stream. Integers use LEB128 varints; timestamps within a
+ * section are delta-encoded, which keeps multi-minute traces compact.
+ */
+
+#ifndef DESKPAR_TRACE_ETL_HH
+#define DESKPAR_TRACE_ETL_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/session.hh"
+
+namespace deskpar::trace {
+
+/** Current on-disk format version. */
+inline constexpr std::uint32_t kEtlVersion = 2;
+
+/**
+ * Serialize @p bundle to @p path.
+ * Throws FatalError on I/O failure.
+ */
+void writeEtl(const TraceBundle &bundle, const std::string &path);
+
+/** Serialize @p bundle to a stream (for tests / in-memory use). */
+void writeEtl(const TraceBundle &bundle, std::ostream &out);
+
+/**
+ * Read a bundle back from @p path.
+ * Throws FatalError on I/O failure or a malformed/mismatched file.
+ */
+TraceBundle readEtl(const std::string &path);
+
+/** Read a bundle from a stream. */
+TraceBundle readEtl(std::istream &in);
+
+/** @{ Low-level encoding helpers (exposed for tests). */
+
+/** Append a LEB128-encoded unsigned integer to @p out. */
+void putVarint(std::string &out, std::uint64_t value);
+
+/**
+ * Decode a LEB128 varint from @p data starting at @p pos; advances
+ * @p pos. Throws FatalError on truncated input.
+ */
+std::uint64_t getVarint(const std::string &data, std::size_t &pos);
+/** @} */
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_ETL_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Trace event records, modeled on the ETW events the paper consumes.
+ *
+ * The paper's pipeline extracts two views from kernel traces:
+ *  - "CPU Usage (Precise)": context-switch records with Process, CPU,
+ *    Ready Time and Switch-In Time columns (used for TLP), and
+ *  - "GPU Utilization (FM)": GPU work-packet records with Process,
+ *    Start Execution and Finished columns (used for GPU utilization).
+ *
+ * We record the same vocabulary, plus thread/process lifecycle events
+ * (needed for application-level filtering), frame-present events (for
+ * the VR frame-rate analyses of Figure 13), and free-form markers.
+ */
+
+#ifndef DESKPAR_TRACE_EVENT_HH
+#define DESKPAR_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace deskpar::trace {
+
+using sim::CpuId;
+using sim::Pid;
+using sim::SimTime;
+using sim::Tid;
+
+/** GPU engine classes, mirroring WDDM node types. */
+enum class GpuEngineId : std::uint8_t {
+    Graphics3D = 0,
+    Compute = 1,
+    Copy = 2,
+    VideoDecode = 3,
+    VideoEncode = 4,
+};
+
+/** Number of distinct GPU engines. */
+inline constexpr unsigned kNumGpuEngines = 5;
+
+/** Human-readable engine name. */
+const char *gpuEngineName(GpuEngineId engine);
+
+/**
+ * A context switch on one logical CPU: @p newTid replaces @p oldTid at
+ * @p timestamp. Tid/pid 0 denotes the idle thread/process.
+ */
+struct CSwitchEvent
+{
+    SimTime timestamp = 0;
+    CpuId cpu = 0;
+    Pid oldPid = 0;
+    Tid oldTid = 0;
+    Pid newPid = 0;
+    Tid newTid = 0;
+    /** When the incoming thread last became ready to run. */
+    SimTime readyTime = 0;
+};
+
+/** A GPU work packet executed on one engine. */
+struct GpuPacketEvent
+{
+    /** When the packet was submitted to the engine queue. */
+    SimTime queued = 0;
+    /** When it began executing (queued == start when no wait). */
+    SimTime start = 0;
+    SimTime finish = 0;
+    Pid pid = 0;
+    GpuEngineId engine = GpuEngineId::Graphics3D;
+    std::uint32_t packetId = 0;
+    /** Hardware queue slot within the engine (for overlap analysis). */
+    std::uint8_t queueSlot = 0;
+};
+
+/** A frame presented to the display/compositor by @p pid. */
+struct FrameEvent
+{
+    SimTime timestamp = 0;
+    Pid pid = 0;
+    std::uint32_t frameId = 0;
+    /** True for reprojected/synthesized frames (Vive-style ASW/ATW). */
+    bool synthesized = false;
+};
+
+/** Thread creation or termination. */
+struct ThreadLifeEvent
+{
+    SimTime timestamp = 0;
+    Pid pid = 0;
+    Tid tid = 0;
+    bool created = true;
+    std::string name;
+};
+
+/** Process creation or termination. */
+struct ProcessLifeEvent
+{
+    SimTime timestamp = 0;
+    Pid pid = 0;
+    bool created = true;
+    std::string name;
+};
+
+/** Free-form annotation (phase boundaries, user actions, ...). */
+struct MarkerEvent
+{
+    SimTime timestamp = 0;
+    std::string label;
+};
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_EVENT_HH

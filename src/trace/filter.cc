@@ -1,0 +1,68 @@
+#include "trace/filter.hh"
+
+namespace deskpar::trace {
+
+PidSet
+pidsWithPrefix(const TraceBundle &bundle, const std::string &name_prefix)
+{
+    PidSet pids;
+    for (const auto &[pid, name] : bundle.processNames) {
+        if (name.rfind(name_prefix, 0) == 0)
+            pids.insert(pid);
+    }
+    return pids;
+}
+
+TraceBundle
+filterByPids(const TraceBundle &bundle, const PidSet &pids)
+{
+    TraceBundle out;
+    out.startTime = bundle.startTime;
+    out.stopTime = bundle.stopTime;
+    out.numLogicalCpus = bundle.numLogicalCpus;
+
+    for (const auto &[pid, name] : bundle.processNames) {
+        if (pids.count(pid) || pid == 0)
+            out.processNames.emplace(pid, name);
+    }
+
+    for (CSwitchEvent e : bundle.cswitches) {
+        bool old_in = pids.count(e.oldPid) != 0;
+        bool new_in = pids.count(e.newPid) != 0;
+        if (!old_in && !new_in)
+            continue;
+        // Rewrite foreign endpoints as idle so per-CPU application
+        // busy intervals are preserved exactly.
+        if (!old_in) {
+            e.oldPid = 0;
+            e.oldTid = 0;
+        }
+        if (!new_in) {
+            e.newPid = 0;
+            e.newTid = 0;
+            e.readyTime = 0;
+        }
+        out.cswitches.push_back(e);
+    }
+
+    for (const auto &e : bundle.gpuPackets) {
+        if (pids.count(e.pid))
+            out.gpuPackets.push_back(e);
+    }
+    for (const auto &e : bundle.frames) {
+        if (pids.count(e.pid))
+            out.frames.push_back(e);
+    }
+    for (const auto &e : bundle.threadEvents) {
+        if (pids.count(e.pid))
+            out.threadEvents.push_back(e);
+    }
+    for (const auto &e : bundle.processEvents) {
+        if (pids.count(e.pid))
+            out.processEvents.push_back(e);
+    }
+    out.markers = bundle.markers;
+    return out;
+}
+
+} // namespace deskpar::trace

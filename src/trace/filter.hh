@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Process filtering: restrict a TraceBundle to the processes that
+ * belong to one application. This is what makes the paper's metric
+ * *application-level* TLP (Section III-B) rather than the system-wide
+ * TLP of the 2000/2010 studies.
+ */
+
+#ifndef DESKPAR_TRACE_FILTER_HH
+#define DESKPAR_TRACE_FILTER_HH
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "trace/session.hh"
+
+namespace deskpar::trace {
+
+/** A set of pids constituting one application. */
+using PidSet = std::unordered_set<Pid>;
+
+/**
+ * Collect the pids of every process whose name starts with
+ * @p name_prefix (multi-process applications like Chrome register
+ * e.g. "chrome", "chrome-renderer-1", "chrome-gpu").
+ */
+PidSet pidsWithPrefix(const TraceBundle &bundle,
+                      const std::string &name_prefix);
+
+/**
+ * Return a copy of @p bundle containing only events attributable to
+ * @p pids:
+ *  - cswitches where either side belongs to the set (switches to
+ *    unrelated threads are rewritten as switches to idle, preserving
+ *    per-CPU busy intervals of the application);
+ *  - GPU packets, frames and lifecycle events of those pids;
+ *  - all markers (they annotate the run, not a process).
+ */
+TraceBundle filterByPids(const TraceBundle &bundle, const PidSet &pids);
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_FILTER_HH

@@ -1,0 +1,70 @@
+#include "trace/merge.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace deskpar::trace {
+
+void
+sortBundle(TraceBundle &bundle)
+{
+    auto byTime = [](const auto &a, const auto &b) {
+        return a.timestamp < b.timestamp;
+    };
+    std::stable_sort(bundle.cswitches.begin(),
+                     bundle.cswitches.end(), byTime);
+    std::stable_sort(bundle.gpuPackets.begin(),
+                     bundle.gpuPackets.end(),
+                     [](const GpuPacketEvent &a,
+                        const GpuPacketEvent &b) {
+                         return a.start < b.start;
+                     });
+    std::stable_sort(bundle.frames.begin(), bundle.frames.end(),
+                     byTime);
+    std::stable_sort(bundle.threadEvents.begin(),
+                     bundle.threadEvents.end(), byTime);
+    std::stable_sort(bundle.processEvents.begin(),
+                     bundle.processEvents.end(), byTime);
+    std::stable_sort(bundle.markers.begin(), bundle.markers.end(),
+                     byTime);
+}
+
+TraceBundle
+mergeBundles(const TraceBundle &a, const TraceBundle &b)
+{
+    if (a.numLogicalCpus != b.numLogicalCpus)
+        fatal("mergeBundles: logical-CPU counts differ");
+
+    TraceBundle out;
+    out.startTime = std::min(a.startTime, b.startTime);
+    out.stopTime = std::max(a.stopTime, b.stopTime);
+    out.numLogicalCpus = a.numLogicalCpus;
+
+    out.processNames = a.processNames;
+    for (const auto &[pid, name] : b.processNames) {
+        auto [it, inserted] = out.processNames.emplace(pid, name);
+        if (!inserted && it->second != name) {
+            fatal("mergeBundles: pid " + std::to_string(pid) +
+                  " names conflict ('" + it->second + "' vs '" +
+                  name + "')");
+        }
+    }
+
+    auto append = [](auto &dst, const auto &x, const auto &y) {
+        dst.reserve(x.size() + y.size());
+        dst.insert(dst.end(), x.begin(), x.end());
+        dst.insert(dst.end(), y.begin(), y.end());
+    };
+    append(out.cswitches, a.cswitches, b.cswitches);
+    append(out.gpuPackets, a.gpuPackets, b.gpuPackets);
+    append(out.frames, a.frames, b.frames);
+    append(out.threadEvents, a.threadEvents, b.threadEvents);
+    append(out.processEvents, a.processEvents, b.processEvents);
+    append(out.markers, a.markers, b.markers);
+
+    sortBundle(out);
+    return out;
+}
+
+} // namespace deskpar::trace

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Trace merging: combine bundles recorded on the same machine (or
+ * align separately recorded ones) into one bundle for cross-workload
+ * analysis — e.g. overlaying a solo-run baseline with a co-scheduled
+ * run, or stitching session segments.
+ */
+
+#ifndef DESKPAR_TRACE_MERGE_HH
+#define DESKPAR_TRACE_MERGE_HH
+
+#include "trace/session.hh"
+
+namespace deskpar::trace {
+
+/**
+ * Merge @p a and @p b into one bundle:
+ *  - the window is the union of both windows;
+ *  - numLogicalCpus must match (same machine shape);
+ *  - pids shared by both inputs must map to the same process name
+ *    (else FatalError: the traces are from incompatible runs);
+ *  - all event streams are concatenated and re-sorted by time.
+ */
+TraceBundle mergeBundles(const TraceBundle &a, const TraceBundle &b);
+
+/** Sort every event stream of @p bundle by timestamp, in place. */
+void sortBundle(TraceBundle &bundle);
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_MERGE_HH

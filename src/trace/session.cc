@@ -1,0 +1,82 @@
+#include "trace/session.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace deskpar::trace {
+
+const char *
+gpuEngineName(GpuEngineId engine)
+{
+    switch (engine) {
+      case GpuEngineId::Graphics3D:
+        return "3D";
+      case GpuEngineId::Compute:
+        return "Compute";
+      case GpuEngineId::Copy:
+        return "Copy";
+      case GpuEngineId::VideoDecode:
+        return "VideoDecode";
+      case GpuEngineId::VideoEncode:
+        return "VideoEncode";
+    }
+    return "Unknown";
+}
+
+std::size_t
+TraceBundle::totalEvents() const
+{
+    return cswitches.size() + gpuPackets.size() + frames.size() +
+           threadEvents.size() + processEvents.size() + markers.size();
+}
+
+std::vector<Pid>
+TraceBundle::pidsByName(const std::string &name) const
+{
+    std::vector<Pid> pids;
+    for (const auto &[pid, pname] : processNames) {
+        if (pname == name)
+            pids.push_back(pid);
+    }
+    return pids;
+}
+
+void
+TraceSession::start(SimTime now)
+{
+    if (recording_)
+        fatal("TraceSession::start: already recording");
+    recording_ = true;
+    bundle_.startTime = now;
+}
+
+void
+TraceSession::stop(SimTime now)
+{
+    if (!recording_)
+        fatal("TraceSession::stop: not recording");
+    if (now < bundle_.startTime)
+        panic("TraceSession::stop: time went backwards");
+    recording_ = false;
+    bundle_.stopTime = now;
+}
+
+void
+TraceSession::recordProcessLife(const ProcessLifeEvent &e)
+{
+    if (e.created)
+        registerProcess(e.pid, e.name);
+    if (recording_ && (providers_ & kProviderLifecycle))
+        bundle_.processEvents.push_back(e);
+}
+
+TraceBundle
+TraceSession::takeBundle()
+{
+    TraceBundle out = std::move(bundle_);
+    bundle_ = TraceBundle{};
+    return out;
+}
+
+} // namespace deskpar::trace

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace session: the UIforETW-equivalent recording facility.
+ *
+ * A TraceSession collects the event streams emitted by the simulated
+ * machine between start() and stop(). Providers can be masked so tests
+ * can record only what they need. The recorded bundle can be saved to a
+ * binary .etl-like container (etl.hh) or exported to wpaexporter-style
+ * CSV (csv.hh), then analyzed (analysis/).
+ */
+
+#ifndef DESKPAR_TRACE_SESSION_HH
+#define DESKPAR_TRACE_SESSION_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace deskpar::trace {
+
+/** Bitmask of event providers a session records. */
+enum ProviderFlags : std::uint32_t {
+    kProviderCSwitch = 1u << 0,
+    kProviderGpu = 1u << 1,
+    kProviderFrames = 1u << 2,
+    kProviderLifecycle = 1u << 3,
+    kProviderMarkers = 1u << 4,
+    kProviderAll = 0x1f,
+};
+
+/**
+ * An immutable bag of recorded events plus session metadata. This is
+ * what analyses consume; it can be produced live (TraceSession), read
+ * from an .etl container, or parsed back from CSV.
+ */
+struct TraceBundle
+{
+    /** Observation window. */
+    SimTime startTime = 0;
+    SimTime stopTime = 0;
+
+    /** Number of logical CPUs on the traced machine. */
+    std::uint32_t numLogicalCpus = 0;
+
+    /** Pid -> process-name map captured at record time. */
+    std::unordered_map<Pid, std::string> processNames;
+
+    std::vector<CSwitchEvent> cswitches;
+    std::vector<GpuPacketEvent> gpuPackets;
+    std::vector<FrameEvent> frames;
+    std::vector<ThreadLifeEvent> threadEvents;
+    std::vector<ProcessLifeEvent> processEvents;
+    std::vector<MarkerEvent> markers;
+
+    /** Wall length of the observation window. */
+    SimTime duration() const { return stopTime - startTime; }
+
+    /** Total number of recorded events across all providers. */
+    std::size_t totalEvents() const;
+
+    /** Pids whose recorded process name matches exactly. */
+    std::vector<Pid> pidsByName(const std::string &name) const;
+};
+
+/**
+ * Live recording facility attached to a machine. The machine calls the
+ * record*() hooks; they are cheap no-ops while the session is stopped
+ * or the corresponding provider is masked off.
+ */
+class TraceSession
+{
+  public:
+    /** Create a session recording the given providers. */
+    explicit TraceSession(std::uint32_t providers = kProviderAll)
+        : providers_(providers)
+    {}
+
+    /** Begin recording at simulated time @p now. */
+    void start(SimTime now);
+
+    /** Stop recording; the bundle window closes at @p now. */
+    void stop(SimTime now);
+
+    /** True while recording. */
+    bool recording() const { return recording_; }
+
+    /** Set the logical-CPU count stamped into the bundle. */
+    void setNumLogicalCpus(std::uint32_t n) { bundle_.numLogicalCpus = n; }
+
+    /** @{ Recording hooks called by the simulated machine. */
+    void
+    recordCSwitch(const CSwitchEvent &e)
+    {
+        if (recording_ && (providers_ & kProviderCSwitch))
+            bundle_.cswitches.push_back(e);
+    }
+
+    void
+    recordGpuPacket(const GpuPacketEvent &e)
+    {
+        if (recording_ && (providers_ & kProviderGpu))
+            bundle_.gpuPackets.push_back(e);
+    }
+
+    void
+    recordFrame(const FrameEvent &e)
+    {
+        if (recording_ && (providers_ & kProviderFrames))
+            bundle_.frames.push_back(e);
+    }
+
+    void
+    recordThreadLife(const ThreadLifeEvent &e)
+    {
+        if (recording_ && (providers_ & kProviderLifecycle))
+            bundle_.threadEvents.push_back(e);
+    }
+
+    void recordProcessLife(const ProcessLifeEvent &e);
+
+    void
+    recordMarker(const MarkerEvent &e)
+    {
+        if (recording_ && (providers_ & kProviderMarkers))
+            bundle_.markers.push_back(e);
+    }
+    /** @} */
+
+    /**
+     * Register a process name with the session. Names are captured
+     * even while stopped so that pid->name stays complete for
+     * processes created before recording started.
+     */
+    void
+    registerProcess(Pid pid, const std::string &name)
+    {
+        bundle_.processNames[pid] = name;
+    }
+
+    /** Access the recorded bundle (valid after stop()). */
+    const TraceBundle &bundle() const { return bundle_; }
+
+    /** Move the bundle out, leaving the session empty. */
+    TraceBundle takeBundle();
+
+  private:
+    std::uint32_t providers_;
+    bool recording_ = false;
+    TraceBundle bundle_;
+};
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_SESSION_HH

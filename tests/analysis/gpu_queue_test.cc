@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for GPU queue-delay analysis, including an end-to-end check
+ * that queueing appears when an engine is oversubscribed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/gpu_queue.hh"
+#include "sim/behaviors_basic.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::analysis;
+
+trace::GpuPacketEvent
+packet(sim::SimTime queued, sim::SimTime start, sim::SimTime finish,
+       trace::Pid pid)
+{
+    trace::GpuPacketEvent e;
+    e.queued = queued;
+    e.start = start;
+    e.finish = finish;
+    e.pid = pid;
+    return e;
+}
+
+TEST(GpuQueue, StatsFromSyntheticPackets)
+{
+    trace::TraceBundle bundle;
+    bundle.startTime = 0;
+    bundle.stopTime = 1000;
+    bundle.gpuPackets.push_back(packet(0, 0, 100, 5));
+    bundle.gpuPackets.push_back(packet(50, 100, 200, 5));
+    bundle.gpuPackets.push_back(packet(150, 200, 260, 5));
+
+    auto stats = computeGpuQueueStats(bundle, {5});
+    EXPECT_EQ(stats.packets, 3u);
+    EXPECT_EQ(stats.delayedPackets, 2u);
+    EXPECT_NEAR(stats.delayedShare(), 2.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(stats.waitNs.mean(), (0 + 50 + 50) / 3.0);
+    EXPECT_DOUBLE_EQ(stats.waitNs.max(), 50.0);
+    EXPECT_DOUBLE_EQ(stats.execNs.mean(),
+                     (100 + 100 + 60) / 3.0);
+}
+
+TEST(GpuQueue, FiltersByPid)
+{
+    trace::TraceBundle bundle;
+    bundle.startTime = 0;
+    bundle.stopTime = 1000;
+    bundle.gpuPackets.push_back(packet(0, 10, 20, 5));
+    bundle.gpuPackets.push_back(packet(0, 90, 100, 9));
+    auto stats = computeGpuQueueStats(bundle, {5});
+    EXPECT_EQ(stats.packets, 1u);
+    EXPECT_DOUBLE_EQ(stats.waitNs.mean(), 10.0);
+}
+
+TEST(GpuQueue, EmptyBundle)
+{
+    trace::TraceBundle bundle;
+    auto stats = computeGpuQueueStats(bundle, {});
+    EXPECT_EQ(stats.packets, 0u);
+    EXPECT_DOUBLE_EQ(stats.delayedShare(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.meanWaitMs(), 0.0);
+}
+
+TEST(GpuQueue, OversubscribedEngineShowsWaits)
+{
+    sim::MachineConfig config = sim::MachineConfig::paperDefault();
+    config.seed = 8;
+    sim::Machine machine(config);
+    machine.session().start(0);
+
+    // Submit 4 packets of 10 ms back to back onto the single-slot
+    // 3D engine: packets 2-4 must queue.
+    auto &proc = machine.createProcess("app");
+    double work = machine.gpu().spec().workForMs(
+        sim::GpuEngineId::Graphics3D, 10.0);
+    std::vector<sim::Action> actions;
+    for (int i = 0; i < 4; ++i) {
+        actions.push_back(sim::Action::gpuAsync(
+            sim::GpuEngineId::Graphics3D, work));
+    }
+    actions.push_back(sim::Action::gpuSync());
+    proc.createThread(sim::makeSequence(actions), "burst");
+
+    machine.run(sim::sec(1));
+    machine.session().stop(machine.now());
+
+    auto stats = computeGpuQueueStats(machine.session().bundle(),
+                                      {proc.pid()});
+    EXPECT_EQ(stats.packets, 4u);
+    EXPECT_EQ(stats.delayedPackets, 3u);
+    // Waits of ~10/20/30 ms: mean 15 ms.
+    EXPECT_NEAR(stats.meanWaitMs(), 15.0, 0.5);
+    EXPECT_NEAR(stats.maxWaitMs(), 30.0, 0.5);
+}
+
+TEST(GpuQueue, UnqueuedPacketsHaveZeroWait)
+{
+    sim::MachineConfig config = sim::MachineConfig::paperDefault();
+    config.seed = 8;
+    sim::Machine machine(config);
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    double work = machine.gpu().spec().workForMs(
+        sim::GpuEngineId::Graphics3D, 5.0);
+    proc.createThread(
+        sim::makeSequence({sim::Action::gpuAsync(
+                               sim::GpuEngineId::Graphics3D, work),
+                           sim::Action::gpuSync()}),
+        "single");
+    machine.run(sim::sec(1));
+    machine.session().stop(machine.now());
+    auto stats = computeGpuQueueStats(machine.session().bundle(),
+                                      {proc.pid()});
+    EXPECT_EQ(stats.packets, 1u);
+    EXPECT_EQ(stats.delayedPackets, 0u);
+    EXPECT_DOUBLE_EQ(stats.waitNs.max(), 0.0);
+}
+
+} // namespace

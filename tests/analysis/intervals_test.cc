@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for interval algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/intervals.hh"
+
+namespace {
+
+using namespace deskpar::analysis;
+
+TEST(Intervals, LengthAndEmpty)
+{
+    EXPECT_EQ((Interval{10, 30}).length(), 20u);
+    EXPECT_EQ((Interval{10, 10}).length(), 0u);
+    EXPECT_TRUE((Interval{10, 10}).empty());
+    EXPECT_FALSE((Interval{10, 11}).empty());
+}
+
+TEST(Intervals, ClampTo)
+{
+    Interval iv{10, 50};
+    EXPECT_EQ(iv.clampTo(20, 40).begin, 20u);
+    EXPECT_EQ(iv.clampTo(20, 40).end, 40u);
+    EXPECT_EQ(iv.clampTo(0, 100).begin, 10u);
+    EXPECT_EQ(iv.clampTo(0, 100).end, 50u);
+    EXPECT_TRUE(iv.clampTo(60, 100).empty());
+    EXPECT_TRUE(iv.clampTo(0, 5).empty());
+}
+
+TEST(Intervals, TotalLengthIgnoresOverlap)
+{
+    std::vector<Interval> ivs = {{0, 10}, {5, 15}};
+    EXPECT_EQ(totalLength(ivs), 20u);
+}
+
+TEST(Intervals, MergeOverlapping)
+{
+    std::vector<Interval> ivs = {{5, 15}, {0, 10}, {20, 30}};
+    auto merged = mergeIntervals(ivs);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].begin, 0u);
+    EXPECT_EQ(merged[0].end, 15u);
+    EXPECT_EQ(merged[1].begin, 20u);
+    EXPECT_EQ(merged[1].end, 30u);
+}
+
+TEST(Intervals, MergeAdjacent)
+{
+    std::vector<Interval> ivs = {{0, 10}, {10, 20}};
+    auto merged = mergeIntervals(ivs);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].end, 20u);
+}
+
+TEST(Intervals, MergeDropsEmpty)
+{
+    std::vector<Interval> ivs = {{5, 5}, {7, 3}};
+    EXPECT_TRUE(mergeIntervals(ivs).empty());
+}
+
+TEST(Intervals, UnionLength)
+{
+    std::vector<Interval> ivs = {{0, 10}, {5, 15}, {20, 25}};
+    EXPECT_EQ(unionLength(ivs), 20u);
+    EXPECT_EQ(unionLength({}), 0u);
+}
+
+} // namespace

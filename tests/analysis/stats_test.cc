@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tests for running statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stats.hh"
+
+namespace {
+
+using namespace deskpar::analysis;
+
+TEST(Stats, EmptyStatIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SingleSample)
+{
+    RunningStat s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(Stats, KnownMeanAndStddev)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic textbook example
+    EXPECT_NEAR(s.sampleStddev(), 2.0 * std::sqrt(8.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, NegativeValues)
+{
+    RunningStat s;
+    s.add(-3.0);
+    s.add(3.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+}
+
+TEST(Stats, VectorHelpers)
+{
+    std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(meanOf(v), 2.0);
+    EXPECT_NEAR(stddevOf(v), std::sqrt(2.0 / 3.0), 1e-12);
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddevOf({}), 0.0);
+}
+
+TEST(Stats, LargeStreamStable)
+{
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(1e9 + (i % 2 == 0 ? 1.0 : -1.0));
+    EXPECT_NEAR(s.mean(), 1e9, 1e-3);
+    EXPECT_NEAR(s.stddev(), 1.0, 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the workload building blocks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/blocks.hh"
+#include "sim/behaviors_basic.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::apps;
+using namespace deskpar::sim;
+
+MachineConfig
+config()
+{
+    MachineConfig cfg = MachineConfig::paperDefault();
+    cfg.seed = 31;
+    return cfg;
+}
+
+TEST(PeriodicBurst, TicksAtRequestedPeriod)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    PeriodicBurstParams params;
+    params.periodMs = Dist::fixed(100.0);
+    params.burstMs = Dist::fixed(1.0);
+    params.presentsFrame = true;
+    params.tickLimit = 5;
+    proc.createThread(std::make_shared<PeriodicBurst>(params), "t");
+
+    machine.run(sec(2));
+    machine.session().stop(machine.now());
+    EXPECT_EQ(machine.session().bundle().frames.size(), 5u);
+    EXPECT_EQ(proc.liveThreads(), 0u);
+}
+
+TEST(PeriodicBurst, AnchoredThreadsStayPhaseLocked)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    for (int i = 0; i < 2; ++i) {
+        PeriodicBurstParams params;
+        params.periodMs = Dist::fixed(50.0);
+        // Different burst lengths would cause drift without anchors.
+        params.burstMs = Dist::fixed(i == 0 ? 1.0 : 3.0);
+        params.startDelayMs = Dist::fixed(5.0);
+        params.anchorPeriod = true;
+        params.presentsFrame = true;
+        params.tickLimit = 20;
+        proc.createThread(std::make_shared<PeriodicBurst>(params),
+                          "t" + std::to_string(i));
+    }
+    machine.run(sec(3));
+    machine.session().stop(machine.now());
+
+    // Present pairs land at identical tick times.
+    const auto &frames = machine.session().bundle().frames;
+    ASSERT_EQ(frames.size(), 40u);
+    // Frames interleave; group by tick index.
+    std::map<SimTime, int> perTime;
+    for (const auto &f : frames) {
+        // Presents fire right after each burst; bucket to the tick
+        // grid (50 ms).
+        perTime[f.timestamp / msec(50)]++;
+    }
+    for (const auto &[tick, count] : perTime)
+        EXPECT_EQ(count, 2) << "tick " << tick;
+}
+
+TEST(PeriodicBurst, GpuSyncWaitsBeforeNextTick)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    PeriodicBurstParams params;
+    params.periodMs = Dist::fixed(10.0);
+    params.burstMs = Dist::fixed(0.1);
+    params.gpuPacketMs = Dist::fixed(30.0); // longer than the period
+    params.gpuSync = true;
+    params.tickLimit = 3;
+    proc.createThread(std::make_shared<PeriodicBurst>(params), "t");
+    machine.run(sec(1));
+    machine.session().stop(machine.now());
+    const auto &packets = machine.session().bundle().gpuPackets;
+    ASSERT_EQ(packets.size(), 3u);
+    // Sequential because of the sync: no overlap.
+    EXPECT_GE(packets[1].start, packets[0].finish);
+}
+
+TEST(CrewForkJoin, AllWorkersRunPerDispatch)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    CrewSync crew = makeCrew(machine, 4);
+    spawnCrewWorkers(proc, crew, Dist::fixed(5.0), "w");
+
+    // Manual master: dispatch once, join, exit.
+    proc.createThread(
+        makeBehavior([crew, step = 0](ThreadContext &) mutable
+                     -> Action {
+            switch (step++) {
+              case 0:
+                return Action::signalSync(crew.work, crew.workers);
+              case 1:
+              case 2:
+              case 3:
+              case 4:
+                return Action::waitSync(crew.done);
+              default:
+                return Action::exit();
+            }
+        }),
+        "master");
+
+    machine.run(sec(1));
+    machine.session().stop(machine.now());
+
+    // All four workers retired ~5 ms of work each.
+    unsigned busyWorkers = 0;
+    for (const auto &thread : proc.threads()) {
+        if (thread->name().rfind("w-", 0) == 0 &&
+            thread->retiredWork() > 0) {
+            ++busyWorkers;
+        }
+    }
+    EXPECT_EQ(busyWorkers, 4u);
+    EXPECT_THROW(makeCrew(machine, 0), FatalError);
+}
+
+TEST(SignalDrivenWorker, BurstsOncePerToken)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    SyncId trigger = machine.sync().alloc();
+    auto &worker = proc.createThread(
+        std::make_shared<SignalDrivenWorker>(trigger,
+                                             Dist::fixed(2.0)),
+        "helper");
+
+    machine.sync().signal(trigger, 3);
+    machine.run(sec(1));
+    // Three bursts of 2 ms at up to turbo clock.
+    EXPECT_NEAR(worker.retiredWork(), 3 * cpuMs(2.0),
+                cpuMs(2.0) * 0.01);
+    EXPECT_EQ(worker.state(), ThreadState::BlockedSync);
+}
+
+TEST(GpuKernelLoop, KeepsGpuSaturated)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("miner");
+    GpuKernelLoopParams params;
+    params.kernelMs = Dist::fixed(10.0);
+    params.prepMs = Dist::fixed(0.05);
+    proc.createThread(std::make_shared<GpuKernelLoop>(params),
+                      "stream");
+    machine.run(sec(1));
+    SimDuration busy =
+        machine.gpu().engineBusyTime(GpuEngineId::Compute);
+    EXPECT_GT(toSeconds(busy), 0.95);
+}
+
+TEST(GpuKernelLoop, GapsReduceUtilization)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("miner");
+    GpuKernelLoopParams params;
+    params.kernelMs = Dist::fixed(10.0);
+    params.prepMs = Dist::fixed(0.05);
+    params.gapMs = Dist::fixed(10.0);
+    proc.createThread(std::make_shared<GpuKernelLoop>(params),
+                      "stream");
+    machine.run(sec(1));
+    double busy = toSeconds(
+        machine.gpu().engineBusyTime(GpuEngineId::Compute));
+    EXPECT_GT(busy, 0.40);
+    EXPECT_LT(busy, 0.60);
+}
+
+TEST(CpuGrinder, SaturatesACore)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("miner");
+    proc.createThread(
+        std::make_shared<CpuGrinder>(Dist::fixed(20.0)), "hash");
+    machine.run(sec(1));
+    // One thread busy for the full second.
+    EXPECT_GT(machine.scheduler().stats().busyTime, msec(990));
+}
+
+TEST(Blocks, CpuAndGpuCalibrationHelpers)
+{
+    // 1 ms at the reference clock is 3.7e6 cycles.
+    EXPECT_DOUBLE_EQ(cpuMs(1.0), 3.7e6);
+    // gpuMs is defined against the 1080 Ti's engine throughput.
+    double work = gpuMs(GpuEngineId::Graphics3D, 2.0);
+    EXPECT_NEAR(work,
+                GpuSpec::gtx1080Ti().shaderThroughput() * 2e-3,
+                1.0);
+}
+
+} // namespace

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests for browser and miner models: multi-process structure,
+ * scenario trends (Figure 11), miner GPU saturation and the Kepler
+ * anomaly (Figure 10).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/browser.hh"
+#include "apps/harness.hh"
+#include "apps/mining.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::apps;
+
+RunOptions
+options()
+{
+    RunOptions o;
+    o.iterations = 1;
+    o.duration = sim::sec(8.0);
+    o.seedBase = 17;
+    return o;
+}
+
+TEST(Browser, ChromeSpawnsMostProcesses)
+{
+    auto chrome = runWorkload(
+        *makeBrowser(BrowserEngine::Chrome), options());
+    auto firefox = runWorkload(
+        *makeBrowser(BrowserEngine::Firefox), options());
+    auto edge =
+        runWorkload(*makeBrowser(BrowserEngine::Edge), options());
+    EXPECT_GT(chrome.lastPids.size(), firefox.lastPids.size());
+    EXPECT_GE(firefox.lastPids.size(), edge.lastPids.size());
+}
+
+TEST(Browser, ProcessesCarryEnginePrefix)
+{
+    auto result = runWorkload(
+        *makeBrowser(BrowserEngine::Chrome), options());
+    for (trace::Pid pid : result.lastPids) {
+        const auto &name =
+            result.lastBundle.processNames.at(pid);
+        EXPECT_EQ(name.rfind("chrome", 0), 0u) << name;
+    }
+}
+
+TEST(Browser, EspnBeatsWikiOnBothMetrics)
+{
+    for (auto engine : {BrowserEngine::Chrome,
+                        BrowserEngine::Firefox,
+                        BrowserEngine::Edge}) {
+        auto espn = runWorkload(
+            *makeBrowser(engine, BrowseScenario::Espn), options());
+        auto wiki = runWorkload(
+            *makeBrowser(engine, BrowseScenario::Wiki), options());
+        EXPECT_GT(espn.tlp(), wiki.tlp());
+        EXPECT_GT(espn.gpuUtil(), wiki.gpuUtil());
+    }
+}
+
+TEST(Browser, MultiTabAtLeastSingleTabTlp)
+{
+    auto multi = runWorkload(
+        *makeBrowser(BrowserEngine::Chrome,
+                     BrowseScenario::MultiTab),
+        options());
+    auto single = runWorkload(
+        *makeBrowser(BrowserEngine::Chrome,
+                     BrowseScenario::SingleTab),
+        options());
+    EXPECT_GT(multi.tlp(), single.tlp() * 0.92);
+    EXPECT_GT(multi.lastPids.size(), single.lastPids.size());
+}
+
+TEST(Browser, Names)
+{
+    EXPECT_STREQ(browserName(BrowserEngine::Firefox), "firefox");
+    EXPECT_STREQ(scenarioName(BrowseScenario::Espn), "espn");
+}
+
+TEST(Mining, GpuMinersSaturateTheGpu)
+{
+    for (const char *id :
+         {"bitcoinminer", "phoenixminer", "wineth"}) {
+        auto result = runWorkload(id, options());
+        EXPECT_GT(result.gpuUtil(), 95.0) << id;
+    }
+}
+
+TEST(Mining, PhoenixMinerOverlapsPackets)
+{
+    auto result = runWorkload("phoenixminer", options());
+    EXPECT_TRUE(result.iterations[0].metrics.gpu.overlapped);
+    EXPECT_GT(result.iterations[0].metrics.gpu.aggregateRatio, 1.5);
+}
+
+TEST(Mining, EasyMinerUsesEveryLogicalCpu)
+{
+    auto result = runWorkload("easyminer", options());
+    EXPECT_GT(result.tlp(), 11.0);
+    EXPECT_EQ(
+        result.iterations[0].metrics.concurrency.maxConcurrency(),
+        12u);
+}
+
+TEST(Mining, KeplerAnomalyOnlyForWinEth)
+{
+    RunOptions mid = options();
+    mid.config.gpu = sim::GpuSpec::gtx680();
+
+    auto wineth_high = runWorkload("wineth", options());
+    auto wineth_mid = runWorkload("wineth", mid);
+    EXPECT_LT(wineth_mid.gpuUtil(), wineth_high.gpuUtil() - 10.0);
+
+    auto bitcoin_mid = runWorkload("bitcoinminer", mid);
+    EXPECT_GT(bitcoin_mid.gpuUtil(), 95.0);
+}
+
+TEST(Mining, HashWorkLowerOnMidEndGpu)
+{
+    RunOptions mid = options();
+    mid.config.gpu = sim::GpuSpec::gtx680();
+    auto high = runWorkload("bitcoinminer", options());
+    auto low = runWorkload("bitcoinminer", mid);
+    // Paper: hash rate at least 2x lower on the GTX 680.
+    EXPECT_LT(low.iterations[0].gpuWork,
+              high.iterations[0].gpuWork / 2.0);
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Registry tests: the Table II suite composition and factories.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/registry.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::apps;
+
+TEST(Registry, SuiteHasThirtyApplications)
+{
+    EXPECT_EQ(tableTwoSuite().size(), 30u);
+}
+
+TEST(Registry, IdsUniqueAndFactoriesWork)
+{
+    std::set<std::string> ids;
+    for (const auto &entry : tableTwoSuite()) {
+        EXPECT_TRUE(ids.insert(entry.id).second)
+            << "duplicate id " << entry.id;
+        WorkloadPtr model = entry.factory();
+        ASSERT_NE(model, nullptr);
+        EXPECT_EQ(model->spec().id, entry.id);
+        EXPECT_FALSE(model->spec().name.empty());
+        EXPECT_GT(model->duration(), 0u);
+    }
+}
+
+TEST(Registry, CategoryRowCountsMatchTableTwo)
+{
+    std::map<std::string, int> counts;
+    for (const auto &entry : tableTwoSuite())
+        counts[entry.category]++;
+    EXPECT_EQ(counts["Image Authoring"], 3);
+    EXPECT_EQ(counts["Office"], 5);
+    EXPECT_EQ(counts["Multimedia Playback"], 3);
+    EXPECT_EQ(counts["Video Authoring"], 2);
+    EXPECT_EQ(counts["Video Transcoding"], 2);
+    EXPECT_EQ(counts["Web Browsing"], 3);
+    EXPECT_EQ(counts["VR Gaming"], 6);
+    EXPECT_EQ(counts["Cryptocurrency Mining"], 4);
+    EXPECT_EQ(counts["Personal Assistant"], 2);
+}
+
+TEST(Registry, MakeWorkloadByIdAndUnknownFatal)
+{
+    WorkloadPtr model = makeWorkload("handbrake");
+    EXPECT_EQ(model->spec().id, "handbrake");
+    EXPECT_THROW(makeWorkload("solitaire"), FatalError);
+}
+
+TEST(Registry, WorkloadIdsListsAll)
+{
+    auto ids = workloadIds();
+    EXPECT_EQ(ids.size(), 30u);
+    EXPECT_EQ(ids.front(), "photoshop");
+    EXPECT_EQ(ids.back(), "braina");
+}
+
+} // namespace

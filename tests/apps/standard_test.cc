@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the StandardAppModel skeleton and the remaining
+ * building-block paths: multi-round fork/join phases, helper
+ * triggers, elevated UI, action-sequence labels, export models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.hh"
+#include "apps/standard.hh"
+#include "apps/video.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::apps;
+
+RunOptions
+fast()
+{
+    RunOptions o;
+    o.iterations = 1;
+    o.duration = sim::sec(8.0);
+    o.seedBase = 4;
+    return o;
+}
+
+StandardAppParams
+baseParams(const char *id)
+{
+    StandardAppParams p;
+    p.spec = {id, id, "Test"};
+    p.inputRateHz = 2.0;
+    p.uiBurstMs = sim::Dist::fixed(2.0);
+    return p;
+}
+
+TEST(StandardApp, PhaseRoundsMultiplyWork)
+{
+    auto tlpWithRounds = [&](unsigned rounds) {
+        StandardAppParams p = baseParams("phases");
+        p.renderWorkers = 6;
+        p.workerChunkMs = sim::Dist::fixed(10.0);
+        p.phaseEveryNthInput = 2;
+        p.phaseRounds = rounds;
+        StandardAppModel model(std::move(p));
+        return runWorkload(model, fast()).tlp();
+    };
+    // More rounds -> larger parallel share -> higher TLP.
+    EXPECT_GT(tlpWithRounds(4), tlpWithRounds(1) + 0.4);
+}
+
+TEST(StandardApp, HelpersRaiseTlp)
+{
+    auto tlpWithHelpers = [&](unsigned helpers) {
+        StandardAppParams p = baseParams("helpers");
+        p.uiBurstMs = sim::Dist::fixed(5.0);
+        p.uiHelpers = helpers;
+        p.uiHelperMs = sim::Dist::fixed(5.0);
+        StandardAppModel model(std::move(p));
+        return runWorkload(model, fast()).tlp();
+    };
+    double none = tlpWithHelpers(0);
+    double two = tlpWithHelpers(2);
+    EXPECT_GT(two, none + 0.5);
+}
+
+TEST(StandardApp, ElevatedUiSetsPriority)
+{
+    StandardAppParams p = baseParams("vip");
+    p.elevatedUi = true;
+    StandardAppModel model(std::move(p));
+
+    sim::Machine machine(sim::MachineConfig::paperDefault());
+    machine.session().start(0);
+    model.instantiate(machine);
+    bool found = false;
+    for (const auto &proc : machine.processes()) {
+        for (const auto &thread : proc->threads()) {
+            if (thread->name() == "ui") {
+                EXPECT_EQ(thread->priority(),
+                          sim::ThreadPriority::Elevated);
+                found = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(StandardApp, ActionSequenceCyclesThroughLabels)
+{
+    StandardAppParams p = baseParams("labels");
+    p.actionSequence = {"alpha", "beta"};
+    StandardAppModel model(std::move(p));
+
+    sim::Machine machine(sim::MachineConfig::paperDefault());
+    AppInstance instance = model.instantiate(machine);
+    ASSERT_GE(instance.script.size(), 4u);
+    EXPECT_EQ(instance.script.events()[0].label, "alpha");
+    EXPECT_EQ(instance.script.events()[1].label, "beta");
+    EXPECT_EQ(instance.script.events()[2].label, "alpha");
+}
+
+TEST(StandardApp, LlcFootprintApplied)
+{
+    StandardAppParams p = baseParams("fat");
+    p.llcFootprintMiB = 42.0;
+    StandardAppModel model(std::move(p));
+    sim::Machine machine(sim::MachineConfig::paperDefault());
+    model.instantiate(machine);
+    EXPECT_DOUBLE_EQ(
+        machine.processes().front()->llcFootprintMiB(), 42.0);
+}
+
+TEST(PowerDirectorExport, CudaShapeMatchesPaper)
+{
+    auto sw = makePowerDirectorExport(false);
+    auto cuda = makePowerDirectorExport(true);
+    AppRunResult s = runWorkload(*sw, fast());
+    AppRunResult c = runWorkload(*cuda, fast());
+    EXPECT_GT(c.gpuUtil(), s.gpuUtil() + 5.0);
+    EXPECT_LE(c.tlp(), s.tlp() + 0.1);
+    EXPECT_GT(c.fps.mean(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the transcoder models: frame production, worker sizing,
+ * core scaling, SMT detriment, NVENC offload (Table III trends).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.hh"
+#include "apps/video.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::apps;
+
+RunOptions
+options(unsigned cores = 12, bool smt = true)
+{
+    RunOptions o;
+    o.iterations = 1;
+    o.duration = sim::sec(8.0);
+    o.seedBase = 11;
+    o.config.activeCpus = cores;
+    o.config.smtEnabled = smt;
+    return o;
+}
+
+TEST(Transcoder, ProducesFramesAtSteadyRate)
+{
+    auto model = makeHandBrake();
+    AppRunResult result = runWorkload(*model, options());
+    EXPECT_GT(result.fps.mean(), 15.0);
+    EXPECT_LT(result.fps.mean(), 40.0);
+}
+
+TEST(Transcoder, RateScalesWithCores)
+{
+    auto model = makeHandBrake();
+    double r4 = runWorkload(*model, options(4)).fps.mean();
+    double r8 = runWorkload(*model, options(8)).fps.mean();
+    double r12 = runWorkload(*model, options(12)).fps.mean();
+    EXPECT_GT(r8, r4 * 1.5);
+    EXPECT_GT(r12, r8 * 1.15);
+}
+
+TEST(Transcoder, SmtAtEqualLogicalCoresIsSlower)
+{
+    // Paper Figure 8: SMT-on at n logical cores = n/2 physical,
+    // which transcodes slower than n full cores.
+    auto model = makeHandBrake();
+    double smt_on = runWorkload(*model, options(4, true)).fps.mean();
+    double smt_off =
+        runWorkload(*model, options(4, false)).fps.mean();
+    EXPECT_LT(smt_on, smt_off * 0.85);
+}
+
+TEST(Transcoder, SmtWholeChipGainIsModest)
+{
+    // 12 logical (6 cores SMT) vs 6 physical: small positive gain.
+    auto model = makeHandBrake();
+    double with_smt =
+        runWorkload(*model, options(12, true)).fps.mean();
+    double without =
+        runWorkload(*model, options(6, false)).fps.mean();
+    EXPECT_GT(with_smt, without * 0.95);
+    EXPECT_LT(with_smt, without * 1.35);
+}
+
+TEST(WinX, NvencRaisesRateAndLowersTlp)
+{
+    auto cpuOnly = makeWinX(false);
+    auto withGpu = makeWinX(true);
+    AppRunResult off = runWorkload(*cpuOnly, options());
+    AppRunResult on = runWorkload(*withGpu, options());
+
+    EXPECT_GT(on.fps.mean(), off.fps.mean() * 1.1);
+    EXPECT_LT(on.tlp(), off.tlp());
+    EXPECT_GT(on.gpuUtil(), 5.0);
+    EXPECT_LT(off.gpuUtil(), 0.5);
+}
+
+TEST(WinX, GpuUtilGrowsWithCores)
+{
+    // Table III: the offload rate (GPU util) grows with TLP.
+    auto model = makeWinX(true);
+    double u4 = runWorkload(*model, options(4)).gpuUtil();
+    double u12 = runWorkload(*model, options(12)).gpuUtil();
+    EXPECT_GT(u12, u4 * 1.5);
+}
+
+TEST(WinX, TranscodeRateGpuIndependent)
+{
+    // Figure 8: the GTX 680 plots overlap the 1080 Ti ones.
+    auto model = makeWinX(true);
+    RunOptions mid = options();
+    mid.config.gpu = sim::GpuSpec::gtx680();
+    double r_mid = runWorkload(*model, mid).fps.mean();
+    double r_high = runWorkload(*model, options()).fps.mean();
+    EXPECT_NEAR(r_mid, r_high, r_high * 0.05);
+}
+
+TEST(Premiere, CudaExportRaisesGpuLowersTlp)
+{
+    auto sw = makePremiere(PremiereScenario::ExportSoftware);
+    auto cuda = makePremiere(PremiereScenario::ExportCuda);
+    AppRunResult s = runWorkload(*sw, options());
+    AppRunResult c = runWorkload(*cuda, options());
+    EXPECT_GT(c.gpuUtil(), s.gpuUtil() + 5.0);
+    EXPECT_LE(c.tlp(), s.tlp() + 0.1);
+    // Runtime roughly unchanged (paper: "no significant change").
+    EXPECT_NEAR(c.fps.mean(), s.fps.mean(), s.fps.mean() * 0.45);
+}
+
+TEST(Transcoder, WorkerCountTracksActiveCpus)
+{
+    auto model = makeHandBrake();
+    RunOptions o = options(4);
+    AppRunResult result = runWorkload(*model, o);
+    // Worker threads named "slice-*" plus master; at 4 logical CPUs
+    // the pool is 4 wide.
+    unsigned slices = 0;
+    for (const auto &e : result.lastBundle.threadEvents) {
+        if (e.created && e.name.rfind("slice-", 0) == 0)
+            ++slices;
+    }
+    EXPECT_EQ(slices, 4u);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for VR games and headset frame pacing: 90 FPS steady state,
+ * ASW clamp at low core counts, reprojection behavior, resolution
+ * scaling of GPU utilization, Fallout's Vive Pro anomaly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/harness.hh"
+#include "apps/vr.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::apps;
+
+RunOptions
+options(unsigned cores = 12)
+{
+    RunOptions o;
+    o.iterations = 1;
+    o.duration = sim::sec(8.0);
+    o.seedBase = 21;
+    o.config.activeCpus = cores;
+    return o;
+}
+
+TEST(Vr, SteadyNinetyFpsAtFullMachine)
+{
+    auto model = makeVrGame(VrGame::ArizonaSunshine);
+    AppRunResult result = runWorkload(*model, options());
+    EXPECT_NEAR(result.fps.mean(), 90.0, 1.0);
+    EXPECT_NEAR(result.realFps.mean(), 90.0, 2.0);
+}
+
+TEST(Vr, AswClampsToFortyFiveAtFourCores)
+{
+    auto model = makeVrGame(VrGame::ProjectCars2,
+                            Headset::rift());
+    AppRunResult result = runWorkload(*model, options(4));
+    // Presented rate stays 90 (ASW synthesizes every other frame);
+    // real rendered rate clamps to ~45.
+    EXPECT_NEAR(result.fps.mean(), 90.0, 2.0);
+    EXPECT_NEAR(result.realFps.mean(), 45.0, 4.0);
+    const auto &frames = result.iterations[0].metrics.frames;
+    EXPECT_GT(frames.synthesizedShare(), 0.4);
+}
+
+TEST(Vr, ReprojectionHeadsetKeepsPushingAtFourCores)
+{
+    auto model =
+        makeVrGame(VrGame::ProjectCars2, Headset::vive());
+    AppRunResult result = runWorkload(*model, options(4));
+    // No half-rate clamp: real rate stays well above 45 but below
+    // a steady 90 (oscillating dips).
+    EXPECT_GT(result.realFps.mean(), 60.0);
+    EXPECT_LT(result.realFps.mean(), 90.0);
+}
+
+TEST(Vr, GpuUtilizationScalesWithHeadsetResolution)
+{
+    for (auto game : {VrGame::ArizonaSunshine,
+                      VrGame::SeriousSamVr,
+                      VrGame::SpacePirateTrainer}) {
+        double rift = runWorkload(*makeVrGame(game, Headset::rift()),
+                                  options())
+                          .gpuUtil();
+        double pro =
+            runWorkload(*makeVrGame(game, Headset::vivePro()),
+                        options())
+                .gpuUtil();
+        EXPECT_GT(pro, rift) << vrGameName(game);
+    }
+}
+
+TEST(Vr, FalloutViveProAnomaly)
+{
+    // Fallout 4: the internal resolution cap plus CPU-side cost
+    // makes Vive Pro its lowest-utilization, lowest-rate headset.
+    auto rift = runWorkload(
+        *makeVrGame(VrGame::Fallout4, Headset::rift()), options());
+    auto vive = runWorkload(
+        *makeVrGame(VrGame::Fallout4, Headset::vive()), options());
+    auto pro = runWorkload(
+        *makeVrGame(VrGame::Fallout4, Headset::vivePro()),
+        options());
+    EXPECT_LT(pro.gpuUtil(), vive.gpuUtil());
+    EXPECT_LT(pro.realFps.mean(), rift.realFps.mean());
+}
+
+TEST(Vr, RiftHasHighestTlp)
+{
+    for (auto game : {VrGame::RawData, VrGame::ProjectCars2}) {
+        double rift =
+            runWorkload(*makeVrGame(game, Headset::rift()),
+                        options())
+                .tlp();
+        double vive =
+            runWorkload(*makeVrGame(game, Headset::vive()),
+                        options())
+                .tlp();
+        EXPECT_GT(rift, vive * 0.98) << vrGameName(game);
+    }
+}
+
+TEST(Vr, HeadsetPresetsSane)
+{
+    Headset rift = Headset::rift();
+    Headset vive = Headset::vive();
+    Headset pro = Headset::vivePro();
+    EXPECT_EQ(rift.pacing, Headset::Pacing::Asw);
+    EXPECT_EQ(vive.pacing, Headset::Pacing::Reprojection);
+    EXPECT_EQ(pro.pacing, Headset::Pacing::Reprojection);
+    EXPECT_GT(pro.resolutionScale, vive.resolutionScale);
+    EXPECT_GE(vive.resolutionScale, rift.resolutionScale);
+}
+
+TEST(Vr, GameIdsAndNames)
+{
+    EXPECT_STREQ(vrGameId(VrGame::Fallout4), "fallout4");
+    EXPECT_STREQ(vrGameName(VrGame::RawData), "RAW Data 1.1.0");
+}
+
+} // namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for input drivers: automation exactness, manual drift,
+ * delivery into machine input channels.
+ */
+
+#include <gtest/gtest.h>
+
+#include "input/driver.hh"
+#include "sim/behaviors_basic.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::input;
+using namespace deskpar::sim;
+
+MachineConfig
+config()
+{
+    MachineConfig cfg = MachineConfig::paperDefault();
+    cfg.seed = 99;
+    return cfg;
+}
+
+TEST(AutomationDriver, DeliversAtExactScriptedTimes)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    constexpr auto kKind = InputKind::MouseClick;
+    SyncId channel = machine.inputChannel(channelOf(kKind));
+
+    std::vector<SimTime> deliveries;
+    auto &proc = machine.createProcess("app");
+    proc.createThread(
+        makeBehavior([&, channel](ThreadContext &ctx) -> Action {
+            if (ctx.now > 0)
+                deliveries.push_back(ctx.now);
+            if (deliveries.size() >= 3)
+                return Action::exit();
+            return Action::waitSync(channel);
+        }),
+        "ui");
+
+    InputScript script;
+    script.every(msec(100), msec(100), 3, kKind);
+    AutomationDriver driver;
+    DeliveryStats stats = driver.install(machine, script);
+    EXPECT_EQ(stats.delivered, 3u);
+    EXPECT_DOUBLE_EQ(stats.meanAbsJitter, 0.0);
+
+    machine.run(sec(1));
+    ASSERT_EQ(deliveries.size(), 3u);
+    EXPECT_EQ(deliveries[0], msec(100));
+    EXPECT_EQ(deliveries[1], msec(200));
+    EXPECT_EQ(deliveries[2], msec(300));
+}
+
+TEST(ManualDriver, AddsAccumulatingLag)
+{
+    Machine machine(config());
+    machine.session().start(0);
+    InputScript script;
+    script.every(msec(100), msec(100), 10,
+                 InputKind::MouseClick);
+    ManualDriver driver;
+    DeliveryStats stats = driver.install(machine, script);
+    EXPECT_EQ(stats.delivered, 10u);
+    // Cumulative lag: mean jitter far above the per-event mean.
+    EXPECT_GT(stats.meanAbsJitter, sim::msec(45));
+}
+
+TEST(ManualDriver, ReproduciblePerSeed)
+{
+    InputScript script;
+    script.every(msec(50), msec(50), 5, InputKind::KeyStroke);
+
+    auto run = [&](std::uint64_t seed) {
+        MachineConfig cfg = config();
+        cfg.seed = seed;
+        Machine machine(cfg);
+        ManualDriver driver;
+        return driver.install(machine, script).meanAbsJitter;
+    };
+    EXPECT_DOUBLE_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(InputDriver, EmptyScriptNoDeliveries)
+{
+    Machine machine(config());
+    InputScript script;
+    AutomationDriver driver;
+    DeliveryStats stats = driver.install(machine, script);
+    EXPECT_EQ(stats.delivered, 0u);
+    EXPECT_TRUE(machine.queue().empty());
+}
+
+} // namespace

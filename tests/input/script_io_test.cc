@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Tests for input-script serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "input/script.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::input;
+using deskpar::sim::msec;
+
+TEST(ScriptIo, RoundTripPreservesEventsAndLabels)
+{
+    InputScript script;
+    script.at(msec(100), InputKind::MouseClick, "open file");
+    script.at(msec(250), InputKind::KeyStroke);
+    script.at(msec(400), InputKind::VoiceRequest,
+              "weather forecast for tomorrow");
+
+    std::stringstream buffer;
+    script.save(buffer);
+    InputScript loaded = InputScript::load(buffer);
+
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.events()[0].time, msec(100));
+    EXPECT_EQ(loaded.events()[0].kind, InputKind::MouseClick);
+    EXPECT_EQ(loaded.events()[0].label, "open file");
+    EXPECT_EQ(loaded.events()[1].label, "");
+    EXPECT_EQ(loaded.events()[2].kind, InputKind::VoiceRequest);
+    EXPECT_EQ(loaded.events()[2].label,
+              "weather forecast for tomorrow");
+}
+
+TEST(ScriptIo, CommentsAndBlankLinesIgnored)
+{
+    std::stringstream in(
+        "# a comment\n"
+        "\n"
+        "1000 MouseMove\n"
+        "# trailing comment\n");
+    InputScript script = InputScript::load(in);
+    ASSERT_EQ(script.size(), 1u);
+    EXPECT_EQ(script.events()[0].kind, InputKind::MouseMove);
+}
+
+TEST(ScriptIo, MalformedLineFatal)
+{
+    std::stringstream bad("not-a-number MouseClick\n");
+    EXPECT_THROW(InputScript::load(bad), FatalError);
+}
+
+TEST(ScriptIo, UnknownKindFatal)
+{
+    std::stringstream bad("100 Telepathy\n");
+    EXPECT_THROW(InputScript::load(bad), FatalError);
+}
+
+TEST(ScriptIo, EmptyStreamGivesEmptyScript)
+{
+    std::stringstream in("");
+    EXPECT_TRUE(InputScript::load(in).empty());
+}
+
+TEST(ScriptIo, LoadedScriptIsSorted)
+{
+    std::stringstream in("500 KeyStroke\n100 MouseClick\n");
+    InputScript script = InputScript::load(in);
+    EXPECT_EQ(script.events()[0].time, 100u);
+    EXPECT_EQ(script.events()[1].time, 500u);
+}
+
+} // namespace

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for input scripts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "input/script.hh"
+
+namespace {
+
+using namespace deskpar::input;
+using deskpar::sim::msec;
+
+TEST(InputScript, EmptyByDefault)
+{
+    InputScript script;
+    EXPECT_TRUE(script.empty());
+    EXPECT_EQ(script.size(), 0u);
+    EXPECT_EQ(script.lastEventTime(), 0u);
+}
+
+TEST(InputScript, AtAppendsSorted)
+{
+    InputScript script;
+    script.at(msec(30), InputKind::KeyStroke)
+        .at(msec(10), InputKind::MouseClick, "first")
+        .at(msec(20), InputKind::MouseMove);
+    ASSERT_EQ(script.size(), 3u);
+    EXPECT_EQ(script.events()[0].kind, InputKind::MouseClick);
+    EXPECT_EQ(script.events()[0].label, "first");
+    EXPECT_EQ(script.events()[1].kind, InputKind::MouseMove);
+    EXPECT_EQ(script.events()[2].kind, InputKind::KeyStroke);
+    EXPECT_EQ(script.lastEventTime(), msec(30));
+}
+
+TEST(InputScript, EverySpacesEvents)
+{
+    InputScript script;
+    script.every(msec(100), msec(50), 4, InputKind::VoiceRequest);
+    ASSERT_EQ(script.size(), 4u);
+    EXPECT_EQ(script.events()[0].time, msec(100));
+    EXPECT_EQ(script.events()[3].time, msec(250));
+}
+
+TEST(InputScript, StableSortPreservesOrderAtEqualTimes)
+{
+    InputScript script;
+    script.at(msec(10), InputKind::MouseClick, "a");
+    script.at(msec(10), InputKind::MouseClick, "b");
+    EXPECT_EQ(script.events()[0].label, "a");
+    EXPECT_EQ(script.events()[1].label, "b");
+}
+
+TEST(InputScript, KindNamesAndChannels)
+{
+    EXPECT_STREQ(inputKindName(InputKind::MouseClick), "MouseClick");
+    EXPECT_STREQ(inputKindName(InputKind::VoiceRequest),
+                 "VoiceRequest");
+    EXPECT_STREQ(inputKindName(InputKind::VrPose), "VrPose");
+    EXPECT_NE(channelOf(InputKind::MouseClick),
+              channelOf(InputKind::KeyStroke));
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the JSON writer and result serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/json.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::report;
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(JsonWriter::escape(std::string("\x01", 1)),
+              "\\u0001");
+}
+
+TEST(Json, ObjectWithFields)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject()
+        .field("name", std::string("x"))
+        .field("value", 1.5)
+        .field("count", std::uint64_t(3))
+        .field("flag", true)
+        .endObject();
+    EXPECT_EQ(out.str(),
+              "{\"name\":\"x\",\"value\":1.5,\"count\":3,"
+              "\"flag\":true}");
+}
+
+TEST(Json, NestedArrays)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.beginArray("xs").value(1.0).value(2.0).endArray();
+    json.field("y", std::uint64_t(7));
+    json.endObject();
+    EXPECT_EQ(out.str(), "{\"xs\":[1,2],\"y\":7}");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginArray()
+        .value(std::numeric_limits<double>::infinity())
+        .value(std::nan(""))
+        .endArray();
+    EXPECT_EQ(out.str(), "[null,null]");
+}
+
+TEST(Json, AppMetricsSerialization)
+{
+    analysis::AppMetrics metrics;
+    metrics.concurrency.numCpus = 4;
+    metrics.concurrency.c = {0.5, 0.25, 0.25, 0.0, 0.0};
+    metrics.gpu.aggregateRatio = 0.5;
+    metrics.gpu.busyRatio = 0.5;
+    metrics.frames.frames = 10;
+    metrics.frames.avgFps = 30.0;
+
+    std::ostringstream out;
+    writeJson(out, metrics);
+    std::string text = out.str();
+    EXPECT_NE(text.find("\"tlp\":1.5"), std::string::npos);
+    EXPECT_NE(text.find("\"gpu_util_percent\":50"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"c\":[0.5,0.25,0.25,0,0]"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"frames\":10"), std::string::npos);
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Json, AggregateSerialization)
+{
+    analysis::IterationAggregate agg;
+    agg.app = "My \"App\"";
+    analysis::AppMetrics m;
+    m.concurrency.numCpus = 2;
+    m.concurrency.c = {0.5, 0.5, 0.0};
+    agg.add(m);
+
+    std::ostringstream out;
+    writeJson(out, agg);
+    std::string text = out.str();
+    EXPECT_NE(text.find("\"app\":\"My \\\"App\\\"\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"iterations\":1"), std::string::npos);
+    EXPECT_NE(text.find("\"tlp_mean\":1"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for the report library: tables, heat maps, figures, history
+ * data.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "report/figure.hh"
+#include "report/heatmap.hh"
+#include "report/history.hh"
+#include "report/table.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::report;
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable table({"Name", "Value"});
+    table.row().cell(std::string("a")).cell(1.25, 2);
+    table.row().cell(std::string("longer")).cell(3.0, 1);
+    std::ostringstream out;
+    table.print(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("Name"), std::string::npos);
+    EXPECT_NE(text.find("1.25"), std::string::npos);
+    EXPECT_NE(text.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(TextTable, MarkdownFormat)
+{
+    TextTable table({"A", "B"});
+    table.row().cell(std::string("x")).cell(std::uint64_t(7));
+    std::ostringstream out;
+    table.printMarkdown(out);
+    EXPECT_EQ(out.str(), "| A | B |\n|---|---|\n| x | 7 |\n");
+}
+
+TEST(TextTable, ErrorsOnMisuse)
+{
+    EXPECT_THROW(TextTable({}), FatalError);
+    TextTable table({"A"});
+    EXPECT_THROW(table.cell(std::string("no row")), FatalError);
+    table.row().cell(std::string("ok"));
+    EXPECT_THROW(table.cell(std::string("too many")), FatalError);
+}
+
+TEST(FormatNumber, Precision)
+{
+    EXPECT_EQ(formatNumber(3.14159, 2), "3.14");
+    EXPECT_EQ(formatNumber(2.0, 0), "2");
+    EXPECT_EQ(formatNumber(-1.5, 1), "-1.5");
+}
+
+TEST(Heatmap, ShadesMonotonic)
+{
+    EXPECT_EQ(shadeFor(0.0), ' ');
+    EXPECT_EQ(shadeFor(1.0), '@');
+    const char *ramp = " .:-=+*#@";
+    double prev = -1.0;
+    for (double f : {0.0, 0.002, 0.01, 0.03, 0.08, 0.2, 0.3, 0.5,
+                     0.8}) {
+        const char *pos = strchr(ramp, shadeFor(f));
+        ASSERT_NE(pos, nullptr);
+        EXPECT_GE(pos - ramp, prev);
+        prev = static_cast<double>(pos - ramp);
+    }
+}
+
+TEST(Heatmap, RowRendersAllCells)
+{
+    std::string row = heatmapRow({0.0, 0.5, 1.0});
+    EXPECT_EQ(row.front(), '[');
+    EXPECT_EQ(row.back(), ']');
+    // 3 cells + 2 separators + brackets.
+    EXPECT_EQ(row.size(), 7u);
+    EXPECT_FALSE(heatmapLegend().empty());
+}
+
+TEST(Figure, SeriesAndData)
+{
+    Figure figure("test", "x", "y");
+    auto &a = figure.addSeries("a");
+    a.add(1.0, 10.0);
+    a.add(2.0, 20.0);
+    auto &b = figure.addSeries("b");
+    b.add(1.0, 5.0);
+
+    std::ostringstream out;
+    figure.printData(out);
+    std::string text = out.str();
+    EXPECT_NE(text.find("# test"), std::string::npos);
+    EXPECT_NE(text.find("10.000"), std::string::npos);
+    // b has no point at x=2: dash.
+    EXPECT_NE(text.find("20.000\t-"), std::string::npos);
+}
+
+TEST(Figure, AsciiChartRendersWithoutCrashing)
+{
+    Figure figure("chart", "t", "v");
+    auto &s = figure.addSeries("s");
+    for (int i = 0; i < 50; ++i)
+        s.add(i, i % 7);
+    std::ostringstream out;
+    figure.printAscii(out, 40, 8);
+    EXPECT_GT(out.str().size(), 100u);
+    EXPECT_NE(out.str().find("legend"), std::string::npos);
+}
+
+TEST(Figure, EmptyFigurePrintsPlaceholder)
+{
+    Figure figure("empty", "x", "y");
+    std::ostringstream out;
+    figure.printAscii(out);
+    EXPECT_EQ(out.str(), "(no data)\n");
+}
+
+TEST(BarGroups, RendersBars)
+{
+    Series s{"2010", {}, {}};
+    s.y = {10.0, 20.0};
+    std::ostringstream out;
+    printBarGroups(out, "title", {"g1", "g2"}, {s}, 20.0, 10);
+    std::string text = out.str();
+    EXPECT_NE(text.find("g1"), std::string::npos);
+    EXPECT_NE(text.find("##########"), std::string::npos);
+    EXPECT_THROW(printBarGroups(out, "t", {}, {}, 0.0), FatalError);
+}
+
+TEST(History, DatasetsNonEmptyAndPlausible)
+{
+    ASSERT_FALSE(tlpHistory().empty());
+    ASSERT_FALSE(gpuHistory().empty());
+    for (const auto &entry : tlpHistory()) {
+        EXPECT_TRUE(entry.year == 2000 || entry.year == 2010);
+        EXPECT_GE(entry.value, 1.0);
+        EXPECT_LE(entry.value, 12.0);
+        EXPECT_FALSE(entry.app.empty());
+    }
+    for (const auto &entry : gpuHistory()) {
+        EXPECT_EQ(entry.year, 2010);
+        EXPECT_GE(entry.value, 0.0);
+        EXPECT_LE(entry.value, 100.0);
+    }
+}
+
+TEST(History, CoversExpectedCategories)
+{
+    bool has_gaming = false, has_office = false, has_web = false;
+    for (const auto &entry : tlpHistory()) {
+        has_gaming |= entry.category == "3D Gaming";
+        has_office |= entry.category == "Office";
+        has_web |= entry.category == "Web Browsing";
+    }
+    EXPECT_TRUE(has_gaming);
+    EXPECT_TRUE(has_office);
+    EXPECT_TRUE(has_web);
+}
+
+} // namespace

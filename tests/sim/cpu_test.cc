@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for CPU spec, topology and masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using deskpar::FatalError;
+using deskpar::sim::CpuSpec;
+using deskpar::sim::CpuTopology;
+
+TEST(CpuSpec, PaperMachineMatchesTableOne)
+{
+    CpuSpec spec = CpuSpec::i78700K();
+    EXPECT_EQ(spec.physicalCores, 6u);
+    EXPECT_EQ(spec.threadsPerCore, 2u);
+    EXPECT_EQ(spec.numLogicalCpus(), 12u);
+    EXPECT_DOUBLE_EQ(spec.baseClockGhz, 3.70);
+    EXPECT_DOUBLE_EQ(spec.turboClockGhz, 4.70);
+    EXPECT_EQ(spec.llcMiB, 12u);
+    EXPECT_EQ(spec.ramGiB, 64u);
+}
+
+TEST(CpuSpec, TurboLadderMonotonicallyDecreases)
+{
+    CpuSpec spec = CpuSpec::i78700K();
+    double prev = spec.clockGhz(0);
+    EXPECT_DOUBLE_EQ(prev, 4.70);
+    for (unsigned busy = 1; busy <= 6; ++busy) {
+        double clock = spec.clockGhz(busy);
+        EXPECT_LE(clock, prev);
+        EXPECT_GE(clock, spec.baseClockGhz);
+        prev = clock;
+    }
+    EXPECT_DOUBLE_EQ(spec.clockGhz(6), 3.70);
+    EXPECT_DOUBLE_EQ(spec.clockGhz(2), 4.70);
+}
+
+TEST(CpuTopology, SiblingPairing)
+{
+    CpuTopology topo(CpuSpec::i78700K());
+    EXPECT_EQ(topo.numLogicalCpus(), 12u);
+    EXPECT_EQ(topo.siblingOf(0), 1u);
+    EXPECT_EQ(topo.siblingOf(1), 0u);
+    EXPECT_EQ(topo.siblingOf(10), 11u);
+    EXPECT_EQ(topo.physicalOf(0), 0u);
+    EXPECT_EQ(topo.physicalOf(1), 0u);
+    EXPECT_EQ(topo.physicalOf(11), 5u);
+}
+
+TEST(CpuTopology, SmtMaskActivatesSiblingPairs)
+{
+    CpuTopology topo(CpuSpec::i78700K());
+    auto mask = topo.maskSmt(4);
+    ASSERT_EQ(mask.size(), 12u);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_TRUE(mask[i]);
+    for (unsigned i = 4; i < 12; ++i)
+        EXPECT_FALSE(mask[i]);
+}
+
+TEST(CpuTopology, NoSmtMaskActivatesPrimariesOnly)
+{
+    CpuTopology topo(CpuSpec::i78700K());
+    auto mask = topo.maskNoSmt(6);
+    ASSERT_EQ(mask.size(), 12u);
+    unsigned active = 0;
+    for (unsigned i = 0; i < 12; ++i) {
+        if (mask[i]) {
+            ++active;
+            EXPECT_EQ(i % 2, 0u) << "only primary threads expected";
+        }
+    }
+    EXPECT_EQ(active, 6u);
+}
+
+TEST(CpuTopology, BadMaskRequestsFatal)
+{
+    CpuTopology topo(CpuSpec::i78700K());
+    EXPECT_THROW(topo.maskSmt(0), FatalError);
+    EXPECT_THROW(topo.maskSmt(3), FatalError);  // odd
+    EXPECT_THROW(topo.maskSmt(14), FatalError); // too many
+    EXPECT_THROW(topo.maskNoSmt(0), FatalError);
+    EXPECT_THROW(topo.maskNoSmt(7), FatalError);
+}
+
+TEST(CpuTopology, SingleThreadPerCoreHasNoSibling)
+{
+    CpuSpec spec = CpuSpec::i78700K();
+    spec.threadsPerCore = 1;
+    CpuTopology topo(spec);
+    EXPECT_EQ(topo.siblingOf(3), 3u);
+    EXPECT_THROW(topo.maskSmt(4), FatalError);
+}
+
+} // namespace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the declarative Dist distribution specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/dist.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using deskpar::FatalError;
+using deskpar::sim::Dist;
+using deskpar::sim::Rng;
+
+TEST(Dist, FixedAlwaysSameValue)
+{
+    Rng rng(1);
+    Dist d = Dist::fixed(3.5);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(d.sample(rng), 3.5);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+}
+
+TEST(Dist, DefaultIsZero)
+{
+    Rng rng(1);
+    Dist d;
+    EXPECT_DOUBLE_EQ(d.sample(rng), 0.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(Dist, UniformBoundsAndMean)
+{
+    Rng rng(2);
+    Dist d = Dist::uniform(10.0, 20.0);
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        double v = d.sample(rng);
+        EXPECT_GE(v, 10.0);
+        EXPECT_LT(v, 20.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / n, 15.0, 0.3);
+    EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+}
+
+TEST(Dist, NormalClampedNonNegative)
+{
+    Rng rng(3);
+    Dist d = Dist::normal(1.0, 5.0);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_GE(d.sample(rng), 0.0);
+}
+
+TEST(Dist, ExponentialMean)
+{
+    Rng rng(4);
+    Dist d = Dist::exponential(2.0);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += d.sample(rng);
+    EXPECT_NEAR(sum / n, 2.0, 0.1);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+}
+
+TEST(Dist, ScaledScalesSamplesAndMean)
+{
+    Rng rng(5);
+    Dist d = Dist::uniform(1.0, 2.0).scaled(10.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+    for (int i = 0; i < 100; ++i) {
+        double v = d.sample(rng);
+        EXPECT_GE(v, 10.0);
+        EXPECT_LT(v, 20.0);
+    }
+    EXPECT_DOUBLE_EQ(Dist::fixed(3.0).scaled(2.0).mean(), 6.0);
+}
+
+TEST(Dist, InvalidParametersFatal)
+{
+    EXPECT_THROW(Dist::uniform(5.0, 1.0), FatalError);
+    EXPECT_THROW(Dist::normal(1.0, -1.0), FatalError);
+    EXPECT_THROW(Dist::exponential(0.0), FatalError);
+    EXPECT_THROW(Dist::exponential(-2.0), FatalError);
+}
+
+} // namespace

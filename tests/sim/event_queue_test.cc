@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the discrete-event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+
+namespace {
+
+using deskpar::PanicError;
+using deskpar::sim::EventQueue;
+using deskpar::sim::SimTime;
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.pendingCount(), 0u);
+    EXPECT_FALSE(q.runOne());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, FifoAmongEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runAll();
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_THROW(q.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    auto handle = q.schedule(10, [&] { ran = true; });
+    EXPECT_TRUE(handle.pending());
+    q.cancel(handle);
+    EXPECT_FALSE(handle.pending());
+    EXPECT_EQ(q.pendingCount(), 0u);
+    q.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    EventQueue q;
+    int runs = 0;
+    auto handle = q.schedule(10, [&] { ++runs; });
+    q.runAll();
+    EXPECT_EQ(runs, 1);
+    EXPECT_FALSE(handle.pending());
+    q.cancel(handle); // must not crash or affect anything
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<SimTime> fired;
+    q.schedule(10, [&] {
+        fired.push_back(q.now());
+        q.scheduleAfter(15, [&] { fired.push_back(q.now()); });
+    });
+    q.runAll();
+    ASSERT_EQ(fired.size(), 2u);
+    EXPECT_EQ(fired[0], 10u);
+    EXPECT_EQ(fired[1], 25u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.schedule(40, [&] { order.push_back(3); });
+    q.runUntil(20);
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 20u);
+    q.runUntil(30);
+    EXPECT_EQ(order.size(), 2u);
+    EXPECT_EQ(q.now(), 30u);
+    q.runUntil(50);
+    EXPECT_EQ(order.size(), 3u);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, PendingCountTracksLiveEvents)
+{
+    EventQueue q;
+    auto a = q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    EXPECT_EQ(q.pendingCount(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.pendingCount(), 1u);
+    q.runAll();
+    EXPECT_EQ(q.pendingCount(), 0u);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockOthers)
+{
+    EventQueue q;
+    bool ran = false;
+    auto head = q.schedule(5, [] {});
+    q.schedule(10, [&] { ran = true; });
+    q.cancel(head);
+    q.runAll();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    SimTime last = 0;
+    bool monotonic = true;
+    for (int i = 0; i < 1000; ++i) {
+        SimTime when = static_cast<SimTime>((i * 7919) % 1000);
+        q.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    q.runAll();
+    EXPECT_TRUE(monotonic);
+}
+
+} // namespace

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the GPU model: packet service, queueing, engines, slots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+#include "sim/gpu.hh"
+#include "sim/logging.hh"
+#include "trace/session.hh"
+
+namespace {
+
+using deskpar::FatalError;
+using deskpar::sim::EventQueue;
+using deskpar::sim::GpuEngineId;
+using deskpar::sim::GpuModel;
+using deskpar::sim::GpuSpec;
+
+class GpuModelTest : public ::testing::Test
+{
+  protected:
+    GpuModelTest()
+        : session_(deskpar::trace::kProviderAll),
+          gpu_(GpuSpec::gtx1080Ti(), queue_, session_)
+    {
+        session_.start(0);
+    }
+
+    EventQueue queue_;
+    deskpar::trace::TraceSession session_;
+    GpuModel gpu_;
+};
+
+TEST_F(GpuModelTest, SpecThroughputRatiosMatchHardwareGap)
+{
+    double hi = GpuSpec::gtx1080Ti().shaderThroughput();
+    double mid = GpuSpec::gtx680().shaderThroughput();
+    double old_gpu = GpuSpec::gtx285().shaderThroughput();
+    // ~15x more cores at ~2.3x the clock vs the 285; ~4x vs the 680.
+    EXPECT_GT(hi / mid, 3.0);
+    EXPECT_LT(hi / mid, 5.0);
+    EXPECT_GT(hi / old_gpu, 20.0);
+}
+
+TEST_F(GpuModelTest, PacketServiceTimeMatchesThroughput)
+{
+    // 1 ms worth of work on this board.
+    double work = gpu_.spec().workForMs(GpuEngineId::Graphics3D, 1.0);
+    bool done = false;
+    gpu_.submit(7, GpuEngineId::Graphics3D, work, [&] { done = true; });
+    queue_.runAll();
+    EXPECT_TRUE(done);
+    EXPECT_NEAR(static_cast<double>(queue_.now()), 1e6, 1e3);
+}
+
+TEST_F(GpuModelTest, SerialEngineQueuesPackets)
+{
+    double work = gpu_.spec().workForMs(GpuEngineId::Graphics3D, 1.0);
+    int completed = 0;
+    for (int i = 0; i < 3; ++i) {
+        gpu_.submit(7, GpuEngineId::Graphics3D, work,
+                    [&] { ++completed; });
+    }
+    EXPECT_EQ(gpu_.outstanding(7), 3u);
+    queue_.runAll();
+    EXPECT_EQ(completed, 3);
+    EXPECT_EQ(gpu_.outstanding(7), 0u);
+    // Serial service: 3 packets take ~3 ms total.
+    EXPECT_NEAR(static_cast<double>(queue_.now()), 3e6, 3e3);
+}
+
+TEST_F(GpuModelTest, ComputeEngineRunsTwoSlotsConcurrently)
+{
+    double work = gpu_.spec().workForMs(GpuEngineId::Compute, 2.0);
+    gpu_.submit(7, GpuEngineId::Compute, work);
+    gpu_.submit(7, GpuEngineId::Compute, work);
+    queue_.runAll();
+    // Two hardware queues: both finish after ~2 ms, not 4 ms.
+    EXPECT_NEAR(static_cast<double>(queue_.now()), 2e6, 2e3);
+
+    session_.stop(queue_.now());
+    const auto &packets = session_.bundle().gpuPackets;
+    ASSERT_EQ(packets.size(), 2u);
+    EXPECT_EQ(packets[0].start, packets[1].start);
+}
+
+TEST_F(GpuModelTest, EnginesRunIndependently)
+{
+    double w3d = gpu_.spec().workForMs(GpuEngineId::Graphics3D, 5.0);
+    double wvd = gpu_.spec().workForMs(GpuEngineId::VideoDecode, 5.0);
+    gpu_.submit(1, GpuEngineId::Graphics3D, w3d);
+    gpu_.submit(2, GpuEngineId::VideoDecode, wvd);
+    queue_.runAll();
+    EXPECT_NEAR(static_cast<double>(queue_.now()), 5e6, 5e3);
+    EXPECT_NEAR(
+        static_cast<double>(
+            gpu_.engineBusyTime(GpuEngineId::Graphics3D)),
+        5e6, 5e3);
+    EXPECT_NEAR(static_cast<double>(
+                    gpu_.engineBusyTime(GpuEngineId::VideoDecode)),
+                5e6, 5e3);
+}
+
+TEST_F(GpuModelTest, TraceRecordsPacketsWithPidAndEngine)
+{
+    double work = gpu_.spec().workForMs(GpuEngineId::VideoEncode, 1.5);
+    gpu_.submit(42, GpuEngineId::VideoEncode, work);
+    queue_.runAll();
+    session_.stop(queue_.now());
+
+    const auto &packets = session_.bundle().gpuPackets;
+    ASSERT_EQ(packets.size(), 1u);
+    EXPECT_EQ(packets[0].pid, 42u);
+    EXPECT_EQ(packets[0].engine, GpuEngineId::VideoEncode);
+    EXPECT_EQ(packets[0].start, 0u);
+    EXPECT_NEAR(static_cast<double>(packets[0].finish), 1.5e6, 2e3);
+}
+
+TEST_F(GpuModelTest, CompletedWorkAccumulatesPerPid)
+{
+    gpu_.submit(1, GpuEngineId::Compute, 1000.0);
+    gpu_.submit(1, GpuEngineId::Compute, 500.0);
+    gpu_.submit(2, GpuEngineId::Compute, 250.0);
+    queue_.runAll();
+    EXPECT_DOUBLE_EQ(gpu_.completedWork(1), 1500.0);
+    EXPECT_DOUBLE_EQ(gpu_.completedWork(2), 250.0);
+    EXPECT_DOUBLE_EQ(gpu_.completedWork(99), 0.0);
+    EXPECT_EQ(gpu_.packetsCompleted(), 3u);
+}
+
+TEST_F(GpuModelTest, InvalidSubmissionsFatal)
+{
+    EXPECT_THROW(gpu_.submit(1, GpuEngineId::Compute, 0.0),
+                 FatalError);
+    EXPECT_THROW(gpu_.submit(1, GpuEngineId::Compute, -5.0),
+                 FatalError);
+
+    EventQueue q2;
+    deskpar::trace::TraceSession s2;
+    GpuModel noNvenc(GpuSpec::gtx285(), q2, s2);
+    EXPECT_THROW(noNvenc.submit(1, GpuEngineId::VideoEncode, 10.0),
+                 FatalError);
+}
+
+TEST(GpuSpecTest, Gtx680HasSingleComputeQueue)
+{
+    deskpar::sim::EventQueue queue;
+    deskpar::trace::TraceSession session;
+    session.start(0);
+    GpuModel gpu(GpuSpec::gtx680(), queue, session);
+
+    double work = gpu.spec().workForMs(GpuEngineId::Compute, 2.0);
+    gpu.submit(7, GpuEngineId::Compute, work);
+    gpu.submit(7, GpuEngineId::Compute, work);
+    queue.runAll();
+    // Single queue: serial service, ~4 ms.
+    EXPECT_NEAR(static_cast<double>(queue.now()), 4e6, 4e3);
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the Machine facade: configuration validation, process
+ * management, input channels, RNG forking, lifecycle events.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::sim;
+
+TEST(Machine, PaperDefaultMatchesTableOne)
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    EXPECT_EQ(config.activeCpus, 12u);
+    EXPECT_TRUE(config.smtEnabled);
+    EXPECT_EQ(config.cpu.model, "Intel Core i7-8700K");
+    EXPECT_EQ(config.gpu.model, "NVIDIA GTX 1080 Ti");
+
+    Machine machine(config);
+    EXPECT_EQ(machine.activeLogicalCpus(), 12u);
+    EXPECT_TRUE(machine.smtEnabled());
+    EXPECT_EQ(machine.now(), 0u);
+}
+
+TEST(Machine, SmtMaskRequiresEvenCount)
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    config.activeCpus = 5;
+    EXPECT_THROW(Machine machine(config), FatalError);
+}
+
+TEST(Machine, NoSmtCountsPhysicalCores)
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    config.smtEnabled = false;
+    config.activeCpus = 3;
+    Machine machine(config);
+    EXPECT_EQ(machine.activeLogicalCpus(), 3u);
+}
+
+TEST(Machine, CreateProcessAssignsDistinctPids)
+{
+    Machine machine(MachineConfig::paperDefault());
+    auto &a = machine.createProcess("a");
+    auto &b = machine.createProcess("b");
+    EXPECT_NE(a.pid(), b.pid());
+    EXPECT_EQ(machine.findProcess(a.pid()), &a);
+    EXPECT_EQ(machine.findProcess(b.pid()), &b);
+    EXPECT_EQ(machine.findProcess(1), nullptr);
+    EXPECT_EQ(machine.processes().size(), 2u);
+}
+
+TEST(Machine, ProcessCreationRecordedAndNamed)
+{
+    Machine machine(MachineConfig::paperDefault());
+    machine.session().start(0);
+    machine.createProcess("chrome-renderer-1");
+    machine.session().stop(0);
+    const auto &bundle = machine.session().bundle();
+    ASSERT_EQ(bundle.processEvents.size(), 1u);
+    EXPECT_EQ(bundle.processEvents[0].name, "chrome-renderer-1");
+    EXPECT_EQ(bundle.pidsByName("chrome-renderer-1").size(), 1u);
+    // Idle is pre-registered as pid 0.
+    EXPECT_EQ(bundle.processNames.at(0), "Idle");
+}
+
+TEST(Machine, SmtFriendlinessValidated)
+{
+    Machine machine(MachineConfig::paperDefault());
+    EXPECT_THROW(machine.createProcess("bad", -0.1), FatalError);
+    EXPECT_THROW(machine.createProcess("bad", 1.5), FatalError);
+    EXPECT_NO_THROW(machine.createProcess("ok", 1.0));
+}
+
+TEST(Machine, InputChannelsAreStable)
+{
+    Machine machine(MachineConfig::paperDefault());
+    SyncId a1 = machine.inputChannel(1);
+    SyncId a2 = machine.inputChannel(1);
+    SyncId b = machine.inputChannel(2);
+    EXPECT_EQ(a1, a2);
+    EXPECT_NE(a1, b);
+}
+
+TEST(Machine, DeliverInputRecordsMarker)
+{
+    Machine machine(MachineConfig::paperDefault());
+    machine.session().start(0);
+    machine.deliverInput(3);
+    machine.session().stop(0);
+    const auto &markers = machine.session().bundle().markers;
+    ASSERT_EQ(markers.size(), 1u);
+    EXPECT_EQ(markers[0].label, "input:3");
+    EXPECT_EQ(machine.sync().tokens(machine.inputChannel(3)), 1u);
+}
+
+TEST(Machine, ForkRngDeterministicPerName)
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    config.seed = 77;
+    Machine a(config);
+    Machine b(config);
+    EXPECT_EQ(a.forkRng("x").raw(), b.forkRng("x").raw());
+
+    config.seed = 78;
+    Machine c(config);
+    EXPECT_NE(a.forkRng("x").raw(), c.forkRng("x").raw());
+}
+
+TEST(Machine, RunAdvancesTime)
+{
+    Machine machine(MachineConfig::paperDefault());
+    machine.run(msec(250));
+    EXPECT_EQ(machine.now(), msec(250));
+    machine.run(msec(500));
+    EXPECT_EQ(machine.now(), msec(500));
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests for the LLC contention model: penalty curve, default-off
+ * behavior, and end-to-end slowdown when enabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/behaviors_basic.hh"
+#include "sim/machine.hh"
+#include "sim/memory.hh"
+
+namespace {
+
+using namespace deskpar::sim;
+
+TEST(LlcModel, NoPenaltyWithinCapacity)
+{
+    LlcModel model(12.0);
+    EXPECT_DOUBLE_EQ(model.throughputFactor(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.throughputFactor(6.0), 1.0);
+    EXPECT_DOUBLE_EQ(model.throughputFactor(12.0), 1.0);
+}
+
+TEST(LlcModel, PenaltyGrowsWithOversubscription)
+{
+    LlcModel model(12.0);
+    double f1 = model.throughputFactor(18.0); // 1.5x capacity
+    double f2 = model.throughputFactor(24.0); // 2x capacity
+    EXPECT_LT(f1, 1.0);
+    EXPECT_LT(f2, f1);
+}
+
+TEST(LlcModel, PenaltyFloored)
+{
+    LlcModel model(12.0, 0.30, 0.55);
+    EXPECT_DOUBLE_EQ(model.throughputFactor(1e6), 0.55);
+}
+
+TEST(LlcModel, ZeroCapacityIsInert)
+{
+    LlcModel model(0.0);
+    EXPECT_DOUBLE_EQ(model.throughputFactor(100.0), 1.0);
+}
+
+namespace {
+
+/** Time for one process with @p footprint to finish a fixed burst
+ *  while a fat co-runner occupies another core. */
+SimTime
+runContended(bool llc_enabled)
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    config.seed = 5;
+    config.llcModelEnabled = llc_enabled;
+    Machine machine(config);
+    machine.session().start(0);
+
+    auto &fat = machine.createProcess("fat");
+    fat.setLlcFootprintMiB(20.0); // alone it already overflows
+    fat.createThread(
+        makeBehavior([](ThreadContext &) {
+            return Action::compute(workForMs(1000.0, 3.7));
+        }),
+        "hog");
+
+    auto &subject = machine.createProcess("subject");
+    subject.setLlcFootprintMiB(4.0);
+    auto &thread = subject.createThread(
+        makeSequence({Action::compute(workForMs(50.0, 3.7))}),
+        "t");
+
+    machine.run(sec(5));
+    EXPECT_TRUE(thread.terminated());
+    // Find the subject's switch-out time.
+    machine.session().stop(machine.now());
+    SimTime finish = 0;
+    for (const auto &e : machine.session().bundle().cswitches) {
+        if (e.oldPid == subject.pid())
+            finish = e.timestamp;
+    }
+    return finish;
+}
+
+} // namespace
+
+TEST(LlcModel, EnabledModelSlowsOversubscribedRun)
+{
+    SimTime baseline = runContended(false);
+    SimTime contended = runContended(true);
+    EXPECT_GT(contended, baseline);
+    // 24 MiB on a 12 MiB LLC: factor 1/(1+0.3) ~ 0.77 -> ~1.3x.
+    double ratio = static_cast<double>(contended) /
+                   static_cast<double>(baseline);
+    EXPECT_NEAR(ratio, 1.3, 0.1);
+}
+
+TEST(LlcModel, DisabledByDefaultKeepsCalibration)
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    EXPECT_FALSE(config.llcModelEnabled);
+
+    // Footprint setters exist but change nothing while disabled.
+    Machine machine(config);
+    auto &process = machine.createProcess("app");
+    EXPECT_DOUBLE_EQ(process.llcFootprintMiB(), 1.5);
+    process.setLlcFootprintMiB(100.0);
+    EXPECT_DOUBLE_EQ(process.llcFootprintMiB(), 100.0);
+}
+
+} // namespace

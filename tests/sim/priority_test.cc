@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for priority-class scheduling: dispatch order, Elevated
+ * preemption, and Background starvation under load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/behaviors_basic.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace deskpar::sim;
+
+MachineConfig
+oneCore()
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    config.smtEnabled = false;
+    config.activeCpus = 1;
+    config.seed = 3;
+    return config;
+}
+
+/** A thread computing a single long burst. */
+std::shared_ptr<ThreadBehavior>
+longBurst(double ms = 200.0)
+{
+    return makeSequence({Action::compute(workForMs(ms, 3.7))});
+}
+
+TEST(Priority, DefaultIsNormal)
+{
+    Machine machine(MachineConfig::paperDefault());
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(longBurst(0.1), "t");
+    EXPECT_EQ(thread.priority(), ThreadPriority::Normal);
+    machine.run(sec(1));
+}
+
+TEST(Priority, NormalDispatchedBeforeQueuedBackground)
+{
+    Machine machine(oneCore());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+
+    // Occupy the core; queue a Background thread first, a Normal
+    // thread second. When the core frees, Normal must win despite
+    // arriving later.
+    proc.createThread(longBurst(3.0), "running");
+    machine.run(usec(100));
+
+    SyncId bg = machine.sync().alloc();
+    SyncId fg = machine.sync().alloc();
+    auto &janitor = proc.createThread(
+        makeSequence({Action::sleep(usec(100)),
+                      Action::compute(workForMs(1.0, 4.7)),
+                      Action::signalSync(bg)}),
+        "janitor");
+    janitor.setPriority(ThreadPriority::Background);
+    proc.createThread(
+        makeSequence({Action::sleep(usec(200)),
+                      Action::compute(workForMs(1.0, 4.7)),
+                      Action::signalSync(fg)}),
+        "worker");
+
+    // Run until just after the burst (~2.4 ms at turbo) plus the
+    // first queued thread's compute: Normal finished, Background
+    // still mid-flight or pending.
+    machine.run(msec(3.5));
+    EXPECT_EQ(machine.sync().tokens(fg), 1u);
+    EXPECT_EQ(machine.sync().tokens(bg), 0u);
+    machine.run(msec(10));
+    EXPECT_EQ(machine.sync().tokens(bg), 1u);
+}
+
+TEST(Priority, ElevatedPreemptsRunningNormalThread)
+{
+    Machine machine(oneCore());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+
+    // A long Normal burst holds the only core.
+    proc.createThread(longBurst(500.0), "batch");
+    machine.run(msec(1));
+
+    // An Elevated thread wakes from a sleep: it must run promptly
+    // (well before the batch thread's quantum expires).
+    SyncId done = machine.sync().alloc();
+    auto &vip = proc.createThread(
+        makeSequence({Action::sleep(msec(5)),
+                      Action::compute(workForMs(1.0, 4.7)),
+                      Action::signalSync(done)}),
+        "vip");
+    vip.setPriority(ThreadPriority::Elevated);
+
+    machine.run(msec(8));
+    EXPECT_TRUE(vip.terminated())
+        << "elevated thread did not preempt the batch burst";
+    EXPECT_EQ(machine.sync().tokens(done), 1u);
+}
+
+TEST(Priority, NormalWakeupWaitsForQuantumInstead)
+{
+    Machine machine(oneCore());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    proc.createThread(longBurst(500.0), "batch");
+    machine.run(msec(1));
+
+    SyncId done = machine.sync().alloc();
+    proc.createThread(
+        makeSequence({Action::sleep(msec(5)),
+                      Action::compute(workForMs(1.0, 4.7)),
+                      Action::signalSync(done)}),
+        "polite");
+
+    // At 8 ms the Normal thread has not run yet (quantum is 10 ms).
+    machine.run(msec(8));
+    EXPECT_EQ(machine.sync().tokens(done), 0u);
+    machine.run(msec(30));
+    EXPECT_EQ(machine.sync().tokens(done), 1u);
+}
+
+TEST(Priority, BackgroundRunsOnlyWhenNothingElseReady)
+{
+    Machine machine(oneCore());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+
+    SyncId bg_done = machine.sync().alloc();
+    auto &background = proc.createThread(
+        makeSequence({Action::sleep(msec(1)),
+                      Action::compute(workForMs(5.0, 4.7)),
+                      Action::signalSync(bg_done)}),
+        "janitor");
+    background.setPriority(ThreadPriority::Background);
+
+    // Keep the core saturated with Normal work for a while.
+    proc.createThread(longBurst(100.0), "batch");
+    machine.run(msec(50));
+    EXPECT_EQ(machine.sync().tokens(bg_done), 0u)
+        << "background work ran while normal work was pending";
+    machine.run(sec(1));
+    EXPECT_EQ(machine.sync().tokens(bg_done), 1u);
+}
+
+TEST(Priority, PreemptionEmitsContextSwitch)
+{
+    Machine machine(oneCore());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    proc.createThread(longBurst(500.0), "batch");
+    machine.run(msec(1));
+    auto &vip = proc.createThread(
+        makeSequence({Action::sleep(msec(2)),
+                      Action::compute(workForMs(0.5, 4.7))}),
+        "vip");
+    vip.setPriority(ThreadPriority::Elevated);
+    machine.run(msec(5));
+    machine.session().stop(machine.now());
+
+    bool preemption_switch = false;
+    for (const auto &e : machine.session().bundle().cswitches) {
+        if (e.oldTid != 0 && e.newTid == vip.tid())
+            preemption_switch = true;
+    }
+    EXPECT_TRUE(preemption_switch);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for deterministic RNG streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using deskpar::sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.raw(), b.raw());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = a.raw() != b.raw();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, ForkIsIndependentOfDrawHistory)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 10; ++i)
+        a.raw(); // advance a's engine only
+    Rng fa = a.fork(3);
+    Rng fb = b.fork(3);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(fa.raw(), fb.raw());
+}
+
+TEST(Rng, ForkByNameStable)
+{
+    Rng a(7);
+    Rng f1 = a.fork("chrome");
+    Rng f2 = a.fork("chrome");
+    Rng g = a.fork("firefox");
+    EXPECT_EQ(f1.raw(), f2.raw());
+    bool differ = false;
+    for (int i = 0; i < 16 && !differ; ++i)
+        differ = f1.raw() != g.raw();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformWithinBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(1, 6);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 6);
+        saw_lo |= v == 1;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalNonNegClamped)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.normalNonNeg(0.1, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.2);
+}
+
+TEST(Rng, BernoulliRateRoughlyCorrect)
+{
+    Rng rng(19);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+} // namespace

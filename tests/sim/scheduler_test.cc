@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Scheduler tests: dispatch, CSwitch emission, core scaling,
+ * preemption, SMT placement and contention, turbo behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/behaviors_basic.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace deskpar::sim;
+
+MachineConfig
+config(unsigned active_cpus, bool smt, std::uint64_t seed = 7)
+{
+    MachineConfig cfg = MachineConfig::paperDefault();
+    cfg.activeCpus = active_cpus;
+    cfg.smtEnabled = smt;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** A behavior computing @p n bursts of @p ms each (at base clock). */
+std::shared_ptr<ThreadBehavior>
+burstLoop(int n, double ms)
+{
+    return makeBehavior([n, ms, i = 0](ThreadContext &) mutable {
+        if (i++ < n)
+            return Action::compute(workForMs(ms, 3.7));
+        return Action::exit();
+    });
+}
+
+TEST(Scheduler, SingleThreadRunsToCompletion)
+{
+    Machine machine(config(12, true));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(burstLoop(3, 1.0), "t");
+    machine.run(sec(1));
+    EXPECT_TRUE(thread.terminated());
+    EXPECT_GE(machine.scheduler().stats().contextSwitches, 2u);
+}
+
+TEST(Scheduler, CSwitchEventsBracketExecution)
+{
+    Machine machine(config(12, true));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(
+        makeSequence({Action::compute(workForMs(2.0, 4.7))}), "t");
+    machine.run(sec(1));
+    machine.session().stop(machine.now());
+    ASSERT_TRUE(thread.terminated());
+
+    const auto &switches = machine.session().bundle().cswitches;
+    ASSERT_EQ(switches.size(), 2u);
+    EXPECT_EQ(switches[0].newTid, thread.tid());
+    EXPECT_EQ(switches[0].oldTid, 0u);
+    EXPECT_EQ(switches[1].oldTid, thread.tid());
+    EXPECT_EQ(switches[1].newTid, 0u);
+    EXPECT_GT(switches[1].timestamp, switches[0].timestamp);
+}
+
+TEST(Scheduler, ParallelThreadsUseDistinctCpus)
+{
+    Machine machine(config(12, true));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    for (int i = 0; i < 6; ++i)
+        proc.createThread(burstLoop(1, 5.0), "w" + std::to_string(i));
+    machine.run(sec(1));
+    machine.session().stop(machine.now());
+
+    std::set<CpuId> cpus;
+    for (const auto &e : machine.session().bundle().cswitches) {
+        if (e.newTid != 0)
+            cpus.insert(e.cpu);
+    }
+    EXPECT_EQ(cpus.size(), 6u);
+}
+
+TEST(Scheduler, PlacementPrefersIdlePhysicalCores)
+{
+    Machine machine(config(12, true));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    // 6 threads on a 6-core/12-thread machine: each should land on
+    // its own physical core, no SMT sharing.
+    for (int i = 0; i < 6; ++i)
+        proc.createThread(burstLoop(1, 5.0), "w" + std::to_string(i));
+    machine.run(msec(1));
+
+    std::set<unsigned> cores;
+    for (CpuId cpu = 0; cpu < 12; ++cpu) {
+        if (machine.scheduler().running(cpu))
+            cores.insert(machine.topology().physicalOf(cpu));
+    }
+    EXPECT_EQ(cores.size(), 6u);
+    EXPECT_EQ(machine.scheduler().stats().smtSharedTime, 0u);
+}
+
+TEST(Scheduler, CoreScalingSerializesExcessThreads)
+{
+    // 8 equal threads on 4 logical CPUs take ~2x as long as on 8.
+    auto run_with = [](unsigned cpus) {
+        Machine machine(config(cpus, true));
+        machine.session().start(0);
+        auto &proc = machine.createProcess("app");
+        for (int i = 0; i < 8; ++i) {
+            proc.createThread(burstLoop(4, 10.0),
+                              "w" + std::to_string(i));
+        }
+        machine.run(sec(10));
+        for (const auto &t : proc.threads())
+            EXPECT_TRUE(t->terminated());
+        // Completion time of the last thread: find last cswitch where
+        // a worker leaves a CPU.
+        machine.session().stop(machine.now());
+        SimTime last = 0;
+        for (const auto &e : machine.session().bundle().cswitches) {
+            if (e.oldTid != 0)
+                last = std::max(last, e.timestamp);
+        }
+        return last;
+    };
+
+    SimTime narrow = run_with(4);
+    SimTime wide = run_with(8);
+    double ratio = static_cast<double>(narrow) /
+                   static_cast<double>(wide);
+    // Turbo gives the narrow config a slightly faster clock, so the
+    // ratio lands a bit under 2.
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 2.3);
+}
+
+TEST(Scheduler, QuantumPreemptsWhenOversubscribed)
+{
+    Machine machine(config(4, true));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    for (int i = 0; i < 8; ++i)
+        proc.createThread(burstLoop(1, 100.0), "w" + std::to_string(i));
+    machine.run(sec(5));
+    machine.session().stop(machine.now());
+
+    // All 8 threads must have made progress early: within the first
+    // 2 quanta (~20 ms + margin) every thread has appeared on a CPU.
+    std::set<Tid> seen;
+    for (const auto &e : machine.session().bundle().cswitches) {
+        if (e.timestamp < msec(45) && e.newTid != 0)
+            seen.insert(e.newTid);
+    }
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Scheduler, NoSmtMaskNeverSharesCores)
+{
+    Machine machine(config(6, false));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    for (int i = 0; i < 6; ++i)
+        proc.createThread(burstLoop(2, 10.0), "w" + std::to_string(i));
+    machine.run(sec(2));
+    EXPECT_EQ(machine.scheduler().stats().smtSharedTime, 0u);
+    EXPECT_EQ(machine.activeLogicalCpus(), 6u);
+}
+
+TEST(Scheduler, SmtContentionSlowsCoRunners)
+{
+    // 12 threads on 6 physical cores (SMT): per-thread throughput is
+    // derated, so total runtime for fixed work is longer than the
+    // naive 1x, but shorter than full serialization.
+    auto total_work_time = [](unsigned cpus, bool smt,
+                              double friendliness) {
+        MachineConfig cfg = config(cpus, smt);
+        Machine machine(cfg);
+        machine.session().start(0);
+        auto &proc = machine.createProcess("app", friendliness);
+        unsigned n = cpus;
+        for (unsigned i = 0; i < n; ++i) {
+            proc.createThread(burstLoop(1, 50.0),
+                              "w" + std::to_string(i));
+        }
+        machine.run(sec(10));
+        machine.session().stop(machine.now());
+        SimTime last = 0;
+        for (const auto &e : machine.session().bundle().cswitches) {
+            if (e.oldTid != 0)
+                last = std::max(last, e.timestamp);
+        }
+        return last;
+    };
+
+    // 12 threads, SMT on (6 cores shared) vs 6 threads on 6 cores.
+    SimTime shared = total_work_time(12, true, 0.2);
+    SimTime alone = total_work_time(6, false, 0.2);
+    // Each of the 12 threads runs at (0.5 + 0.5*0.2) = 0.6x; same
+    // per-thread work, so ~1/0.6 = 1.67x the duration.
+    double ratio = static_cast<double>(shared) /
+                   static_cast<double>(alone);
+    EXPECT_GT(ratio, 1.4);
+    EXPECT_LT(ratio, 1.9);
+}
+
+TEST(Scheduler, SmtFriendlinessReducesPenalty)
+{
+    auto finish_time = [](double friendliness) {
+        Machine machine(config(12, true));
+        machine.session().start(0);
+        auto &proc = machine.createProcess("app", friendliness);
+        for (int i = 0; i < 12; ++i) {
+            proc.createThread(burstLoop(1, 50.0),
+                              "w" + std::to_string(i));
+        }
+        machine.run(sec(10));
+        machine.session().stop(machine.now());
+        SimTime last = 0;
+        for (const auto &e : machine.session().bundle().cswitches) {
+            if (e.oldTid != 0)
+                last = std::max(last, e.timestamp);
+        }
+        return last;
+    };
+
+    EXPECT_LT(finish_time(0.9), finish_time(0.1));
+}
+
+TEST(Scheduler, TurboClockDropsUnderLoad)
+{
+    Machine machine(config(12, true));
+    machine.session().start(0);
+    EXPECT_DOUBLE_EQ(machine.scheduler().currentClockGhz(), 4.70);
+
+    auto &proc = machine.createProcess("app");
+    for (int i = 0; i < 12; ++i)
+        proc.createThread(burstLoop(1, 50.0), "w" + std::to_string(i));
+    machine.run(msec(1));
+    EXPECT_DOUBLE_EQ(machine.scheduler().currentClockGhz(), 3.70);
+}
+
+TEST(Scheduler, StatsAccumulateBusyTime)
+{
+    Machine machine(config(12, true));
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    proc.createThread(burstLoop(1, 10.0), "t");
+    machine.run(sec(1));
+    const auto &stats = machine.scheduler().stats();
+    // 10 ms of work at up to 4.7/3.7 GHz speedup: busy between 7 and
+    // 11 ms.
+    EXPECT_GT(stats.busyTime, msec(7));
+    EXPECT_LT(stats.busyTime, msec(11));
+    EXPECT_DOUBLE_EQ(stats.smtSharedTime, 0);
+}
+
+TEST(Scheduler, ContentionStallFractionRisesWithSharing)
+{
+    SchedulerStats idle_stats;
+    EXPECT_DOUBLE_EQ(idle_stats.contentionStallFraction(), 0.0);
+
+    SchedulerStats solo;
+    solo.busyTime = 100;
+    solo.smtSharedTime = 0;
+    SchedulerStats shared = solo;
+    shared.smtSharedTime = 100;
+    EXPECT_NEAR(solo.contentionStallFraction(), 0.053, 1e-9);
+    EXPECT_GT(shared.contentionStallFraction(),
+              solo.contentionStallFraction());
+}
+
+} // namespace

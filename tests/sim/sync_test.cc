@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests for SyncHub semaphores (pure token logic; thread-wake paths
+ * are covered by thread_test.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/sync.hh"
+
+namespace {
+
+using deskpar::PanicError;
+using deskpar::sim::SyncHub;
+using deskpar::sim::SyncId;
+
+TEST(SyncHub, AllocGivesDistinctIds)
+{
+    SyncHub hub;
+    SyncId a = hub.alloc();
+    SyncId b = hub.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(hub.size(), 2u);
+}
+
+TEST(SyncHub, InitialTokens)
+{
+    SyncHub hub;
+    SyncId id = hub.alloc(3);
+    EXPECT_EQ(hub.tokens(id), 3u);
+    EXPECT_TRUE(hub.tryWait(id));
+    EXPECT_TRUE(hub.tryWait(id));
+    EXPECT_TRUE(hub.tryWait(id));
+    EXPECT_FALSE(hub.tryWait(id));
+}
+
+TEST(SyncHub, SignalAccumulatesWithNoWaiters)
+{
+    SyncHub hub;
+    SyncId id = hub.alloc();
+    hub.signal(id, 2);
+    hub.signal(id);
+    EXPECT_EQ(hub.tokens(id), 3u);
+}
+
+TEST(SyncHub, TryWaitConsumesExactlyOne)
+{
+    SyncHub hub;
+    SyncId id = hub.alloc(2);
+    EXPECT_TRUE(hub.tryWait(id));
+    EXPECT_EQ(hub.tokens(id), 1u);
+}
+
+TEST(SyncHub, BadIdPanics)
+{
+    SyncHub hub;
+    EXPECT_THROW(hub.tokens(0), PanicError);
+    hub.alloc();
+    EXPECT_THROW(hub.tokens(5), PanicError);
+    EXPECT_THROW(hub.tryWait(-1), PanicError);
+    EXPECT_THROW(hub.signal(7), PanicError);
+}
+
+} // namespace

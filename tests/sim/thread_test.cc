@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Thread-runtime tests on a full Machine: action interpretation,
+ * blocking/waking, GPU sync, spawning, frame/marker emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/behaviors_basic.hh"
+#include "sim/logging.hh"
+#include "sim/machine.hh"
+
+namespace {
+
+using namespace deskpar::sim;
+
+MachineConfig
+smallConfig()
+{
+    MachineConfig config = MachineConfig::paperDefault();
+    config.seed = 123;
+    return config;
+}
+
+TEST(Thread, ComputeRunsAndTerminates)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(
+        makeSequence({Action::compute(workForMs(1.0, 4.7))}), "main");
+
+    machine.run(sec(1));
+    EXPECT_TRUE(thread.terminated());
+    EXPECT_GT(thread.retiredWork(), 0.0);
+}
+
+TEST(Thread, SleepDelaysExecution)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(
+        makeSequence({Action::sleep(msec(50)),
+                      Action::compute(workForMs(1.0, 4.7))}),
+        "sleeper");
+
+    machine.run(msec(49));
+    EXPECT_EQ(thread.state(), ThreadState::Sleeping);
+    machine.run(msec(60));
+    EXPECT_TRUE(thread.terminated());
+}
+
+TEST(Thread, SleepUntilPastIsNoop)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(
+        makeSequence({Action::sleepUntil(0)}), "t");
+    machine.run(msec(1));
+    EXPECT_TRUE(thread.terminated());
+}
+
+TEST(Thread, WaitSyncBlocksUntilSignaled)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    SyncId gate = machine.sync().alloc();
+
+    auto &proc = machine.createProcess("app");
+    auto &waiter = proc.createThread(
+        makeSequence({Action::waitSync(gate),
+                      Action::compute(workForMs(1.0, 4.7))}),
+        "waiter");
+    proc.createThread(
+        makeSequence({Action::sleep(msec(20)),
+                      Action::signalSync(gate)}),
+        "signaler");
+
+    machine.run(msec(10));
+    EXPECT_EQ(waiter.state(), ThreadState::BlockedSync);
+    machine.run(msec(100));
+    EXPECT_TRUE(waiter.terminated());
+}
+
+TEST(Thread, GpuSyncWaitsForPackets)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    double work =
+        machine.gpu().spec().workForMs(GpuEngineId::Graphics3D, 10.0);
+    auto &thread = proc.createThread(
+        makeSequence({Action::gpuAsync(GpuEngineId::Graphics3D, work),
+                      Action::gpuSync(),
+                      Action::compute(workForMs(0.1, 4.7))}),
+        "render");
+
+    machine.run(msec(5));
+    EXPECT_EQ(thread.state(), ThreadState::BlockedGpu);
+    machine.run(msec(20));
+    EXPECT_TRUE(thread.terminated());
+}
+
+TEST(Thread, GpuSyncWithNoOutstandingIsInstant)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    auto &thread =
+        proc.createThread(makeSequence({Action::gpuSync()}), "t");
+    machine.run(msec(1));
+    EXPECT_TRUE(thread.terminated());
+}
+
+TEST(Thread, SpawnCreatesSiblingThread)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    proc.createThread(
+        makeSequence({Action::spawn(
+            makeSequence({Action::compute(workForMs(1.0, 4.7))}),
+            "worker")}),
+        "main");
+
+    machine.run(sec(1));
+    EXPECT_EQ(proc.threads().size(), 2u);
+    EXPECT_EQ(proc.liveThreads(), 0u);
+    EXPECT_EQ(proc.threads()[1]->name(), "worker");
+}
+
+TEST(Thread, PresentAndMarkerEmitTraceEvents)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("game");
+    proc.createThread(makeSequence({Action::present(false),
+                                    Action::present(true),
+                                    Action::marker("checkpoint")}),
+                      "loop");
+    machine.run(msec(1));
+    machine.session().stop(machine.now());
+
+    const auto &bundle = machine.session().bundle();
+    ASSERT_EQ(bundle.frames.size(), 2u);
+    EXPECT_EQ(bundle.frames[0].pid, proc.pid());
+    EXPECT_FALSE(bundle.frames[0].synthesized);
+    EXPECT_TRUE(bundle.frames[1].synthesized);
+    EXPECT_EQ(bundle.frames[0].frameId + 1, bundle.frames[1].frameId);
+    ASSERT_EQ(bundle.markers.size(), 1u);
+    EXPECT_EQ(bundle.markers[0].label, "checkpoint");
+}
+
+TEST(Thread, ThreadLifecycleRecorded)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    proc.createThread(makeSequence({}), "ephemeral");
+    machine.session().stop(machine.now());
+
+    const auto &events = machine.session().bundle().threadEvents;
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_TRUE(events[0].created);
+    EXPECT_FALSE(events[1].created);
+    EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Thread, InputChannelDeliveryWakesWaiter)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    constexpr int kMouse = 1;
+    SyncId channel = machine.inputChannel(kMouse);
+
+    auto &proc = machine.createProcess("app");
+    auto &thread = proc.createThread(
+        makeSequence({Action::waitSync(channel),
+                      Action::compute(workForMs(0.5, 4.7))}),
+        "ui");
+
+    machine.run(msec(5));
+    EXPECT_EQ(thread.state(), ThreadState::BlockedSync);
+    machine.deliverInput(kMouse);
+    machine.run(msec(50));
+    EXPECT_TRUE(thread.terminated());
+}
+
+TEST(Thread, ZeroTimeLoopGuardPanics)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    SyncId id = machine.sync().alloc();
+    auto spinner = makeBehavior(
+        [id](ThreadContext &) { return Action::signalSync(id); });
+    EXPECT_THROW(proc.createThread(spinner, "spin"),
+                 deskpar::PanicError);
+}
+
+TEST(Thread, RetiredWorkMatchesRequested)
+{
+    Machine machine(smallConfig());
+    machine.session().start(0);
+    auto &proc = machine.createProcess("app");
+    WorkUnits want = workForMs(5.0, 4.7);
+    auto &thread =
+        proc.createThread(makeSequence({Action::compute(want)}), "t");
+    machine.run(sec(1));
+    EXPECT_TRUE(thread.terminated());
+    EXPECT_NEAR(thread.retiredWork(), want, want * 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the wpaexporter-style CSV export/import.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "trace/csv.hh"
+
+namespace {
+
+using namespace deskpar::trace;
+
+TraceBundle
+sampleBundle()
+{
+    TraceBundle bundle;
+    bundle.startTime = 0;
+    bundle.stopTime = 1000;
+    bundle.numLogicalCpus = 12;
+    bundle.processNames[0] = "Idle";
+    bundle.processNames[7] = "vlc, media player"; // comma in name
+    bundle.processNames[9] = "chrome";
+
+    CSwitchEvent cs;
+    cs.timestamp = 10;
+    cs.cpu = 2;
+    cs.oldPid = 0;
+    cs.oldTid = 0;
+    cs.newPid = 7;
+    cs.newTid = 71;
+    cs.readyTime = 9;
+    bundle.cswitches.push_back(cs);
+    cs.timestamp = 60;
+    cs.oldPid = 7;
+    cs.oldTid = 71;
+    cs.newPid = 9;
+    cs.newTid = 91;
+    cs.readyTime = 55;
+    bundle.cswitches.push_back(cs);
+
+    GpuPacketEvent gp;
+    gp.start = 20;
+    gp.finish = 45;
+    gp.pid = 7;
+    gp.engine = GpuEngineId::VideoDecode;
+    gp.packetId = 1;
+    gp.queueSlot = 0;
+    bundle.gpuPackets.push_back(gp);
+    return bundle;
+}
+
+TEST(Csv, SplitHandlesQuotesAndCommas)
+{
+    auto fields = splitCsvLine("a,\"b,c\",\"d\"\"e\",f");
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[1], "b,c");
+    EXPECT_EQ(fields[2], "d\"e");
+    EXPECT_EQ(fields[3], "f");
+}
+
+TEST(Csv, SplitPlainLine)
+{
+    auto fields = splitCsvLine("1,2,3");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[2], "3");
+}
+
+TEST(Csv, CpuUsageRoundTrip)
+{
+    TraceBundle in = sampleBundle();
+    std::stringstream ss;
+    writeCpuUsageCsv(in, ss);
+
+    TraceBundle out;
+    readCpuUsageCsv(ss, out);
+    ASSERT_EQ(out.cswitches.size(), 2u);
+    EXPECT_EQ(out.cswitches[0].timestamp, 10u);
+    EXPECT_EQ(out.cswitches[0].cpu, 2u);
+    EXPECT_EQ(out.cswitches[0].newPid, 7u);
+    EXPECT_EQ(out.cswitches[0].newTid, 71u);
+    EXPECT_EQ(out.cswitches[0].readyTime, 9u);
+    EXPECT_EQ(out.cswitches[1].oldPid, 7u);
+    // Process names (with the embedded comma) survive the trip.
+    EXPECT_EQ(out.processNames.at(7), "vlc, media player");
+    EXPECT_EQ(out.processNames.at(0), "Idle");
+}
+
+TEST(Csv, GpuUtilRoundTrip)
+{
+    TraceBundle in = sampleBundle();
+    std::stringstream ss;
+    writeGpuUtilCsv(in, ss);
+
+    TraceBundle out;
+    readGpuUtilCsv(ss, out);
+    ASSERT_EQ(out.gpuPackets.size(), 1u);
+    EXPECT_EQ(out.gpuPackets[0].start, 20u);
+    EXPECT_EQ(out.gpuPackets[0].finish, 45u);
+    EXPECT_EQ(out.gpuPackets[0].pid, 7u);
+    EXPECT_EQ(out.gpuPackets[0].engine, GpuEngineId::VideoDecode);
+}
+
+TEST(Csv, HeaderValidation)
+{
+    std::stringstream bad("wrong,header\n1,2\n");
+    TraceBundle out;
+    EXPECT_THROW(readCpuUsageCsv(bad, out), deskpar::FatalError);
+    std::stringstream bad2("nope\n");
+    EXPECT_THROW(readGpuUtilCsv(bad2, out), deskpar::FatalError);
+}
+
+TEST(Csv, BadFieldCountFatal)
+{
+    TraceBundle in = sampleBundle();
+    std::stringstream ss;
+    writeCpuUsageCsv(in, ss);
+    std::string data = ss.str();
+    data += "only,three,fields\n";
+    std::stringstream corrupted(data);
+    TraceBundle out;
+    EXPECT_THROW(readCpuUsageCsv(corrupted, out),
+                 deskpar::FatalError);
+}
+
+TEST(Csv, UnknownEngineFatal)
+{
+    std::stringstream ss(
+        "Process,PID,Engine,Queue Slot,Start Execution (ns),"
+        "Finished (ns)\n"
+        "app (5),5,Warp,0,1,2\n");
+    TraceBundle out;
+    EXPECT_THROW(readGpuUtilCsv(ss, out), deskpar::FatalError);
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for application-level process filtering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/filter.hh"
+
+namespace {
+
+using namespace deskpar::trace;
+
+TraceBundle
+multiAppBundle()
+{
+    TraceBundle bundle;
+    bundle.startTime = 0;
+    bundle.stopTime = 1000;
+    bundle.numLogicalCpus = 4;
+    bundle.processNames[0] = "Idle";
+    bundle.processNames[10] = "chrome";
+    bundle.processNames[11] = "chrome-renderer-1";
+    bundle.processNames[12] = "chrome-gpu";
+    bundle.processNames[20] = "vlc";
+
+    auto cs = [](SimTime ts, CpuId cpu, Pid oldP, Tid oldT, Pid newP,
+                 Tid newT) {
+        CSwitchEvent e;
+        e.timestamp = ts;
+        e.cpu = cpu;
+        e.oldPid = oldP;
+        e.oldTid = oldT;
+        e.newPid = newP;
+        e.newTid = newT;
+        return e;
+    };
+    // chrome runs 10..50 on cpu 0, then vlc 50..90, then idle.
+    bundle.cswitches.push_back(cs(10, 0, 0, 0, 10, 101));
+    bundle.cswitches.push_back(cs(50, 0, 10, 101, 20, 201));
+    bundle.cswitches.push_back(cs(90, 0, 20, 201, 0, 0));
+    // chrome-renderer on cpu 1: 20..40.
+    bundle.cswitches.push_back(cs(20, 1, 0, 0, 11, 111));
+    bundle.cswitches.push_back(cs(40, 1, 11, 111, 0, 0));
+
+    GpuPacketEvent gp;
+    gp.start = 15;
+    gp.finish = 30;
+    gp.pid = 12;
+    gp.engine = GpuEngineId::Graphics3D;
+    bundle.gpuPackets.push_back(gp);
+    gp.pid = 20;
+    bundle.gpuPackets.push_back(gp);
+
+    FrameEvent fr;
+    fr.timestamp = 25;
+    fr.pid = 20;
+    fr.frameId = 1;
+    bundle.frames.push_back(fr);
+
+    MarkerEvent mk;
+    mk.timestamp = 5;
+    mk.label = "run start";
+    bundle.markers.push_back(mk);
+    return bundle;
+}
+
+TEST(Filter, PidsWithPrefixFindsProcessFamily)
+{
+    TraceBundle bundle = multiAppBundle();
+    PidSet pids = pidsWithPrefix(bundle, "chrome");
+    EXPECT_EQ(pids.size(), 3u);
+    EXPECT_TRUE(pids.count(10));
+    EXPECT_TRUE(pids.count(11));
+    EXPECT_TRUE(pids.count(12));
+    EXPECT_FALSE(pids.count(20));
+}
+
+TEST(Filter, PidsWithPrefixNoMatch)
+{
+    TraceBundle bundle = multiAppBundle();
+    EXPECT_TRUE(pidsWithPrefix(bundle, "photoshop").empty());
+}
+
+TEST(Filter, FilterKeepsOnlyTargetEvents)
+{
+    TraceBundle bundle = multiAppBundle();
+    PidSet pids = pidsWithPrefix(bundle, "chrome");
+    TraceBundle filtered = filterByPids(bundle, pids);
+
+    // vlc-only switch (50->90 edge at 90) has no chrome endpoint.
+    // Switches: (10: idle->chrome), (50: chrome->vlc rewritten),
+    // (20: idle->renderer), (40: renderer->idle).
+    EXPECT_EQ(filtered.cswitches.size(), 4u);
+    for (const auto &e : filtered.cswitches) {
+        bool chrome_involved =
+            pids.count(e.oldPid) || pids.count(e.newPid);
+        EXPECT_TRUE(chrome_involved);
+    }
+
+    // The chrome->vlc switch is rewritten to chrome->idle.
+    const auto &rewritten = filtered.cswitches[1];
+    EXPECT_EQ(rewritten.oldPid, 10u);
+    EXPECT_EQ(rewritten.newPid, 0u);
+    EXPECT_EQ(rewritten.newTid, 0u);
+
+    ASSERT_EQ(filtered.gpuPackets.size(), 1u);
+    EXPECT_EQ(filtered.gpuPackets[0].pid, 12u);
+    EXPECT_EQ(filtered.frames.size(), 0u);
+    // Markers annotate the run and survive filtering.
+    EXPECT_EQ(filtered.markers.size(), 1u);
+}
+
+TEST(Filter, FilterPreservesWindowAndCpuCount)
+{
+    TraceBundle bundle = multiAppBundle();
+    TraceBundle filtered = filterByPids(bundle, {20});
+    EXPECT_EQ(filtered.startTime, bundle.startTime);
+    EXPECT_EQ(filtered.stopTime, bundle.stopTime);
+    EXPECT_EQ(filtered.numLogicalCpus, bundle.numLogicalCpus);
+    EXPECT_EQ(filtered.processNames.count(0), 1u);
+    EXPECT_EQ(filtered.processNames.count(10), 0u);
+}
+
+TEST(Filter, EmptyPidSetDropsEverything)
+{
+    TraceBundle bundle = multiAppBundle();
+    TraceBundle filtered = filterByPids(bundle, {});
+    EXPECT_EQ(filtered.cswitches.size(), 0u);
+    EXPECT_EQ(filtered.gpuPackets.size(), 0u);
+}
+
+} // namespace

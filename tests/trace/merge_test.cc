@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for trace merging and sorting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "trace/merge.hh"
+
+namespace {
+
+using namespace deskpar;
+using namespace deskpar::trace;
+
+TraceBundle
+bundleA()
+{
+    TraceBundle a;
+    a.startTime = 0;
+    a.stopTime = 1000;
+    a.numLogicalCpus = 12;
+    a.processNames[5] = "alpha";
+    CSwitchEvent e;
+    e.timestamp = 100;
+    e.cpu = 0;
+    e.newPid = 5;
+    e.newTid = 51;
+    a.cswitches.push_back(e);
+    MarkerEvent m;
+    m.timestamp = 500;
+    m.label = "a-marker";
+    a.markers.push_back(m);
+    return a;
+}
+
+TraceBundle
+bundleB()
+{
+    TraceBundle b;
+    b.startTime = 500;
+    b.stopTime = 2000;
+    b.numLogicalCpus = 12;
+    b.processNames[9] = "beta";
+    CSwitchEvent e;
+    e.timestamp = 50;
+    e.cpu = 1;
+    e.newPid = 9;
+    e.newTid = 91;
+    b.cswitches.push_back(e);
+    GpuPacketEvent g;
+    g.start = 700;
+    g.finish = 900;
+    g.pid = 9;
+    b.gpuPackets.push_back(g);
+    return b;
+}
+
+TEST(Merge, WindowIsUnionAndStreamsConcatenateSorted)
+{
+    TraceBundle merged = mergeBundles(bundleA(), bundleB());
+    EXPECT_EQ(merged.startTime, 0u);
+    EXPECT_EQ(merged.stopTime, 2000u);
+    ASSERT_EQ(merged.cswitches.size(), 2u);
+    // Sorted by time: B's event (50) before A's (100).
+    EXPECT_EQ(merged.cswitches[0].newPid, 9u);
+    EXPECT_EQ(merged.cswitches[1].newPid, 5u);
+    EXPECT_EQ(merged.processNames.at(5), "alpha");
+    EXPECT_EQ(merged.processNames.at(9), "beta");
+    EXPECT_EQ(merged.gpuPackets.size(), 1u);
+    EXPECT_EQ(merged.markers.size(), 1u);
+}
+
+TEST(Merge, CpuCountMismatchFatal)
+{
+    TraceBundle b = bundleB();
+    b.numLogicalCpus = 4;
+    EXPECT_THROW(mergeBundles(bundleA(), b), FatalError);
+}
+
+TEST(Merge, PidNameConflictFatal)
+{
+    TraceBundle a = bundleA();
+    TraceBundle b = bundleB();
+    b.processNames[5] = "not-alpha";
+    EXPECT_THROW(mergeBundles(a, b), FatalError);
+}
+
+TEST(Merge, SamePidSameNameIsFine)
+{
+    TraceBundle a = bundleA();
+    TraceBundle b = bundleB();
+    b.processNames[5] = "alpha";
+    TraceBundle merged = mergeBundles(a, b);
+    EXPECT_EQ(merged.processNames.size(), 2u);
+}
+
+TEST(Merge, SortBundleOrdersEveryStream)
+{
+    TraceBundle bundle = bundleA();
+    CSwitchEvent early;
+    early.timestamp = 10;
+    early.cpu = 2;
+    early.newPid = 5;
+    early.newTid = 52;
+    bundle.cswitches.push_back(early);
+    MarkerEvent m;
+    m.timestamp = 1;
+    m.label = "first";
+    bundle.markers.push_back(m);
+
+    sortBundle(bundle);
+    EXPECT_EQ(bundle.cswitches.front().timestamp, 10u);
+    EXPECT_EQ(bundle.markers.front().label, "first");
+}
+
+} // namespace

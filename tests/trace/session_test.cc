@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for TraceSession recording semantics and provider masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "trace/session.hh"
+
+namespace {
+
+using namespace deskpar::trace;
+
+CSwitchEvent
+cswitch(SimTime ts, CpuId cpu, Pid newPid, Tid newTid)
+{
+    CSwitchEvent e;
+    e.timestamp = ts;
+    e.cpu = cpu;
+    e.newPid = newPid;
+    e.newTid = newTid;
+    return e;
+}
+
+TEST(TraceSession, RecordsOnlyWhileStarted)
+{
+    TraceSession session;
+    session.recordCSwitch(cswitch(1, 0, 5, 50));
+    EXPECT_EQ(session.bundle().cswitches.size(), 0u);
+
+    session.start(10);
+    session.recordCSwitch(cswitch(11, 0, 5, 50));
+    session.stop(20);
+    session.recordCSwitch(cswitch(21, 0, 5, 50));
+
+    EXPECT_EQ(session.bundle().cswitches.size(), 1u);
+    EXPECT_EQ(session.bundle().startTime, 10u);
+    EXPECT_EQ(session.bundle().stopTime, 20u);
+    EXPECT_EQ(session.bundle().duration(), 10u);
+}
+
+TEST(TraceSession, DoubleStartOrStopFatal)
+{
+    TraceSession session;
+    EXPECT_THROW(session.stop(0), deskpar::FatalError);
+    session.start(0);
+    EXPECT_THROW(session.start(1), deskpar::FatalError);
+    session.stop(5);
+    EXPECT_THROW(session.stop(6), deskpar::FatalError);
+}
+
+TEST(TraceSession, ProviderMaskFiltersStreams)
+{
+    TraceSession session(kProviderCSwitch); // GPU masked off
+    session.start(0);
+    session.recordCSwitch(cswitch(1, 0, 5, 50));
+    GpuPacketEvent packet;
+    packet.start = 1;
+    packet.finish = 2;
+    packet.pid = 5;
+    session.recordGpuPacket(packet);
+    session.stop(10);
+
+    EXPECT_EQ(session.bundle().cswitches.size(), 1u);
+    EXPECT_EQ(session.bundle().gpuPackets.size(), 0u);
+}
+
+TEST(TraceSession, ProcessNamesCapturedEvenWhileStopped)
+{
+    TraceSession session;
+    ProcessLifeEvent e;
+    e.pid = 42;
+    e.created = true;
+    e.name = "chrome";
+    session.recordProcessLife(e); // before start
+    EXPECT_EQ(session.bundle().processNames.at(42), "chrome");
+    EXPECT_EQ(session.bundle().processEvents.size(), 0u);
+}
+
+TEST(TraceSession, PidsByNameFindsExactMatches)
+{
+    TraceSession session;
+    session.registerProcess(1, "chrome");
+    session.registerProcess(2, "chrome");
+    session.registerProcess(3, "firefox");
+    auto pids = session.bundle().pidsByName("chrome");
+    EXPECT_EQ(pids.size(), 2u);
+}
+
+TEST(TraceSession, TakeBundleResetsSession)
+{
+    TraceSession session;
+    session.start(0);
+    session.recordCSwitch(cswitch(1, 0, 5, 50));
+    session.stop(10);
+    TraceBundle bundle = session.takeBundle();
+    EXPECT_EQ(bundle.cswitches.size(), 1u);
+    EXPECT_EQ(session.bundle().cswitches.size(), 0u);
+}
+
+TEST(TraceSession, TotalEventsCountsAllStreams)
+{
+    TraceSession session;
+    session.start(0);
+    session.recordCSwitch(cswitch(1, 0, 5, 50));
+    MarkerEvent m;
+    m.timestamp = 2;
+    m.label = "x";
+    session.recordMarker(m);
+    FrameEvent f;
+    f.timestamp = 3;
+    f.pid = 5;
+    session.recordFrame(f);
+    session.stop(10);
+    EXPECT_EQ(session.bundle().totalEvents(), 3u);
+}
+
+} // namespace

@@ -1,0 +1,49 @@
+// Calibration scratch tool: run the suite, print measured vs target.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "apps/harness.hh"
+#include "apps/registry.hh"
+
+using namespace deskpar;
+
+struct Target { double tlp, gpu; };
+static const std::map<std::string, Target> kTargets = {
+    {"photoshop", {8.6, 1.6}},   {"maya", {2.7, 9.9}},
+    {"autocad", {1.2, 9.0}},     {"acrobat", {1.3, 0.0}},
+    {"excel", {2.1, 2.1}},       {"powerpoint", {1.2, 4.0}},
+    {"word", {1.3, 1.7}},        {"outlook", {1.3, 2.5}},
+    {"quicktime", {1.1, 16.4}},  {"wmplayer", {1.3, 16.1}},
+    {"vlc", {1.8, 15.7}},        {"powerdirector", {4.3, 6.3}},
+    {"premiere", {1.8, 0.6}},    {"handbrake", {9.4, 0.4}},
+    {"winx", {9.2, 13.6}},       {"firefox", {2.2, 8.6}},
+    {"chrome", {2.2, 5.1}},      {"edge", {2.0, 4.0}},
+    {"azsunshine", {3.4, 68.2}}, {"fallout4", {4.0, 84.9}},
+    {"rawdata", {2.6, 90.9}},    {"serioussam", {2.4, 72.2}},
+    {"spacepirate", {2.7, 61.6}},{"projectcars2", {3.8, 80.2}},
+    {"bitcoinminer", {5.4, 98.9}},{"easyminer", {11.9, 96.1}},
+    {"phoenixminer", {1.0, 100.0}},{"wineth", {1.0, 99.7}},
+    {"cortana", {1.4, 2.7}},     {"braina", {1.1, 0.0}},
+};
+
+int main(int argc, char **argv) {
+    apps::RunOptions opts;
+    opts.iterations = 3;
+    opts.duration = sim::sec(30);
+    std::string only = argc > 1 ? argv[1] : "";
+    std::printf("%-14s %6s %6s | %6s %6s | %7s %7s\n", "app", "TLP", "tgt",
+                "GPU%", "tgt", "dTLP", "dGPU");
+    for (const auto &entry : apps::tableTwoSuite()) {
+        if (!only.empty() && entry.id != only) continue;
+        auto res = apps::runWorkload(entry.id, opts);
+        auto t = kTargets.at(entry.id);
+        std::printf("%-14s %6.2f %6.2f | %6.1f %6.1f | %+6.1f%% %+6.1f%%\n",
+                    entry.id.c_str(), res.tlp(), t.tlp, res.gpuUtil(), t.gpu,
+                    t.tlp ? 100.0 * (res.tlp() - t.tlp) / t.tlp : 0.0,
+                    t.gpu ? 100.0 * (res.gpuUtil() - t.gpu) / t.gpu : 0.0);
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * deskpar — the command-line front end of the toolkit.
+ *
+ *   deskpar list
+ *       List every workload in the Table II suite.
+ *
+ *   deskpar run <id> [options]
+ *       Run one workload and print its metrics.
+ *
+ *   deskpar sweep <id> --cores 4,8,12 [options]
+ *       Core-scaling sweep (the Figure 4 methodology).
+ *
+ *   deskpar suite [options]
+ *       The full Table II suite, one row per application.
+ *
+ *   deskpar threads <id> [options]
+ *       Per-thread busy-time breakdown (WPA's by-thread view).
+ *
+ *   deskpar legacy [options]
+ *       The 2010 Blake et al. suite on its contemporary machine.
+ *
+ *   deskpar report <prefix> [options]
+ *       Run the full suite and write <prefix>.md (markdown results
+ *       table) and <prefix>.jsonl (one JSON record per application)
+ *       — a reproducibility dossier.
+ *
+ * Common options:
+ *   --cores N        active CPUs (logical with SMT, physical without)
+ *   --no-smt         disable SMT (one hardware thread per core)
+ *   --gpu NAME       1080ti | 680 | 285
+ *   --iterations N   default 3
+ *   --seconds S      simulated seconds per iteration (default 30)
+ *   --seed S         seed base (default 42)
+ *   --manual         human-operator input instead of automation
+ *   --noise X        background-noise intensity (default 0 = off)
+ *   --etl FILE       save the last iteration's trace as .etl
+ *   --cpu-csv FILE   export the CPU Usage (Precise) CSV
+ *   --gpu-csv FILE   export the GPU Utilization CSV
+ *   --timeline MS    print an instantaneous-TLP timeline (window MS)
+ *   --json           machine-readable output (run subcommand)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/power.hh"
+#include "analysis/responsiveness.hh"
+#include "analysis/threads.hh"
+#include "analysis/timeseries.hh"
+#include "apps/harness.hh"
+#include "apps/legacy.hh"
+#include "apps/registry.hh"
+#include "report/figure.hh"
+#include "report/json.hh"
+#include "report/heatmap.hh"
+#include "report/table.hh"
+#include "trace/csv.hh"
+#include "trace/etl.hh"
+
+using namespace deskpar;
+
+namespace {
+
+struct CliOptions
+{
+    apps::RunOptions run;
+    std::string etlPath;
+    std::string cpuCsvPath;
+    std::string gpuCsvPath;
+    sim::SimDuration timelineWindow = 0;
+    std::vector<unsigned> sweepCores = {4, 8, 12};
+    bool json = false;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: deskpar list | run <id> [options] | "
+                 "sweep <id> [options] | suite [options]\n"
+                 "       (see the header of tools/deskpar.cc for "
+                 "the option list)\n");
+    std::exit(2);
+}
+
+std::vector<unsigned>
+parseCoreList(const std::string &arg)
+{
+    std::vector<unsigned> cores;
+    std::size_t pos = 0;
+    while (pos < arg.size()) {
+        std::size_t comma = arg.find(',', pos);
+        if (comma == std::string::npos)
+            comma = arg.size();
+        cores.push_back(static_cast<unsigned>(
+            std::stoul(arg.substr(pos, comma - pos))));
+        pos = comma + 1;
+    }
+    if (cores.empty())
+        usage();
+    return cores;
+}
+
+sim::GpuSpec
+gpuByName(const std::string &name)
+{
+    if (name == "1080ti")
+        return sim::GpuSpec::gtx1080Ti();
+    if (name == "680")
+        return sim::GpuSpec::gtx680();
+    if (name == "285")
+        return sim::GpuSpec::gtx285();
+    std::fprintf(stderr, "unknown GPU '%s'\n", name.c_str());
+    std::exit(2);
+}
+
+CliOptions
+parseOptions(int argc, char **argv, int first)
+{
+    CliOptions cli;
+    cli.run.iterations = 3;
+    cli.run.duration = sim::sec(30.0);
+    cli.run.seedBase = 42;
+
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
+
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--cores")) {
+            cli.sweepCores = parseCoreList(need(i));
+            cli.run.config.activeCpus = cli.sweepCores.front();
+        } else if (!std::strcmp(arg, "--no-smt")) {
+            cli.run.config.smtEnabled = false;
+        } else if (!std::strcmp(arg, "--gpu")) {
+            cli.run.config.gpu = gpuByName(need(i));
+        } else if (!std::strcmp(arg, "--iterations")) {
+            cli.run.iterations =
+                static_cast<unsigned>(std::stoul(need(i)));
+        } else if (!std::strcmp(arg, "--seconds")) {
+            cli.run.duration = sim::sec(std::stod(need(i)));
+        } else if (!std::strcmp(arg, "--seed")) {
+            cli.run.seedBase = std::stoull(need(i));
+        } else if (!std::strcmp(arg, "--manual")) {
+            cli.run.manualInput = true;
+        } else if (!std::strcmp(arg, "--noise")) {
+            cli.run.noiseIntensity = std::stod(need(i));
+        } else if (!std::strcmp(arg, "--etl")) {
+            cli.etlPath = need(i);
+        } else if (!std::strcmp(arg, "--cpu-csv")) {
+            cli.cpuCsvPath = need(i);
+        } else if (!std::strcmp(arg, "--gpu-csv")) {
+            cli.gpuCsvPath = need(i);
+        } else if (!std::strcmp(arg, "--timeline")) {
+            cli.timelineWindow = sim::msec(std::stod(need(i)));
+        } else if (!std::strcmp(arg, "--json")) {
+            cli.json = true;
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage();
+        }
+    }
+    return cli;
+}
+
+void
+printRun(const std::string &id, const apps::AppRunResult &result)
+{
+    std::printf("%s\n", apps::makeWorkload(id)->spec().name.c_str());
+    std::printf("  TLP        %.2f +- %.2f\n",
+                result.agg.tlp.mean(), result.agg.tlp.stddev());
+    std::printf("  GPU util   %.1f%% +- %.1f%%%s\n",
+                result.agg.gpuUtil.mean(),
+                result.agg.gpuUtil.stddev(),
+                result.agg.gpuOverlapped ? " (overlapping packets)"
+                                         : "");
+    std::printf("  frames/s   %.1f (real %.1f)\n",
+                result.fps.mean(), result.realFps.mean());
+    std::printf("  max conc.  %.0f\n",
+                result.agg.maxConcurrency.max());
+    std::printf("  exec time  %s\n",
+                report::heatmapRow(result.agg.meanC).c_str());
+
+    auto responsiveness = analysis::computeResponsiveness(
+        result.lastBundle, result.lastPids);
+    if (responsiveness.inputs > 0) {
+        std::printf("  response   %.2f ms mean (%zu inputs)\n",
+                    responsiveness.meanLatencyMs(),
+                    responsiveness.inputs);
+    }
+}
+
+int
+cmdList()
+{
+    report::TextTable table({"Id", "Category", "Application"});
+    for (const auto &entry : apps::tableTwoSuite()) {
+        table.row()
+            .cell(entry.id)
+            .cell(entry.category)
+            .cell(apps::makeWorkload(entry.id)->spec().name);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRun(const std::string &id, CliOptions cli)
+{
+    apps::AppRunResult result = apps::runWorkload(id, cli.run);
+    if (cli.json)
+        report::writeJson(std::cout, result.agg);
+    else
+        printRun(id, result);
+
+    if (!cli.etlPath.empty()) {
+        trace::writeEtl(result.lastBundle, cli.etlPath);
+        std::printf("  wrote %s\n", cli.etlPath.c_str());
+    }
+    if (!cli.cpuCsvPath.empty()) {
+        trace::writeCpuUsageCsv(result.lastBundle, cli.cpuCsvPath);
+        std::printf("  wrote %s\n", cli.cpuCsvPath.c_str());
+    }
+    if (!cli.gpuCsvPath.empty()) {
+        trace::writeGpuUtilCsv(result.lastBundle, cli.gpuCsvPath);
+        std::printf("  wrote %s\n", cli.gpuCsvPath.c_str());
+    }
+    if (cli.timelineWindow > 0) {
+        auto series = analysis::concurrencySeries(
+            result.lastBundle, result.lastPids,
+            cli.timelineWindow);
+        report::Figure figure("Instantaneous TLP", "time (s)",
+                              "threads");
+        auto &s = figure.addSeries(id);
+        for (const auto &point : series.points)
+            s.add(sim::toSeconds(point.t), point.value);
+        figure.printAscii(std::cout, 72, 12);
+    }
+    return 0;
+}
+
+int
+cmdSweep(const std::string &id, CliOptions cli)
+{
+    report::TextTable table({"Logical cores", "TLP", "GPU util (%)",
+                             "Frames/s", "Response (ms)"});
+    for (unsigned cores : cli.sweepCores) {
+        apps::RunOptions options = cli.run;
+        options.config.activeCpus = cores;
+        apps::AppRunResult result = apps::runWorkload(id, options);
+        auto resp = analysis::computeResponsiveness(
+            result.lastBundle, result.lastPids);
+        table.row()
+            .cell(std::uint64_t(cores))
+            .cell(result.tlp(), 2)
+            .cell(result.gpuUtil(), 1)
+            .cell(result.fps.mean(), 1)
+            .cell(resp.inputs ? resp.meanLatencyMs() : 0.0, 2);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdThreads(const std::string &id, CliOptions cli)
+{
+    cli.run.iterations = 1;
+    apps::AppRunResult result = apps::runWorkload(id, cli.run);
+    auto threads = analysis::topThreads(result.lastBundle,
+                                        result.lastPids, 20);
+    report::TextTable table({"Process", "Thread", "Tid",
+                             "Busy (ms)", "Busy (%)",
+                             "Dispatches"});
+    for (const auto &t : threads) {
+        table.row()
+            .cell(t.processName)
+            .cell(t.threadName)
+            .cell(std::uint64_t(t.tid))
+            .cell(sim::toMillis(t.busyTime), 1)
+            .cell(100.0 *
+                      t.busyShare(result.lastBundle.duration()),
+                  2)
+            .cell(t.dispatches);
+    }
+    table.print(std::cout);
+
+    auto power = analysis::estimatePower(result.lastBundle,
+                                         cli.run.config.cpu,
+                                         cli.run.config.gpu);
+    std::printf("\nestimated power: %.1f W CPU + %.1f W GPU\n",
+                power.cpuWatts, power.gpuWatts);
+    return 0;
+}
+
+int
+cmdLegacy(CliOptions cli)
+{
+    cli.run.config = apps::blake2010Config();
+    report::TextTable table({"Id", "TLP", "2010 figure",
+                             "GPU util (%)", "2010 figure "});
+    for (const auto &entry : apps::legacySuite()) {
+        auto model = entry.factory();
+        apps::AppRunResult result =
+            apps::runWorkload(*model, cli.run);
+        table.row()
+            .cell(entry.id)
+            .cell(result.tlp(), 2)
+            .cell(entry.tlp2010, 1)
+            .cell(result.gpuUtil(), 1)
+            .cell(entry.gpu2010, 1);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdReport(const std::string &prefix, CliOptions cli)
+{
+    std::ofstream md(prefix + ".md");
+    std::ofstream jsonl(prefix + ".jsonl");
+    if (!md || !jsonl) {
+        std::fprintf(stderr, "cannot open output files '%s.*'\n",
+                     prefix.c_str());
+        return 1;
+    }
+
+    md << "# deskpar suite results\n\n";
+    md << "Protocol: " << cli.run.iterations << " iterations x "
+       << sim::toSeconds(cli.run.duration)
+       << " simulated seconds, " << cli.run.config.activeCpus
+       << (cli.run.config.smtEnabled ? " logical CPUs (SMT on), "
+                                     : " physical cores (SMT off), ")
+       << cli.run.config.gpu.model << ", seed "
+       << cli.run.seedBase << ".\n\n";
+
+    report::TextTable table({"Application", "Category", "TLP",
+                             "sigma", "GPU util (%)", "sigma ",
+                             "Max conc."});
+    for (const auto &entry : apps::tableTwoSuite()) {
+        apps::AppRunResult result =
+            apps::runWorkload(entry.id, cli.run);
+        table.row()
+            .cell(apps::makeWorkload(entry.id)->spec().name)
+            .cell(entry.category)
+            .cell(result.agg.tlp.mean(), 2)
+            .cell(result.agg.tlp.stddev(), 2)
+            .cell(result.agg.gpuUtil.mean(), 1)
+            .cell(result.agg.gpuUtil.stddev(), 1)
+            .cell(result.agg.maxConcurrency.mean(), 0);
+        report::writeJson(jsonl, result.agg);
+        std::printf("  %-14s done\n", entry.id.c_str());
+        std::fflush(stdout);
+    }
+    table.printMarkdown(md);
+    std::printf("wrote %s.md and %s.jsonl\n", prefix.c_str(),
+                prefix.c_str());
+    return 0;
+}
+
+int
+cmdSuite(CliOptions cli)
+{
+    report::TextTable table(
+        {"Id", "TLP", "GPU util (%)", "Max conc."});
+    for (const auto &entry : apps::tableTwoSuite()) {
+        apps::AppRunResult result =
+            apps::runWorkload(entry.id, cli.run);
+        table.row()
+            .cell(entry.id)
+            .cell(result.tlp(), 2)
+            .cell(result.gpuUtil(), 1)
+            .cell(result.agg.maxConcurrency.mean(), 0);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    std::string command = argv[1];
+    try {
+        if (command == "list")
+            return cmdList();
+        if (command == "suite")
+            return cmdSuite(parseOptions(argc, argv, 2));
+        if (command == "legacy")
+            return cmdLegacy(parseOptions(argc, argv, 2));
+        if (command == "report") {
+            if (argc < 3)
+                usage();
+            return cmdReport(argv[2],
+                             parseOptions(argc, argv, 3));
+        }
+        if (command == "run" || command == "sweep" ||
+            command == "threads") {
+            if (argc < 3)
+                usage();
+            std::string id = argv[2];
+            CliOptions cli = parseOptions(argc, argv, 3);
+            if (command == "run")
+                return cmdRun(id, cli);
+            if (command == "sweep")
+                return cmdSweep(id, cli);
+            return cmdThreads(id, cli);
+        }
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "deskpar: %s\n", err.what());
+        return 1;
+    }
+    usage();
+}
