@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_2010_testbed.dir/bench_ext_2010_testbed.cc.o"
+  "CMakeFiles/bench_ext_2010_testbed.dir/bench_ext_2010_testbed.cc.o.d"
+  "bench_ext_2010_testbed"
+  "bench_ext_2010_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_2010_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

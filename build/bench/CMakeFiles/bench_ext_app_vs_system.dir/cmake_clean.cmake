@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_app_vs_system.dir/bench_ext_app_vs_system.cc.o"
+  "CMakeFiles/bench_ext_app_vs_system.dir/bench_ext_app_vs_system.cc.o.d"
+  "bench_ext_app_vs_system"
+  "bench_ext_app_vs_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_app_vs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ext_app_vs_system.
+# This may be replaced when dependencies are built.

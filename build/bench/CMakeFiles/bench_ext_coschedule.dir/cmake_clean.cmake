@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_coschedule.dir/bench_ext_coschedule.cc.o"
+  "CMakeFiles/bench_ext_coschedule.dir/bench_ext_coschedule.cc.o.d"
+  "bench_ext_coschedule"
+  "bench_ext_coschedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_coschedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_power.dir/bench_ext_power.cc.o"
+  "CMakeFiles/bench_ext_power.dir/bench_ext_power.cc.o.d"
+  "bench_ext_power"
+  "bench_ext_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

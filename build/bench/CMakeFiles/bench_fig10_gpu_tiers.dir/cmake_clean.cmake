@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gpu_tiers.dir/bench_fig10_gpu_tiers.cc.o"
+  "CMakeFiles/bench_fig10_gpu_tiers.dir/bench_fig10_gpu_tiers.cc.o.d"
+  "bench_fig10_gpu_tiers"
+  "bench_fig10_gpu_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gpu_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

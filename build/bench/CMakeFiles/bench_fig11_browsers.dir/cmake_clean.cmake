@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_browsers.dir/bench_fig11_browsers.cc.o"
+  "CMakeFiles/bench_fig11_browsers.dir/bench_fig11_browsers.cc.o.d"
+  "bench_fig11_browsers"
+  "bench_fig11_browsers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_browsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vr_headsets.dir/bench_fig12_vr_headsets.cc.o"
+  "CMakeFiles/bench_fig12_vr_headsets.dir/bench_fig12_vr_headsets.cc.o.d"
+  "bench_fig12_vr_headsets"
+  "bench_fig12_vr_headsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vr_headsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_vr_framerate.dir/bench_fig13_vr_framerate.cc.o"
+  "CMakeFiles/bench_fig13_vr_framerate.dir/bench_fig13_vr_framerate.cc.o.d"
+  "bench_fig13_vr_framerate"
+  "bench_fig13_vr_framerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_vr_framerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_smt_transcode.dir/bench_fig8_smt_transcode.cc.o"
+  "CMakeFiles/bench_fig8_smt_transcode.dir/bench_fig8_smt_transcode.cc.o.d"
+  "bench_fig8_smt_transcode"
+  "bench_fig8_smt_transcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_smt_transcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_winx_cuda.dir/bench_table3_winx_cuda.cc.o"
+  "CMakeFiles/bench_table3_winx_cuda.dir/bench_table3_winx_cuda.cc.o.d"
+  "bench_table3_winx_cuda"
+  "bench_table3_winx_cuda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_winx_cuda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

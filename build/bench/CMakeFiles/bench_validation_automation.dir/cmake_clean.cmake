@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_automation.dir/bench_validation_automation.cc.o"
+  "CMakeFiles/bench_validation_automation.dir/bench_validation_automation.cc.o.d"
+  "bench_validation_automation"
+  "bench_validation_automation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_automation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

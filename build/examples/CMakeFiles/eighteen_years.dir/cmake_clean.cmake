@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eighteen_years.dir/eighteen_years.cpp.o"
+  "CMakeFiles/eighteen_years.dir/eighteen_years.cpp.o.d"
+  "eighteen_years"
+  "eighteen_years.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eighteen_years.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for eighteen_years.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_study.dir/smt_study.cpp.o"
+  "CMakeFiles/smt_study.dir/smt_study.cpp.o.d"
+  "smt_study"
+  "smt_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vr_frame_pacing.dir/vr_frame_pacing.cpp.o"
+  "CMakeFiles/vr_frame_pacing.dir/vr_frame_pacing.cpp.o.d"
+  "vr_frame_pacing"
+  "vr_frame_pacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vr_frame_pacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/analyzer.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/analyzer.cc.o.d"
+  "/root/repo/src/analysis/framerate.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/framerate.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/framerate.cc.o.d"
+  "/root/repo/src/analysis/gpu_queue.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/gpu_queue.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/gpu_queue.cc.o.d"
+  "/root/repo/src/analysis/gpu_util.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/gpu_util.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/gpu_util.cc.o.d"
+  "/root/repo/src/analysis/intervals.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/intervals.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/intervals.cc.o.d"
+  "/root/repo/src/analysis/power.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/power.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/power.cc.o.d"
+  "/root/repo/src/analysis/responsiveness.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/responsiveness.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/responsiveness.cc.o.d"
+  "/root/repo/src/analysis/stats.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/stats.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/stats.cc.o.d"
+  "/root/repo/src/analysis/threads.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/threads.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/threads.cc.o.d"
+  "/root/repo/src/analysis/timeseries.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/timeseries.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/timeseries.cc.o.d"
+  "/root/repo/src/analysis/tlp.cc" "src/analysis/CMakeFiles/deskpar_analysis.dir/tlp.cc.o" "gcc" "src/analysis/CMakeFiles/deskpar_analysis.dir/tlp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

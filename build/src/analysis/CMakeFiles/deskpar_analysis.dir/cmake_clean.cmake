@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_analysis.dir/analyzer.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/analyzer.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/framerate.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/framerate.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/gpu_queue.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/gpu_queue.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/gpu_util.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/gpu_util.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/intervals.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/intervals.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/power.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/power.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/responsiveness.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/responsiveness.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/stats.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/stats.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/threads.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/threads.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/timeseries.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/timeseries.cc.o.d"
+  "CMakeFiles/deskpar_analysis.dir/tlp.cc.o"
+  "CMakeFiles/deskpar_analysis.dir/tlp.cc.o.d"
+  "libdeskpar_analysis.a"
+  "libdeskpar_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

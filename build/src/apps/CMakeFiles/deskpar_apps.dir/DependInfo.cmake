@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/assistant.cc" "src/apps/CMakeFiles/deskpar_apps.dir/assistant.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/assistant.cc.o.d"
+  "/root/repo/src/apps/blocks.cc" "src/apps/CMakeFiles/deskpar_apps.dir/blocks.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/blocks.cc.o.d"
+  "/root/repo/src/apps/browser.cc" "src/apps/CMakeFiles/deskpar_apps.dir/browser.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/browser.cc.o.d"
+  "/root/repo/src/apps/harness.cc" "src/apps/CMakeFiles/deskpar_apps.dir/harness.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/harness.cc.o.d"
+  "/root/repo/src/apps/image_office.cc" "src/apps/CMakeFiles/deskpar_apps.dir/image_office.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/image_office.cc.o.d"
+  "/root/repo/src/apps/legacy.cc" "src/apps/CMakeFiles/deskpar_apps.dir/legacy.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/legacy.cc.o.d"
+  "/root/repo/src/apps/media.cc" "src/apps/CMakeFiles/deskpar_apps.dir/media.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/media.cc.o.d"
+  "/root/repo/src/apps/mining.cc" "src/apps/CMakeFiles/deskpar_apps.dir/mining.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/mining.cc.o.d"
+  "/root/repo/src/apps/noise.cc" "src/apps/CMakeFiles/deskpar_apps.dir/noise.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/noise.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/apps/CMakeFiles/deskpar_apps.dir/registry.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/registry.cc.o.d"
+  "/root/repo/src/apps/standard.cc" "src/apps/CMakeFiles/deskpar_apps.dir/standard.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/standard.cc.o.d"
+  "/root/repo/src/apps/startup.cc" "src/apps/CMakeFiles/deskpar_apps.dir/startup.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/startup.cc.o.d"
+  "/root/repo/src/apps/video.cc" "src/apps/CMakeFiles/deskpar_apps.dir/video.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/video.cc.o.d"
+  "/root/repo/src/apps/vr.cc" "src/apps/CMakeFiles/deskpar_apps.dir/vr.cc.o" "gcc" "src/apps/CMakeFiles/deskpar_apps.dir/vr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/deskpar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/deskpar_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_apps.dir/assistant.cc.o"
+  "CMakeFiles/deskpar_apps.dir/assistant.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/blocks.cc.o"
+  "CMakeFiles/deskpar_apps.dir/blocks.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/browser.cc.o"
+  "CMakeFiles/deskpar_apps.dir/browser.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/harness.cc.o"
+  "CMakeFiles/deskpar_apps.dir/harness.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/image_office.cc.o"
+  "CMakeFiles/deskpar_apps.dir/image_office.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/legacy.cc.o"
+  "CMakeFiles/deskpar_apps.dir/legacy.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/media.cc.o"
+  "CMakeFiles/deskpar_apps.dir/media.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/mining.cc.o"
+  "CMakeFiles/deskpar_apps.dir/mining.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/noise.cc.o"
+  "CMakeFiles/deskpar_apps.dir/noise.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/registry.cc.o"
+  "CMakeFiles/deskpar_apps.dir/registry.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/standard.cc.o"
+  "CMakeFiles/deskpar_apps.dir/standard.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/startup.cc.o"
+  "CMakeFiles/deskpar_apps.dir/startup.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/video.cc.o"
+  "CMakeFiles/deskpar_apps.dir/video.cc.o.d"
+  "CMakeFiles/deskpar_apps.dir/vr.cc.o"
+  "CMakeFiles/deskpar_apps.dir/vr.cc.o.d"
+  "libdeskpar_apps.a"
+  "libdeskpar_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/input/driver.cc" "src/input/CMakeFiles/deskpar_input.dir/driver.cc.o" "gcc" "src/input/CMakeFiles/deskpar_input.dir/driver.cc.o.d"
+  "/root/repo/src/input/script.cc" "src/input/CMakeFiles/deskpar_input.dir/script.cc.o" "gcc" "src/input/CMakeFiles/deskpar_input.dir/script.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_input.dir/driver.cc.o"
+  "CMakeFiles/deskpar_input.dir/driver.cc.o.d"
+  "CMakeFiles/deskpar_input.dir/script.cc.o"
+  "CMakeFiles/deskpar_input.dir/script.cc.o.d"
+  "libdeskpar_input.a"
+  "libdeskpar_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeskpar_input.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/report/figure.cc" "src/report/CMakeFiles/deskpar_report.dir/figure.cc.o" "gcc" "src/report/CMakeFiles/deskpar_report.dir/figure.cc.o.d"
+  "/root/repo/src/report/heatmap.cc" "src/report/CMakeFiles/deskpar_report.dir/heatmap.cc.o" "gcc" "src/report/CMakeFiles/deskpar_report.dir/heatmap.cc.o.d"
+  "/root/repo/src/report/history.cc" "src/report/CMakeFiles/deskpar_report.dir/history.cc.o" "gcc" "src/report/CMakeFiles/deskpar_report.dir/history.cc.o.d"
+  "/root/repo/src/report/json.cc" "src/report/CMakeFiles/deskpar_report.dir/json.cc.o" "gcc" "src/report/CMakeFiles/deskpar_report.dir/json.cc.o.d"
+  "/root/repo/src/report/table.cc" "src/report/CMakeFiles/deskpar_report.dir/table.cc.o" "gcc" "src/report/CMakeFiles/deskpar_report.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/deskpar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_report.dir/figure.cc.o"
+  "CMakeFiles/deskpar_report.dir/figure.cc.o.d"
+  "CMakeFiles/deskpar_report.dir/heatmap.cc.o"
+  "CMakeFiles/deskpar_report.dir/heatmap.cc.o.d"
+  "CMakeFiles/deskpar_report.dir/history.cc.o"
+  "CMakeFiles/deskpar_report.dir/history.cc.o.d"
+  "CMakeFiles/deskpar_report.dir/json.cc.o"
+  "CMakeFiles/deskpar_report.dir/json.cc.o.d"
+  "CMakeFiles/deskpar_report.dir/table.cc.o"
+  "CMakeFiles/deskpar_report.dir/table.cc.o.d"
+  "libdeskpar_report.a"
+  "libdeskpar_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

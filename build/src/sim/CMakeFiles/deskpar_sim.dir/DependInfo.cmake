@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/deskpar_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/deskpar_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/gpu.cc" "src/sim/CMakeFiles/deskpar_sim.dir/gpu.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/gpu.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/deskpar_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/process.cc" "src/sim/CMakeFiles/deskpar_sim.dir/process.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/process.cc.o.d"
+  "/root/repo/src/sim/scheduler.cc" "src/sim/CMakeFiles/deskpar_sim.dir/scheduler.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sim/sync.cc" "src/sim/CMakeFiles/deskpar_sim.dir/sync.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/sync.cc.o.d"
+  "/root/repo/src/sim/thread.cc" "src/sim/CMakeFiles/deskpar_sim.dir/thread.cc.o" "gcc" "src/sim/CMakeFiles/deskpar_sim.dir/thread.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_sim.dir/cpu.cc.o"
+  "CMakeFiles/deskpar_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/event_queue.cc.o"
+  "CMakeFiles/deskpar_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/gpu.cc.o"
+  "CMakeFiles/deskpar_sim.dir/gpu.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/machine.cc.o"
+  "CMakeFiles/deskpar_sim.dir/machine.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/process.cc.o"
+  "CMakeFiles/deskpar_sim.dir/process.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/scheduler.cc.o"
+  "CMakeFiles/deskpar_sim.dir/scheduler.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/sync.cc.o"
+  "CMakeFiles/deskpar_sim.dir/sync.cc.o.d"
+  "CMakeFiles/deskpar_sim.dir/thread.cc.o"
+  "CMakeFiles/deskpar_sim.dir/thread.cc.o.d"
+  "libdeskpar_sim.a"
+  "libdeskpar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

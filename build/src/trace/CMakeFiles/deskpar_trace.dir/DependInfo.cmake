@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/csv.cc" "src/trace/CMakeFiles/deskpar_trace.dir/csv.cc.o" "gcc" "src/trace/CMakeFiles/deskpar_trace.dir/csv.cc.o.d"
+  "/root/repo/src/trace/etl.cc" "src/trace/CMakeFiles/deskpar_trace.dir/etl.cc.o" "gcc" "src/trace/CMakeFiles/deskpar_trace.dir/etl.cc.o.d"
+  "/root/repo/src/trace/filter.cc" "src/trace/CMakeFiles/deskpar_trace.dir/filter.cc.o" "gcc" "src/trace/CMakeFiles/deskpar_trace.dir/filter.cc.o.d"
+  "/root/repo/src/trace/merge.cc" "src/trace/CMakeFiles/deskpar_trace.dir/merge.cc.o" "gcc" "src/trace/CMakeFiles/deskpar_trace.dir/merge.cc.o.d"
+  "/root/repo/src/trace/session.cc" "src/trace/CMakeFiles/deskpar_trace.dir/session.cc.o" "gcc" "src/trace/CMakeFiles/deskpar_trace.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

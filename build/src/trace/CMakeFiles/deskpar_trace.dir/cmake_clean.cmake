@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_trace.dir/csv.cc.o"
+  "CMakeFiles/deskpar_trace.dir/csv.cc.o.d"
+  "CMakeFiles/deskpar_trace.dir/etl.cc.o"
+  "CMakeFiles/deskpar_trace.dir/etl.cc.o.d"
+  "CMakeFiles/deskpar_trace.dir/filter.cc.o"
+  "CMakeFiles/deskpar_trace.dir/filter.cc.o.d"
+  "CMakeFiles/deskpar_trace.dir/merge.cc.o"
+  "CMakeFiles/deskpar_trace.dir/merge.cc.o.d"
+  "CMakeFiles/deskpar_trace.dir/session.cc.o"
+  "CMakeFiles/deskpar_trace.dir/session.cc.o.d"
+  "libdeskpar_trace.a"
+  "libdeskpar_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/analyzer_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o.d"
+  "/root/repo/tests/analysis/framerate_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/framerate_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/framerate_test.cc.o.d"
+  "/root/repo/tests/analysis/gpu_queue_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/gpu_queue_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/gpu_queue_test.cc.o.d"
+  "/root/repo/tests/analysis/gpu_util_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/gpu_util_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/gpu_util_test.cc.o.d"
+  "/root/repo/tests/analysis/intervals_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/intervals_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/intervals_test.cc.o.d"
+  "/root/repo/tests/analysis/power_threads_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/power_threads_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/power_threads_test.cc.o.d"
+  "/root/repo/tests/analysis/responsiveness_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/responsiveness_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/responsiveness_test.cc.o.d"
+  "/root/repo/tests/analysis/stats_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/stats_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/stats_test.cc.o.d"
+  "/root/repo/tests/analysis/timeseries_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/timeseries_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/timeseries_test.cc.o.d"
+  "/root/repo/tests/analysis/tlp_test.cc" "tests/CMakeFiles/analysis_tests.dir/analysis/tlp_test.cc.o" "gcc" "tests/CMakeFiles/analysis_tests.dir/analysis/tlp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/deskpar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deskpar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/deskpar_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/deskpar_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

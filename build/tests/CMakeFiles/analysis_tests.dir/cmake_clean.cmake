@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/analyzer_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/framerate_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/framerate_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/gpu_queue_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/gpu_queue_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/gpu_util_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/gpu_util_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/intervals_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/intervals_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/power_threads_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/power_threads_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/responsiveness_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/responsiveness_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/stats_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/timeseries_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/timeseries_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/tlp_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/tlp_test.cc.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

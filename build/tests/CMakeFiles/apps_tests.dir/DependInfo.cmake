@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/blocks_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/blocks_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/blocks_test.cc.o.d"
+  "/root/repo/tests/apps/browser_mining_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/browser_mining_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/browser_mining_test.cc.o.d"
+  "/root/repo/tests/apps/harness_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/harness_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/harness_test.cc.o.d"
+  "/root/repo/tests/apps/legacy_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/legacy_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/legacy_test.cc.o.d"
+  "/root/repo/tests/apps/noise_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/noise_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/noise_test.cc.o.d"
+  "/root/repo/tests/apps/registry_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/registry_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/registry_test.cc.o.d"
+  "/root/repo/tests/apps/standard_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/standard_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/standard_test.cc.o.d"
+  "/root/repo/tests/apps/suite_property_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/suite_property_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/suite_property_test.cc.o.d"
+  "/root/repo/tests/apps/video_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/video_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/video_test.cc.o.d"
+  "/root/repo/tests/apps/vr_test.cc" "tests/CMakeFiles/apps_tests.dir/apps/vr_test.cc.o" "gcc" "tests/CMakeFiles/apps_tests.dir/apps/vr_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/deskpar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deskpar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/deskpar_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/deskpar_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

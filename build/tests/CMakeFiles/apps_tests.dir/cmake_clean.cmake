@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/blocks_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/blocks_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/browser_mining_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/browser_mining_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/harness_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/harness_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/legacy_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/legacy_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/noise_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/noise_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/registry_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/registry_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/standard_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/standard_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/suite_property_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/suite_property_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/video_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/video_test.cc.o.d"
+  "CMakeFiles/apps_tests.dir/apps/vr_test.cc.o"
+  "CMakeFiles/apps_tests.dir/apps/vr_test.cc.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+  "apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

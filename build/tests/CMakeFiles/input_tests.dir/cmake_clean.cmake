@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_tests.dir/input/driver_test.cc.o"
+  "CMakeFiles/input_tests.dir/input/driver_test.cc.o.d"
+  "CMakeFiles/input_tests.dir/input/script_io_test.cc.o"
+  "CMakeFiles/input_tests.dir/input/script_io_test.cc.o.d"
+  "CMakeFiles/input_tests.dir/input/script_test.cc.o"
+  "CMakeFiles/input_tests.dir/input/script_test.cc.o.d"
+  "input_tests"
+  "input_tests.pdb"
+  "input_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

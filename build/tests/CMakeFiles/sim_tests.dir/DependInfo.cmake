@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/cpu_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/cpu_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/cpu_test.cc.o.d"
+  "/root/repo/tests/sim/dist_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/dist_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/dist_test.cc.o.d"
+  "/root/repo/tests/sim/event_queue_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "/root/repo/tests/sim/gpu_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/gpu_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/gpu_test.cc.o.d"
+  "/root/repo/tests/sim/machine_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/machine_test.cc.o.d"
+  "/root/repo/tests/sim/memory_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/memory_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/memory_test.cc.o.d"
+  "/root/repo/tests/sim/priority_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/priority_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/priority_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/scheduler_param_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/scheduler_param_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/scheduler_param_test.cc.o.d"
+  "/root/repo/tests/sim/scheduler_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/scheduler_test.cc.o.d"
+  "/root/repo/tests/sim/sync_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/sync_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/sync_test.cc.o.d"
+  "/root/repo/tests/sim/thread_test.cc" "tests/CMakeFiles/sim_tests.dir/sim/thread_test.cc.o" "gcc" "tests/CMakeFiles/sim_tests.dir/sim/thread_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/deskpar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deskpar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/deskpar_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/deskpar_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/cpu_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/cpu_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/dist_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/dist_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/gpu_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/gpu_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/machine_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/machine_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/memory_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/memory_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/priority_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/priority_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/rng_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/scheduler_param_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/scheduler_param_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/scheduler_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/scheduler_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/sync_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/sync_test.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/thread_test.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/thread_test.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/csv_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/csv_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/csv_test.cc.o.d"
+  "/root/repo/tests/trace/etl_robustness_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/etl_robustness_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/etl_robustness_test.cc.o.d"
+  "/root/repo/tests/trace/etl_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/etl_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/etl_test.cc.o.d"
+  "/root/repo/tests/trace/filter_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/filter_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/filter_test.cc.o.d"
+  "/root/repo/tests/trace/merge_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/merge_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/merge_test.cc.o.d"
+  "/root/repo/tests/trace/session_test.cc" "tests/CMakeFiles/trace_tests.dir/trace/session_test.cc.o" "gcc" "tests/CMakeFiles/trace_tests.dir/trace/session_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/deskpar_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deskpar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/deskpar_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/deskpar_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deskpar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/deskpar_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

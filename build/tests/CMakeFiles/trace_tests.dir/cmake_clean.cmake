@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_tests.dir/trace/csv_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/csv_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/etl_robustness_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/etl_robustness_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/etl_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/etl_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/filter_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/filter_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/merge_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/merge_test.cc.o.d"
+  "CMakeFiles/trace_tests.dir/trace/session_test.cc.o"
+  "CMakeFiles/trace_tests.dir/trace/session_test.cc.o.d"
+  "trace_tests"
+  "trace_tests.pdb"
+  "trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

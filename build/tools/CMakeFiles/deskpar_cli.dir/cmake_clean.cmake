@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deskpar_cli.dir/deskpar.cc.o"
+  "CMakeFiles/deskpar_cli.dir/deskpar.cc.o.d"
+  "deskpar"
+  "deskpar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deskpar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
