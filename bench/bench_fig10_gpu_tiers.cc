@@ -26,6 +26,8 @@ main()
     bench::banner("Figure 10 - GPU utilization: GTX 680 vs 1080 Ti",
                   "Section V-D-2, Figure 10");
 
+    bench::SuiteTimer timer("bench_fig10_gpu_tiers");
+
     const std::vector<std::string> kApps = {
         "wmplayer", "vlc", "winx", "bitcoinminer", "easyminer",
         "wineth"};
@@ -34,14 +36,26 @@ main()
                              "GTX 1080 Ti util (%)",
                              "680/1080 Ti work ratio"});
 
+    // Both GPU tiers of every app run concurrently: jobs alternate
+    // (app, GTX 680), (app, GTX 1080 Ti) in kApps order.
+    std::vector<apps::SuiteJob> jobs;
     for (const auto &id : kApps) {
         apps::RunOptions mid = bench::paperRunOptions();
         mid.config.gpu = sim::GpuSpec::gtx680();
         apps::RunOptions high = bench::paperRunOptions();
         high.config.gpu = sim::GpuSpec::gtx1080Ti();
+        jobs.push_back(apps::suiteJob(id, mid));
+        jobs.back().label = id + "@gtx680";
+        jobs.push_back(apps::suiteJob(id, high));
+        jobs.back().label = id + "@gtx1080ti";
+    }
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(jobs);
 
-        apps::AppRunResult r680 = apps::runWorkload(id, mid);
-        apps::AppRunResult r1080 = apps::runWorkload(id, high);
+    std::size_t next = 0;
+    for (std::size_t app = 0; app < kApps.size(); ++app) {
+        const apps::AppRunResult &r680 = results[next++];
+        const apps::AppRunResult &r1080 = results[next++];
 
         double work680 = r680.iterations.back().gpuWork;
         double work1080 = r1080.iterations.back().gpuWork;
@@ -51,7 +65,7 @@ main()
                 : "-";
 
         table.row()
-            .cell(apps::makeWorkload(id)->spec().name)
+            .cell(r680.agg.app)
             .cell(r680.gpuUtil(), 1)
             .cell(r1080.gpuUtil(), 1)
             .cell(ratio);

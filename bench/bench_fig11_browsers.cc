@@ -21,6 +21,8 @@ main()
     bench::banner("Figure 11 - web browsing scenarios",
                   "Section V-E, Figure 11");
 
+    bench::SuiteTimer timer("bench_fig11_browsers");
+
     const apps::BrowserEngine kEngines[] = {
         apps::BrowserEngine::Chrome, apps::BrowserEngine::Firefox,
         apps::BrowserEngine::Edge};
@@ -32,11 +34,27 @@ main()
     report::TextTable table({"Browser", "Scenario", "Processes",
                              "TLP", "GPU util (%)"});
 
+    // Custom (non-registry) models fan out through per-job factories.
+    std::vector<apps::SuiteJob> jobs;
     for (auto engine : kEngines) {
         for (auto scenario : kScenarios) {
-            auto model = apps::makeBrowser(engine, scenario);
-            apps::AppRunResult result =
-                apps::runWorkload(*model, bench::paperRunOptions());
+            apps::SuiteJob job;
+            job.label = std::string(apps::browserName(engine)) + "/" +
+                        apps::scenarioName(scenario);
+            job.factory = [engine, scenario] {
+                return apps::makeBrowser(engine, scenario);
+            };
+            job.options = bench::paperRunOptions();
+            jobs.push_back(std::move(job));
+        }
+    }
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(jobs);
+
+    std::size_t next = 0;
+    for (auto engine : kEngines) {
+        for (auto scenario : kScenarios) {
+            const apps::AppRunResult &result = results[next++];
 
             // Count the application's processes in the last trace.
             std::size_t processes = result.lastPids.size();

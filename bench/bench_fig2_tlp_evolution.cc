@@ -22,6 +22,7 @@ main()
     bench::banner("Figure 2 - TLP evolution 2000/2010/2018",
                   "Section V-B, Figure 2");
 
+    bench::SuiteTimer timer("bench_fig2_tlp_evolution");
     apps::RunOptions options = bench::paperRunOptions();
 
     // 2018 measurements, keyed to the figure's category groups.
@@ -63,12 +64,18 @@ main()
         byCategory[entry.category][entry.year].add(entry.value);
     }
 
+    std::vector<apps::SuiteJob> jobs;
+    for (const auto &[id, category] : kMeasured)
+        jobs.push_back(apps::suiteJob(id, options));
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(jobs);
+
+    std::size_t next = 0;
     for (const auto &[id, category] : kMeasured) {
-        apps::AppRunResult result = apps::runWorkload(id, options);
-        std::string name = apps::makeWorkload(id)->spec().name;
+        const apps::AppRunResult &result = results[next++];
         table.row()
             .cell(category)
-            .cell(name)
+            .cell(result.agg.app)
             .cell(std::string("2018"))
             .cell(result.tlp(), 1);
         byCategory[category][2018].add(result.tlp());

@@ -22,6 +22,7 @@ main()
     bench::banner("Figure 4 - impact of core scaling on TLP",
                   "Section V-C-1, Figure 4");
 
+    bench::SuiteTimer timer("bench_fig4_core_scaling");
     apps::RunOptions options = bench::paperRunOptions();
 
     const std::vector<std::string> kApps = {
@@ -38,14 +39,26 @@ main()
     report::TextTable table(
         {"Application", "4 cores", "8 cores", "12 cores"});
 
+    // The whole (app x core-count) sweep is one parallel batch.
+    std::vector<apps::SuiteJob> jobs;
     for (const auto &id : kApps) {
-        auto &series =
-            figure.addSeries(apps::makeWorkload(id)->spec().name);
-        table.row().cell(apps::makeWorkload(id)->spec().name);
         for (unsigned cores : kCores) {
             apps::RunOptions sweep = options;
             sweep.config.activeCpus = cores;
-            apps::AppRunResult result = apps::runWorkload(id, sweep);
+            jobs.push_back(apps::suiteJob(id, sweep));
+            jobs.back().label =
+                id + "@" + std::to_string(cores) + "c";
+        }
+    }
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(jobs);
+
+    std::size_t next = 0;
+    for (std::size_t app = 0; app < kApps.size(); ++app) {
+        auto &series = figure.addSeries(results[next].agg.app);
+        table.row().cell(results[next].agg.app);
+        for (unsigned cores : kCores) {
+            const apps::AppRunResult &result = results[next++];
             series.add(cores, result.tlp());
             table.cell(result.tlp(), 1);
         }

@@ -27,6 +27,8 @@ main()
     bench::banner("Figure 8 - SMT and GPU offload on transcoding",
                   "Section V-C-2 / V-D-1, Figure 8");
 
+    bench::SuiteTimer timer("bench_fig8_smt_transcode");
+
     struct GpuChoice
     {
         const char *label;
@@ -42,6 +44,8 @@ main()
                              "SMT-shared busy (%)",
                              "Contention stalls (%)"});
 
+    // Fan the full (app x GPU x SMT x cores) grid out in one batch.
+    std::vector<apps::SuiteJob> jobs;
     for (const char *app : {"handbrake", "winx"}) {
         for (const auto &gpu : kGpus) {
             for (bool smt : {true, false}) {
@@ -51,8 +55,21 @@ main()
                     options.config.gpu = gpu.spec;
                     options.config.smtEnabled = smt;
                     options.config.activeCpus = cores;
-                    apps::AppRunResult result =
-                        apps::runWorkload(app, options);
+                    jobs.push_back(apps::suiteJob(app, options));
+                }
+            }
+        }
+    }
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(jobs);
+
+    std::size_t next = 0;
+    for (const char *app : {"handbrake", "winx"}) {
+        for (const auto &gpu : kGpus) {
+            for (bool smt : {true, false}) {
+                for (unsigned cores : {2u, 4u, 6u}) {
+                    const apps::AppRunResult &result =
+                        results[next++];
 
                     const auto &sched =
                         result.iterations.back().sched;

@@ -23,7 +23,16 @@ main()
     bench::banner("Table II - application TLP and GPU utilization",
                   "Section V-A, Table II");
 
+    bench::SuiteTimer timer("bench_table2_suite");
     apps::RunOptions options = bench::paperRunOptions();
+
+    // All 30 applications x 3 iterations fan out across the
+    // SuiteRunner; results come back in suite row order.
+    std::vector<apps::SuiteJob> jobs;
+    for (const auto &entry : apps::tableTwoSuite())
+        jobs.push_back({entry.id, entry.factory, options});
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(jobs);
 
     report::TextTable table({"Category", "Application",
                              "Execution time c0..c12", "TLP",
@@ -40,11 +49,11 @@ main()
     unsigned reachedMax = 0;
     unsigned count = 0;
 
+    std::size_t next = 0;
     for (const auto &entry : apps::tableTwoSuite()) {
-        apps::AppRunResult result =
-            apps::runWorkload(entry.id, options);
+        const apps::AppRunResult &result = results[next++];
 
-        std::string name = apps::makeWorkload(entry.id)->spec().name;
+        const std::string &name = result.agg.app;
         std::string gpu_cell = bench::meanSigma(result.agg.gpuUtil);
         // Star only utilization capped at 100% by packet overlap
         // (the paper's PhoenixMiner footnote).

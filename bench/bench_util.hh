@@ -8,8 +8,10 @@
 #ifndef DESKPAR_BENCH_BENCH_UTIL_HH
 #define DESKPAR_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "analysis/timeseries.hh"
 #include "apps/harness.hh"
 #include "apps/registry.hh"
+#include "apps/runner.hh"
 #include "report/figure.hh"
 #include "report/table.hh"
 
@@ -46,6 +49,58 @@ banner(const char *what, const char *paper_ref)
     std::printf("== deskpar reproduction: %s ==\n", what);
     std::printf("   (paper: %s)\n\n", paper_ref);
 }
+
+/**
+ * Fan @p jobs out across the SuiteRunner (thread count from
+ * DESKPAR_JOBS, default: all host cores) and return the results in
+ * submission order. The shared entry point for the suite benches.
+ */
+inline std::vector<apps::AppRunResult>
+runSuiteParallel(const std::vector<apps::SuiteJob> &jobs)
+{
+    return apps::runSuite(jobs);
+}
+
+/**
+ * Wall-clock scope timer for a bench binary. On destruction it
+ * appends one JSON record (bench name, wall seconds, runner thread
+ * count) to BENCH_suite.json — or $DESKPAR_BENCH_JSON — so the perf
+ * trajectory of the suite benches is captured run over run.
+ */
+class SuiteTimer
+{
+  public:
+    explicit SuiteTimer(std::string name)
+        : name_(std::move(name)),
+          jobs_(apps::SuiteRunner::defaultThreads()),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    SuiteTimer(const SuiteTimer &) = delete;
+    SuiteTimer &operator=(const SuiteTimer &) = delete;
+
+    ~SuiteTimer()
+    {
+        std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start_;
+        const char *path = std::getenv("DESKPAR_BENCH_JSON");
+        std::ofstream out(path ? path : "BENCH_suite.json",
+                          std::ios::app);
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "{\"bench\":\"%s\",\"wall_seconds\":%.3f,"
+                      "\"jobs\":%u}",
+                      name_.c_str(), wall.count(), jobs_);
+        out << line << "\n";
+        std::printf("\n[%s] wall %.3f s, %u runner thread(s)\n",
+                    name_.c_str(), wall.count(), jobs_);
+    }
+
+  private:
+    std::string name_;
+    unsigned jobs_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** "x.x +- y.y" cell for avg/sigma pairs. */
 inline std::string

@@ -30,7 +30,7 @@ computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
     }
 
     out.busyRatio =
-        static_cast<double>(unionLength(std::move(busy))) / window;
+        static_cast<double>(unionLengthInPlace(busy)) / window;
     out.overlapped = out.aggregateRatio > out.busyRatio + 1e-9;
     return out;
 }

@@ -24,8 +24,8 @@ totalLength(const std::vector<Interval> &intervals)
     return total;
 }
 
-std::vector<Interval>
-mergeIntervals(std::vector<Interval> intervals)
+void
+mergeIntervalsInPlace(std::vector<Interval> &intervals)
 {
     std::erase_if(intervals,
                   [](const Interval &iv) { return iv.empty(); });
@@ -33,20 +33,37 @@ mergeIntervals(std::vector<Interval> intervals)
               [](const Interval &a, const Interval &b) {
                   return a.begin < b.begin;
               });
-    std::vector<Interval> merged;
-    for (const auto &iv : intervals) {
-        if (!merged.empty() && iv.begin <= merged.back().end)
-            merged.back().end = std::max(merged.back().end, iv.end);
-        else
-            merged.push_back(iv);
+    // Compact the merged runs into the front of the same vector.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        if (out > 0 && intervals[i].begin <= intervals[out - 1].end) {
+            intervals[out - 1].end =
+                std::max(intervals[out - 1].end, intervals[i].end);
+        } else {
+            intervals[out++] = intervals[i];
+        }
     }
-    return merged;
+    intervals.resize(out);
+}
+
+std::vector<Interval>
+mergeIntervals(std::vector<Interval> intervals)
+{
+    mergeIntervalsInPlace(intervals);
+    return intervals;
+}
+
+SimDuration
+unionLengthInPlace(std::vector<Interval> &intervals)
+{
+    mergeIntervalsInPlace(intervals);
+    return totalLength(intervals);
 }
 
 SimDuration
 unionLength(std::vector<Interval> intervals)
 {
-    return totalLength(mergeIntervals(std::move(intervals)));
+    return unionLengthInPlace(intervals);
 }
 
 } // namespace deskpar::analysis

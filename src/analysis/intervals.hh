@@ -37,10 +37,23 @@ struct Interval
 SimDuration totalLength(const std::vector<Interval> &intervals);
 
 /**
+ * Merge overlapping/adjacent intervals in place: @p intervals is
+ * sorted, compacted and shrunk to the disjoint union, with no
+ * temporary vector. Input need not be sorted.
+ */
+void mergeIntervalsInPlace(std::vector<Interval> &intervals);
+
+/**
  * Merge overlapping/adjacent intervals; input need not be sorted.
  * Returns sorted disjoint intervals.
  */
 std::vector<Interval> mergeIntervals(std::vector<Interval> intervals);
+
+/**
+ * Length of the union of @p intervals, merging in place (the vector
+ * is left merged, as by mergeIntervalsInPlace).
+ */
+SimDuration unionLengthInPlace(std::vector<Interval> &intervals);
 
 /** Length of the union of @p intervals. */
 SimDuration unionLength(std::vector<Interval> intervals);

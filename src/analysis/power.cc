@@ -74,7 +74,7 @@ estimatePower(const trace::TraceBundle &bundle,
             any.insert(any.end(), it->second.begin(),
                        it->second.end());
         }
-        double union_s = sim::toSeconds(unionLength(any));
+        double union_s = sim::toSeconds(unionLengthInPlace(any));
         core_seconds += union_s;
         smt_seconds += thread_sum - union_s;
     }

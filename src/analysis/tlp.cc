@@ -1,7 +1,9 @@
 #include "analysis/tlp.hh"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -60,21 +62,34 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
     };
 
     // Sweep the per-CPU run timelines into +1/-1 deltas at the times
-    // a target thread starts/stops occupying a CPU.
-    std::map<SimTime, int> deltas;
-    std::map<trace::CpuId, bool> cpuBusy; // target thread on cpu?
+    // a target thread starts/stops occupying a CPU. A flat sorted
+    // vector replaces the old std::map: one O(n log n) sort instead
+    // of a red-black-tree insert per context switch, and the per-CPU
+    // busy flags are a flat array indexed by CpuId.
+    std::vector<std::pair<SimTime, int>> deltas;
+    deltas.reserve(bundle.cswitches.size());
+    std::vector<std::uint8_t> cpuBusy(num_cpus, 0);
 
     for (const auto &e : bundle.cswitches) {
-        bool &busy = cpuBusy[e.cpu];
-        bool now_busy = isTarget(e.newPid);
-        if (busy == now_busy)
+        if (e.cpu >= cpuBusy.size())
+            cpuBusy.resize(e.cpu + 1, 0);
+        std::uint8_t now_busy = isTarget(e.newPid) ? 1 : 0;
+        if (cpuBusy[e.cpu] == now_busy)
             continue;
         SimTime ts = std::clamp(e.timestamp, t0, t1);
-        deltas[ts] += now_busy ? 1 : -1;
-        busy = now_busy;
+        deltas.emplace_back(ts, now_busy ? 1 : -1);
+        cpuBusy[e.cpu] = now_busy;
     }
     // Threads still on a CPU at the window end: close at t1 (the
-    // deltas map records the +1; no -1 needed since the sweep ends).
+    // delta list records the +1; no -1 needed since the sweep ends).
+
+    // cswitches are chronological, so a stable sort keeps each CPU's
+    // +1 ahead of its matching -1 even when clamping collapses both
+    // onto a window edge.
+    std::stable_sort(deltas.begin(), deltas.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
 
     ConcurrencyProfile profile;
     profile.numCpus = num_cpus;
@@ -86,15 +101,18 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
     std::vector<sim::SimDuration> timeAt(num_cpus + 1, 0);
     for (const auto &[ts, delta] : deltas) {
         if (ts > prev) {
+            if (level < 0)
+                deskpar::panic(
+                    "computeConcurrency: negative concurrency");
             auto lvl = static_cast<unsigned>(std::clamp(
                 level, 0, static_cast<int>(num_cpus)));
             timeAt[lvl] += ts - prev;
             prev = ts;
         }
         level += delta;
-        if (level < 0)
-            deskpar::panic("computeConcurrency: negative concurrency");
     }
+    if (level < 0)
+        deskpar::panic("computeConcurrency: negative concurrency");
     if (t1 > prev) {
         auto lvl = static_cast<unsigned>(
             std::clamp(level, 0, static_cast<int>(num_cpus)));

@@ -7,6 +7,71 @@
 
 namespace deskpar::apps {
 
+IterationOutput
+runIteration(WorkloadModel &model, const RunOptions &options,
+             unsigned iter)
+{
+    sim::SimDuration duration =
+        options.duration ? options.duration : model.duration();
+
+    sim::MachineConfig config = options.config;
+    config.seed = options.seedBase + iter * 7919;
+    sim::Machine machine(config);
+
+    machine.session().start(machine.now());
+    if (options.noiseIntensity > 0.0)
+        spawnBackgroundNoise(machine, options.noiseIntensity);
+    AppInstance instance = model.instantiate(machine);
+
+    if (!instance.script.empty()) {
+        if (options.manualInput) {
+            input::ManualDriver driver;
+            driver.install(machine, instance.script);
+        } else {
+            input::AutomationDriver driver;
+            driver.install(machine, instance.script);
+        }
+    }
+
+    machine.run(duration);
+    machine.session().stop(machine.now());
+
+    IterationOutput out;
+    out.bundle = machine.session().takeBundle();
+    out.pids =
+        trace::pidsWithPrefix(out.bundle, instance.processPrefix);
+    if (out.pids.empty()) {
+        fatal("runWorkload: no processes matched prefix " +
+              instance.processPrefix);
+    }
+
+    out.result.metrics = analysis::analyzeApp(out.bundle, out.pids);
+    out.result.sched = machine.scheduler().stats();
+    for (trace::Pid pid : out.pids)
+        out.result.gpuWork += machine.gpu().completedWork(pid);
+    return out;
+}
+
+void
+foldIteration(AppRunResult &result, IterationOutput &&out, bool last)
+{
+    result.agg.add(out.result.metrics);
+    result.fps.add(out.result.metrics.frames.avgFps);
+    double span = sim::toSeconds(out.bundle.duration());
+    if (span > 0.0) {
+        auto real = static_cast<double>(
+            out.result.metrics.frames.frames -
+            out.result.metrics.frames.synthesizedFrames);
+        result.realFps.add(real / span);
+    }
+    result.iterations.push_back(std::move(out.result));
+
+    if (last) {
+        result.lastPids = std::move(out.pids);
+        result.lastBundle = std::move(out.bundle);
+    }
+}
+
 AppRunResult
 runWorkload(WorkloadModel &model, const RunOptions &options)
 {
@@ -16,61 +81,9 @@ runWorkload(WorkloadModel &model, const RunOptions &options)
     AppRunResult result;
     result.agg.app = model.spec().name;
 
-    sim::SimDuration duration =
-        options.duration ? options.duration : model.duration();
-
     for (unsigned iter = 0; iter < options.iterations; ++iter) {
-        sim::MachineConfig config = options.config;
-        config.seed = options.seedBase + iter * 7919;
-        sim::Machine machine(config);
-
-        machine.session().start(machine.now());
-        if (options.noiseIntensity > 0.0)
-            spawnBackgroundNoise(machine, options.noiseIntensity);
-        AppInstance instance = model.instantiate(machine);
-
-        if (!instance.script.empty()) {
-            if (options.manualInput) {
-                input::ManualDriver driver;
-                driver.install(machine, instance.script);
-            } else {
-                input::AutomationDriver driver;
-                driver.install(machine, instance.script);
-            }
-        }
-
-        machine.run(duration);
-        machine.session().stop(machine.now());
-        trace::TraceBundle bundle = machine.session().takeBundle();
-
-        trace::PidSet pids =
-            trace::pidsWithPrefix(bundle, instance.processPrefix);
-        if (pids.empty()) {
-            fatal("runWorkload: no processes matched prefix " +
-                  instance.processPrefix);
-        }
-
-        IterationResult ir;
-        ir.metrics = analysis::analyzeApp(bundle, pids);
-        ir.sched = machine.scheduler().stats();
-        for (trace::Pid pid : pids)
-            ir.gpuWork += machine.gpu().completedWork(pid);
-
-        result.agg.add(ir.metrics);
-        result.fps.add(ir.metrics.frames.avgFps);
-        double span = sim::toSeconds(bundle.duration());
-        if (span > 0.0) {
-            auto real = static_cast<double>(
-                ir.metrics.frames.frames -
-                ir.metrics.frames.synthesizedFrames);
-            result.realFps.add(real / span);
-        }
-        result.iterations.push_back(std::move(ir));
-
-        if (iter + 1 == options.iterations) {
-            result.lastPids = pids;
-            result.lastBundle = std::move(bundle);
-        }
+        foldIteration(result, runIteration(model, options, iter),
+                      iter + 1 == options.iterations);
     }
     return result;
 }

@@ -72,6 +72,36 @@ struct AppRunResult
     double gpuUtil() const { return agg.gpuUtil.mean(); }
 };
 
+/**
+ * Everything one simulated iteration produces. Intermediate form
+ * shared by the serial loop and the parallel SuiteRunner so both
+ * aggregate bit-identically.
+ */
+struct IterationOutput
+{
+    IterationResult result;
+    trace::TraceBundle bundle;
+    trace::PidSet pids;
+};
+
+/**
+ * Run iteration @p iter of @p model under @p options on a fresh
+ * machine seeded with `options.seedBase + iter * 7919` (the protocol
+ * seed derivation). Pure function of (model params, options, iter):
+ * safe to call concurrently for independent iterations.
+ */
+IterationOutput runIteration(WorkloadModel &model,
+                             const RunOptions &options,
+                             unsigned iter);
+
+/**
+ * Fold one iteration into @p result. Iterations must be folded in
+ * ascending iteration order for bit-identical aggregates; @p last
+ * marks the final iteration, whose bundle/pids are retained.
+ */
+void foldIteration(AppRunResult &result, IterationOutput &&out,
+                   bool last);
+
 /** Run @p model under @p options. */
 AppRunResult runWorkload(WorkloadModel &model,
                          const RunOptions &options);

@@ -1,0 +1,206 @@
+#include "apps/runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "apps/registry.hh"
+#include "sim/logging.hh"
+
+namespace deskpar::apps {
+namespace {
+
+/** One (job, iteration) simulation instance. */
+struct SimTask
+{
+    std::size_t job = 0;
+    unsigned iter = 0;
+};
+
+/**
+ * Lock-based work-stealing scheduler: every worker owns a deque it
+ * pops from the front of; an empty worker steals from the back of a
+ * victim's deque. Tasks are coarse (a whole 30 s sim), so one mutex
+ * per deque is plenty — contention is a few dozen lock acquisitions
+ * per simulated half-minute.
+ */
+class StealingQueues
+{
+  public:
+    StealingQueues(std::size_t workers, std::size_t tasks)
+        : queues_(workers)
+    {
+        // Round-robin initial distribution; stealing rebalances
+        // whatever the static split gets wrong.
+        for (std::size_t t = 0; t < tasks; ++t)
+            queues_[t % workers].tasks.push_back(t);
+    }
+
+    /** Pop from our own deque, else steal; false when all are dry. */
+    bool
+    next(std::size_t self, std::size_t &task)
+    {
+        auto &own = queues_[self];
+        {
+            std::lock_guard<std::mutex> lock(own.mutex);
+            if (!own.tasks.empty()) {
+                task = own.tasks.front();
+                own.tasks.pop_front();
+                return true;
+            }
+        }
+        for (std::size_t i = 1; i < queues_.size(); ++i) {
+            auto &victim = queues_[(self + i) % queues_.size()];
+            std::lock_guard<std::mutex> lock(victim.mutex);
+            if (!victim.tasks.empty()) {
+                task = victim.tasks.back();
+                victim.tasks.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+
+  private:
+    struct PerWorker
+    {
+        std::mutex mutex;
+        std::deque<std::size_t> tasks;
+    };
+    std::deque<PerWorker> queues_;
+};
+
+/** Run one task, writing its slot in the per-job output matrix. */
+void
+runTask(const std::vector<SuiteJob> &jobs, const SimTask &task,
+        std::vector<std::vector<std::optional<IterationOutput>>>
+            &outputs,
+        std::vector<std::string> &names)
+{
+    const SuiteJob &job = jobs[task.job];
+    WorkloadPtr model = job.factory();
+    if (!model)
+        fatal("SuiteRunner: job '" + job.label +
+              "' factory returned null");
+    if (task.iter == 0)
+        names[task.job] = model->spec().name;
+    outputs[task.job][task.iter] =
+        runIteration(*model, job.options, task.iter);
+}
+
+} // namespace
+
+SuiteJob
+suiteJob(const std::string &id, const RunOptions &options)
+{
+    SuiteJob job;
+    job.label = id;
+    job.factory = [id] { return makeWorkload(id); };
+    job.options = options;
+    return job;
+}
+
+SuiteRunner::SuiteRunner(unsigned threads)
+    : threads_(threads ? threads : defaultThreads())
+{}
+
+unsigned
+SuiteRunner::defaultThreads()
+{
+    if (const char *env = std::getenv("DESKPAR_JOBS")) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && n > 0 && n < 1024)
+            return static_cast<unsigned>(n);
+        warn("ignoring invalid DESKPAR_JOBS value '" +
+             std::string(env) + "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+std::vector<AppRunResult>
+SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
+{
+    std::vector<SimTask> tasks;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (!jobs[j].factory)
+            fatal("SuiteRunner: job '" + jobs[j].label +
+                  "' has no factory");
+        if (jobs[j].options.iterations == 0)
+            fatal("runWorkload: zero iterations");
+        for (unsigned i = 0; i < jobs[j].options.iterations; ++i)
+            tasks.push_back({j, i});
+    }
+
+    std::vector<std::vector<std::optional<IterationOutput>>> outputs(
+        jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        outputs[j].resize(jobs[j].options.iterations);
+    std::vector<std::string> names(jobs.size());
+
+    std::size_t workers =
+        std::min<std::size_t>(threads_, tasks.size());
+    if (workers <= 1) {
+        // Inline serial path (DESKPAR_JOBS=1 and tiny suites): same
+        // task order as the legacy per-bench loops, no threads.
+        for (const SimTask &task : tasks)
+            runTask(jobs, task, outputs, names);
+    } else {
+        StealingQueues queues(workers, tasks.size());
+        std::atomic<bool> abort{false};
+        std::exception_ptr firstError;
+        std::mutex errorMutex;
+
+        auto worker = [&](std::size_t self) {
+            std::size_t index;
+            while (!abort.load(std::memory_order_relaxed) &&
+                   queues.next(self, index)) {
+                try {
+                    runTask(jobs, tasks[index], outputs, names);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    abort.store(true, std::memory_order_relaxed);
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker, w);
+        for (auto &thread : pool)
+            thread.join();
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+
+    // Deterministic assembly: fold iterations in ascending order per
+    // job, jobs in submission order — bitwise identical to the serial
+    // runWorkload() loop.
+    std::vector<AppRunResult> results(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        results[j].agg.app = names[j];
+        unsigned iterations = jobs[j].options.iterations;
+        for (unsigned i = 0; i < iterations; ++i) {
+            foldIteration(results[j], std::move(*outputs[j][i]),
+                          i + 1 == iterations);
+        }
+    }
+    return results;
+}
+
+std::vector<AppRunResult>
+runSuite(const std::vector<SuiteJob> &jobs)
+{
+    return SuiteRunner().run(jobs);
+}
+
+} // namespace deskpar::apps

@@ -6,6 +6,28 @@
 
 namespace deskpar::sim {
 
+std::uint32_t
+EventQueue::acquireNode()
+{
+    if (freeHead_ != kNoFree) {
+        std::uint32_t index = freeHead_;
+        freeHead_ = pool_[index].nextFree;
+        return index;
+    }
+    pool_.emplace_back();
+    return static_cast<std::uint32_t>(pool_.size() - 1);
+}
+
+void
+EventQueue::releaseNode(std::uint32_t index)
+{
+    Node &node = pool_[index];
+    ++node.gen;
+    node.callback = nullptr;
+    node.nextFree = freeHead_;
+    freeHead_ = index;
+}
+
 EventQueue::Handle
 EventQueue::schedule(SimTime when, Callback cb)
 {
@@ -14,74 +36,72 @@ EventQueue::schedule(SimTime when, Callback cb)
     if (!cb)
         panic("EventQueue::schedule: empty callback");
 
-    auto node = std::make_shared<Handle::Node>();
-    node->when = when;
-    node->seq = nextSeq_++;
-    node->callback = std::move(cb);
-    heap_.push(node);
+    std::uint32_t index = acquireNode();
+    Node &node = pool_[index];
+    node.callback = std::move(cb);
+
+    Entry entry;
+    entry.when = when;
+    entry.seq = nextSeq_++;
+    entry.index = index;
+    entry.gen = node.gen;
+    heap_.push(entry);
     ++liveCount_;
-    return Handle(node);
+    return Handle(this, index, node.gen);
 }
 
 void
 EventQueue::cancel(Handle &handle)
 {
-    auto node = handle.node_.lock();
-    if (node && !node->cancelled && !node->fired) {
-        node->cancelled = true;
-        node->callback = nullptr;
+    if (handle.queue_ == this && live(handle.index_, handle.gen_)) {
+        releaseNode(handle.index_);
         --liveCount_;
     }
-    handle.node_.reset();
+    handle = Handle();
 }
 
-EventQueue::NodePtr
-EventQueue::popLive()
+const EventQueue::Entry *
+EventQueue::peekLive()
 {
     while (!heap_.empty()) {
-        NodePtr node = heap_.top();
+        const Entry &top = heap_.top();
+        if (live(top.index, top.gen))
+            return &top;
         heap_.pop();
-        if (!node->cancelled)
-            return node;
     }
     return nullptr;
+}
+
+void
+EventQueue::fireTop()
+{
+    Entry entry = heap_.top();
+    heap_.pop();
+    now_ = entry.when;
+    // Release before running: the callback may reschedule (reusing
+    // this node) and the handle must already read as not pending.
+    Callback cb = std::move(pool_[entry.index].callback);
+    releaseNode(entry.index);
+    --liveCount_;
+    cb();
 }
 
 bool
 EventQueue::runOne()
 {
-    NodePtr node = popLive();
-    if (!node)
+    if (!peekLive())
         return false;
-
-    now_ = node->when;
-    node->fired = true;
-    --liveCount_;
-    Callback cb = std::move(node->callback);
-    node->callback = nullptr;
-    cb();
+    fireTop();
     return true;
 }
 
 void
 EventQueue::runUntil(SimTime until)
 {
-    while (!heap_.empty()) {
-        // Peek at the earliest live node without executing it yet.
-        NodePtr node = heap_.top();
-        if (node->cancelled) {
-            heap_.pop();
-            continue;
-        }
-        if (node->when > until)
+    while (const Entry *top = peekLive()) {
+        if (top->when > until)
             break;
-        heap_.pop();
-        now_ = node->when;
-        node->fired = true;
-        --liveCount_;
-        Callback cb = std::move(node->callback);
-        node->callback = nullptr;
-        cb();
+        fireTop();
     }
     if (now_ < until)
         now_ = until;

@@ -5,7 +5,14 @@
  * Components schedule callbacks at future simulated times; the queue
  * executes them in time order (FIFO among equal timestamps). Scheduled
  * events can be cancelled through their Handle. Cancellation is lazy:
- * cancelled nodes stay in the heap until popped.
+ * cancelled heap entries stay in the heap until popped, but their
+ * nodes return to the freelist immediately.
+ *
+ * Nodes live in a freelist-backed pool owned by the queue; a Handle
+ * is an (index, generation) ticket into that pool, so scheduling an
+ * event allocates nothing once the pool is warm. A recycled node gets
+ * a new generation, which invalidates stale handles and stale heap
+ * entries without any per-event heap allocation.
  */
 
 #ifndef DESKPAR_SIM_EVENT_QUEUE_HH
@@ -13,7 +20,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -32,6 +38,7 @@ class EventQueue
     /**
      * Opaque reference to a scheduled event; valid until the event
      * fires or is cancelled. Default-constructed handles are inert.
+     * A Handle must not outlive the queue that issued it.
      */
     class Handle
     {
@@ -42,27 +49,20 @@ class EventQueue
         bool
         pending() const
         {
-            auto node = node_.lock();
-            return node && !node->cancelled && !node->fired;
+            return queue_ && queue_->live(index_, gen_);
         }
 
       private:
         friend class EventQueue;
 
-        struct Node
-        {
-            SimTime when = 0;
-            std::uint64_t seq = 0;
-            bool cancelled = false;
-            bool fired = false;
-            Callback callback;
-        };
-
-        explicit Handle(std::shared_ptr<Node> node)
-            : node_(std::move(node))
+        Handle(const EventQueue *queue, std::uint32_t index,
+               std::uint32_t gen)
+            : queue_(queue), index_(index), gen_(gen)
         {}
 
-        std::weak_ptr<Node> node_;
+        const EventQueue *queue_ = nullptr;
+        std::uint32_t index_ = 0;
+        std::uint32_t gen_ = 0;
     };
 
     EventQueue() = default;
@@ -112,26 +112,69 @@ class EventQueue
     bool empty() const { return liveCount_ == 0; }
 
   private:
-    using NodePtr = std::shared_ptr<Handle::Node>;
+    /** Pooled event storage, addressed by index. */
+    struct Node
+    {
+        /** Bumped on every release; stale references mismatch. */
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = 0;
+        Callback callback;
+    };
+
+    /**
+     * Heap entry: ordering keys plus the (index, generation) ticket.
+     * Entries whose generation no longer matches the pool are dead
+     * (cancelled or fired) and are skipped on pop.
+     */
+    struct Entry
+    {
+        SimTime when = 0;
+        std::uint64_t seq = 0;
+        std::uint32_t index = 0;
+        std::uint32_t gen = 0;
+    };
 
     struct Later
     {
         bool
-        operator()(const NodePtr &a, const NodePtr &b) const
+        operator()(const Entry &a, const Entry &b) const
         {
-            if (a->when != b->when)
-                return a->when > b->when;
-            return a->seq > b->seq;
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
         }
     };
 
-    /** Pop dead nodes; return the earliest live node or nullptr. */
-    NodePtr popLive();
+    /** True if the ticket still names a scheduled, uncancelled event. */
+    bool
+    live(std::uint32_t index, std::uint32_t gen) const
+    {
+        return index < pool_.size() && pool_[index].gen == gen;
+    }
+
+    /** Take a node from the freelist (growing the pool if dry). */
+    std::uint32_t acquireNode();
+
+    /** Return a node to the freelist, invalidating its generation. */
+    void releaseNode(std::uint32_t index);
+
+    /**
+     * Drop dead entries from the heap top.
+     * @return the earliest live entry, or nullptr if none remain.
+     */
+    const Entry *peekLive();
+
+    /** Pop the (live) top entry and execute its callback. */
+    void fireTop();
 
     SimTime now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::size_t liveCount_ = 0;
-    std::priority_queue<NodePtr, std::vector<NodePtr>, Later> heap_;
+    std::vector<Node> pool_;
+    std::uint32_t freeHead_ = kNoFree;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+
+    static constexpr std::uint32_t kNoFree = 0xffffffffu;
 };
 
 } // namespace deskpar::sim

@@ -138,6 +138,43 @@ TEST(EventQueue, CancelledHeadDoesNotBlockOthers)
     EXPECT_EQ(q.now(), 10u);
 }
 
+TEST(EventQueue, RecycledNodesInvalidateStaleHandles)
+{
+    EventQueue q;
+    bool ran_b = false;
+    auto a = q.schedule(10, [] {});
+    auto stale = a; // survives the cancel-reset of `a`
+    q.cancel(a);
+    // The freed node is recycled for b with a fresh generation; the
+    // stale ticket must not alias it.
+    auto b = q.schedule(20, [&] { ran_b = true; });
+    EXPECT_FALSE(a.pending());
+    EXPECT_FALSE(stale.pending());
+    EXPECT_TRUE(b.pending());
+    q.cancel(stale); // stale ticket: must not cancel b
+    EXPECT_TRUE(b.pending());
+    q.runAll();
+    EXPECT_TRUE(ran_b);
+    EXPECT_FALSE(b.pending());
+}
+
+TEST(EventQueue, PoolReuseKeepsFifoAndCancellation)
+{
+    EventQueue q;
+    int fired = 0;
+    // Churn the freelist: repeated schedule/cancel/fire cycles reuse
+    // a tiny node pool.
+    for (int round = 0; round < 100; ++round) {
+        auto keep = q.scheduleAfter(5, [&] { ++fired; });
+        auto drop = q.scheduleAfter(3, [&] { fired += 1000; });
+        q.cancel(drop);
+        q.runUntil(q.now() + 10);
+        EXPECT_FALSE(keep.pending());
+    }
+    EXPECT_EQ(fired, 100);
+    EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, ManyEventsStressOrdering)
 {
     EventQueue q;
