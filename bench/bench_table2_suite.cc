@@ -30,7 +30,7 @@ main()
     // SuiteRunner; results come back in suite row order.
     std::vector<apps::SuiteJob> jobs;
     for (const auto &entry : apps::tableTwoSuite())
-        jobs.push_back({entry.id, entry.factory, options});
+        jobs.push_back(apps::suiteJob(entry.id, options));
     std::vector<apps::AppRunResult> results =
         bench::runSuiteParallel(jobs);
 

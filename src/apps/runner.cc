@@ -1,16 +1,22 @@
 #include "apps/runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <deque>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
+#include "analysis/analyzer.hh"
 #include "apps/registry.hh"
 #include "sim/logging.hh"
+#include "trace/csv.hh"
+#include "trace/etl.hh"
+#include "trace/filter.hh"
 
 namespace deskpar::apps {
 namespace {
@@ -83,6 +89,13 @@ runTask(const std::vector<SuiteJob> &jobs, const SimTask &task,
         std::vector<std::string> &names)
 {
     const SuiteJob &job = jobs[task.job];
+    if (job.direct) {
+        if (task.iter == 0)
+            names[task.job] = job.label;
+        outputs[task.job][task.iter] =
+            job.direct(job.options, task.iter);
+        return;
+    }
     WorkloadPtr model = job.factory();
     if (!model)
         fatal("SuiteRunner: job '" + job.label +
@@ -91,6 +104,26 @@ runTask(const std::vector<SuiteJob> &jobs, const SimTask &task,
         names[task.job] = model->spec().name;
     outputs[task.job][task.iter] =
         runIteration(*model, job.options, task.iter);
+}
+
+/** Shared submission-time validation for run()/runRecoverable(). */
+std::vector<SimTask>
+buildTasks(const std::vector<SuiteJob> &jobs)
+{
+    std::vector<SimTask> tasks;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (!jobs[j].factory && !jobs[j].direct)
+            fatal("SuiteRunner: job '" + jobs[j].label +
+                  "' has no factory");
+        if (jobs[j].factory && jobs[j].direct)
+            fatal("SuiteRunner: job '" + jobs[j].label +
+                  "' sets both factory and direct");
+        if (jobs[j].options.iterations == 0)
+            fatal("runWorkload: zero iterations");
+        for (unsigned i = 0; i < jobs[j].options.iterations; ++i)
+            tasks.push_back({j, i});
+    }
+    return tasks;
 }
 
 } // namespace
@@ -103,6 +136,73 @@ suiteJob(const std::string &id, const RunOptions &options)
     job.factory = [id] { return makeWorkload(id); };
     job.options = options;
     return job;
+}
+
+SuiteJob
+replayJob(const std::string &path, const RunOptions &options,
+          const std::string &appPrefix, trace::ParseMode mode)
+{
+    SuiteJob job;
+    job.label = path;
+    job.options = options;
+    job.direct = [path, appPrefix,
+                  mode](const RunOptions &, unsigned) {
+        trace::ParseOptions popts;
+        popts.mode = mode;
+        popts.source = path;
+        trace::IngestReport report;
+        trace::TraceBundle bundle;
+        if (path.size() > 4 &&
+            path.compare(path.size() - 4, 4, ".csv") == 0) {
+            std::ifstream in(path);
+            if (!in)
+                fatal("cannot open trace '" + path + "'");
+            report = trace::readCpuUsageCsv(in, bundle, popts);
+        } else {
+            bundle = trace::readEtl(path, popts, report);
+        }
+        if (!report.ok()) {
+            // Strict: the file is rejected outright; the structured
+            // error fails this job (recoverable at the batch level).
+            // Lenient: analyze the salvaged remainder, but tell the
+            // user the result is degraded.
+            if (mode == trace::ParseMode::Strict)
+                throw trace::TraceParseError(report.errors.front());
+            warn("replay '" + path +
+                 "' degraded: " + report.summary());
+        }
+        trace::PidSet pids =
+            appPrefix.empty()
+                ? trace::allApplicationPids(bundle)
+                : trace::pidsWithPrefix(bundle, appPrefix);
+        if (pids.empty()) {
+            trace::ParseError err;
+            err.source = path;
+            err.section = "replay";
+            err.reason = appPrefix.empty()
+                             ? "trace contains no application "
+                               "processes"
+                             : "no process name starts with '" +
+                                   appPrefix + "'";
+            throw trace::TraceParseError(std::move(err));
+        }
+        IterationOutput out;
+        out.result.metrics = analysis::analyzeApp(bundle, pids);
+        out.bundle = std::move(bundle);
+        out.pids = std::move(pids);
+        return out;
+    };
+    return job;
+}
+
+bool
+SuiteOutcome::failed(std::size_t job) const
+{
+    for (const JobFailure &f : failures) {
+        if (f.job == job)
+            return true;
+    }
+    return false;
 }
 
 SuiteRunner::SuiteRunner(unsigned threads)
@@ -127,16 +227,7 @@ SuiteRunner::defaultThreads()
 std::vector<AppRunResult>
 SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
 {
-    std::vector<SimTask> tasks;
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-        if (!jobs[j].factory)
-            fatal("SuiteRunner: job '" + jobs[j].label +
-                  "' has no factory");
-        if (jobs[j].options.iterations == 0)
-            fatal("runWorkload: zero iterations");
-        for (unsigned i = 0; i < jobs[j].options.iterations; ++i)
-            tasks.push_back({j, i});
-    }
+    std::vector<SimTask> tasks = buildTasks(jobs);
 
     std::vector<std::vector<std::optional<IterationOutput>>> outputs(
         jobs.size());
@@ -195,6 +286,126 @@ SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
         }
     }
     return results;
+}
+
+SuiteOutcome
+SuiteRunner::runRecoverable(const std::vector<SuiteJob> &jobs) const
+{
+    std::vector<SimTask> tasks = buildTasks(jobs);
+
+    std::vector<std::vector<std::optional<IterationOutput>>> outputs(
+        jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j)
+        outputs[j].resize(jobs[j].options.iterations);
+    std::vector<std::string> names(jobs.size());
+
+    // One flag per job: set on first failure so siblings of a failed
+    // job are cancelled instead of run (a corrupt trace fails the
+    // same way every iteration).
+    std::vector<std::atomic<bool>> failed(jobs.size());
+    std::vector<JobFailure> failures;
+    std::mutex failMutex;
+
+    auto recordFailure = [&](std::size_t j, const FatalError &e) {
+        std::lock_guard<std::mutex> lock(failMutex);
+        if (failed[j].exchange(true, std::memory_order_relaxed))
+            return;
+        JobFailure f;
+        f.job = j;
+        f.label = jobs[j].label;
+        if (auto *parse =
+                dynamic_cast<const trace::TraceParseError *>(&e)) {
+            f.error = parse->error();
+            f.structured = true;
+        } else {
+            f.error.reason = e.what();
+        }
+        if (f.error.source.empty())
+            f.error.source = jobs[j].label;
+        failures.push_back(std::move(f));
+    };
+
+    // PanicError and foreign exceptions abort the whole batch (they
+    // are bugs, not bad input); only FatalError degrades per-job.
+    auto runOne = [&](const SimTask &task) {
+        if (failed[task.job].load(std::memory_order_relaxed))
+            return;
+        try {
+            runTask(jobs, task, outputs, names);
+        } catch (const PanicError &) {
+            throw;
+        } catch (const FatalError &e) {
+            recordFailure(task.job, e);
+        }
+    };
+
+    std::size_t workers =
+        std::min<std::size_t>(threads_, tasks.size());
+    if (workers <= 1) {
+        for (const SimTask &task : tasks)
+            runOne(task);
+    } else {
+        StealingQueues queues(workers, tasks.size());
+        std::atomic<bool> abort{false};
+        std::exception_ptr firstError;
+        std::mutex errorMutex;
+
+        auto worker = [&](std::size_t self) {
+            std::size_t index;
+            while (!abort.load(std::memory_order_relaxed) &&
+                   queues.next(self, index)) {
+                try {
+                    runOne(tasks[index]);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    abort.store(true, std::memory_order_relaxed);
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(worker, w);
+        for (auto &thread : pool)
+            thread.join();
+        if (firstError)
+            std::rethrow_exception(firstError);
+    }
+
+    // Scheduling may interleave failures arbitrarily; report them in
+    // submission order so batch output is deterministic.
+    std::sort(failures.begin(), failures.end(),
+              [](const JobFailure &a, const JobFailure &b) {
+                  return a.job < b.job;
+              });
+
+    SuiteOutcome outcome;
+    outcome.failures = std::move(failures);
+    outcome.ingest.source = "<suite>";
+    for (const JobFailure &f : outcome.failures)
+        outcome.ingest.note(f.error, 64);
+    outcome.ingest.recordsParsed =
+        jobs.size() - outcome.failures.size();
+    outcome.ingest.recordsSkipped = outcome.failures.size();
+
+    outcome.results.resize(jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (failed[j].load(std::memory_order_relaxed)) {
+            outcome.results[j].agg.app = jobs[j].label;
+            continue;
+        }
+        outcome.results[j].agg.app = names[j];
+        unsigned iterations = jobs[j].options.iterations;
+        for (unsigned i = 0; i < iterations; ++i) {
+            foldIteration(outcome.results[j],
+                          std::move(*outputs[j][i]),
+                          i + 1 == iterations);
+        }
+    }
+    return outcome;
 }
 
 std::vector<AppRunResult>

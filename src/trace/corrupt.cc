@@ -1,0 +1,254 @@
+#include "trace/corrupt.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace deskpar::trace {
+
+namespace {
+
+/** splitmix64: tiny, well-mixed, and stable across platforms. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+struct Rng
+{
+    std::uint64_t state;
+
+    std::uint64_t
+    next()
+    {
+        state = mix(state);
+        return state;
+    }
+
+    /** Uniform in [0, bound); bound 0 yields 0. */
+    std::size_t
+    below(std::size_t bound)
+    {
+        return bound ? static_cast<std::size_t>(next() % bound) : 0;
+    }
+};
+
+/** Offsets of line starts in @p data ('\n'-separated). */
+std::vector<std::pair<std::size_t, std::size_t>>
+lineSpans(const std::string &data)
+{
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    std::size_t start = 0;
+    while (start < data.size()) {
+        std::size_t nl = data.find('\n', start);
+        std::size_t end = nl == std::string::npos ? data.size() : nl;
+        spans.emplace_back(start, end);
+        if (nl == std::string::npos)
+            break;
+        start = nl + 1;
+    }
+    return spans;
+}
+
+} // namespace
+
+std::string
+Mutation::describe() const
+{
+    auto name = [](Kind k) {
+        switch (k) {
+          case Kind::Truncate:
+            return "Truncate";
+          case Kind::BitFlip:
+            return "BitFlip";
+          case Kind::ByteSet:
+            return "ByteSet";
+          case Kind::DeleteRange:
+            return "DeleteRange";
+          case Kind::DuplicateRange:
+            return "DuplicateRange";
+          case Kind::InsertGarbage:
+            return "InsertGarbage";
+          case Kind::DeleteCsvField:
+            return "DeleteCsvField";
+          case Kind::BreakQuote:
+            return "BreakQuote";
+          case Kind::JunkNumber:
+            return "JunkNumber";
+          case Kind::SwapLines:
+            return "SwapLines";
+          case Kind::kCount:
+            break;
+        }
+        return "?";
+    };
+    return std::string(name(kind)) + " @" + std::to_string(pos) +
+           " len " + std::to_string(length) + " val " +
+           std::to_string(value);
+}
+
+FaultInjector::FaultInjector(std::string original, std::uint64_t seed,
+                             bool text)
+    : original_(std::move(original)), seed_(seed), text_(text)
+{}
+
+Mutation
+FaultInjector::mutationFor(std::size_t index) const
+{
+    Rng rng{mix(seed_ ^ (0x5eedull + index))};
+    auto byteKinds = static_cast<std::size_t>(
+        Mutation::Kind::DeleteCsvField);
+    auto allKinds =
+        static_cast<std::size_t>(Mutation::Kind::kCount);
+    std::size_t kinds = text_ ? allKinds : byteKinds;
+
+    Mutation m;
+    // Rotate through the kinds so every family is covered evenly,
+    // regardless of corpus size.
+    m.kind = static_cast<Mutation::Kind>(index % kinds);
+    m.pos = rng.below(original_.size() + 1);
+    m.length = 1 + rng.below(16);
+    m.value = static_cast<std::uint8_t>(rng.next() & 0xff);
+    return m;
+}
+
+std::string
+FaultInjector::mutant(std::size_t index) const
+{
+    return apply(original_, mutationFor(index),
+                 mix(seed_ ^ index));
+}
+
+std::string
+FaultInjector::apply(const std::string &data, const Mutation &m,
+                     std::uint64_t seed)
+{
+    std::string out = data;
+    std::size_t size = out.size();
+    std::size_t pos = size ? m.pos % size : 0;
+
+    switch (m.kind) {
+      case Mutation::Kind::Truncate:
+        out.resize(m.pos % (size + 1));
+        break;
+
+      case Mutation::Kind::BitFlip:
+        if (size)
+            out[pos] = static_cast<char>(
+                static_cast<std::uint8_t>(out[pos]) ^
+                (1u << (m.value & 7)));
+        break;
+
+      case Mutation::Kind::ByteSet:
+        if (size)
+            out[pos] = static_cast<char>(m.value);
+        break;
+
+      case Mutation::Kind::DeleteRange:
+        if (size)
+            out.erase(pos, std::min(m.length, size - pos));
+        break;
+
+      case Mutation::Kind::DuplicateRange:
+        if (size) {
+            std::string chunk =
+                out.substr(pos, std::min(m.length, size - pos));
+            out.insert(pos, chunk);
+        }
+        break;
+
+      case Mutation::Kind::InsertGarbage: {
+        Rng rng{mix(seed ^ m.pos)};
+        std::string garbage(m.length, '\0');
+        for (char &c : garbage)
+            c = static_cast<char>(rng.next() & 0xff);
+        out.insert(m.pos % (size + 1), garbage);
+        break;
+      }
+
+      case Mutation::Kind::DeleteCsvField: {
+        auto spans = lineSpans(out);
+        if (spans.empty())
+            break;
+        auto [start, end] = spans[m.pos % spans.size()];
+        // Field boundaries: start, every comma, end. Remove one
+        // field together with one adjacent comma.
+        std::vector<std::size_t> commas;
+        for (std::size_t i = start; i < end; ++i) {
+            if (out[i] == ',')
+                commas.push_back(i);
+        }
+        if (commas.empty()) {
+            out.erase(start, end - start);
+            break;
+        }
+        std::size_t field = m.value % (commas.size() + 1);
+        std::size_t from =
+            field == 0 ? start : commas[field - 1];
+        std::size_t to =
+            field == commas.size() ? end : commas[field];
+        // Keep exactly one of the two adjacent commas.
+        if (field == 0)
+            ++to;
+        out.erase(from, to - from);
+        break;
+      }
+
+      case Mutation::Kind::BreakQuote:
+        out.insert(m.pos % (size + 1), 1, '"');
+        break;
+
+      case Mutation::Kind::JunkNumber: {
+        // Find a digit run at or after pos and vandalize it.
+        std::size_t d = out.find_first_of("0123456789", pos);
+        if (d == std::string::npos)
+            d = out.find_first_of("0123456789");
+        if (d == std::string::npos)
+            break;
+        std::size_t runEnd = d;
+        while (runEnd < out.size() && out[runEnd] >= '0' &&
+               out[runEnd] <= '9')
+            ++runEnd;
+        if (m.value & 1)
+            out.insert(runEnd, "xyz");
+        else
+            out.replace(d, runEnd - d, "99999999999999999999");
+        break;
+      }
+
+      case Mutation::Kind::SwapLines: {
+        auto spans = lineSpans(out);
+        if (spans.size() < 2)
+            break;
+        std::size_t a = m.pos % spans.size();
+        std::size_t b = (m.pos + 1 + m.value % (spans.size() - 1)) %
+                        spans.size();
+        if (a == b)
+            break;
+        if (a > b)
+            std::swap(a, b);
+        std::string lineA =
+            out.substr(spans[a].first,
+                       spans[a].second - spans[a].first);
+        std::string lineB =
+            out.substr(spans[b].first,
+                       spans[b].second - spans[b].first);
+        // Replace back-to-front so earlier offsets stay valid.
+        out.replace(spans[b].first,
+                    spans[b].second - spans[b].first, lineA);
+        out.replace(spans[a].first,
+                    spans[a].second - spans[a].first, lineB);
+        break;
+      }
+
+      case Mutation::Kind::kCount:
+        break;
+    }
+    return out;
+}
+
+} // namespace deskpar::trace

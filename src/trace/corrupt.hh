@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic fault injection for serialized traces.
+ *
+ * A FaultInjector owns one valid serialized trace (.etl bytes or a
+ * CSV text) and derives an unbounded family of corrupted variants
+ * from a seed: truncations, bit flips, byte stomps, range deletion
+ * and duplication, garbage insertion, and CSV-aware mutations (field
+ * deletion, quote breakage, numeric junk, line swaps that disorder
+ * timestamps). Mutant @e i is a pure function of (bytes, seed, i),
+ * so a failing index reproduces exactly across runs and machines.
+ *
+ * The corpus contract (tests/trace/corpus_test.cc): every mutant
+ * either decodes cleanly or yields a structured ParseError — never a
+ * process abort, foreign exception, or sanitizer finding.
+ */
+
+#ifndef DESKPAR_TRACE_CORRUPT_HH
+#define DESKPAR_TRACE_CORRUPT_HH
+
+#include <cstdint>
+#include <string>
+
+namespace deskpar::trace {
+
+/** One deterministic corruption applied to a serialized trace. */
+struct Mutation
+{
+    enum class Kind : std::uint8_t {
+        /** Cut the tail off at pos. */
+        Truncate,
+        /** Flip one bit of the byte at pos. */
+        BitFlip,
+        /** Overwrite the byte at pos with value. */
+        ByteSet,
+        /** Remove length bytes at pos. */
+        DeleteRange,
+        /** Repeat the length bytes at pos twice. */
+        DuplicateRange,
+        /** Insert length pseudo-random bytes at pos. */
+        InsertGarbage,
+        /** Delete one comma-separated field of a text line. */
+        DeleteCsvField,
+        /** Insert a lone '"' mid-line (text inputs). */
+        BreakQuote,
+        /** Append junk to a digit run / blow up a number (text). */
+        JunkNumber,
+        /** Swap two whole lines (disorders CSV timestamps). */
+        SwapLines,
+        kCount,
+    };
+
+    Kind kind = Kind::Truncate;
+    std::size_t pos = 0;
+    std::size_t length = 0;
+    std::uint8_t value = 0;
+
+    /** "BitFlip @1234 bit 3" — for test failure messages. */
+    std::string describe() const;
+};
+
+/** Deterministic mutant factory over one serialized trace. */
+class FaultInjector
+{
+  public:
+    /**
+     * @p text selects the CSV-aware mutation kinds in the rotation;
+     * binary inputs get only the byte-level kinds.
+     */
+    FaultInjector(std::string original, std::uint64_t seed,
+                  bool text = false);
+
+    const std::string &original() const { return original_; }
+
+    /** The mutation mutant(index) applies. */
+    Mutation mutationFor(std::size_t index) const;
+
+    /** The corrupted variant @p index (pure in (bytes, seed, index)). */
+    std::string mutant(std::size_t index) const;
+
+    /** Apply @p m to arbitrary bytes (exposed for tests). */
+    static std::string apply(const std::string &data,
+                             const Mutation &m, std::uint64_t seed);
+
+  private:
+    std::string original_;
+    std::uint64_t seed_;
+    bool text_;
+};
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_CORRUPT_HH

@@ -1,8 +1,9 @@
 #include "trace/csv.hh"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <ostream>
-#include <sstream>
 
 #include "sim/logging.hh"
 
@@ -37,61 +38,297 @@ processLabel(const TraceBundle &bundle, Pid pid)
     return name + " (" + std::to_string(pid) + ")";
 }
 
-/** Parse "name (pid)" back into its parts. */
-void
-parseProcessLabel(const std::string &label, std::string &name, Pid &pid)
+std::string
+sourceLabel(const ParseOptions &options)
 {
-    auto open = label.rfind(" (");
-    auto close = label.rfind(')');
-    if (open == std::string::npos || close == std::string::npos ||
-        close < open) {
-        fatal("csv: malformed process label: " + label);
-    }
-    name = label.substr(0, open);
-    pid = static_cast<Pid>(
-        std::stoul(label.substr(open + 2, close - open - 2)));
+    return options.source.empty() ? "<stream>" : options.source;
 }
 
-std::uint64_t
-toU64(const std::string &s)
+/** Base error for one CSV row; the caller fills field/reason. */
+ParseError
+rowError(const ParseOptions &options, std::uint64_t line,
+         std::string field, std::string reason)
 {
-    if (s.empty())
-        fatal("csv: empty numeric field");
-    return std::stoull(s);
+    ParseError e;
+    e.source = sourceLabel(options);
+    e.section = "row";
+    e.field = std::move(field);
+    e.line = line;
+    e.reason = std::move(reason);
+    return e;
+}
+
+/**
+ * Parse a bounded unsigned decimal field into @p out; on failure
+ * fills @p reason. Shared by every numeric column so Pid/Tid/CpuId
+ * truncation can't corrupt values silently.
+ */
+bool
+parseBounded(const std::string &text, std::uint64_t max,
+             std::uint64_t &out, std::string &reason)
+{
+    auto parsed = parseCsvU64(text);
+    if (!parsed) {
+        reason = parsed.error().reason;
+        return false;
+    }
+    if (*parsed > max) {
+        reason = "value " + text + " out of range (max " +
+                 std::to_string(max) + ")";
+        return false;
+    }
+    out = *parsed;
+    return true;
+}
+
+/** Parse "name (pid)" back into its parts; fills @p reason on error. */
+bool
+parseProcessLabel(const std::string &label, std::string &name,
+                  Pid &pid, std::string &reason)
+{
+    auto open = label.rfind(" (");
+    if (open == std::string::npos || label.empty() ||
+        label.back() != ')') {
+        reason = "malformed process label '" + label +
+                 "' (want 'name (pid)')";
+        return false;
+    }
+    std::uint64_t value = 0;
+    if (!parseBounded(
+            label.substr(open + 2, label.size() - open - 3),
+            std::numeric_limits<Pid>::max(), value, reason)) {
+        reason = "process label '" + label + "': " + reason;
+        return false;
+    }
+    name = label.substr(0, open);
+    pid = static_cast<Pid>(value);
+    return true;
+}
+
+/**
+ * Decode the numeric column @p index of @p fields into @p out
+ * (bounded by @p max); on failure produces the row's ParseError.
+ */
+bool
+numericColumn(const std::vector<std::string> &fields,
+              std::size_t index, const char *name, std::uint64_t max,
+              std::uint64_t &out, const ParseOptions &options,
+              std::uint64_t line, ParseError &err)
+{
+    std::string reason;
+    if (parseBounded(fields[index], max, out, reason))
+        return true;
+    err = rowError(options, line, name, reason);
+    return false;
+}
+
+/** Decode a "name (pid)" column with a PID cross-check column. */
+bool
+labelColumn(const std::vector<std::string> &fields,
+            std::size_t labelIndex, const char *labelName,
+            std::size_t pidIndex, const char *pidName,
+            std::string &name, Pid &pid,
+            const ParseOptions &options, std::uint64_t line,
+            ParseError &err)
+{
+    std::string reason;
+    if (!parseProcessLabel(fields[labelIndex], name, pid, reason)) {
+        err = rowError(options, line, labelName, reason);
+        return false;
+    }
+    std::uint64_t pidField = 0;
+    if (!numericColumn(fields, pidIndex, pidName,
+                       std::numeric_limits<Pid>::max(), pidField,
+                       options, line, err)) {
+        return false;
+    }
+    if (pidField != pid) {
+        err = rowError(options, line, pidName,
+                       "label/PID mismatch ('" + fields[labelIndex] +
+                           "' vs " + fields[pidIndex] + ")");
+        return false;
+    }
+    return true;
+}
+
+constexpr std::uint64_t kU64Max =
+    std::numeric_limits<std::uint64_t>::max();
+constexpr std::uint64_t kU32Max =
+    std::numeric_limits<std::uint32_t>::max();
+
+/**
+ * Read the header line and all rows of @p in, dispatching each
+ * well-split row to @p parseRow. Implements the strict/lenient
+ * record-skipping contract shared by both CSV readers.
+ */
+template <typename RowFn>
+IngestReport
+readCsv(std::istream &in, const ParseOptions &options,
+        const char *headerPrefix, std::size_t fieldCount,
+        RowFn &&parseRow)
+{
+    IngestReport report;
+    report.source = sourceLabel(options);
+    report.mode = options.mode;
+
+    std::string line;
+    if (!std::getline(in, line)) {
+        ParseError e;
+        e.source = report.source;
+        e.section = "header";
+        e.line = 1;
+        e.reason = "empty input";
+        report.note(std::move(e), options.maxStoredErrors);
+        return report;
+    }
+    if (line.rfind(headerPrefix, 0) != 0) {
+        ParseError e;
+        e.source = report.source;
+        e.section = "header";
+        e.line = 1;
+        e.reason = std::string("unexpected header (want '") +
+                   headerPrefix + "...')";
+        report.note(std::move(e), options.maxStoredErrors);
+        return report;
+    }
+
+    std::uint64_t lineNo = 1;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+
+        ParseError err;
+        bool good = false;
+        auto fields = splitCsvFields(line);
+        if (!fields) {
+            err = fields.error();
+            err.source = report.source;
+            err.section = "row";
+            err.line = lineNo;
+        } else if (fields->size() != fieldCount) {
+            err = rowError(options, lineNo, "",
+                           "bad field count (" +
+                               std::to_string(fields->size()) +
+                               ", want " +
+                               std::to_string(fieldCount) + ")");
+        } else {
+            good = parseRow(*fields, lineNo, err);
+        }
+
+        if (good) {
+            ++report.recordsParsed;
+            continue;
+        }
+        ++report.recordsSkipped;
+        report.note(std::move(err), options.maxStoredErrors);
+        if (options.mode == ParseMode::Strict)
+            break;
+    }
+    return report;
 }
 
 } // namespace
 
-std::vector<std::string>
-splitCsvLine(const std::string &line)
+ParseResult<std::uint64_t>
+parseCsvU64(const std::string &field)
 {
+    if (field.empty()) {
+        ParseError e;
+        e.reason = "empty numeric field";
+        return e;
+    }
+    std::uint64_t value = 0;
+    for (char c : field) {
+        if (c < '0' || c > '9') {
+            ParseError e;
+            e.reason = "non-numeric character '" +
+                       std::string(1, c) + "' in field '" + field +
+                       "'";
+            return e;
+        }
+        auto digit = static_cast<std::uint64_t>(c - '0');
+        if (value > (kU64Max - digit) / 10) {
+            ParseError e;
+            e.reason = "field '" + field + "' overflows 64 bits";
+            return e;
+        }
+        value = value * 10 + digit;
+    }
+    return value;
+}
+
+ParseResult<std::vector<std::string>>
+splitCsvFields(const std::string &line)
+{
+    std::size_t size = line.size();
+    if (size && line[size - 1] == '\r')
+        --size;
+
     std::vector<std::string> fields;
     std::string field;
-    bool quoted = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
+    bool quoted = false;     // inside a quoted region
+    bool wasQuoted = false;  // current field had a closing quote
+    bool atStart = true;     // at the first byte of the field
+    std::size_t openQuoteCol = 0;
+
+    auto fail = [&](std::size_t column, std::string reason) {
+        ParseError e;
+        e.column = column;
+        e.reason = std::move(reason);
+        return e;
+    };
+
+    for (std::size_t i = 0; i < size; ++i) {
         char c = line[i];
         if (quoted) {
             if (c == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
+                if (i + 1 < size && line[i + 1] == '"') {
                     field += '"';
                     ++i;
                 } else {
                     quoted = false;
+                    wasQuoted = true;
                 }
             } else {
                 field += c;
             }
-        } else if (c == '"') {
-            quoted = true;
         } else if (c == ',') {
-            fields.push_back(field);
+            fields.push_back(std::move(field));
             field.clear();
-        } else if (c != '\r') {
+            quoted = wasQuoted = false;
+            atStart = true;
+        } else if (wasQuoted) {
+            return fail(i + 1,
+                        "text after closing quote in field " +
+                            std::to_string(fields.size() + 1));
+        } else if (c == '"') {
+            if (!atStart) {
+                return fail(i + 1,
+                            "quote inside unquoted field " +
+                                std::to_string(fields.size() + 1));
+            }
+            quoted = true;
+            atStart = false;
+            openQuoteCol = i + 1;
+        } else {
             field += c;
+            atStart = false;
         }
     }
-    fields.push_back(field);
+    if (quoted) {
+        return fail(openQuoteCol,
+                    "unterminated quoted field " +
+                        std::to_string(fields.size() + 1));
+    }
+    fields.push_back(std::move(field));
     return fields;
+}
+
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    return splitCsvFields(line).take();
 }
 
 void
@@ -143,64 +380,65 @@ writeGpuUtilCsv(const TraceBundle &bundle, const std::string &path)
     writeGpuUtilCsv(bundle, out);
 }
 
-void
-readCpuUsageCsv(std::istream &in, TraceBundle &bundle)
+IngestReport
+readCpuUsageCsv(std::istream &in, TraceBundle &bundle,
+                const ParseOptions &options)
 {
-    std::string line;
-    if (!std::getline(in, line))
-        fatal("readCpuUsageCsv: empty input");
-    if (line.rfind("New Process,", 0) != 0)
-        fatal("readCpuUsageCsv: unexpected header");
-
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        auto fields = splitCsvLine(line);
-        if (fields.size() != 9)
-            fatal("readCpuUsageCsv: bad field count");
+    auto row = [&](const std::vector<std::string> &fields,
+                   std::uint64_t line, ParseError &err) {
         CSwitchEvent e;
-        std::string name;
-        Pid pid = 0;
-        parseProcessLabel(fields[0], name, pid);
-        e.newPid = static_cast<Pid>(toU64(fields[1]));
-        if (pid != e.newPid)
-            fatal("readCpuUsageCsv: label/PID mismatch");
-        bundle.processNames[e.newPid] = name;
-        e.newTid = static_cast<Tid>(toU64(fields[2]));
-        e.cpu = static_cast<CpuId>(toU64(fields[3]));
-        e.readyTime = toU64(fields[4]);
-        e.timestamp = toU64(fields[5]);
-        parseProcessLabel(fields[6], name, pid);
-        e.oldPid = static_cast<Pid>(toU64(fields[7]));
-        bundle.processNames[e.oldPid] = name;
-        e.oldTid = static_cast<Tid>(toU64(fields[8]));
+        std::string newName, oldName;
+        Pid newPid = 0, oldPid = 0;
+        std::uint64_t v = 0;
+        if (!labelColumn(fields, 0, "New Process", 1, "New PID",
+                         newName, newPid, options, line, err))
+            return false;
+        e.newPid = newPid;
+        if (!numericColumn(fields, 2, "New TID", kU32Max, v, options,
+                           line, err))
+            return false;
+        e.newTid = static_cast<Tid>(v);
+        if (!numericColumn(fields, 3, "CPU", kU32Max, v, options,
+                           line, err))
+            return false;
+        e.cpu = static_cast<CpuId>(v);
+        if (!numericColumn(fields, 4, "Ready Time (ns)", kU64Max,
+                           e.readyTime, options, line, err))
+            return false;
+        if (!numericColumn(fields, 5, "Switch-In Time (ns)", kU64Max,
+                           e.timestamp, options, line, err))
+            return false;
+        if (!labelColumn(fields, 6, "Old Process", 7, "Old PID",
+                         oldName, oldPid, options, line, err))
+            return false;
+        e.oldPid = oldPid;
+        if (!numericColumn(fields, 8, "Old TID", kU32Max, v, options,
+                           line, err))
+            return false;
+        e.oldTid = static_cast<Tid>(v);
+
+        bundle.processNames[e.newPid] = newName;
+        bundle.processNames[e.oldPid] = oldName;
         bundle.cswitches.push_back(e);
-    }
+        return true;
+    };
+    return readCsv(in, options, "New Process,", 9, row);
 }
 
-void
-readGpuUtilCsv(std::istream &in, TraceBundle &bundle)
+IngestReport
+readGpuUtilCsv(std::istream &in, TraceBundle &bundle,
+               const ParseOptions &options)
 {
-    std::string line;
-    if (!std::getline(in, line))
-        fatal("readGpuUtilCsv: empty input");
-    if (line.rfind("Process,", 0) != 0)
-        fatal("readGpuUtilCsv: unexpected header");
-
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
-        auto fields = splitCsvLine(line);
-        if (fields.size() != 7)
-            fatal("readGpuUtilCsv: bad field count");
+    auto row = [&](const std::vector<std::string> &fields,
+                   std::uint64_t line, ParseError &err) {
         GpuPacketEvent e;
         std::string name;
         Pid pid = 0;
-        parseProcessLabel(fields[0], name, pid);
-        e.pid = static_cast<Pid>(toU64(fields[1]));
-        if (pid != e.pid)
-            fatal("readGpuUtilCsv: label/PID mismatch");
-        bundle.processNames[e.pid] = name;
+        std::uint64_t v = 0;
+        if (!labelColumn(fields, 0, "Process", 1, "PID", name, pid,
+                         options, line, err))
+            return false;
+        e.pid = pid;
 
         const std::string &engine = fields[2];
         bool found = false;
@@ -212,15 +450,47 @@ readGpuUtilCsv(std::istream &in, TraceBundle &bundle)
                 break;
             }
         }
-        if (!found)
-            fatal("readGpuUtilCsv: unknown engine " + engine);
+        if (!found) {
+            err = rowError(options, line, "Engine",
+                           "unknown engine '" + engine + "'");
+            return false;
+        }
 
-        e.queueSlot = static_cast<std::uint8_t>(toU64(fields[3]));
-        e.queued = toU64(fields[4]);
-        e.start = toU64(fields[5]);
-        e.finish = toU64(fields[6]);
+        if (!numericColumn(fields, 3, "Queue Slot", 0xff, v, options,
+                           line, err))
+            return false;
+        e.queueSlot = static_cast<std::uint8_t>(v);
+        if (!numericColumn(fields, 4, "Queued (ns)", kU64Max,
+                           e.queued, options, line, err))
+            return false;
+        if (!numericColumn(fields, 5, "Start Execution (ns)", kU64Max,
+                           e.start, options, line, err))
+            return false;
+        if (!numericColumn(fields, 6, "Finished (ns)", kU64Max,
+                           e.finish, options, line, err))
+            return false;
+
+        bundle.processNames[e.pid] = name;
         bundle.gpuPackets.push_back(e);
-    }
+        return true;
+    };
+    return readCsv(in, options, "Process,", 7, row);
+}
+
+void
+readCpuUsageCsv(std::istream &in, TraceBundle &bundle)
+{
+    IngestReport report = readCpuUsageCsv(in, bundle, ParseOptions{});
+    if (!report.ok())
+        throw TraceParseError(report.errors.front());
+}
+
+void
+readGpuUtilCsv(std::istream &in, TraceBundle &bundle)
+{
+    IngestReport report = readGpuUtilCsv(in, bundle, ParseOptions{});
+    if (!report.ok())
+        throw TraceParseError(report.errors.front());
 }
 
 } // namespace deskpar::trace

@@ -10,6 +10,12 @@
  * This module writes those CSVs from a TraceBundle and parses them
  * back, so the offline half of the pipeline (custom scripts processing
  * wpaexporter output) can be exercised end to end.
+ *
+ * Ingestion is recoverable (parse.hh): the report-returning readers
+ * never throw on malformed content; in strict mode the first bad
+ * record fails the file, in lenient mode bad records are skipped and
+ * counted. The legacy void readers are strict wrappers that throw
+ * TraceParseError.
  */
 
 #ifndef DESKPAR_TRACE_CSV_HH
@@ -19,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/parse.hh"
 #include "trace/session.hh"
 
 namespace deskpar::trace {
@@ -35,18 +42,43 @@ void writeGpuUtilCsv(const TraceBundle &bundle, const std::string &path);
 /**
  * Parse a "CPU Usage (Precise)" CSV back into cswitch events and the
  * process-name table of @p bundle. Header row required. Other fields
- * of @p bundle are left untouched.
+ * of @p bundle are left untouched. Never throws on malformed content:
+ * defects are reported per ParseOptions::mode (strict: first defect
+ * stops the file; lenient: defective rows are skipped and counted).
  */
-void readCpuUsageCsv(std::istream &in, TraceBundle &bundle);
+IngestReport readCpuUsageCsv(std::istream &in, TraceBundle &bundle,
+                             const ParseOptions &options);
 
 /** Parse a "GPU Utilization" CSV back into @p bundle. */
+IngestReport readGpuUtilCsv(std::istream &in, TraceBundle &bundle,
+                            const ParseOptions &options);
+
+/**
+ * Legacy strict readers: throw TraceParseError (a FatalError) on the
+ * first malformed record.
+ */
+void readCpuUsageCsv(std::istream &in, TraceBundle &bundle);
 void readGpuUtilCsv(std::istream &in, TraceBundle &bundle);
 
 /**
  * Split one CSV line into fields. Handles quoted fields containing
- * commas; exposed for tests.
+ * commas and doubled quotes. Defects are located by 1-based column:
+ *  - a quote opening anywhere but the start of a field (a"b,c);
+ *  - text following a closing quote ("ab"x,c);
+ *  - an unterminated quoted field at end of line.
  */
+ParseResult<std::vector<std::string>>
+splitCsvFields(const std::string &line);
+
+/** Legacy wrapper: throws TraceParseError on malformed quoting. */
 std::vector<std::string> splitCsvLine(const std::string &line);
+
+/**
+ * Parse a full unsigned 64-bit decimal field. Rejects empty fields,
+ * non-digits, trailing junk (123xyz) and overflow; never throws.
+ * Exposed for tests.
+ */
+ParseResult<std::uint64_t> parseCsvU64(const std::string &field);
 
 } // namespace deskpar::trace
 

@@ -1,6 +1,7 @@
 #include "trace/etl.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -25,6 +26,30 @@ enum class Section : std::uint8_t {
     End = 0xff,
 };
 
+const char *
+sectionName(Section tag)
+{
+    switch (tag) {
+      case Section::ProcessNames:
+        return "ProcessNames";
+      case Section::CSwitch:
+        return "CSwitch";
+      case Section::GpuPackets:
+        return "GpuPackets";
+      case Section::Frames:
+        return "Frames";
+      case Section::ThreadLife:
+        return "ThreadLife";
+      case Section::ProcessLife:
+        return "ProcessLife";
+      case Section::Markers:
+        return "Markers";
+      case Section::End:
+        return "End";
+    }
+    return "Unknown";
+}
+
 void
 putString(std::string &out, const std::string &s)
 {
@@ -32,15 +57,134 @@ putString(std::string &out, const std::string &s)
     out.append(s);
 }
 
-std::string
-getString(const std::string &data, std::size_t &pos)
+/** Append one `tag, varint length, payload` section frame. */
+void
+putSection(std::string &out, Section tag, const std::string &payload)
 {
-    std::uint64_t len = getVarint(data, pos);
-    if (pos + len > data.size())
-        fatal("readEtl: truncated string");
-    std::string s = data.substr(pos, len);
-    pos += len;
-    return s;
+    out.push_back(static_cast<char>(tag));
+    putVarint(out, payload.size());
+    out.append(payload);
+}
+
+/**
+ * Bounded no-throw varint decode; @p limit is the end of the current
+ * section frame. On failure @p err holds the failing byte offset
+ * relative to @p data (the caller rebases past the magic).
+ */
+bool
+getBounded(const std::string &data, std::size_t &pos,
+           std::size_t limit, std::uint64_t &value, ParseError &err)
+{
+    value = 0;
+    unsigned shift = 0;
+    std::size_t start = pos;
+    while (true) {
+        if (pos >= limit) {
+            err.offset = pos;
+            err.reason = "truncated varint";
+            return false;
+        }
+        if (shift >= 64) {
+            err.offset = start;
+            err.reason = "varint overflow (more than 64 bits)";
+            return false;
+        }
+        auto byte = static_cast<std::uint8_t>(data[pos++]);
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+    }
+}
+
+/** Bounded no-throw string decode (varint length + bytes). */
+bool
+getBoundedString(const std::string &data, std::size_t &pos,
+                 std::size_t limit, std::string &s, ParseError &err)
+{
+    std::uint64_t len = 0;
+    if (!getBounded(data, pos, limit, len, err))
+        return false;
+    if (len > limit - pos) {
+        err.offset = pos;
+        err.reason = "truncated string (length " +
+                     std::to_string(len) + ", " +
+                     std::to_string(limit - pos) + " bytes left)";
+        return false;
+    }
+    s = data.substr(pos, len);
+    pos += static_cast<std::size_t>(len);
+    return true;
+}
+
+/**
+ * Shared decoding state of one readEtl call: the slurped body, the
+ * report under construction, and the options. Body offsets are
+ * rebased past the magic in every diagnostic.
+ */
+struct EtlReader
+{
+    const std::string &data;
+    const ParseOptions &options;
+    IngestReport &report;
+
+    std::size_t pos = 0;
+
+    /** Rebase a body position to a whole-file byte offset. */
+    std::uint64_t fileOffset(std::size_t p) const
+    {
+        return p + sizeof(kMagic);
+    }
+
+    ParseError
+    located(ParseError err, const char *section,
+            std::uint64_t record) const
+    {
+        err.source = report.source;
+        err.section = section;
+        err.record = record;
+        if (err.offset != ParseError::kNoPosition)
+            err.offset = fileOffset(static_cast<std::size_t>(err.offset));
+        return err;
+    }
+
+    ParseError
+    makeError(const char *section, std::uint64_t record,
+              std::size_t bodyPos, std::string reason) const
+    {
+        ParseError err;
+        err.offset = bodyPos;
+        err.reason = std::move(reason);
+        return located(std::move(err), section, record);
+    }
+
+    void
+    note(ParseError err)
+    {
+        report.note(std::move(err), options.maxStoredErrors);
+    }
+};
+
+/**
+ * Decode @p count records of one section via @p record(i, err).
+ * Returns false on the first defective record after noting its
+ * diagnostic and counting the section remainder as skipped.
+ */
+template <typename RecordFn>
+bool
+decodeRecords(EtlReader &r, const char *section, std::uint64_t count,
+              RecordFn &&record)
+{
+    for (std::uint64_t i = 0; i < count; ++i) {
+        ParseError err;
+        if (!record(i, err)) {
+            r.note(r.located(std::move(err), section, i));
+            r.report.recordsSkipped += count - i;
+            return false;
+        }
+        ++r.report.recordsParsed;
+    }
+    return true;
 }
 
 } // namespace
@@ -55,27 +199,30 @@ putVarint(std::string &out, std::uint64_t value)
     out.push_back(static_cast<char>(value));
 }
 
+bool
+tryGetVarint(const std::string &data, std::size_t &pos,
+             std::uint64_t &value, ParseError &err)
+{
+    return getBounded(data, pos, data.size(), value, err);
+}
+
 std::uint64_t
 getVarint(const std::string &data, std::size_t &pos)
 {
     std::uint64_t value = 0;
-    unsigned shift = 0;
-    while (true) {
-        if (pos >= data.size())
-            fatal("readEtl: truncated varint");
-        if (shift >= 64)
-            fatal("readEtl: varint overflow");
-        auto byte = static_cast<std::uint8_t>(data[pos++]);
-        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
-        if (!(byte & 0x80))
-            return value;
-        shift += 7;
-    }
+    ParseError err;
+    if (!tryGetVarint(data, pos, value, err))
+        throw TraceParseError(std::move(err));
+    return value;
 }
 
 void
 writeEtl(const TraceBundle &bundle, std::ostream &out)
 {
+    auto defects = bundle.validateEncoding();
+    if (!defects.empty())
+        throw TraceParseError(defects.front());
+
     std::string body;
 
     putVarint(body, kEtlVersion);
@@ -83,8 +230,9 @@ writeEtl(const TraceBundle &bundle, std::ostream &out)
     putVarint(body, bundle.stopTime);
     putVarint(body, bundle.numLogicalCpus);
 
-    body.push_back(static_cast<char>(Section::ProcessNames));
-    putVarint(body, bundle.processNames.size());
+    std::string payload;
+
+    putVarint(payload, bundle.processNames.size());
     // Sort pids so the encoding is deterministic.
     std::vector<Pid> pids;
     pids.reserve(bundle.processNames.size());
@@ -92,74 +240,81 @@ writeEtl(const TraceBundle &bundle, std::ostream &out)
         pids.push_back(pid);
     std::sort(pids.begin(), pids.end());
     for (Pid pid : pids) {
-        putVarint(body, pid);
-        putString(body, bundle.processNames.at(pid));
+        putVarint(payload, pid);
+        putString(payload, bundle.processNames.at(pid));
     }
+    putSection(body, Section::ProcessNames, payload);
 
-    body.push_back(static_cast<char>(Section::CSwitch));
-    putVarint(body, bundle.cswitches.size());
+    payload.clear();
+    putVarint(payload, bundle.cswitches.size());
     SimTime prev = 0;
     for (const auto &e : bundle.cswitches) {
-        putVarint(body, e.timestamp - prev);
+        putVarint(payload, e.timestamp - prev);
         prev = e.timestamp;
-        putVarint(body, e.cpu);
-        putVarint(body, e.oldPid);
-        putVarint(body, e.oldTid);
-        putVarint(body, e.newPid);
-        putVarint(body, e.newTid);
-        putVarint(body, e.readyTime);
+        putVarint(payload, e.cpu);
+        putVarint(payload, e.oldPid);
+        putVarint(payload, e.oldTid);
+        putVarint(payload, e.newPid);
+        putVarint(payload, e.newTid);
+        putVarint(payload, e.readyTime);
     }
+    putSection(body, Section::CSwitch, payload);
 
-    body.push_back(static_cast<char>(Section::GpuPackets));
-    putVarint(body, bundle.gpuPackets.size());
+    payload.clear();
+    putVarint(payload, bundle.gpuPackets.size());
     prev = 0;
     for (const auto &e : bundle.gpuPackets) {
-        putVarint(body, e.start - prev);
+        putVarint(payload, e.start - prev);
         prev = e.start;
-        putVarint(body, e.start - e.queued);
-        putVarint(body, e.finish - e.start);
-        putVarint(body, e.pid);
-        putVarint(body, static_cast<std::uint8_t>(e.engine));
-        putVarint(body, e.packetId);
-        putVarint(body, e.queueSlot);
+        putVarint(payload, e.start - e.queued);
+        putVarint(payload, e.finish - e.start);
+        putVarint(payload, e.pid);
+        putVarint(payload, static_cast<std::uint8_t>(e.engine));
+        putVarint(payload, e.packetId);
+        putVarint(payload, e.queueSlot);
     }
+    putSection(body, Section::GpuPackets, payload);
 
-    body.push_back(static_cast<char>(Section::Frames));
-    putVarint(body, bundle.frames.size());
+    payload.clear();
+    putVarint(payload, bundle.frames.size());
     prev = 0;
     for (const auto &e : bundle.frames) {
-        putVarint(body, e.timestamp - prev);
+        putVarint(payload, e.timestamp - prev);
         prev = e.timestamp;
-        putVarint(body, e.pid);
-        putVarint(body, e.frameId);
-        putVarint(body, e.synthesized ? 1 : 0);
+        putVarint(payload, e.pid);
+        putVarint(payload, e.frameId);
+        putVarint(payload, e.synthesized ? 1 : 0);
     }
+    putSection(body, Section::Frames, payload);
 
-    body.push_back(static_cast<char>(Section::ThreadLife));
-    putVarint(body, bundle.threadEvents.size());
+    payload.clear();
+    putVarint(payload, bundle.threadEvents.size());
     for (const auto &e : bundle.threadEvents) {
-        putVarint(body, e.timestamp);
-        putVarint(body, e.pid);
-        putVarint(body, e.tid);
-        putVarint(body, e.created ? 1 : 0);
-        putString(body, e.name);
+        putVarint(payload, e.timestamp);
+        putVarint(payload, e.pid);
+        putVarint(payload, e.tid);
+        putVarint(payload, e.created ? 1 : 0);
+        putString(payload, e.name);
     }
+    putSection(body, Section::ThreadLife, payload);
 
-    body.push_back(static_cast<char>(Section::ProcessLife));
-    putVarint(body, bundle.processEvents.size());
+    payload.clear();
+    putVarint(payload, bundle.processEvents.size());
     for (const auto &e : bundle.processEvents) {
-        putVarint(body, e.timestamp);
-        putVarint(body, e.pid);
-        putVarint(body, e.created ? 1 : 0);
-        putString(body, e.name);
+        putVarint(payload, e.timestamp);
+        putVarint(payload, e.pid);
+        putVarint(payload, e.created ? 1 : 0);
+        putString(payload, e.name);
     }
+    putSection(body, Section::ProcessLife, payload);
 
-    body.push_back(static_cast<char>(Section::Markers));
-    putVarint(body, bundle.markers.size());
+    payload.clear();
+    putVarint(payload, bundle.markers.size());
     for (const auto &e : bundle.markers) {
-        putVarint(body, e.timestamp);
-        putString(body, e.label);
+        putVarint(payload, e.timestamp);
+        putString(payload, e.label);
     }
+    putSection(body, Section::Markers, payload);
 
     body.push_back(static_cast<char>(Section::End));
 
@@ -179,154 +334,414 @@ writeEtl(const TraceBundle &bundle, const std::string &path)
 }
 
 TraceBundle
-readEtl(std::istream &in)
+readEtl(std::istream &in, const ParseOptions &options,
+        IngestReport &report)
 {
+    report = IngestReport{};
+    report.source =
+        options.source.empty() ? "<stream>" : options.source;
+    report.mode = options.mode;
+
+    TraceBundle bundle;
+
     char magic[8];
     in.read(magic, sizeof(magic));
-    if (!in || !std::equal(magic, magic + 8, kMagic))
-        fatal("readEtl: bad magic");
+    if (!in || !std::equal(magic, magic + 8, kMagic)) {
+        ParseError err;
+        err.source = report.source;
+        err.section = "header";
+        err.offset = 0;
+        err.reason = in ? "bad magic" : "truncated magic";
+        report.note(std::move(err), options.maxStoredErrors);
+        return bundle;
+    }
 
     std::ostringstream buf;
     buf << in.rdbuf();
     std::string data = buf.str();
-    std::size_t pos = 0;
 
-    std::uint64_t version = getVarint(data, pos);
-    if (version != kEtlVersion)
-        fatal("readEtl: unsupported version");
+    EtlReader r{data, options, report};
 
-    TraceBundle bundle;
-    bundle.startTime = getVarint(data, pos);
-    bundle.stopTime = getVarint(data, pos);
-    bundle.numLogicalCpus =
-        static_cast<std::uint32_t>(getVarint(data, pos));
+    // Header: version and observation window. Defects here fail the
+    // file in both modes — nothing downstream is trustworthy.
+    std::uint64_t version = 0, value = 0;
+    ParseError err;
+    auto headerField = [&](const char *field,
+                           std::uint64_t &out) {
+        if (getBounded(data, r.pos, data.size(), out, err))
+            return true;
+        err.field = field;
+        r.note(r.located(std::move(err), "header",
+                         ParseError::kNoPosition));
+        return false;
+    };
+    if (!headerField("version", version))
+        return bundle;
+    if (version != kEtlVersion) {
+        r.note(r.makeError("header", ParseError::kNoPosition, 0,
+                           "unsupported version " +
+                               std::to_string(version) + " (want " +
+                               std::to_string(kEtlVersion) + ")"));
+        return bundle;
+    }
+    if (!headerField("startTime", bundle.startTime) ||
+        !headerField("stopTime", value))
+        return bundle;
+    bundle.stopTime = value;
+    if (!headerField("numLogicalCpus", value))
+        return bundle;
+    bundle.numLogicalCpus = static_cast<std::uint32_t>(value);
 
+    bool lenient = options.mode == ParseMode::Lenient;
+
+    // Section frames. A defect inside a frame fails only that frame:
+    // lenient mode hops to the next frame via the length prefix.
     while (true) {
-        if (pos >= data.size())
-            fatal("readEtl: missing end section");
+        if (r.pos >= data.size()) {
+            r.note(r.makeError("trailer", ParseError::kNoPosition,
+                               r.pos, "missing end section"));
+            report.salvaged = lenient;
+            return bundle;
+        }
+        auto tagPos = r.pos;
         auto tag = static_cast<Section>(
-            static_cast<std::uint8_t>(data[pos++]));
+            static_cast<std::uint8_t>(data[r.pos++]));
         if (tag == Section::End)
             break;
 
-        std::uint64_t count = getVarint(data, pos);
-        // Each record encodes to at least 2 bytes, so a declared
-        // count beyond half the remaining input is corrupt; failing
-        // here also keeps reserve() from ballooning on bad counts.
-        if (count > (data.size() - pos))
-            fatal("readEtl: section count exceeds input size");
-        switch (tag) {
-          case Section::ProcessNames:
-            for (std::uint64_t i = 0; i < count; ++i) {
-                auto pid = static_cast<Pid>(getVarint(data, pos));
-                bundle.processNames[pid] = getString(data, pos);
-            }
-            break;
+        ParseError ferr;
+        std::uint64_t length = 0;
+        if (!getBounded(data, r.pos, data.size(), length, ferr)) {
+            r.note(r.located(std::move(ferr), "frame",
+                             ParseError::kNoPosition));
+            report.salvaged = lenient;
+            return bundle;
+        }
+        if (length > data.size() - r.pos) {
+            r.note(r.makeError(sectionName(tag),
+                               ParseError::kNoPosition, r.pos,
+                               "section length " +
+                                   std::to_string(length) +
+                                   " exceeds remaining input"));
+            report.salvaged = lenient;
+            return bundle;
+        }
+        std::size_t limit = r.pos + static_cast<std::size_t>(length);
+        const char *name = sectionName(tag);
 
-          case Section::CSwitch: {
-            SimTime prev = 0;
-            bundle.cswitches.reserve(count);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                CSwitchEvent e;
-                e.timestamp = prev + getVarint(data, pos);
-                prev = e.timestamp;
-                e.cpu = static_cast<CpuId>(getVarint(data, pos));
-                e.oldPid = static_cast<Pid>(getVarint(data, pos));
-                e.oldTid = static_cast<Tid>(getVarint(data, pos));
-                e.newPid = static_cast<Pid>(getVarint(data, pos));
-                e.newTid = static_cast<Tid>(getVarint(data, pos));
-                e.readyTime = getVarint(data, pos);
-                bundle.cswitches.push_back(e);
-            }
-            break;
-          }
+        // An unknown tag is diagnosed before its payload is touched:
+        // the bytes mean nothing to this reader. Every record of a
+        // known section is at least one byte, so a count beyond the
+        // frame length is corrupt; rejecting it here also keeps
+        // reserve() from ballooning on garbage counts.
+        std::uint64_t count = 0;
+        bool good = true;
+        if (std::strcmp(name, "Unknown") == 0) {
+            r.note(r.makeError(
+                name, ParseError::kNoPosition, tagPos,
+                "unknown section tag " +
+                    std::to_string(static_cast<unsigned>(tag))));
+            good = false;
+        } else if (!getBounded(data, r.pos, limit, count, ferr)) {
+            r.note(r.located(std::move(ferr), name,
+                             ParseError::kNoPosition));
+            good = false;
+        } else if (count > limit - r.pos) {
+            r.note(r.makeError(name, ParseError::kNoPosition, tagPos,
+                               "declared count " +
+                                   std::to_string(count) +
+                                   " exceeds section size"));
+            good = false;
+        }
+        if (good) {
+            switch (tag) {
+              case Section::ProcessNames:
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        std::uint64_t pid = 0;
+                        std::string pname;
+                        if (!getBounded(data, r.pos, limit, pid, e) ||
+                            !getBoundedString(data, r.pos, limit,
+                                              pname, e))
+                            return false;
+                        bundle.processNames
+                            [static_cast<Pid>(pid)] = pname;
+                        return true;
+                    });
+                break;
 
-          case Section::GpuPackets: {
-            SimTime prev = 0;
-            bundle.gpuPackets.reserve(count);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                GpuPacketEvent e;
-                e.start = prev + getVarint(data, pos);
-                prev = e.start;
-                e.queued = e.start - getVarint(data, pos);
-                e.finish = e.start + getVarint(data, pos);
-                e.pid = static_cast<Pid>(getVarint(data, pos));
-                e.engine = static_cast<GpuEngineId>(
-                    getVarint(data, pos));
-                e.packetId =
-                    static_cast<std::uint32_t>(getVarint(data, pos));
-                e.queueSlot =
-                    static_cast<std::uint8_t>(getVarint(data, pos));
-                bundle.gpuPackets.push_back(e);
-            }
-            break;
-          }
+              case Section::CSwitch: {
+                SimTime prev = 0;
+                bundle.cswitches.reserve(
+                    static_cast<std::size_t>(count));
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        CSwitchEvent ev;
+                        std::uint64_t d = 0, v = 0;
+                        if (!getBounded(data, r.pos, limit, d, e))
+                            return false;
+                        if (d > sim::kNoTime - prev) {
+                            e.offset = r.pos;
+                            e.reason =
+                                "timestamp delta overflows 64 bits";
+                            return false;
+                        }
+                        ev.timestamp = prev + d;
+                        prev = ev.timestamp;
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.cpu = static_cast<CpuId>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.oldPid = static_cast<Pid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.oldTid = static_cast<Tid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.newPid = static_cast<Pid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.newTid = static_cast<Tid>(v);
+                        if (!getBounded(data, r.pos, limit,
+                                        ev.readyTime, e))
+                            return false;
+                        bundle.cswitches.push_back(ev);
+                        return true;
+                    });
+                break;
+              }
 
-          case Section::Frames: {
-            SimTime prev = 0;
-            bundle.frames.reserve(count);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                FrameEvent e;
-                e.timestamp = prev + getVarint(data, pos);
-                prev = e.timestamp;
-                e.pid = static_cast<Pid>(getVarint(data, pos));
-                e.frameId =
-                    static_cast<std::uint32_t>(getVarint(data, pos));
-                e.synthesized = getVarint(data, pos) != 0;
-                bundle.frames.push_back(e);
-            }
-            break;
-          }
+              case Section::GpuPackets: {
+                SimTime prev = 0;
+                bundle.gpuPackets.reserve(
+                    static_cast<std::size_t>(count));
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        GpuPacketEvent ev;
+                        std::uint64_t d = 0, v = 0;
+                        if (!getBounded(data, r.pos, limit, d, e))
+                            return false;
+                        if (d > sim::kNoTime - prev) {
+                            e.offset = r.pos;
+                            e.reason = "start delta overflows 64 bits";
+                            return false;
+                        }
+                        ev.start = prev + d;
+                        prev = ev.start;
+                        if (!getBounded(data, r.pos, limit, d, e))
+                            return false;
+                        if (d > ev.start) {
+                            e.offset = r.pos;
+                            e.reason = "queue delta " +
+                                       std::to_string(d) +
+                                       " precedes time zero";
+                            return false;
+                        }
+                        ev.queued = ev.start - d;
+                        if (!getBounded(data, r.pos, limit, d, e))
+                            return false;
+                        if (d > sim::kNoTime - ev.start) {
+                            e.offset = r.pos;
+                            e.reason =
+                                "finish delta overflows 64 bits";
+                            return false;
+                        }
+                        ev.finish = ev.start + d;
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.pid = static_cast<Pid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        if (v >= kNumGpuEngines) {
+                            e.offset = r.pos;
+                            e.reason = "unknown GPU engine id " +
+                                       std::to_string(v);
+                            return false;
+                        }
+                        ev.engine = static_cast<GpuEngineId>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.packetId =
+                            static_cast<std::uint32_t>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.queueSlot =
+                            static_cast<std::uint8_t>(v);
+                        bundle.gpuPackets.push_back(ev);
+                        return true;
+                    });
+                break;
+              }
 
-          case Section::ThreadLife:
-            bundle.threadEvents.reserve(count);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                ThreadLifeEvent e;
-                e.timestamp = getVarint(data, pos);
-                e.pid = static_cast<Pid>(getVarint(data, pos));
-                e.tid = static_cast<Tid>(getVarint(data, pos));
-                e.created = getVarint(data, pos) != 0;
-                e.name = getString(data, pos);
-                bundle.threadEvents.push_back(e);
-            }
-            break;
+              case Section::Frames: {
+                SimTime prev = 0;
+                bundle.frames.reserve(
+                    static_cast<std::size_t>(count));
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        FrameEvent ev;
+                        std::uint64_t d = 0, v = 0;
+                        if (!getBounded(data, r.pos, limit, d, e))
+                            return false;
+                        if (d > sim::kNoTime - prev) {
+                            e.offset = r.pos;
+                            e.reason =
+                                "timestamp delta overflows 64 bits";
+                            return false;
+                        }
+                        ev.timestamp = prev + d;
+                        prev = ev.timestamp;
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.pid = static_cast<Pid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.frameId = static_cast<std::uint32_t>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.synthesized = v != 0;
+                        bundle.frames.push_back(ev);
+                        return true;
+                    });
+                break;
+              }
 
-          case Section::ProcessLife:
-            bundle.processEvents.reserve(count);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                ProcessLifeEvent e;
-                e.timestamp = getVarint(data, pos);
-                e.pid = static_cast<Pid>(getVarint(data, pos));
-                e.created = getVarint(data, pos) != 0;
-                e.name = getString(data, pos);
-                bundle.processEvents.push_back(e);
-            }
-            break;
+              case Section::ThreadLife:
+                bundle.threadEvents.reserve(
+                    static_cast<std::size_t>(count));
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        ThreadLifeEvent ev;
+                        std::uint64_t v = 0;
+                        if (!getBounded(data, r.pos, limit,
+                                        ev.timestamp, e))
+                            return false;
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.pid = static_cast<Pid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.tid = static_cast<Tid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.created = v != 0;
+                        if (!getBoundedString(data, r.pos, limit,
+                                              ev.name, e))
+                            return false;
+                        bundle.threadEvents.push_back(ev);
+                        return true;
+                    });
+                break;
 
-          case Section::Markers:
-            bundle.markers.reserve(count);
-            for (std::uint64_t i = 0; i < count; ++i) {
-                MarkerEvent e;
-                e.timestamp = getVarint(data, pos);
-                e.label = getString(data, pos);
-                bundle.markers.push_back(e);
-            }
-            break;
+              case Section::ProcessLife:
+                bundle.processEvents.reserve(
+                    static_cast<std::size_t>(count));
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        ProcessLifeEvent ev;
+                        std::uint64_t v = 0;
+                        if (!getBounded(data, r.pos, limit,
+                                        ev.timestamp, e))
+                            return false;
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.pid = static_cast<Pid>(v);
+                        if (!getBounded(data, r.pos, limit, v, e))
+                            return false;
+                        ev.created = v != 0;
+                        if (!getBoundedString(data, r.pos, limit,
+                                              ev.name, e))
+                            return false;
+                        bundle.processEvents.push_back(ev);
+                        return true;
+                    });
+                break;
 
-          default:
-            fatal("readEtl: unknown section tag");
+              case Section::Markers:
+                bundle.markers.reserve(
+                    static_cast<std::size_t>(count));
+                good = decodeRecords(
+                    r, name, count,
+                    [&](std::uint64_t, ParseError &e) {
+                        MarkerEvent ev;
+                        if (!getBounded(data, r.pos, limit,
+                                        ev.timestamp, e))
+                            return false;
+                        if (!getBoundedString(data, r.pos, limit,
+                                              ev.label, e))
+                            return false;
+                        bundle.markers.push_back(ev);
+                        return true;
+                    });
+                break;
+
+              default:
+                // Unreachable: unknown tags are rejected above,
+                // before the count decode.
+                good = false;
+                break;
+            }
+        }
+
+        // Every defect above has already been noted (decodeRecords
+        // notes record-level ones); strict fails the file here,
+        // lenient hops to the next frame via the length prefix.
+        if (!good) {
+            if (!lenient)
+                return bundle;
+            r.pos = limit;
+            continue;
+        }
+        if (r.pos != limit) {
+            r.note(r.makeError(name, ParseError::kNoPosition, r.pos,
+                               std::to_string(limit - r.pos) +
+                                   " trailing bytes in section"));
+            if (!lenient)
+                return bundle;
+            r.pos = limit;
         }
     }
     return bundle;
 }
 
 TraceBundle
-readEtl(const std::string &path)
+readEtl(const std::string &path, const ParseOptions &options,
+        IngestReport &report)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
         fatal("readEtl: cannot open " + path);
-    return readEtl(in);
+    ParseOptions named = options;
+    if (named.source.empty())
+        named.source = path;
+    return readEtl(in, named, report);
+}
+
+TraceBundle
+readEtl(std::istream &in)
+{
+    IngestReport report;
+    TraceBundle bundle = readEtl(in, ParseOptions{}, report);
+    if (!report.ok())
+        throw TraceParseError(report.errors.front());
+    return bundle;
+}
+
+TraceBundle
+readEtl(const std::string &path)
+{
+    IngestReport report;
+    TraceBundle bundle = readEtl(path, ParseOptions{}, report);
+    if (!report.ok())
+        throw TraceParseError(report.errors.front());
+    return bundle;
 }
 
 } // namespace deskpar::trace

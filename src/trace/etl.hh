@@ -2,10 +2,20 @@
  * @file
  * Binary trace container: the .etl-equivalent on-disk format.
  *
- * Layout: an 8-byte magic ("DPETL\x01\x00\x00"), a header (version,
- * window, CPU count), the process-name table, then one section per
- * event stream. Integers use LEB128 varints; timestamps within a
+ * Layout (version 3): an 8-byte magic ("DPETL\x01\x00\x00"), a header
+ * (version, window, CPU count), then one section per event stream,
+ * each framed as `tag byte, varint payload length, payload`, closed
+ * by an End tag. Integers use LEB128 varints; timestamps within a
  * section are delta-encoded, which keeps multi-minute traces compact.
+ * The per-section length framing lets a lenient reader skip a corrupt
+ * or unknown section and keep decoding the rest of the file.
+ *
+ * Reading is recoverable (parse.hh): the report-returning readers
+ * never throw on malformed content; strict mode stops at the first
+ * defect, lenient mode drops the defective section remainder, counts
+ * it, and salvages everything else. writeEtl validates stream
+ * monotonicity (the delta encoding is unsigned) and reports the
+ * offending record index as a structured TraceParseError.
  */
 
 #ifndef DESKPAR_TRACE_ETL_HH
@@ -16,16 +26,21 @@
 #include <string>
 #include <vector>
 
+#include "trace/parse.hh"
 #include "trace/session.hh"
 
 namespace deskpar::trace {
 
 /** Current on-disk format version. */
-inline constexpr std::uint32_t kEtlVersion = 2;
+inline constexpr std::uint32_t kEtlVersion = 3;
 
 /**
  * Serialize @p bundle to @p path.
- * Throws FatalError on I/O failure.
+ * Throws FatalError on I/O failure, TraceParseError (naming the
+ * offending section and record index) when an event stream is not
+ * sorted by timestamp or a GPU packet has queued > start or
+ * finish < start — the unsigned delta encoding would otherwise
+ * round-trip wrapped values silently.
  */
 void writeEtl(const TraceBundle &bundle, const std::string &path);
 
@@ -33,12 +48,21 @@ void writeEtl(const TraceBundle &bundle, const std::string &path);
 void writeEtl(const TraceBundle &bundle, std::ostream &out);
 
 /**
- * Read a bundle back from @p path.
- * Throws FatalError on I/O failure or a malformed/mismatched file.
+ * Read a bundle, reporting malformed content per @p options instead
+ * of throwing: strict mode stops at the first defect (discard the
+ * bundle when !report.ok()); lenient mode skips what it must and
+ * returns everything that decoded cleanly.
+ */
+TraceBundle readEtl(std::istream &in, const ParseOptions &options,
+                    IngestReport &report);
+TraceBundle readEtl(const std::string &path,
+                    const ParseOptions &options, IngestReport &report);
+
+/**
+ * Legacy strict readers: throw TraceParseError (a FatalError) on any
+ * malformed or mismatched content, FatalError on I/O failure.
  */
 TraceBundle readEtl(const std::string &path);
-
-/** Read a bundle from a stream. */
 TraceBundle readEtl(std::istream &in);
 
 /** @{ Low-level encoding helpers (exposed for tests). */
@@ -48,9 +72,16 @@ void putVarint(std::string &out, std::uint64_t value);
 
 /**
  * Decode a LEB128 varint from @p data starting at @p pos; advances
- * @p pos. Throws FatalError on truncated input.
+ * @p pos. Throws TraceParseError on truncated or overlong input.
  */
 std::uint64_t getVarint(const std::string &data, std::size_t &pos);
+
+/**
+ * No-throw varint decode: false (with @p err located at the failing
+ * byte offset) on truncated or overlong input.
+ */
+bool tryGetVarint(const std::string &data, std::size_t &pos,
+                  std::uint64_t &value, ParseError &err);
 /** @} */
 
 } // namespace deskpar::trace

@@ -13,6 +13,31 @@ pidsWithPrefix(const TraceBundle &bundle, const std::string &name_prefix)
     return pids;
 }
 
+PidSet
+allApplicationPids(const TraceBundle &bundle)
+{
+    PidSet pids;
+    auto add = [&](Pid pid) {
+        if (pid != 0)
+            pids.insert(pid);
+    };
+    for (const auto &[pid, name] : bundle.processNames)
+        add(pid);
+    for (const auto &e : bundle.cswitches) {
+        add(e.oldPid);
+        add(e.newPid);
+    }
+    for (const auto &e : bundle.gpuPackets)
+        add(e.pid);
+    for (const auto &e : bundle.frames)
+        add(e.pid);
+    for (const auto &e : bundle.threadEvents)
+        add(e.pid);
+    for (const auto &e : bundle.processEvents)
+        add(e.pid);
+    return pids;
+}
+
 TraceBundle
 filterByPids(const TraceBundle &bundle, const PidSet &pids)
 {

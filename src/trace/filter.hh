@@ -29,6 +29,15 @@ PidSet pidsWithPrefix(const TraceBundle &bundle,
                       const std::string &name_prefix);
 
 /**
+ * Every non-idle pid seen anywhere in @p bundle — the name table,
+ * either side of a context switch, GPU packets, or lifecycle events.
+ * This is the replay default when no application prefix is given:
+ * unlike pidsWithPrefix it also covers events whose pid lost its
+ * name-table entry to a corrupt ProcessNames section.
+ */
+PidSet allApplicationPids(const TraceBundle &bundle);
+
+/**
  * Return a copy of @p bundle containing only events attributable to
  * @p pids:
  *  - cswitches where either side belongs to the set (switches to

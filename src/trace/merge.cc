@@ -30,11 +30,22 @@ sortBundle(TraceBundle &bundle)
                      byTime);
 }
 
-TraceBundle
-mergeBundles(const TraceBundle &a, const TraceBundle &b)
+ParseResult<TraceBundle>
+mergeBundlesChecked(const TraceBundle &a, const TraceBundle &b)
 {
-    if (a.numLogicalCpus != b.numLogicalCpus)
-        fatal("mergeBundles: logical-CPU counts differ");
+    auto incompatible = [](std::string reason) {
+        ParseError e;
+        e.section = "merge";
+        e.reason = std::move(reason);
+        return e;
+    };
+
+    if (a.numLogicalCpus != b.numLogicalCpus) {
+        return incompatible(
+            "logical-CPU counts differ (" +
+            std::to_string(a.numLogicalCpus) + " vs " +
+            std::to_string(b.numLogicalCpus) + ")");
+    }
 
     TraceBundle out;
     out.startTime = std::min(a.startTime, b.startTime);
@@ -45,9 +56,9 @@ mergeBundles(const TraceBundle &a, const TraceBundle &b)
     for (const auto &[pid, name] : b.processNames) {
         auto [it, inserted] = out.processNames.emplace(pid, name);
         if (!inserted && it->second != name) {
-            fatal("mergeBundles: pid " + std::to_string(pid) +
-                  " names conflict ('" + it->second + "' vs '" +
-                  name + "')");
+            return incompatible(
+                "pid " + std::to_string(pid) + " names conflict ('" +
+                it->second + "' vs '" + name + "')");
         }
     }
 
@@ -65,6 +76,12 @@ mergeBundles(const TraceBundle &a, const TraceBundle &b)
 
     sortBundle(out);
     return out;
+}
+
+TraceBundle
+mergeBundles(const TraceBundle &a, const TraceBundle &b)
+{
+    return mergeBundlesChecked(a, b).take();
 }
 
 } // namespace deskpar::trace

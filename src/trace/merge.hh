@@ -9,6 +9,7 @@
 #ifndef DESKPAR_TRACE_MERGE_HH
 #define DESKPAR_TRACE_MERGE_HH
 
+#include "trace/parse.hh"
 #include "trace/session.hh"
 
 namespace deskpar::trace {
@@ -18,8 +19,17 @@ namespace deskpar::trace {
  *  - the window is the union of both windows;
  *  - numLogicalCpus must match (same machine shape);
  *  - pids shared by both inputs must map to the same process name
- *    (else FatalError: the traces are from incompatible runs);
+ *    (else the traces are from incompatible runs);
  *  - all event streams are concatenated and re-sorted by time.
+ * Incompatible inputs yield a ParseError (section "merge") naming
+ * the mismatch; no exception is thrown.
+ */
+ParseResult<TraceBundle> mergeBundlesChecked(const TraceBundle &a,
+                                             const TraceBundle &b);
+
+/**
+ * Legacy wrapper: throws TraceParseError (a FatalError) when the
+ * inputs are incompatible.
  */
 TraceBundle mergeBundles(const TraceBundle &a, const TraceBundle &b);
 

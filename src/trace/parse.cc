@@ -1,0 +1,70 @@
+#include "trace/parse.hh"
+
+#include <sstream>
+
+namespace deskpar::trace {
+
+std::string
+ParseError::str() const
+{
+    std::ostringstream out;
+    out << (source.empty() ? "<input>" : source);
+    if (line != kNoPosition) {
+        out << ":" << line;
+        if (column != kNoPosition)
+            out << ":" << column;
+    }
+    if (offset != kNoPosition)
+        out << " @byte " << offset;
+    out << ": ";
+    if (!section.empty())
+        out << "[" << section;
+    if (record != kNoPosition)
+        out << " #" << record;
+    if (!section.empty())
+        out << "] ";
+    if (!field.empty())
+        out << field << ": ";
+    out << reason;
+    return out.str();
+}
+
+void
+IngestReport::note(ParseError error, std::size_t cap)
+{
+    ++errorCount;
+    if (errors.size() < cap)
+        errors.push_back(std::move(error));
+}
+
+std::string
+IngestReport::summary() const
+{
+    std::ostringstream out;
+    out << (source.empty() ? "<input>" : source) << ": "
+        << (mode == ParseMode::Strict ? "strict" : "lenient")
+        << " ingest, " << recordsParsed << " records";
+    if (recordsSkipped)
+        out << ", " << recordsSkipped << " skipped";
+    if (errorCount)
+        out << ", " << errorCount << " errors";
+    if (salvaged)
+        out << " (partial salvage)";
+    return out.str();
+}
+
+void
+IngestReport::merge(const IngestReport &other)
+{
+    recordsParsed += other.recordsParsed;
+    recordsSkipped += other.recordsSkipped;
+    errorCount += other.errorCount;
+    salvaged = salvaged || other.salvaged;
+    for (const auto &e : other.errors) {
+        if (errors.size() >= 64)
+            break;
+        errors.push_back(e);
+    }
+}
+
+} // namespace deskpar::trace

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Recoverable parse diagnostics for the trace-ingestion layer.
+ *
+ * Readers in trace/ never kill the process on malformed input:
+ * every malformed byte is reported as a ParseError locating the
+ * defect (source, section, field, line/column for text, byte offset
+ * for binary, record index). Two modes:
+ *
+ *  - Strict: the first malformed record fails the *file*. The
+ *    report-returning entry points record the error and stop; the
+ *    legacy void/value entry points throw TraceParseError (a
+ *    FatalError subclass) carrying the same structured payload.
+ *  - Lenient: malformed records are skipped and counted, and
+ *    parsing continues; the caller gets everything that decoded
+ *    cleanly plus a per-file IngestReport of what was dropped.
+ *
+ * fatal() remains in use only for I/O failures (cannot open / write)
+ * and caller API misuse; panic() for internal invariants. Malformed
+ * trace *content* always becomes a ParseError.
+ */
+
+#ifndef DESKPAR_TRACE_PARSE_HH
+#define DESKPAR_TRACE_PARSE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace deskpar::trace {
+
+/** How readers treat malformed records. */
+enum class ParseMode { Strict, Lenient };
+
+/**
+ * Location and cause of one malformed piece of trace input.
+ * Text inputs set line/column (1-based); binary inputs set offset
+ * (byte position); record-structured sections set record (0-based
+ * index within the section). Unset positions hold kNoPosition.
+ */
+struct ParseError
+{
+    /** Position sentinel: "not applicable to this input kind". */
+    static constexpr std::uint64_t kNoPosition = ~0ull;
+
+    /** File path or stream label the input came from. */
+    std::string source;
+    /** Logical region: "header", "row", "CSwitch", "GpuPackets"... */
+    std::string section;
+    /** Field or column name; empty when the whole record is bad. */
+    std::string field;
+    /** 1-based text line (text formats only). */
+    std::uint64_t line = kNoPosition;
+    /** 1-based text column (text formats only). */
+    std::uint64_t column = kNoPosition;
+    /** Byte offset into the input (binary formats only). */
+    std::uint64_t offset = kNoPosition;
+    /** 0-based record index within the section. */
+    std::uint64_t record = kNoPosition;
+    /** What was wrong with the bytes at that location. */
+    std::string reason;
+
+    /** One-line human-readable rendering of the full location. */
+    std::string str() const;
+};
+
+/**
+ * Thrown by the legacy strict entry points (and writeEtl validation)
+ * so existing FatalError-based callers keep working while new code
+ * can catch the structured diagnostic.
+ */
+class TraceParseError : public FatalError
+{
+  public:
+    explicit TraceParseError(ParseError error)
+        : FatalError(error.str()), error_(std::move(error))
+    {}
+
+    const ParseError &error() const { return error_; }
+
+  private:
+    ParseError error_;
+};
+
+/**
+ * Result of a fallible parse step: either a value or a ParseError.
+ * The trace layer's internal no-throw currency; also returned by the
+ * checked public helpers (splitCsvFields, mergeBundlesChecked).
+ */
+template <typename T>
+class ParseResult
+{
+  public:
+    ParseResult(T value) : value_(std::move(value)) {}
+    ParseResult(ParseError error) : error_(std::move(error)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    /** Valid only when ok(). */
+    const T &value() const { return *value_; }
+    T &value() { return *value_; }
+    const T &operator*() const { return *value_; }
+    T &operator*() { return *value_; }
+    const T *operator->() const { return &*value_; }
+    T *operator->() { return &*value_; }
+
+    /** Valid only when !ok(). */
+    const ParseError &error() const { return error_; }
+
+    /** Return the value or throw the error as TraceParseError. */
+    T &&take()
+    {
+        if (!ok())
+            throw TraceParseError(error_);
+        return std::move(*value_);
+    }
+
+  private:
+    std::optional<T> value_;
+    ParseError error_;
+};
+
+/** Reader configuration shared by the CSV and .etl entry points. */
+struct ParseOptions
+{
+    ParseMode mode = ParseMode::Strict;
+    /** Diagnostic label for stream inputs ("<stream>" if empty). */
+    std::string source;
+    /** Cap on errors *stored* in the report (all are counted). */
+    std::size_t maxStoredErrors = 64;
+};
+
+/**
+ * Per-file ingestion outcome: how many records made it, how many
+ * were dropped, and the structured diagnostics for the drops.
+ */
+struct IngestReport
+{
+    std::string source;
+    ParseMode mode = ParseMode::Strict;
+    /** Records decoded into the bundle. */
+    std::uint64_t recordsParsed = 0;
+    /** Records dropped (lenient) or unread past a failure (strict). */
+    std::uint64_t recordsSkipped = 0;
+    /** Total defects seen; may exceed errors.size() (storage cap). */
+    std::uint64_t errorCount = 0;
+    /** True when a binary input could only be partially salvaged. */
+    bool salvaged = false;
+    /** First maxStoredErrors structured diagnostics. */
+    std::vector<ParseError> errors;
+
+    /** A clean ingest: every record decoded, nothing dropped. */
+    bool ok() const { return errorCount == 0; }
+
+    /** Count @p error, storing at most @p cap diagnostics. */
+    void note(ParseError error, std::size_t cap);
+
+    /** One-line roll-up ("parsed 812, skipped 3, 3 errors"). */
+    std::string summary() const;
+
+    /** Fold @p other (e.g. another file of the batch) into this. */
+    void merge(const IngestReport &other);
+};
+
+} // namespace deskpar::trace
+
+#endif // DESKPAR_TRACE_PARSE_HH

@@ -42,6 +42,61 @@ TraceBundle::pidsByName(const std::string &name) const
     return pids;
 }
 
+std::vector<ParseError>
+TraceBundle::validateEncoding() const
+{
+    std::vector<ParseError> errors;
+    auto add = [&](const char *section, std::uint64_t record,
+                   std::string reason) {
+        ParseError e;
+        e.section = section;
+        e.record = record;
+        e.reason = std::move(reason);
+        errors.push_back(std::move(e));
+    };
+
+    if (stopTime < startTime) {
+        add("header", ParseError::kNoPosition,
+            "stopTime " + std::to_string(stopTime) +
+                " precedes startTime " + std::to_string(startTime));
+    }
+
+    auto checkSorted = [&](const auto &events, const char *section,
+                           auto key, const char *what) {
+        for (std::size_t i = 1; i < events.size(); ++i) {
+            if (key(events[i]) < key(events[i - 1])) {
+                add(section, i,
+                    std::string(what) + " " +
+                        std::to_string(key(events[i])) +
+                        " precedes predecessor " +
+                        std::to_string(key(events[i - 1])) +
+                        " (stream not sorted)");
+            }
+        }
+    };
+    auto byTimestamp = [](const auto &e) { return e.timestamp; };
+    checkSorted(cswitches, "CSwitch", byTimestamp, "timestamp");
+    checkSorted(gpuPackets, "GpuPackets",
+                [](const GpuPacketEvent &e) { return e.start; },
+                "start");
+    checkSorted(frames, "Frames", byTimestamp, "timestamp");
+
+    for (std::size_t i = 0; i < gpuPackets.size(); ++i) {
+        const GpuPacketEvent &e = gpuPackets[i];
+        if (e.queued > e.start) {
+            add("GpuPackets", i,
+                "queued " + std::to_string(e.queued) +
+                    " after start " + std::to_string(e.start));
+        }
+        if (e.finish < e.start) {
+            add("GpuPackets", i,
+                "finish " + std::to_string(e.finish) +
+                    " before start " + std::to_string(e.start));
+        }
+    }
+    return errors;
+}
+
 void
 TraceSession::start(SimTime now)
 {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "trace/event.hh"
+#include "trace/parse.hh"
 
 namespace deskpar::trace {
 
@@ -63,6 +64,15 @@ struct TraceBundle
 
     /** Pids whose recorded process name matches exactly. */
     std::vector<Pid> pidsByName(const std::string &name) const;
+
+    /**
+     * Structural defects that would silently corrupt the unsigned
+     * delta encoding of writeEtl: an inverted observation window,
+     * event streams not sorted by timestamp, or GPU packets with
+     * queued > start or finish < start. Each defect names its
+     * section and the offending record index; empty = encodable.
+     */
+    std::vector<ParseError> validateEncoding() const;
 };
 
 /**

@@ -9,12 +9,14 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "apps/registry.hh"
 #include "apps/runner.hh"
 #include "sim/logging.hh"
+#include "trace/etl.hh"
 
 namespace {
 
@@ -177,6 +179,147 @@ TEST(SuiteRunner, MoreThreadsThanTasksWorks)
     ASSERT_EQ(results.size(), 1u);
     EXPECT_EQ(results[0].iterations.size(), 1u);
     EXPECT_GT(results[0].tlp(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Recoverable batches: one bad job degrades the batch, never kills it.
+// ---------------------------------------------------------------------
+
+TEST(SuiteRunner, RecoverableBatchCompletesSiblingsOfAFailedJob)
+{
+    std::atomic<int> built{0};
+    std::vector<SuiteJob> jobs = {suiteJob("excel", shortOptions()),
+                                  throwingJob(built),
+                                  suiteJob("word", shortOptions())};
+    SuiteOutcome outcome = SuiteRunner(3).runRecoverable(jobs);
+
+    EXPECT_FALSE(outcome.ok());
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].job, 1u);
+    EXPECT_EQ(outcome.failures[0].label, "boom");
+    EXPECT_NE(outcome.failures[0].error.reason.find(
+                  "factory exploded"),
+              std::string::npos);
+    EXPECT_TRUE(outcome.failed(1));
+    EXPECT_FALSE(outcome.failed(0));
+    EXPECT_FALSE(outcome.failed(2));
+
+    // The healthy jobs really ran.
+    ASSERT_EQ(outcome.results.size(), 3u);
+    EXPECT_GT(outcome.results[0].tlp(), 0.0);
+    EXPECT_GT(outcome.results[2].tlp(), 0.0);
+    EXPECT_EQ(outcome.results[1].agg.app, "boom");
+
+    // ...and the batch report names the failure.
+    EXPECT_EQ(outcome.ingest.errorCount, 1u);
+    EXPECT_EQ(outcome.ingest.recordsParsed, 2u);
+    EXPECT_EQ(outcome.ingest.recordsSkipped, 1u);
+    ASSERT_EQ(outcome.ingest.errors.size(), 1u);
+    EXPECT_EQ(outcome.ingest.errors[0].source, "boom");
+}
+
+TEST(SuiteRunner, RecoverableBatchMatchesRunWhenAllJobsAreClean)
+{
+    std::vector<SuiteJob> jobs = {suiteJob("vlc", shortOptions()),
+                                  suiteJob("word", shortOptions())};
+    std::vector<AppRunResult> plain = SuiteRunner(2).run(jobs);
+    SuiteOutcome outcome = SuiteRunner(2).runRecoverable(jobs);
+    EXPECT_TRUE(outcome.ok());
+    ASSERT_EQ(outcome.results.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(outcome.results[i].tlp(), plain[i].tlp());
+        EXPECT_EQ(outcome.results[i].gpuUtil(), plain[i].gpuUtil());
+    }
+}
+
+TEST(SuiteRunner, RecoverableBatchSkipsLaterIterationsOfAFailedJob)
+{
+    std::atomic<int> built{0};
+    SuiteJob bad = throwingJob(built);
+    bad.options.iterations = 4;
+    SuiteOutcome outcome = SuiteRunner(1).runRecoverable({bad});
+    EXPECT_EQ(outcome.failures.size(), 1u);
+    // Iterations 1..3 are cancelled once iteration 0 fails the job.
+    EXPECT_EQ(built.load(), 1);
+}
+
+TEST(SuiteRunner, JobWithBothFactoryAndDirectIsFatal)
+{
+    SuiteJob job = suiteJob("excel", shortOptions());
+    job.direct = [](const RunOptions &, unsigned) {
+        return IterationOutput{};
+    };
+    EXPECT_THROW(SuiteRunner(1).runRecoverable({job}), FatalError);
+}
+
+// A replay batch with one corrupt trace: the corrupt file fails with
+// its structured parse error, every other file still completes (the
+// ISSUE acceptance scenario).
+TEST(SuiteRunner, ReplayBatchSurvivesOneCorruptTrace)
+{
+    std::string dir = ::testing::TempDir();
+    std::string goodPath = dir + "deskpar_replay_good.etl";
+    std::string badPath = dir + "deskpar_replay_bad.etl";
+
+    RunOptions options = shortOptions();
+    options.iterations = 1;
+    AppRunResult source = runWorkload("excel", options);
+    trace::writeEtl(source.lastBundle, goodPath);
+
+    // The corrupt sibling: the same trace with its tail cut off.
+    std::string bytes;
+    {
+        std::ifstream in(goodPath, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        bytes = buf.str();
+    }
+    {
+        std::ofstream out(badPath, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+
+    std::vector<SuiteJob> jobs = {replayJob(goodPath, options),
+                                  replayJob(badPath, options)};
+    SuiteOutcome outcome = SuiteRunner(2).runRecoverable(jobs);
+
+    EXPECT_FALSE(outcome.failed(0));
+    EXPECT_TRUE(outcome.failed(1));
+    EXPECT_GT(outcome.results[0].tlp(), 0.0);
+
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    const JobFailure &failure = outcome.failures[0];
+    EXPECT_TRUE(failure.structured);
+    EXPECT_EQ(failure.error.source, badPath);
+    ASSERT_EQ(outcome.ingest.errors.size(), 1u);
+    EXPECT_EQ(outcome.ingest.errors[0].source, badPath);
+
+    // Lenient replay of the same corrupt file degrades instead of
+    // failing: whatever decoded before the cut is still analyzed
+    // (possibly nothing but the name table, so no metric claims).
+    SuiteJob lenient = replayJob(badPath, options, "",
+                                 trace::ParseMode::Lenient);
+    SuiteOutcome salvaged = SuiteRunner(1).runRecoverable({lenient});
+    EXPECT_TRUE(salvaged.ok());
+
+    std::remove(goodPath.c_str());
+    std::remove(badPath.c_str());
+}
+
+TEST(SuiteRunner, ReplayOfAMissingFileFailsOnlyThatJob)
+{
+    RunOptions options = shortOptions();
+    options.iterations = 1;
+    std::vector<SuiteJob> jobs = {
+        suiteJob("excel", options),
+        replayJob("/nonexistent/trace.etl", options)};
+    SuiteOutcome outcome = SuiteRunner(2).runRecoverable(jobs);
+    EXPECT_FALSE(outcome.failed(0));
+    EXPECT_TRUE(outcome.failed(1));
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_NE(outcome.failures[0].error.reason.find("cannot open"),
+              std::string::npos);
 }
 
 } // namespace

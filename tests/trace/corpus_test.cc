@@ -1,0 +1,623 @@
+/**
+ * @file
+ * Corrupted-trace corpus tests.
+ *
+ * The ingestion contract under fault injection: every deterministic
+ * mutant of a valid serialized trace either parses or yields a
+ * structured ParseError — never a process abort, a foreign exception
+ * (std::out_of_range from stoull and friends), or undefined behavior.
+ * The corpus also pins exact error locations for the adversarial
+ * cases the readers must diagnose, and the lenient/strict round-trip
+ * properties on clean input.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/corrupt.hh"
+#include "trace/csv.hh"
+#include "trace/etl.hh"
+#include "trace/session.hh"
+
+namespace {
+
+using namespace deskpar::trace;
+
+/**
+ * A bundle big enough that mutants usually land inside real records:
+ * a handful of processes, dozens of context switches, GPU packets on
+ * every engine, frames, lifecycle events and markers.
+ */
+TraceBundle
+corpusBundle()
+{
+    TraceBundle bundle;
+    bundle.startTime = 1000;
+    bundle.stopTime = 500000;
+    bundle.numLogicalCpus = 12;
+    bundle.processNames[0] = "Idle";
+    for (Pid pid = 1000; pid < 1008; ++pid) {
+        bundle.processNames[pid] =
+            "app-" + std::to_string(pid - 1000);
+    }
+    bundle.processNames[2000] = "renderer, \"quoted\"";
+
+    for (unsigned i = 0; i < 48; ++i) {
+        CSwitchEvent cs;
+        cs.timestamp = 1000 + 100 * i;
+        cs.cpu = i % 12;
+        cs.oldPid = i % 2 ? 1000 + i % 8 : 0;
+        cs.oldTid = cs.oldPid * 10 + 1;
+        cs.newPid = i % 2 ? 0 : 1000 + (i + 1) % 8;
+        cs.newTid = cs.newPid * 10 + 1;
+        cs.readyTime = cs.timestamp - i % 7;
+        bundle.cswitches.push_back(cs);
+    }
+    for (unsigned i = 0; i < 20; ++i) {
+        GpuPacketEvent gp;
+        gp.start = 2000 + 150 * i;
+        gp.queued = gp.start - 40 - i;
+        gp.finish = gp.start + 90 + i;
+        gp.pid = 1000 + i % 8;
+        gp.engine = static_cast<GpuEngineId>(i % kNumGpuEngines);
+        gp.packetId = i;
+        gp.queueSlot = static_cast<std::uint8_t>(i % 4);
+        bundle.gpuPackets.push_back(gp);
+    }
+    for (unsigned i = 0; i < 10; ++i) {
+        FrameEvent fr;
+        fr.timestamp = 3000 + 1000 * i;
+        fr.pid = 1000;
+        fr.frameId = i;
+        fr.synthesized = i % 3 == 0;
+        bundle.frames.push_back(fr);
+    }
+    for (unsigned i = 0; i < 6; ++i) {
+        ThreadLifeEvent tl;
+        tl.timestamp = 1200 + 10 * i;
+        tl.pid = 1000 + i;
+        tl.tid = tl.pid * 10 + 1;
+        tl.created = true;
+        tl.name = "worker-" + std::to_string(i);
+        bundle.threadEvents.push_back(tl);
+    }
+    ProcessLifeEvent pl;
+    pl.timestamp = 1100;
+    pl.pid = 1000;
+    pl.created = true;
+    pl.name = "app-0";
+    bundle.processEvents.push_back(pl);
+    MarkerEvent mk;
+    mk.timestamp = 1500;
+    mk.label = "input: click";
+    bundle.markers.push_back(mk);
+    return bundle;
+}
+
+std::string
+cpuCsvText()
+{
+    std::ostringstream out;
+    writeCpuUsageCsv(corpusBundle(), out);
+    return out.str();
+}
+
+std::string
+gpuCsvText()
+{
+    std::ostringstream out;
+    writeGpuUtilCsv(corpusBundle(), out);
+    return out.str();
+}
+
+std::string
+etlBytes()
+{
+    std::ostringstream out;
+    writeEtl(corpusBundle(), out);
+    return out.str();
+}
+
+/** The corpus invariants one ingest of @p report must satisfy. */
+void
+checkReport(const IngestReport &report, const ParseOptions &options)
+{
+    EXPECT_LE(report.errors.size(), options.maxStoredErrors);
+    EXPECT_GE(report.errorCount, report.errors.size());
+    if (!report.ok()) {
+        ASSERT_FALSE(report.errors.empty());
+        EXPECT_FALSE(report.errors.front().reason.empty());
+        // str() must render whatever location combination the
+        // reader produced without tripping anything.
+        EXPECT_FALSE(report.errors.front().str().empty());
+    }
+}
+
+constexpr std::size_t kMutantsPerReader = 250;
+
+/** Feed every mutant to @p ingest in both modes; nothing escapes. */
+template <typename IngestFn>
+void
+runCorpus(const std::string &valid, bool text, IngestFn &&ingest)
+{
+    FaultInjector injector(valid, 0xdeadbeefcafe1234ull, text);
+    for (std::size_t i = 0; i < kMutantsPerReader; ++i) {
+        std::string mutant = injector.mutant(i);
+        for (ParseMode mode : {ParseMode::Strict, ParseMode::Lenient}) {
+            SCOPED_TRACE("mutant " + std::to_string(i) + " (" +
+                         injector.mutationFor(i).describe() + "), " +
+                         (mode == ParseMode::Strict ? "strict"
+                                                    : "lenient"));
+            ParseOptions options;
+            options.mode = mode;
+            options.source = "mutant-" + std::to_string(i);
+            IngestReport report;
+            ASSERT_NO_THROW(report = ingest(mutant, options));
+            checkReport(report, options);
+        }
+    }
+}
+
+TEST(CorruptionCorpus, CpuCsvMutantsNeverEscape)
+{
+    runCorpus(cpuCsvText(), true,
+              [](const std::string &data,
+                 const ParseOptions &options) {
+                  std::istringstream in(data);
+                  TraceBundle bundle;
+                  return readCpuUsageCsv(in, bundle, options);
+              });
+}
+
+TEST(CorruptionCorpus, GpuCsvMutantsNeverEscape)
+{
+    runCorpus(gpuCsvText(), true,
+              [](const std::string &data,
+                 const ParseOptions &options) {
+                  std::istringstream in(data);
+                  TraceBundle bundle;
+                  return readGpuUtilCsv(in, bundle, options);
+              });
+}
+
+TEST(CorruptionCorpus, EtlMutantsNeverEscape)
+{
+    runCorpus(etlBytes(), false,
+              [](const std::string &data,
+                 const ParseOptions &options) {
+                  std::istringstream in(data);
+                  IngestReport report;
+                  readEtl(in, options, report);
+                  return report;
+              });
+}
+
+// ---------------------------------------------------------------------
+// Adversarial cases with pinned locations: the CSV readers.
+// ---------------------------------------------------------------------
+
+const char *kCpuHeader =
+    "New Process,New PID,New TID,CPU,Ready Time (ns),"
+    "Switch-In Time (ns),Old Process,Old PID,Old TID\n";
+const char *kGpuHeader =
+    "Process,PID,Engine,Queue Slot,Queued (ns),"
+    "Start Execution (ns),Finished (ns)\n";
+
+IngestReport
+ingestCpu(const std::string &text,
+          ParseMode mode = ParseMode::Strict)
+{
+    std::istringstream in(text);
+    TraceBundle bundle;
+    ParseOptions options;
+    options.mode = mode;
+    options.source = "test.csv";
+    return readCpuUsageCsv(in, bundle, options);
+}
+
+IngestReport
+ingestGpu(const std::string &text,
+          ParseMode mode = ParseMode::Strict)
+{
+    std::istringstream in(text);
+    TraceBundle bundle;
+    ParseOptions options;
+    options.mode = mode;
+    options.source = "test.csv";
+    return readGpuUtilCsv(in, bundle, options);
+}
+
+TEST(CsvDiagnostics, EmptyInputIsAHeaderErrorOnLineOne)
+{
+    IngestReport report = ingestCpu("");
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].section, "header");
+    EXPECT_EQ(report.errors[0].line, 1u);
+    EXPECT_EQ(report.errors[0].reason, "empty input");
+}
+
+TEST(CsvDiagnostics, TruncatedHeaderIsAHeaderErrorOnLineOne)
+{
+    IngestReport report = ingestCpu("New Proc\n");
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].section, "header");
+    EXPECT_EQ(report.errors[0].line, 1u);
+    EXPECT_NE(report.errors[0].reason.find("unexpected header"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, BadFieldCountNamesTheLine)
+{
+    std::string text = std::string(kCpuHeader) +
+                       "app (1000),1000,11,2,100,150,Idle (0),0,0\n" +
+                       "app (1000),1000,11,2,100\n";
+    IngestReport report = ingestCpu(text);
+    EXPECT_EQ(report.recordsParsed, 1u);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].line, 3u);
+    EXPECT_NE(report.errors[0].reason.find(
+                  "bad field count (5, want 9)"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, TrailingJunkInNumberNamesTheField)
+{
+    // The uncaught-std::stoull bug this PR fixes: "150xyz" used to
+    // parse as 150 (or throw std::invalid_argument elsewhere).
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,100,150xyz,Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].field, "Switch-In Time (ns)");
+    EXPECT_EQ(report.errors[0].line, 2u);
+    EXPECT_NE(report.errors[0].reason.find("non-numeric character"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, TwentyDigitOverflowIsRejected)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,99999999999999999999,150,"
+        "Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].field, "Ready Time (ns)");
+    EXPECT_NE(report.errors[0].reason.find("overflows 64 bits"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, PidColumnBoundIsEnforced)
+{
+    // 2^32 fits in 64 bits but not in a Pid.
+    std::string text = std::string(kCpuHeader) +
+                       "app (4294967296),4294967296,11,2,100,150,"
+                       "Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_NE(report.errors[0].reason.find("out of range"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, LabelPidMismatchIsDiagnosed)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1001,11,2,100,150,Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].field, "New PID");
+    EXPECT_NE(report.errors[0].reason.find("label/PID mismatch"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, UnterminatedQuoteNamesItsColumn)
+{
+    auto fields = splitCsvFields("a,\"bc,d");
+    ASSERT_FALSE(fields.ok());
+    EXPECT_EQ(fields.error().column, 3u);
+    EXPECT_NE(fields.error().reason.find("unterminated quoted field"),
+              std::string::npos);
+    EXPECT_THROW(splitCsvLine("a,\"bc,d"), deskpar::FatalError);
+}
+
+TEST(CsvDiagnostics, MidFieldQuoteNamesItsColumn)
+{
+    auto fields = splitCsvFields("a\"b,c");
+    ASSERT_FALSE(fields.ok());
+    EXPECT_EQ(fields.error().column, 2u);
+    EXPECT_NE(fields.error().reason.find(
+                  "quote inside unquoted field 1"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, TextAfterClosingQuoteIsRejected)
+{
+    auto fields = splitCsvFields("\"ab\"x,c");
+    ASSERT_FALSE(fields.ok());
+    EXPECT_EQ(fields.error().column, 5u);
+    EXPECT_NE(fields.error().reason.find("text after closing quote"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, QuoteDefectInsideARowGetsLineAndColumn)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "ap\"p (1000),1000,11,2,100,150,Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].line, 2u);
+    EXPECT_EQ(report.errors[0].column, 3u);
+    EXPECT_EQ(report.errors[0].section, "row");
+}
+
+TEST(CsvDiagnostics, UnknownGpuEngineNamesTheField)
+{
+    std::string text = std::string(kGpuHeader) +
+                       "app (1000),1000,Quantum,0,5,10,20\n";
+    IngestReport report = ingestGpu(text);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].field, "Engine");
+    EXPECT_NE(report.errors[0].reason.find(
+                  "unknown engine 'Quantum'"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, LenientModeSkipsBadRowsAndKeepsGoodOnes)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,100,150,Idle (0),0,0\n" +
+        "garbage line with no commas\n" +
+        "app (1000),1000,11,2,200,250xyz,Idle (0),0,0\n" +
+        "app (1000),1000,11,2,300,350,Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text, ParseMode::Lenient);
+    EXPECT_EQ(report.recordsParsed, 2u);
+    EXPECT_EQ(report.recordsSkipped, 2u);
+    EXPECT_EQ(report.errorCount, 2u);
+    EXPECT_EQ(report.errors[0].line, 3u);
+    EXPECT_EQ(report.errors[1].line, 4u);
+}
+
+TEST(CsvDiagnostics, StrictModeStopsAtTheFirstBadRow)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,100,150,Idle (0),0,0\n" +
+        "garbage line with no commas\n" +
+        "app (1000),1000,11,2,300,350,Idle (0),0,0\n";
+    std::istringstream in(text);
+    TraceBundle bundle;
+    ParseOptions options;
+    options.source = "test.csv";
+    IngestReport report = readCpuUsageCsv(in, bundle, options);
+    EXPECT_EQ(report.recordsParsed, 1u);
+    EXPECT_EQ(report.errorCount, 1u);
+    // The partial bundle holds exactly the rows before the defect.
+    EXPECT_EQ(bundle.cswitches.size(), 1u);
+}
+
+TEST(CsvDiagnostics, LegacyReaderThrowsTheStructuredError)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,100,150xyz,Idle (0),0,0\n";
+    std::istringstream in(text);
+    TraceBundle bundle;
+    try {
+        readCpuUsageCsv(in, bundle);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.error().line, 2u);
+        EXPECT_EQ(e.error().field, "Switch-In Time (ns)");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adversarial cases with pinned locations: the .etl container.
+// ---------------------------------------------------------------------
+
+IngestReport
+ingestEtl(const std::string &bytes,
+          ParseMode mode = ParseMode::Strict,
+          TraceBundle *out = nullptr)
+{
+    std::istringstream in(bytes);
+    ParseOptions options;
+    options.mode = mode;
+    options.source = "test.etl";
+    IngestReport report;
+    TraceBundle bundle = readEtl(in, options, report);
+    if (out)
+        *out = std::move(bundle);
+    return report;
+}
+
+TEST(EtlDiagnostics, BadMagicIsAHeaderErrorAtOffsetZero)
+{
+    std::string bytes = etlBytes();
+    bytes[0] ^= 0x40;
+    IngestReport report = ingestEtl(bytes);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].section, "header");
+    EXPECT_EQ(report.errors[0].offset, 0u);
+    EXPECT_EQ(report.errors[0].reason, "bad magic");
+}
+
+TEST(EtlDiagnostics, TruncationInsideTheHeaderNamesTheField)
+{
+    // Keep only the magic: the version varint is missing.
+    IngestReport report = ingestEtl(etlBytes().substr(0, 8));
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].section, "header");
+    EXPECT_EQ(report.errors[0].field, "version");
+    EXPECT_EQ(report.errors[0].reason, "truncated varint");
+    EXPECT_EQ(report.errors[0].offset, 8u);
+}
+
+TEST(EtlDiagnostics, TailTruncationYieldsAStructuredError)
+{
+    std::string bytes = etlBytes();
+    IngestReport report =
+        ingestEtl(bytes.substr(0, bytes.size() - 2));
+    EXPECT_FALSE(report.ok());
+    ASSERT_FALSE(report.errors.empty());
+    EXPECT_EQ(report.errors.front().source, "test.etl");
+}
+
+TEST(EtlDiagnostics, LenientModeSkipsAnUnknownSection)
+{
+    // Splice an unknown section frame just before the End tag; a
+    // v3 reader must hop over it via the length prefix.
+    std::string bytes = etlBytes();
+    std::string frame;
+    frame.push_back(static_cast<char>(0x63));
+    putVarint(frame, 3);
+    frame += "abc";
+    bytes.insert(bytes.size() - 1, frame);
+
+    IngestReport strict = ingestEtl(bytes);
+    EXPECT_FALSE(strict.ok());
+    ASSERT_FALSE(strict.errors.empty());
+    EXPECT_NE(strict.errors[0].reason.find("unknown section tag 99"),
+              std::string::npos);
+
+    TraceBundle salvaged;
+    IngestReport lenient =
+        ingestEtl(bytes, ParseMode::Lenient, &salvaged);
+    EXPECT_EQ(lenient.errorCount, 1u);
+    // Everything framed before (and after) the junk still decodes.
+    TraceBundle original = corpusBundle();
+    EXPECT_EQ(salvaged.cswitches.size(), original.cswitches.size());
+    EXPECT_EQ(salvaged.gpuPackets.size(),
+              original.gpuPackets.size());
+    EXPECT_EQ(salvaged.processNames.size(),
+              original.processNames.size());
+}
+
+TEST(EtlDiagnostics, WriteRejectsUnsortedCSwitchesByRecordIndex)
+{
+    // The silent-corruption bug this PR fixes: an unsorted stream
+    // used to delta-encode through unsigned underflow and produce a
+    // garbage file that read back "successfully".
+    TraceBundle bundle = corpusBundle();
+    std::swap(bundle.cswitches[3], bundle.cswitches[4]);
+    std::ostringstream out;
+    try {
+        writeEtl(bundle, out);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.error().section, "CSwitch");
+        EXPECT_EQ(e.error().record, 4u);
+        EXPECT_NE(e.error().reason.find("stream not sorted"),
+                  std::string::npos);
+    }
+}
+
+TEST(EtlDiagnostics, WriteRejectsGpuQueuedAfterStart)
+{
+    TraceBundle bundle = corpusBundle();
+    bundle.gpuPackets[2].queued = bundle.gpuPackets[2].start + 1;
+    std::ostringstream out;
+    try {
+        writeEtl(bundle, out);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.error().section, "GpuPackets");
+        EXPECT_EQ(e.error().record, 2u);
+        EXPECT_NE(e.error().reason.find("queued"),
+                  std::string::npos);
+    }
+}
+
+TEST(EtlDiagnostics, WriteRejectsGpuFinishBeforeStart)
+{
+    TraceBundle bundle = corpusBundle();
+    bundle.gpuPackets[5].finish = bundle.gpuPackets[5].start - 1;
+    std::ostringstream out;
+    try {
+        writeEtl(bundle, out);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.error().section, "GpuPackets");
+        EXPECT_EQ(e.error().record, 5u);
+        EXPECT_NE(e.error().reason.find("finish"),
+                  std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Round-trip properties on clean input.
+// ---------------------------------------------------------------------
+
+TEST(RoundTrip, CleanCpuCsvParsesIdenticallyInBothModes)
+{
+    std::string text = cpuCsvText();
+    for (ParseMode mode : {ParseMode::Strict, ParseMode::Lenient}) {
+        std::istringstream in(text);
+        TraceBundle bundle;
+        ParseOptions options;
+        options.mode = mode;
+        IngestReport report = readCpuUsageCsv(in, bundle, options);
+        EXPECT_TRUE(report.ok());
+        EXPECT_EQ(report.recordsParsed,
+                  corpusBundle().cswitches.size());
+        EXPECT_EQ(report.recordsSkipped, 0u);
+        std::ostringstream rewritten;
+        writeCpuUsageCsv(bundle, rewritten);
+        EXPECT_EQ(rewritten.str(), text);
+    }
+}
+
+TEST(RoundTrip, CleanGpuCsvParsesIdenticallyInBothModes)
+{
+    std::string text = gpuCsvText();
+    for (ParseMode mode : {ParseMode::Strict, ParseMode::Lenient}) {
+        std::istringstream in(text);
+        TraceBundle bundle;
+        ParseOptions options;
+        options.mode = mode;
+        IngestReport report = readGpuUtilCsv(in, bundle, options);
+        EXPECT_TRUE(report.ok());
+        EXPECT_EQ(report.recordsParsed,
+                  corpusBundle().gpuPackets.size());
+        std::ostringstream rewritten;
+        writeGpuUtilCsv(bundle, rewritten);
+        EXPECT_EQ(rewritten.str(), text);
+    }
+}
+
+TEST(RoundTrip, CleanEtlReencodesByteIdenticallyInBothModes)
+{
+    std::string bytes = etlBytes();
+    for (ParseMode mode : {ParseMode::Strict, ParseMode::Lenient}) {
+        TraceBundle bundle;
+        IngestReport report = ingestEtl(bytes, mode, &bundle);
+        EXPECT_TRUE(report.ok());
+        EXPECT_FALSE(report.salvaged);
+        std::ostringstream rewritten;
+        writeEtl(bundle, rewritten);
+        EXPECT_EQ(rewritten.str(), bytes);
+    }
+}
+
+TEST(RoundTrip, MutantsAreDeterministic)
+{
+    FaultInjector a(etlBytes(), 42, false);
+    FaultInjector b(etlBytes(), 42, false);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(a.mutant(i), b.mutant(i)) << "index " << i;
+    // A different seed perturbs at least some of the family.
+    FaultInjector c(etlBytes(), 43, false);
+    unsigned differing = 0;
+    for (std::size_t i = 0; i < 32; ++i)
+        differing += a.mutant(i) != c.mutant(i);
+    EXPECT_GT(differing, 0u);
+}
+
+} // namespace

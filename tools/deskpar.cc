@@ -25,6 +25,13 @@
  *       table) and <prefix>.jsonl (one JSON record per application)
  *       — a reproducibility dossier.
  *
+ *   deskpar replay <file...> [--app PREFIX] [--lenient-traces]
+ *       Re-analyze saved traces (.etl, or a CPU Usage .csv). A
+ *       corrupt file fails that file only — its structured parse
+ *       error is reported and every other file still completes.
+ *       --lenient-traces skips malformed records instead and
+ *       analyzes what remains (the report notes what was dropped).
+ *
  * Common options:
  *   --cores N        active CPUs (logical with SMT, physical without)
  *   --no-smt         disable SMT (one hardware thread per core)
@@ -56,6 +63,7 @@
 #include "apps/harness.hh"
 #include "apps/legacy.hh"
 #include "apps/registry.hh"
+#include "apps/runner.hh"
 #include "report/figure.hh"
 #include "report/json.hh"
 #include "report/heatmap.hh"
@@ -369,18 +377,102 @@ cmdReport(const std::string &prefix, CliOptions cli)
 int
 cmdSuite(CliOptions cli)
 {
+    std::vector<apps::SuiteJob> jobs;
+    std::vector<std::string> ids;
+    for (const auto &entry : apps::tableTwoSuite()) {
+        jobs.push_back(apps::suiteJob(entry.id, cli.run));
+        ids.push_back(entry.id);
+    }
+    apps::SuiteOutcome outcome =
+        apps::SuiteRunner().runRecoverable(jobs);
+
     report::TextTable table(
         {"Id", "TLP", "GPU util (%)", "Max conc."});
-    for (const auto &entry : apps::tableTwoSuite()) {
-        apps::AppRunResult result =
-            apps::runWorkload(entry.id, cli.run);
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (outcome.failed(j)) {
+            table.row().cell(ids[j]).cell("FAILED").cell("-").cell(
+                "-");
+            continue;
+        }
+        const apps::AppRunResult &result = outcome.results[j];
         table.row()
-            .cell(entry.id)
+            .cell(ids[j])
             .cell(result.tlp(), 2)
             .cell(result.gpuUtil(), 1)
             .cell(result.agg.maxConcurrency.mean(), 0);
     }
     table.print(std::cout);
+    for (const apps::JobFailure &f : outcome.failures)
+        std::fprintf(stderr, "deskpar: job '%s' failed: %s\n",
+                     f.label.c_str(), f.error.str().c_str());
+    return outcome.ok() ? 0 : 1;
+}
+
+int
+cmdReplay(int argc, char **argv, int first)
+{
+    std::vector<std::string> files;
+    std::string appPrefix;
+    bool lenient = false;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--lenient-traces")) {
+            lenient = true;
+        } else if (!std::strcmp(arg, "--app")) {
+            if (i + 1 >= argc)
+                usage();
+            appPrefix = argv[++i];
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage();
+        } else {
+            files.emplace_back(arg);
+        }
+    }
+    if (files.empty())
+        usage();
+
+    apps::RunOptions options;
+    options.iterations = 1;
+    trace::ParseMode mode = lenient ? trace::ParseMode::Lenient
+                                    : trace::ParseMode::Strict;
+    std::vector<apps::SuiteJob> jobs;
+    for (const std::string &file : files)
+        jobs.push_back(
+            apps::replayJob(file, options, appPrefix, mode));
+
+    apps::SuiteOutcome outcome =
+        apps::SuiteRunner().runRecoverable(jobs);
+
+    report::TextTable table({"Trace", "TLP", "GPU util (%)",
+                             "Max conc.", "Status"});
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        if (outcome.failed(j)) {
+            table.row()
+                .cell(files[j])
+                .cell("-")
+                .cell("-")
+                .cell("-")
+                .cell("FAILED");
+            continue;
+        }
+        const apps::AppRunResult &result = outcome.results[j];
+        table.row()
+            .cell(files[j])
+            .cell(result.tlp(), 2)
+            .cell(result.gpuUtil(), 1)
+            .cell(result.agg.maxConcurrency.mean(), 0)
+            .cell("ok");
+    }
+    table.print(std::cout);
+    for (const apps::JobFailure &f : outcome.failures)
+        std::fprintf(stderr, "deskpar: %s\n",
+                     f.error.str().c_str());
+    if (!outcome.ok()) {
+        std::fprintf(stderr, "deskpar: replay batch degraded: %s\n",
+                     outcome.ingest.summary().c_str());
+        return 1;
+    }
     return 0;
 }
 
@@ -405,6 +497,8 @@ main(int argc, char **argv)
             return cmdReport(argv[2],
                              parseOptions(argc, argv, 3));
         }
+        if (command == "replay")
+            return cmdReplay(argc, argv, 2);
         if (command == "run" || command == "sweep" ||
             command == "threads") {
             if (argc < 3)
