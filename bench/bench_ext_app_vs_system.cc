@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "analysis/analyzer.hh"
+#include "analysis/trace_index.hh"
 #include "apps/registry.hh"
 #include "bench_util.hh"
 
@@ -34,10 +35,11 @@ main()
         apps::AppRunResult result =
             apps::runWorkload("photoshop", options);
 
-        auto app = analysis::analyzeApp(result.lastBundle,
-                                        result.lastPids);
-        auto system = analysis::analyzeApp(result.lastBundle,
-                                           trace::PidSet{});
+        // Both views analyze the same trace: share one index so the
+        // GPU columns are built once for the two sweeps.
+        analysis::TraceIndex index(result.lastBundle);
+        auto app = analysis::analyzeApp(index, result.lastPids);
+        auto system = analysis::analyzeApp(index, trace::PidSet{});
 
         char label[32];
         std::snprintf(label, sizeof(label), "%.1fx", noise);

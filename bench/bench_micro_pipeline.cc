@@ -9,11 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <sstream>
 
+#include "analysis/analyzer.hh"
+#include "analysis/framerate.hh"
 #include "analysis/gpu_util.hh"
 #include "analysis/timeseries.hh"
 #include "analysis/tlp.hh"
+#include "analysis/trace_index.hh"
 #include "apps/harness.hh"
 #include "apps/registry.hh"
 #include "trace/csv.hh"
@@ -97,6 +101,112 @@ BM_TlpTimeSeries(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TlpTimeSeries);
+
+/** Warm static index over the sample bundle (shared across benches). */
+const analysis::TraceIndex &
+sampleIndex()
+{
+    static analysis::TraceIndex index(sampleBundle());
+    static const bool warmed =
+        (index.warm(samplePids()), true);
+    (void)warmed;
+    return index;
+}
+
+void
+BM_IndexBuild(benchmark::State &state)
+{
+    // Cold build plus one whole-window query: what one-shot callers
+    // (the computeConcurrency wrapper) pay per bundle.
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        analysis::TraceIndex index(bundle);
+        auto profile = index.concurrency(pids);
+        benchmark::DoNotOptimize(profile.tlp());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            bundle.cswitches.size());
+}
+BENCHMARK(BM_IndexBuild);
+
+void
+BM_IndexWindowQuery(benchmark::State &state)
+{
+    // Warm windowed query: the timeline figures' per-window cost.
+    const auto &index = sampleIndex();
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    sim::SimTime t0 = bundle.startTime;
+    sim::SimTime t1 = std::min(t0 + sim::msec(250), bundle.stopTime);
+    for (auto _ : state) {
+        auto profile = index.concurrency(pids, t0, t1);
+        benchmark::DoNotOptimize(profile.tlp());
+    }
+}
+BENCHMARK(BM_IndexWindowQuery);
+
+void
+BM_LegacyWindowSweep(benchmark::State &state)
+{
+    // The same 250 ms window via the legacy full sweep, for the
+    // speedup ratio against BM_IndexWindowQuery.
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    sim::SimTime t0 = bundle.startTime;
+    sim::SimTime t1 = std::min(t0 + sim::msec(250), bundle.stopTime);
+    for (auto _ : state) {
+        auto profile =
+            analysis::legacy::computeConcurrency(bundle, pids, t0, t1);
+        benchmark::DoNotOptimize(profile.tlp());
+    }
+}
+BENCHMARK(BM_LegacyWindowSweep);
+
+void
+BM_IndexTlpTimeSeries(benchmark::State &state)
+{
+    // Full 250 ms-window TLP series on a warm index; compare against
+    // BM_TlpTimeSeries (which builds its index per call).
+    const auto &index = sampleIndex();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        auto series =
+            analysis::tlpSeries(index, pids, sim::msec(250));
+        benchmark::DoNotOptimize(series.maxValue());
+    }
+}
+BENCHMARK(BM_IndexTlpTimeSeries);
+
+void
+BM_AnalyzeAppFused(benchmark::State &state)
+{
+    const auto &index = sampleIndex();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        auto metrics = analysis::analyzeApp(index, pids);
+        benchmark::DoNotOptimize(metrics.tlp());
+    }
+}
+BENCHMARK(BM_AnalyzeAppFused);
+
+void
+BM_AnalyzeAppLegacy(benchmark::State &state)
+{
+    // The pre-index composition: three independent full sweeps.
+    const auto &bundle = sampleBundle();
+    const auto &pids = samplePids();
+    for (auto _ : state) {
+        analysis::AppMetrics metrics;
+        metrics.concurrency =
+            analysis::legacy::computeConcurrency(bundle, pids);
+        metrics.gpu = analysis::legacy::computeGpuUtil(bundle, pids);
+        metrics.frames =
+            analysis::legacy::computeFrameStats(bundle, pids);
+        benchmark::DoNotOptimize(metrics.tlp());
+    }
+}
+BENCHMARK(BM_AnalyzeAppLegacy);
 
 void
 BM_EtlWrite(benchmark::State &state)

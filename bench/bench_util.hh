@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/timeseries.hh"
+#include "analysis/trace_index.hh"
 #include "apps/harness.hh"
 #include "apps/registry.hh"
 #include "apps/runner.hh"
@@ -74,7 +75,12 @@ class SuiteTimer
         : name_(std::move(name)),
           jobs_(apps::SuiteRunner::defaultThreads()),
           start_(std::chrono::steady_clock::now())
-    {}
+    {
+        if (const char *fast = std::getenv("DESKPAR_FAST");
+            fast && fast[0] == '1') {
+            fast_ = 1;
+        }
+    }
 
     SuiteTimer(const SuiteTimer &) = delete;
     SuiteTimer &operator=(const SuiteTimer &) = delete;
@@ -89,8 +95,8 @@ class SuiteTimer
         char line[256];
         std::snprintf(line, sizeof(line),
                       "{\"bench\":\"%s\",\"wall_seconds\":%.3f,"
-                      "\"jobs\":%u}",
-                      name_.c_str(), wall.count(), jobs_);
+                      "\"jobs\":%u,\"fast\":%u}",
+                      name_.c_str(), wall.count(), jobs_, fast_);
         out << line << "\n";
         std::printf("\n[%s] wall %.3f s, %u runner thread(s)\n",
                     name_.c_str(), wall.count(), jobs_);
@@ -99,6 +105,7 @@ class SuiteTimer
   private:
     std::string name_;
     unsigned jobs_;
+    unsigned fast_ = 0;
     std::chrono::steady_clock::time_point start_;
 };
 
@@ -120,17 +127,29 @@ runTimelineFigure(const std::string &id,
                   const std::vector<unsigned> &core_counts,
                   sim::SimDuration window)
 {
+    // One suite job per core count: the simulations fan out across
+    // the runner pool, and the per-run series share one TraceIndex so
+    // every window is a pair of binary searches instead of a full
+    // event-stream sweep.
+    std::vector<apps::SuiteJob> jobs;
+    jobs.reserve(core_counts.size());
     for (unsigned cores : core_counts) {
         apps::RunOptions options = paperRunOptions();
         options.iterations = 1;
         options.config.activeCpus = cores;
-        apps::AppRunResult result = apps::runWorkload(id, options);
+        jobs.push_back(apps::suiteJob(id, options));
+    }
+    std::vector<apps::AppRunResult> results = runSuiteParallel(jobs);
 
-        auto conc = analysis::concurrencySeries(result.lastBundle,
-                                                result.lastPids,
-                                                window);
-        auto gpu = analysis::gpuUtilSeries(result.lastBundle,
-                                           result.lastPids, window);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        unsigned cores = core_counts[i];
+        const apps::AppRunResult &result = results[i];
+
+        analysis::TraceIndex index(result.lastBundle);
+        auto conc = analysis::concurrencySeries(
+            index, result.lastPids, window);
+        auto gpu =
+            analysis::gpuUtilSeries(index, result.lastPids, window);
 
         std::printf("\n--- %u logical cores (SMT on) ---\n", cores);
         std::printf("avg TLP %.2f | max instantaneous TLP %.1f | "

@@ -1,31 +1,46 @@
 #include "analysis/analyzer.hh"
 
+#include "analysis/trace_index.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::analysis {
 
 AppMetrics
-analyzeApp(const TraceBundle &bundle, const std::string &process_prefix)
+analyzeApp(const TraceIndex &index, const std::string &process_prefix)
 {
     PidSet pids;
     if (!process_prefix.empty()) {
-        pids = trace::pidsWithPrefix(bundle, process_prefix);
+        pids = trace::pidsWithPrefix(index.bundle(), process_prefix);
         if (pids.empty()) {
             deskpar::fatal("analyzeApp: no process named " +
                            process_prefix);
         }
     }
-    return analyzeApp(bundle, pids);
+    return analyzeApp(index, pids);
+}
+
+AppMetrics
+analyzeApp(const TraceIndex &index, const PidSet &pids)
+{
+    AppMetrics metrics;
+    metrics.concurrency = index.concurrency(pids);
+    metrics.gpu = index.gpuUtil(pids);
+    metrics.frames = index.frameStats(pids);
+    return metrics;
+}
+
+AppMetrics
+analyzeApp(const TraceBundle &bundle, const std::string &process_prefix)
+{
+    TraceIndex index(bundle);
+    return analyzeApp(index, process_prefix);
 }
 
 AppMetrics
 analyzeApp(const TraceBundle &bundle, const PidSet &pids)
 {
-    AppMetrics metrics;
-    metrics.concurrency = computeConcurrency(bundle, pids);
-    metrics.gpu = computeGpuUtil(bundle, pids);
-    metrics.frames = computeFrameStats(bundle, pids);
-    return metrics;
+    TraceIndex index(bundle);
+    return analyzeApp(index, pids);
 }
 
 void

@@ -19,6 +19,8 @@
 
 namespace deskpar::analysis {
 
+class TraceIndex;
+
 /**
  * Metrics of one application in one trace (one iteration).
  */
@@ -35,12 +37,28 @@ struct AppMetrics
 /**
  * Analyze @p bundle for the application consisting of processes whose
  * names start with @p process_prefix (empty = system-wide).
+ *
+ * The bundle overloads build one TraceIndex internally and run the
+ * fused sweep; callers analyzing the same bundle repeatedly (e.g.
+ * multiple iterations or app + system views) should build the index
+ * once and use the index overloads.
  */
 AppMetrics analyzeApp(const TraceBundle &bundle,
                       const std::string &process_prefix);
 
 /** Analyze with an explicit pid set. */
 AppMetrics analyzeApp(const TraceBundle &bundle, const PidSet &pids);
+
+/**
+ * Index-backed fused analysis: one cswitch sweep, one frame sweep and
+ * one GPU column build fill every AppMetrics field (columns are
+ * reused when already cached on the index).
+ */
+AppMetrics analyzeApp(const TraceIndex &index,
+                      const std::string &process_prefix);
+
+/** Index-backed variant with an explicit pid set. */
+AppMetrics analyzeApp(const TraceIndex &index, const PidSet &pids);
 
 /**
  * Aggregate of N iterations of one application: the Table II row.

@@ -4,8 +4,11 @@
 #include <vector>
 
 #include "analysis/stats.hh"
+#include "analysis/trace_index.hh"
 
 namespace deskpar::analysis {
+
+namespace legacy {
 
 FrameStats
 computeFrameStats(const TraceBundle &bundle, const PidSet &pids)
@@ -53,6 +56,15 @@ computeFrameStats(const TraceBundle &bundle, const PidSet &pids)
         stats.onePercentLowFps = 1e9 / gaps[idx];
     }
     return stats;
+}
+
+} // namespace legacy
+
+FrameStats
+computeFrameStats(const TraceBundle &bundle, const PidSet &pids)
+{
+    TraceIndex index(bundle);
+    return index.frameStats(pids);
 }
 
 } // namespace deskpar::analysis

@@ -38,9 +38,24 @@ struct FrameStats
     }
 };
 
-/** Compute frame statistics for @p pids (empty = all). */
+/**
+ * Compute frame statistics for @p pids (empty = all). A thin wrapper
+ * over TraceIndex (trace_index.hh), which caches the result per pid
+ * set.
+ */
 FrameStats computeFrameStats(const TraceBundle &bundle,
                              const PidSet &pids);
+
+namespace legacy {
+
+/**
+ * The direct single-sweep implementation — the bit-identical
+ * reference for (and backing store of) the index-cached path.
+ */
+FrameStats computeFrameStats(const TraceBundle &bundle,
+                             const PidSet &pids);
+
+} // namespace legacy
 
 } // namespace deskpar::analysis
 

@@ -1,22 +1,24 @@
 #include "analysis/gpu_util.hh"
 
 #include "analysis/intervals.hh"
+#include "analysis/trace_index.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::analysis {
 
-GpuUtilization
-computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
-               sim::SimTime t0, sim::SimTime t1)
-{
-    if (t1 <= t0)
-        deskpar::fatal("computeGpuUtil: empty window");
+namespace detail {
 
+GpuUtilization
+foldGpuPackets(const TraceBundle &bundle, const PidSet &pids,
+               sim::SimTime t0, sim::SimTime t1, std::size_t first,
+               std::size_t last)
+{
     GpuUtilization out;
     double window = static_cast<double>(t1 - t0);
 
     std::vector<Interval> busy;
-    for (const auto &e : bundle.gpuPackets) {
+    for (std::size_t i = first; i < last; ++i) {
+        const auto &e = bundle.gpuPackets[i];
         if (!pids.empty() && pids.count(e.pid) == 0)
             continue;
         Interval iv = Interval{e.start, e.finish}.clampTo(t0, t1);
@@ -33,6 +35,37 @@ computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
         static_cast<double>(unionLengthInPlace(busy)) / window;
     out.overlapped = out.aggregateRatio > out.busyRatio + 1e-9;
     return out;
+}
+
+} // namespace detail
+
+namespace legacy {
+
+GpuUtilization
+computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
+               sim::SimTime t0, sim::SimTime t1)
+{
+    if (t1 <= t0)
+        deskpar::fatal("computeGpuUtil: empty window");
+    return detail::foldGpuPackets(bundle, pids, t0, t1, 0,
+                                  bundle.gpuPackets.size());
+}
+
+GpuUtilization
+computeGpuUtil(const TraceBundle &bundle, const PidSet &pids)
+{
+    return computeGpuUtil(bundle, pids, bundle.startTime,
+                          bundle.stopTime);
+}
+
+} // namespace legacy
+
+GpuUtilization
+computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
+               sim::SimTime t0, sim::SimTime t1)
+{
+    TraceIndex index(bundle);
+    return index.gpuUtil(pids, t0, t1);
 }
 
 GpuUtilization

@@ -16,6 +16,7 @@
 #define DESKPAR_ANALYSIS_GPU_UTIL_HH
 
 #include <array>
+#include <cstddef>
 
 #include "trace/event.hh"
 #include "trace/filter.hh"
@@ -57,6 +58,9 @@ struct GpuUtilization
 /**
  * Compute GPU utilization over [@p t0, @p t1) for processes in
  * @p pids (empty set = all processes).
+ *
+ * A thin wrapper over TraceIndex (trace_index.hh); callers issuing
+ * many windowed queries should build the index once instead.
  */
 GpuUtilization computeGpuUtil(const TraceBundle &bundle,
                               const PidSet &pids, sim::SimTime t0,
@@ -65,6 +69,38 @@ GpuUtilization computeGpuUtil(const TraceBundle &bundle,
 /** Convenience: whole-bundle window. */
 GpuUtilization computeGpuUtil(const TraceBundle &bundle,
                               const PidSet &pids);
+
+namespace legacy {
+
+/**
+ * The direct full-scan implementation — the bit-identical reference
+ * for the index-backed path. Same contract as computeGpuUtil.
+ */
+GpuUtilization computeGpuUtil(const TraceBundle &bundle,
+                              const PidSet &pids, sim::SimTime t0,
+                              sim::SimTime t1);
+
+/** Convenience: whole-bundle window. */
+GpuUtilization computeGpuUtil(const TraceBundle &bundle,
+                              const PidSet &pids);
+
+} // namespace legacy
+
+namespace detail {
+
+/**
+ * Fold gpuPackets[first, last) into a GpuUtilization over
+ * [@p t0, @p t1), in stream order. Shared by the legacy scan
+ * (first=0, last=size) and the index's candidate-range query, so the
+ * floating-point accumulation order — and hence the result — is the
+ * same in both: packets clamped to nothing contribute no terms.
+ */
+GpuUtilization foldGpuPackets(const TraceBundle &bundle,
+                              const PidSet &pids, sim::SimTime t0,
+                              sim::SimTime t1, std::size_t first,
+                              std::size_t last);
+
+} // namespace detail
 
 } // namespace deskpar::analysis
 

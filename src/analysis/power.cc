@@ -5,18 +5,14 @@
 
 #include "analysis/gpu_util.hh"
 #include "analysis/intervals.hh"
-#include "analysis/tlp.hh"
+#include "analysis/trace_index.hh"
 
 namespace deskpar::analysis {
 
-namespace {
+namespace detail {
 
-/**
- * Per-logical-CPU busy intervals reconstructed from the context-
- * switch stream (any non-idle pid counts; power is machine-level).
- */
 std::map<trace::CpuId, std::vector<Interval>>
-busyIntervals(const trace::TraceBundle &bundle)
+cpuBusyIntervals(const trace::TraceBundle &bundle)
 {
     std::map<trace::CpuId, std::vector<Interval>> out;
     std::map<trace::CpuId, sim::SimTime> busySince;
@@ -42,16 +38,14 @@ busyIntervals(const trace::TraceBundle &bundle)
     return out;
 }
 
-} // namespace
-
 PowerEstimate
-estimatePower(const trace::TraceBundle &bundle,
-              const sim::CpuSpec &cpu, const sim::GpuSpec &gpu)
+powerFromBusyIntervals(
+    const std::map<trace::CpuId, std::vector<Interval>> &intervals,
+    double seconds, double gpu_busy_ratio, const sim::CpuSpec &cpu,
+    const sim::GpuSpec &gpu)
 {
     PowerEstimate out;
-    out.seconds = sim::toSeconds(bundle.duration());
-    if (bundle.duration() == 0)
-        return out;
+    out.seconds = seconds;
 
     // A physical core burns its share of (TDP - idle) while either
     // hardware thread runs; the second thread adds only a small
@@ -59,7 +53,6 @@ estimatePower(const trace::TraceBundle &bundle,
     // energy-wise.
     constexpr double kSmtPowerIncrement = 0.07;
 
-    auto intervals = busyIntervals(bundle);
     unsigned tpc = cpu.threadsPerCore;
     double core_seconds = 0.0;  // physical-core busy time
     double smt_seconds = 0.0;   // both-siblings-busy time
@@ -87,10 +80,39 @@ estimatePower(const trace::TraceBundle &bundle,
                     kSmtPowerIncrement * smt_seconds) /
             out.seconds;
 
-    GpuUtilization util = computeGpuUtil(bundle, trace::PidSet{});
     out.gpuWatts = gpu.idleWatts +
-                   (gpu.tdpWatts - gpu.idleWatts) * util.busyRatio;
+                   (gpu.tdpWatts - gpu.idleWatts) * gpu_busy_ratio;
     return out;
+}
+
+} // namespace detail
+
+namespace legacy {
+
+PowerEstimate
+estimatePower(const trace::TraceBundle &bundle,
+              const sim::CpuSpec &cpu, const sim::GpuSpec &gpu)
+{
+    PowerEstimate out;
+    out.seconds = sim::toSeconds(bundle.duration());
+    if (bundle.duration() == 0)
+        return out;
+
+    GpuUtilization util =
+        legacy::computeGpuUtil(bundle, trace::PidSet{});
+    return detail::powerFromBusyIntervals(
+        detail::cpuBusyIntervals(bundle), out.seconds,
+        util.busyRatio, cpu, gpu);
+}
+
+} // namespace legacy
+
+PowerEstimate
+estimatePower(const trace::TraceBundle &bundle,
+              const sim::CpuSpec &cpu, const sim::GpuSpec &gpu)
+{
+    TraceIndex index(bundle);
+    return index.power(cpu, gpu);
 }
 
 } // namespace deskpar::analysis

@@ -19,8 +19,13 @@
 #ifndef DESKPAR_ANALYSIS_POWER_HH
 #define DESKPAR_ANALYSIS_POWER_HH
 
+#include <map>
+#include <vector>
+
+#include "analysis/intervals.hh"
 #include "sim/cpu.hh"
 #include "sim/gpu.hh"
+#include "trace/event.hh"
 #include "trace/session.hh"
 
 namespace deskpar::analysis {
@@ -49,10 +54,46 @@ struct PowerEstimate
 /**
  * Estimate average power over the whole bundle window. All processes
  * contribute (power is a machine-level quantity).
+ *
+ * A thin wrapper over TraceIndex (trace_index.hh), which caches the
+ * per-CPU busy intervals and GPU columns.
  */
 PowerEstimate estimatePower(const trace::TraceBundle &bundle,
                             const sim::CpuSpec &cpu,
                             const sim::GpuSpec &gpu);
+
+namespace legacy {
+
+/**
+ * The direct implementation — the bit-identical reference for the
+ * index-backed path.
+ */
+PowerEstimate estimatePower(const trace::TraceBundle &bundle,
+                            const sim::CpuSpec &cpu,
+                            const sim::GpuSpec &gpu);
+
+} // namespace legacy
+
+namespace detail {
+
+/**
+ * Per-logical-CPU busy intervals reconstructed from the context-
+ * switch stream (any non-idle pid counts; power is machine-level).
+ * Shared by the legacy estimator and the index's cached column.
+ */
+std::map<trace::CpuId, std::vector<Interval>>
+cpuBusyIntervals(const trace::TraceBundle &bundle);
+
+/**
+ * The spec-model half of estimatePower over prebuilt busy intervals
+ * and a GPU busy ratio. @p seconds must be the nonzero window length.
+ */
+PowerEstimate powerFromBusyIntervals(
+    const std::map<trace::CpuId, std::vector<Interval>> &intervals,
+    double seconds, double gpu_busy_ratio, const sim::CpuSpec &cpu,
+    const sim::GpuSpec &gpu);
+
+} // namespace detail
 
 } // namespace deskpar::analysis
 

@@ -4,24 +4,18 @@
 #include <cstring>
 #include <vector>
 
+#include "analysis/trace_index.hh"
+
 namespace deskpar::analysis {
 
+namespace detail {
+
 Responsiveness
-computeResponsiveness(const trace::TraceBundle &bundle,
-                      const trace::PidSet &pids)
+responsivenessFromDispatches(
+    const trace::TraceBundle &bundle,
+    const std::vector<sim::SimTime> &dispatches)
 {
     Responsiveness out;
-
-    // Dispatch times of the application's threads, sorted (cswitch
-    // streams are time-ordered already, but be defensive).
-    std::vector<sim::SimTime> dispatches;
-    for (const auto &e : bundle.cswitches) {
-        bool is_app = e.newPid != 0 &&
-                      (pids.empty() || pids.count(e.newPid) != 0);
-        if (is_app)
-            dispatches.push_back(e.timestamp);
-    }
-    std::sort(dispatches.begin(), dispatches.end());
 
     const std::size_t prefix_len =
         std::strlen(kInputMarkerPrefix);
@@ -41,6 +35,38 @@ computeResponsiveness(const trace::TraceBundle &bundle,
             static_cast<double>(*it - marker.timestamp));
     }
     return out;
+}
+
+} // namespace detail
+
+namespace legacy {
+
+Responsiveness
+computeResponsiveness(const trace::TraceBundle &bundle,
+                      const trace::PidSet &pids)
+{
+    // Dispatch times of the application's threads, sorted (cswitch
+    // streams are time-ordered already, but be defensive).
+    std::vector<sim::SimTime> dispatches;
+    for (const auto &e : bundle.cswitches) {
+        bool is_app = e.newPid != 0 &&
+                      (pids.empty() || pids.count(e.newPid) != 0);
+        if (is_app)
+            dispatches.push_back(e.timestamp);
+    }
+    std::sort(dispatches.begin(), dispatches.end());
+
+    return detail::responsivenessFromDispatches(bundle, dispatches);
+}
+
+} // namespace legacy
+
+Responsiveness
+computeResponsiveness(const trace::TraceBundle &bundle,
+                      const trace::PidSet &pids)
+{
+    TraceIndex index(bundle);
+    return index.responsiveness(pids);
 }
 
 } // namespace deskpar::analysis

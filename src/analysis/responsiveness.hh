@@ -14,6 +14,8 @@
 #ifndef DESKPAR_ANALYSIS_RESPONSIVENESS_HH
 #define DESKPAR_ANALYSIS_RESPONSIVENESS_HH
 
+#include <vector>
+
 #include "analysis/stats.hh"
 #include "trace/filter.hh"
 #include "trace/session.hh"
@@ -44,9 +46,36 @@ struct Responsiveness
  * (empty = any non-idle process): for each input marker, the time
  * until the next context switch that puts one of the application's
  * threads on a CPU.
+ *
+ * A thin wrapper over TraceIndex (trace_index.hh), which caches the
+ * sorted dispatch column per pid set.
  */
 Responsiveness computeResponsiveness(const trace::TraceBundle &bundle,
                                      const trace::PidSet &pids);
+
+namespace legacy {
+
+/**
+ * The direct implementation — the bit-identical reference for the
+ * index-backed path.
+ */
+Responsiveness computeResponsiveness(const trace::TraceBundle &bundle,
+                                     const trace::PidSet &pids);
+
+} // namespace legacy
+
+namespace detail {
+
+/**
+ * The marker-matching half of computeResponsiveness, over a sorted
+ * dispatch column. Shared by the legacy path (which collects the
+ * column per call) and the index (which caches it per pid set).
+ */
+Responsiveness
+responsivenessFromDispatches(const trace::TraceBundle &bundle,
+                             const std::vector<sim::SimTime> &dispatches);
+
+} // namespace detail
 
 } // namespace deskpar::analysis
 

@@ -4,6 +4,7 @@
 
 #include "analysis/gpu_util.hh"
 #include "analysis/tlp.hh"
+#include "analysis/trace_index.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::analysis {
@@ -53,13 +54,32 @@ buildSeries(const TraceBundle &bundle, sim::SimDuration window,
 } // namespace
 
 TimeSeries
-tlpSeries(const TraceBundle &bundle, const PidSet &pids,
+tlpSeries(const TraceIndex &index, const PidSet &pids,
           sim::SimDuration window)
 {
     return buildSeries(
-        bundle, window, "TLP",
+        index.bundle(), window, "TLP",
         [&](sim::SimTime t0, sim::SimTime t1) {
-            return computeConcurrency(bundle, pids, t0, t1).tlp();
+            return index.concurrency(pids, t0, t1).tlp();
+        });
+}
+
+TimeSeries
+tlpSeries(const TraceBundle &bundle, const PidSet &pids,
+          sim::SimDuration window)
+{
+    TraceIndex index(bundle);
+    return tlpSeries(index, pids, window);
+}
+
+TimeSeries
+concurrencySeries(const TraceIndex &index, const PidSet &pids,
+                  sim::SimDuration window)
+{
+    return buildSeries(
+        index.bundle(), window, "Concurrency",
+        [&](sim::SimTime t0, sim::SimTime t1) {
+            return index.concurrency(pids, t0, t1).utilization();
         });
 }
 
@@ -67,11 +87,18 @@ TimeSeries
 concurrencySeries(const TraceBundle &bundle, const PidSet &pids,
                   sim::SimDuration window)
 {
+    TraceIndex index(bundle);
+    return concurrencySeries(index, pids, window);
+}
+
+TimeSeries
+gpuUtilSeries(const TraceIndex &index, const PidSet &pids,
+              sim::SimDuration window)
+{
     return buildSeries(
-        bundle, window, "Concurrency",
+        index.bundle(), window, "GPU Utilization (%)",
         [&](sim::SimTime t0, sim::SimTime t1) {
-            return computeConcurrency(bundle, pids, t0, t1)
-                .utilization();
+            return index.gpuUtil(pids, t0, t1).utilizationPercent();
         });
 }
 
@@ -79,12 +106,8 @@ TimeSeries
 gpuUtilSeries(const TraceBundle &bundle, const PidSet &pids,
               sim::SimDuration window)
 {
-    return buildSeries(
-        bundle, window, "GPU Utilization (%)",
-        [&](sim::SimTime t0, sim::SimTime t1) {
-            return computeGpuUtil(bundle, pids, t0, t1)
-                .utilizationPercent();
-        });
+    TraceIndex index(bundle);
+    return gpuUtilSeries(index, pids, window);
 }
 
 TimeSeries
@@ -118,6 +141,13 @@ frameRateSeries(const TraceBundle &bundle, const PidSet &pids,
             point.value /= span;
     }
     return series;
+}
+
+TimeSeries
+frameRateSeries(const TraceIndex &index, const PidSet &pids,
+                sim::SimDuration window)
+{
+    return frameRateSeries(index.bundle(), pids, window);
 }
 
 } // namespace deskpar::analysis

@@ -16,6 +16,8 @@
 
 namespace deskpar::analysis {
 
+class TraceIndex;
+
 using trace::PidSet;
 using trace::TraceBundle;
 
@@ -41,8 +43,17 @@ struct TimeSeries
  * Per-window TLP (Eq. 1 within each window; 0 for fully idle
  * windows). Windows of length @p window tile [bundle.startTime,
  * bundle.stopTime).
+ *
+ * The bundle overloads build one TraceIndex internally; callers
+ * producing several series from one bundle (e.g. the timeline
+ * figures) should build the index themselves and use the index
+ * overloads so the windowed queries share columns.
  */
 TimeSeries tlpSeries(const TraceBundle &bundle, const PidSet &pids,
+                     sim::SimDuration window);
+
+/** Index-backed variant: every window is two binary searches. */
+TimeSeries tlpSeries(const TraceIndex &index, const PidSet &pids,
                      sim::SimDuration window);
 
 /**
@@ -53,8 +64,17 @@ TimeSeries concurrencySeries(const TraceBundle &bundle,
                              const PidSet &pids,
                              sim::SimDuration window);
 
+/** Index-backed variant. */
+TimeSeries concurrencySeries(const TraceIndex &index,
+                             const PidSet &pids,
+                             sim::SimDuration window);
+
 /** Per-window GPU utilization percent (aggregate, capped at 100). */
 TimeSeries gpuUtilSeries(const TraceBundle &bundle, const PidSet &pids,
+                         sim::SimDuration window);
+
+/** Index-backed variant. */
+TimeSeries gpuUtilSeries(const TraceIndex &index, const PidSet &pids,
                          sim::SimDuration window);
 
 /**
@@ -63,6 +83,10 @@ TimeSeries gpuUtilSeries(const TraceBundle &bundle, const PidSet &pids,
  */
 TimeSeries frameRateSeries(const TraceBundle &bundle,
                            const PidSet &pids,
+                           sim::SimDuration window);
+
+/** Index-backed variant (already linear; provided for symmetry). */
+TimeSeries frameRateSeries(const TraceIndex &index, const PidSet &pids,
                            sim::SimDuration window);
 
 } // namespace deskpar::analysis

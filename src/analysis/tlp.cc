@@ -5,7 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/trace_index.hh"
 #include "sim/logging.hh"
+#include "trace/parse.hh"
 
 namespace deskpar::analysis {
 
@@ -42,6 +44,26 @@ ConcurrencyProfile::utilization() const
     return weighted;
 }
 
+namespace detail {
+
+void
+warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus)
+{
+    trace::ParseError err;
+    err.section = "CSwitch";
+    err.field = "cpu";
+    err.reason = std::to_string(count) +
+                 " context switch(es) on cpu ids >= the header's " +
+                 std::to_string(num_cpus) +
+                 " logical CPUs; excluded from the concurrency "
+                 "histogram";
+    warn(err.str());
+}
+
+} // namespace detail
+
+namespace legacy {
+
 ConcurrencyProfile
 computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
                    sim::SimTime t0, sim::SimTime t1, unsigned num_cpus)
@@ -69,10 +91,16 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
     std::vector<std::pair<SimTime, int>> deltas;
     deltas.reserve(bundle.cswitches.size());
     std::vector<std::uint8_t> cpuBusy(num_cpus, 0);
+    std::uint64_t out_of_range = 0;
 
     for (const auto &e : bundle.cswitches) {
-        if (e.cpu >= cpuBusy.size())
-            cpuBusy.resize(e.cpu + 1, 0);
+        if (e.cpu >= cpuBusy.size()) {
+            // A cpu id past the header's CPU count contradicts the
+            // trace; count it instead of growing the histogram and
+            // clamp-folding the phantom CPU into the top level.
+            ++out_of_range;
+            continue;
+        }
         std::uint8_t now_busy = isTarget(e.newPid) ? 1 : 0;
         if (cpuBusy[e.cpu] == now_busy)
             continue;
@@ -95,6 +123,7 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
     profile.numCpus = num_cpus;
     profile.window = t1 - t0;
     profile.c.assign(num_cpus + 1, 0.0);
+    profile.outOfRangeCpuEvents = out_of_range;
 
     SimTime prev = t0;
     int level = 0;
@@ -119,10 +148,30 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
         timeAt[lvl] += t1 - prev;
     }
 
+    if (out_of_range > 0)
+        detail::warnOutOfRangeCpus(out_of_range, num_cpus);
+
     double window = static_cast<double>(profile.window);
     for (unsigned i = 0; i <= num_cpus; ++i)
         profile.c[i] = static_cast<double>(timeAt[i]) / window;
     return profile;
+}
+
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids)
+{
+    return computeConcurrency(bundle, pids, bundle.startTime,
+                              bundle.stopTime);
+}
+
+} // namespace legacy
+
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
+                   sim::SimTime t0, sim::SimTime t1, unsigned num_cpus)
+{
+    TraceIndex index(bundle);
+    return index.concurrency(pids, t0, t1, num_cpus);
 }
 
 ConcurrencyProfile

@@ -14,6 +14,7 @@
 #ifndef DESKPAR_ANALYSIS_TLP_HH
 #define DESKPAR_ANALYSIS_TLP_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "trace/filter.hh"
@@ -41,6 +42,14 @@ struct ConcurrencyProfile
     /** Window length the fractions refer to. */
     sim::SimDuration window = 0;
 
+    /**
+     * Context-switch events whose cpu id is >= numCpus. Such events
+     * contradict the trace header (a corrupt stream or a wrong CPU
+     * count); they are excluded from the histogram and counted here
+     * instead of silently folding into the top concurrency level.
+     */
+    std::uint64_t outOfRangeCpuEvents = 0;
+
     /** TLP per Equation 1; 0 when the window is fully idle. */
     double tlp() const;
 
@@ -65,6 +74,10 @@ struct ConcurrencyProfile
  * An empty @p pids means "every non-idle process" — the system-wide
  * TLP of the 2000/2010 studies. @p num_cpus caps the histogram; pass
  * bundle.numLogicalCpus (the default 0 means exactly that).
+ *
+ * A thin wrapper over TraceIndex (trace_index.hh): callers issuing
+ * many windowed queries against one bundle should build the index
+ * once and query it instead of paying a per-call sweep.
  */
 ConcurrencyProfile
 computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
@@ -74,6 +87,36 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
 /** Convenience: whole-bundle window. */
 ConcurrencyProfile
 computeConcurrency(const TraceBundle &bundle, const PidSet &pids);
+
+namespace legacy {
+
+/**
+ * The direct single-sweep implementation: the reference the
+ * index-backed path is proven bit-identical against (and the
+ * fallback for traces the index cannot represent). Same contract as
+ * analysis::computeConcurrency.
+ */
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
+                   sim::SimTime t0, sim::SimTime t1,
+                   unsigned num_cpus = 0);
+
+/** Convenience: whole-bundle window. */
+ConcurrencyProfile
+computeConcurrency(const TraceBundle &bundle, const PidSet &pids);
+
+} // namespace legacy
+
+namespace detail {
+
+/**
+ * Emit the ParseError-formatted diagnostic for @p count context
+ * switches on cpu ids >= @p num_cpus (shared by the legacy sweep and
+ * the trace-index build).
+ */
+void warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus);
+
+} // namespace detail
 
 } // namespace deskpar::analysis
 

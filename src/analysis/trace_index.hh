@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Columnar trace index: one structure-of-arrays view of a TraceBundle
+ * that every metric queries instead of re-sweeping the event vectors.
+ *
+ * The legacy analyses each performed their own full linear scan, once
+ * per pid set and once per time window, so the timeline figures paid
+ * O(windows x events) and the Table II suite re-read the same cswitch
+ * stream several times per iteration. The index is built once per
+ * (bundle, pid set) and answers windowed queries with two binary
+ * searches plus prefix-sum differences:
+ *
+ *  - Concurrency: the cswitch stream is compressed into a sorted
+ *    breakpoint column (times[], levels[]), levels[i] holding the
+ *    number of busy target CPUs on [times[i], times[i+1)). Strided
+ *    checkpoint rows carry per-level prefix sums of busy time, so a
+ *    windowed histogram costs two binary searches, two checkpoint
+ *    diffs, and at most one stride of edge segments per side.
+ *  - GPU: a start-time column plus a running-max finish column bound
+ *    the packets that can intersect a window; the candidates are then
+ *    folded with the exact legacy loop, in stream order, so the
+ *    floating-point sums are bit-identical.
+ *  - Frames / responsiveness / power columns are built in the same
+ *    fused sweeps and cached per pid set.
+ *
+ * Every query is bit-identical to the legacy single-sweep functions
+ * (analysis::legacy::*): the integer time-at-level decomposition is
+ * exact, and floating-point folds reuse the legacy operation order.
+ * Traces the index cannot represent faithfully (disordered streams
+ * that produce negative concurrency, a query num_cpus differing from
+ * the header) transparently fall back to the legacy sweep, panics
+ * and all.
+ *
+ * Thread safety: column builds are serialized on an internal mutex;
+ * queries after a build only read. The index borrows the bundle — the
+ * caller keeps the bundle alive and unmodified for the index's
+ * lifetime.
+ */
+
+#ifndef DESKPAR_ANALYSIS_TRACE_INDEX_HH
+#define DESKPAR_ANALYSIS_TRACE_INDEX_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "analysis/framerate.hh"
+#include "analysis/gpu_util.hh"
+#include "analysis/power.hh"
+#include "analysis/responsiveness.hh"
+#include "analysis/tlp.hh"
+#include "trace/filter.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis {
+
+class TraceIndex
+{
+  public:
+    /** Borrow @p bundle; columns are built lazily on first query. */
+    explicit TraceIndex(const TraceBundle &bundle);
+    ~TraceIndex();
+
+    TraceIndex(const TraceIndex &) = delete;
+    TraceIndex &operator=(const TraceIndex &) = delete;
+
+    /** The indexed bundle. */
+    const TraceBundle &bundle() const { return bundle_; }
+
+    /**
+     * Concurrency histogram over [@p t0, @p t1), same contract as
+     * computeConcurrency. Queries with @p num_cpus differing from
+     * the bundle header (0 means the header value) fall back to the
+     * legacy sweep, as do timelines poisoned by disordered streams.
+     */
+    ConcurrencyProfile concurrency(const PidSet &pids, sim::SimTime t0,
+                                   sim::SimTime t1,
+                                   unsigned num_cpus = 0) const;
+
+    /** Whole-bundle window. */
+    ConcurrencyProfile concurrency(const PidSet &pids) const;
+
+    /** GPU utilization over [@p t0, @p t1), as computeGpuUtil. */
+    GpuUtilization gpuUtil(const PidSet &pids, sim::SimTime t0,
+                           sim::SimTime t1) const;
+
+    /** Whole-bundle window. */
+    GpuUtilization gpuUtil(const PidSet &pids) const;
+
+    /** Frame statistics, as computeFrameStats (cached per pid set). */
+    FrameStats frameStats(const PidSet &pids) const;
+
+    /**
+     * Input-to-dispatch latency, as computeResponsiveness, using the
+     * cached sorted dispatch column of the pid set.
+     */
+    Responsiveness responsiveness(const PidSet &pids) const;
+
+    /**
+     * Power estimate, as estimatePower, from the cached per-CPU busy
+     * intervals and the GPU columns.
+     */
+    PowerEstimate power(const sim::CpuSpec &cpu,
+                        const sim::GpuSpec &gpu) const;
+
+    /**
+     * Eagerly build every column the fused analyzeApp sweep needs
+     * for @p pids (useful before sharing the index across threads).
+     */
+    void warm(const PidSet &pids) const;
+
+    /**
+     * Column layouts; defined in trace_index.cc (opaque to callers,
+     * named here so the build/query helpers can take them).
+     */
+    struct ConcurrencyTimeline;
+    struct PidColumns;
+    struct GpuColumns;
+    struct CpuBusyColumns;
+
+  private:
+    const PidColumns &pidColumns(const PidSet &pids) const;
+    const GpuColumns &gpuColumns() const;
+    const CpuBusyColumns &cpuBusyColumns() const;
+
+    const TraceBundle &bundle_;
+
+    mutable std::mutex mutex_;
+    /** Per-pid-set columns, keyed by the sorted pid list. */
+    mutable std::map<std::vector<trace::Pid>,
+                     std::unique_ptr<PidColumns>>
+        perPid_;
+    mutable std::unique_ptr<GpuColumns> gpu_;
+    mutable std::unique_ptr<CpuBusyColumns> cpuBusy_;
+};
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_TRACE_INDEX_HH

@@ -1,5 +1,6 @@
 #include "apps/harness.hh"
 
+#include "analysis/trace_index.hh"
 #include "apps/noise.hh"
 #include "apps/registry.hh"
 #include "input/driver.hh"
@@ -45,7 +46,10 @@ runIteration(WorkloadModel &model, const RunOptions &options,
               instance.processPrefix);
     }
 
-    out.result.metrics = analysis::analyzeApp(out.bundle, out.pids);
+    {
+        analysis::TraceIndex index(out.bundle);
+        out.result.metrics = analysis::analyzeApp(index, out.pids);
+    }
     out.result.sched = machine.scheduler().stats();
     for (trace::Pid pid : out.pids)
         out.result.gpuWork += machine.gpu().completedWork(pid);

@@ -6,12 +6,14 @@
 #include <deque>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "analysis/analyzer.hh"
+#include "analysis/trace_index.hh"
 #include "apps/registry.hh"
 #include "sim/logging.hh"
 #include "trace/csv.hh"
@@ -142,54 +144,82 @@ SuiteJob
 replayJob(const std::string &path, const RunOptions &options,
           const std::string &appPrefix, trace::ParseMode mode)
 {
+    // Every iteration of a replay job re-analyzes the same file, so
+    // ingest and index it once and hand later iterations copies. The
+    // state is shared by the lambda's copies across worker threads;
+    // the mutex also orders the one real ingest against the reads.
+    struct ReplayShared
+    {
+        std::mutex mutex;
+        bool ready = false;
+        trace::TraceBundle bundle;
+        trace::PidSet pids;
+        analysis::AppMetrics metrics;
+    };
+    auto shared = std::make_shared<ReplayShared>();
+
     SuiteJob job;
     job.label = path;
     job.options = options;
-    job.direct = [path, appPrefix,
-                  mode](const RunOptions &, unsigned) {
-        trace::ParseOptions popts;
-        popts.mode = mode;
-        popts.source = path;
-        trace::IngestReport report;
-        trace::TraceBundle bundle;
-        if (path.size() > 4 &&
-            path.compare(path.size() - 4, 4, ".csv") == 0) {
-            std::ifstream in(path);
-            if (!in)
-                fatal("cannot open trace '" + path + "'");
-            report = trace::readCpuUsageCsv(in, bundle, popts);
-        } else {
-            bundle = trace::readEtl(path, popts, report);
-        }
-        if (!report.ok()) {
-            // Strict: the file is rejected outright; the structured
-            // error fails this job (recoverable at the batch level).
-            // Lenient: analyze the salvaged remainder, but tell the
-            // user the result is degraded.
-            if (mode == trace::ParseMode::Strict)
-                throw trace::TraceParseError(report.errors.front());
-            warn("replay '" + path +
-                 "' degraded: " + report.summary());
-        }
-        trace::PidSet pids =
-            appPrefix.empty()
-                ? trace::allApplicationPids(bundle)
-                : trace::pidsWithPrefix(bundle, appPrefix);
-        if (pids.empty()) {
-            trace::ParseError err;
-            err.source = path;
-            err.section = "replay";
-            err.reason = appPrefix.empty()
-                             ? "trace contains no application "
-                               "processes"
-                             : "no process name starts with '" +
-                                   appPrefix + "'";
-            throw trace::TraceParseError(std::move(err));
+    job.direct = [path, appPrefix, mode,
+                  shared](const RunOptions &, unsigned) {
+        std::lock_guard<std::mutex> lock(shared->mutex);
+        if (!shared->ready) {
+            trace::ParseOptions popts;
+            popts.mode = mode;
+            popts.source = path;
+            trace::IngestReport report;
+            trace::TraceBundle bundle;
+            if (path.size() > 4 &&
+                path.compare(path.size() - 4, 4, ".csv") == 0) {
+                std::ifstream in(path);
+                if (!in)
+                    fatal("cannot open trace '" + path + "'");
+                report = trace::readCpuUsageCsv(in, bundle, popts);
+            } else {
+                bundle = trace::readEtl(path, popts, report);
+            }
+            if (!report.ok()) {
+                // Strict: the file is rejected outright; the
+                // structured error fails this job (recoverable at
+                // the batch level). Lenient: analyze the salvaged
+                // remainder, but tell the user the result is
+                // degraded.
+                if (mode == trace::ParseMode::Strict) {
+                    throw trace::TraceParseError(
+                        report.errors.front());
+                }
+                warn("replay '" + path +
+                     "' degraded: " + report.summary());
+            }
+            trace::PidSet pids =
+                appPrefix.empty()
+                    ? trace::allApplicationPids(bundle)
+                    : trace::pidsWithPrefix(bundle, appPrefix);
+            if (pids.empty()) {
+                trace::ParseError err;
+                err.source = path;
+                err.section = "replay";
+                err.reason = appPrefix.empty()
+                                 ? "trace contains no application "
+                                   "processes"
+                                 : "no process name starts with '" +
+                                       appPrefix + "'";
+                throw trace::TraceParseError(std::move(err));
+            }
+            analysis::TraceIndex index(bundle);
+            shared->metrics = analysis::analyzeApp(index, pids);
+            shared->bundle = std::move(bundle);
+            shared->pids = std::move(pids);
+            // Only a fully successful ingest publishes; a throwing
+            // iteration leaves ready unset so retries (or sibling
+            // cancellation) see the same failure.
+            shared->ready = true;
         }
         IterationOutput out;
-        out.result.metrics = analysis::analyzeApp(bundle, pids);
-        out.bundle = std::move(bundle);
-        out.pids = std::move(pids);
+        out.result.metrics = shared->metrics;
+        out.bundle = shared->bundle;
+        out.pids = shared->pids;
         return out;
     };
     return job;

@@ -35,7 +35,12 @@ Machine::Machine(const MachineConfig &config)
                  queue_, session_),
       llcModel_(static_cast<double>(config.cpu.llcMiB))
 {
-    session_.setNumLogicalCpus(scheduler_.activeCpuCount());
+    // The header sizes the analyses' per-cpu arrays, so it must cover
+    // the id space events are stamped with — the span, not the count
+    // (a no-SMT mask is sparse: ids 0, 2, 4, ...). Inactive ids in
+    // the span never appear in events, so concurrency histograms are
+    // unaffected beyond trailing always-zero levels.
+    session_.setNumLogicalCpus(scheduler_.activeCpuSpan());
     session_.registerProcess(0, "Idle");
     if (config.llcModelEnabled)
         scheduler_.setLlcModel(&llcModel_);

@@ -37,8 +37,10 @@ OsScheduler::OsScheduler(const CpuTopology &topology,
     cpus_.resize(n);
     for (unsigned i = 0; i < n; ++i) {
         cpus_[i].active = active_mask[i];
-        if (active_mask[i])
+        if (active_mask[i]) {
             ++activeCpuCount_;
+            activeCpuSpan_ = i + 1;
+        }
     }
     if (activeCpuCount_ == 0)
         fatal("OsScheduler: no active CPUs");

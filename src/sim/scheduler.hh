@@ -74,6 +74,15 @@ class OsScheduler
     /** Number of active logical CPUs. */
     unsigned activeCpuCount() const { return activeCpuCount_; }
 
+    /**
+     * Size of the cpu-id space in use: highest active logical cpu id
+     * plus one. Differs from activeCpuCount() when the active mask is
+     * sparse (SMT disabled pins one thread per physical core, so ids
+     * go 0, 2, 4, ...). Trace headers must record this, not the
+     * count, or events on the high ids contradict the header.
+     */
+    unsigned activeCpuSpan() const { return activeCpuSpan_; }
+
     /** True if logical CPU @p cpu is enabled. */
     bool
     cpuActive(CpuId cpu) const
@@ -173,6 +182,7 @@ class OsScheduler
     trace::TraceSession &session_;
     std::vector<CpuState> cpus_;
     unsigned activeCpuCount_ = 0;
+    unsigned activeCpuSpan_ = 0;
     /** One FIFO per ThreadPriority class, indexed by its value. */
     std::array<std::deque<SimThread *>, 3> ready_;
     const LlcModel *llcModel_ = nullptr;

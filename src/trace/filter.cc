@@ -5,12 +5,8 @@ namespace deskpar::trace {
 PidSet
 pidsWithPrefix(const TraceBundle &bundle, const std::string &name_prefix)
 {
-    PidSet pids;
-    for (const auto &[pid, name] : bundle.processNames) {
-        if (name.rfind(name_prefix, 0) == 0)
-            pids.insert(pid);
-    }
-    return pids;
+    std::vector<Pid> matches = bundle.pidsByPrefix(name_prefix);
+    return PidSet(matches.begin(), matches.end());
 }
 
 PidSet

@@ -23,7 +23,9 @@ using PidSet = std::unordered_set<Pid>;
 /**
  * Collect the pids of every process whose name starts with
  * @p name_prefix (multi-process applications like Chrome register
- * e.g. "chrome", "chrome-renderer-1", "chrome-gpu").
+ * e.g. "chrome", "chrome-renderer-1", "chrome-gpu"). Served from the
+ * bundle's lazy name index (TraceBundle::pidsByPrefix), so repeated
+ * lookups do not rescan the name table.
  */
 PidSet pidsWithPrefix(const TraceBundle &bundle,
                       const std::string &name_prefix);

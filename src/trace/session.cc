@@ -1,5 +1,6 @@
 #include "trace/session.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -31,14 +32,66 @@ TraceBundle::totalEvents() const
            threadEvents.size() + processEvents.size() + markers.size();
 }
 
+/**
+ * One snapshot of the name table, in both lookup directions the
+ * analyses need: exact name -> sorted pids, and a lexicographically
+ * sorted (name, pid) column so prefix queries are one lower_bound
+ * plus a contiguous scan of the matching range.
+ */
+struct TraceBundle::NameIndex
+{
+    /** processNames.size() when the snapshot was built. */
+    std::size_t stamp = 0;
+    std::unordered_map<std::string, std::vector<Pid>> byName;
+    std::vector<std::pair<std::string, Pid>> ordered;
+};
+
+const TraceBundle::NameIndex &
+TraceBundle::nameIndex() const
+{
+    if (!nameIndex_ || nameIndex_->stamp != processNames.size()) {
+        auto index = std::make_shared<NameIndex>();
+        index->stamp = processNames.size();
+        index->ordered.reserve(processNames.size());
+        for (const auto &[pid, name] : processNames) {
+            index->byName[name].push_back(pid);
+            index->ordered.emplace_back(name, pid);
+        }
+        for (auto &[name, pids] : index->byName)
+            std::sort(pids.begin(), pids.end());
+        std::sort(index->ordered.begin(), index->ordered.end());
+        nameIndex_ = std::move(index);
+    }
+    return *nameIndex_;
+}
+
 std::vector<Pid>
 TraceBundle::pidsByName(const std::string &name) const
 {
+    const NameIndex &index = nameIndex();
+    auto it = index.byName.find(name);
+    if (it == index.byName.end())
+        return {};
+    return it->second;
+}
+
+std::vector<Pid>
+TraceBundle::pidsByPrefix(const std::string &prefix) const
+{
+    const NameIndex &index = nameIndex();
+    // Names starting with the prefix form one contiguous range of the
+    // sorted column, beginning at lower_bound(prefix).
+    auto first = std::lower_bound(
+        index.ordered.begin(), index.ordered.end(), prefix,
+        [](const std::pair<std::string, Pid> &entry,
+           const std::string &p) { return entry.first < p; });
     std::vector<Pid> pids;
-    for (const auto &[pid, pname] : processNames) {
-        if (pname == name)
-            pids.push_back(pid);
+    for (auto it = first; it != index.ordered.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        pids.push_back(it->second);
     }
+    std::sort(pids.begin(), pids.end());
     return pids;
 }
 
@@ -115,6 +168,17 @@ TraceSession::stop(SimTime now)
         panic("TraceSession::stop: time went backwards");
     recording_ = false;
     bundle_.stopTime = now;
+}
+
+void
+TraceSession::registerProcess(Pid pid, const std::string &name)
+{
+    auto [it, inserted] = bundle_.processNames.emplace(pid, name);
+    if (!inserted && it->second != name) {
+        // A same-size rename is invisible to the size stamp.
+        it->second = name;
+        bundle_.nameIndex_.reset();
+    }
 }
 
 void

@@ -13,6 +13,7 @@
 #define DESKPAR_TRACE_SESSION_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,8 +63,23 @@ struct TraceBundle
     /** Total number of recorded events across all providers. */
     std::size_t totalEvents() const;
 
-    /** Pids whose recorded process name matches exactly. */
+    /**
+     * Pids whose recorded process name matches exactly, sorted
+     * ascending. Served from a lazily built name index (rebuilt when
+     * processNames grows or shrinks; TraceSession invalidates it on
+     * same-size renames). The lazy build is not synchronized: call
+     * once before sharing a bundle across threads.
+     */
     std::vector<Pid> pidsByName(const std::string &name) const;
+
+    /**
+     * Pids whose recorded process name starts with @p prefix, sorted
+     * ascending. An empty prefix matches every registered process
+     * (including pid 0 if it has a name-table entry). Backed by the
+     * same lazy name index as pidsByName, so repeated prefix lookups
+     * (one per analyzeApp call) stop rescanning processNames.
+     */
+    std::vector<Pid> pidsByPrefix(const std::string &prefix) const;
 
     /**
      * Structural defects that would silently corrupt the unsigned
@@ -73,6 +89,21 @@ struct TraceBundle
      * section and the offending record index; empty = encodable.
      */
     std::vector<ParseError> validateEncoding() const;
+
+  private:
+    struct NameIndex;
+    const NameIndex &nameIndex() const;
+
+    /**
+     * Lazy name->pids index. A shared_ptr so copies of the bundle
+     * share the immutable snapshot; validity is stamped with
+     * processNames.size(), which catches every mutation except a
+     * same-size rename — TraceSession::registerProcess (friend)
+     * resets the pointer for that case.
+     */
+    mutable std::shared_ptr<const NameIndex> nameIndex_;
+
+    friend class TraceSession;
 };
 
 /**
@@ -144,11 +175,7 @@ class TraceSession
      * even while stopped so that pid->name stays complete for
      * processes created before recording started.
      */
-    void
-    registerProcess(Pid pid, const std::string &name)
-    {
-        bundle_.processNames[pid] = name;
-    }
+    void registerProcess(Pid pid, const std::string &name);
 
     /** Access the recorded bundle (valid after stop()). */
     const TraceBundle &bundle() const { return bundle_; }

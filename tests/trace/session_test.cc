@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/logging.hh"
 #include "trace/session.hh"
 
@@ -86,6 +89,60 @@ TEST(TraceSession, PidsByNameFindsExactMatches)
     session.registerProcess(3, "firefox");
     auto pids = session.bundle().pidsByName("chrome");
     EXPECT_EQ(pids.size(), 2u);
+}
+
+TEST(TraceSession, PidsByNameIsSortedAscending)
+{
+    TraceSession session;
+    session.registerProcess(9, "chrome");
+    session.registerProcess(2, "chrome");
+    session.registerProcess(5, "chrome");
+    auto pids = session.bundle().pidsByName("chrome");
+    ASSERT_EQ(pids.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(pids.begin(), pids.end()));
+    EXPECT_EQ(session.bundle().pidsByName("firefox").size(), 0u);
+}
+
+TEST(TraceSession, PidsByPrefixMatchesManualScan)
+{
+    TraceSession session;
+    session.registerProcess(1, "chrome");
+    session.registerProcess(2, "chrome_gpu");
+    session.registerProcess(3, "chromium");
+    session.registerProcess(4, "firefox");
+    const TraceBundle &bundle = session.bundle();
+
+    auto chrome = bundle.pidsByPrefix("chrome");
+    EXPECT_EQ(chrome, (std::vector<Pid>{1, 2}));
+    auto chr = bundle.pidsByPrefix("chr");
+    EXPECT_EQ(chr, (std::vector<Pid>{1, 2, 3}));
+    EXPECT_EQ(bundle.pidsByPrefix("zzz").size(), 0u);
+    // Empty prefix matches every registered process.
+    EXPECT_EQ(bundle.pidsByPrefix("").size(), 4u);
+}
+
+TEST(TraceSession, NameIndexSeesLaterRegistrations)
+{
+    TraceSession session;
+    session.registerProcess(1, "chrome");
+    EXPECT_EQ(session.bundle().pidsByName("chrome").size(), 1u);
+    // The lookup above built the lazy index; growing the name table
+    // must invalidate it.
+    session.registerProcess(2, "chrome");
+    EXPECT_EQ(session.bundle().pidsByName("chrome").size(), 2u);
+    EXPECT_EQ(session.bundle().pidsByPrefix("chr").size(), 2u);
+}
+
+TEST(TraceSession, NameIndexSeesSameSizeRename)
+{
+    TraceSession session;
+    session.registerProcess(1, "chrome");
+    EXPECT_EQ(session.bundle().pidsByName("chrome").size(), 1u);
+    // A rename keeps processNames.size() unchanged — the stamp can't
+    // catch it, so registerProcess must reset the index explicitly.
+    session.registerProcess(1, "firefox");
+    EXPECT_EQ(session.bundle().pidsByName("chrome").size(), 0u);
+    EXPECT_EQ(session.bundle().pidsByName("firefox").size(), 1u);
 }
 
 TEST(TraceSession, TakeBundleResetsSession)

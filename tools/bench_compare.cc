@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Regression gate over BENCH_suite.json: compare the latest wall-time
+ * record of every suite bench against the previous record with the
+ * same configuration and exit nonzero when any slowed down by more
+ * than the threshold.
+ *
+ * Records are the one-line JSON objects SuiteTimer appends:
+ *
+ *   {"bench":"bench_table2_suite","wall_seconds":1.234,"jobs":4,"fast":0}
+ *
+ * Grouping key is (bench, jobs, fast) — a 1-thread fast smoke run is
+ * not comparable to a 4-thread full run. Older records without the
+ * "fast" field count as fast=0. Keys with fewer than two records are
+ * reported but never fail the gate, so the first CI run after adding
+ * a bench passes.
+ *
+ * Usage: bench_compare [--file PATH] [--threshold PCT]
+ *   --file       defaults to BENCH_suite.json (or $DESKPAR_BENCH_JSON)
+ *   --threshold  allowed slowdown in percent, default 20
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace {
+
+struct Record
+{
+    std::string bench;
+    double wallSeconds = 0.0;
+    unsigned jobs = 0;
+    unsigned fast = 0;
+};
+
+/**
+ * Pull one JSON field out of a SuiteTimer line. The writer emits a
+ * fixed flat shape (no nesting, no escapes in values we read), so a
+ * substring scan is enough — no JSON library in the toolchain.
+ */
+bool
+jsonField(const std::string &line, const char *key, std::string &out)
+{
+    std::string needle = "\"" + std::string(key) + "\":";
+    std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    if (pos < line.size() && line[pos] == '"') {
+        std::size_t end = line.find('"', pos + 1);
+        if (end == std::string::npos)
+            return false;
+        out = line.substr(pos + 1, end - pos - 1);
+        return true;
+    }
+    std::size_t end = pos;
+    while (end < line.size() && line[end] != ',' && line[end] != '}')
+        ++end;
+    out = line.substr(pos, end - pos);
+    return true;
+}
+
+bool
+parseRecord(const std::string &line, Record &record)
+{
+    std::string value;
+    if (!jsonField(line, "bench", value) || value.empty())
+        return false;
+    record.bench = value;
+    if (!jsonField(line, "wall_seconds", value))
+        return false;
+    record.wallSeconds = std::strtod(value.c_str(), nullptr);
+    record.jobs = 0;
+    if (jsonField(line, "jobs", value))
+        record.jobs =
+            static_cast<unsigned>(std::strtoul(value.c_str(),
+                                               nullptr, 10));
+    record.fast = 0;
+    if (jsonField(line, "fast", value))
+        record.fast =
+            static_cast<unsigned>(std::strtoul(value.c_str(),
+                                               nullptr, 10));
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *env = std::getenv("DESKPAR_BENCH_JSON");
+    std::string path = env ? env : "BENCH_suite.json";
+    double threshold = 20.0;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--file") == 0 && i + 1 < argc) {
+            path = argv[++i];
+        } else if (std::strcmp(argv[i], "--threshold") == 0 &&
+                   i + 1 < argc) {
+            threshold = std::strtod(argv[++i], nullptr);
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_compare [--file PATH] "
+                         "[--threshold PCT]\n");
+            return 2;
+        }
+    }
+
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "bench_compare: cannot open %s\n",
+                     path.c_str());
+        return 2;
+    }
+
+    // Records per (bench, jobs, fast), in file (= chronological)
+    // order.
+    std::map<std::tuple<std::string, unsigned, unsigned>,
+             std::vector<double>>
+        groups;
+    std::string line;
+    while (std::getline(in, line)) {
+        Record record;
+        if (!parseRecord(line, record))
+            continue;
+        groups[{record.bench, record.jobs, record.fast}].push_back(
+            record.wallSeconds);
+    }
+    if (groups.empty()) {
+        std::printf("bench_compare: no records in %s\n",
+                    path.c_str());
+        return 0;
+    }
+
+    int regressions = 0;
+    for (const auto &[key, walls] : groups) {
+        const auto &[bench, jobs, fast] = key;
+        if (walls.size() < 2) {
+            std::printf("%-36s jobs=%u fast=%u  %7.3fs  "
+                        "(first record, no baseline)\n",
+                        bench.c_str(), jobs, fast, walls.back());
+            continue;
+        }
+        double prev = walls[walls.size() - 2];
+        double last = walls.back();
+        double change =
+            prev > 0.0 ? (last - prev) / prev * 100.0 : 0.0;
+        bool regressed = change > threshold;
+        std::printf("%-36s jobs=%u fast=%u  %7.3fs -> %7.3fs  "
+                    "(%+.1f%%)%s\n",
+                    bench.c_str(), jobs, fast, prev, last, change,
+                    regressed ? "  REGRESSION" : "");
+        if (regressed)
+            ++regressions;
+    }
+    if (regressions > 0) {
+        std::fprintf(stderr,
+                     "bench_compare: %d bench(es) regressed more "
+                     "than %.0f%%\n",
+                     regressions, threshold);
+        return 1;
+    }
+    return 0;
+}

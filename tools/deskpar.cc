@@ -60,6 +60,7 @@
 #include "analysis/responsiveness.hh"
 #include "analysis/threads.hh"
 #include "analysis/timeseries.hh"
+#include "analysis/trace_index.hh"
 #include "apps/harness.hh"
 #include "apps/legacy.hh"
 #include "apps/registry.hh"
@@ -181,7 +182,8 @@ parseOptions(int argc, char **argv, int first)
 }
 
 void
-printRun(const std::string &id, const apps::AppRunResult &result)
+printRun(const std::string &id, const apps::AppRunResult &result,
+         const analysis::TraceIndex &index)
 {
     std::printf("%s\n", apps::makeWorkload(id)->spec().name.c_str());
     std::printf("  TLP        %.2f +- %.2f\n",
@@ -198,8 +200,7 @@ printRun(const std::string &id, const apps::AppRunResult &result)
     std::printf("  exec time  %s\n",
                 report::heatmapRow(result.agg.meanC).c_str());
 
-    auto responsiveness = analysis::computeResponsiveness(
-        result.lastBundle, result.lastPids);
+    auto responsiveness = index.responsiveness(result.lastPids);
     if (responsiveness.inputs > 0) {
         std::printf("  response   %.2f ms mean (%zu inputs)\n",
                     responsiveness.meanLatencyMs(),
@@ -225,10 +226,13 @@ int
 cmdRun(const std::string &id, CliOptions cli)
 {
     apps::AppRunResult result = apps::runWorkload(id, cli.run);
+    // One index serves the summary's responsiveness column and the
+    // optional timeline below.
+    analysis::TraceIndex index(result.lastBundle);
     if (cli.json)
         report::writeJson(std::cout, result.agg);
     else
-        printRun(id, result);
+        printRun(id, result, index);
 
     if (!cli.etlPath.empty()) {
         trace::writeEtl(result.lastBundle, cli.etlPath);
@@ -244,8 +248,7 @@ cmdRun(const std::string &id, CliOptions cli)
     }
     if (cli.timelineWindow > 0) {
         auto series = analysis::concurrencySeries(
-            result.lastBundle, result.lastPids,
-            cli.timelineWindow);
+            index, result.lastPids, cli.timelineWindow);
         report::Figure figure("Instantaneous TLP", "time (s)",
                               "threads");
         auto &s = figure.addSeries(id);
@@ -265,8 +268,8 @@ cmdSweep(const std::string &id, CliOptions cli)
         apps::RunOptions options = cli.run;
         options.config.activeCpus = cores;
         apps::AppRunResult result = apps::runWorkload(id, options);
-        auto resp = analysis::computeResponsiveness(
-            result.lastBundle, result.lastPids);
+        analysis::TraceIndex index(result.lastBundle);
+        auto resp = index.responsiveness(result.lastPids);
         table.row()
             .cell(std::uint64_t(cores))
             .cell(result.tlp(), 2)
@@ -301,9 +304,9 @@ cmdThreads(const std::string &id, CliOptions cli)
     }
     table.print(std::cout);
 
-    auto power = analysis::estimatePower(result.lastBundle,
-                                         cli.run.config.cpu,
-                                         cli.run.config.gpu);
+    analysis::TraceIndex index(result.lastBundle);
+    auto power =
+        index.power(cli.run.config.cpu, cli.run.config.gpu);
     std::printf("\nestimated power: %.1f W CPU + %.1f W GPU\n",
                 power.cpuWatts, power.gpuWatts);
     return 0;
