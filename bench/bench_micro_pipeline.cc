@@ -2,14 +2,24 @@
  * @file
  * google-benchmark micro-benchmarks for the measurement pipeline
  * itself: trace generation (simulation throughput), TLP computation,
- * GPU-utilization computation, ETL serialization and CSV export.
- * These quantify the toolkit's own costs, independent of the paper's
- * experiments.
+ * GPU-utilization computation, ETL serialization and CSV export, and
+ * trace ingestion (legacy istream vs zero-copy mapped vs parallel
+ * chunked). These quantify the toolkit's own costs, independent of
+ * the paper's experiments.
+ *
+ * The custom main() additionally runs a timed ingest record pass
+ * whose wall times land in BENCH_suite.json (SuiteTimer) so
+ * tools/bench_compare gates ingest throughput run over run; CI runs
+ * just that part via --benchmark_filter.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
 #include <sstream>
 
 #include "analysis/analyzer.hh"
@@ -20,8 +30,11 @@
 #include "analysis/trace_index.hh"
 #include "apps/harness.hh"
 #include "apps/registry.hh"
+#include "bench_util.hh"
+#include "sim/parallel.hh"
 #include "trace/csv.hh"
 #include "trace/etl.hh"
+#include "trace/io.hh"
 
 using namespace deskpar;
 
@@ -250,6 +263,255 @@ BM_CsvExport(benchmark::State &state)
 }
 BENCHMARK(BM_CsvExport);
 
+/* ------------------------------------------------------------------ */
+/*  Ingest benches: legacy istream vs zero-copy mapped vs parallel     */
+/* ------------------------------------------------------------------ */
+
+/** The sample bundle exported once to disk, for file-ingest benches. */
+const std::string &
+ingestCsvPath()
+{
+    static const std::string kPath = [] {
+        auto path = (std::filesystem::temp_directory_path() /
+                     "deskpar_micro_ingest.csv")
+                        .string();
+        trace::writeCpuUsageCsv(sampleBundle(), path);
+        return path;
+    }();
+    return kPath;
+}
+
+const std::string &
+ingestEtlPath()
+{
+    static const std::string kPath = [] {
+        auto path = (std::filesystem::temp_directory_path() /
+                     "deskpar_micro_ingest.etl")
+                        .string();
+        trace::writeEtl(sampleBundle(), path);
+        return path;
+    }();
+    return kPath;
+}
+
+std::size_t
+fileSize(const std::string &path)
+{
+    return static_cast<std::size_t>(
+        std::filesystem::file_size(path));
+}
+
+std::size_t
+ingestCsvSerial()
+{
+    std::ifstream in(ingestCsvPath());
+    trace::TraceBundle bundle;
+    trace::ParseOptions popts;
+    popts.source = ingestCsvPath();
+    auto report = trace::readCpuUsageCsv(in, bundle, popts);
+    return bundle.cswitches.size() +
+           static_cast<std::size_t>(report.recordsParsed);
+}
+
+/** Mapped span decode at @p threads (1 = zero-copy serial). */
+std::size_t
+ingestCsvMapped(unsigned threads)
+{
+    trace::io::MappedFile file =
+        trace::io::MappedFile::openOrThrow(ingestCsvPath(), "bench");
+    trace::TraceBundle bundle;
+    trace::ParseOptions popts;
+    popts.source = ingestCsvPath();
+    popts.threads = threads;
+    auto report = trace::decodeCpuUsageCsv(file.span(), bundle, popts);
+    return bundle.cswitches.size() +
+           static_cast<std::size_t>(report.recordsParsed);
+}
+
+std::size_t
+ingestEtlSerial()
+{
+    std::ifstream in(ingestEtlPath(), std::ios::binary);
+    trace::ParseOptions popts;
+    popts.source = ingestEtlPath();
+    trace::IngestReport report;
+    auto bundle = trace::readEtl(in, popts, report);
+    return bundle.totalEvents();
+}
+
+std::size_t
+ingestEtlMapped(unsigned threads)
+{
+    trace::io::MappedFile file =
+        trace::io::MappedFile::openOrThrow(ingestEtlPath(), "bench");
+    trace::ParseOptions popts;
+    popts.source = ingestEtlPath();
+    popts.threads = threads;
+    trace::IngestReport report;
+    auto bundle = trace::decodeEtl(file.span(), popts, report);
+    return bundle.totalEvents();
+}
+
+void
+BM_CsvIngestSerial(benchmark::State &state)
+{
+    // The legacy reference: istream + getline + per-field strings.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestCsvSerial());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fileSize(ingestCsvPath())));
+}
+BENCHMARK(BM_CsvIngestSerial);
+
+void
+BM_CsvIngestMappedCold(benchmark::State &state)
+{
+    // Zero-copy single-thread including the open/map cost per file.
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestCsvMapped(1));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fileSize(ingestCsvPath())));
+}
+BENCHMARK(BM_CsvIngestMappedCold);
+
+void
+BM_CsvIngestMappedWarm(benchmark::State &state)
+{
+    // Pure decode over an already-mapped span: the zero-copy parser
+    // alone, against BM_CsvIngestSerial for the speedup ratio.
+    trace::io::MappedFile file =
+        trace::io::MappedFile::openOrThrow(ingestCsvPath(), "bench");
+    trace::ParseOptions popts;
+    popts.source = ingestCsvPath();
+    popts.threads = 1;
+    for (auto _ : state) {
+        trace::TraceBundle bundle;
+        auto report =
+            trace::decodeCpuUsageCsv(file.span(), bundle, popts);
+        benchmark::DoNotOptimize(bundle.cswitches.size() +
+                                 report.recordsParsed);
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(file.size()));
+}
+BENCHMARK(BM_CsvIngestMappedWarm);
+
+void
+BM_CsvIngestParallel(benchmark::State &state)
+{
+    unsigned jobs = sim::resolveJobs();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestCsvMapped(jobs));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fileSize(ingestCsvPath())));
+}
+BENCHMARK(BM_CsvIngestParallel);
+
+void
+BM_EtlIngestSerial(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestEtlSerial());
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fileSize(ingestEtlPath())));
+}
+BENCHMARK(BM_EtlIngestSerial);
+
+void
+BM_EtlIngestMappedCold(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestEtlMapped(1));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fileSize(ingestEtlPath())));
+}
+BENCHMARK(BM_EtlIngestMappedCold);
+
+void
+BM_EtlIngestMappedWarm(benchmark::State &state)
+{
+    trace::io::MappedFile file =
+        trace::io::MappedFile::openOrThrow(ingestEtlPath(), "bench");
+    trace::ParseOptions popts;
+    popts.source = ingestEtlPath();
+    popts.threads = 1;
+    for (auto _ : state) {
+        trace::IngestReport report;
+        auto bundle = trace::decodeEtl(file.span(), popts, report);
+        benchmark::DoNotOptimize(bundle.totalEvents());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(file.size()));
+}
+BENCHMARK(BM_EtlIngestMappedWarm);
+
+void
+BM_EtlIngestParallel(benchmark::State &state)
+{
+    unsigned jobs = sim::resolveJobs();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ingestEtlMapped(jobs));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fileSize(ingestEtlPath())));
+}
+BENCHMARK(BM_EtlIngestParallel);
+
+/**
+ * Timed ingest record pass: a few repetitions of each ingest variant
+ * under a SuiteTimer so BENCH_suite.json captures the throughput
+ * trajectory and tools/bench_compare can gate regressions.
+ */
+void
+recordIngestBenches()
+{
+    // Reps chosen so every record spans tens of milliseconds: the
+    // JSON wall time has 1 ms resolution, and a record near that
+    // floor turns quantization into a phantom bench_compare
+    // regression. The .etl decode is ~20x the CSV throughput, so it
+    // needs proportionally more repetitions.
+    const char *fast = std::getenv("DESKPAR_FAST");
+    bool isFast = fast && fast[0] == '1';
+    int csvReps = isFast ? 10 : 25;
+    int etlReps = isFast ? 100 : 250;
+    auto record = [](const char *name, int reps,
+                     const std::function<void()> &fn) {
+        bench::SuiteTimer timer(name);
+        for (int i = 0; i < reps; ++i)
+            fn();
+    };
+    unsigned jobs = sim::resolveJobs();
+    record("micro_ingest_csv_serial", csvReps,
+           [] { ingestCsvSerial(); });
+    record("micro_ingest_csv_mapped", csvReps,
+           [] { ingestCsvMapped(1); });
+    record("micro_ingest_csv_parallel", csvReps,
+           [jobs] { ingestCsvMapped(jobs); });
+    record("micro_ingest_etl_serial", etlReps,
+           [] { ingestEtlSerial(); });
+    record("micro_ingest_etl_mapped", etlReps,
+           [] { ingestEtlMapped(1); });
+    record("micro_ingest_etl_parallel", etlReps,
+           [jobs] { ingestEtlMapped(jobs); });
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    recordIngestBenches();
+    return 0;
+}

@@ -15,6 +15,7 @@
 #include "analysis/analyzer.hh"
 #include "apps/app.hh"
 #include "sim/machine.hh"
+#include "trace/parse.hh"
 #include "trace/session.hh"
 
 namespace deskpar::apps {
@@ -67,6 +68,8 @@ struct AppRunResult
     trace::TraceBundle lastBundle;
     /** Pid set of the app in lastBundle. */
     trace::PidSet lastPids;
+    /** File-ingest accounting (replay jobs only; zero for sims). */
+    trace::IngestStats ingest;
 
     double tlp() const { return agg.tlp.mean(); }
     double gpuUtil() const { return agg.gpuUtil.mean(); }
@@ -82,6 +85,8 @@ struct IterationOutput
     IterationResult result;
     trace::TraceBundle bundle;
     trace::PidSet pids;
+    /** File-ingest accounting (replay jobs only; zero for sims). */
+    trace::IngestStats ingest;
 };
 
 /**

@@ -2,23 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstdlib>
-#include <deque>
-#include <exception>
-#include <fstream>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <thread>
 #include <utility>
 
 #include "analysis/analyzer.hh"
 #include "analysis/trace_index.hh"
 #include "apps/registry.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "trace/csv.hh"
 #include "trace/etl.hh"
 #include "trace/filter.hh"
+#include "trace/io.hh"
 
 namespace deskpar::apps {
 namespace {
@@ -28,59 +26,6 @@ struct SimTask
 {
     std::size_t job = 0;
     unsigned iter = 0;
-};
-
-/**
- * Lock-based work-stealing scheduler: every worker owns a deque it
- * pops from the front of; an empty worker steals from the back of a
- * victim's deque. Tasks are coarse (a whole 30 s sim), so one mutex
- * per deque is plenty — contention is a few dozen lock acquisitions
- * per simulated half-minute.
- */
-class StealingQueues
-{
-  public:
-    StealingQueues(std::size_t workers, std::size_t tasks)
-        : queues_(workers)
-    {
-        // Round-robin initial distribution; stealing rebalances
-        // whatever the static split gets wrong.
-        for (std::size_t t = 0; t < tasks; ++t)
-            queues_[t % workers].tasks.push_back(t);
-    }
-
-    /** Pop from our own deque, else steal; false when all are dry. */
-    bool
-    next(std::size_t self, std::size_t &task)
-    {
-        auto &own = queues_[self];
-        {
-            std::lock_guard<std::mutex> lock(own.mutex);
-            if (!own.tasks.empty()) {
-                task = own.tasks.front();
-                own.tasks.pop_front();
-                return true;
-            }
-        }
-        for (std::size_t i = 1; i < queues_.size(); ++i) {
-            auto &victim = queues_[(self + i) % queues_.size()];
-            std::lock_guard<std::mutex> lock(victim.mutex);
-            if (!victim.tasks.empty()) {
-                task = victim.tasks.back();
-                victim.tasks.pop_back();
-                return true;
-            }
-        }
-        return false;
-    }
-
-  private:
-    struct PerWorker
-    {
-        std::mutex mutex;
-        std::deque<std::size_t> tasks;
-    };
-    std::deque<PerWorker> queues_;
 };
 
 /** Run one task, writing its slot in the per-job output matrix. */
@@ -155,6 +100,7 @@ replayJob(const std::string &path, const RunOptions &options,
         trace::TraceBundle bundle;
         trace::PidSet pids;
         analysis::AppMetrics metrics;
+        trace::IngestStats stats;
     };
     auto shared = std::make_shared<ReplayShared>();
 
@@ -170,15 +116,22 @@ replayJob(const std::string &path, const RunOptions &options,
             popts.source = path;
             trace::IngestReport report;
             trace::TraceBundle bundle;
+            auto begin = std::chrono::steady_clock::now();
+            trace::io::MappedFile file =
+                trace::io::MappedFile::openOrThrow(path, "replay");
             if (path.size() > 4 &&
                 path.compare(path.size() - 4, 4, ".csv") == 0) {
-                std::ifstream in(path);
-                if (!in)
-                    fatal("cannot open trace '" + path + "'");
-                report = trace::readCpuUsageCsv(in, bundle, popts);
+                report = trace::decodeCpuUsageCsv(file.span(), bundle,
+                                                  popts);
             } else {
-                bundle = trace::readEtl(path, popts, report);
+                bundle = trace::decodeEtl(file.span(), popts, report);
             }
+            shared->stats.bytes = file.size();
+            shared->stats.seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - begin)
+                    .count();
+            file.close();
             if (!report.ok()) {
                 // Strict: the file is rejected outright; the
                 // structured error fails this job (recoverable at
@@ -220,6 +173,7 @@ replayJob(const std::string &path, const RunOptions &options,
         out.result.metrics = shared->metrics;
         out.bundle = shared->bundle;
         out.pids = shared->pids;
+        out.ingest = shared->stats;
         return out;
     };
     return job;
@@ -242,16 +196,7 @@ SuiteRunner::SuiteRunner(unsigned threads)
 unsigned
 SuiteRunner::defaultThreads()
 {
-    if (const char *env = std::getenv("DESKPAR_JOBS")) {
-        char *end = nullptr;
-        unsigned long n = std::strtoul(env, &end, 10);
-        if (end && *end == '\0' && n > 0 && n < 1024)
-            return static_cast<unsigned>(n);
-        warn("ignoring invalid DESKPAR_JOBS value '" +
-             std::string(env) + "'");
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return sim::resolveJobs();
 }
 
 std::vector<AppRunResult>
@@ -265,43 +210,11 @@ SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
         outputs[j].resize(jobs[j].options.iterations);
     std::vector<std::string> names(jobs.size());
 
-    std::size_t workers =
-        std::min<std::size_t>(threads_, tasks.size());
-    if (workers <= 1) {
-        // Inline serial path (DESKPAR_JOBS=1 and tiny suites): same
-        // task order as the legacy per-bench loops, no threads.
-        for (const SimTask &task : tasks)
-            runTask(jobs, task, outputs, names);
-    } else {
-        StealingQueues queues(workers, tasks.size());
-        std::atomic<bool> abort{false};
-        std::exception_ptr firstError;
-        std::mutex errorMutex;
-
-        auto worker = [&](std::size_t self) {
-            std::size_t index;
-            while (!abort.load(std::memory_order_relaxed) &&
-                   queues.next(self, index)) {
-                try {
-                    runTask(jobs, tasks[index], outputs, names);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(errorMutex);
-                    if (!firstError)
-                        firstError = std::current_exception();
-                    abort.store(true, std::memory_order_relaxed);
-                }
-            }
-        };
-
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w)
-            pool.emplace_back(worker, w);
-        for (auto &thread : pool)
-            thread.join();
-        if (firstError)
-            std::rethrow_exception(firstError);
-    }
+    // parallelFor runs the whole suite inline (serial task order)
+    // for one worker or one task, else on the work-stealing pool.
+    sim::parallelFor(threads_, tasks.size(), [&](std::size_t index) {
+        runTask(jobs, tasks[index], outputs, names);
+    });
 
     // Deterministic assembly: fold iterations in ascending order per
     // job, jobs in submission order — bitwise identical to the serial
@@ -369,41 +282,9 @@ SuiteRunner::runRecoverable(const std::vector<SuiteJob> &jobs) const
         }
     };
 
-    std::size_t workers =
-        std::min<std::size_t>(threads_, tasks.size());
-    if (workers <= 1) {
-        for (const SimTask &task : tasks)
-            runOne(task);
-    } else {
-        StealingQueues queues(workers, tasks.size());
-        std::atomic<bool> abort{false};
-        std::exception_ptr firstError;
-        std::mutex errorMutex;
-
-        auto worker = [&](std::size_t self) {
-            std::size_t index;
-            while (!abort.load(std::memory_order_relaxed) &&
-                   queues.next(self, index)) {
-                try {
-                    runOne(tasks[index]);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(errorMutex);
-                    if (!firstError)
-                        firstError = std::current_exception();
-                    abort.store(true, std::memory_order_relaxed);
-                }
-            }
-        };
-
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w)
-            pool.emplace_back(worker, w);
-        for (auto &thread : pool)
-            thread.join();
-        if (firstError)
-            std::rethrow_exception(firstError);
-    }
+    sim::parallelFor(threads_, tasks.size(), [&](std::size_t index) {
+        runOne(tasks[index]);
+    });
 
     // Scheduling may interleave failures arbitrarily; report them in
     // submission order so batch output is deterministic.

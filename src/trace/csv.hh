@@ -16,6 +16,17 @@
  * record fails the file, in lenient mode bad records are skipped and
  * counted. The legacy void readers are strict wrappers that throw
  * TraceParseError.
+ *
+ * Two reader families (DESIGN.md section 11):
+ *  - decode*Csv(ByteSpan)/read*CsvFile(path): the production path.
+ *    Zero-copy — fields are std::string_view slices of the mapped
+ *    buffer — and chunk-parallel: the body splits at newline
+ *    boundaries into ParseOptions::threads chunks decoded on worker
+ *    threads and merged in file order. Bundle contents, report
+ *    counters, and every error payload are byte-identical to the
+ *    serial readers at any thread count.
+ *  - read*Csv(istream): the legacy serial readers, kept as the
+ *    differential reference for the span path.
  */
 
 #ifndef DESKPAR_TRACE_CSV_HH
@@ -23,8 +34,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "trace/io.hh"
 #include "trace/parse.hh"
 #include "trace/session.hh"
 
@@ -54,6 +67,29 @@ IngestReport readGpuUtilCsv(std::istream &in, TraceBundle &bundle,
                             const ParseOptions &options);
 
 /**
+ * Zero-copy chunk-parallel readers over an in-memory span (usually a
+ * MappedFile's bytes). Same contract and byte-identical output as the
+ * istream readers above; see the file comment for the chunking rules.
+ */
+IngestReport decodeCpuUsageCsv(io::ByteSpan data, TraceBundle &bundle,
+                               const ParseOptions &options);
+IngestReport decodeGpuUtilCsv(io::ByteSpan data, TraceBundle &bundle,
+                              const ParseOptions &options);
+
+/**
+ * Map @p path (io::MappedFile) and decode it with the span readers.
+ * Throws FatalError only for I/O failure (cannot open/read); content
+ * defects go through the report. An empty ParseOptions::source is
+ * replaced by @p path in diagnostics.
+ */
+IngestReport readCpuUsageCsvFile(const std::string &path,
+                                 TraceBundle &bundle,
+                                 const ParseOptions &options);
+IngestReport readGpuUtilCsvFile(const std::string &path,
+                                TraceBundle &bundle,
+                                const ParseOptions &options);
+
+/**
  * Legacy strict readers: throw TraceParseError (a FatalError) on the
  * first malformed record.
  */
@@ -68,17 +104,28 @@ void readGpuUtilCsv(std::istream &in, TraceBundle &bundle);
  *  - an unterminated quoted field at end of line.
  */
 ParseResult<std::vector<std::string>>
-splitCsvFields(const std::string &line);
+splitCsvFields(std::string_view line);
+
+/**
+ * Zero-copy variant of splitCsvFields: fields are views into @p line,
+ * except fields containing doubled quotes, which unescape into
+ * @p scratch (overwritten per call; reserved so views stay valid).
+ * Same defect locations and messages as splitCsvFields. Exposed for
+ * tests.
+ */
+bool splitCsvFieldsView(std::string_view line,
+                        std::vector<std::string_view> &fields,
+                        std::string &scratch, ParseError &err);
 
 /** Legacy wrapper: throws TraceParseError on malformed quoting. */
-std::vector<std::string> splitCsvLine(const std::string &line);
+std::vector<std::string> splitCsvLine(std::string_view line);
 
 /**
  * Parse a full unsigned 64-bit decimal field. Rejects empty fields,
  * non-digits, trailing junk (123xyz) and overflow; never throws.
  * Exposed for tests.
  */
-ParseResult<std::uint64_t> parseCsvU64(const std::string &field);
+ParseResult<std::uint64_t> parseCsvU64(std::string_view field);
 
 } // namespace deskpar::trace
 

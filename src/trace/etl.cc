@@ -1,11 +1,12 @@
 #include "trace/etl.hh"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace deskpar::trace {
 
@@ -72,8 +73,8 @@ putSection(std::string &out, Section tag, const std::string &payload)
  * relative to @p data (the caller rebases past the magic).
  */
 bool
-getBounded(const std::string &data, std::size_t &pos,
-           std::size_t limit, std::uint64_t &value, ParseError &err)
+getBounded(io::ByteSpan data, std::size_t &pos, std::size_t limit,
+           std::uint64_t &value, ParseError &err)
 {
     value = 0;
     unsigned shift = 0;
@@ -99,7 +100,7 @@ getBounded(const std::string &data, std::size_t &pos,
 
 /** Bounded no-throw string decode (varint length + bytes). */
 bool
-getBoundedString(const std::string &data, std::size_t &pos,
+getBoundedString(io::ByteSpan data, std::size_t &pos,
                  std::size_t limit, std::string &s, ParseError &err)
 {
     std::uint64_t len = 0;
@@ -112,19 +113,22 @@ getBoundedString(const std::string &data, std::size_t &pos,
                      std::to_string(limit - pos) + " bytes left)";
         return false;
     }
-    s = data.substr(pos, len);
+    s.assign(data.data() + pos, static_cast<std::size_t>(len));
     pos += static_cast<std::size_t>(len);
     return true;
 }
 
 /**
- * Shared decoding state of one readEtl call: the slurped body, the
- * report under construction, and the options. Body offsets are
- * rebased past the magic in every diagnostic.
+ * Shared decoding state of one section stream: the body span (file
+ * bytes past the magic), the report under construction, and the
+ * options. Body offsets are rebased past the magic in every
+ * diagnostic. The serial reader walks one EtlReader across the whole
+ * body; the section-parallel path gives every section frame its own
+ * reader and report, merged in file order afterwards.
  */
 struct EtlReader
 {
-    const std::string &data;
+    io::ByteSpan data;
     const ParseOptions &options;
     IngestReport &report;
 
@@ -187,6 +191,513 @@ decodeRecords(EtlReader &r, const char *section, std::uint64_t count,
     return true;
 }
 
+/**
+ * Decode one section frame's payload — count varint, records,
+ * trailing-bytes check — with r.pos at the count varint and @p limit
+ * at the frame end. Returns false when the section is defective (the
+ * diagnostic is already noted and any cleanly decoded record prefix
+ * is kept); the caller decides strict-fail vs lenient-hop. Shared
+ * verbatim by the serial frame loop and the section-parallel path so
+ * their per-section byte semantics cannot drift apart.
+ */
+bool
+decodeSectionBody(EtlReader &r, Section tag, const char *name,
+                  std::size_t tagPos, std::size_t limit,
+                  TraceBundle &bundle)
+{
+    io::ByteSpan data = r.data;
+    ParseError ferr;
+    std::uint64_t count = 0;
+    bool good = true;
+    // Every record of a known section is at least one byte, so a
+    // count beyond the frame length is corrupt; rejecting it here
+    // also keeps reserve() from ballooning on garbage counts.
+    if (!getBounded(data, r.pos, limit, count, ferr)) {
+        r.note(r.located(std::move(ferr), name,
+                         ParseError::kNoPosition));
+        good = false;
+    } else if (count > limit - r.pos) {
+        r.note(r.makeError(name, ParseError::kNoPosition, tagPos,
+                           "declared count " + std::to_string(count) +
+                               " exceeds section size"));
+        good = false;
+    }
+    if (good) {
+        switch (tag) {
+          case Section::ProcessNames:
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    std::uint64_t pid = 0;
+                    std::string pname;
+                    if (!getBounded(data, r.pos, limit, pid, e) ||
+                        !getBoundedString(data, r.pos, limit,
+                                          pname, e))
+                        return false;
+                    bundle.processNames
+                        [static_cast<Pid>(pid)] = pname;
+                    return true;
+                });
+            break;
+
+          case Section::CSwitch: {
+            SimTime prev = 0;
+            bundle.cswitches.reserve(
+                static_cast<std::size_t>(count));
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    CSwitchEvent ev;
+                    std::uint64_t d = 0, v = 0;
+                    if (!getBounded(data, r.pos, limit, d, e))
+                        return false;
+                    if (d > sim::kNoTime - prev) {
+                        e.offset = r.pos;
+                        e.reason =
+                            "timestamp delta overflows 64 bits";
+                        return false;
+                    }
+                    ev.timestamp = prev + d;
+                    prev = ev.timestamp;
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.cpu = static_cast<CpuId>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.oldPid = static_cast<Pid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.oldTid = static_cast<Tid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.newPid = static_cast<Pid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.newTid = static_cast<Tid>(v);
+                    if (!getBounded(data, r.pos, limit,
+                                    ev.readyTime, e))
+                        return false;
+                    bundle.cswitches.push_back(ev);
+                    return true;
+                });
+            break;
+          }
+
+          case Section::GpuPackets: {
+            SimTime prev = 0;
+            bundle.gpuPackets.reserve(
+                static_cast<std::size_t>(count));
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    GpuPacketEvent ev;
+                    std::uint64_t d = 0, v = 0;
+                    if (!getBounded(data, r.pos, limit, d, e))
+                        return false;
+                    if (d > sim::kNoTime - prev) {
+                        e.offset = r.pos;
+                        e.reason = "start delta overflows 64 bits";
+                        return false;
+                    }
+                    ev.start = prev + d;
+                    prev = ev.start;
+                    if (!getBounded(data, r.pos, limit, d, e))
+                        return false;
+                    if (d > ev.start) {
+                        e.offset = r.pos;
+                        e.reason = "queue delta " +
+                                   std::to_string(d) +
+                                   " precedes time zero";
+                        return false;
+                    }
+                    ev.queued = ev.start - d;
+                    if (!getBounded(data, r.pos, limit, d, e))
+                        return false;
+                    if (d > sim::kNoTime - ev.start) {
+                        e.offset = r.pos;
+                        e.reason =
+                            "finish delta overflows 64 bits";
+                        return false;
+                    }
+                    ev.finish = ev.start + d;
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.pid = static_cast<Pid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    if (v >= kNumGpuEngines) {
+                        e.offset = r.pos;
+                        e.reason = "unknown GPU engine id " +
+                                   std::to_string(v);
+                        return false;
+                    }
+                    ev.engine = static_cast<GpuEngineId>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.packetId =
+                        static_cast<std::uint32_t>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.queueSlot =
+                        static_cast<std::uint8_t>(v);
+                    bundle.gpuPackets.push_back(ev);
+                    return true;
+                });
+            break;
+          }
+
+          case Section::Frames: {
+            SimTime prev = 0;
+            bundle.frames.reserve(
+                static_cast<std::size_t>(count));
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    FrameEvent ev;
+                    std::uint64_t d = 0, v = 0;
+                    if (!getBounded(data, r.pos, limit, d, e))
+                        return false;
+                    if (d > sim::kNoTime - prev) {
+                        e.offset = r.pos;
+                        e.reason =
+                            "timestamp delta overflows 64 bits";
+                        return false;
+                    }
+                    ev.timestamp = prev + d;
+                    prev = ev.timestamp;
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.pid = static_cast<Pid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.frameId = static_cast<std::uint32_t>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.synthesized = v != 0;
+                    bundle.frames.push_back(ev);
+                    return true;
+                });
+            break;
+          }
+
+          case Section::ThreadLife:
+            bundle.threadEvents.reserve(
+                static_cast<std::size_t>(count));
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    ThreadLifeEvent ev;
+                    std::uint64_t v = 0;
+                    if (!getBounded(data, r.pos, limit,
+                                    ev.timestamp, e))
+                        return false;
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.pid = static_cast<Pid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.tid = static_cast<Tid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.created = v != 0;
+                    if (!getBoundedString(data, r.pos, limit,
+                                          ev.name, e))
+                        return false;
+                    bundle.threadEvents.push_back(ev);
+                    return true;
+                });
+            break;
+
+          case Section::ProcessLife:
+            bundle.processEvents.reserve(
+                static_cast<std::size_t>(count));
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    ProcessLifeEvent ev;
+                    std::uint64_t v = 0;
+                    if (!getBounded(data, r.pos, limit,
+                                    ev.timestamp, e))
+                        return false;
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.pid = static_cast<Pid>(v);
+                    if (!getBounded(data, r.pos, limit, v, e))
+                        return false;
+                    ev.created = v != 0;
+                    if (!getBoundedString(data, r.pos, limit,
+                                          ev.name, e))
+                        return false;
+                    bundle.processEvents.push_back(ev);
+                    return true;
+                });
+            break;
+
+          case Section::Markers:
+            bundle.markers.reserve(
+                static_cast<std::size_t>(count));
+            good = decodeRecords(
+                r, name, count,
+                [&](std::uint64_t, ParseError &e) {
+                    MarkerEvent ev;
+                    if (!getBounded(data, r.pos, limit,
+                                    ev.timestamp, e))
+                        return false;
+                    if (!getBoundedString(data, r.pos, limit,
+                                          ev.label, e))
+                        return false;
+                    bundle.markers.push_back(ev);
+                    return true;
+                });
+            break;
+
+          default:
+            // Unreachable: unknown tags are rejected by the callers
+            // before the count decode.
+            good = false;
+            break;
+        }
+    }
+    if (!good)
+        return false;
+    if (r.pos != limit) {
+        r.note(r.makeError(name, ParseError::kNoPosition, r.pos,
+                           std::to_string(limit - r.pos) +
+                               " trailing bytes in section"));
+        return false;
+    }
+    return true;
+}
+
+/** Splice the containers of @p part onto @p bundle, in order. */
+void
+appendBundle(TraceBundle &bundle, TraceBundle &part)
+{
+    bundle.cswitches.insert(bundle.cswitches.end(),
+                            part.cswitches.begin(),
+                            part.cswitches.end());
+    bundle.gpuPackets.insert(bundle.gpuPackets.end(),
+                             part.gpuPackets.begin(),
+                             part.gpuPackets.end());
+    bundle.frames.insert(bundle.frames.end(), part.frames.begin(),
+                         part.frames.end());
+    bundle.threadEvents.insert(bundle.threadEvents.end(),
+                               part.threadEvents.begin(),
+                               part.threadEvents.end());
+    bundle.processEvents.insert(bundle.processEvents.end(),
+                                part.processEvents.begin(),
+                                part.processEvents.end());
+    bundle.markers.insert(bundle.markers.end(),
+                          part.markers.begin(), part.markers.end());
+    for (auto &[pid, name] : part.processNames)
+        bundle.processNames[pid] = std::move(name);
+}
+
+/** One section frame located by the parallel pre-scan. */
+struct FrameInfo
+{
+    Section tag;
+    const char *name;
+    std::size_t tagPos;  // body position of the tag byte
+    std::size_t bodyPos; // body position of the count varint
+    std::size_t limit;   // body position one past the payload
+};
+
+/** Span inputs below this decode serially unless threads is forced. */
+constexpr std::size_t kMinParallelBytes = 1 << 16;
+
+/**
+ * Section-parallel decode: a serial pre-scan walks the length-framed
+ * section headers only; if the framing is perfectly regular (known
+ * tags, no duplicates, in-bounds lengths, End present) the section
+ * payloads decode concurrently into per-section bundles and reports,
+ * merged in file order. Returns false — leaving r.pos and the report
+ * untouched — when the framing is irregular in any way; the caller's
+ * serial loop then reproduces the legacy diagnostics exactly.
+ */
+bool
+tryDecodeSectionsParallel(EtlReader &r, unsigned jobs,
+                          TraceBundle &bundle)
+{
+    std::vector<FrameInfo> frames;
+    std::array<bool, 256> seen{};
+    std::size_t pos = r.pos;
+    bool sawEnd = false;
+    while (pos < r.data.size()) {
+        std::size_t tagPos = pos;
+        auto tag = static_cast<Section>(
+            static_cast<std::uint8_t>(r.data[pos++]));
+        if (tag == Section::End) {
+            sawEnd = true;
+            break;
+        }
+        const char *name = sectionName(tag);
+        if (std::strcmp(name, "Unknown") == 0)
+            return false;
+        auto tagByte = static_cast<std::uint8_t>(tag);
+        if (seen[tagByte])
+            return false; // duplicate sections share containers
+        seen[tagByte] = true;
+        ParseError ferr;
+        std::uint64_t length = 0;
+        if (!getBounded(r.data, pos, r.data.size(), length, ferr))
+            return false;
+        if (length > r.data.size() - pos)
+            return false;
+        frames.push_back({tag, name, tagPos, pos,
+                          pos + static_cast<std::size_t>(length)});
+        pos = frames.back().limit;
+    }
+    if (!sawEnd)
+        return false;
+
+    std::vector<TraceBundle> parts(frames.size());
+    std::vector<IngestReport> reports(frames.size());
+    std::vector<char> clean(frames.size(), 0);
+    sim::parallelFor(jobs, frames.size(), [&](std::size_t i) {
+        reports[i].source = r.report.source;
+        reports[i].mode = r.options.mode;
+        EtlReader section{r.data, r.options, reports[i],
+                          frames[i].bodyPos};
+        clean[i] = decodeSectionBody(section, frames[i].tag,
+                                     frames[i].name, frames[i].tagPos,
+                                     frames[i].limit, parts[i])
+                       ? 1
+                       : 0;
+    });
+
+    // Deterministic merge in file order. In strict mode the serial
+    // reader stops at the first defective section, so later sections
+    // are discarded unread.
+    bool lenient = r.options.mode == ParseMode::Lenient;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        appendBundle(bundle, parts[i]);
+        r.report.absorb(std::move(reports[i]),
+                        r.options.maxStoredErrors);
+        if (!clean[i] && !lenient)
+            break;
+    }
+    return true;
+}
+
+/**
+ * Decode a version-3 body (the bytes past the magic) into a bundle.
+ * @p allowParallel selects the section-parallel fast path; the legacy
+ * istream entry points pass false and stay the serial differential
+ * reference.
+ */
+TraceBundle
+decodeEtlBody(io::ByteSpan data, const ParseOptions &options,
+              IngestReport &report, bool allowParallel)
+{
+    TraceBundle bundle;
+    EtlReader r{data, options, report};
+
+    // Header: version and observation window. Defects here fail the
+    // file in both modes — nothing downstream is trustworthy.
+    std::uint64_t version = 0, value = 0;
+    ParseError err;
+    auto headerField = [&](const char *field,
+                           std::uint64_t &out) {
+        if (getBounded(data, r.pos, data.size(), out, err))
+            return true;
+        err.field = field;
+        r.note(r.located(std::move(err), "header",
+                         ParseError::kNoPosition));
+        return false;
+    };
+    if (!headerField("version", version))
+        return bundle;
+    if (version != kEtlVersion) {
+        r.note(r.makeError("header", ParseError::kNoPosition, 0,
+                           "unsupported version " +
+                               std::to_string(version) + " (want " +
+                               std::to_string(kEtlVersion) + ")"));
+        return bundle;
+    }
+    if (!headerField("startTime", bundle.startTime) ||
+        !headerField("stopTime", value))
+        return bundle;
+    bundle.stopTime = value;
+    if (!headerField("numLogicalCpus", value))
+        return bundle;
+    bundle.numLogicalCpus = static_cast<std::uint32_t>(value);
+
+    bool lenient = options.mode == ParseMode::Lenient;
+
+    if (allowParallel) {
+        unsigned jobs = options.threads;
+        if (jobs == 0) {
+            jobs = data.size() >= kMinParallelBytes
+                       ? sim::resolveJobs()
+                       : 1;
+        }
+        if (jobs > 1 && tryDecodeSectionsParallel(r, jobs, bundle))
+            return bundle;
+    }
+
+    // Section frames, serially. A defect inside a frame fails only
+    // that frame: lenient mode hops to the next frame via the length
+    // prefix.
+    while (true) {
+        if (r.pos >= data.size()) {
+            r.note(r.makeError("trailer", ParseError::kNoPosition,
+                               r.pos, "missing end section"));
+            report.salvaged = lenient;
+            return bundle;
+        }
+        auto tagPos = r.pos;
+        auto tag = static_cast<Section>(
+            static_cast<std::uint8_t>(data[r.pos++]));
+        if (tag == Section::End)
+            break;
+
+        ParseError ferr;
+        std::uint64_t length = 0;
+        if (!getBounded(data, r.pos, data.size(), length, ferr)) {
+            r.note(r.located(std::move(ferr), "frame",
+                             ParseError::kNoPosition));
+            report.salvaged = lenient;
+            return bundle;
+        }
+        if (length > data.size() - r.pos) {
+            r.note(r.makeError(sectionName(tag),
+                               ParseError::kNoPosition, r.pos,
+                               "section length " +
+                                   std::to_string(length) +
+                                   " exceeds remaining input"));
+            report.salvaged = lenient;
+            return bundle;
+        }
+        std::size_t limit = r.pos + static_cast<std::size_t>(length);
+        const char *name = sectionName(tag);
+
+        // An unknown tag is diagnosed before its payload is touched:
+        // the bytes mean nothing to this reader.
+        bool good;
+        if (std::strcmp(name, "Unknown") == 0) {
+            r.note(r.makeError(
+                name, ParseError::kNoPosition, tagPos,
+                "unknown section tag " +
+                    std::to_string(static_cast<unsigned>(tag))));
+            good = false;
+        } else {
+            good = decodeSectionBody(r, tag, name, tagPos, limit,
+                                     bundle);
+        }
+
+        // Every defect above has already been noted; strict fails the
+        // file here, lenient hops to the next frame via the length
+        // prefix.
+        if (!good) {
+            if (!lenient)
+                return bundle;
+            r.pos = limit;
+        }
+    }
+    return bundle;
+}
+
 } // namespace
 
 void
@@ -200,14 +711,14 @@ putVarint(std::string &out, std::uint64_t value)
 }
 
 bool
-tryGetVarint(const std::string &data, std::size_t &pos,
+tryGetVarint(std::string_view data, std::size_t &pos,
              std::uint64_t &value, ParseError &err)
 {
     return getBounded(data, pos, data.size(), value, err);
 }
 
 std::uint64_t
-getVarint(const std::string &data, std::size_t &pos)
+getVarint(std::string_view data, std::size_t &pos)
 {
     std::uint64_t value = 0;
     ParseError err;
@@ -334,6 +845,31 @@ writeEtl(const TraceBundle &bundle, const std::string &path)
 }
 
 TraceBundle
+decodeEtl(io::ByteSpan data, const ParseOptions &options,
+          IngestReport &report)
+{
+    report = IngestReport{};
+    report.source =
+        options.source.empty() ? "<stream>" : options.source;
+    report.mode = options.mode;
+
+    if (data.size() < sizeof(kMagic) ||
+        data.compare(0, sizeof(kMagic),
+                     std::string_view(kMagic, sizeof(kMagic))) != 0) {
+        ParseError err;
+        err.source = report.source;
+        err.section = "header";
+        err.offset = 0;
+        err.reason = data.size() < sizeof(kMagic) ? "truncated magic"
+                                                  : "bad magic";
+        report.note(std::move(err), options.maxStoredErrors);
+        return TraceBundle{};
+    }
+    return decodeEtlBody(data.substr(sizeof(kMagic)), options, report,
+                         /*allowParallel=*/true);
+}
+
+TraceBundle
 readEtl(std::istream &in, const ParseOptions &options,
         IngestReport &report)
 {
@@ -356,372 +892,34 @@ readEtl(std::istream &in, const ParseOptions &options,
         return bundle;
     }
 
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::string data = buf.str();
-
-    EtlReader r{data, options, report};
-
-    // Header: version and observation window. Defects here fail the
-    // file in both modes — nothing downstream is trustworthy.
-    std::uint64_t version = 0, value = 0;
-    ParseError err;
-    auto headerField = [&](const char *field,
-                           std::uint64_t &out) {
-        if (getBounded(data, r.pos, data.size(), out, err))
-            return true;
-        err.field = field;
-        r.note(r.located(std::move(err), "header",
-                         ParseError::kNoPosition));
-        return false;
-    };
-    if (!headerField("version", version))
-        return bundle;
-    if (version != kEtlVersion) {
-        r.note(r.makeError("header", ParseError::kNoPosition, 0,
-                           "unsupported version " +
-                               std::to_string(version) + " (want " +
-                               std::to_string(kEtlVersion) + ")"));
-        return bundle;
+    // Slurp the body directly, sizing via seek/tell when the stream
+    // supports it — no intermediate ostringstream copy.
+    std::string data;
+    auto cur = in.tellg();
+    if (cur != std::istream::pos_type(-1)) {
+        in.seekg(0, std::ios::end);
+        auto end = in.tellg();
+        in.seekg(cur);
+        if (end > cur)
+            data.reserve(static_cast<std::size_t>(end - cur));
     }
-    if (!headerField("startTime", bundle.startTime) ||
-        !headerField("stopTime", value))
-        return bundle;
-    bundle.stopTime = value;
-    if (!headerField("numLogicalCpus", value))
-        return bundle;
-    bundle.numLogicalCpus = static_cast<std::uint32_t>(value);
+    char buf[1 << 16];
+    while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
+        data.append(buf, static_cast<std::size_t>(in.gcount()));
 
-    bool lenient = options.mode == ParseMode::Lenient;
-
-    // Section frames. A defect inside a frame fails only that frame:
-    // lenient mode hops to the next frame via the length prefix.
-    while (true) {
-        if (r.pos >= data.size()) {
-            r.note(r.makeError("trailer", ParseError::kNoPosition,
-                               r.pos, "missing end section"));
-            report.salvaged = lenient;
-            return bundle;
-        }
-        auto tagPos = r.pos;
-        auto tag = static_cast<Section>(
-            static_cast<std::uint8_t>(data[r.pos++]));
-        if (tag == Section::End)
-            break;
-
-        ParseError ferr;
-        std::uint64_t length = 0;
-        if (!getBounded(data, r.pos, data.size(), length, ferr)) {
-            r.note(r.located(std::move(ferr), "frame",
-                             ParseError::kNoPosition));
-            report.salvaged = lenient;
-            return bundle;
-        }
-        if (length > data.size() - r.pos) {
-            r.note(r.makeError(sectionName(tag),
-                               ParseError::kNoPosition, r.pos,
-                               "section length " +
-                                   std::to_string(length) +
-                                   " exceeds remaining input"));
-            report.salvaged = lenient;
-            return bundle;
-        }
-        std::size_t limit = r.pos + static_cast<std::size_t>(length);
-        const char *name = sectionName(tag);
-
-        // An unknown tag is diagnosed before its payload is touched:
-        // the bytes mean nothing to this reader. Every record of a
-        // known section is at least one byte, so a count beyond the
-        // frame length is corrupt; rejecting it here also keeps
-        // reserve() from ballooning on garbage counts.
-        std::uint64_t count = 0;
-        bool good = true;
-        if (std::strcmp(name, "Unknown") == 0) {
-            r.note(r.makeError(
-                name, ParseError::kNoPosition, tagPos,
-                "unknown section tag " +
-                    std::to_string(static_cast<unsigned>(tag))));
-            good = false;
-        } else if (!getBounded(data, r.pos, limit, count, ferr)) {
-            r.note(r.located(std::move(ferr), name,
-                             ParseError::kNoPosition));
-            good = false;
-        } else if (count > limit - r.pos) {
-            r.note(r.makeError(name, ParseError::kNoPosition, tagPos,
-                               "declared count " +
-                                   std::to_string(count) +
-                                   " exceeds section size"));
-            good = false;
-        }
-        if (good) {
-            switch (tag) {
-              case Section::ProcessNames:
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        std::uint64_t pid = 0;
-                        std::string pname;
-                        if (!getBounded(data, r.pos, limit, pid, e) ||
-                            !getBoundedString(data, r.pos, limit,
-                                              pname, e))
-                            return false;
-                        bundle.processNames
-                            [static_cast<Pid>(pid)] = pname;
-                        return true;
-                    });
-                break;
-
-              case Section::CSwitch: {
-                SimTime prev = 0;
-                bundle.cswitches.reserve(
-                    static_cast<std::size_t>(count));
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        CSwitchEvent ev;
-                        std::uint64_t d = 0, v = 0;
-                        if (!getBounded(data, r.pos, limit, d, e))
-                            return false;
-                        if (d > sim::kNoTime - prev) {
-                            e.offset = r.pos;
-                            e.reason =
-                                "timestamp delta overflows 64 bits";
-                            return false;
-                        }
-                        ev.timestamp = prev + d;
-                        prev = ev.timestamp;
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.cpu = static_cast<CpuId>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.oldPid = static_cast<Pid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.oldTid = static_cast<Tid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.newPid = static_cast<Pid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.newTid = static_cast<Tid>(v);
-                        if (!getBounded(data, r.pos, limit,
-                                        ev.readyTime, e))
-                            return false;
-                        bundle.cswitches.push_back(ev);
-                        return true;
-                    });
-                break;
-              }
-
-              case Section::GpuPackets: {
-                SimTime prev = 0;
-                bundle.gpuPackets.reserve(
-                    static_cast<std::size_t>(count));
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        GpuPacketEvent ev;
-                        std::uint64_t d = 0, v = 0;
-                        if (!getBounded(data, r.pos, limit, d, e))
-                            return false;
-                        if (d > sim::kNoTime - prev) {
-                            e.offset = r.pos;
-                            e.reason = "start delta overflows 64 bits";
-                            return false;
-                        }
-                        ev.start = prev + d;
-                        prev = ev.start;
-                        if (!getBounded(data, r.pos, limit, d, e))
-                            return false;
-                        if (d > ev.start) {
-                            e.offset = r.pos;
-                            e.reason = "queue delta " +
-                                       std::to_string(d) +
-                                       " precedes time zero";
-                            return false;
-                        }
-                        ev.queued = ev.start - d;
-                        if (!getBounded(data, r.pos, limit, d, e))
-                            return false;
-                        if (d > sim::kNoTime - ev.start) {
-                            e.offset = r.pos;
-                            e.reason =
-                                "finish delta overflows 64 bits";
-                            return false;
-                        }
-                        ev.finish = ev.start + d;
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.pid = static_cast<Pid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        if (v >= kNumGpuEngines) {
-                            e.offset = r.pos;
-                            e.reason = "unknown GPU engine id " +
-                                       std::to_string(v);
-                            return false;
-                        }
-                        ev.engine = static_cast<GpuEngineId>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.packetId =
-                            static_cast<std::uint32_t>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.queueSlot =
-                            static_cast<std::uint8_t>(v);
-                        bundle.gpuPackets.push_back(ev);
-                        return true;
-                    });
-                break;
-              }
-
-              case Section::Frames: {
-                SimTime prev = 0;
-                bundle.frames.reserve(
-                    static_cast<std::size_t>(count));
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        FrameEvent ev;
-                        std::uint64_t d = 0, v = 0;
-                        if (!getBounded(data, r.pos, limit, d, e))
-                            return false;
-                        if (d > sim::kNoTime - prev) {
-                            e.offset = r.pos;
-                            e.reason =
-                                "timestamp delta overflows 64 bits";
-                            return false;
-                        }
-                        ev.timestamp = prev + d;
-                        prev = ev.timestamp;
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.pid = static_cast<Pid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.frameId = static_cast<std::uint32_t>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.synthesized = v != 0;
-                        bundle.frames.push_back(ev);
-                        return true;
-                    });
-                break;
-              }
-
-              case Section::ThreadLife:
-                bundle.threadEvents.reserve(
-                    static_cast<std::size_t>(count));
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        ThreadLifeEvent ev;
-                        std::uint64_t v = 0;
-                        if (!getBounded(data, r.pos, limit,
-                                        ev.timestamp, e))
-                            return false;
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.pid = static_cast<Pid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.tid = static_cast<Tid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.created = v != 0;
-                        if (!getBoundedString(data, r.pos, limit,
-                                              ev.name, e))
-                            return false;
-                        bundle.threadEvents.push_back(ev);
-                        return true;
-                    });
-                break;
-
-              case Section::ProcessLife:
-                bundle.processEvents.reserve(
-                    static_cast<std::size_t>(count));
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        ProcessLifeEvent ev;
-                        std::uint64_t v = 0;
-                        if (!getBounded(data, r.pos, limit,
-                                        ev.timestamp, e))
-                            return false;
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.pid = static_cast<Pid>(v);
-                        if (!getBounded(data, r.pos, limit, v, e))
-                            return false;
-                        ev.created = v != 0;
-                        if (!getBoundedString(data, r.pos, limit,
-                                              ev.name, e))
-                            return false;
-                        bundle.processEvents.push_back(ev);
-                        return true;
-                    });
-                break;
-
-              case Section::Markers:
-                bundle.markers.reserve(
-                    static_cast<std::size_t>(count));
-                good = decodeRecords(
-                    r, name, count,
-                    [&](std::uint64_t, ParseError &e) {
-                        MarkerEvent ev;
-                        if (!getBounded(data, r.pos, limit,
-                                        ev.timestamp, e))
-                            return false;
-                        if (!getBoundedString(data, r.pos, limit,
-                                              ev.label, e))
-                            return false;
-                        bundle.markers.push_back(ev);
-                        return true;
-                    });
-                break;
-
-              default:
-                // Unreachable: unknown tags are rejected above,
-                // before the count decode.
-                good = false;
-                break;
-            }
-        }
-
-        // Every defect above has already been noted (decodeRecords
-        // notes record-level ones); strict fails the file here,
-        // lenient hops to the next frame via the length prefix.
-        if (!good) {
-            if (!lenient)
-                return bundle;
-            r.pos = limit;
-            continue;
-        }
-        if (r.pos != limit) {
-            r.note(r.makeError(name, ParseError::kNoPosition, r.pos,
-                               std::to_string(limit - r.pos) +
-                                   " trailing bytes in section"));
-            if (!lenient)
-                return bundle;
-            r.pos = limit;
-        }
-    }
-    return bundle;
+    return decodeEtlBody(data, options, report,
+                         /*allowParallel=*/false);
 }
 
 TraceBundle
 readEtl(const std::string &path, const ParseOptions &options,
         IngestReport &report)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        fatal("readEtl: cannot open " + path);
+    io::MappedFile file = io::MappedFile::openOrThrow(path, "readEtl");
     ParseOptions named = options;
     if (named.source.empty())
         named.source = path;
-    return readEtl(in, named, report);
+    return decodeEtl(file.span(), named, report);
 }
 
 TraceBundle

@@ -16,6 +16,15 @@
  * it, and salvages everything else. writeEtl validates stream
  * monotonicity (the delta encoding is unsigned) and reports the
  * offending record index as a structured TraceParseError.
+ *
+ * The production readers — decodeEtl(ByteSpan) and the path entry
+ * points, which memory-map the file — decode well-framed sections in
+ * parallel: a serial pre-scan walks the length framing, then the
+ * section payloads decode concurrently and merge in file order. Any
+ * framing irregularity falls back to the serial decoder, so bundles,
+ * reports, and error payloads are byte-identical to the legacy
+ * istream readers (which stay serial as the differential reference)
+ * at every thread count. See DESIGN.md section 11.
  */
 
 #ifndef DESKPAR_TRACE_ETL_HH
@@ -24,8 +33,10 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "trace/io.hh"
 #include "trace/parse.hh"
 #include "trace/session.hh"
 
@@ -59,6 +70,14 @@ TraceBundle readEtl(const std::string &path,
                     const ParseOptions &options, IngestReport &report);
 
 /**
+ * Decode a whole .etl image held in memory (usually a MappedFile's
+ * bytes), section-parallel when the framing allows. Same recoverable
+ * contract as readEtl(istream) and byte-identical output.
+ */
+TraceBundle decodeEtl(io::ByteSpan data, const ParseOptions &options,
+                      IngestReport &report);
+
+/**
  * Legacy strict readers: throw TraceParseError (a FatalError) on any
  * malformed or mismatched content, FatalError on I/O failure.
  */
@@ -74,13 +93,13 @@ void putVarint(std::string &out, std::uint64_t value);
  * Decode a LEB128 varint from @p data starting at @p pos; advances
  * @p pos. Throws TraceParseError on truncated or overlong input.
  */
-std::uint64_t getVarint(const std::string &data, std::size_t &pos);
+std::uint64_t getVarint(std::string_view data, std::size_t &pos);
 
 /**
  * No-throw varint decode: false (with @p err located at the failing
  * byte offset) on truncated or overlong input.
  */
-bool tryGetVarint(const std::string &data, std::size_t &pos,
+bool tryGetVarint(std::string_view data, std::size_t &pos,
                   std::uint64_t &value, ParseError &err);
 /** @} */
 

@@ -1,0 +1,134 @@
+#include "trace/io.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DESKPAR_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DESKPAR_HAS_MMAP 0
+#endif
+
+namespace deskpar::trace::io {
+
+namespace {
+
+/** Heap fallback: read the whole file into @p out. */
+bool
+slurpFile(const std::string &path, std::string &out,
+          std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    in.seekg(0, std::ios::end);
+    auto end = in.tellg();
+    in.seekg(0, std::ios::beg);
+    out.clear();
+    if (end > 0)
+        out.reserve(static_cast<std::size_t>(end));
+    char buf[1 << 16];
+    while (in.read(buf, sizeof(buf)) || in.gcount() > 0)
+        out.append(buf, static_cast<std::size_t>(in.gcount()));
+    if (in.bad()) {
+        error = "read failed for " + path;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+MappedFile::open(const std::string &path, std::string &error)
+{
+    close();
+#if DESKPAR_HAS_MMAP
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        error = "cannot open " + path + " (" +
+                std::strerror(errno) + ")";
+        return false;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        // Not a regular file (pipe, device): mmap would fail or lie
+        // about the size — take the heap path.
+        ::close(fd);
+        if (!slurpFile(path, fallback_, error))
+            return false;
+        data_ = fallback_.data();
+        size_ = fallback_.size();
+        return true;
+    }
+    if (st.st_size == 0) {
+        // mmap of length 0 is EINVAL; an empty span is what the
+        // decoders expect ("empty input" / "truncated magic").
+        ::close(fd);
+        data_ = "";
+        size_ = 0;
+        return true;
+    }
+    auto length = static_cast<std::size_t>(st.st_size);
+    void *addr = ::mmap(nullptr, length, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+        if (!slurpFile(path, fallback_, error))
+            return false;
+        data_ = fallback_.data();
+        size_ = fallback_.size();
+        return true;
+    }
+#ifdef MADV_SEQUENTIAL
+    // Ingest is one front-to-back pass (or a few parallel forward
+    // passes); tell the pager so readahead is aggressive.
+    ::madvise(addr, length, MADV_SEQUENTIAL);
+#endif
+    data_ = static_cast<const char *>(addr);
+    size_ = length;
+    mapped_ = true;
+    return true;
+#else
+    if (!slurpFile(path, fallback_, error))
+        return false;
+    data_ = fallback_.data();
+    size_ = fallback_.size();
+    return true;
+#endif
+}
+
+MappedFile
+MappedFile::openOrThrow(const std::string &path, const char *who)
+{
+    MappedFile file;
+    std::string error;
+    if (!file.open(path, error))
+        fatal(std::string(who) + ": " + error);
+    return file;
+}
+
+void
+MappedFile::close()
+{
+#if DESKPAR_HAS_MMAP
+    if (mapped_ && data_)
+        ::munmap(const_cast<char *>(data_), size_);
+#endif
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+    fallback_.clear();
+    fallback_.shrink_to_fit();
+}
+
+} // namespace deskpar::trace::io

@@ -54,6 +54,20 @@ IngestReport::summary() const
 }
 
 void
+IngestReport::absorb(IngestReport &&part, std::size_t cap)
+{
+    recordsParsed += part.recordsParsed;
+    recordsSkipped += part.recordsSkipped;
+    std::uint64_t stored = part.errors.size();
+    for (ParseError &e : part.errors)
+        note(std::move(e), cap);
+    // note() counted the stored diagnostics; add the part's
+    // beyond-cap remainder.
+    errorCount += part.errorCount - stored;
+    salvaged = salvaged || part.salvaged;
+}
+
+void
 IngestReport::merge(const IngestReport &other)
 {
     recordsParsed += other.recordsParsed;

@@ -133,6 +133,34 @@ struct ParseOptions
     std::string source;
     /** Cap on errors *stored* in the report (all are counted). */
     std::size_t maxStoredErrors = 64;
+    /**
+     * Decode worker threads for the zero-copy span readers: 0 resolves
+     * via DESKPAR_JOBS / hardware concurrency (with a minimum input
+     * size before fanning out); an explicit value forces that many
+     * chunks even for tiny inputs (tests). The legacy istream readers
+     * are always serial and ignore this. Bundles, reports, and error
+     * payloads are byte-identical at every thread count.
+     */
+    unsigned threads = 0;
+};
+
+/**
+ * Wall-clock/byte accounting of one ingest, surfaced by `deskpar
+ * replay` and the ingest benches so throughput is visible without a
+ * profiler.
+ */
+struct IngestStats
+{
+    std::uint64_t bytes = 0;
+    double seconds = 0.0;
+
+    double
+    mbPerSec() const
+    {
+        return seconds > 0.0
+                   ? static_cast<double>(bytes) / 1e6 / seconds
+                   : 0.0;
+    }
 };
 
 /**
@@ -165,6 +193,15 @@ struct IngestReport
 
     /** Fold @p other (e.g. another file of the batch) into this. */
     void merge(const IngestReport &other);
+
+    /**
+     * Fold a sub-reader's report (a parse chunk or section decoded in
+     * parallel) into this one, preserving file-order error sequence
+     * and the @p cap on stored diagnostics. Unlike merge(), errors
+     * beyond the sub-reader's own cap stay counted, so the merged
+     * counters match a serial read of the same bytes exactly.
+     */
+    void absorb(IngestReport &&part, std::size_t cap);
 };
 
 } // namespace deskpar::trace

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the zero-copy input layer (trace/io.hh): MappedFile
+ * mapping, the heap-slurp fallback, the empty-file special case, and
+ * ownership semantics (move, close, reopen).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "trace/io.hh"
+
+namespace {
+
+using namespace deskpar::trace;
+using deskpar::FatalError;
+
+/** A unique temp path, removed on destruction. */
+class TempFile
+{
+  public:
+    explicit TempFile(const std::string &name)
+        : path_((std::filesystem::temp_directory_path() /
+                 ("deskpar_io_test_" + name))
+                    .string())
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+
+    const std::string &path() const { return path_; }
+
+    void
+    write(const std::string &bytes) const
+    {
+        std::ofstream out(path_, std::ios::binary);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+  private:
+    std::string path_;
+};
+
+TEST(MappedIo, MapsRegularFileContents)
+{
+    TempFile file("regular.bin");
+    std::string payload = "line one\nline two\n\0binary too";
+    payload += std::string("\x00\xff\x7f", 3);
+    file.write(payload);
+
+    io::MappedFile mapped;
+    std::string error;
+    ASSERT_TRUE(mapped.open(file.path(), error)) << error;
+    EXPECT_EQ(mapped.size(), payload.size());
+    EXPECT_EQ(mapped.span(), io::ByteSpan(payload));
+#if defined(__unix__) || defined(__APPLE__)
+    EXPECT_TRUE(mapped.usedMmap());
+#endif
+}
+
+TEST(MappedIo, EmptyFileYieldsEmptySpan)
+{
+    // mmap of length 0 is EINVAL; the empty file must still open.
+    TempFile file("empty.bin");
+    file.write("");
+
+    io::MappedFile mapped;
+    std::string error;
+    ASSERT_TRUE(mapped.open(file.path(), error)) << error;
+    EXPECT_EQ(mapped.size(), 0u);
+    EXPECT_TRUE(mapped.span().empty());
+}
+
+TEST(MappedIo, MissingFileReportsError)
+{
+    io::MappedFile mapped;
+    std::string error;
+    EXPECT_FALSE(mapped.open("/nonexistent/deskpar_io_test", error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_TRUE(mapped.span().empty());
+}
+
+TEST(MappedIo, OpenOrThrowThrowsFatalError)
+{
+    EXPECT_THROW(io::MappedFile::openOrThrow(
+                     "/nonexistent/deskpar_io_test", "io_test"),
+                 FatalError);
+}
+
+TEST(MappedIo, CloseReleasesSpan)
+{
+    TempFile file("close.bin");
+    file.write("payload");
+
+    io::MappedFile mapped;
+    std::string error;
+    ASSERT_TRUE(mapped.open(file.path(), error)) << error;
+    mapped.close();
+    EXPECT_EQ(mapped.size(), 0u);
+    EXPECT_TRUE(mapped.span().empty());
+}
+
+TEST(MappedIo, MoveTransfersOwnership)
+{
+    TempFile file("move.bin");
+    file.write("moved contents");
+
+    io::MappedFile a;
+    std::string error;
+    ASSERT_TRUE(a.open(file.path(), error)) << error;
+
+    io::MappedFile b = std::move(a);
+    EXPECT_EQ(b.span(), io::ByteSpan("moved contents"));
+    EXPECT_TRUE(a.span().empty());
+
+    io::MappedFile c;
+    c = std::move(b);
+    EXPECT_EQ(c.span(), io::ByteSpan("moved contents"));
+    EXPECT_TRUE(b.span().empty());
+}
+
+TEST(MappedIo, ReopenReplacesPreviousMapping)
+{
+    TempFile first("reopen_a.bin");
+    TempFile second("reopen_b.bin");
+    first.write("first file");
+    second.write("second, longer file");
+
+    io::MappedFile mapped;
+    std::string error;
+    ASSERT_TRUE(mapped.open(first.path(), error)) << error;
+    ASSERT_TRUE(mapped.open(second.path(), error)) << error;
+    EXPECT_EQ(mapped.span(), io::ByteSpan("second, longer file"));
+}
+
+} // namespace

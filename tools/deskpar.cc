@@ -447,12 +447,15 @@ cmdReplay(int argc, char **argv, int first)
     apps::SuiteOutcome outcome =
         apps::SuiteRunner().runRecoverable(jobs);
 
-    report::TextTable table({"Trace", "TLP", "GPU util (%)",
-                             "Max conc.", "Status"});
+    report::TextTable table({"Trace", "Size (MB)", "Ingest (MB/s)",
+                             "TLP", "GPU util (%)", "Max conc.",
+                             "Status"});
     for (std::size_t j = 0; j < jobs.size(); ++j) {
         if (outcome.failed(j)) {
             table.row()
                 .cell(files[j])
+                .cell("-")
+                .cell("-")
                 .cell("-")
                 .cell("-")
                 .cell("-")
@@ -462,6 +465,8 @@ cmdReplay(int argc, char **argv, int first)
         const apps::AppRunResult &result = outcome.results[j];
         table.row()
             .cell(files[j])
+            .cell(static_cast<double>(result.ingest.bytes) / 1e6, 2)
+            .cell(result.ingest.mbPerSec(), 1)
             .cell(result.tlp(), 2)
             .cell(result.gpuUtil(), 1)
             .cell(result.agg.maxConcurrency.mean(), 0)
