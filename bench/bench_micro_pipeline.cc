@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -31,6 +32,7 @@
 #include "apps/harness.hh"
 #include "apps/registry.hh"
 #include "bench_util.hh"
+#include "obs/obs.hh"
 #include "sim/parallel.hh"
 #include "trace/csv.hh"
 #include "trace/etl.hh"
@@ -464,6 +466,56 @@ BM_EtlIngestParallel(benchmark::State &state)
 }
 BENCHMARK(BM_EtlIngestParallel);
 
+/* ------------------------------------------------------------------ */
+/*  Observability overhead: span/counter cost, recording off vs on     */
+/* ------------------------------------------------------------------ */
+
+void
+BM_ObsSpanDisabled(benchmark::State &state)
+{
+    // The runtime-disabled cost contract: one relaxed atomic load,
+    // no clock read, no allocation.
+    obs::setEnabled(false);
+    for (auto _ : state) {
+        obs::Span span("bench.obs.span", obs::SpanKind::Other);
+    }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void
+BM_ObsSpanEnabled(benchmark::State &state)
+{
+    obs::setEnabled(true);
+    obs::reset();
+    int sinceReset = 0;
+    for (auto _ : state) {
+        obs::Span span("bench.obs.span", obs::SpanKind::Other);
+        // Drain before the ring saturates so the measured path stays
+        // the record path, not the cheaper drop path.
+        if (++sinceReset == 32768) {
+            state.PauseTiming();
+            obs::reset();
+            state.ResumeTiming();
+            sinceReset = 0;
+        }
+    }
+    obs::setEnabled(false);
+    obs::reset();
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void
+BM_ObsCounterAdd(benchmark::State &state)
+{
+    obs::setEnabled(true);
+    obs::reset();
+    for (auto _ : state)
+        obs::counterAdd("bench.obs.counter", 1);
+    obs::setEnabled(false);
+    obs::reset();
+}
+BENCHMARK(BM_ObsCounterAdd);
+
 /**
  * Timed ingest record pass: a few repetitions of each ingest variant
  * under a SuiteTimer so BENCH_suite.json captures the throughput
@@ -502,6 +554,108 @@ recordIngestBenches()
            [jobs] { ingestEtlMapped(jobs); });
 }
 
+/**
+ * Timed span-overhead pass: the same hot loop with recording off and
+ * on, as micro_obs_* records in BENCH_suite.json. These track the
+ * per-span cost trend; the end-to-end overhead gate is
+ * recordObsOverheadRecords below.
+ */
+void
+recordObsBenches()
+{
+    const char *fast = std::getenv("DESKPAR_FAST");
+    bool isFast = fast && fast[0] == '1';
+    // Disabled spans cost nanoseconds, enabled ones two clock reads:
+    // reps sized so both records land well above the JSON wall-time
+    // resolution (see recordIngestBenches).
+    int disabledReps = isFast ? 50'000'000 : 200'000'000;
+    int enabledReps = isFast ? 2'000'000 : 8'000'000;
+    bool wasEnabled = obs::enabled();
+    auto spin = [](bool enabled, int reps) {
+        obs::setEnabled(enabled);
+        obs::reset();
+        for (int i = 0; i < reps; ++i) {
+            obs::Span span("micro.obs.span", obs::SpanKind::Other,
+                           static_cast<std::uint64_t>(i));
+            if ((i & 0xffff) == 0xffff)
+                obs::reset(); // keep the ring from saturating
+        }
+        obs::setEnabled(false);
+        obs::reset();
+    };
+    {
+        bench::SuiteTimer timer("micro_obs_span_disabled");
+        spin(false, disabledReps);
+    }
+    {
+        bench::SuiteTimer timer("micro_obs_span_enabled");
+        spin(true, enabledReps);
+    }
+    obs::setEnabled(wasEnabled);
+}
+
+/**
+ * End-to-end instrumentation overhead gate: time the instrumented
+ * mapped ingest + index + query pipeline with recording off and on,
+ * in one process, and emit the two walls as a same-keyed
+ * "micro_obs_pipeline" record pair (off first). In a fresh
+ * $DESKPAR_BENCH_JSON file this is the only key with two records, so
+ * `bench_compare --file ... --threshold 3` gates exactly the off->on
+ * delta — the enabled-mode budget from DESIGN.md section 12. The
+ * passes interleave and each mode keeps its min-of-N wall, so a
+ * scheduling hiccup in one round can't fake a regression.
+ */
+void
+recordObsOverheadRecords()
+{
+    const char *fast = std::getenv("DESKPAR_FAST");
+    bool isFast = fast && fast[0] == '1';
+    // Sized so each timed pass spans a few hundred ms: long enough
+    // that the 1 ms record resolution and scheduler noise sit well
+    // under the 3% threshold, short enough for CI.
+    int reps = isFast ? 1000 : 4000;
+    const int kRounds = 3;
+    bool wasEnabled = obs::enabled();
+
+    auto pipelineOnce = [] {
+        trace::io::MappedFile file = trace::io::MappedFile::openOrThrow(
+            ingestEtlPath(), "bench");
+        trace::ParseOptions popts;
+        popts.source = ingestEtlPath();
+        popts.threads = 1;
+        trace::IngestReport report;
+        auto bundle = trace::decodeEtl(file.span(), popts, report);
+        analysis::TraceIndex index(bundle);
+        auto profile = index.concurrency(samplePids());
+        benchmark::DoNotOptimize(profile.tlp());
+    };
+    auto timedPass = [&](bool enabled) {
+        obs::setEnabled(enabled);
+        obs::reset();
+        auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < reps; ++i) {
+            pipelineOnce();
+            // Drain periodically so the enabled pass measures the
+            // record path throughout, never the saturated-ring drops.
+            if ((i & 15) == 15)
+                obs::reset();
+        }
+        std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        obs::setEnabled(false);
+        obs::reset();
+        return wall.count();
+    };
+
+    double best[2] = {1e300, 1e300};
+    for (int round = 0; round < kRounds; ++round)
+        for (int mode = 0; mode < 2; ++mode)
+            best[mode] = std::min(best[mode], timedPass(mode == 1));
+    bench::appendBenchRecord("micro_obs_pipeline", best[0]);
+    bench::appendBenchRecord("micro_obs_pipeline", best[1]);
+    obs::setEnabled(wasEnabled);
+}
+
 } // namespace
 
 int
@@ -513,5 +667,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     recordIngestBenches();
+    recordObsBenches();
+    recordObsOverheadRecords();
     return 0;
 }

@@ -16,8 +16,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/timeseries.hh"
-#include "analysis/trace_index.hh"
+#include "analysis/session.hh"
 #include "apps/harness.hh"
 #include "apps/registry.hh"
 #include "apps/runner.hh"
@@ -63,23 +62,45 @@ runSuiteParallel(const std::vector<apps::SuiteJob> &jobs)
 }
 
 /**
- * Wall-clock scope timer for a bench binary. On destruction it
- * appends one JSON record (bench name, wall seconds, runner thread
- * count) to BENCH_suite.json — or $DESKPAR_BENCH_JSON — so the perf
- * trajectory of the suite benches is captured run over run.
+ * Append one wall-time JSON record (bench name, wall seconds, runner
+ * thread count) to BENCH_suite.json — or $DESKPAR_BENCH_JSON — so the
+ * perf trajectory of the suite benches is captured run over run.
+ * Callers that aggregate their own samples (e.g. min-of-N A/B passes)
+ * use this directly; scope timing goes through SuiteTimer.
+ */
+inline void
+appendBenchRecord(const std::string &name, double wall_seconds)
+{
+    unsigned jobs = apps::SuiteRunner::defaultThreads();
+    unsigned fast = 0;
+    if (const char *env = std::getenv("DESKPAR_FAST");
+        env && env[0] == '1') {
+        fast = 1;
+    }
+    const char *path = std::getenv("DESKPAR_BENCH_JSON");
+    std::ofstream out(path ? path : "BENCH_suite.json",
+                      std::ios::app);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "{\"bench\":\"%s\",\"wall_seconds\":%.3f,"
+                  "\"jobs\":%u,\"fast\":%u}",
+                  name.c_str(), wall_seconds, jobs, fast);
+    out << line << "\n";
+    std::printf("\n[%s] wall %.3f s, %u runner thread(s)\n",
+                name.c_str(), wall_seconds, jobs);
+}
+
+/**
+ * Wall-clock scope timer for a bench binary: appendBenchRecord on
+ * destruction.
  */
 class SuiteTimer
 {
   public:
     explicit SuiteTimer(std::string name)
         : name_(std::move(name)),
-          jobs_(apps::SuiteRunner::defaultThreads()),
           start_(std::chrono::steady_clock::now())
     {
-        if (const char *fast = std::getenv("DESKPAR_FAST");
-            fast && fast[0] == '1') {
-            fast_ = 1;
-        }
     }
 
     SuiteTimer(const SuiteTimer &) = delete;
@@ -89,23 +110,11 @@ class SuiteTimer
     {
         std::chrono::duration<double> wall =
             std::chrono::steady_clock::now() - start_;
-        const char *path = std::getenv("DESKPAR_BENCH_JSON");
-        std::ofstream out(path ? path : "BENCH_suite.json",
-                          std::ios::app);
-        char line[256];
-        std::snprintf(line, sizeof(line),
-                      "{\"bench\":\"%s\",\"wall_seconds\":%.3f,"
-                      "\"jobs\":%u,\"fast\":%u}",
-                      name_.c_str(), wall.count(), jobs_, fast_);
-        out << line << "\n";
-        std::printf("\n[%s] wall %.3f s, %u runner thread(s)\n",
-                    name_.c_str(), wall.count(), jobs_);
+        appendBenchRecord(name_, wall.count());
     }
 
   private:
     std::string name_;
-    unsigned jobs_;
-    unsigned fast_ = 0;
     std::chrono::steady_clock::time_point start_;
 };
 
@@ -128,7 +137,7 @@ runTimelineFigure(const std::string &id,
                   sim::SimDuration window)
 {
     // One suite job per core count: the simulations fan out across
-    // the runner pool, and the per-run series share one TraceIndex so
+    // the runner pool, and the per-run series share one Session so
     // every window is a pair of binary searches instead of a full
     // event-stream sweep.
     std::vector<apps::SuiteJob> jobs;
@@ -145,11 +154,10 @@ runTimelineFigure(const std::string &id,
         unsigned cores = core_counts[i];
         const apps::AppRunResult &result = results[i];
 
-        analysis::TraceIndex index(result.lastBundle);
-        auto conc = analysis::concurrencySeries(
-            index, result.lastPids, window);
-        auto gpu =
-            analysis::gpuUtilSeries(index, result.lastPids, window);
+        analysis::Session session(result.lastBundle);
+        auto conc =
+            session.concurrencySeries(result.lastPids, window);
+        auto gpu = session.gpuUtilSeries(result.lastPids, window);
 
         std::printf("\n--- %u logical cores (SMT on) ---\n", cores);
         std::printf("avg TLP %.2f | max instantaneous TLP %.1f | "

@@ -1,5 +1,6 @@
 #include "analysis/analyzer.hh"
 
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 #include "sim/logging.hh"
 
@@ -32,15 +33,13 @@ analyzeApp(const TraceIndex &index, const PidSet &pids)
 AppMetrics
 analyzeApp(const TraceBundle &bundle, const std::string &process_prefix)
 {
-    TraceIndex index(bundle);
-    return analyzeApp(index, process_prefix);
+    return Session(bundle).app(process_prefix);
 }
 
 AppMetrics
 analyzeApp(const TraceBundle &bundle, const PidSet &pids)
 {
-    TraceIndex index(bundle);
-    return analyzeApp(index, pids);
+    return Session(bundle).app(pids);
 }
 
 void

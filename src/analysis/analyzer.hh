@@ -42,6 +42,10 @@ struct AppMetrics
  * fused sweep; callers analyzing the same bundle repeatedly (e.g.
  * multiple iterations or app + system views) should build the index
  * once and use the index overloads.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 AppMetrics analyzeApp(const TraceBundle &bundle,
                       const std::string &process_prefix);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "analysis/stats.hh"
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 
 namespace deskpar::analysis {
@@ -63,8 +64,7 @@ computeFrameStats(const TraceBundle &bundle, const PidSet &pids)
 FrameStats
 computeFrameStats(const TraceBundle &bundle, const PidSet &pids)
 {
-    TraceIndex index(bundle);
-    return index.frameStats(pids);
+    return Session(bundle).frameStats(pids);
 }
 
 } // namespace deskpar::analysis

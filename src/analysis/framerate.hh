@@ -42,6 +42,10 @@ struct FrameStats
  * Compute frame statistics for @p pids (empty = all). A thin wrapper
  * over TraceIndex (trace_index.hh), which caches the result per pid
  * set.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 FrameStats computeFrameStats(const TraceBundle &bundle,
                              const PidSet &pids);

@@ -1,6 +1,7 @@
 #include "analysis/gpu_util.hh"
 
 #include "analysis/intervals.hh"
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 #include "sim/logging.hh"
 
@@ -64,8 +65,7 @@ GpuUtilization
 computeGpuUtil(const TraceBundle &bundle, const PidSet &pids,
                sim::SimTime t0, sim::SimTime t1)
 {
-    TraceIndex index(bundle);
-    return index.gpuUtil(pids, t0, t1);
+    return Session(bundle).gpuUtil(pids, t0, t1);
 }
 
 GpuUtilization

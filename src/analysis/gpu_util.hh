@@ -61,6 +61,10 @@ struct GpuUtilization
  *
  * A thin wrapper over TraceIndex (trace_index.hh); callers issuing
  * many windowed queries should build the index once instead.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 GpuUtilization computeGpuUtil(const TraceBundle &bundle,
                               const PidSet &pids, sim::SimTime t0,

@@ -5,6 +5,7 @@
 
 #include "analysis/gpu_util.hh"
 #include "analysis/intervals.hh"
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 
 namespace deskpar::analysis {
@@ -111,8 +112,7 @@ PowerEstimate
 estimatePower(const trace::TraceBundle &bundle,
               const sim::CpuSpec &cpu, const sim::GpuSpec &gpu)
 {
-    TraceIndex index(bundle);
-    return index.power(cpu, gpu);
+    return Session(bundle).power(cpu, gpu);
 }
 
 } // namespace deskpar::analysis

@@ -57,6 +57,10 @@ struct PowerEstimate
  *
  * A thin wrapper over TraceIndex (trace_index.hh), which caches the
  * per-CPU busy intervals and GPU columns.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 PowerEstimate estimatePower(const trace::TraceBundle &bundle,
                             const sim::CpuSpec &cpu,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 
 namespace deskpar::analysis {
@@ -65,8 +66,7 @@ Responsiveness
 computeResponsiveness(const trace::TraceBundle &bundle,
                       const trace::PidSet &pids)
 {
-    TraceIndex index(bundle);
-    return index.responsiveness(pids);
+    return Session(bundle).responsiveness(pids);
 }
 
 } // namespace deskpar::analysis

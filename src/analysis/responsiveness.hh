@@ -49,6 +49,10 @@ struct Responsiveness
  *
  * A thin wrapper over TraceIndex (trace_index.hh), which caches the
  * sorted dispatch column per pid set.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 Responsiveness computeResponsiveness(const trace::TraceBundle &bundle,
                                      const trace::PidSet &pids);

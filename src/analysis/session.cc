@@ -1,0 +1,118 @@
+#include "analysis/session.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+#include "trace/filter.hh"
+
+namespace deskpar::analysis {
+
+Session::Session(const TraceBundle &bundle) : bundle_(&bundle) {}
+
+Session::Session(TraceBundle &&bundle)
+    : owned_(std::make_unique<TraceBundle>(std::move(bundle))),
+      bundle_(owned_.get())
+{}
+
+Session::~Session() = default;
+
+const TraceIndex &
+Session::index() const
+{
+    std::call_once(indexOnce_, [this] {
+        index_ = std::make_unique<TraceIndex>(*bundle_);
+    });
+    return *index_;
+}
+
+PidSet
+Session::pids(const std::string &prefix) const
+{
+    return prefix.empty() ? trace::allApplicationPids(*bundle_)
+                          : trace::pidsWithPrefix(*bundle_, prefix);
+}
+
+AppMetrics
+Session::app(const PidSet &pids) const
+{
+    return analyzeApp(index(), pids);
+}
+
+AppMetrics
+Session::app(const std::string &prefix) const
+{
+    return analyzeApp(index(), prefix);
+}
+
+ConcurrencyProfile
+Session::concurrency(const PidSet &pids, sim::SimTime t0,
+                     sim::SimTime t1, unsigned num_cpus) const
+{
+    return index().concurrency(pids, t0, t1, num_cpus);
+}
+
+ConcurrencyProfile
+Session::concurrency(const PidSet &pids) const
+{
+    return index().concurrency(pids);
+}
+
+GpuUtilization
+Session::gpuUtil(const PidSet &pids, sim::SimTime t0,
+                 sim::SimTime t1) const
+{
+    return index().gpuUtil(pids, t0, t1);
+}
+
+GpuUtilization
+Session::gpuUtil(const PidSet &pids) const
+{
+    return index().gpuUtil(pids);
+}
+
+FrameStats
+Session::frameStats(const PidSet &pids) const
+{
+    return index().frameStats(pids);
+}
+
+Responsiveness
+Session::responsiveness(const PidSet &pids) const
+{
+    return index().responsiveness(pids);
+}
+
+PowerEstimate
+Session::power(const sim::CpuSpec &cpu, const sim::GpuSpec &gpu) const
+{
+    return index().power(cpu, gpu);
+}
+
+TimeSeries
+Session::tlpSeries(const PidSet &pids, sim::SimDuration window) const
+{
+    return analysis::tlpSeries(index(), pids, window);
+}
+
+TimeSeries
+Session::concurrencySeries(const PidSet &pids,
+                           sim::SimDuration window) const
+{
+    return analysis::concurrencySeries(index(), pids, window);
+}
+
+TimeSeries
+Session::gpuUtilSeries(const PidSet &pids,
+                       sim::SimDuration window) const
+{
+    return analysis::gpuUtilSeries(index(), pids, window);
+}
+
+TimeSeries
+Session::frameRateSeries(const PidSet &pids,
+                         sim::SimDuration window) const
+{
+    return analysis::frameRateSeries(index(), pids, window);
+}
+
+} // namespace deskpar::analysis

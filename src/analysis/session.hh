@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The one front door to trace analysis: a Session owns (or borrows)
+ * one TraceBundle plus its lazily-built TraceIndex and answers every
+ * metric query the toolkit knows.
+ *
+ * Before this facade existed the API surface was four analyzeApp
+ * overloads plus seven free functions (computeConcurrency,
+ * computeGpuUtil, computeFrameStats, computeResponsiveness,
+ * estimatePower, *Series), each of which silently rebuilt a fresh
+ * TraceIndex when handed a bare bundle — so a caller computing three
+ * metrics paid three full cswitch sweeps. A Session builds the index
+ * once, on first query, and every subsequent query of any metric
+ * reuses the cached columns. The old free functions survive as thin
+ * shims over a throwaway Session (see their @deprecated notes) so
+ * existing callers and the differential tests keep compiling.
+ *
+ * Lifetime: the borrowing constructor aliases the caller's bundle,
+ * which must outlive the Session (the same contract TraceIndex had);
+ * the owning constructor moves the bundle in, which is what pipeline
+ * code that ingests-then-analyzes wants. Sessions are immovable —
+ * the index holds a reference into the bundle storage.
+ *
+ * Thread safety: same as TraceIndex — concurrent queries are fine,
+ * column builds serialize internally.
+ */
+
+#ifndef DESKPAR_ANALYSIS_SESSION_HH
+#define DESKPAR_ANALYSIS_SESSION_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "analysis/analyzer.hh"
+#include "analysis/power.hh"
+#include "analysis/responsiveness.hh"
+#include "analysis/timeseries.hh"
+#include "analysis/trace_index.hh"
+
+namespace deskpar::analysis {
+
+class Session
+{
+  public:
+    /** Borrow @p bundle; it must outlive the Session. */
+    explicit Session(const TraceBundle &bundle);
+
+    /** Take ownership of @p bundle. */
+    explicit Session(TraceBundle &&bundle);
+
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** The analyzed bundle. */
+    const TraceBundle &bundle() const { return *bundle_; }
+
+    /** The shared index (built on first use). */
+    const TraceIndex &index() const;
+
+    /**
+     * Pids of the application whose process names start with
+     * @p prefix; an empty prefix selects every non-idle application
+     * process. May be empty (no match) — queries over an empty set
+     * mean "system-wide", so check when a specific app was asked for.
+     */
+    PidSet pids(const std::string &prefix) const;
+
+    /** Fused per-app metrics (concurrency + GPU + frames). */
+    AppMetrics app(const PidSet &pids) const;
+
+    /** As above; fatals when @p prefix matches no process. */
+    AppMetrics app(const std::string &prefix) const;
+
+    /** Windowed concurrency histogram (Equation 1 inputs). */
+    ConcurrencyProfile concurrency(const PidSet &pids, sim::SimTime t0,
+                                   sim::SimTime t1,
+                                   unsigned num_cpus = 0) const;
+
+    /** Whole-bundle window. */
+    ConcurrencyProfile concurrency(const PidSet &pids) const;
+
+    /** Windowed GPU utilization. */
+    GpuUtilization gpuUtil(const PidSet &pids, sim::SimTime t0,
+                           sim::SimTime t1) const;
+
+    /** Whole-bundle window. */
+    GpuUtilization gpuUtil(const PidSet &pids) const;
+
+    /** Frame statistics. */
+    FrameStats frameStats(const PidSet &pids) const;
+
+    /** Input-to-dispatch latency. */
+    Responsiveness responsiveness(const PidSet &pids) const;
+
+    /** Machine-level power estimate. */
+    PowerEstimate power(const sim::CpuSpec &cpu,
+                        const sim::GpuSpec &gpu) const;
+
+    /** Per-window TLP curve. */
+    TimeSeries tlpSeries(const PidSet &pids,
+                         sim::SimDuration window) const;
+
+    /** Per-window average concurrency (Figures 5-7). */
+    TimeSeries concurrencySeries(const PidSet &pids,
+                                 sim::SimDuration window) const;
+
+    /** Per-window GPU utilization percent. */
+    TimeSeries gpuUtilSeries(const PidSet &pids,
+                             sim::SimDuration window) const;
+
+    /** Per-window presented FPS. */
+    TimeSeries frameRateSeries(const PidSet &pids,
+                               sim::SimDuration window) const;
+
+  private:
+    /** Set iff constructed by move (bundle_ points into it). */
+    std::unique_ptr<TraceBundle> owned_;
+    const TraceBundle *bundle_;
+
+    mutable std::once_flag indexOnce_;
+    mutable std::unique_ptr<TraceIndex> index_;
+};
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_SESSION_HH

@@ -4,6 +4,7 @@
 
 #include "analysis/gpu_util.hh"
 #include "analysis/tlp.hh"
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 #include "sim/logging.hh"
 
@@ -68,8 +69,7 @@ TimeSeries
 tlpSeries(const TraceBundle &bundle, const PidSet &pids,
           sim::SimDuration window)
 {
-    TraceIndex index(bundle);
-    return tlpSeries(index, pids, window);
+    return Session(bundle).tlpSeries(pids, window);
 }
 
 TimeSeries
@@ -87,8 +87,7 @@ TimeSeries
 concurrencySeries(const TraceBundle &bundle, const PidSet &pids,
                   sim::SimDuration window)
 {
-    TraceIndex index(bundle);
-    return concurrencySeries(index, pids, window);
+    return Session(bundle).concurrencySeries(pids, window);
 }
 
 TimeSeries
@@ -106,8 +105,7 @@ TimeSeries
 gpuUtilSeries(const TraceBundle &bundle, const PidSet &pids,
               sim::SimDuration window)
 {
-    TraceIndex index(bundle);
-    return gpuUtilSeries(index, pids, window);
+    return Session(bundle).gpuUtilSeries(pids, window);
 }
 
 TimeSeries

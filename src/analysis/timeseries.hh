@@ -48,6 +48,10 @@ struct TimeSeries
  * producing several series from one bundle (e.g. the timeline
  * figures) should build the index themselves and use the index
  * overloads so the windowed queries share columns.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 TimeSeries tlpSeries(const TraceBundle &bundle, const PidSet &pids,
                      sim::SimDuration window);

@@ -5,8 +5,10 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 #include "sim/logging.hh"
+#include "trace/diagnostic.hh"
 #include "trace/parse.hh"
 
 namespace deskpar::analysis {
@@ -57,7 +59,11 @@ warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus)
                  std::to_string(num_cpus) +
                  " logical CPUs; excluded from the concurrency "
                  "histogram";
-    warn(err.str());
+    trace::Diagnostic diag;
+    diag.severity = trace::Severity::Warning;
+    diag.component = "analysis";
+    diag.detail = std::move(err);
+    trace::emitDiagnostic(diag);
 }
 
 } // namespace detail
@@ -170,8 +176,7 @@ ConcurrencyProfile
 computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
                    sim::SimTime t0, sim::SimTime t1, unsigned num_cpus)
 {
-    TraceIndex index(bundle);
-    return index.concurrency(pids, t0, t1, num_cpus);
+    return Session(bundle).concurrency(pids, t0, t1, num_cpus);
 }
 
 ConcurrencyProfile

@@ -78,6 +78,10 @@ struct ConcurrencyProfile
  * A thin wrapper over TraceIndex (trace_index.hh): callers issuing
  * many windowed queries against one bundle should build the index
  * once and query it instead of paying a per-call sweep.
+ *
+ * @deprecated Thin shim over a throwaway analysis::Session; callers
+ * issuing more than one query per bundle should hold a Session
+ * (analysis/session.hh).
  */
 ConcurrencyProfile
 computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
@@ -110,9 +114,10 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids);
 namespace detail {
 
 /**
- * Emit the ParseError-formatted diagnostic for @p count context
- * switches on cpu ids >= @p num_cpus (shared by the legacy sweep and
- * the trace-index build).
+ * Emit the warning-severity Diagnostic for @p count context switches
+ * on cpu ids >= @p num_cpus through trace::emitDiagnostic (shared by
+ * the legacy sweep and the trace-index build; goes to stderr unless
+ * the caller installed a DiagnosticSink).
  */
 void warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus);
 

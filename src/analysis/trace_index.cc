@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "analysis/intervals.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::analysis {
@@ -93,6 +94,8 @@ void
 buildCswitchColumns(const trace::TraceBundle &bundle,
                     TraceIndex::PidColumns &cols)
 {
+    obs::Span span("index.build.cswitch", obs::SpanKind::Index,
+                   bundle.cswitches.size());
     const trace::PidSet &pids = cols.pids;
     auto isTarget = [&pids](trace::Pid pid) {
         if (pid == 0)
@@ -313,6 +316,8 @@ TraceIndex::gpuColumns() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!gpu_) {
+        obs::Span span("index.build.gpu", obs::SpanKind::Index,
+                       bundle_.gpuPackets.size());
         auto gc = std::make_unique<GpuColumns>();
         const auto &packets = bundle_.gpuPackets;
         gc->starts.reserve(packets.size());
@@ -336,6 +341,8 @@ TraceIndex::cpuBusyColumns() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!cpuBusy_) {
+        obs::Span span("index.build.cpubusy", obs::SpanKind::Index,
+                       bundle_.cswitches.size());
         auto cb = std::make_unique<CpuBusyColumns>();
         cb->busy = detail::cpuBusyIntervals(bundle_);
         cpuBusy_ = std::move(cb);
@@ -347,6 +354,7 @@ ConcurrencyProfile
 TraceIndex::concurrency(const PidSet &pids, SimTime t0, SimTime t1,
                         unsigned num_cpus) const
 {
+    obs::Span span("index.query.concurrency", obs::SpanKind::Query);
     unsigned resolved =
         num_cpus ? num_cpus : bundle_.numLogicalCpus;
     if (resolved == 0)
@@ -379,6 +387,7 @@ TraceIndex::concurrency(const PidSet &pids) const
 GpuUtilization
 TraceIndex::gpuUtil(const PidSet &pids, SimTime t0, SimTime t1) const
 {
+    obs::Span span("index.query.gpu", obs::SpanKind::Query);
     if (t1 <= t0)
         deskpar::fatal("computeGpuUtil: empty window");
 
@@ -411,9 +420,13 @@ TraceIndex::gpuUtil(const PidSet &pids) const
 FrameStats
 TraceIndex::frameStats(const PidSet &pids) const
 {
+    obs::Span span("index.query.frames", obs::SpanKind::Query);
     const PidColumns &cols = pidColumns(pids);
     std::lock_guard<std::mutex> lock(mutex_);
     if (!cols.framesBuilt) {
+        obs::Span buildSpan("index.build.frames",
+                            obs::SpanKind::Index,
+                            bundle_.frames.size());
         auto &mutable_cols = const_cast<PidColumns &>(cols);
         mutable_cols.frames =
             legacy::computeFrameStats(bundle_, pids);
@@ -425,6 +438,8 @@ TraceIndex::frameStats(const PidSet &pids) const
 Responsiveness
 TraceIndex::responsiveness(const PidSet &pids) const
 {
+    obs::Span span("index.query.responsiveness",
+                   obs::SpanKind::Query);
     const PidColumns &cols = pidColumns(pids);
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -442,6 +457,7 @@ PowerEstimate
 TraceIndex::power(const sim::CpuSpec &cpu,
                   const sim::GpuSpec &gpu) const
 {
+    obs::Span span("index.query.power", obs::SpanKind::Query);
     PowerEstimate out;
     out.seconds = sim::toSeconds(bundle_.duration());
     if (bundle_.duration() == 0)

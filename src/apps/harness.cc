@@ -1,9 +1,10 @@
 #include "apps/harness.hh"
 
-#include "analysis/trace_index.hh"
+#include "analysis/session.hh"
 #include "apps/noise.hh"
 #include "apps/registry.hh"
 #include "input/driver.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::apps {
@@ -12,6 +13,7 @@ IterationOutput
 runIteration(WorkloadModel &model, const RunOptions &options,
              unsigned iter)
 {
+    obs::Span span("sim.iteration", obs::SpanKind::Job, iter);
     sim::SimDuration duration =
         options.duration ? options.duration : model.duration();
 
@@ -47,8 +49,8 @@ runIteration(WorkloadModel &model, const RunOptions &options,
     }
 
     {
-        analysis::TraceIndex index(out.bundle);
-        out.result.metrics = analysis::analyzeApp(index, out.pids);
+        analysis::Session session(out.bundle);
+        out.result.metrics = session.app(out.pids);
     }
     out.result.sched = machine.scheduler().stats();
     for (trace::Pid pid : out.pids)

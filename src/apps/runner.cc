@@ -8,12 +8,13 @@
 #include <optional>
 #include <utility>
 
-#include "analysis/analyzer.hh"
-#include "analysis/trace_index.hh"
+#include "analysis/session.hh"
 #include "apps/registry.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 #include "trace/csv.hh"
+#include "trace/diagnostic.hh"
 #include "trace/etl.hh"
 #include "trace/filter.hh"
 #include "trace/io.hh"
@@ -37,12 +38,14 @@ runTask(const std::vector<SuiteJob> &jobs, const SimTask &task,
 {
     const SuiteJob &job = jobs[task.job];
     if (job.direct) {
+        obs::Span span("suite.replay", obs::SpanKind::Job, task.job);
         if (task.iter == 0)
             names[task.job] = job.label;
         outputs[task.job][task.iter] =
             job.direct(job.options, task.iter);
         return;
     }
+    obs::Span span("suite.sim", obs::SpanKind::Job, task.job);
     WorkloadPtr model = job.factory();
     if (!model)
         fatal("SuiteRunner: job '" + job.label +
@@ -142,8 +145,13 @@ replayJob(const std::string &path, const RunOptions &options,
                     throw trace::TraceParseError(
                         report.errors.front());
                 }
-                warn("replay '" + path +
-                     "' degraded: " + report.summary());
+                trace::Diagnostic degraded;
+                degraded.severity = trace::Severity::Warning;
+                degraded.component = "replay";
+                degraded.detail.source = path;
+                degraded.detail.reason =
+                    "degraded: " + report.summary();
+                trace::emitDiagnostic(degraded);
             }
             trace::PidSet pids =
                 appPrefix.empty()
@@ -160,8 +168,8 @@ replayJob(const std::string &path, const RunOptions &options,
                                        appPrefix + "'";
                 throw trace::TraceParseError(std::move(err));
             }
-            analysis::TraceIndex index(bundle);
-            shared->metrics = analysis::analyzeApp(index, pids);
+            analysis::Session session(bundle);
+            shared->metrics = session.app(pids);
             shared->bundle = std::move(bundle);
             shared->pids = std::move(pids);
             // Only a fully successful ingest publishes; a throwing
@@ -177,6 +185,18 @@ replayJob(const std::string &path, const RunOptions &options,
         return out;
     };
     return job;
+}
+
+trace::Diagnostic
+JobFailure::diagnostic() const
+{
+    trace::Diagnostic d;
+    d.severity = trace::Severity::Error;
+    d.component = "runner";
+    d.detail = error;
+    if (d.detail.source.empty())
+        d.detail.source = label;
+    return d;
 }
 
 bool
@@ -202,6 +222,8 @@ SuiteRunner::defaultThreads()
 std::vector<AppRunResult>
 SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
 {
+    obs::Span batchSpan("suite.batch", obs::SpanKind::Job,
+                        jobs.size());
     std::vector<SimTask> tasks = buildTasks(jobs);
 
     std::vector<std::vector<std::optional<IterationOutput>>> outputs(
@@ -234,6 +256,8 @@ SuiteRunner::run(const std::vector<SuiteJob> &jobs) const
 SuiteOutcome
 SuiteRunner::runRecoverable(const std::vector<SuiteJob> &jobs) const
 {
+    obs::Span batchSpan("suite.batch", obs::SpanKind::Job,
+                        jobs.size());
     std::vector<SimTask> tasks = buildTasks(jobs);
 
     std::vector<std::vector<std::optional<IterationOutput>>> outputs(

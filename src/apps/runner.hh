@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "apps/harness.hh"
+#include "trace/diagnostic.hh"
 #include "trace/parse.hh"
 
 namespace deskpar::apps {
@@ -79,6 +80,9 @@ struct JobFailure
      */
     trace::ParseError error;
     bool structured = false;
+
+    /** This failure as an error-severity "runner" Diagnostic. */
+    trace::Diagnostic diagnostic() const;
 };
 
 /**

@@ -1,0 +1,362 @@
+#include "obs/obs.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace deskpar::obs {
+
+const char *
+spanKindName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Task:
+        return "task";
+      case SpanKind::Job:
+        return "job";
+      case SpanKind::Ingest:
+        return "ingest";
+      case SpanKind::Index:
+        return "index";
+      case SpanKind::Query:
+        return "query";
+      case SpanKind::Report:
+        return "report";
+      case SpanKind::Other:
+        break;
+    }
+    return "other";
+}
+
+std::vector<SpanStat>
+aggregate(const Snapshot &snapshot)
+{
+    // Name pointers are not unique across translation units, so
+    // group by string content. Per-name thread sets are tiny (peak
+    // pool width), a sorted vector is enough.
+    std::vector<SpanStat> stats;
+    std::vector<std::vector<std::uint32_t>> threadSets;
+    for (const SpanRecord &span : snapshot.spans) {
+        std::size_t slot = stats.size();
+        for (std::size_t i = 0; i < stats.size(); ++i) {
+            if (stats[i].name == span.name ||
+                std::strcmp(stats[i].name, span.name) == 0) {
+                slot = i;
+                break;
+            }
+        }
+        if (slot == stats.size()) {
+            SpanStat stat;
+            stat.name = span.name;
+            stat.kind = span.kind;
+            stat.minNs = span.durationNs();
+            stats.push_back(stat);
+            threadSets.emplace_back();
+        }
+        SpanStat &stat = stats[slot];
+        std::uint64_t ns = span.durationNs();
+        ++stat.count;
+        stat.totalNs += ns;
+        stat.minNs = std::min(stat.minNs, ns);
+        stat.maxNs = std::max(stat.maxNs, ns);
+        auto &threads = threadSets[slot];
+        auto it = std::lower_bound(threads.begin(), threads.end(),
+                                   span.thread);
+        if (it == threads.end() || *it != span.thread)
+            threads.insert(it, span.thread);
+    }
+    for (std::size_t i = 0; i < stats.size(); ++i)
+        stats[i].threads =
+            static_cast<std::uint32_t>(threadSets[i].size());
+    std::sort(stats.begin(), stats.end(),
+              [](const SpanStat &a, const SpanStat &b) {
+                  if (a.totalNs != b.totalNs)
+                      return a.totalNs > b.totalNs;
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    return stats;
+}
+
+void
+writeStatsJson(std::ostream &out, const Snapshot &snapshot)
+{
+    // Span/counter names are instrumentation-site literals (no
+    // quotes or backslashes), so raw emission is escape-correct.
+    out << "{\"obs\":{\"threads\":" << snapshot.threads
+        << ",\"dropped_spans\":" << snapshot.droppedSpans
+        << ",\"spans\":[";
+    std::vector<SpanStat> stats = aggregate(snapshot);
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+        const SpanStat &s = stats[i];
+        out << (i ? "," : "") << "{\"name\":\"" << s.name
+            << "\",\"kind\":\"" << spanKindName(s.kind)
+            << "\",\"count\":" << s.count
+            << ",\"total_ns\":" << s.totalNs
+            << ",\"min_ns\":" << s.minNs << ",\"max_ns\":" << s.maxNs
+            << ",\"threads\":" << s.threads << "}";
+    }
+    out << "],\"counters\":[";
+    for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+        out << (i ? "," : "") << "{\"name\":\""
+            << snapshot.counters[i].name
+            << "\",\"total\":" << snapshot.counters[i].total << "}";
+    }
+    out << "]}}";
+}
+
+#if !defined(DESKPAR_OBS_DISABLED)
+
+namespace detail {
+
+std::atomic<bool> g_enabled{[] {
+    const char *env = std::getenv("DESKPAR_OBS");
+    return env && env[0] == '1';
+}()};
+
+ThreadLog::ThreadLog(std::uint32_t id, std::size_t capacity)
+    : id_(id), ring_(capacity ? capacity : 1)
+{}
+
+void
+ThreadLog::push(const SpanRecord &record)
+{
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= ring_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    ring_[head % ring_.size()] = record;
+    head_.store(head + 1, std::memory_order_release);
+}
+
+void
+ThreadLog::add(const char *name, std::int64_t delta)
+{
+    for (CounterSlot &slot : counters_) {
+        const char *cur = slot.name.load(std::memory_order_relaxed);
+        if (cur == nullptr) {
+            // Owner thread is the sole name writer; publish the name
+            // after which the total becomes meaningful to readers.
+            slot.total.store(0, std::memory_order_relaxed);
+            slot.name.store(name, std::memory_order_release);
+            cur = name;
+        }
+        if (cur == name || std::strcmp(cur, name) == 0) {
+            slot.total.fetch_add(delta, std::memory_order_relaxed);
+            return;
+        }
+    }
+    // All slots taken by other names: the counter is dropped. 64
+    // distinct names per thread is far beyond the instrumentation's
+    // vocabulary, so this is a theoretical path.
+}
+
+void
+ThreadLog::drainInto(std::vector<SpanRecord> &out)
+{
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    for (std::uint64_t i = tail; i != head; ++i)
+        out.push_back(ring_[i % ring_.size()]);
+    tail_.store(head, std::memory_order_release);
+}
+
+void
+ThreadLog::countersInto(std::vector<CounterTotal> &out) const
+{
+    for (const CounterSlot &slot : counters_) {
+        const char *name = slot.name.load(std::memory_order_acquire);
+        if (!name)
+            continue;
+        std::int64_t total =
+            slot.total.load(std::memory_order_relaxed);
+        bool merged = false;
+        for (CounterTotal &existing : out) {
+            if (existing.name == name ||
+                std::strcmp(existing.name, name) == 0) {
+                existing.total += total;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            out.push_back({name, total});
+    }
+}
+
+void
+ThreadLog::clear()
+{
+    tail_.store(head_.load(std::memory_order_acquire),
+                std::memory_order_release);
+    dropped_.store(0, std::memory_order_relaxed);
+    for (CounterSlot &slot : counters_) {
+        slot.name.store(nullptr, std::memory_order_relaxed);
+        slot.total.store(0, std::memory_order_relaxed);
+    }
+}
+
+std::size_t
+defaultRingCapacity()
+{
+    if (const char *env = std::getenv("DESKPAR_OBS_BUFFER")) {
+        char *end = nullptr;
+        unsigned long n = std::strtoul(env, &end, 10);
+        if (end && *end == '\0' && n > 0 && n <= (1u << 24))
+            return static_cast<std::size_t>(n);
+    }
+    return 1 << 16;
+}
+
+/**
+ * Owner of every ThreadLog ever created plus the free-list of slots
+ * whose thread has exited. Leaked on purpose: thread_local handle
+ * destructors (including the main thread's at process exit) must
+ * outlive it safely.
+ */
+struct Registry
+{
+    std::mutex mutex;
+    std::vector<std::unique_ptr<ThreadLog>> logs;
+    std::vector<std::uint32_t> freeSlots;
+    std::size_t ringCapacity = defaultRingCapacity();
+};
+
+Registry &
+registry()
+{
+    static Registry *r = new Registry;
+    return *r;
+}
+
+/** Releases the thread's slot back to the free-list at thread exit. */
+struct Handle
+{
+    ThreadLog *log = nullptr;
+
+    ~Handle()
+    {
+        if (!log)
+            return;
+        Registry &reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        reg.freeSlots.push_back(log->id());
+    }
+};
+
+thread_local Handle t_handle;
+
+ThreadLog *
+threadLog()
+{
+    if (t_handle.log)
+        return t_handle.log;
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    if (!reg.freeSlots.empty()) {
+        std::uint32_t slot = reg.freeSlots.back();
+        reg.freeSlots.pop_back();
+        t_handle.log = reg.logs[slot].get();
+    } else {
+        auto slot = static_cast<std::uint32_t>(reg.logs.size());
+        reg.logs.push_back(
+            std::make_unique<ThreadLog>(slot, reg.ringCapacity));
+        t_handle.log = reg.logs.back().get();
+    }
+    return t_handle.log;
+}
+
+std::uint64_t
+nowNs()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+} // namespace detail
+
+void
+setEnabled(bool on)
+{
+    if (on) {
+        // Pin the epoch (and its init guard) before any span races.
+        detail::nowNs();
+    }
+    detail::enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+Snapshot
+collect()
+{
+    Snapshot snapshot;
+    // collect() and threadLog() share the registry mutex, so a
+    // collection concurrent with new-thread registration is ordered;
+    // records of threads registered later land in the next collect.
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    snapshot.threads = static_cast<std::uint32_t>(reg.logs.size());
+    for (auto &log : reg.logs) {
+        log->drainInto(snapshot.spans);
+        log->countersInto(snapshot.counters);
+        snapshot.droppedSpans += log->dropped();
+    }
+    std::sort(snapshot.spans.begin(), snapshot.spans.end(),
+              [](const SpanRecord &a, const SpanRecord &b) {
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  if (a.thread != b.thread)
+                      return a.thread < b.thread;
+                  return a.depth < b.depth;
+              });
+    std::sort(snapshot.counters.begin(), snapshot.counters.end(),
+              [](const CounterTotal &a, const CounterTotal &b) {
+                  return std::strcmp(a.name, b.name) < 0;
+              });
+    return snapshot;
+}
+
+void
+reset()
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto &log : reg.logs)
+        log->clear();
+}
+
+void
+setRingCapacity(std::size_t spans)
+{
+    detail::Registry &reg = detail::registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.ringCapacity = spans ? spans : 1;
+}
+
+#else // DESKPAR_OBS_DISABLED
+
+Snapshot
+collect()
+{
+    return {};
+}
+
+void
+reset()
+{}
+
+void
+setRingCapacity(std::size_t)
+{}
+
+#endif // DESKPAR_OBS_DISABLED
+
+} // namespace deskpar::obs

@@ -1,0 +1,232 @@
+#include "obs/selftrace.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace deskpar::obs {
+
+namespace {
+
+/**
+ * Synthetic pid block. Well above the simulator's handed-out pids
+ * (which start at 1 and grow by process count) so a self-trace can
+ * even be merged with an ordinary bundle without collisions.
+ */
+constexpr trace::Pid kSelfTracePidBase = 9000;
+
+/** Tid of @p pid's thread on obs thread slot @p thread. */
+trace::Tid
+selfTraceTid(trace::Pid pid, std::uint32_t thread)
+{
+    return pid * 1000 + thread + 1;
+}
+
+/** One (time, pid) attribution change on a thread's synthetic CPU. */
+struct Segment
+{
+    std::uint64_t time = 0;
+    trace::Pid pid = 0;
+};
+
+/**
+ * Reduce one thread's (properly nested) spans to the timeline of its
+ * innermost open span's pid. Boundary events are processed in time
+ * order with closes before opens, closes innermost-first and opens
+ * outermost-first, which replays the RAII open/close order exactly.
+ * The sparse stack tolerates spans lost to ring overflow (a missing
+ * parent leaves a null level instead of corrupting attribution).
+ */
+std::vector<Segment>
+threadSegments(const std::vector<const SpanRecord *> &spans)
+{
+    struct Edge
+    {
+        std::uint64_t time = 0;
+        bool open = false;
+        const SpanRecord *span = nullptr;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(spans.size() * 2);
+    for (const SpanRecord *span : spans) {
+        if (span->endNs <= span->startNs)
+            continue; // zero-length: no attributable time
+        edges.push_back({span->startNs, true, span});
+        edges.push_back({span->endNs, false, span});
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  if (a.open != b.open)
+                      return !a.open; // closes first
+                  if (a.open)
+                      return a.span->depth < b.span->depth;
+                  return a.span->depth > b.span->depth;
+              });
+
+    std::vector<Segment> segments;
+    std::vector<const SpanRecord *> stack;
+    trace::Pid current = 0;
+    std::size_t i = 0;
+    while (i < edges.size()) {
+        std::uint64_t now = edges[i].time;
+        for (; i < edges.size() && edges[i].time == now; ++i) {
+            const Edge &edge = edges[i];
+            std::size_t depth = edge.span->depth;
+            if (edge.open) {
+                if (stack.size() <= depth)
+                    stack.resize(depth + 1, nullptr);
+                stack[depth] = edge.span;
+            } else {
+                if (depth < stack.size() &&
+                    stack[depth] == edge.span)
+                    stack[depth] = nullptr;
+                while (!stack.empty() && stack.back() == nullptr)
+                    stack.pop_back();
+            }
+        }
+        const SpanRecord *innermost = nullptr;
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (*it) {
+                innermost = *it;
+                break;
+            }
+        }
+        trace::Pid pid =
+            innermost ? selfTracePid(innermost->kind) : 0;
+        if (pid != current) {
+            segments.push_back({now, pid});
+            current = pid;
+        }
+    }
+    return segments;
+}
+
+} // namespace
+
+trace::Pid
+selfTracePid(SpanKind kind)
+{
+    return kSelfTracePidBase + static_cast<trace::Pid>(kind);
+}
+
+std::string
+selfTraceProcessName(SpanKind kind)
+{
+    switch (kind) {
+      case SpanKind::Task:
+        return "deskpar.parallel";
+      case SpanKind::Job:
+        return "deskpar.job";
+      case SpanKind::Ingest:
+        return "deskpar.ingest";
+      case SpanKind::Index:
+        return "deskpar.index";
+      case SpanKind::Query:
+        return "deskpar.query";
+      case SpanKind::Report:
+        return "deskpar.report";
+      case SpanKind::Other:
+        break;
+    }
+    return "deskpar.other";
+}
+
+trace::TraceBundle
+toTraceBundle(const Snapshot &snapshot)
+{
+    trace::TraceBundle bundle;
+    bundle.startTime = 0;
+    bundle.stopTime = 1;
+    bundle.numLogicalCpus = snapshot.threads ? snapshot.threads : 1;
+
+    std::uint32_t maxThread = 0;
+    std::uint64_t maxEnd = 0;
+    for (const SpanRecord &span : snapshot.spans) {
+        maxThread = std::max(maxThread, span.thread);
+        maxEnd = std::max(maxEnd, span.endNs);
+    }
+    if (maxEnd > 0)
+        bundle.stopTime = maxEnd;
+    bundle.numLogicalCpus =
+        std::max(bundle.numLogicalCpus, maxThread + 1);
+
+    // Per-thread span lists (snapshot order is already by start).
+    std::vector<std::vector<const SpanRecord *>> perThread(
+        bundle.numLogicalCpus);
+    bool present[kNumSpanKinds] = {};
+    for (const SpanRecord &span : snapshot.spans) {
+        perThread[span.thread].push_back(&span);
+        present[static_cast<unsigned>(span.kind)] = true;
+
+        if (span.kind == SpanKind::Query) {
+            trace::GpuPacketEvent packet;
+            packet.queued = span.startNs;
+            packet.start = span.startNs;
+            packet.finish = span.endNs;
+            packet.pid = selfTracePid(SpanKind::Query);
+            packet.engine = trace::GpuEngineId::Compute;
+            packet.packetId = static_cast<std::uint32_t>(
+                bundle.gpuPackets.size());
+            packet.queueSlot =
+                static_cast<std::uint8_t>(span.thread & 0xff);
+            bundle.gpuPackets.push_back(packet);
+        }
+        if (span.depth == 0 && span.kind == SpanKind::Job) {
+            trace::MarkerEvent marker;
+            marker.timestamp = span.startNs;
+            marker.label = std::string("obs:") + span.name;
+            bundle.markers.push_back(std::move(marker));
+        }
+    }
+
+    for (unsigned kind = 0; kind < kNumSpanKinds; ++kind) {
+        if (!present[kind])
+            continue;
+        auto k = static_cast<SpanKind>(kind);
+        bundle.processNames[selfTracePid(k)] =
+            selfTraceProcessName(k);
+    }
+
+    // Innermost-kind segments -> context switches on cpu = thread.
+    for (std::uint32_t thread = 0; thread < perThread.size();
+         ++thread) {
+        trace::Pid prevPid = 0;
+        for (const Segment &seg : threadSegments(perThread[thread])) {
+            trace::CSwitchEvent e;
+            e.timestamp = seg.time;
+            e.cpu = thread;
+            e.oldPid = prevPid;
+            e.oldTid =
+                prevPid ? selfTraceTid(prevPid, thread) : 0;
+            e.newPid = seg.pid;
+            e.newTid = seg.pid ? selfTraceTid(seg.pid, thread) : 0;
+            e.readyTime = seg.time;
+            bundle.cswitches.push_back(e);
+            prevPid = seg.pid;
+        }
+    }
+
+    // writeEtl's delta encoding needs every stream time-sorted.
+    std::stable_sort(bundle.cswitches.begin(),
+                     bundle.cswitches.end(),
+                     [](const trace::CSwitchEvent &a,
+                        const trace::CSwitchEvent &b) {
+                         return a.timestamp < b.timestamp;
+                     });
+    std::stable_sort(bundle.gpuPackets.begin(),
+                     bundle.gpuPackets.end(),
+                     [](const trace::GpuPacketEvent &a,
+                        const trace::GpuPacketEvent &b) {
+                         return a.start < b.start;
+                     });
+    std::stable_sort(bundle.markers.begin(), bundle.markers.end(),
+                     [](const trace::MarkerEvent &a,
+                        const trace::MarkerEvent &b) {
+                         return a.timestamp < b.timestamp;
+                     });
+    return bundle;
+}
+
+} // namespace deskpar::obs

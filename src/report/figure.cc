@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "report/table.hh"
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::report {
@@ -20,6 +21,7 @@ Figure::addSeries(const std::string &name)
 void
 Figure::printData(std::ostream &out) const
 {
+    obs::Span span("report.figure", obs::SpanKind::Report);
     out << "# " << title_ << "\n";
     out << "# x: " << xLabel_ << ", y: " << yLabel_ << "\n";
 
@@ -53,6 +55,7 @@ void
 Figure::printAscii(std::ostream &out, unsigned width,
                    unsigned height) const
 {
+    obs::Span span("report.figure", obs::SpanKind::Report);
     if (series_.empty() || width < 8 || height < 4) {
         out << "(no data)\n";
         return;

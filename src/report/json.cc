@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "sim/logging.hh"
+#include "obs/obs.hh"
 
 namespace deskpar::report {
 
@@ -149,6 +150,7 @@ JsonWriter::value(bool v)
 void
 writeJson(std::ostream &out, const analysis::AppMetrics &metrics)
 {
+    obs::Span span("report.json", obs::SpanKind::Report);
     JsonWriter json(out);
     json.beginObject()
         .field("tlp", metrics.tlp())
@@ -173,6 +175,7 @@ void
 writeJson(std::ostream &out,
           const analysis::IterationAggregate &aggregate)
 {
+    obs::Span span("report.json", obs::SpanKind::Report);
     JsonWriter json(out);
     json.beginObject()
         .field("app", aggregate.app)

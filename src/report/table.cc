@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "sim/logging.hh"
+#include "obs/obs.hh"
 
 namespace deskpar::report {
 
@@ -84,6 +85,7 @@ printPadded(std::ostream &out, const std::string &value,
 void
 TextTable::print(std::ostream &out) const
 {
+    obs::Span span("report.table", obs::SpanKind::Report);
     auto widths = columnWidths(headers_, rows_);
     for (std::size_t c = 0; c < headers_.size(); ++c) {
         if (c)
@@ -110,6 +112,7 @@ TextTable::print(std::ostream &out) const
 void
 TextTable::printMarkdown(std::ostream &out) const
 {
+    obs::Span span("report.table", obs::SpanKind::Report);
     out << '|';
     for (const auto &header : headers_)
         out << ' ' << header << " |";

@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 
 namespace deskpar::sim {
@@ -77,10 +78,16 @@ class StealingQueues
             queues_[t % workers].tasks.push_back(t);
     }
 
-    /** Pop from our own deque, else steal; false when all are dry. */
+    /**
+     * Pop from our own deque, else steal; false when all are dry.
+     * @p stolen (optional) reports whether the task came from a
+     * victim's deque rather than our own.
+     */
     bool
-    next(std::size_t self, std::size_t &task)
+    next(std::size_t self, std::size_t &task, bool *stolen = nullptr)
     {
+        if (stolen)
+            *stolen = false;
         auto &own = queues_[self];
         {
             std::lock_guard<std::mutex> lock(own.mutex);
@@ -96,6 +103,8 @@ class StealingQueues
             if (!victim.tasks.empty()) {
                 task = victim.tasks.back();
                 victim.tasks.pop_back();
+                if (stolen)
+                    *stolen = true;
                 return true;
             }
         }
@@ -123,8 +132,10 @@ parallelFor(unsigned workers, std::size_t tasks, Fn &&fn)
     std::size_t pool_size =
         std::min<std::size_t>(workers ? workers : 1, tasks);
     if (pool_size <= 1) {
-        for (std::size_t i = 0; i < tasks; ++i)
+        for (std::size_t i = 0; i < tasks; ++i) {
+            obs::Span span("parallel.task", obs::SpanKind::Task, i);
             fn(i);
+        }
         return;
     }
 
@@ -134,10 +145,17 @@ parallelFor(unsigned workers, std::size_t tasks, Fn &&fn)
     std::mutex errorMutex;
 
     auto worker = [&](std::size_t self) {
+        obs::Span workerSpan("parallel.worker", obs::SpanKind::Task,
+                             self);
         std::size_t index;
+        bool stolen = false;
         while (!abort.load(std::memory_order_relaxed) &&
-               queues.next(self, index)) {
+               queues.next(self, index, &stolen)) {
+            if (stolen)
+                obs::counterAdd("parallel.steals", 1);
             try {
+                obs::Span span("parallel.task", obs::SpanKind::Task,
+                               index);
                 fn(index);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(errorMutex);

@@ -6,6 +6,7 @@
 #include <limits>
 #include <ostream>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 
@@ -299,6 +300,7 @@ readCsv(std::istream &in, const ParseOptions &options,
         const char *headerPrefix, std::size_t fieldCount,
         RowFn &&parseRow)
 {
+    obs::Span ingestSpan("ingest.csv", obs::SpanKind::Ingest);
     IngestReport report;
     report.source = sourceLabel(options);
     report.mode = options.mode;
@@ -515,6 +517,10 @@ readCsvSpan(io::ByteSpan data, TraceBundle &bundle,
             std::size_t fieldCount, std::size_t bytesPerRow,
             std::size_t reserved, RowFn &&parseRow)
 {
+    obs::Span ingestSpan("ingest.csv", obs::SpanKind::Ingest,
+                         data.size());
+    obs::counterAdd("ingest.csv.bytes",
+                    static_cast<std::int64_t>(data.size()));
     const std::string source = sourceLabel(options);
 
     LineCursor cursor{data, 0};
@@ -584,6 +590,8 @@ readCsvSpan(io::ByteSpan data, TraceBundle &bundle,
     std::vector<TraceBundle> parts(chunks.size());
     std::vector<IngestReport> reports(chunks.size());
     sim::parallelFor(jobs, chunks.size(), [&](std::size_t i) {
+        obs::Span chunkSpan("ingest.csv.chunk", obs::SpanKind::Ingest,
+                            chunks[i].size());
         auto rows = chunks[i].size() / bytesPerRow + 1;
         if (reserved == 0)
             parts[i].cswitches.reserve(rows);

@@ -1,0 +1,123 @@
+#include "trace/diagnostic.hh"
+
+#include <atomic>
+
+#include "sim/logging.hh"
+
+namespace deskpar::trace {
+
+namespace {
+
+/**
+ * The installed sink. Reads are lock-free on the emission path; the
+ * installer synchronizes handover (swapping while another thread is
+ * mid-report() is the installer's race to avoid, which
+ * ScopedDiagnosticSink's scoping makes natural).
+ */
+std::atomic<DiagnosticSink *> g_sink{nullptr};
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Error:
+        break;
+    }
+    return "error";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string out = "[";
+    out += severityName(severity);
+    out += "] ";
+    if (!component.empty()) {
+        out += component;
+        out += ": ";
+    }
+    out += detail.str();
+    return out;
+}
+
+void
+emitDiagnostic(const Diagnostic &diagnostic)
+{
+    if (DiagnosticSink *sink =
+            g_sink.load(std::memory_order_acquire)) {
+        sink->report(diagnostic);
+        return;
+    }
+    if (diagnostic.severity != Severity::Info)
+        warn(diagnostic.str());
+}
+
+void
+emitDiagnostic(Severity severity, const std::string &component,
+               const std::string &reason)
+{
+    Diagnostic d;
+    d.severity = severity;
+    d.component = component;
+    d.detail.reason = reason;
+    emitDiagnostic(d);
+}
+
+DiagnosticSink *
+installDiagnosticSink(DiagnosticSink *sink)
+{
+    return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+void
+CollectingDiagnosticSink::report(const Diagnostic &diagnostic)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    diagnostics_.push_back(diagnostic);
+}
+
+std::vector<Diagnostic>
+CollectingDiagnosticSink::diagnostics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diagnostics_;
+}
+
+std::vector<Diagnostic>
+IngestReport::diagnostics() const
+{
+    std::vector<Diagnostic> out;
+    out.reserve(errors.size());
+    for (const ParseError &e : errors) {
+        Diagnostic d;
+        d.severity = mode == ParseMode::Lenient ? Severity::Warning
+                                                : Severity::Error;
+        d.component = "ingest";
+        d.detail = e;
+        if (d.detail.source.empty())
+            d.detail.source = source;
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+std::size_t
+CollectingDiagnosticSink::count(Severity atLeast) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics_) {
+        if (static_cast<int>(d.severity) >=
+            static_cast<int>(atLeast))
+            ++n;
+    }
+    return n;
+}
+
+} // namespace deskpar::trace

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
 
@@ -555,6 +556,9 @@ tryDecodeSectionsParallel(EtlReader &r, unsigned jobs,
     std::vector<IngestReport> reports(frames.size());
     std::vector<char> clean(frames.size(), 0);
     sim::parallelFor(jobs, frames.size(), [&](std::size_t i) {
+        obs::Span sectionSpan("ingest.etl.section",
+                              obs::SpanKind::Ingest,
+                              frames[i].limit - frames[i].bodyPos);
         reports[i].source = r.report.source;
         reports[i].mode = r.options.mode;
         EtlReader section{r.data, r.options, reports[i],
@@ -590,6 +594,10 @@ TraceBundle
 decodeEtlBody(io::ByteSpan data, const ParseOptions &options,
               IngestReport &report, bool allowParallel)
 {
+    obs::Span ingestSpan("ingest.etl", obs::SpanKind::Ingest,
+                         data.size());
+    obs::counterAdd("ingest.etl.bytes",
+                    static_cast<std::int64_t>(data.size()));
     TraceBundle bundle;
     EtlReader r{data, options, report};
 
@@ -682,6 +690,9 @@ decodeEtlBody(io::ByteSpan data, const ParseOptions &options,
                     std::to_string(static_cast<unsigned>(tag))));
             good = false;
         } else {
+            obs::Span sectionSpan("ingest.etl.section",
+                                  obs::SpanKind::Ingest,
+                                  limit - r.pos);
             good = decodeSectionBody(r, tag, name, tagPos, limit,
                                      bundle);
         }

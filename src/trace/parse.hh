@@ -33,6 +33,8 @@
 
 namespace deskpar::trace {
 
+struct Diagnostic; // trace/diagnostic.hh
+
 /** How readers treat malformed records. */
 enum class ParseMode { Strict, Lenient };
 
@@ -193,6 +195,13 @@ struct IngestReport
 
     /** Fold @p other (e.g. another file of the batch) into this. */
     void merge(const IngestReport &other);
+
+    /**
+     * The stored errors as pipeline Diagnostics (component "ingest";
+     * lenient drops are warnings, strict rejections errors). Callers
+     * include trace/diagnostic.hh for the full type.
+     */
+    std::vector<Diagnostic> diagnostics() const;
 
     /**
      * Fold a sub-reader's report (a parse chunk or section decoded in

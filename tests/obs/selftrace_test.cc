@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Self-trace export tests: deterministic snapshots map to exact
+ * concurrency numbers, real overlapping spans show TLP > 1, and the
+ * synthetic bundle survives the toolkit's own .etl round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "analysis/session.hh"
+#include "obs/obs.hh"
+#include "obs/selftrace.hh"
+#include "trace/etl.hh"
+#include "trace/io.hh"
+
+namespace {
+
+using namespace deskpar;
+
+obs::SpanRecord
+makeSpan(const char *name, obs::SpanKind kind, std::uint64_t start,
+         std::uint64_t end, std::uint32_t thread,
+         std::uint16_t depth = 0)
+{
+    obs::SpanRecord record;
+    record.name = name;
+    record.kind = kind;
+    record.startNs = start;
+    record.endNs = end;
+    record.thread = thread;
+    record.depth = depth;
+    return record;
+}
+
+TEST(SelfTrace, TwoParallelIngestSpansHaveTlpTwo)
+{
+    obs::Snapshot snapshot;
+    snapshot.threads = 2;
+    snapshot.spans = {
+        makeSpan("ingest.csv.chunk", obs::SpanKind::Ingest, 0, 100,
+                 0),
+        makeSpan("ingest.csv.chunk", obs::SpanKind::Ingest, 0, 100,
+                 1),
+    };
+
+    trace::TraceBundle bundle = obs::toTraceBundle(snapshot);
+    EXPECT_EQ(bundle.numLogicalCpus, 2u);
+
+    analysis::Session session(bundle);
+    trace::PidSet pids{obs::selfTracePid(obs::SpanKind::Ingest)};
+    analysis::ConcurrencyProfile profile = session.concurrency(pids);
+    EXPECT_NEAR(profile.tlp(), 2.0, 1e-9);
+    EXPECT_EQ(profile.maxConcurrency(), 2u);
+    EXPECT_NEAR(profile.idleFraction(), 0.0, 1e-9);
+}
+
+TEST(SelfTrace, InnermostOpenSpanKindWins)
+{
+    // A Job span [0,100] with a nested Ingest span [25,75]: the
+    // thread belongs to deskpar.job for half the window and to
+    // deskpar.ingest for the other half.
+    obs::Snapshot snapshot;
+    snapshot.threads = 1;
+    snapshot.spans = {
+        makeSpan("suite.sim", obs::SpanKind::Job, 0, 100, 0, 0),
+        makeSpan("ingest.etl", obs::SpanKind::Ingest, 25, 75, 0, 1),
+    };
+
+    trace::TraceBundle bundle = obs::toTraceBundle(snapshot);
+    analysis::Session session(bundle);
+
+    trace::PidSet job{obs::selfTracePid(obs::SpanKind::Job)};
+    trace::PidSet ingest{obs::selfTracePid(obs::SpanKind::Ingest)};
+    EXPECT_NEAR(session.concurrency(job).utilization(), 0.5, 1e-9);
+    EXPECT_NEAR(session.concurrency(ingest).utilization(), 0.5,
+                1e-9);
+}
+
+TEST(SelfTrace, RoundTripsThroughOwnEtlContainer)
+{
+    obs::Snapshot snapshot;
+    snapshot.threads = 3;
+    snapshot.spans = {
+        makeSpan("suite.batch", obs::SpanKind::Job, 0, 400, 0, 0),
+        makeSpan("ingest.etl.section", obs::SpanKind::Ingest, 10, 200,
+                 1),
+        makeSpan("ingest.etl.section", obs::SpanKind::Ingest, 20, 210,
+                 2),
+        makeSpan("index.query.concurrency", obs::SpanKind::Query, 250,
+                 300, 0, 1),
+    };
+    snapshot.counters.push_back({"parallel.steals", 3});
+
+    trace::TraceBundle bundle = obs::toTraceBundle(snapshot);
+    std::ostringstream out;
+    trace::writeEtl(bundle, out);
+    std::string image = out.str();
+
+    trace::ParseOptions options;
+    options.source = "<selftrace>";
+    trace::IngestReport report;
+    trace::TraceBundle decoded =
+        trace::decodeEtl(trace::io::ByteSpan(image), options, report);
+    ASSERT_TRUE(report.ok()) << report.summary();
+
+    analysis::Session before(bundle);
+    analysis::Session after(std::move(decoded));
+    trace::PidSet ingest{obs::selfTracePid(obs::SpanKind::Ingest)};
+    EXPECT_NEAR(before.concurrency(ingest).tlp(),
+                after.concurrency(ingest).tlp(), 1e-12);
+
+    // The Query span came back as a GPU compute packet and the
+    // depth-0 Job span as a marker.
+    trace::PidSet query{obs::selfTracePid(obs::SpanKind::Query)};
+    EXPECT_GT(after.gpuUtil(query).utilizationPercent(), 0.0);
+    ASSERT_FALSE(after.bundle().markers.empty());
+    EXPECT_EQ(after.bundle().markers.front().label,
+              "obs:suite.batch");
+}
+
+#if !defined(DESKPAR_OBS_DISABLED)
+
+TEST(SelfTrace, OverlappingRealSpansShowParallelism)
+{
+    obs::setEnabled(true);
+    obs::reset();
+
+    // Both worker spans are provably open at the same instant: each
+    // opens its span, then blocks until the other has opened too.
+    std::mutex mutex;
+    std::condition_variable cv;
+    int open = 0;
+    auto work = [&] {
+        obs::Span span("obs.test.parallel", obs::SpanKind::Ingest);
+        std::unique_lock<std::mutex> lock(mutex);
+        ++open;
+        cv.notify_all();
+        cv.wait(lock, [&] { return open == 2; });
+    };
+    std::thread a(work);
+    std::thread b(work);
+    a.join();
+    b.join();
+    obs::setEnabled(false);
+    obs::Snapshot snapshot = obs::collect();
+
+    trace::TraceBundle bundle = obs::toTraceBundle(snapshot);
+    analysis::Session session(bundle);
+    trace::PidSet pids = session.pids(obs::kSelfTracePrefix);
+    ASSERT_FALSE(pids.empty());
+    analysis::ConcurrencyProfile profile = session.concurrency(pids);
+    EXPECT_GT(profile.tlp(), 1.0);
+    EXPECT_EQ(profile.maxConcurrency(), 2u);
+}
+
+#endif // !DESKPAR_OBS_DISABLED
+
+} // namespace

@@ -32,6 +32,16 @@
  *       --lenient-traces skips malformed records instead and
  *       analyzes what remains (the report notes what was dropped).
  *
+ *   deskpar stats <file...> [replay options] [--stats-json FILE]
+ *           [--selftrace FILE]
+ *       Replay with self-tracing on: the pipeline's own spans are
+ *       collected, reported as JSON, serialized as a DeskPar .etl,
+ *       and re-ingested so the toolkit computes the TLP of its own
+ *       run (see src/obs/).
+ *
+ * The per-command synopses live in kCommands below; usage() renders
+ * that table, so help text cannot drift from the dispatcher again.
+ *
  * Common options:
  *   --cores N        active CPUs (logical with SMT, physical without)
  *   --no-smt         disable SMT (one hardware thread per core)
@@ -53,14 +63,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/power.hh"
 #include "analysis/responsiveness.hh"
+#include "analysis/session.hh"
 #include "analysis/threads.hh"
 #include "analysis/timeseries.hh"
-#include "analysis/trace_index.hh"
+#include "obs/obs.hh"
+#include "obs/selftrace.hh"
 #include "apps/harness.hh"
 #include "apps/legacy.hh"
 #include "apps/registry.hh"
@@ -70,6 +83,7 @@
 #include "report/heatmap.hh"
 #include "report/table.hh"
 #include "trace/csv.hh"
+#include "trace/diagnostic.hh"
 #include "trace/etl.hh"
 
 using namespace deskpar;
@@ -87,14 +101,53 @@ struct CliOptions
     bool json = false;
 };
 
+/**
+ * The single source of the command surface: main() dispatches on
+ * .name and usage() renders .synopsis/.summary, so adding a command
+ * here is the whole help-text story.
+ */
+struct CommandHelp
+{
+    const char *name;
+    const char *synopsis;
+    const char *summary;
+};
+
+constexpr CommandHelp kCommands[] = {
+    {"list", "list", "list every workload in the Table II suite"},
+    {"run", "run <id> [options]",
+     "run one workload and print its metrics"},
+    {"sweep", "sweep <id> --cores 4,8,12 [options]",
+     "core-scaling sweep (the Figure 4 methodology)"},
+    {"suite", "suite [options]",
+     "the full Table II suite, one row per application"},
+    {"threads", "threads <id> [options]",
+     "per-thread busy-time breakdown and power estimate"},
+    {"legacy", "legacy [options]",
+     "the 2010 Blake et al. suite on its contemporary machine"},
+    {"report", "report <prefix> [options]",
+     "write <prefix>.md and <prefix>.jsonl (reproducibility dossier)"},
+    {"replay",
+     "replay <file...> [--app PREFIX] [--lenient-traces]",
+     "re-analyze saved .etl / CPU-Usage .csv traces"},
+    {"stats",
+     "stats <file...> [replay options] [--stats-json FILE] "
+     "[--selftrace FILE]",
+     "replay with self-tracing: analyze DeskPar's own run with "
+     "DeskPar"},
+};
+
 [[noreturn]] void
 usage()
 {
+    std::fprintf(stderr, "usage: deskpar <command> [options]\n\n"
+                         "commands:\n");
+    for (const CommandHelp &cmd : kCommands)
+        std::fprintf(stderr, "  %-58s %s\n", cmd.synopsis,
+                     cmd.summary);
     std::fprintf(stderr,
-                 "usage: deskpar list | run <id> [options] | "
-                 "sweep <id> [options] | suite [options]\n"
-                 "       (see the header of tools/deskpar.cc for "
-                 "the option list)\n");
+                 "\n(common run options are listed in the header of "
+                 "tools/deskpar.cc)\n");
     std::exit(2);
 }
 
@@ -183,7 +236,7 @@ parseOptions(int argc, char **argv, int first)
 
 void
 printRun(const std::string &id, const apps::AppRunResult &result,
-         const analysis::TraceIndex &index)
+         const analysis::Session &session)
 {
     std::printf("%s\n", apps::makeWorkload(id)->spec().name.c_str());
     std::printf("  TLP        %.2f +- %.2f\n",
@@ -200,7 +253,7 @@ printRun(const std::string &id, const apps::AppRunResult &result,
     std::printf("  exec time  %s\n",
                 report::heatmapRow(result.agg.meanC).c_str());
 
-    auto responsiveness = index.responsiveness(result.lastPids);
+    auto responsiveness = session.responsiveness(result.lastPids);
     if (responsiveness.inputs > 0) {
         std::printf("  response   %.2f ms mean (%zu inputs)\n",
                     responsiveness.meanLatencyMs(),
@@ -226,13 +279,13 @@ int
 cmdRun(const std::string &id, CliOptions cli)
 {
     apps::AppRunResult result = apps::runWorkload(id, cli.run);
-    // One index serves the summary's responsiveness column and the
+    // One session serves the summary's responsiveness column and the
     // optional timeline below.
-    analysis::TraceIndex index(result.lastBundle);
+    analysis::Session session(result.lastBundle);
     if (cli.json)
         report::writeJson(std::cout, result.agg);
     else
-        printRun(id, result, index);
+        printRun(id, result, session);
 
     if (!cli.etlPath.empty()) {
         trace::writeEtl(result.lastBundle, cli.etlPath);
@@ -247,8 +300,8 @@ cmdRun(const std::string &id, CliOptions cli)
         std::printf("  wrote %s\n", cli.gpuCsvPath.c_str());
     }
     if (cli.timelineWindow > 0) {
-        auto series = analysis::concurrencySeries(
-            index, result.lastPids, cli.timelineWindow);
+        auto series = session.concurrencySeries(result.lastPids,
+                                                cli.timelineWindow);
         report::Figure figure("Instantaneous TLP", "time (s)",
                               "threads");
         auto &s = figure.addSeries(id);
@@ -268,8 +321,8 @@ cmdSweep(const std::string &id, CliOptions cli)
         apps::RunOptions options = cli.run;
         options.config.activeCpus = cores;
         apps::AppRunResult result = apps::runWorkload(id, options);
-        analysis::TraceIndex index(result.lastBundle);
-        auto resp = index.responsiveness(result.lastPids);
+        analysis::Session session(result.lastBundle);
+        auto resp = session.responsiveness(result.lastPids);
         table.row()
             .cell(std::uint64_t(cores))
             .cell(result.tlp(), 2)
@@ -304,9 +357,9 @@ cmdThreads(const std::string &id, CliOptions cli)
     }
     table.print(std::cout);
 
-    analysis::TraceIndex index(result.lastBundle);
+    analysis::Session session(result.lastBundle);
     auto power =
-        index.power(cli.run.config.cpu, cli.run.config.gpu);
+        session.power(cli.run.config.cpu, cli.run.config.gpu);
     std::printf("\nestimated power: %.1f W CPU + %.1f W GPU\n",
                 power.cpuWatts, power.gpuWatts);
     return 0;
@@ -407,53 +460,92 @@ cmdSuite(CliOptions cli)
     table.print(std::cout);
     for (const apps::JobFailure &f : outcome.failures)
         std::fprintf(stderr, "deskpar: job '%s' failed: %s\n",
-                     f.label.c_str(), f.error.str().c_str());
+                     f.label.c_str(), f.diagnostic().str().c_str());
     return outcome.ok() ? 0 : 1;
 }
 
-int
-cmdReplay(int argc, char **argv, int first)
+/** Arguments shared by the replay and stats commands. */
+struct ReplayOptions
 {
     std::vector<std::string> files;
     std::string appPrefix;
     bool lenient = false;
+    /** stats only: output paths ("" = stdout / not written). */
+    std::string statsJsonPath;
+    std::string selfTracePath;
+};
+
+ReplayOptions
+parseReplayOptions(int argc, char **argv, int first, bool statsFlags)
+{
+    ReplayOptions opts;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage();
+        return argv[++i];
+    };
     for (int i = first; i < argc; ++i) {
         const char *arg = argv[i];
         if (!std::strcmp(arg, "--lenient-traces")) {
-            lenient = true;
+            opts.lenient = true;
         } else if (!std::strcmp(arg, "--app")) {
-            if (i + 1 >= argc)
-                usage();
-            appPrefix = argv[++i];
+            opts.appPrefix = need(i);
+        } else if (statsFlags && !std::strcmp(arg, "--stats-json")) {
+            opts.statsJsonPath = need(i);
+        } else if (statsFlags && !std::strcmp(arg, "--selftrace")) {
+            opts.selfTracePath = need(i);
         } else if (arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg);
             usage();
         } else {
-            files.emplace_back(arg);
+            opts.files.emplace_back(arg);
         }
     }
-    if (files.empty())
+    if (opts.files.empty())
         usage();
+    return opts;
+}
 
+/** Run the replay batch: one recoverable job per file. */
+apps::SuiteOutcome
+runReplayBatch(const ReplayOptions &opts)
+{
     apps::RunOptions options;
     options.iterations = 1;
-    trace::ParseMode mode = lenient ? trace::ParseMode::Lenient
-                                    : trace::ParseMode::Strict;
+    trace::ParseMode mode = opts.lenient ? trace::ParseMode::Lenient
+                                         : trace::ParseMode::Strict;
     std::vector<apps::SuiteJob> jobs;
-    for (const std::string &file : files)
+    for (const std::string &file : opts.files)
         jobs.push_back(
-            apps::replayJob(file, options, appPrefix, mode));
+            apps::replayJob(file, options, opts.appPrefix, mode));
 
-    apps::SuiteOutcome outcome =
-        apps::SuiteRunner().runRecoverable(jobs);
+    // Collect pipeline diagnostics (lenient-ingest degradation,
+    // out-of-range-CPU analysis warnings) instead of letting worker
+    // threads interleave them on stderr mid-table; replay them once
+    // the batch is done.
+    trace::CollectingDiagnosticSink sink;
+    apps::SuiteOutcome outcome;
+    {
+        trace::ScopedDiagnosticSink scope(sink);
+        outcome = apps::SuiteRunner().runRecoverable(jobs);
+    }
+    for (const trace::Diagnostic &d : sink.diagnostics())
+        std::fprintf(stderr, "deskpar: %s\n", d.str().c_str());
+    return outcome;
+}
 
+/** Print the per-file replay table + failures; 0 when all files ok. */
+int
+reportReplayOutcome(const ReplayOptions &opts,
+                    const apps::SuiteOutcome &outcome)
+{
     report::TextTable table({"Trace", "Size (MB)", "Ingest (MB/s)",
                              "TLP", "GPU util (%)", "Max conc.",
                              "Status"});
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t j = 0; j < opts.files.size(); ++j) {
         if (outcome.failed(j)) {
             table.row()
-                .cell(files[j])
+                .cell(opts.files[j])
                 .cell("-")
                 .cell("-")
                 .cell("-")
@@ -464,7 +556,7 @@ cmdReplay(int argc, char **argv, int first)
         }
         const apps::AppRunResult &result = outcome.results[j];
         table.row()
-            .cell(files[j])
+            .cell(opts.files[j])
             .cell(static_cast<double>(result.ingest.bytes) / 1e6, 2)
             .cell(result.ingest.mbPerSec(), 1)
             .cell(result.tlp(), 2)
@@ -475,13 +567,109 @@ cmdReplay(int argc, char **argv, int first)
     table.print(std::cout);
     for (const apps::JobFailure &f : outcome.failures)
         std::fprintf(stderr, "deskpar: %s\n",
-                     f.error.str().c_str());
+                     f.diagnostic().str().c_str());
     if (!outcome.ok()) {
         std::fprintf(stderr, "deskpar: replay batch degraded: %s\n",
                      outcome.ingest.summary().c_str());
         return 1;
     }
     return 0;
+}
+
+int
+cmdReplay(int argc, char **argv, int first)
+{
+    ReplayOptions opts =
+        parseReplayOptions(argc, argv, first, /*statsFlags=*/false);
+    return reportReplayOutcome(opts, runReplayBatch(opts));
+}
+
+int
+cmdStats(int argc, char **argv, int first)
+{
+    ReplayOptions opts =
+        parseReplayOptions(argc, argv, first, /*statsFlags=*/true);
+
+    // Record the batch. reset() scopes the snapshot to this run even
+    // when DESKPAR_OBS=1 already traced process startup.
+    obs::setEnabled(true);
+    obs::reset();
+    apps::SuiteOutcome outcome = runReplayBatch(opts);
+    obs::Snapshot snapshot = obs::collect();
+    obs::setEnabled(false);
+
+    int status = reportReplayOutcome(opts, outcome);
+
+    if (snapshot.empty()) {
+        std::fprintf(stderr,
+                     "deskpar: no self-trace spans recorded (built "
+                     "with DESKPAR_OBS=OFF?)\n");
+        return status ? status : 1;
+    }
+
+    if (opts.statsJsonPath.empty()) {
+        obs::writeStatsJson(std::cout, snapshot);
+        std::cout << '\n';
+    } else {
+        std::ofstream out(opts.statsJsonPath);
+        if (!out) {
+            std::fprintf(stderr, "cannot open '%s'\n",
+                         opts.statsJsonPath.c_str());
+            return 1;
+        }
+        obs::writeStatsJson(out, snapshot);
+        out << '\n';
+        std::printf("wrote %s\n", opts.statsJsonPath.c_str());
+    }
+
+    // Close the loop: spans -> .etl bytes -> DeskPar's own ingest ->
+    // per-phase TLP. The in-memory round trip always runs, so the
+    // printed numbers come from a decoded trace, not the snapshot.
+    trace::TraceBundle selfBundle = obs::toTraceBundle(snapshot);
+    if (!opts.selfTracePath.empty()) {
+        trace::writeEtl(selfBundle, opts.selfTracePath);
+        std::printf("wrote %s\n", opts.selfTracePath.c_str());
+    }
+    std::ostringstream etlBytes;
+    trace::writeEtl(selfBundle, etlBytes);
+    std::string image = etlBytes.str();
+    trace::ParseOptions popts;
+    popts.source = "<selftrace>";
+    trace::IngestReport report;
+    analysis::Session session(
+        trace::decodeEtl(trace::io::ByteSpan(image), popts, report));
+    if (!report.ok()) {
+        std::fprintf(stderr,
+                     "deskpar: self-trace round trip failed: %s\n",
+                     report.summary().c_str());
+        return 1;
+    }
+
+    report::TextTable table(
+        {"Pipeline phase", "TLP", "Max conc.", "Busy (%)"});
+    auto phaseRow = [&](const std::string &label,
+                        const trace::PidSet &pids) {
+        if (pids.empty())
+            return;
+        auto profile = session.concurrency(pids);
+        table.row()
+            .cell(label)
+            .cell(profile.tlp(), 2)
+            .cell(std::uint64_t(profile.maxConcurrency()))
+            .cell(100.0 * (1.0 - profile.idleFraction()), 1);
+    };
+    for (unsigned kind = 0; kind < obs::kNumSpanKinds; ++kind) {
+        std::string name = obs::selfTraceProcessName(
+            static_cast<obs::SpanKind>(kind));
+        phaseRow(name, session.pids(name));
+    }
+    phaseRow("pipeline (all)", session.pids(obs::kSelfTracePrefix));
+    std::printf("\nself-trace analysis (%u threads, %llu spans):\n",
+                snapshot.threads,
+                static_cast<unsigned long long>(
+                    snapshot.spans.size()));
+    table.print(std::cout);
+    return status;
 }
 
 } // namespace
@@ -507,6 +695,8 @@ main(int argc, char **argv)
         }
         if (command == "replay")
             return cmdReplay(argc, argv, 2);
+        if (command == "stats")
+            return cmdStats(argc, argv, 2);
         if (command == "run" || command == "sweep" ||
             command == "threads") {
             if (argc < 3)
