@@ -59,8 +59,10 @@ main()
         table.row().cell(results[next].agg.app);
         for (unsigned cores : kCores) {
             const apps::AppRunResult &result = results[next++];
-            series.add(cores, result.tlp());
-            table.cell(result.tlp(), 1);
+            // Fused query path; see bench::fusedTlp.
+            double tlp = bench::fusedTlp(result);
+            series.add(cores, tlp);
+            table.cell(tlp, 1);
         }
     }
 

@@ -62,6 +62,23 @@ runSuiteParallel(const std::vector<apps::SuiteJob> &jobs)
 }
 
 /**
+ * TLP of a run's retained trace, computed through the fused query
+ * path (Session::query). Bit-identical to the TraceIndex value the
+ * harness reads, so under DESKPAR_FAST (one iteration) this equals
+ * result.tlp() exactly; under the full 3-iteration protocol it is
+ * the final iteration's TLP (within sigma of the mean).
+ */
+inline double
+fusedTlp(const apps::AppRunResult &result)
+{
+    analysis::Session session(result.lastBundle);
+    return session.query({analysis::tlpQuery(result.lastPids)})
+        .front()
+        .rows.front()
+        .value;
+}
+
+/**
  * Append one wall-time JSON record (bench name, wall seconds, runner
  * thread count) to BENCH_suite.json — or $DESKPAR_BENCH_JSON — so the
  * perf trajectory of the suite benches is captured run over run.

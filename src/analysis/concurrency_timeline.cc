@@ -1,0 +1,310 @@
+#include "analysis/concurrency_timeline.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace deskpar::analysis::detail {
+
+using sim::SimDuration;
+using sim::SimTime;
+
+void
+buildConcurrencyTimeline(const trace::TraceBundle &bundle,
+                         const TimelineSpec &spec,
+                         ConcurrencyTimeline &tl,
+                         std::vector<SimTime> *dispatches,
+                         BurstColumns *bursts)
+{
+    tl.cutoff = bundle.numLogicalCpus;
+    const unsigned cutoff = tl.cutoff;
+
+    // Emit (timestamp, +1/-1) occupancy deltas in stream order — the
+    // per-CPU busy flags are a state machine over the stream, exactly
+    // as in the reference sweep — and collect the dispatch and burst
+    // columns from the same transitions.
+    std::vector<std::pair<SimTime, int>> deltas;
+    deltas.reserve(bundle.cswitches.size());
+    std::vector<std::uint8_t> cpuBusy(cutoff, 0);
+    std::vector<SimTime> burstStart;
+    if (bursts)
+        burstStart.assign(cutoff, 0);
+    bool sorted = true;
+    SimTime prev_ts = 0;
+
+    for (const auto &e : bundle.cswitches) {
+        if (!cpuInMask(spec.cpuMask, e.cpu))
+            continue;
+        if (dispatches && isTargetSwitch(spec, e.newPid, e.newTid))
+            dispatches->push_back(e.timestamp);
+        if (e.timestamp < prev_ts)
+            sorted = false;
+        prev_ts = e.timestamp;
+        if (cutoff == 0)
+            continue;
+        if (e.cpu >= cutoff) {
+            ++tl.outOfRangeCpuEvents;
+            continue;
+        }
+        std::uint8_t now_busy =
+            isTargetSwitch(spec, e.newPid, e.newTid) ? 1 : 0;
+        if (cpuBusy[e.cpu] == now_busy)
+            continue;
+        deltas.emplace_back(e.timestamp, now_busy ? 1 : -1);
+        if (bursts) {
+            if (now_busy)
+                burstStart[e.cpu] = e.timestamp;
+            else if (e.timestamp > burstStart[e.cpu])
+                bursts->bursts.push_back(
+                    Interval{burstStart[e.cpu], e.timestamp});
+        }
+        cpuBusy[e.cpu] = now_busy;
+    }
+    if (dispatches)
+        std::sort(dispatches->begin(), dispatches->end());
+    if (bursts) {
+        // CPUs still busy at the end of the stream: close the burst
+        // at the observation-window end. Disordered streams can
+        // produce inverted bursts; those are dropped on emission.
+        for (unsigned cpu = 0; cpu < cutoff; ++cpu) {
+            if (cpuBusy[cpu] && bundle.stopTime > burstStart[cpu])
+                bursts->bursts.push_back(
+                    Interval{burstStart[cpu], bundle.stopTime});
+        }
+        std::sort(bursts->bursts.begin(), bursts->bursts.end(),
+                  [](const Interval &a, const Interval &b) {
+                      return a.begin < b.begin;
+                  });
+        bursts->maxEnd.reserve(bursts->bursts.size());
+        SimTime mx = 0;
+        for (std::size_t i = 0; i < bursts->bursts.size(); ++i) {
+            mx = i == 0 ? bursts->bursts[i].end
+                        : std::max(mx, bursts->bursts[i].end);
+            bursts->maxEnd.push_back(mx);
+        }
+    }
+
+    if (cutoff == 0)
+        return; // every query must take the sweep path (it fatals)
+
+    // The reference sweep stable-sorts its (clamped) deltas; sorting
+    // the unclamped emission stably yields the same per-timestamp
+    // group sums for every window, which is all the level function
+    // depends on.
+    if (!sorted) {
+        std::stable_sort(deltas.begin(), deltas.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+    }
+
+    // Compress equal-timestamp groups into breakpoints. A negative
+    // cumulative level means the (disordered) stream closed a CPU
+    // before opening it; poison the timeline so queries fall back.
+    long long level = 0;
+    for (std::size_t i = 0; i < deltas.size();) {
+        SimTime ts = deltas[i].first;
+        long long sum = 0;
+        for (; i < deltas.size() && deltas[i].first == ts; ++i)
+            sum += deltas[i].second;
+        if (sum == 0)
+            continue;
+        level += sum;
+        if (level < 0) {
+            tl.times.clear();
+            tl.levels.clear();
+            return;
+        }
+        tl.times.push_back(ts);
+        tl.levels.push_back(static_cast<int>(level));
+    }
+    tl.usable = true;
+
+    // Checkpoint rows: running per-level time at every kStride-th
+    // breakpoint. Integer sums, so checkpoint differences decompose
+    // a window exactly.
+    const std::size_t L = cutoff + 1;
+    const std::size_t n = tl.times.size();
+    if (n == 0)
+        return;
+    const std::size_t rows =
+        (n - 1) / ConcurrencyTimeline::kStride + 1;
+    tl.cum.assign(rows * L, 0);
+    std::vector<SimDuration> acc(L, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+        if (j % ConcurrencyTimeline::kStride == 0) {
+            std::copy(acc.begin(), acc.end(),
+                      tl.cum.begin() +
+                          static_cast<std::ptrdiff_t>(
+                              (j / ConcurrencyTimeline::kStride) *
+                              L));
+        }
+        if (j + 1 < n) {
+            auto lvl = static_cast<unsigned>(std::clamp(
+                tl.levels[j], 0, static_cast<int>(cutoff)));
+            acc[lvl] += tl.times[j + 1] - tl.times[j];
+        }
+    }
+}
+
+ConcurrencyProfile
+queryConcurrencyTimeline(const ConcurrencyTimeline &tl, SimTime t0,
+                         SimTime t1)
+{
+    constexpr std::size_t kStride = ConcurrencyTimeline::kStride;
+    const unsigned num_cpus = tl.cutoff;
+    const std::size_t L = num_cpus + 1;
+
+    ConcurrencyProfile profile;
+    profile.numCpus = num_cpus;
+    profile.window = t1 - t0;
+    profile.c.assign(L, 0.0);
+    profile.outOfRangeCpuEvents = tl.outOfRangeCpuEvents;
+
+    std::vector<SimDuration> timeAt(L, 0);
+    const std::vector<SimTime> &times = tl.times;
+    const std::size_t n = times.size();
+    auto clampLvl = [num_cpus](int level) {
+        return static_cast<unsigned>(
+            std::clamp(level, 0, static_cast<int>(num_cpus)));
+    };
+
+    // First breakpoint strictly inside the window.
+    std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(times.begin(), times.end(), t0) -
+        times.begin());
+
+    // Head: the tail of the segment containing t0.
+    SimTime headEnd = (idx < n && times[idx] < t1) ? times[idx] : t1;
+    int headLevel = idx == 0 ? 0 : tl.levels[idx - 1];
+    timeAt[clampLvl(headLevel)] += headEnd - t0;
+
+    if (idx < n && times[idx] < t1) {
+        std::size_t j = idx; // position: exactly at breakpoint j
+        while (true) {
+            if (j % kStride == 0) {
+                // Jump over whole checkpoint rows: the largest
+                // aligned breakpoint k2*kStride still <= t1.
+                std::size_t k1 = j / kStride;
+                std::size_t maxk = (n - 1) / kStride;
+                std::size_t k2 = k1;
+                for (std::size_t lo = k1 + 1, hi = maxk; lo <= hi;) {
+                    std::size_t mid = lo + (hi - lo) / 2;
+                    if (times[mid * kStride] <= t1) {
+                        k2 = mid;
+                        lo = mid + 1;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                if (k2 > k1) {
+                    const SimDuration *a = &tl.cum[k1 * L];
+                    const SimDuration *b = &tl.cum[k2 * L];
+                    for (std::size_t l = 0; l < L; ++l)
+                        timeAt[l] += b[l] - a[l];
+                    j = k2 * kStride;
+                    continue;
+                }
+            }
+            // Segment j = [times[j], times[j+1)); the last level
+            // extends past the final breakpoint.
+            SimTime segEnd = (j + 1 < n) ? times[j + 1] : t1;
+            if (segEnd >= t1) {
+                timeAt[clampLvl(tl.levels[j])] += t1 - times[j];
+                break;
+            }
+            timeAt[clampLvl(tl.levels[j])] += segEnd - times[j];
+            ++j;
+        }
+    }
+
+    double window = static_cast<double>(profile.window);
+    for (std::size_t i = 0; i < L; ++i)
+        profile.c[i] = static_cast<double>(timeAt[i]) / window;
+    return profile;
+}
+
+ConcurrencyProfile
+sweepConcurrency(const trace::TraceBundle &bundle,
+                 const TimelineSpec &spec, SimTime t0, SimTime t1,
+                 unsigned num_cpus, bool emit_warning)
+{
+    // Sweep the per-CPU run timelines into +1/-1 deltas at the times
+    // a target thread starts/stops occupying a CPU. A flat sorted
+    // vector replaces the old std::map: one O(n log n) sort instead
+    // of a red-black-tree insert per context switch, and the per-CPU
+    // busy flags are a flat array indexed by CpuId.
+    std::vector<std::pair<SimTime, int>> deltas;
+    deltas.reserve(bundle.cswitches.size());
+    std::vector<std::uint8_t> cpuBusy(num_cpus, 0);
+    std::uint64_t out_of_range = 0;
+
+    for (const auto &e : bundle.cswitches) {
+        if (!cpuInMask(spec.cpuMask, e.cpu))
+            continue;
+        if (e.cpu >= cpuBusy.size()) {
+            // A cpu id past the header's CPU count contradicts the
+            // trace; count it instead of growing the histogram and
+            // clamp-folding the phantom CPU into the top level.
+            ++out_of_range;
+            continue;
+        }
+        std::uint8_t now_busy =
+            isTargetSwitch(spec, e.newPid, e.newTid) ? 1 : 0;
+        if (cpuBusy[e.cpu] == now_busy)
+            continue;
+        SimTime ts = std::clamp(e.timestamp, t0, t1);
+        deltas.emplace_back(ts, now_busy ? 1 : -1);
+        cpuBusy[e.cpu] = now_busy;
+    }
+    // Threads still on a CPU at the window end: close at t1 (the
+    // delta list records the +1; no -1 needed since the sweep ends).
+
+    // cswitches are chronological, so a stable sort keeps each CPU's
+    // +1 ahead of its matching -1 even when clamping collapses both
+    // onto a window edge.
+    std::stable_sort(deltas.begin(), deltas.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+
+    ConcurrencyProfile profile;
+    profile.numCpus = num_cpus;
+    profile.window = t1 - t0;
+    profile.c.assign(num_cpus + 1, 0.0);
+    profile.outOfRangeCpuEvents = out_of_range;
+
+    SimTime prev = t0;
+    int level = 0;
+    std::vector<SimDuration> timeAt(num_cpus + 1, 0);
+    for (const auto &[ts, delta] : deltas) {
+        if (ts > prev) {
+            if (level < 0)
+                deskpar::panic(
+                    "computeConcurrency: negative concurrency");
+            auto lvl = static_cast<unsigned>(std::clamp(
+                level, 0, static_cast<int>(num_cpus)));
+            timeAt[lvl] += ts - prev;
+            prev = ts;
+        }
+        level += delta;
+    }
+    if (level < 0)
+        deskpar::panic("computeConcurrency: negative concurrency");
+    if (t1 > prev) {
+        auto lvl = static_cast<unsigned>(
+            std::clamp(level, 0, static_cast<int>(num_cpus)));
+        timeAt[lvl] += t1 - prev;
+    }
+
+    if (out_of_range > 0 && emit_warning)
+        detail::warnOutOfRangeCpus(out_of_range, num_cpus);
+
+    double window = static_cast<double>(profile.window);
+    for (unsigned i = 0; i <= num_cpus; ++i)
+        profile.c[i] = static_cast<double>(timeAt[i]) / window;
+    return profile;
+}
+
+} // namespace deskpar::analysis::detail

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The shared concurrency-timeline machinery behind TraceIndex and the
+ * fused query planner (analysis/query_plan.hh).
+ *
+ * PR 3 introduced the compressed breakpoint timeline inside
+ * trace_index.cc; the query layer needs the same structure for
+ * arbitrary filters (pid set, single thread, cpu mask), so the build
+ * and query algorithms live here, parameterized by a TimelineSpec.
+ * With the default spec (no tid, all cpus) the builder reproduces the
+ * original TraceIndex sweep event for event, which is what keeps the
+ * index-backed queries bit-identical to analysis::legacy.
+ *
+ * The builder can additionally collect, in the same single pass:
+ *  - the sorted switch-in (dispatch) column, used by responsiveness
+ *    and by the context-switch-rate metric, and
+ *  - per-CPU busy-burst intervals (one contiguous run of target work
+ *    on one CPU), used by the duration-histogram metric.
+ */
+
+#ifndef DESKPAR_ANALYSIS_CONCURRENCY_TIMELINE_HH
+#define DESKPAR_ANALYSIS_CONCURRENCY_TIMELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/intervals.hh"
+#include "analysis/tlp.hh"
+#include "trace/filter.hh"
+#include "trace/session.hh"
+
+namespace deskpar::analysis::detail {
+
+/**
+ * CPU selection mask for a query filter. Bit i selects logical CPU i;
+ * kAllCpus (the default) disables masking entirely. CPUs with id >=
+ * 64 can only be selected by kAllCpus — no real desktop trace in the
+ * paper's corpus exceeds that, and the mask stays one word.
+ */
+using CpuMask = std::uint64_t;
+inline constexpr CpuMask kAllCpus = ~static_cast<CpuMask>(0);
+
+inline bool
+cpuInMask(CpuMask mask, trace::CpuId cpu)
+{
+    if (mask == kAllCpus)
+        return true;
+    return cpu < 64 && ((mask >> cpu) & 1u) != 0;
+}
+
+/**
+ * What counts as "target work" for one timeline: a pid set (empty =
+ * every non-idle process), optionally narrowed to one thread and/or a
+ * cpu mask. Events on masked-out CPUs are invisible to the sweep —
+ * they produce no dispatches, no occupancy deltas, and no
+ * out-of-range accounting.
+ */
+struct TimelineSpec
+{
+    trace::PidSet pids;
+    bool hasTid = false;
+    trace::Tid tid = 0;
+    CpuMask cpuMask = kAllCpus;
+};
+
+/** The spec's switch-in predicate (pid 0 is the idle process). */
+inline bool
+isTargetSwitch(const TimelineSpec &spec, trace::Pid pid, trace::Tid tid)
+{
+    if (pid == 0)
+        return false;
+    if (!spec.pids.empty() && spec.pids.count(pid) == 0)
+        return false;
+    return !spec.hasTid || tid == spec.tid;
+}
+
+/**
+ * The concurrency level of one filter as a piecewise-constant
+ * function of time, compressed to its breakpoints.
+ *
+ * levels[i] is the number of CPUs running target threads on
+ * [times[i], times[i+1)); the level is 0 before times[0] and
+ * levels.back() extends past the last breakpoint. Zero-net groups of
+ * equal-timestamp deltas are dropped, so consecutive levels differ.
+ *
+ * cum holds strided checkpoint rows of kStride segments:
+ * cum[k*(cutoff+1) + l] is the (integer) time spent at clamped level
+ * l over [times[0], times[k*kStride]). A windowed query therefore
+ * costs two binary searches, one checkpoint-row difference, and at
+ * most kStride edge segments per side.
+ *
+ * usable is false when the stream cannot be represented faithfully:
+ * the header reports zero CPUs, or disorder produced a negative
+ * cumulative level (whether the legacy sweep panics on such a trace
+ * depends on the queried window, so those queries take the sweep
+ * path verbatim).
+ */
+struct ConcurrencyTimeline
+{
+    static constexpr std::size_t kStride = 32;
+
+    bool usable = false;
+    unsigned cutoff = 0;
+    std::uint64_t outOfRangeCpuEvents = 0;
+    std::vector<sim::SimTime> times;
+    std::vector<int> levels;
+    std::vector<sim::SimDuration> cum;
+};
+
+/**
+ * Per-CPU busy bursts of one filter: each interval is one contiguous
+ * run of target work on a single CPU (open bursts close at the
+ * bundle's stopTime). Sorted by begin; maxEnd[i] is the running
+ * maximum of bursts[0..i].end, so the bursts that can intersect a
+ * window are a binary-searchable candidate range, exactly like the
+ * GPU packet columns.
+ */
+struct BurstColumns
+{
+    std::vector<Interval> bursts;
+    std::vector<sim::SimTime> maxEnd;
+};
+
+/**
+ * One fused pass over the cswitch stream: build the compressed
+ * timeline for @p spec and optionally collect the sorted dispatch
+ * column and the busy-burst columns. With a default-constructed
+ * filter (beyond the pid set) this is the original TraceIndex
+ * sweep, preserved operation for operation.
+ */
+void buildConcurrencyTimeline(const trace::TraceBundle &bundle,
+                              const TimelineSpec &spec,
+                              ConcurrencyTimeline &timeline,
+                              std::vector<sim::SimTime> *dispatches,
+                              BurstColumns *bursts);
+
+/**
+ * Windowed histogram from a usable timeline. Bit-identical to the
+ * reference sweep: the time-at-level decomposition is the same
+ * integer sum split differently, and the single divide-by-window per
+ * level is the only floating-point operation.
+ */
+ConcurrencyProfile queryConcurrencyTimeline(
+    const ConcurrencyTimeline &timeline, sim::SimTime t0,
+    sim::SimTime t1);
+
+/**
+ * The direct single-sweep concurrency histogram, generalized over
+ * TimelineSpec. With the default spec this is exactly the
+ * analysis::legacy::computeConcurrency body (which now wraps it);
+ * @p emit_warning false suppresses the out-of-range-cpu Diagnostic so
+ * batch callers can dedupe it per trace (the count still lands in
+ * ConcurrencyProfile::outOfRangeCpuEvents). @p num_cpus must be
+ * resolved (nonzero) and the window non-empty; callers keep the
+ * legacy fatal checks.
+ */
+ConcurrencyProfile sweepConcurrency(const trace::TraceBundle &bundle,
+                                    const TimelineSpec &spec,
+                                    sim::SimTime t0, sim::SimTime t1,
+                                    unsigned num_cpus,
+                                    bool emit_warning);
+
+} // namespace deskpar::analysis::detail
+
+#endif // DESKPAR_ANALYSIS_CONCURRENCY_TIMELINE_HH

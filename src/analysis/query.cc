@@ -1,0 +1,630 @@
+#include "analysis/query.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace deskpar::analysis {
+
+using sim::SimDuration;
+using sim::SimTime;
+using trace::Pid;
+using trace::Tid;
+
+const char *
+queryMetricName(QueryMetric metric)
+{
+    switch (metric) {
+      case QueryMetric::Tlp:
+        return "tlp";
+      case QueryMetric::BusyFraction:
+        return "busy";
+      case QueryMetric::GpuOccupancy:
+        return "gpu";
+      case QueryMetric::ContextSwitchRate:
+        return "csrate";
+      case QueryMetric::DurationHistogram:
+        return "dhist";
+    }
+    return "?";
+}
+
+const char *
+queryGroupByName(QueryGroupBy groupBy)
+{
+    switch (groupBy) {
+      case QueryGroupBy::None:
+        return "none";
+      case QueryGroupBy::Process:
+        return "process";
+      case QueryGroupBy::Thread:
+        return "thread";
+      case QueryGroupBy::Phase:
+        return "phase";
+      case QueryGroupBy::GpuEngine:
+        return "engine";
+      case QueryGroupBy::TimeBucket:
+        return "bucket";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Display key of one pid: its recorded name, or "pid<N>". */
+std::string
+processKey(const trace::TraceBundle &bundle, Pid pid)
+{
+    auto it = bundle.processNames.find(pid);
+    if (it != bundle.processNames.end() && !it->second.empty())
+        return it->second;
+    return "pid" + std::to_string(pid);
+}
+
+std::string
+formatSeconds(SimTime t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", sim::toSeconds(t));
+    return buf;
+}
+
+} // namespace
+
+Query
+parseQuerySpec(const std::string &spec)
+{
+    auto bad = [&spec](const std::string &why) {
+        deskpar::fatal("query spec '" + spec + "': " + why);
+    };
+
+    std::vector<std::string> tokens;
+    for (std::size_t pos = 0; pos <= spec.size();) {
+        std::size_t slash = spec.find('/', pos);
+        if (slash == std::string::npos)
+            slash = spec.size();
+        tokens.push_back(spec.substr(pos, slash - pos));
+        pos = slash + 1;
+    }
+    if (tokens.empty() || tokens[0].empty())
+        bad("missing metric (tlp|busy|gpu|csrate|dhist)");
+
+    Query query;
+    const std::string &metric = tokens[0];
+    if (metric == "tlp") {
+        query.metric = QueryMetric::Tlp;
+    } else if (metric == "busy") {
+        query.metric = QueryMetric::BusyFraction;
+    } else if (metric == "gpu") {
+        query.metric = QueryMetric::GpuOccupancy;
+    } else if (metric == "csrate") {
+        query.metric = QueryMetric::ContextSwitchRate;
+    } else if (metric == "dhist") {
+        query.metric = QueryMetric::DurationHistogram;
+    } else {
+        bad("unknown metric '" + metric + "'");
+    }
+
+    auto parseNumber = [&bad](const std::string &text,
+                              const char *what, const char **rest) {
+        const char *begin = text.c_str();
+        char *end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin || v < 0.0)
+            bad(std::string("bad ") + what + " '" + text + "'");
+        if (rest)
+            *rest = end;
+        else if (*end != '\0')
+            bad(std::string("bad ") + what + " '" + text + "'");
+        return v;
+    };
+
+    auto parseDuration = [&bad, &parseNumber](const std::string &text,
+                                              const char *what) {
+        const char *suffix = nullptr;
+        double v = parseNumber(text, what, &suffix);
+        double scale = 0.0;
+        if (std::string(suffix) == "ns")
+            scale = 1.0;
+        else if (std::string(suffix) == "us")
+            scale = 1e3;
+        else if (std::string(suffix) == "ms")
+            scale = 1e6;
+        else if (std::string(suffix) == "s")
+            scale = 1e9;
+        else
+            bad(std::string(what) + " '" + text +
+                "' needs a ns|us|ms|s suffix");
+        auto d = static_cast<SimDuration>(v * scale);
+        if (d == 0)
+            bad(std::string(what) + " '" + text + "' must be > 0");
+        return d;
+    };
+
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::string &tok = tokens[i];
+        std::size_t eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0)
+            bad("expected key=value, got '" + tok + "'");
+        std::string key = tok.substr(0, eq);
+        std::string value = tok.substr(eq + 1);
+        if (key == "app") {
+            if (value.empty())
+                bad("empty app prefix");
+            query.filter.namePrefix = value;
+        } else if (key == "pids") {
+            for (std::size_t pos = 0; pos <= value.size();) {
+                std::size_t comma = value.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = value.size();
+                std::string item = value.substr(pos, comma - pos);
+                const char *begin = item.c_str();
+                char *end = nullptr;
+                unsigned long pid = std::strtoul(begin, &end, 10);
+                if (end == begin || *end != '\0')
+                    bad("bad pid '" + item + "'");
+                query.filter.pids.insert(static_cast<Pid>(pid));
+                pos = comma + 1;
+            }
+            if (query.filter.pids.empty())
+                bad("empty pid list");
+        } else if (key == "t0") {
+            query.filter.t0 =
+                sim::sec(parseNumber(value, "t0", nullptr));
+        } else if (key == "t1") {
+            query.filter.t1 =
+                sim::sec(parseNumber(value, "t1", nullptr));
+        } else if (key == "cpus") {
+            detail::CpuMask mask = 0;
+            for (std::size_t pos = 0; pos <= value.size();) {
+                std::size_t comma = value.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = value.size();
+                std::string item = value.substr(pos, comma - pos);
+                const char *begin = item.c_str();
+                char *end = nullptr;
+                unsigned long lo = std::strtoul(begin, &end, 10);
+                unsigned long hi = lo;
+                if (end != begin && *end == '-') {
+                    const char *hbegin = end + 1;
+                    hi = std::strtoul(hbegin, &end, 10);
+                    if (end == hbegin)
+                        bad("bad cpu range '" + item + "'");
+                }
+                if (end == begin || *end != '\0' || hi < lo)
+                    bad("bad cpu id '" + item + "'");
+                if (hi >= 64)
+                    bad("cpu ids above 63 are not maskable");
+                for (unsigned long cpu = lo; cpu <= hi; ++cpu)
+                    mask |= detail::CpuMask{1} << cpu;
+                pos = comma + 1;
+            }
+            if (mask == 0)
+                bad("empty cpu list");
+            query.filter.cpuMask = mask;
+        } else if (key == "by") {
+            std::string group = value;
+            std::size_t colon = value.find(':');
+            if (colon != std::string::npos) {
+                group = value.substr(0, colon);
+                query.bucket = parseDuration(value.substr(colon + 1),
+                                             "bucket width");
+            }
+            if (group == "process") {
+                query.groupBy = QueryGroupBy::Process;
+            } else if (group == "thread") {
+                query.groupBy = QueryGroupBy::Thread;
+            } else if (group == "phase") {
+                query.groupBy = QueryGroupBy::Phase;
+            } else if (group == "engine") {
+                query.groupBy = QueryGroupBy::GpuEngine;
+            } else if (group == "bucket") {
+                query.groupBy = QueryGroupBy::TimeBucket;
+                if (query.bucket == 0)
+                    bad("by=bucket needs a width "
+                        "(e.g. by=bucket:250ms)");
+            } else {
+                bad("unknown group-by '" + group + "'");
+            }
+        } else if (key == "label") {
+            query.label = value;
+        } else {
+            bad("unknown field '" + key + "'");
+        }
+    }
+    return query;
+}
+
+std::string
+querySpecString(const Query &query)
+{
+    std::string s = queryMetricName(query.metric);
+    if (!query.filter.namePrefix.empty()) {
+        s += "/app=" + query.filter.namePrefix;
+    } else if (!query.filter.pids.empty()) {
+        std::vector<Pid> pids(query.filter.pids.begin(),
+                              query.filter.pids.end());
+        std::sort(pids.begin(), pids.end());
+        s += "/pids=";
+        for (std::size_t i = 0; i < pids.size(); ++i) {
+            if (i > 0)
+                s += ',';
+            s += std::to_string(pids[i]);
+        }
+    }
+    if (query.filter.t0 != 0)
+        s += "/t0=" + formatSeconds(query.filter.t0);
+    if (query.filter.t1 != 0)
+        s += "/t1=" + formatSeconds(query.filter.t1);
+    if (query.filter.cpuMask != detail::kAllCpus) {
+        s += "/cpus=";
+        bool firstCpu = true;
+        for (unsigned cpu = 0; cpu < 64; ++cpu) {
+            if (!detail::cpuInMask(query.filter.cpuMask, cpu))
+                continue;
+            if (!firstCpu)
+                s += ',';
+            s += std::to_string(cpu);
+            firstCpu = false;
+        }
+    }
+    if (query.groupBy != QueryGroupBy::None) {
+        s += "/by=";
+        s += queryGroupByName(query.groupBy);
+        if (query.groupBy == QueryGroupBy::TimeBucket)
+            s += ":" + formatSeconds(query.bucket) + "s";
+    }
+    return s;
+}
+
+Query
+tlpQuery(trace::PidSet pids)
+{
+    Query query;
+    query.metric = QueryMetric::Tlp;
+    query.filter.pids = std::move(pids);
+    return query;
+}
+
+Query
+tlpSeriesQuery(trace::PidSet pids, SimDuration window)
+{
+    Query query;
+    query.metric = QueryMetric::Tlp;
+    query.filter.pids = std::move(pids);
+    query.groupBy = QueryGroupBy::TimeBucket;
+    query.bucket = window;
+    return query;
+}
+
+Query
+gpuUtilSeriesQuery(trace::PidSet pids, SimDuration window)
+{
+    Query query;
+    query.metric = QueryMetric::GpuOccupancy;
+    query.filter.pids = std::move(pids);
+    query.groupBy = QueryGroupBy::TimeBucket;
+    query.bucket = window;
+    return query;
+}
+
+namespace detail {
+
+ResolvedFilter
+resolveQueryFilter(const trace::TraceBundle &bundle,
+                   const QueryFilter &filter)
+{
+    ResolvedFilter out;
+    out.cpuMask = filter.cpuMask;
+    out.pids = filter.pids;
+    if (out.pids.empty() && !filter.namePrefix.empty()) {
+        std::vector<Pid> matched =
+            bundle.pidsByPrefix(filter.namePrefix);
+        if (matched.empty())
+            deskpar::fatal("query: no process name matches prefix '" +
+                           filter.namePrefix + "'");
+        out.pids.insert(matched.begin(), matched.end());
+    }
+    out.t0 = filter.t0 != 0 ? filter.t0 : bundle.startTime;
+    out.t1 = filter.t1 != 0 ? filter.t1 : bundle.stopTime;
+    if (out.t1 <= out.t0)
+        deskpar::fatal("query: empty window");
+    return out;
+}
+
+std::vector<QueryRowSpec>
+expandQueryRows(const trace::TraceBundle &bundle, const Query &query)
+{
+    if (query.groupBy == QueryGroupBy::GpuEngine &&
+        query.metric != QueryMetric::GpuOccupancy)
+        deskpar::fatal("query: engine group-by requires the gpu "
+                       "metric");
+    if (query.metric == QueryMetric::GpuOccupancy &&
+        query.groupBy == QueryGroupBy::Thread)
+        deskpar::fatal("query: gpu metric cannot group by thread "
+                       "(packets carry no tid)");
+    if (query.groupBy == QueryGroupBy::TimeBucket &&
+        query.bucket == 0)
+        deskpar::fatal("query: bucket group-by requires a width");
+
+    ResolvedFilter f = resolveQueryFilter(bundle, query.filter);
+    std::vector<QueryRowSpec> rows;
+
+    auto baseRow = [&f]() {
+        QueryRowSpec row;
+        row.t0 = f.t0;
+        row.t1 = f.t1;
+        row.pids = f.pids;
+        return row;
+    };
+
+    switch (query.groupBy) {
+      case QueryGroupBy::None: {
+        rows.push_back(baseRow());
+        break;
+      }
+      case QueryGroupBy::Process: {
+        std::vector<Pid> pids;
+        if (f.pids.empty()) {
+            trace::PidSet all = trace::allApplicationPids(bundle);
+            pids.assign(all.begin(), all.end());
+        } else {
+            pids.assign(f.pids.begin(), f.pids.end());
+        }
+        std::sort(pids.begin(), pids.end());
+        for (Pid pid : pids) {
+            QueryRowSpec row = baseRow();
+            row.key = processKey(bundle, pid);
+            row.pids = trace::PidSet{pid};
+            row.pidLabel = pid;
+            rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case QueryGroupBy::Thread: {
+        // Distinct switch-in targets, discovery narrowed by the same
+        // mask the evaluation will use.
+        std::vector<std::pair<Pid, Tid>> threads;
+        for (const auto &e : bundle.cswitches) {
+            if (!cpuInMask(f.cpuMask, e.cpu))
+                continue;
+            if (e.newPid == 0 || e.newTid == 0)
+                continue;
+            if (!f.pids.empty() && f.pids.count(e.newPid) == 0)
+                continue;
+            threads.emplace_back(e.newPid, e.newTid);
+        }
+        std::sort(threads.begin(), threads.end());
+        threads.erase(std::unique(threads.begin(), threads.end()),
+                      threads.end());
+        for (const auto &[pid, tid] : threads) {
+            QueryRowSpec row = baseRow();
+            row.key =
+                processKey(bundle, pid) + "/tid" + std::to_string(tid);
+            row.pids = trace::PidSet{pid};
+            row.hasTid = true;
+            row.tid = tid;
+            row.pidLabel = pid;
+            row.tidLabel = tid;
+            rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case QueryGroupBy::Phase: {
+        // A phase runs from its marker to the next phase marker (the
+        // last one to the end of the filter window), intersected with
+        // the window; empty intersections vanish.
+        std::vector<const trace::MarkerEvent *> phases;
+        for (const auto &m : bundle.markers) {
+            if (m.label.rfind("phase:", 0) == 0)
+                phases.push_back(&m);
+        }
+        std::stable_sort(phases.begin(), phases.end(),
+                         [](const auto *a, const auto *b) {
+                             return a->timestamp < b->timestamp;
+                         });
+        for (std::size_t i = 0; i < phases.size(); ++i) {
+            SimTime begin = phases[i]->timestamp;
+            SimTime end = i + 1 < phases.size()
+                              ? phases[i + 1]->timestamp
+                              : f.t1;
+            Interval iv = Interval{begin, end}.clampTo(f.t0, f.t1);
+            if (iv.empty())
+                continue;
+            QueryRowSpec row = baseRow();
+            row.key = phases[i]->label;
+            row.t0 = iv.begin;
+            row.t1 = iv.end;
+            rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case QueryGroupBy::GpuEngine: {
+        for (unsigned e = 0; e < trace::kNumGpuEngines; ++e) {
+            QueryRowSpec row = baseRow();
+            row.key = trace::gpuEngineName(
+                static_cast<trace::GpuEngineId>(e));
+            row.engine = static_cast<int>(e);
+            rows.push_back(std::move(row));
+        }
+        break;
+      }
+      case QueryGroupBy::TimeBucket: {
+        for (SimTime t = f.t0; t < f.t1; t += query.bucket) {
+            SimTime end = std::min(t + query.bucket, f.t1);
+            if (end <= t)
+                break;
+            QueryRowSpec row = baseRow();
+            row.t0 = t;
+            row.t1 = end;
+            rows.push_back(std::move(row));
+        }
+        break;
+      }
+    }
+    return rows;
+}
+
+std::vector<Interval>
+collectBursts(const trace::TraceBundle &bundle,
+              const TimelineSpec &spec)
+{
+    // The burst state machine of buildConcurrencyTimeline, standalone:
+    // same transitions, same inverted-burst drops, same end-of-stream
+    // closing — but written independently as the differential-test
+    // reference for the planner's sorted burst columns.
+    const unsigned cutoff = bundle.numLogicalCpus;
+    std::vector<Interval> bursts;
+    if (cutoff == 0)
+        return bursts;
+    std::vector<std::uint8_t> busy(cutoff, 0);
+    std::vector<SimTime> start(cutoff, 0);
+    for (const auto &e : bundle.cswitches) {
+        if (!cpuInMask(spec.cpuMask, e.cpu))
+            continue;
+        if (e.cpu >= cutoff)
+            continue;
+        std::uint8_t now_busy =
+            isTargetSwitch(spec, e.newPid, e.newTid) ? 1 : 0;
+        if (busy[e.cpu] == now_busy)
+            continue;
+        if (now_busy)
+            start[e.cpu] = e.timestamp;
+        else if (e.timestamp > start[e.cpu])
+            bursts.push_back(Interval{start[e.cpu], e.timestamp});
+        busy[e.cpu] = now_busy;
+    }
+    for (unsigned cpu = 0; cpu < cutoff; ++cpu) {
+        if (busy[cpu] && bundle.stopTime > start[cpu])
+            bursts.push_back(Interval{start[cpu], bundle.stopTime});
+    }
+    return bursts;
+}
+
+ConcurrencyProfile
+referenceConcurrency(const trace::TraceBundle &bundle,
+                     const TimelineSpec &spec, SimTime t0, SimTime t1)
+{
+    unsigned num_cpus = bundle.numLogicalCpus;
+    if (num_cpus == 0)
+        deskpar::fatal("computeConcurrency: unknown CPU count");
+    if (t1 <= t0)
+        deskpar::fatal("computeConcurrency: empty window");
+    return sweepConcurrency(bundle, spec, t0, t1, num_cpus,
+                            /*emit_warning=*/true);
+}
+
+} // namespace detail
+
+namespace legacy {
+
+QueryResult
+runQuery(const trace::TraceBundle &bundle, const Query &query)
+{
+    QueryResult out;
+    out.query = query;
+    if (out.query.label.empty())
+        out.query.label = querySpecString(query);
+
+    std::vector<detail::QueryRowSpec> specs =
+        detail::expandQueryRows(bundle, query);
+    out.rows.reserve(specs.size());
+
+    // The engine rows of one query share a window; one fold fills all
+    // five, like the planner's engine task.
+    GpuUtilization engineUtil;
+    bool engineFolded = false;
+
+    for (const detail::QueryRowSpec &spec : specs) {
+        QueryRow row;
+        row.key = spec.key;
+        row.t0 = spec.t0;
+        row.t1 = spec.t1;
+        row.pid = spec.pidLabel;
+        row.tid = spec.tidLabel;
+
+        detail::TimelineSpec ts;
+        ts.pids = spec.pids;
+        ts.hasTid = spec.hasTid;
+        ts.tid = spec.tid;
+        ts.cpuMask = query.filter.cpuMask;
+
+        switch (query.metric) {
+          case QueryMetric::Tlp:
+          case QueryMetric::BusyFraction: {
+            ConcurrencyProfile profile = detail::referenceConcurrency(
+                bundle, ts, spec.t0, spec.t1);
+            row.value =
+                detail::metricFromProfile(query.metric, profile);
+            break;
+          }
+          case QueryMetric::GpuOccupancy: {
+            if (spec.engine >= 0) {
+                if (!engineFolded) {
+                    engineUtil = computeGpuUtil(bundle, spec.pids,
+                                                spec.t0, spec.t1);
+                    engineFolded = true;
+                }
+                row.value = detail::engineOccupancyPercent(
+                    engineUtil, spec.engine);
+            } else {
+                row.value = detail::engineOccupancyPercent(
+                    computeGpuUtil(bundle, spec.pids, spec.t0,
+                                   spec.t1),
+                    -1);
+            }
+            break;
+          }
+          case QueryMetric::ContextSwitchRate: {
+            std::uint64_t count = 0;
+            for (const auto &e : bundle.cswitches) {
+                if (!detail::cpuInMask(ts.cpuMask, e.cpu))
+                    continue;
+                if (!detail::isTargetSwitch(ts, e.newPid, e.newTid))
+                    continue;
+                if (e.timestamp >= spec.t0 && e.timestamp < spec.t1)
+                    ++count;
+            }
+            row.value =
+                detail::contextSwitchRate(count, spec.t1 - spec.t0);
+            break;
+          }
+          case QueryMetric::DurationHistogram: {
+            std::vector<Interval> bursts =
+                detail::collectBursts(bundle, ts);
+            row.histogram.assign(kDurationHistogramBuckets, 0);
+            std::uint64_t count = 0;
+            for (const Interval &burst : bursts) {
+                Interval iv = burst.clampTo(spec.t0, spec.t1);
+                if (iv.empty())
+                    continue;
+                ++count;
+                ++row.histogram[detail::durationHistogramBucket(
+                    iv.length())];
+            }
+            row.value = static_cast<double>(count);
+            break;
+          }
+        }
+        out.rows.push_back(std::move(row));
+    }
+    return out;
+}
+
+std::vector<QueryResult>
+runQueries(const trace::TraceBundle &bundle,
+           const std::vector<Query> &queries)
+{
+    std::vector<QueryResult> out;
+    out.reserve(queries.size());
+    for (const Query &query : queries)
+        out.push_back(runQuery(bundle, query));
+    return out;
+}
+
+} // namespace legacy
+
+} // namespace deskpar::analysis

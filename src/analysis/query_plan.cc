@@ -1,0 +1,380 @@
+#include "analysis/query_plan.hh"
+
+#include <algorithm>
+#include <exception>
+#include <map>
+#include <tuple>
+#include <utility>
+
+#include "analysis/trace_index.hh"
+#include "obs/obs.hh"
+#include "sim/logging.hh"
+#include "sim/parallel.hh"
+
+namespace deskpar::analysis {
+
+using sim::SimTime;
+using trace::Pid;
+
+namespace {
+
+/** Human description of a filter, for --explain. */
+std::string
+describeFilter(const detail::TimelineSpec &spec)
+{
+    std::string desc;
+    if (spec.pids.empty()) {
+        desc = "all processes";
+    } else {
+        std::vector<Pid> pids(spec.pids.begin(), spec.pids.end());
+        std::sort(pids.begin(), pids.end());
+        desc = "pids={";
+        for (std::size_t i = 0; i < pids.size(); ++i) {
+            if (i > 0)
+                desc += ',';
+            desc += std::to_string(pids[i]);
+        }
+        desc += '}';
+    }
+    if (spec.hasTid)
+        desc += " tid=" + std::to_string(spec.tid);
+    if (spec.cpuMask != detail::kAllCpus) {
+        desc += " cpus=";
+        bool first = true;
+        for (unsigned cpu = 0; cpu < 64; ++cpu) {
+            if (!detail::cpuInMask(spec.cpuMask, cpu))
+                continue;
+            if (!first)
+                desc += ',';
+            desc += std::to_string(cpu);
+            first = false;
+        }
+    }
+    return desc;
+}
+
+} // namespace
+
+std::string
+QueryPlanExplain::str() const
+{
+    std::string out = "plan: " + std::to_string(queries) +
+                      " quer" + (queries == 1 ? "y" : "ies") + ", " +
+                      std::to_string(rows) + " row" +
+                      (rows == 1 ? "" : "s") + ", " +
+                      std::to_string(distinctFilters) +
+                      " distinct filter" +
+                      (distinctFilters == 1 ? "" : "s") + ", " +
+                      std::to_string(columnPasses) +
+                      " column pass" +
+                      (columnPasses == 1 ? "" : "es") + "\n";
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        const QueryPlanPass &pass = passes[i];
+        out += "  filter " + std::to_string(i + 1) + ": " +
+               pass.filter + "  [";
+        for (std::size_t m = 0; m < pass.metrics.size(); ++m) {
+            if (m > 0)
+                out += ',';
+            out += pass.metrics[m];
+        }
+        out += "]  rows=" + std::to_string(pass.rows) + "  builds=";
+        std::string builds;
+        if (pass.buildsTimeline)
+            builds = "timeline";
+        if (pass.buildsDispatches)
+            builds += std::string(builds.empty() ? "" : "+") +
+                      "dispatches";
+        if (pass.buildsBursts)
+            builds += std::string(builds.empty() ? "" : "+") +
+                      "bursts";
+        if (builds.empty())
+            builds = "none (shared gpu columns)";
+        out += builds + "\n";
+    }
+    return out;
+}
+
+QueryPlan
+QueryPlan::compile(const TraceIndex &index,
+                   const std::vector<Query> &queries)
+{
+    obs::Span span("query.plan", obs::SpanKind::Plan, queries.size());
+    const trace::TraceBundle &bundle = index.bundle();
+
+    QueryPlan plan;
+    plan.index_ = &index;
+    plan.skeleton_.reserve(queries.size());
+
+    // Distinct row filters, keyed by (sorted pids, tid, cpu mask).
+    using FilterKey =
+        std::tuple<std::vector<Pid>, bool, trace::Tid, detail::CpuMask>;
+    std::map<FilterKey, std::size_t> filterIds;
+
+    auto internFilter = [&](const trace::PidSet &pids, bool hasTid,
+                            trace::Tid tid, detail::CpuMask mask) {
+        std::vector<Pid> sorted(pids.begin(), pids.end());
+        std::sort(sorted.begin(), sorted.end());
+        FilterKey key{std::move(sorted), hasTid, tid, mask};
+        auto [it, inserted] =
+            filterIds.emplace(std::move(key), plan.filters_.size());
+        if (inserted) {
+            Filter filter;
+            filter.spec.pids = pids;
+            filter.spec.hasTid = hasTid;
+            filter.spec.tid = tid;
+            filter.spec.cpuMask = mask;
+            plan.filters_.push_back(std::move(filter));
+            plan.explain_.passes.push_back(
+                QueryPlanPass{describeFilter(
+                                  plan.filters_.back().spec),
+                              {}, 0, false, false, false});
+        }
+        return it->second;
+    };
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        const Query &query = queries[qi];
+        QueryResult result;
+        result.query = query;
+        if (result.query.label.empty())
+            result.query.label = querySpecString(query);
+
+        std::vector<detail::QueryRowSpec> specs =
+            detail::expandQueryRows(bundle, query);
+        result.rows.reserve(specs.size());
+        for (const detail::QueryRowSpec &spec : specs) {
+            QueryRow row;
+            row.key = spec.key;
+            row.t0 = spec.t0;
+            row.t1 = spec.t1;
+            row.pid = spec.pidLabel;
+            row.tid = spec.tidLabel;
+            result.rows.push_back(std::move(row));
+        }
+
+        auto addTask = [&](std::size_t firstRow, std::size_t rowCount,
+                           const detail::QueryRowSpec &spec) {
+            Task task;
+            task.queryIdx = qi;
+            task.firstRow = firstRow;
+            task.rowCount = rowCount;
+            task.metric = query.metric;
+            task.spec = spec;
+            // GPU rows read the index's shared packet columns; the
+            // interned filter only records sharing for --explain (no
+            // column needs). The cswitch metrics intern the exact
+            // event filter their sweep would use.
+            bool gpu = query.metric == QueryMetric::GpuOccupancy;
+            task.filterIdx = internFilter(
+                spec.pids, !gpu && spec.hasTid,
+                !gpu && spec.hasTid ? spec.tid : 0,
+                gpu ? detail::kAllCpus : query.filter.cpuMask);
+            Filter &filter = plan.filters_[task.filterIdx];
+            QueryPlanPass &pass =
+                plan.explain_.passes[task.filterIdx];
+            switch (query.metric) {
+              case QueryMetric::Tlp:
+              case QueryMetric::BusyFraction:
+                filter.needTimeline = true;
+                break;
+              case QueryMetric::ContextSwitchRate:
+                filter.needDispatches = true;
+                break;
+              case QueryMetric::DurationHistogram:
+                filter.needBursts = true;
+                break;
+              case QueryMetric::GpuOccupancy:
+                break;
+            }
+            const char *metricName = queryMetricName(query.metric);
+            if (std::find(pass.metrics.begin(), pass.metrics.end(),
+                          metricName) == pass.metrics.end())
+                pass.metrics.push_back(metricName);
+            pass.rows += rowCount;
+            plan.tasks_.push_back(std::move(task));
+        };
+
+        if (query.groupBy == QueryGroupBy::GpuEngine &&
+            !specs.empty()) {
+            // The five engine rows share one packet fold.
+            addTask(0, specs.size(), specs[0]);
+        } else {
+            for (std::size_t ri = 0; ri < specs.size(); ++ri)
+                addTask(ri, 1, specs[ri]);
+        }
+
+        plan.explain_.rows += result.rows.size();
+        plan.skeleton_.push_back(std::move(result));
+    }
+
+    plan.explain_.queries = queries.size();
+    plan.explain_.distinctFilters = plan.filters_.size();
+    for (std::size_t fi = 0; fi < plan.filters_.size(); ++fi) {
+        const Filter &filter = plan.filters_[fi];
+        QueryPlanPass &pass = plan.explain_.passes[fi];
+        pass.buildsTimeline = filter.needTimeline;
+        pass.buildsDispatches = filter.needDispatches;
+        pass.buildsBursts = filter.needBursts;
+        if (filter.needTimeline || filter.needDispatches ||
+            filter.needBursts)
+            ++plan.explain_.columnPasses;
+    }
+    return plan;
+}
+
+std::vector<QueryResult>
+QueryPlan::run(unsigned threads) const
+{
+    obs::Span span("query.execute", obs::SpanKind::Plan,
+                   tasks_.size());
+    const trace::TraceBundle &bundle = index_->bundle();
+    unsigned jobs = sim::resolveJobs(threads);
+
+    // Phase A: one fused cswitch pass per distinct filter that needs
+    // columns. The columns are plan-local (not interned in the index)
+    // so concurrent builds never contend on the index mutex.
+    struct FilterColumns
+    {
+        detail::ConcurrencyTimeline timeline;
+        std::vector<SimTime> dispatches;
+        detail::BurstColumns bursts;
+    };
+    std::vector<FilterColumns> columns(filters_.size());
+    sim::parallelFor(jobs, filters_.size(), [&](std::size_t fi) {
+        const Filter &filter = filters_[fi];
+        if (!filter.needTimeline && !filter.needDispatches &&
+            !filter.needBursts)
+            return;
+        obs::Span buildSpan("query.build.columns",
+                            obs::SpanKind::Index,
+                            bundle.cswitches.size());
+        detail::buildConcurrencyTimeline(
+            bundle, filter.spec, columns[fi].timeline,
+            filter.needDispatches ? &columns[fi].dispatches : nullptr,
+            filter.needBursts ? &columns[fi].bursts : nullptr);
+    });
+
+    // Once per trace, not once per query: fold every pass's count
+    // through the index's deduplicated warning, in filter order so
+    // the emitted count is deterministic.
+    for (const FilterColumns &cols : columns)
+        index_->warnOutOfRangeOnce(cols.timeline.outOfRangeCpuEvents,
+                                   cols.timeline.cutoff);
+
+    // Phase B: evaluate every task against the shared columns. Each
+    // task writes only its own rows; errors are parked per task and
+    // the lowest-index one rethrown, so failures are the ones the
+    // serial reference hits first, at any thread count.
+    std::vector<QueryResult> results = skeleton_;
+    std::vector<std::exception_ptr> errors(tasks_.size());
+
+    auto evalTask = [&](std::size_t ti) {
+        const Task &task = tasks_[ti];
+        obs::Span rowSpan("query.row", obs::SpanKind::Query, ti);
+        QueryResult &result = results[task.queryIdx];
+        const detail::QueryRowSpec &spec = task.spec;
+        switch (task.metric) {
+          case QueryMetric::Tlp:
+          case QueryMetric::BusyFraction: {
+            if (bundle.numLogicalCpus == 0)
+                deskpar::fatal(
+                    "computeConcurrency: unknown CPU count");
+            if (spec.t1 <= spec.t0)
+                deskpar::fatal("computeConcurrency: empty window");
+            const FilterColumns &cols = columns[task.filterIdx];
+            ConcurrencyProfile profile;
+            if (cols.timeline.usable) {
+                profile = detail::queryConcurrencyTimeline(
+                    cols.timeline, spec.t0, spec.t1);
+            } else {
+                // Poisoned timeline (disordered stream): the direct
+                // sweep, panics and all, warning already deduped.
+                profile = detail::sweepConcurrency(
+                    bundle, filters_[task.filterIdx].spec, spec.t0,
+                    spec.t1, bundle.numLogicalCpus,
+                    /*emit_warning=*/false);
+            }
+            result.rows[task.firstRow].value =
+                detail::metricFromProfile(task.metric, profile);
+            break;
+          }
+          case QueryMetric::GpuOccupancy: {
+            GpuUtilization util =
+                index_->gpuUtil(spec.pids, spec.t0, spec.t1);
+            for (std::size_t k = 0; k < task.rowCount; ++k) {
+                // Engine-group rows are emitted in engine order, so
+                // row k of the task reads engine k.
+                int engine = task.rowCount > 1
+                                 ? static_cast<int>(k)
+                                 : spec.engine;
+                result.rows[task.firstRow + k].value =
+                    detail::engineOccupancyPercent(util, engine);
+            }
+            break;
+          }
+          case QueryMetric::ContextSwitchRate: {
+            const std::vector<SimTime> &dispatches =
+                columns[task.filterIdx].dispatches;
+            auto lo = std::lower_bound(dispatches.begin(),
+                                       dispatches.end(), spec.t0);
+            auto hi = std::lower_bound(dispatches.begin(),
+                                       dispatches.end(), spec.t1);
+            result.rows[task.firstRow].value =
+                detail::contextSwitchRate(
+                    static_cast<std::uint64_t>(hi - lo),
+                    spec.t1 - spec.t0);
+            break;
+          }
+          case QueryMetric::DurationHistogram: {
+            const detail::BurstColumns &bc =
+                columns[task.filterIdx].bursts;
+            QueryRow &row = result.rows[task.firstRow];
+            row.histogram.assign(kDurationHistogramBuckets, 0);
+            // Bursts intersecting the window begin before t1 and the
+            // running-max end column bounds how far back candidates
+            // reach — the GPU packet candidate-range trick.
+            std::size_t last = static_cast<std::size_t>(
+                std::lower_bound(
+                    bc.bursts.begin(), bc.bursts.end(), spec.t1,
+                    [](const Interval &iv, SimTime t) {
+                        return iv.begin < t;
+                    }) -
+                bc.bursts.begin());
+            std::size_t first = static_cast<std::size_t>(
+                std::upper_bound(
+                    bc.maxEnd.begin(),
+                    bc.maxEnd.begin() +
+                        static_cast<std::ptrdiff_t>(last),
+                    spec.t0) -
+                bc.maxEnd.begin());
+            std::uint64_t count = 0;
+            for (std::size_t i = first; i < last; ++i) {
+                Interval iv =
+                    bc.bursts[i].clampTo(spec.t0, spec.t1);
+                if (iv.empty())
+                    continue;
+                ++count;
+                ++row.histogram[detail::durationHistogramBucket(
+                    iv.length())];
+            }
+            row.value = static_cast<double>(count);
+            break;
+          }
+        }
+    };
+
+    sim::parallelFor(jobs, tasks_.size(), [&](std::size_t ti) {
+        try {
+            evalTask(ti);
+        } catch (...) {
+            errors[ti] = std::current_exception();
+        }
+    });
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return results;
+}
+
+} // namespace deskpar::analysis

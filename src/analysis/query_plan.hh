@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The fusing query planner: compile a *batch* of Query values into an
+ * execution plan that walks the cswitch stream once per distinct
+ * filter, then answers every row of every query from the resulting
+ * columns.
+ *
+ * A naive batch evaluation (legacy::runQueries) pays one full event
+ * sweep per row — a 16-query TLP/busy/csrate/dhist batch over the
+ * same application re-reads the same cswitch vector dozens of times.
+ * The planner deduplicates the per-row event filters (pid set, tid,
+ * cpu mask) and builds, per distinct filter, every column any of its
+ * rows needs — concurrency timeline, dispatch column, burst columns —
+ * in ONE fused buildConcurrencyTimeline pass. Row evaluation is then
+ * binary searches and checkpoint diffs. GPU rows are answered from
+ * the index's shared packet columns and need no pass of their own.
+ *
+ * Both phases fan out with sim::parallelFor, and the results are
+ * bit-identical at any DESKPAR_JOBS:
+ *  - every task writes only its own result rows, reading immutable
+ *    shared columns, so values never depend on scheduling;
+ *  - the floating-point fold of each row is the same operation
+ *    sequence the reference (legacy::runQuery) performs, via the
+ *    shared detail:: fold helpers and the proven timeline/GPU query
+ *    paths;
+ *  - errors are captured per task and the lowest-index one is
+ *    rethrown after the join, which is exactly the error the serial
+ *    reference would hit first.
+ *
+ * The out-of-range-cpu warning is emitted at most once per trace
+ * (TraceIndex::warnOutOfRangeOnce), not once per query in the batch.
+ */
+
+#ifndef DESKPAR_ANALYSIS_QUERY_PLAN_HH
+#define DESKPAR_ANALYSIS_QUERY_PLAN_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/concurrency_timeline.hh"
+#include "analysis/query.hh"
+
+namespace deskpar::analysis {
+
+class TraceIndex;
+
+/** Explain entry: one distinct filter (= at most one column pass). */
+struct QueryPlanPass
+{
+    /** Human description of the filter ("pids={5,6} cpus=0-3"). */
+    std::string filter;
+    /** Metric names answered from this filter, first-use order. */
+    std::vector<std::string> metrics;
+    /** Result rows answered from this filter. */
+    std::size_t rows = 0;
+    /** Columns the fused pass builds (all false: no pass needed). */
+    bool buildsTimeline = false;
+    bool buildsDispatches = false;
+    bool buildsBursts = false;
+};
+
+/** What `deskpar query --explain` prints. */
+struct QueryPlanExplain
+{
+    std::size_t queries = 0;
+    std::size_t rows = 0;
+    std::size_t distinctFilters = 0;
+    /** Filters whose pass actually sweeps the cswitch stream. */
+    std::size_t columnPasses = 0;
+    std::vector<QueryPlanPass> passes;
+
+    /** Render as the multi-line --explain text. */
+    std::string str() const;
+};
+
+/**
+ * A compiled batch. Compilation resolves name prefixes and expands
+ * groups (so it touches the bundle's lazy name index single-threaded)
+ * and is cheap — all event work happens in run(). A plan can be run
+ * any number of times; @p threads 0 means resolveJobs (DESKPAR_JOBS).
+ */
+class QueryPlan
+{
+  public:
+    /**
+     * Compile @p queries against @p index's bundle. The index must
+     * outlive the plan. Fatal on invalid queries (unmatched prefix,
+     * empty window, invalid metric/group combination).
+     */
+    static QueryPlan compile(const TraceIndex &index,
+                             const std::vector<Query> &queries);
+
+    /** Execute: one QueryResult per compiled query, in order. */
+    std::vector<QueryResult> run(unsigned threads = 0) const;
+
+    const QueryPlanExplain &explain() const { return explain_; }
+
+  private:
+    QueryPlan() = default;
+
+    /** One distinct row filter and the columns its rows need. */
+    struct Filter
+    {
+        detail::TimelineSpec spec;
+        bool needTimeline = false;
+        bool needDispatches = false;
+        bool needBursts = false;
+    };
+
+    /**
+     * One evaluation unit: fills rows [firstRow, firstRow+rowCount)
+     * of results[queryIdx]. rowCount > 1 only for a GpuEngine group,
+     * whose five rows share one packet fold (row k = engine k).
+     */
+    struct Task
+    {
+        std::size_t queryIdx = 0;
+        std::size_t filterIdx = 0;
+        std::size_t firstRow = 0;
+        std::size_t rowCount = 1;
+        QueryMetric metric = QueryMetric::Tlp;
+        detail::QueryRowSpec spec;
+    };
+
+    const TraceIndex *index_ = nullptr;
+    /** Per-query results with rows pre-shaped (values unset). */
+    std::vector<QueryResult> skeleton_;
+    std::vector<Filter> filters_;
+    std::vector<Task> tasks_;
+    QueryPlanExplain explain_;
+};
+
+} // namespace deskpar::analysis
+
+#endif // DESKPAR_ANALYSIS_QUERY_PLAN_HH

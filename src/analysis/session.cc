@@ -115,4 +115,17 @@ Session::frameRateSeries(const PidSet &pids,
     return analysis::frameRateSeries(index(), pids, window);
 }
 
+QueryPlan
+Session::plan(const std::vector<Query> &queries) const
+{
+    return QueryPlan::compile(index(), queries);
+}
+
+std::vector<QueryResult>
+Session::query(const std::vector<Query> &queries,
+               unsigned threads) const
+{
+    return plan(queries).run(threads);
+}
+
 } // namespace deskpar::analysis

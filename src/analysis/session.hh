@@ -34,6 +34,7 @@
 
 #include "analysis/analyzer.hh"
 #include "analysis/power.hh"
+#include "analysis/query_plan.hh"
 #include "analysis/responsiveness.hh"
 #include "analysis/timeseries.hh"
 #include "analysis/trace_index.hh"
@@ -114,6 +115,22 @@ class Session
     /** Per-window presented FPS. */
     TimeSeries frameRateSeries(const PidSet &pids,
                                sim::SimDuration window) const;
+
+    /**
+     * Compile a query batch into a fused plan (query_plan.hh): one
+     * cswitch pass per distinct filter instead of one per row. The
+     * plan borrows the Session's index and can be inspected
+     * (explain()) and run repeatedly.
+     */
+    QueryPlan plan(const std::vector<Query> &queries) const;
+
+    /**
+     * Compile and run a query batch; results are bit-identical to
+     * legacy::runQueries at any thread count (@p threads 0 means
+     * DESKPAR_JOBS / hardware concurrency).
+     */
+    std::vector<QueryResult> query(const std::vector<Query> &queries,
+                                   unsigned threads = 0) const;
 
   private:
     /** Set iff constructed by move (bundle_ points into it). */

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/concurrency_timeline.hh"
 #include "analysis/session.hh"
 #include "analysis/trace_index.hh"
 #include "sim/logging.hh"
@@ -48,8 +49,8 @@ ConcurrencyProfile::utilization() const
 
 namespace detail {
 
-void
-warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus)
+trace::Diagnostic
+outOfRangeCpusDiagnostic(std::uint64_t count, unsigned num_cpus)
 {
     trace::ParseError err;
     err.section = "CSwitch";
@@ -63,7 +64,13 @@ warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus)
     diag.severity = trace::Severity::Warning;
     diag.component = "analysis";
     diag.detail = std::move(err);
-    trace::emitDiagnostic(diag);
+    return diag;
+}
+
+void
+warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus)
+{
+    trace::emitDiagnostic(outOfRangeCpusDiagnostic(count, num_cpus));
 }
 
 } // namespace detail
@@ -74,8 +81,6 @@ ConcurrencyProfile
 computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
                    sim::SimTime t0, sim::SimTime t1, unsigned num_cpus)
 {
-    using sim::SimTime;
-
     if (num_cpus == 0)
         num_cpus = bundle.numLogicalCpus;
     if (num_cpus == 0)
@@ -83,84 +88,14 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids,
     if (t1 <= t0)
         deskpar::fatal("computeConcurrency: empty window");
 
-    auto isTarget = [&pids](trace::Pid pid) {
-        if (pid == 0)
-            return false;
-        return pids.empty() || pids.count(pid) != 0;
-    };
-
-    // Sweep the per-CPU run timelines into +1/-1 deltas at the times
-    // a target thread starts/stops occupying a CPU. A flat sorted
-    // vector replaces the old std::map: one O(n log n) sort instead
-    // of a red-black-tree insert per context switch, and the per-CPU
-    // busy flags are a flat array indexed by CpuId.
-    std::vector<std::pair<SimTime, int>> deltas;
-    deltas.reserve(bundle.cswitches.size());
-    std::vector<std::uint8_t> cpuBusy(num_cpus, 0);
-    std::uint64_t out_of_range = 0;
-
-    for (const auto &e : bundle.cswitches) {
-        if (e.cpu >= cpuBusy.size()) {
-            // A cpu id past the header's CPU count contradicts the
-            // trace; count it instead of growing the histogram and
-            // clamp-folding the phantom CPU into the top level.
-            ++out_of_range;
-            continue;
-        }
-        std::uint8_t now_busy = isTarget(e.newPid) ? 1 : 0;
-        if (cpuBusy[e.cpu] == now_busy)
-            continue;
-        SimTime ts = std::clamp(e.timestamp, t0, t1);
-        deltas.emplace_back(ts, now_busy ? 1 : -1);
-        cpuBusy[e.cpu] = now_busy;
-    }
-    // Threads still on a CPU at the window end: close at t1 (the
-    // delta list records the +1; no -1 needed since the sweep ends).
-
-    // cswitches are chronological, so a stable sort keeps each CPU's
-    // +1 ahead of its matching -1 even when clamping collapses both
-    // onto a window edge.
-    std::stable_sort(deltas.begin(), deltas.end(),
-                     [](const auto &a, const auto &b) {
-                         return a.first < b.first;
-                     });
-
-    ConcurrencyProfile profile;
-    profile.numCpus = num_cpus;
-    profile.window = t1 - t0;
-    profile.c.assign(num_cpus + 1, 0.0);
-    profile.outOfRangeCpuEvents = out_of_range;
-
-    SimTime prev = t0;
-    int level = 0;
-    std::vector<sim::SimDuration> timeAt(num_cpus + 1, 0);
-    for (const auto &[ts, delta] : deltas) {
-        if (ts > prev) {
-            if (level < 0)
-                deskpar::panic(
-                    "computeConcurrency: negative concurrency");
-            auto lvl = static_cast<unsigned>(std::clamp(
-                level, 0, static_cast<int>(num_cpus)));
-            timeAt[lvl] += ts - prev;
-            prev = ts;
-        }
-        level += delta;
-    }
-    if (level < 0)
-        deskpar::panic("computeConcurrency: negative concurrency");
-    if (t1 > prev) {
-        auto lvl = static_cast<unsigned>(
-            std::clamp(level, 0, static_cast<int>(num_cpus)));
-        timeAt[lvl] += t1 - prev;
-    }
-
-    if (out_of_range > 0)
-        detail::warnOutOfRangeCpus(out_of_range, num_cpus);
-
-    double window = static_cast<double>(profile.window);
-    for (unsigned i = 0; i <= num_cpus; ++i)
-        profile.c[i] = static_cast<double>(timeAt[i]) / window;
-    return profile;
+    // The sweep body lives in concurrency_timeline.cc so the query
+    // planner can run it for arbitrary filters (tid, cpu mask) and
+    // with the out-of-range warning deduped; the default spec below
+    // is this function's historical behavior, warning included.
+    detail::TimelineSpec spec;
+    spec.pids = pids;
+    return detail::sweepConcurrency(bundle, spec, t0, t1, num_cpus,
+                                    /*emit_warning=*/true);
 }
 
 ConcurrencyProfile

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/diagnostic.hh"
 #include "trace/filter.hh"
 #include "trace/session.hh"
 
@@ -114,10 +115,18 @@ computeConcurrency(const TraceBundle &bundle, const PidSet &pids);
 namespace detail {
 
 /**
- * Emit the warning-severity Diagnostic for @p count context switches
- * on cpu ids >= @p num_cpus through trace::emitDiagnostic (shared by
- * the legacy sweep and the trace-index build; goes to stderr unless
- * the caller installed a DiagnosticSink).
+ * Build (without emitting) the warning-severity Diagnostic for
+ * @p count context switches on cpu ids >= @p num_cpus. Callers that
+ * dedupe the warning per trace pair it with
+ * trace::emitDiagnosticOnce.
+ */
+trace::Diagnostic outOfRangeCpusDiagnostic(std::uint64_t count,
+                                           unsigned num_cpus);
+
+/**
+ * Emit the out-of-range-cpu Diagnostic through trace::emitDiagnostic
+ * (shared by the legacy sweep and the trace-index build; goes to
+ * stderr unless the caller installed a DiagnosticSink).
  */
 void warnOutOfRangeCpus(std::uint64_t count, unsigned num_cpus);
 

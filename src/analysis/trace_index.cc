@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "analysis/concurrency_timeline.hh"
 #include "analysis/intervals.hh"
 #include "obs/obs.hh"
 #include "sim/logging.hh"
@@ -14,41 +15,9 @@ using sim::SimDuration;
 using sim::SimTime;
 
 /**
- * The concurrency level of one pid set as a piecewise-constant
- * function of time, compressed to its breakpoints.
- *
- * levels[i] is the number of CPUs running target threads on
- * [times[i], times[i+1)); the level is 0 before times[0] and
- * levels.back() extends past the last breakpoint. Zero-net groups of
- * equal-timestamp deltas are dropped, so consecutive levels differ.
- *
- * cum holds strided checkpoint rows of kStride segments:
- * cum[k*(cutoff+1) + l] is the (integer) time spent at clamped level
- * l over [times[0], times[k*kStride]). A windowed query therefore
- * costs two binary searches, one checkpoint-row difference, and at
- * most kStride edge segments per side.
- *
- * usable is false when the stream cannot be represented faithfully:
- * the header reports zero CPUs, or disorder produced a negative
- * cumulative level (whether the legacy sweep panics on such a trace
- * depends on the queried window, so those queries take the legacy
- * path verbatim).
- */
-struct TraceIndex::ConcurrencyTimeline
-{
-    static constexpr std::size_t kStride = 32;
-
-    bool usable = false;
-    unsigned cutoff = 0;
-    std::uint64_t outOfRangeCpuEvents = 0;
-    std::vector<SimTime> times;
-    std::vector<int> levels;
-    std::vector<SimDuration> cum;
-};
-
-/**
  * Columns derived from the events of one pid set. The cswitch-derived
- * pieces (timeline + dispatch column) are built in one fused sweep;
+ * pieces (timeline + dispatch column) are built in one fused sweep
+ * (detail::buildConcurrencyTimeline, shared with the query planner);
  * frame statistics sweep a different event vector and build on first
  * use.
  */
@@ -57,7 +26,7 @@ struct TraceIndex::PidColumns
     trace::PidSet pids;
 
     bool cswitchBuilt = false;
-    ConcurrencyTimeline timeline;
+    detail::ConcurrencyTimeline timeline;
     /** Sorted switch-in times of target threads (responsiveness). */
     std::vector<SimTime> dispatches;
 
@@ -85,209 +54,21 @@ struct TraceIndex::CpuBusyColumns
 
 namespace {
 
-/** Fused sweep: concurrency timeline + dispatch column. */
-void
-buildCswitchColumns(const trace::TraceBundle &bundle,
-                    TraceIndex::PidColumns &cols);
-
+/**
+ * Fused sweep: concurrency timeline + dispatch column, via the
+ * shared builder with this pid set's default filter (no tid, all
+ * cpus) — the exact historical TraceIndex sweep.
+ */
 void
 buildCswitchColumns(const trace::TraceBundle &bundle,
                     TraceIndex::PidColumns &cols)
 {
     obs::Span span("index.build.cswitch", obs::SpanKind::Index,
                    bundle.cswitches.size());
-    const trace::PidSet &pids = cols.pids;
-    auto isTarget = [&pids](trace::Pid pid) {
-        if (pid == 0)
-            return false;
-        return pids.empty() || pids.count(pid) != 0;
-    };
-
-    TraceIndex::ConcurrencyTimeline &tl = cols.timeline;
-    tl.cutoff = bundle.numLogicalCpus;
-    const unsigned cutoff = tl.cutoff;
-
-    // Emit (timestamp, +1/-1) occupancy deltas in stream order — the
-    // per-CPU busy flags are a state machine over the stream, exactly
-    // as in the legacy sweep — and collect the dispatch column in the
-    // same pass.
-    std::vector<std::pair<SimTime, int>> deltas;
-    deltas.reserve(bundle.cswitches.size());
-    std::vector<std::uint8_t> cpuBusy(cutoff, 0);
-    bool sorted = true;
-    SimTime prev_ts = 0;
-
-    for (const auto &e : bundle.cswitches) {
-        if (e.newPid != 0 &&
-            (pids.empty() || pids.count(e.newPid) != 0)) {
-            cols.dispatches.push_back(e.timestamp);
-        }
-        if (e.timestamp < prev_ts)
-            sorted = false;
-        prev_ts = e.timestamp;
-        if (cutoff == 0)
-            continue;
-        if (e.cpu >= cutoff) {
-            ++tl.outOfRangeCpuEvents;
-            continue;
-        }
-        std::uint8_t now_busy = isTarget(e.newPid) ? 1 : 0;
-        if (cpuBusy[e.cpu] == now_busy)
-            continue;
-        deltas.emplace_back(e.timestamp, now_busy ? 1 : -1);
-        cpuBusy[e.cpu] = now_busy;
-    }
-    std::sort(cols.dispatches.begin(), cols.dispatches.end());
-
-    if (tl.outOfRangeCpuEvents > 0 && cutoff > 0)
-        detail::warnOutOfRangeCpus(tl.outOfRangeCpuEvents, cutoff);
-    if (cutoff == 0)
-        return; // every query must take the legacy path (it fatals)
-
-    // The legacy sweep stable-sorts its (clamped) deltas; sorting the
-    // unclamped emission stably yields the same per-timestamp group
-    // sums for every window, which is all the level function depends
-    // on.
-    if (!sorted) {
-        std::stable_sort(deltas.begin(), deltas.end(),
-                         [](const auto &a, const auto &b) {
-                             return a.first < b.first;
-                         });
-    }
-
-    // Compress equal-timestamp groups into breakpoints. A negative
-    // cumulative level means the (disordered) stream closed a CPU
-    // before opening it; poison the timeline so queries fall back.
-    long long level = 0;
-    for (std::size_t i = 0; i < deltas.size();) {
-        SimTime ts = deltas[i].first;
-        long long sum = 0;
-        for (; i < deltas.size() && deltas[i].first == ts; ++i)
-            sum += deltas[i].second;
-        if (sum == 0)
-            continue;
-        level += sum;
-        if (level < 0) {
-            tl.times.clear();
-            tl.levels.clear();
-            return;
-        }
-        tl.times.push_back(ts);
-        tl.levels.push_back(static_cast<int>(level));
-    }
-    tl.usable = true;
-
-    // Checkpoint rows: running per-level time at every kStride-th
-    // breakpoint. Integer sums, so checkpoint differences decompose
-    // a window exactly.
-    const std::size_t L = cutoff + 1;
-    const std::size_t n = tl.times.size();
-    if (n == 0)
-        return;
-    const std::size_t rows =
-        (n - 1) / TraceIndex::ConcurrencyTimeline::kStride + 1;
-    tl.cum.assign(rows * L, 0);
-    std::vector<SimDuration> acc(L, 0);
-    for (std::size_t j = 0; j < n; ++j) {
-        if (j % TraceIndex::ConcurrencyTimeline::kStride == 0) {
-            std::copy(
-                acc.begin(), acc.end(),
-                tl.cum.begin() +
-                    static_cast<std::ptrdiff_t>(
-                        (j / TraceIndex::ConcurrencyTimeline::kStride) *
-                        L));
-        }
-        if (j + 1 < n) {
-            auto lvl = static_cast<unsigned>(std::clamp(
-                tl.levels[j], 0, static_cast<int>(cutoff)));
-            acc[lvl] += tl.times[j + 1] - tl.times[j];
-        }
-    }
-}
-
-/**
- * Windowed histogram from a usable timeline. Bit-identical to the
- * legacy sweep: the time-at-level decomposition is the same integer
- * sum split differently, and the single divide-by-window per level
- * is the only floating-point operation, as in legacy.
- */
-ConcurrencyProfile
-queryTimeline(const TraceIndex::ConcurrencyTimeline &tl, SimTime t0,
-              SimTime t1)
-{
-    constexpr std::size_t kStride =
-        TraceIndex::ConcurrencyTimeline::kStride;
-    const unsigned num_cpus = tl.cutoff;
-    const std::size_t L = num_cpus + 1;
-
-    ConcurrencyProfile profile;
-    profile.numCpus = num_cpus;
-    profile.window = t1 - t0;
-    profile.c.assign(L, 0.0);
-    profile.outOfRangeCpuEvents = tl.outOfRangeCpuEvents;
-
-    std::vector<SimDuration> timeAt(L, 0);
-    const std::vector<SimTime> &times = tl.times;
-    const std::size_t n = times.size();
-    auto clampLvl = [num_cpus](int level) {
-        return static_cast<unsigned>(
-            std::clamp(level, 0, static_cast<int>(num_cpus)));
-    };
-
-    // First breakpoint strictly inside the window.
-    std::size_t idx =
-        static_cast<std::size_t>(
-            std::upper_bound(times.begin(), times.end(), t0) -
-            times.begin());
-
-    // Head: the tail of the segment containing t0.
-    SimTime headEnd = (idx < n && times[idx] < t1) ? times[idx] : t1;
-    int headLevel = idx == 0 ? 0 : tl.levels[idx - 1];
-    timeAt[clampLvl(headLevel)] += headEnd - t0;
-
-    if (idx < n && times[idx] < t1) {
-        std::size_t j = idx; // position: exactly at breakpoint j
-        while (true) {
-            if (j % kStride == 0) {
-                // Jump over whole checkpoint rows: the largest
-                // aligned breakpoint k2*kStride still <= t1.
-                std::size_t k1 = j / kStride;
-                std::size_t maxk = (n - 1) / kStride;
-                std::size_t k2 = k1;
-                for (std::size_t lo = k1 + 1, hi = maxk; lo <= hi;) {
-                    std::size_t mid = lo + (hi - lo) / 2;
-                    if (times[mid * kStride] <= t1) {
-                        k2 = mid;
-                        lo = mid + 1;
-                    } else {
-                        hi = mid - 1;
-                    }
-                }
-                if (k2 > k1) {
-                    const SimDuration *a = &tl.cum[k1 * L];
-                    const SimDuration *b = &tl.cum[k2 * L];
-                    for (std::size_t l = 0; l < L; ++l)
-                        timeAt[l] += b[l] - a[l];
-                    j = k2 * kStride;
-                    continue;
-                }
-            }
-            // Segment j = [times[j], times[j+1)); the last level
-            // extends past the final breakpoint.
-            SimTime segEnd = (j + 1 < n) ? times[j + 1] : t1;
-            if (segEnd >= t1) {
-                timeAt[clampLvl(tl.levels[j])] += t1 - times[j];
-                break;
-            }
-            timeAt[clampLvl(tl.levels[j])] += segEnd - times[j];
-            ++j;
-        }
-    }
-
-    double window = static_cast<double>(profile.window);
-    for (std::size_t i = 0; i < L; ++i)
-        profile.c[i] = static_cast<double>(timeAt[i]) / window;
-    return profile;
+    detail::TimelineSpec spec;
+    spec.pids = cols.pids;
+    detail::buildConcurrencyTimeline(bundle, spec, cols.timeline,
+                                     &cols.dispatches, nullptr);
 }
 
 } // namespace
@@ -309,6 +90,34 @@ TraceIndex::pidColumns(const PidSet &pids) const
         slot->pids = pids;
     }
     return *slot;
+}
+
+const TraceIndex::PidColumns &
+TraceIndex::cswitchColumns(const PidSet &pids) const
+{
+    const PidColumns &cols = pidColumns(pids);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!cols.cswitchBuilt) {
+            auto &mutable_cols = const_cast<PidColumns &>(cols);
+            buildCswitchColumns(bundle_, mutable_cols);
+            mutable_cols.cswitchBuilt = true;
+        }
+    }
+    warnOutOfRangeOnce(cols.timeline.outOfRangeCpuEvents,
+                       cols.timeline.cutoff);
+    return cols;
+}
+
+void
+TraceIndex::warnOutOfRangeOnce(std::uint64_t count,
+                               unsigned num_cpus) const
+{
+    if (count == 0 || num_cpus == 0)
+        return;
+    trace::emitDiagnosticOnce(
+        warnedOutOfRange_,
+        detail::outOfRangeCpusDiagnostic(count, num_cpus));
 }
 
 const TraceIndex::GpuColumns &
@@ -362,20 +171,19 @@ TraceIndex::concurrency(const PidSet &pids, SimTime t0, SimTime t1,
     if (t1 <= t0)
         deskpar::fatal("computeConcurrency: empty window");
 
-    const PidColumns &cols = pidColumns(pids);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!cols.cswitchBuilt) {
-            auto &mutable_cols = const_cast<PidColumns &>(cols);
-            buildCswitchColumns(bundle_, mutable_cols);
-            mutable_cols.cswitchBuilt = true;
-        }
-    }
+    const PidColumns &cols = cswitchColumns(pids);
     if (!cols.timeline.usable || cols.timeline.cutoff != resolved) {
-        return legacy::computeConcurrency(bundle_, pids, t0, t1,
-                                          num_cpus);
+        // Direct sweep, warning suppressed: the per-trace dedup below
+        // replaces the old once-per-query emission (the profile still
+        // carries the count).
+        detail::TimelineSpec spec;
+        spec.pids = pids;
+        ConcurrencyProfile profile = detail::sweepConcurrency(
+            bundle_, spec, t0, t1, resolved, /*emit_warning=*/false);
+        warnOutOfRangeOnce(profile.outOfRangeCpuEvents, resolved);
+        return profile;
     }
-    return queryTimeline(cols.timeline, t0, t1);
+    return detail::queryConcurrencyTimeline(cols.timeline, t0, t1);
 }
 
 ConcurrencyProfile
@@ -440,15 +248,7 @@ TraceIndex::responsiveness(const PidSet &pids) const
 {
     obs::Span span("index.query.responsiveness",
                    obs::SpanKind::Query);
-    const PidColumns &cols = pidColumns(pids);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!cols.cswitchBuilt) {
-            auto &mutable_cols = const_cast<PidColumns &>(cols);
-            buildCswitchColumns(bundle_, mutable_cols);
-            mutable_cols.cswitchBuilt = true;
-        }
-    }
+    const PidColumns &cols = cswitchColumns(pids);
     return detail::responsivenessFromDispatches(bundle_,
                                                 cols.dispatches);
 }
@@ -471,15 +271,7 @@ TraceIndex::power(const sim::CpuSpec &cpu,
 void
 TraceIndex::warm(const PidSet &pids) const
 {
-    const PidColumns &cols = pidColumns(pids);
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!cols.cswitchBuilt) {
-            auto &mutable_cols = const_cast<PidColumns &>(cols);
-            buildCswitchColumns(bundle_, mutable_cols);
-            mutable_cols.cswitchBuilt = true;
-        }
-    }
+    cswitchColumns(pids);
     frameStats(pids);
     gpuColumns();
 }

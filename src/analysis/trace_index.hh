@@ -40,6 +40,8 @@
 #ifndef DESKPAR_ANALYSIS_TRACE_INDEX_HH
 #define DESKPAR_ANALYSIS_TRACE_INDEX_HH
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -111,20 +113,35 @@ class TraceIndex
     void warm(const PidSet &pids) const;
 
     /**
+     * Emit the out-of-range-cpu warning for @p count excluded events
+     * at most once over this index's lifetime (any thread). Queries
+     * against one trace used to repeat the warning once per window /
+     * per batch entry; the count is still reported per profile via
+     * ConcurrencyProfile::outOfRangeCpuEvents. No-op when @p count or
+     * @p num_cpus is zero. Used by the index's own column builds and
+     * by the fused query planner (query_plan.hh).
+     */
+    void warnOutOfRangeOnce(std::uint64_t count,
+                            unsigned num_cpus) const;
+
+    /**
      * Column layouts; defined in trace_index.cc (opaque to callers,
      * named here so the build/query helpers can take them).
      */
-    struct ConcurrencyTimeline;
     struct PidColumns;
     struct GpuColumns;
     struct CpuBusyColumns;
 
   private:
     const PidColumns &pidColumns(const PidSet &pids) const;
+    const PidColumns &cswitchColumns(const PidSet &pids) const;
     const GpuColumns &gpuColumns() const;
     const CpuBusyColumns &cpuBusyColumns() const;
 
     const TraceBundle &bundle_;
+
+    /** One warning per indexed trace (warnOutOfRangeOnce). */
+    mutable std::atomic<bool> warnedOutOfRange_{false};
 
     mutable std::mutex mutex_;
     /** Per-pid-set columns, keyed by the sorted pid list. */

@@ -26,6 +26,8 @@ spanKindName(SpanKind kind)
         return "query";
       case SpanKind::Report:
         return "report";
+      case SpanKind::Plan:
+        return "plan";
       case SpanKind::Other:
         break;
     }

@@ -68,10 +68,12 @@ enum class SpanKind : std::uint8_t {
     Report = 5,
     /** Anything else. */
     Other = 6,
+    /** Query-plan compilation and fused batch execution. */
+    Plan = 7,
 };
 
 /** Number of distinct span kinds (array sizing). */
-inline constexpr unsigned kNumSpanKinds = 7;
+inline constexpr unsigned kNumSpanKinds = 8;
 
 /** Human-readable kind name ("task", "ingest", ...). */
 const char *spanKindName(SpanKind kind);

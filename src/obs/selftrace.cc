@@ -127,6 +127,8 @@ selfTraceProcessName(SpanKind kind)
         return "deskpar.query";
       case SpanKind::Report:
         return "deskpar.report";
+      case SpanKind::Plan:
+        return "deskpar.plan";
       case SpanKind::Other:
         break;
     }

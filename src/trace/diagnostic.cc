@@ -69,6 +69,16 @@ emitDiagnostic(Severity severity, const std::string &component,
     emitDiagnostic(d);
 }
 
+bool
+emitDiagnosticOnce(std::atomic<bool> &emitted,
+                   const Diagnostic &diagnostic)
+{
+    if (emitted.exchange(true, std::memory_order_acq_rel))
+        return false;
+    emitDiagnostic(diagnostic);
+    return true;
+}
+
 DiagnosticSink *
 installDiagnosticSink(DiagnosticSink *sink)
 {

@@ -31,6 +31,7 @@
 #ifndef DESKPAR_TRACE_DIAGNOSTIC_HH
 #define DESKPAR_TRACE_DIAGNOSTIC_HH
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -86,6 +87,17 @@ void emitDiagnostic(const Diagnostic &diagnostic);
 /** Convenience: wrap a bare @p reason with no location payload. */
 void emitDiagnostic(Severity severity, const std::string &component,
                     const std::string &reason);
+
+/**
+ * Emit @p diagnostic at most once per @p emitted flag: the first
+ * caller to flip the flag emits, every later caller (any thread) is
+ * a no-op. The dedup primitive for per-trace warnings that would
+ * otherwise repeat once per query in a batch — the owner of the
+ * deduped scope (a TraceIndex, a replay job) embeds the flag.
+ * Returns true when this call emitted.
+ */
+bool emitDiagnosticOnce(std::atomic<bool> &emitted,
+                        const Diagnostic &diagnostic);
 
 /**
  * Install @p sink as the process-global diagnostic consumer and

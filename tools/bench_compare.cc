@@ -47,7 +47,11 @@ struct Record
 bool
 jsonField(const std::string &line, const char *key, std::string &out)
 {
-    std::string needle = "\"" + std::string(key) + "\":";
+    // Built by append rather than operator+ chaining: GCC 12 at -O3
+    // misfires -Werror=restrict on the temporary-chain form.
+    std::string needle = "\"";
+    needle += key;
+    needle += "\":";
     std::size_t pos = line.find(needle);
     if (pos == std::string::npos)
         return false;

@@ -39,6 +39,19 @@
  *       and re-ingested so the toolkit computes the TLP of its own
  *       run (see src/obs/).
  *
+ *   deskpar query <file> [--json] [--explain] [--jobs N]
+ *           [--lenient-traces] <spec>...
+ *       Batch metric queries over a saved trace, compiled into one
+ *       fused pass per distinct filter (analysis/query_plan.hh).
+ *       Each spec is metric[/key=value]..., e.g.
+ *         tlp/app=handbrake
+ *         busy/pids=5,6/t0=1.5/t1=20/cpus=0-3
+ *         gpu/by=engine      csrate/by=thread
+ *         dhist/app=chrome   tlp/by=bucket:250ms
+ *       --explain prints the fused plan (distinct filters, column
+ *       passes, metrics per pass) before running; --json emits one
+ *       JSON array of {query, metric, rows} objects.
+ *
  * The per-command synopses live in kCommands below; usage() renders
  * that table, so help text cannot drift from the dispatcher again.
  *
@@ -85,6 +98,7 @@
 #include "trace/csv.hh"
 #include "trace/diagnostic.hh"
 #include "trace/etl.hh"
+#include "trace/io.hh"
 
 using namespace deskpar;
 
@@ -135,6 +149,10 @@ constexpr CommandHelp kCommands[] = {
      "[--selftrace FILE]",
      "replay with self-tracing: analyze DeskPar's own run with "
      "DeskPar"},
+    {"query",
+     "query <file> [--json] [--explain] [--jobs N] "
+     "[--lenient-traces] <spec>...",
+     "fused batch metric queries over a saved trace"},
 };
 
 [[noreturn]] void
@@ -672,6 +690,182 @@ cmdStats(int argc, char **argv, int first)
     return status;
 }
 
+/** Minimal JSON string escaping for process names / labels. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+void
+writeQueryJson(std::ostream &out,
+               const std::vector<analysis::QueryResult> &results)
+{
+    out << "[";
+    for (std::size_t qi = 0; qi < results.size(); ++qi) {
+        const analysis::QueryResult &result = results[qi];
+        out << (qi ? ",\n " : "\n ") << "{\"query\":\""
+            << jsonEscape(result.query.label) << "\",\"metric\":\""
+            << analysis::queryMetricName(result.query.metric)
+            << "\",\"rows\":[";
+        for (std::size_t ri = 0; ri < result.rows.size(); ++ri) {
+            const analysis::QueryRow &row = result.rows[ri];
+            char num[64];
+            out << (ri ? ",\n   " : "\n   ") << "{\"key\":\""
+                << jsonEscape(row.key) << "\"";
+            std::snprintf(num, sizeof num,
+                          ",\"t0\":%.9g,\"t1\":%.9g",
+                          sim::toSeconds(row.t0),
+                          sim::toSeconds(row.t1));
+            out << num;
+            if (row.pid != 0)
+                out << ",\"pid\":" << row.pid;
+            if (row.tid != 0)
+                out << ",\"tid\":" << row.tid;
+            std::snprintf(num, sizeof num, ",\"value\":%.17g",
+                          row.value);
+            out << num;
+            if (!row.histogram.empty()) {
+                out << ",\"histogram\":[";
+                for (std::size_t b = 0; b < row.histogram.size();
+                     ++b)
+                    out << (b ? "," : "") << row.histogram[b];
+                out << "]";
+            }
+            out << "}";
+        }
+        out << "]}";
+    }
+    out << "\n]\n";
+}
+
+void
+printQueryResult(const analysis::QueryResult &result)
+{
+    std::printf("== %s\n", result.query.label.c_str());
+    report::TextTable table({"Key", "t0 (s)", "t1 (s)", "Value"});
+    for (const analysis::QueryRow &row : result.rows) {
+        table.row()
+            .cell(row.key.empty() ? "(all)" : row.key)
+            .cell(sim::toSeconds(row.t0), 3)
+            .cell(sim::toSeconds(row.t1), 3)
+            .cell(row.value, 4);
+    }
+    table.print(std::cout);
+    if (result.query.metric ==
+        analysis::QueryMetric::DurationHistogram) {
+        for (const analysis::QueryRow &row : result.rows) {
+            bool any = false;
+            for (std::size_t b = 0; b < row.histogram.size(); ++b) {
+                if (row.histogram[b] == 0)
+                    continue;
+                if (!any)
+                    std::printf("  %s bursts by duration:\n",
+                                row.key.empty() ? "(all)"
+                                                : row.key.c_str());
+                any = true;
+                std::printf("    [2^%-2zu, 2^%zu) ns  %llu\n", b,
+                            b + 1,
+                            static_cast<unsigned long long>(
+                                row.histogram[b]));
+            }
+        }
+    }
+}
+
+int
+cmdQuery(int argc, char **argv, int first)
+{
+    std::string path;
+    std::vector<std::string> specs;
+    bool json = false;
+    bool explain = false;
+    bool lenient = false;
+    unsigned jobs = 0;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--json")) {
+            json = true;
+        } else if (!std::strcmp(arg, "--explain")) {
+            explain = true;
+        } else if (!std::strcmp(arg, "--lenient-traces")) {
+            lenient = true;
+        } else if (!std::strcmp(arg, "--jobs")) {
+            if (i + 1 >= argc)
+                usage();
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            specs.emplace_back(arg);
+        }
+    }
+    if (path.empty() || specs.empty())
+        usage();
+
+    // Parse every spec before touching the file so a typo in spec 3
+    // costs nothing.
+    std::vector<analysis::Query> queries;
+    queries.reserve(specs.size());
+    for (const std::string &spec : specs)
+        queries.push_back(analysis::parseQuerySpec(spec));
+
+    trace::ParseOptions popts;
+    popts.mode = lenient ? trace::ParseMode::Lenient
+                         : trace::ParseMode::Strict;
+    popts.source = path;
+    trace::IngestReport report;
+    trace::TraceBundle bundle;
+    {
+        trace::io::MappedFile file =
+            trace::io::MappedFile::openOrThrow(path, "query");
+        if (path.size() > 4 &&
+            path.compare(path.size() - 4, 4, ".csv") == 0) {
+            report =
+                trace::decodeCpuUsageCsv(file.span(), bundle, popts);
+        } else {
+            bundle = trace::decodeEtl(file.span(), popts, report);
+        }
+    }
+    if (!report.ok()) {
+        if (!lenient)
+            throw trace::TraceParseError(report.errors.front());
+        std::fprintf(stderr, "deskpar: degraded ingest: %s\n",
+                     report.summary().c_str());
+    }
+
+    analysis::Session session(std::move(bundle));
+    analysis::QueryPlan plan = session.plan(queries);
+    if (explain)
+        std::fputs(plan.explain().str().c_str(), stdout);
+    std::vector<analysis::QueryResult> results = plan.run(jobs);
+
+    if (json) {
+        writeQueryJson(std::cout, results);
+    } else {
+        for (const analysis::QueryResult &result : results)
+            printQueryResult(result);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -697,6 +891,8 @@ main(int argc, char **argv)
             return cmdReplay(argc, argv, 2);
         if (command == "stats")
             return cmdStats(argc, argv, 2);
+        if (command == "query")
+            return cmdQuery(argc, argv, 2);
         if (command == "run" || command == "sweep" ||
             command == "threads") {
             if (argc < 3)
