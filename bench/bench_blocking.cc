@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Wakeup-chain bottleneck microbenchmark plus the suite-wide
+ * serialization table. Part one times blocking::analyze two ways
+ * over one recorded oversubscribed trace (the GPU-less miner, whose
+ * ready queue is always deep) — the sequential reference
+ * (blocking::legacy::analyze) and the fused path (per-thread folds
+ * fanned out) — verifies the reports are EXPECT_EQ-identical at
+ * 1/2/7 worker threads, and records both wall times as
+ * micro_blocking_* bench records for the bench_compare gate. Part
+ * two runs all 30 applications and classifies each as
+ * bottleneck-limited (runnable threads denied CPUs, wait-TLP >= 0.5)
+ * or structurally serial — the GAPP-style answer to *why* a low-TLP
+ * app is low.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analysis/blocking.hh"
+#include "bench_util.hh"
+
+using namespace deskpar;
+
+int
+main()
+{
+    bench::banner(
+        "Wakeup-chain bottleneck analysis - fused vs sequential",
+        "GAPP-style serialization attribution over Section III traces");
+
+    bench::SuiteTimer timer("bench_blocking");
+    apps::RunOptions options = bench::paperRunOptions();
+
+    // --- Part one: A/B over one contended trace. -------------------
+    // The miner pinned to 2 logical CPUs oversubscribes the machine,
+    // so every dispatch carries a real ready-queue wait and the
+    // report exercises edges and the critical path, not just run
+    // segments.
+    apps::RunOptions contended = options;
+    contended.config.activeCpus = 2;
+    std::vector<apps::SuiteJob> jobs = {
+        apps::suiteJob("bitcoinminer", contended)};
+    apps::AppRunResult miner =
+        std::move(bench::runSuiteParallel(jobs).front());
+    const trace::TraceBundle &bundle = miner.lastBundle;
+
+    std::printf("trace: %zu cswitches, %.1f s, %u cpus\n",
+                bundle.cswitches.size(),
+                sim::toSeconds(bundle.duration()),
+                bundle.numLogicalCpus);
+
+    constexpr int kReps = 5;
+    constexpr int kInner = 4;
+    using Clock = std::chrono::steady_clock;
+
+    analysis::blocking::BlockingReport reference;
+    double bestSeq = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Clock::time_point start = Clock::now();
+        for (int i = 0; i < kInner; ++i) {
+            auto r = analysis::blocking::legacy::analyze(
+                bundle, miner.lastPids);
+            if (rep == 0 && i == 0)
+                reference = std::move(r);
+        }
+        std::chrono::duration<double> wall = Clock::now() - start;
+        bestSeq = std::min(bestSeq, wall.count());
+    }
+
+    analysis::Session session(bundle);
+    analysis::blocking::BlockingReport fused;
+    double bestFused = 1e300;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Clock::time_point start = Clock::now();
+        for (int i = 0; i < kInner; ++i) {
+            auto r = analysis::blocking::analyze(session.index(),
+                                                 miner.lastPids);
+            if (rep == 0 && i == 0)
+                fused = std::move(r);
+        }
+        std::chrono::duration<double> wall = Clock::now() - start;
+        bestFused = std::min(bestFused, wall.count());
+    }
+
+    if (!(fused == reference)) {
+        std::fprintf(stderr,
+                     "FAIL: fused report differs from the sequential "
+                     "reference\n");
+        return 1;
+    }
+    for (unsigned threads : {1u, 2u, 7u}) {
+        if (!(analysis::blocking::analyze(session.index(),
+                                          miner.lastPids, threads) ==
+              reference)) {
+            std::fprintf(stderr,
+                         "FAIL: report differs at %u threads\n",
+                         threads);
+            return 1;
+        }
+    }
+    std::printf("reports: fused == sequential reference, "
+                "bit-identical at 1/2/7 threads\n");
+    std::printf("\n%s\n",
+                analysis::blocking::renderReport(reference, 5)
+                    .c_str());
+
+    std::printf("sequential %.3f ms/report, fused %.3f ms/report\n",
+                bestSeq * 1e3 / kInner, bestFused * 1e3 / kInner);
+    bench::appendBenchRecord("micro_blocking_sequential", bestSeq);
+    bench::appendBenchRecord("micro_blocking_fused", bestFused);
+
+    // --- Part two: the suite-wide classification table. ------------
+    std::vector<apps::SuiteJob> suiteJobs;
+    for (const auto &entry : apps::tableTwoSuite())
+        suiteJobs.push_back(apps::suiteJob(entry.id, options));
+    std::vector<apps::AppRunResult> results =
+        bench::runSuiteParallel(suiteJobs);
+
+    report::TextTable table({"Category", "Application", "TLP",
+                             "Wait-TLP", "Serial frac.",
+                             "Classification"});
+    unsigned bottlenecked = 0;
+    std::size_t next = 0;
+    for (const auto &entry : apps::tableTwoSuite()) {
+        const apps::AppRunResult &result = results[next++];
+        analysis::Session appSession(result.lastBundle);
+        analysis::blocking::BlockingReport report =
+            appSession.bottlenecks(result.lastPids);
+        if (report.bottleneckLimited())
+            ++bottlenecked;
+        table.row()
+            .cell(entry.category)
+            .cell(result.agg.app)
+            .cell(result.tlp(), 2)
+            .cell(report.waitTlp(), 2)
+            .cell(report.serialFraction(), 2)
+            .cell(report.classification());
+    }
+    table.print(std::cout);
+    std::printf("\nSummary: %u of %zu apps are bottleneck-limited "
+                "(runnable threads were denied CPUs); the rest are "
+                "structurally serial.\n",
+                bottlenecked, results.size());
+    return 0;
+}

@@ -15,7 +15,7 @@ buildConcurrencyTimeline(const trace::TraceBundle &bundle,
                          const TimelineSpec &spec,
                          ConcurrencyTimeline &tl,
                          std::vector<SimTime> *dispatches,
-                         BurstColumns *bursts)
+                         BurstColumns *bursts, WaitColumns *waits)
 {
     tl.cutoff = bundle.numLogicalCpus;
     const unsigned cutoff = tl.cutoff;
@@ -36,8 +36,16 @@ buildConcurrencyTimeline(const trace::TraceBundle &bundle,
     for (const auto &e : bundle.cswitches) {
         if (!cpuInMask(spec.cpuMask, e.cpu))
             continue;
-        if (dispatches && isTargetSwitch(spec, e.newPid, e.newTid))
+        bool target = isTargetSwitch(spec, e.newPid, e.newTid);
+        if (dispatches && target)
             dispatches->push_back(e.timestamp);
+        if (waits && target) {
+            // Readers clamp inverted ready times; clamp again so a
+            // hand-built bundle cannot wrap the wait.
+            waits->begin.push_back(
+                std::min(e.readyTime, e.timestamp));
+            waits->end.push_back(e.timestamp);
+        }
         if (e.timestamp < prev_ts)
             sorted = false;
         prev_ts = e.timestamp;
@@ -47,8 +55,7 @@ buildConcurrencyTimeline(const trace::TraceBundle &bundle,
             ++tl.outOfRangeCpuEvents;
             continue;
         }
-        std::uint8_t now_busy =
-            isTargetSwitch(spec, e.newPid, e.newTid) ? 1 : 0;
+        std::uint8_t now_busy = target ? 1 : 0;
         if (cpuBusy[e.cpu] == now_busy)
             continue;
         deltas.emplace_back(e.timestamp, now_busy ? 1 : -1);
@@ -63,6 +70,29 @@ buildConcurrencyTimeline(const trace::TraceBundle &bundle,
     }
     if (dispatches)
         std::sort(dispatches->begin(), dispatches->end());
+    if (waits) {
+        // Sort by end (already the stream order for a sorted bundle;
+        // a stable sort keeps equal-end rows paired) and compute the
+        // suffix-minimum begin column.
+        const std::size_t n = waits->end.size();
+        std::vector<std::pair<SimTime, SimTime>> rows;
+        rows.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            rows.emplace_back(waits->end[i], waits->begin[i]);
+        std::stable_sort(rows.begin(), rows.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        waits->minBegin.assign(n, 0);
+        SimTime mn = 0;
+        for (std::size_t i = n; i-- > 0;) {
+            waits->end[i] = rows[i].first;
+            waits->begin[i] = rows[i].second;
+            mn = i + 1 == n ? rows[i].second
+                            : std::min(mn, rows[i].second);
+            waits->minBegin[i] = mn;
+        }
+    }
     if (bursts) {
         // CPUs still busy at the end of the stream: close the burst
         // at the observation-window end. Disordered streams can

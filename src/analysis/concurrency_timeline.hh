@@ -13,9 +13,11 @@
  *
  * The builder can additionally collect, in the same single pass:
  *  - the sorted switch-in (dispatch) column, used by responsiveness
- *    and by the context-switch-rate metric, and
+ *    and by the context-switch-rate metric,
  *  - per-CPU busy-burst intervals (one contiguous run of target work
- *    on one CPU), used by the duration-histogram metric.
+ *    on one CPU), used by the duration-histogram metric, and
+ *  - per-dispatch ready-wait intervals ([readyTime, timestamp)),
+ *    used by the ready-wait metrics (waitfrac/readylat/topblocked).
  */
 
 #ifndef DESKPAR_ANALYSIS_CONCURRENCY_TIMELINE_HH
@@ -122,17 +124,34 @@ struct BurstColumns
 };
 
 /**
+ * Ready-wait columns of one filter: one [readyTime, timestamp) wait
+ * interval per target switch-in, zero-length waits kept (the latency
+ * mean counts every dispatch), sorted by end (the dispatch time).
+ * minBegin[i] is the suffix minimum of begin[i..), so a windowed
+ * fold stops scanning as soon as no remaining interval can reach
+ * back into the window — the mirror image of BurstColumns::maxEnd,
+ * because waits sort naturally by their *end*.
+ */
+struct WaitColumns
+{
+    std::vector<sim::SimTime> begin;
+    std::vector<sim::SimTime> end;
+    std::vector<sim::SimTime> minBegin;
+};
+
+/**
  * One fused pass over the cswitch stream: build the compressed
  * timeline for @p spec and optionally collect the sorted dispatch
- * column and the busy-burst columns. With a default-constructed
- * filter (beyond the pid set) this is the original TraceIndex
- * sweep, preserved operation for operation.
+ * column, the busy-burst columns, and the ready-wait columns. With a
+ * default-constructed filter (beyond the pid set) this is the
+ * original TraceIndex sweep, preserved operation for operation.
  */
 void buildConcurrencyTimeline(const trace::TraceBundle &bundle,
                               const TimelineSpec &spec,
                               ConcurrencyTimeline &timeline,
                               std::vector<sim::SimTime> *dispatches,
-                              BurstColumns *bursts);
+                              BurstColumns *bursts,
+                              WaitColumns *waits = nullptr);
 
 /**
  * Windowed histogram from a usable timeline. Bit-identical to the

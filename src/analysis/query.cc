@@ -1,6 +1,7 @@
 #include "analysis/query.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -28,6 +29,12 @@ queryMetricName(QueryMetric metric)
         return "csrate";
       case QueryMetric::DurationHistogram:
         return "dhist";
+      case QueryMetric::WaitFraction:
+        return "waitfrac";
+      case QueryMetric::ReadyLatency:
+        return "readylat";
+      case QueryMetric::TopBlocked:
+        return "topblocked";
     }
     return "?";
 }
@@ -64,12 +71,71 @@ processKey(const trace::TraceBundle &bundle, Pid pid)
     return "pid" + std::to_string(pid);
 }
 
+/**
+ * Exact decimal-seconds image of an integer nanosecond count
+ * ("1.25", "0.000000128"). The old %g formatter rounded to six
+ * significant digits, so sub-millisecond bucket widths and offsets
+ * did not survive a print/parse round trip.
+ */
 std::string
-formatSeconds(SimTime t)
+formatDecimalSeconds(SimTime t)
 {
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%g", sim::toSeconds(t));
-    return buf;
+    std::string s = std::to_string(t / 1000000000ull);
+    std::uint64_t frac = t % 1000000000ull;
+    if (frac != 0) {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%09llu",
+                      static_cast<unsigned long long>(frac));
+        std::string digits = buf;
+        while (digits.back() == '0')
+            digits.pop_back();
+        s += '.';
+        s += digits;
+    }
+    return s;
+}
+
+/**
+ * Exact decimal -> integer nanoseconds: digits[.digits] at @p scale
+ * nanoseconds per unit. Returns false on any non-digit character,
+ * precision finer than one nanosecond, or overflow — the caller
+ * falls back to the strtod path for scientific notation.
+ */
+bool
+decimalToNs(const std::string &text, std::uint64_t scale,
+            std::uint64_t &out)
+{
+    constexpr std::uint64_t kMax = ~std::uint64_t{0};
+    std::size_t i = 0;
+    bool any = false;
+    std::uint64_t whole = 0;
+    for (; i < text.size() && text[i] >= '0' && text[i] <= '9'; ++i) {
+        auto d = static_cast<std::uint64_t>(text[i] - '0');
+        if (whole > (kMax - d) / 10)
+            return false;
+        whole = whole * 10 + d;
+        any = true;
+    }
+    std::uint64_t frac = 0;
+    if (i < text.size() && text[i] == '.') {
+        ++i;
+        std::uint64_t unit = scale;
+        for (; i < text.size() && text[i] >= '0' && text[i] <= '9';
+             ++i) {
+            auto d = static_cast<std::uint64_t>(text[i] - '0');
+            unit /= 10;
+            if (d != 0 && unit == 0)
+                return false;
+            frac += d * unit;
+            any = true;
+        }
+    }
+    if (!any || i != text.size())
+        return false;
+    if (whole > (kMax - frac) / scale)
+        return false;
+    out = whole * scale + frac;
+    return true;
 }
 
 } // namespace
@@ -90,7 +156,8 @@ parseQuerySpec(const std::string &spec)
         pos = slash + 1;
     }
     if (tokens.empty() || tokens[0].empty())
-        bad("missing metric (tlp|busy|gpu|csrate|dhist)");
+        bad("missing metric (tlp|busy|gpu|csrate|dhist|waitfrac|"
+            "readylat|topblocked)");
 
     Query query;
     const std::string &metric = tokens[0];
@@ -104,6 +171,12 @@ parseQuerySpec(const std::string &spec)
         query.metric = QueryMetric::ContextSwitchRate;
     } else if (metric == "dhist") {
         query.metric = QueryMetric::DurationHistogram;
+    } else if (metric == "waitfrac") {
+        query.metric = QueryMetric::WaitFraction;
+    } else if (metric == "readylat") {
+        query.metric = QueryMetric::ReadyLatency;
+    } else if (metric == "topblocked") {
+        query.metric = QueryMetric::TopBlocked;
     } else {
         bad("unknown metric '" + metric + "'");
     }
@@ -122,26 +195,73 @@ parseQuerySpec(const std::string &spec)
         return v;
     };
 
-    auto parseDuration = [&bad, &parseNumber](const std::string &text,
-                                              const char *what) {
-        const char *suffix = nullptr;
-        double v = parseNumber(text, what, &suffix);
-        double scale = 0.0;
-        if (std::string(suffix) == "ns")
-            scale = 1.0;
-        else if (std::string(suffix) == "us")
-            scale = 1e3;
-        else if (std::string(suffix) == "ms")
-            scale = 1e6;
-        else if (std::string(suffix) == "s")
-            scale = 1e9;
+    // Strip the ns|us|ms|s suffix; false when none matches (plain
+    // "ns" etc. degrades to an empty body, which the parsers reject).
+    auto splitUnit = [](const std::string &text, std::string &body,
+                        std::uint64_t &scale) {
+        auto ends = [&text](const char *suf, std::size_t n) {
+            return text.size() > n &&
+                   text.compare(text.size() - n, n, suf) == 0;
+        };
+        if (ends("ns", 2))
+            scale = 1;
+        else if (ends("us", 2))
+            scale = 1000;
+        else if (ends("ms", 2))
+            scale = 1000000;
+        else if (ends("s", 1))
+            scale = 1000000000;
         else
-            bad(std::string(what) + " '" + text +
-                "' needs a ns|us|ms|s suffix");
-        auto d = static_cast<SimDuration>(v * scale);
+            return false;
+        body = text.substr(0, text.size() - (scale == 1000000000 ? 1 : 2));
+        return true;
+    };
+
+    auto parseDuration = [&bad, &parseNumber,
+                          &splitUnit](const std::string &text,
+                                      const char *what) {
+        // Exact integer path first: the decimal strings
+        // querySpecString prints must round-trip bit for bit.
+        std::string body;
+        std::uint64_t scale = 0;
+        std::uint64_t ns = 0;
+        SimDuration d = 0;
+        if (splitUnit(text, body, scale) &&
+            decimalToNs(body, scale, ns)) {
+            d = ns;
+        } else {
+            // Fallback for scientific notation ("2.5e-3s"): strtod
+            // plus a re-validated suffix, rounded to the nearest
+            // nanosecond.
+            const char *suffix = nullptr;
+            double v = parseNumber(text, what, &suffix);
+            double fscale = 0.0;
+            std::string suf(suffix);
+            if (suf == "ns")
+                fscale = 1.0;
+            else if (suf == "us")
+                fscale = 1e3;
+            else if (suf == "ms")
+                fscale = 1e6;
+            else if (suf == "s")
+                fscale = 1e9;
+            else
+                bad(std::string(what) + " '" + text +
+                    "' needs a ns|us|ms|s suffix");
+            d = static_cast<SimDuration>(std::llround(v * fscale));
+        }
         if (d == 0)
             bad(std::string(what) + " '" + text + "' must be > 0");
         return d;
+    };
+
+    // Seconds offsets: exact decimal first, for the same reason.
+    auto parseTime = [&parseNumber](const std::string &text,
+                                    const char *what) {
+        std::uint64_t ns = 0;
+        if (decimalToNs(text, 1000000000ull, ns))
+            return static_cast<SimTime>(ns);
+        return sim::sec(parseNumber(text, what, nullptr));
     };
 
     for (std::size_t i = 1; i < tokens.size(); ++i) {
@@ -172,11 +292,9 @@ parseQuerySpec(const std::string &spec)
             if (query.filter.pids.empty())
                 bad("empty pid list");
         } else if (key == "t0") {
-            query.filter.t0 =
-                sim::sec(parseNumber(value, "t0", nullptr));
+            query.filter.t0 = parseTime(value, "t0");
         } else if (key == "t1") {
-            query.filter.t1 =
-                sim::sec(parseNumber(value, "t1", nullptr));
+            query.filter.t1 = parseTime(value, "t1");
         } else if (key == "cpus") {
             detail::CpuMask mask = 0;
             for (std::size_t pos = 0; pos <= value.size();) {
@@ -256,9 +374,9 @@ querySpecString(const Query &query)
         }
     }
     if (query.filter.t0 != 0)
-        s += "/t0=" + formatSeconds(query.filter.t0);
+        s += "/t0=" + formatDecimalSeconds(query.filter.t0);
     if (query.filter.t1 != 0)
-        s += "/t1=" + formatSeconds(query.filter.t1);
+        s += "/t1=" + formatDecimalSeconds(query.filter.t1);
     if (query.filter.cpuMask != detail::kAllCpus) {
         s += "/cpus=";
         bool firstCpu = true;
@@ -275,7 +393,7 @@ querySpecString(const Query &query)
         s += "/by=";
         s += queryGroupByName(query.groupBy);
         if (query.groupBy == QueryGroupBy::TimeBucket)
-            s += ":" + formatSeconds(query.bucket) + "s";
+            s += ":" + formatDecimalSeconds(query.bucket) + "s";
     }
     return s;
 }
@@ -504,6 +622,44 @@ collectBursts(const trace::TraceBundle &bundle,
     return bursts;
 }
 
+std::vector<Interval>
+collectWaits(const trace::TraceBundle &bundle,
+             const TimelineSpec &spec)
+{
+    std::vector<Interval> waits;
+    for (const auto &e : bundle.cswitches) {
+        if (!cpuInMask(spec.cpuMask, e.cpu))
+            continue;
+        if (!isTargetSwitch(spec, e.newPid, e.newTid))
+            continue;
+        // The readers clamp inverted ready times, but a hand-built
+        // bundle may still carry one; clamp again so the wait cannot
+        // wrap. Like the dispatch column (csrate), waits ignore the
+        // header CPU count — a switch-in is a switch-in.
+        SimTime ready = std::min(e.readyTime, e.timestamp);
+        waits.push_back(Interval{ready, e.timestamp});
+    }
+    return waits;
+}
+
+WaitFold
+foldWaits(const std::vector<Interval> &waits, SimTime t0, SimTime t1)
+{
+    WaitFold fold;
+    for (const Interval &w : waits) {
+        if (w.end >= t0 && w.end < t1) {
+            ++fold.dispatches;
+            fold.latencyNs += w.end - w.begin;
+        }
+        if (w.end > t0 && w.begin < t1) {
+            SimTime lo = std::max(w.begin, t0);
+            SimTime hi = std::min(w.end, t1);
+            fold.overlapNs += hi - lo;
+        }
+    }
+    return fold;
+}
+
 ConcurrencyProfile
 referenceConcurrency(const trace::TraceBundle &bundle,
                      const TimelineSpec &spec, SimTime t0, SimTime t1)
@@ -606,6 +762,17 @@ runQuery(const trace::TraceBundle &bundle, const Query &query)
                     iv.length())];
             }
             row.value = static_cast<double>(count);
+            break;
+          }
+          case QueryMetric::WaitFraction:
+          case QueryMetric::ReadyLatency:
+          case QueryMetric::TopBlocked: {
+            std::vector<Interval> waits =
+                detail::collectWaits(bundle, ts);
+            detail::WaitFold fold =
+                detail::foldWaits(waits, spec.t0, spec.t1);
+            row.value = detail::waitMetricValue(query.metric, fold,
+                                                spec.t1 - spec.t0);
             break;
           }
         }

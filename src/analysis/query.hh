@@ -12,7 +12,8 @@
  *   group-by process | thread | phase marker | GPU engine |
  *            fixed-width time bucket | none
  *   metric   TLP (Equation 1) | busy fraction | GPU packet
- *            occupancy | context-switch rate | duration histogram
+ *            occupancy | context-switch rate | duration histogram |
+ *            ready-wait fraction | ready latency | blocked seconds
  *
  * Queries are data, not code: they can be parsed from the CLI's
  * compact text syntax (parseQuerySpec), batched, and compiled by the
@@ -51,6 +52,17 @@ enum class QueryMetric : std::uint8_t {
     ContextSwitchRate = 3,
     /** Histogram of per-CPU busy-burst durations (log2 buckets). */
     DurationHistogram = 4,
+    /**
+     * Mean number of target threads sitting ready-to-run: the summed
+     * [readyTime, timestamp) wait time inside the window, divided by
+     * the window. A TLP-style number, but counting threads that
+     * *could* have run — the serialization signal of Section IV.
+     */
+    WaitFraction = 5,
+    /** Mean ready-queue latency (seconds) per in-window dispatch. */
+    ReadyLatency = 6,
+    /** Absolute in-window ready-wait seconds (for top-N ranking). */
+    TopBlocked = 7,
 };
 
 /** How to partition the filtered window into rows. */
@@ -136,7 +148,8 @@ struct QueryResult
  *
  *   metric[/key=value]...
  *
- * with metric one of tlp|busy|gpu|csrate|dhist and fields
+ * with metric one of tlp|busy|gpu|csrate|dhist|waitfrac|readylat|
+ * topblocked and fields
  *   app=PREFIX  pids=1,2,3  t0=SECONDS  t1=SECONDS
  *   cpus=0,2-5  by=process|thread|phase|engine|bucket:WIDTH
  *   label=NAME
@@ -275,6 +288,54 @@ contextSwitchRate(std::uint64_t count, sim::SimDuration window)
  */
 std::vector<Interval> collectBursts(const trace::TraceBundle &bundle,
                                     const TimelineSpec &spec);
+
+/**
+ * Ready-wait intervals of @p spec in stream order: one
+ * [readyTime, timestamp) interval per target switch-in, zero-length
+ * waits included (the latency mean counts every dispatch). Inverted
+ * ready times are clamped to the timestamp, mirroring the lenient
+ * readers, so a hand-built bundle cannot wrap the wait. The
+ * reference the planner's end-sorted wait columns are tested
+ * against.
+ */
+std::vector<Interval> collectWaits(const trace::TraceBundle &bundle,
+                                   const TimelineSpec &spec);
+
+/**
+ * Integer fold of the ready-wait metrics over one window: wait time
+ * overlapping [t0, t1), plus the full latency and count of the
+ * dispatches whose switch-in lands inside it. All sums are integer
+ * nanoseconds, so the reference sweep (stream order) and the
+ * planner's sorted columns produce bit-identical folds.
+ */
+struct WaitFold
+{
+    std::uint64_t overlapNs = 0;
+    std::uint64_t latencyNs = 0;
+    std::uint64_t dispatches = 0;
+};
+
+/** Accumulate @p waits (as collectWaits emits them) over a window. */
+WaitFold foldWaits(const std::vector<Interval> &waits, sim::SimTime t0,
+                   sim::SimTime t1);
+
+/** The final value fold of the ready-wait metrics. */
+inline double
+waitMetricValue(QueryMetric metric, const WaitFold &fold,
+                sim::SimDuration window)
+{
+    switch (metric) {
+      case QueryMetric::WaitFraction:
+        return sim::toSeconds(fold.overlapNs) / sim::toSeconds(window);
+      case QueryMetric::ReadyLatency:
+        return fold.dispatches == 0
+                   ? 0.0
+                   : sim::toSeconds(fold.latencyNs) /
+                         static_cast<double>(fold.dispatches);
+      default:
+        return sim::toSeconds(fold.overlapNs);
+    }
+}
 
 /**
  * Reference concurrency profile for an arbitrary filter: the legacy

@@ -87,6 +87,9 @@ QueryPlanExplain::str() const
         if (pass.buildsBursts)
             builds += std::string(builds.empty() ? "" : "+") +
                       "bursts";
+        if (pass.buildsWaits)
+            builds += std::string(builds.empty() ? "" : "+") +
+                      "waits";
         if (builds.empty())
             builds = "none (shared gpu columns)";
         out += builds + "\n";
@@ -183,6 +186,11 @@ QueryPlan::compile(const TraceIndex &index,
               case QueryMetric::DurationHistogram:
                 filter.needBursts = true;
                 break;
+              case QueryMetric::WaitFraction:
+              case QueryMetric::ReadyLatency:
+              case QueryMetric::TopBlocked:
+                filter.needWaits = true;
+                break;
               case QueryMetric::GpuOccupancy:
                 break;
             }
@@ -215,8 +223,9 @@ QueryPlan::compile(const TraceIndex &index,
         pass.buildsTimeline = filter.needTimeline;
         pass.buildsDispatches = filter.needDispatches;
         pass.buildsBursts = filter.needBursts;
+        pass.buildsWaits = filter.needWaits;
         if (filter.needTimeline || filter.needDispatches ||
-            filter.needBursts)
+            filter.needBursts || filter.needWaits)
             ++plan.explain_.columnPasses;
     }
     return plan;
@@ -238,12 +247,13 @@ QueryPlan::run(unsigned threads) const
         detail::ConcurrencyTimeline timeline;
         std::vector<SimTime> dispatches;
         detail::BurstColumns bursts;
+        detail::WaitColumns waits;
     };
     std::vector<FilterColumns> columns(filters_.size());
     sim::parallelFor(jobs, filters_.size(), [&](std::size_t fi) {
         const Filter &filter = filters_[fi];
         if (!filter.needTimeline && !filter.needDispatches &&
-            !filter.needBursts)
+            !filter.needBursts && !filter.needWaits)
             return;
         obs::Span buildSpan("query.build.columns",
                             obs::SpanKind::Index,
@@ -251,7 +261,8 @@ QueryPlan::run(unsigned threads) const
         detail::buildConcurrencyTimeline(
             bundle, filter.spec, columns[fi].timeline,
             filter.needDispatches ? &columns[fi].dispatches : nullptr,
-            filter.needBursts ? &columns[fi].bursts : nullptr);
+            filter.needBursts ? &columns[fi].bursts : nullptr,
+            filter.needWaits ? &columns[fi].waits : nullptr);
     });
 
     // Once per trace, not once per query: fold every pass's count
@@ -358,6 +369,46 @@ QueryPlan::run(unsigned threads) const
                     iv.length())];
             }
             row.value = static_cast<double>(count);
+            break;
+          }
+          case QueryMetric::WaitFraction:
+          case QueryMetric::ReadyLatency:
+          case QueryMetric::TopBlocked: {
+            const detail::WaitColumns &wc =
+                columns[task.filterIdx].waits;
+            detail::WaitFold fold;
+            // Dispatch latency: switch-ins with end (= dispatch
+            // time) in [t0, t1) form one contiguous range of the
+            // end-sorted column.
+            auto lo = std::lower_bound(wc.end.begin(), wc.end.end(),
+                                       spec.t0);
+            auto hi = std::lower_bound(wc.end.begin(), wc.end.end(),
+                                       spec.t1);
+            for (auto it = lo; it != hi; ++it) {
+                auto i = static_cast<std::size_t>(
+                    it - wc.end.begin());
+                ++fold.dispatches;
+                fold.latencyNs += wc.end[i] - wc.begin[i];
+            }
+            // Window overlap: candidates end past t0; the
+            // suffix-minimum begin column bounds how far the scan
+            // must run before nothing can reach back to t1.
+            auto i0 = static_cast<std::size_t>(
+                std::upper_bound(wc.end.begin(), wc.end.end(),
+                                 spec.t0) -
+                wc.end.begin());
+            for (std::size_t i = i0; i < wc.end.size(); ++i) {
+                if (wc.minBegin[i] >= spec.t1)
+                    break;
+                if (wc.begin[i] >= spec.t1)
+                    continue;
+                SimTime wlo = std::max(wc.begin[i], spec.t0);
+                SimTime whi = std::min(wc.end[i], spec.t1);
+                fold.overlapNs += whi - wlo;
+            }
+            result.rows[task.firstRow].value =
+                detail::waitMetricValue(task.metric, fold,
+                                        spec.t1 - spec.t0);
             break;
           }
         }

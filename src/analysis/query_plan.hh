@@ -58,6 +58,7 @@ struct QueryPlanPass
     bool buildsTimeline = false;
     bool buildsDispatches = false;
     bool buildsBursts = false;
+    bool buildsWaits = false;
 };
 
 /** What `deskpar query --explain` prints. */
@@ -106,6 +107,7 @@ class QueryPlan
         bool needTimeline = false;
         bool needDispatches = false;
         bool needBursts = false;
+        bool needWaits = false;
     };
 
     /**

@@ -128,4 +128,10 @@ Session::query(const std::vector<Query> &queries,
     return plan(queries).run(threads);
 }
 
+blocking::BlockingReport
+Session::bottlenecks(const PidSet &pids, unsigned threads) const
+{
+    return blocking::analyze(index(), pids, threads);
+}
+
 } // namespace deskpar::analysis

@@ -33,6 +33,7 @@
 #include <string>
 
 #include "analysis/analyzer.hh"
+#include "analysis/blocking.hh"
 #include "analysis/power.hh"
 #include "analysis/query_plan.hh"
 #include "analysis/responsiveness.hh"
@@ -131,6 +132,15 @@ class Session
      */
     std::vector<QueryResult> query(const std::vector<Query> &queries,
                                    unsigned threads = 0) const;
+
+    /**
+     * Wakeup-chain serialization-bottleneck report (blocking.hh):
+     * ready-queue waits, wakeup-edge culprits, and the critical
+     * path, bit-identical to blocking::legacy::analyze at any
+     * thread count.
+     */
+    blocking::BlockingReport bottlenecks(const PidSet &pids,
+                                         unsigned threads = 0) const;
 
   private:
     /** Set iff constructed by move (bundle_ points into it). */

@@ -1,6 +1,7 @@
 #include "obs/selftrace.hh"
 
 #include <algorithm>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -192,9 +193,16 @@ toTraceBundle(const Snapshot &snapshot)
     }
 
     // Innermost-kind segments -> context switches on cpu = thread.
+    // A kind resuming after being shadowed by a nested span was
+    // conceptually runnable the whole time, so its ready time is the
+    // moment it was last switched out on this thread — that makes
+    // the ready-queue waits `deskpar bottlenecks` derives from a
+    // self-trace real, not uniformly zero. First dispatches carry
+    // readyTime == timestamp (no observable wait).
     for (std::uint32_t thread = 0; thread < perThread.size();
          ++thread) {
         trace::Pid prevPid = 0;
+        std::map<trace::Pid, std::uint64_t> lastOut;
         for (const Segment &seg : threadSegments(perThread[thread])) {
             trace::CSwitchEvent e;
             e.timestamp = seg.time;
@@ -204,7 +212,11 @@ toTraceBundle(const Snapshot &snapshot)
                 prevPid ? selfTraceTid(prevPid, thread) : 0;
             e.newPid = seg.pid;
             e.newTid = seg.pid ? selfTraceTid(seg.pid, thread) : 0;
-            e.readyTime = seg.time;
+            auto out = lastOut.find(seg.pid);
+            e.readyTime =
+                out != lastOut.end() ? out->second : seg.time;
+            if (prevPid)
+                lastOut[prevPid] = seg.time;
             bundle.cswitches.push_back(e);
             prevPid = seg.pid;
         }

@@ -81,6 +81,8 @@ Mutation::describe() const
             return "JunkNumber";
           case Kind::SwapLines:
             return "SwapLines";
+          case Kind::JunkReadyTime:
+            return "JunkReadyTime";
           case Kind::kCount:
             break;
         }
@@ -242,6 +244,29 @@ FaultInjector::apply(const std::string &data, const Mutation &m,
                     spans[b].second - spans[b].first, lineA);
         out.replace(spans[a].first,
                     spans[a].second - spans[a].first, lineB);
+        break;
+      }
+
+      case Mutation::Kind::JunkReadyTime: {
+        auto spans = lineSpans(out);
+        if (spans.size() < 2)
+            break;
+        // Skip the header; garble field 4 ("Ready Time (ns)" in the
+        // CPU-Usage layout) of one data row. Even values plant an
+        // inverted ready time (u64 max, always after any switch-in
+        // time), odd values plant non-numeric junk.
+        auto [start, end] = spans[1 + m.pos % (spans.size() - 1)];
+        std::vector<std::size_t> commas;
+        for (std::size_t i = start; i < end; ++i) {
+            if (out[i] == ',')
+                commas.push_back(i);
+        }
+        if (commas.size() < 5)
+            break;
+        std::size_t from = commas[3] + 1;
+        out.replace(from, commas[4] - from,
+                    m.value & 1 ? "notatime"
+                                : "18446744073709551615");
         break;
       }
 

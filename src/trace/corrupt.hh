@@ -47,6 +47,12 @@ struct Mutation
         JunkNumber,
         /** Swap two whole lines (disorders CSV timestamps). */
         SwapLines,
+        /**
+         * Garble the Ready Time field of one CSV data row: either
+         * an inverted (max-u64) ready time the readers must clamp
+         * or reject, or non-numeric junk (text inputs).
+         */
+        JunkReadyTime,
         kCount,
     };
 

@@ -197,7 +197,7 @@ template <typename Fields>
 bool
 parseCpuRow(const Fields &fields, TraceBundle &bundle,
             const std::string &source, std::uint64_t line,
-            ParseError &err)
+            ParseMode mode, bool &clamped, ParseError &err)
 {
     CSwitchEvent e;
     std::string_view newName, oldName;
@@ -221,6 +221,18 @@ parseCpuRow(const Fields &fields, TraceBundle &bundle,
     if (!numericColumn(fields, 5, "Switch-In Time (ns)", kU64Max,
                        e.timestamp, source, line, err))
         return false;
+    if (e.readyTime > e.timestamp) {
+        // A thread cannot be dispatched before it became runnable;
+        // downstream wait math (timestamp - readyTime) would wrap.
+        err = rowError(source, line, "Ready Time (ns)",
+                       "ready time " + std::to_string(e.readyTime) +
+                           " after switch-in time " +
+                           std::to_string(e.timestamp));
+        if (mode == ParseMode::Strict)
+            return false;
+        e.readyTime = e.timestamp;
+        clamped = true;
+    }
     if (!labelColumn(fields, 6, "Old Process", 7, "Old PID", oldName,
                      oldPid, source, line, err))
         return false;
@@ -334,6 +346,7 @@ readCsv(std::istream &in, const ParseOptions &options,
 
         ParseError err;
         bool good = false;
+        bool clamped = false;
         auto fields = splitCsvFields(line);
         if (!fields) {
             err = fields.error();
@@ -347,11 +360,14 @@ readCsv(std::istream &in, const ParseOptions &options,
                                ", want " +
                                std::to_string(fieldCount) + ")");
         } else {
-            good = parseRow(*fields, lineNo, err);
+            good = parseRow(*fields, lineNo, clamped, err);
         }
 
         if (good) {
             ++report.recordsParsed;
+            if (clamped)
+                report.noteRepair(std::move(err),
+                                  options.maxStoredErrors);
             continue;
         }
         ++report.recordsSkipped;
@@ -459,6 +475,7 @@ parseCsvChunk(io::ByteSpan chunk, std::uint64_t startLine,
 
         ParseError err;
         bool good = false;
+        bool clamped = false;
         if (!splitCsvFieldsView(line, fields, scratch, err)) {
             err.source = source;
             err.section = "row";
@@ -470,11 +487,15 @@ parseCsvChunk(io::ByteSpan chunk, std::uint64_t startLine,
                                ", want " +
                                std::to_string(fieldCount) + ")");
         } else {
-            good = parseRow(fields, part, source, lineNo, err);
+            good = parseRow(fields, part, source, lineNo, clamped,
+                            err);
         }
 
         if (good) {
             ++report.recordsParsed;
+            if (clamped)
+                report.noteRepair(std::move(err),
+                                  options.maxStoredErrors);
             continue;
         }
         ++report.recordsSkipped;
@@ -822,6 +843,22 @@ splitCsvLine(std::string_view line)
 void
 writeCpuUsageCsv(const TraceBundle &bundle, std::ostream &out)
 {
+    // Emitting an inverted ready time would manufacture corrupt
+    // wakeup data that every reader then has to repair; refuse at
+    // the source (writeEtl rejects it via validateEncoding()).
+    for (std::size_t i = 0; i < bundle.cswitches.size(); ++i) {
+        const auto &e = bundle.cswitches[i];
+        if (e.readyTime > e.timestamp) {
+            ParseError err;
+            err.section = "CSwitch";
+            err.record = i;
+            err.reason = "writeCpuUsageCsv: ready time " +
+                         std::to_string(e.readyTime) +
+                         " after switch-in time " +
+                         std::to_string(e.timestamp);
+            throw TraceParseError(std::move(err));
+        }
+    }
     out << "New Process,New PID,New TID,CPU,Ready Time (ns),"
            "Switch-In Time (ns),Old Process,Old PID,Old TID\n";
     for (const auto &e : bundle.cswitches) {
@@ -874,8 +911,10 @@ readCpuUsageCsv(std::istream &in, TraceBundle &bundle,
 {
     std::string source = sourceLabel(options);
     auto row = [&](const std::vector<std::string> &fields,
-                   std::uint64_t line, ParseError &err) {
-        return parseCpuRow(fields, bundle, source, line, err);
+                   std::uint64_t line, bool &clamped,
+                   ParseError &err) {
+        return parseCpuRow(fields, bundle, source, line,
+                           options.mode, clamped, err);
     };
     return readCsv(in, options, "New Process,", 9, row);
 }
@@ -886,7 +925,7 @@ readGpuUtilCsv(std::istream &in, TraceBundle &bundle,
 {
     std::string source = sourceLabel(options);
     auto row = [&](const std::vector<std::string> &fields,
-                   std::uint64_t line, ParseError &err) {
+                   std::uint64_t line, bool &, ParseError &err) {
         return parseGpuRow(fields, bundle, source, line, err);
     };
     return readCsv(in, options, "Process,", 7, row);
@@ -899,10 +938,12 @@ decodeCpuUsageCsv(io::ByteSpan data, TraceBundle &bundle,
     return readCsvSpan(
         data, bundle, options, "New Process,", 9,
         kCpuCsvBytesPerRow, 0,
-        [](const std::vector<std::string_view> &fields,
-           TraceBundle &part, const std::string &source,
-           std::uint64_t line, ParseError &err) {
-            return parseCpuRow(fields, part, source, line, err);
+        [mode = options.mode](
+            const std::vector<std::string_view> &fields,
+            TraceBundle &part, const std::string &source,
+            std::uint64_t line, bool &clamped, ParseError &err) {
+            return parseCpuRow(fields, part, source, line, mode,
+                               clamped, err);
         });
 }
 
@@ -914,7 +955,7 @@ decodeGpuUtilCsv(io::ByteSpan data, TraceBundle &bundle,
         data, bundle, options, "Process,", 7, kGpuCsvBytesPerRow, 1,
         [](const std::vector<std::string_view> &fields,
            TraceBundle &part, const std::string &source,
-           std::uint64_t line, ParseError &err) {
+           std::uint64_t line, bool &, ParseError &err) {
             return parseGpuRow(fields, part, source, line, err);
         });
 }

@@ -103,11 +103,22 @@ std::vector<Diagnostic>
 IngestReport::diagnostics() const
 {
     std::vector<Diagnostic> out;
-    out.reserve(errors.size());
+    out.reserve(errors.size() + repairs.size());
     for (const ParseError &e : errors) {
         Diagnostic d;
         d.severity = mode == ParseMode::Lenient ? Severity::Warning
                                                 : Severity::Error;
+        d.component = "ingest";
+        d.detail = e;
+        if (d.detail.source.empty())
+            d.detail.source = source;
+        out.push_back(std::move(d));
+    }
+    // In-place repairs (clamped ready times) kept the record, so
+    // they are warnings regardless of mode.
+    for (const ParseError &e : repairs) {
+        Diagnostic d;
+        d.severity = Severity::Warning;
         d.component = "ingest";
         d.detail = e;
         if (d.detail.source.empty())

@@ -247,7 +247,7 @@ decodeSectionBody(EtlReader &r, Section tag, const char *name,
                 static_cast<std::size_t>(count));
             good = decodeRecords(
                 r, name, count,
-                [&](std::uint64_t, ParseError &e) {
+                [&](std::uint64_t i, ParseError &e) {
                     CSwitchEvent ev;
                     std::uint64_t d = 0, v = 0;
                     if (!getBounded(data, r.pos, limit, d, e))
@@ -278,6 +278,25 @@ decodeSectionBody(EtlReader &r, Section tag, const char *name,
                     if (!getBounded(data, r.pos, limit,
                                     ev.readyTime, e))
                         return false;
+                    if (ev.readyTime > ev.timestamp) {
+                        // Dispatch before the thread became
+                        // runnable: wait math would wrap.
+                        std::string reason =
+                            "ready time " +
+                            std::to_string(ev.readyTime) +
+                            " after switch-in time " +
+                            std::to_string(ev.timestamp);
+                        if (r.options.mode == ParseMode::Strict) {
+                            e.offset = r.pos;
+                            e.reason = std::move(reason);
+                            return false;
+                        }
+                        r.report.noteRepair(
+                            r.makeError(name, i, r.pos,
+                                        reason + " (clamped)"),
+                            r.options.maxStoredErrors);
+                        ev.readyTime = ev.timestamp;
+                    }
                     bundle.cswitches.push_back(ev);
                     return true;
                 });

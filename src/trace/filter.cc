@@ -61,7 +61,9 @@ filterByPids(const TraceBundle &bundle, const PidSet &pids)
         if (!new_in) {
             e.newPid = 0;
             e.newTid = 0;
-            e.readyTime = 0;
+            // Zero wait, not time-zero: a fabricated [0, timestamp)
+            // ready interval would dominate any wait analysis.
+            e.readyTime = e.timestamp;
         }
         out.cswitches.push_back(e);
     }

@@ -37,6 +37,14 @@ IngestReport::note(ParseError error, std::size_t cap)
         errors.push_back(std::move(error));
 }
 
+void
+IngestReport::noteRepair(ParseError error, std::size_t cap)
+{
+    ++recordsClamped;
+    if (repairs.size() < cap)
+        repairs.push_back(std::move(error));
+}
+
 std::string
 IngestReport::summary() const
 {
@@ -46,6 +54,8 @@ IngestReport::summary() const
         << " ingest, " << recordsParsed << " records";
     if (recordsSkipped)
         out << ", " << recordsSkipped << " skipped";
+    if (recordsClamped)
+        out << ", " << recordsClamped << " clamped";
     if (errorCount)
         out << ", " << errorCount << " errors";
     if (salvaged)
@@ -64,6 +74,10 @@ IngestReport::absorb(IngestReport &&part, std::size_t cap)
     // note() counted the stored diagnostics; add the part's
     // beyond-cap remainder.
     errorCount += part.errorCount - stored;
+    std::uint64_t storedRepairs = part.repairs.size();
+    for (ParseError &e : part.repairs)
+        noteRepair(std::move(e), cap);
+    recordsClamped += part.recordsClamped - storedRepairs;
     salvaged = salvaged || part.salvaged;
 }
 
@@ -73,11 +87,17 @@ IngestReport::merge(const IngestReport &other)
     recordsParsed += other.recordsParsed;
     recordsSkipped += other.recordsSkipped;
     errorCount += other.errorCount;
+    recordsClamped += other.recordsClamped;
     salvaged = salvaged || other.salvaged;
     for (const auto &e : other.errors) {
         if (errors.size() >= 64)
             break;
         errors.push_back(e);
+    }
+    for (const auto &e : other.repairs) {
+        if (repairs.size() >= 64)
+            break;
+        repairs.push_back(e);
     }
 }
 

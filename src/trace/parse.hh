@@ -179,16 +179,32 @@ struct IngestReport
     std::uint64_t recordsSkipped = 0;
     /** Total defects seen; may exceed errors.size() (storage cap). */
     std::uint64_t errorCount = 0;
+    /**
+     * Records kept after an in-place repair (lenient mode only): an
+     * inverted ready time clamped to the switch-in timestamp. These
+     * are counted in recordsParsed too — the record made it into the
+     * bundle — but each repair is surfaced as a Warning diagnostic.
+     */
+    std::uint64_t recordsClamped = 0;
     /** True when a binary input could only be partially salvaged. */
     bool salvaged = false;
     /** First maxStoredErrors structured diagnostics. */
     std::vector<ParseError> errors;
+    /** First maxStoredErrors repair notes (always warnings). */
+    std::vector<ParseError> repairs;
 
-    /** A clean ingest: every record decoded, nothing dropped. */
+    /**
+     * A clean ingest: every record decoded, nothing dropped.
+     * Clamped records do not fail ok() — the data was salvageable —
+     * but they do appear in diagnostics() as warnings.
+     */
     bool ok() const { return errorCount == 0; }
 
     /** Count @p error, storing at most @p cap diagnostics. */
     void note(ParseError error, std::size_t cap);
+
+    /** Count a kept-but-repaired record, storing at most @p cap. */
+    void noteRepair(ParseError error, std::size_t cap);
 
     /** One-line roll-up ("parsed 812, skipped 3, 3 errors"). */
     std::string summary() const;
@@ -198,8 +214,9 @@ struct IngestReport
 
     /**
      * The stored errors as pipeline Diagnostics (component "ingest";
-     * lenient drops are warnings, strict rejections errors). Callers
-     * include trace/diagnostic.hh for the full type.
+     * lenient drops are warnings, strict rejections errors; repairs
+     * always warnings). Callers include trace/diagnostic.hh for the
+     * full type.
      */
     std::vector<Diagnostic> diagnostics() const;
 

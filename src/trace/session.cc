@@ -134,6 +134,16 @@ TraceBundle::validateEncoding() const
                 "start");
     checkSorted(frames, "Frames", byTimestamp, "timestamp");
 
+    for (std::size_t i = 0; i < cswitches.size(); ++i) {
+        const CSwitchEvent &e = cswitches[i];
+        if (e.readyTime > e.timestamp) {
+            add("CSwitch", i,
+                "ready time " + std::to_string(e.readyTime) +
+                    " after switch-in time " +
+                    std::to_string(e.timestamp));
+        }
+    }
+
     for (std::size_t i = 0; i < gpuPackets.size(); ++i) {
         const GpuPacketEvent &e = gpuPackets[i];
         if (e.queued > e.start) {

@@ -179,7 +179,7 @@ Query
 randomQuery(Rng &rng, const TraceBundle &bundle)
 {
     Query q;
-    q.metric = static_cast<QueryMetric>(rng.below(5));
+    q.metric = static_cast<QueryMetric>(rng.below(8));
     q.filter.pids = pidSets()[rng.below(pidSets().size())];
     if (rng.below(2)) {
         auto [a, b] = randomWindow(rng, bundle);
@@ -387,6 +387,32 @@ TEST(QueryWarn, OutOfRangeCpuWarnedOncePerTrace)
     EXPECT_GT(sink.count(trace::Severity::Warning), before + 1);
 }
 
+/**
+ * The dedup flag behind emitDiagnosticOnce lives in the TraceIndex,
+ * not in process-global state: a second trace analyzed in the same
+ * process must warn again, and neither trace's re-queries may.
+ */
+TEST(QueryWarn, DedupStateDoesNotLeakAcrossTracesInOneProcess)
+{
+    BundleSpec spec;
+    spec.outOfRangeCpus = true;
+    TraceBundle first = randomBundle(13, spec);
+    TraceBundle second = randomBundle(17, spec);
+
+    trace::CollectingDiagnosticSink sink;
+    trace::ScopedDiagnosticSink scoped(sink);
+
+    Session a(first);
+    a.query({tlpQuery({})}, 2);
+    EXPECT_EQ(sink.count(trace::Severity::Warning), 1u);
+    Session b(second);
+    b.query({tlpQuery({})}, 2);
+    EXPECT_EQ(sink.count(trace::Severity::Warning), 2u);
+    a.query({tlpQuery({})}, 2);
+    b.query({tlpQuery({})}, 2);
+    EXPECT_EQ(sink.count(trace::Severity::Warning), 2u);
+}
+
 TEST(QueryPlanTest, FusesSharedFiltersIntoOnePass)
 {
     TraceBundle bundle = randomBundle(2);
@@ -452,7 +478,9 @@ TEST(QuerySpec, RoundTripsCanonically)
     for (const char *spec :
          {"tlp", "busy/pids=5,6", "gpu/app=chrome/by=engine",
           "tlp/t0=0.001/t1=0.009", "csrate/cpus=0,2,3,4,5",
-          "dhist/pids=5/by=process", "tlp/app=handbrake/by=phase"}) {
+          "dhist/pids=5/by=process", "tlp/app=handbrake/by=phase",
+          "waitfrac", "readylat/pids=5/by=thread",
+          "topblocked/app=chrome"}) {
         EXPECT_EQ(querySpecString(parseQuerySpec(spec)), spec);
     }
 
@@ -469,6 +497,51 @@ TEST(QuerySpec, RoundTripsCanonically)
          {"", "bogus", "tlp/by=bucket", "tlp/cpus=64", "tlp/pids=",
           "tlp/t0=oops", "tlp/nope=1", "tlp/by=weird"}) {
         EXPECT_THROW(parseQuerySpec(bad), FatalError) << bad;
+    }
+}
+
+/**
+ * Sub-millisecond (and arbitrary) bucket widths and window bounds
+ * survive a print -> parse round trip exactly. This is the %g
+ * precision-loss regression: "tlp/by=bucket:0.000097s" used to come
+ * back as 96999 ns.
+ */
+TEST(QuerySpec, RandomizedDurationsRoundTripExactly)
+{
+    Rng rng(0xB0C4E7);
+    for (int i = 0; i < 500; ++i) {
+        Query q = tlpQuery({});
+        q.groupBy = QueryGroupBy::TimeBucket;
+        switch (rng.below(4)) {
+          case 0: // sub-millisecond, the regression range
+            q.bucket = 1 + rng.below(1'000'000);
+            break;
+          case 1: // sub-second
+            q.bucket = 1 + rng.below(1'000'000'000);
+            break;
+          case 2: // up to an hour
+            q.bucket = 1 + rng.below(3'600'000'000'000ull);
+            break;
+          default: // anything representable
+            q.bucket = 1 + rng.below(~0ull / 2);
+            break;
+        }
+        std::string spec = querySpecString(q);
+        Query parsed = parseQuerySpec(spec);
+        EXPECT_EQ(parsed.bucket, q.bucket) << spec;
+        EXPECT_EQ(querySpecString(parsed), spec) << spec;
+    }
+
+    // t0/t1 ride the same decimal-seconds printer and parser.
+    for (int i = 0; i < 200; ++i) {
+        Query q = tlpQuery({});
+        q.filter.t0 = 1 + rng.below(10'000'000'000ull);
+        q.filter.t1 =
+            q.filter.t0 + 1 + rng.below(10'000'000'000ull);
+        std::string spec = querySpecString(q);
+        Query parsed = parseQuerySpec(spec);
+        EXPECT_EQ(parsed.filter.t0, q.filter.t0) << spec;
+        EXPECT_EQ(parsed.filter.t1, q.filter.t1) << spec;
     }
 }
 
@@ -571,6 +644,13 @@ TEST(QueryCorpus, SurvivorsMatchReference)
     Query byPhase = tlpQuery({});
     byPhase.groupBy = QueryGroupBy::Phase;
     batch.push_back(byPhase);
+    Query waitfrac;
+    waitfrac.metric = QueryMetric::WaitFraction;
+    batch.push_back(waitfrac);
+    Query topblocked;
+    topblocked.metric = QueryMetric::TopBlocked;
+    topblocked.groupBy = QueryGroupBy::Process;
+    batch.push_back(topblocked);
 
     std::size_t compared = 0;
     for (std::size_t i = 0; i < 96; ++i) {

@@ -19,6 +19,7 @@
 
 #include "trace/corrupt.hh"
 #include "trace/csv.hh"
+#include "trace/diagnostic.hh"
 #include "trace/etl.hh"
 #include "trace/session.hh"
 
@@ -315,6 +316,83 @@ TEST(CsvDiagnostics, LabelPidMismatchIsDiagnosed)
               std::string::npos);
 }
 
+TEST(CsvDiagnostics, InvertedReadyTimeIsRejectedInStrictMode)
+{
+    // A thread cannot be dispatched before it became runnable; the
+    // wait math (timestamp - readyTime) would wrap to ~2^64 ns.
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,200,150,Idle (0),0,0\n";
+    IngestReport report = ingestCpu(text);
+    EXPECT_EQ(report.recordsParsed, 0u);
+    ASSERT_EQ(report.errors.size(), 1u);
+    EXPECT_EQ(report.errors[0].field, "Ready Time (ns)");
+    EXPECT_EQ(report.errors[0].line, 2u);
+    EXPECT_NE(report.errors[0].reason.find(
+                  "ready time 200 after switch-in time 150"),
+              std::string::npos);
+}
+
+TEST(CsvDiagnostics, InvertedReadyTimeIsClampedInLenientMode)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,200,150,Idle (0),0,0\n" +
+        "app (1000),1000,11,2,300,350,Idle (0),0,0\n";
+    std::istringstream in(text);
+    TraceBundle bundle;
+    ParseOptions options;
+    options.mode = ParseMode::Lenient;
+    options.source = "test.csv";
+    IngestReport report = readCpuUsageCsv(in, bundle, options);
+    // The record is salvageable: kept, counted as parsed AND
+    // clamped, and surfaced as a repair — not an error.
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.recordsParsed, 2u);
+    EXPECT_EQ(report.recordsSkipped, 0u);
+    EXPECT_EQ(report.recordsClamped, 1u);
+    EXPECT_EQ(report.errorCount, 0u);
+    ASSERT_EQ(report.repairs.size(), 1u);
+    EXPECT_EQ(report.repairs[0].line, 2u);
+    ASSERT_EQ(bundle.cswitches.size(), 2u);
+    EXPECT_EQ(bundle.cswitches[0].readyTime, 150u);
+    EXPECT_EQ(bundle.cswitches[0].timestamp, 150u);
+    EXPECT_EQ(bundle.cswitches[1].readyTime, 300u);
+}
+
+TEST(CsvDiagnostics, ClampRepairsRenderAsWarningDiagnostics)
+{
+    std::string text =
+        std::string(kCpuHeader) +
+        "app (1000),1000,11,2,200,150,Idle (0),0,0\n";
+    std::istringstream in(text);
+    TraceBundle bundle;
+    ParseOptions options;
+    options.mode = ParseMode::Lenient;
+    IngestReport report = readCpuUsageCsv(in, bundle, options);
+    auto diags = report.diagnostics();
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Warning);
+    EXPECT_EQ(diags[0].component, "ingest");
+}
+
+TEST(CsvDiagnostics, WriterRefusesInvertedReadyTime)
+{
+    TraceBundle bundle = corpusBundle();
+    bundle.cswitches[7].readyTime =
+        bundle.cswitches[7].timestamp + 1;
+    std::ostringstream out;
+    try {
+        writeCpuUsageCsv(bundle, out);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.error().section, "CSwitch");
+        EXPECT_EQ(e.error().record, 7u);
+        EXPECT_NE(e.error().reason.find("after switch-in time"),
+                  std::string::npos);
+    }
+}
+
 TEST(CsvDiagnostics, UnterminatedQuoteNamesItsColumn)
 {
     auto fields = splitCsvFields("a,\"bc,d");
@@ -500,6 +578,89 @@ TEST(EtlDiagnostics, LenientModeSkipsAnUnknownSection)
               original.processNames.size());
 }
 
+/**
+ * A minimal one-cswitch trace whose serialized readyTime varint is a
+ * unique single byte we can binary-patch into an inverted value (the
+ * writer itself refuses to emit one, so the reader tests must forge
+ * the bytes).
+ */
+std::string
+patchedInvertedEtl()
+{
+    TraceBundle bundle;
+    bundle.startTime = 0;
+    bundle.stopTime = 110;
+    bundle.numLogicalCpus = 2;
+    CSwitchEvent cs;
+    cs.timestamp = 100;
+    cs.cpu = 1;
+    cs.oldPid = 0;
+    cs.oldTid = 0;
+    cs.newPid = 5;
+    cs.newTid = 6;
+    cs.readyTime = 90;
+    bundle.cswitches.push_back(cs);
+
+    std::ostringstream out;
+    writeEtl(bundle, out);
+    std::string bytes = out.str();
+
+    // 90 is 0x5a, a single-byte varint no other field or header
+    // byte uses; the patch must hit exactly one spot.
+    std::size_t count = 0, at = 0;
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+        if (static_cast<unsigned char>(bytes[i]) == 90) {
+            ++count;
+            at = i;
+        }
+    }
+    EXPECT_EQ(count, 1u) << "ambiguous patch target";
+    bytes[at] = 120; // readyTime 120 > timestamp 100
+    return bytes;
+}
+
+TEST(EtlDiagnostics, InvertedReadyTimeIsRejectedInStrictMode)
+{
+    IngestReport report = ingestEtl(patchedInvertedEtl());
+    EXPECT_FALSE(report.ok());
+    ASSERT_FALSE(report.errors.empty());
+    EXPECT_NE(report.errors[0].reason.find(
+                  "ready time 120 after switch-in time 100"),
+              std::string::npos);
+}
+
+TEST(EtlDiagnostics, InvertedReadyTimeIsClampedInLenientMode)
+{
+    TraceBundle bundle;
+    IngestReport report = ingestEtl(patchedInvertedEtl(),
+                                    ParseMode::Lenient, &bundle);
+    EXPECT_TRUE(report.ok());
+    EXPECT_EQ(report.recordsClamped, 1u);
+    ASSERT_EQ(report.repairs.size(), 1u);
+    EXPECT_NE(report.repairs[0].reason.find("(clamped)"),
+              std::string::npos);
+    ASSERT_EQ(bundle.cswitches.size(), 1u);
+    EXPECT_EQ(bundle.cswitches[0].readyTime, 100u);
+    EXPECT_EQ(bundle.cswitches[0].timestamp, 100u);
+}
+
+TEST(EtlDiagnostics, WriteRejectsInvertedReadyTime)
+{
+    TraceBundle bundle = corpusBundle();
+    bundle.cswitches[11].readyTime =
+        bundle.cswitches[11].timestamp + 5;
+    std::ostringstream out;
+    try {
+        writeEtl(bundle, out);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError &e) {
+        EXPECT_EQ(e.error().section, "CSwitch");
+        EXPECT_EQ(e.error().record, 11u);
+        EXPECT_NE(e.error().reason.find("after switch-in time"),
+                  std::string::npos);
+    }
+}
+
 TEST(EtlDiagnostics, WriteRejectsUnsortedCSwitchesByRecordIndex)
 {
     // The silent-corruption bug this PR fixes: an unsorted stream
@@ -604,6 +765,40 @@ TEST(RoundTrip, CleanEtlReencodesByteIdenticallyInBothModes)
         writeEtl(bundle, rewritten);
         EXPECT_EQ(rewritten.str(), bytes);
     }
+}
+
+TEST(CorruptionCorpus, JunkReadyTimeMutantsExerciseClampAndReject)
+{
+    // Every JunkReadyTime mutant must land on the Ready Time field:
+    // even values plant an inverted time (clamped in lenient mode,
+    // rejected in strict), odd values plant non-numeric junk (the
+    // row is dropped in lenient mode).
+    FaultInjector injector(cpuCsvText(), 0xfeedf00dull, true);
+    unsigned seen = 0;
+    for (std::size_t i = 0; i < 400 && seen < 8; ++i) {
+        Mutation m = injector.mutationFor(i);
+        if (m.kind != Mutation::Kind::JunkReadyTime)
+            continue;
+        ++seen;
+        SCOPED_TRACE(m.describe());
+        std::string mutant = injector.mutant(i);
+
+        IngestReport strict = ingestCpu(mutant);
+        ASSERT_FALSE(strict.errors.empty());
+        EXPECT_EQ(strict.errors[0].field, "Ready Time (ns)");
+
+        IngestReport lenient =
+            ingestCpu(mutant, ParseMode::Lenient);
+        if (m.value & 1) {
+            EXPECT_EQ(lenient.recordsSkipped, 1u);
+            EXPECT_EQ(lenient.recordsClamped, 0u);
+        } else {
+            EXPECT_TRUE(lenient.ok());
+            EXPECT_EQ(lenient.recordsClamped, 1u);
+            EXPECT_EQ(lenient.recordsSkipped, 0u);
+        }
+    }
+    EXPECT_GT(seen, 0u);
 }
 
 TEST(RoundTrip, MutantsAreDeterministic)

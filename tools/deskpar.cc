@@ -52,6 +52,15 @@
  *       passes, metrics per pass) before running; --json emits one
  *       JSON array of {query, metric, rows} objects.
  *
+ *   deskpar bottlenecks <file> [--json] [--app PREFIX] [--top N]
+ *           [--jobs N] [--lenient-traces]
+ *       Wakeup-chain serialization-bottleneck report
+ *       (analysis/blocking.hh): per-thread ready-queue waits
+ *       (victims), time others spent blocked behind each thread
+ *       (culprits), the hottest wakeup edges, the critical path,
+ *       and the bottleneck-limited vs structurally-serial
+ *       classification. --top caps each ranking section.
+ *
  * The per-command synopses live in kCommands below; usage() renders
  * that table, so help text cannot drift from the dispatcher again.
  *
@@ -153,6 +162,11 @@ constexpr CommandHelp kCommands[] = {
      "query <file> [--json] [--explain] [--jobs N] "
      "[--lenient-traces] <spec>...",
      "fused batch metric queries over a saved trace"},
+    {"bottlenecks",
+     "bottlenecks <file> [--json] [--app PREFIX] [--top N] "
+     "[--jobs N] [--lenient-traces]",
+     "wakeup-chain serialization-bottleneck report (ready-queue "
+     "waits, culprits, critical path)"},
 };
 
 [[noreturn]] void
@@ -866,6 +880,92 @@ cmdQuery(int argc, char **argv, int first)
     return 0;
 }
 
+int
+cmdBottlenecks(int argc, char **argv, int first)
+{
+    std::string path;
+    std::string appPrefix;
+    bool json = false;
+    bool lenient = false;
+    unsigned jobs = 0;
+    std::size_t top = 10;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "--json")) {
+            json = true;
+        } else if (!std::strcmp(arg, "--lenient-traces")) {
+            lenient = true;
+        } else if (!std::strcmp(arg, "--app")) {
+            if (i + 1 >= argc)
+                usage();
+            appPrefix = argv[++i];
+        } else if (!std::strcmp(arg, "--top")) {
+            if (i + 1 >= argc)
+                usage();
+            top = std::stoul(argv[++i]);
+        } else if (!std::strcmp(arg, "--jobs")) {
+            if (i + 1 >= argc)
+                usage();
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage();
+        }
+    }
+    if (path.empty())
+        usage();
+
+    trace::ParseOptions popts;
+    popts.mode = lenient ? trace::ParseMode::Lenient
+                         : trace::ParseMode::Strict;
+    popts.source = path;
+    trace::IngestReport report;
+    trace::TraceBundle bundle;
+    {
+        trace::io::MappedFile file =
+            trace::io::MappedFile::openOrThrow(path, "bottlenecks");
+        if (path.size() > 4 &&
+            path.compare(path.size() - 4, 4, ".csv") == 0) {
+            report =
+                trace::decodeCpuUsageCsv(file.span(), bundle, popts);
+        } else {
+            bundle = trace::decodeEtl(file.span(), popts, report);
+        }
+    }
+    if (!report.ok()) {
+        if (!lenient)
+            throw trace::TraceParseError(report.errors.front());
+        std::fprintf(stderr, "deskpar: degraded ingest: %s\n",
+                     report.summary().c_str());
+    }
+
+    analysis::Session session(std::move(bundle));
+    trace::PidSet pids;
+    if (!appPrefix.empty()) {
+        pids = session.pids(appPrefix);
+        if (pids.empty()) {
+            std::fprintf(stderr,
+                         "deskpar: no process name matches prefix "
+                         "'%s'\n",
+                         appPrefix.c_str());
+            return 1;
+        }
+    }
+    analysis::blocking::BlockingReport blocked =
+        session.bottlenecks(pids, jobs);
+    std::fputs(json ? analysis::blocking::renderReportJson(blocked,
+                                                           top)
+                          .c_str()
+                    : analysis::blocking::renderReport(blocked, top)
+                          .c_str(),
+               stdout);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -893,6 +993,8 @@ main(int argc, char **argv)
             return cmdStats(argc, argv, 2);
         if (command == "query")
             return cmdQuery(argc, argv, 2);
+        if (command == "bottlenecks")
+            return cmdBottlenecks(argc, argv, 2);
         if (command == "run" || command == "sweep" ||
             command == "threads") {
             if (argc < 3)
