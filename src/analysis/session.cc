@@ -25,6 +25,18 @@ Session::index() const
     return *index_;
 }
 
+void
+Session::adoptIndex(std::unique_ptr<TraceIndex> index) const
+{
+    bool installed = false;
+    std::call_once(indexOnce_, [&] {
+        index_ = std::move(index);
+        installed = true;
+    });
+    if (!installed)
+        deskpar::fatal("Session::adoptIndex: index already built");
+}
+
 PidSet
 Session::pids(const std::string &prefix) const
 {
@@ -118,6 +130,13 @@ Session::frameRateSeries(const PidSet &pids,
 QueryPlan
 Session::plan(const std::vector<Query> &queries) const
 {
+    // The planner sweeps the raw cswitch stream, which a warm
+    // (cache-restored) Session intentionally does not carry.
+    if (index().restored())
+        deskpar::fatal(
+            "Session::plan: query plans are not supported on a "
+            "cache-restored Session; reopen the trace with a cold "
+            "ingest");
     return QueryPlan::compile(index(), queries);
 }
 
@@ -131,6 +150,12 @@ Session::query(const std::vector<Query> &queries,
 blocking::BlockingReport
 Session::bottlenecks(const PidSet &pids, unsigned threads) const
 {
+    // The wakeup-chain sweep also needs the raw cswitch stream.
+    if (index().restored())
+        deskpar::fatal(
+            "Session::bottlenecks: bottleneck analysis is not "
+            "supported on a cache-restored Session; reopen the "
+            "trace with a cold ingest");
     return blocking::analyze(index(), pids, threads);
 }
 

@@ -63,6 +63,16 @@ class Session
     const TraceIndex &index() const;
 
     /**
+     * Install a pre-built index — the warm-reopen path of the index
+     * cache (analysis/index_cache.hh), which restores columns from
+     * disk and hands the Session an index that borrows this
+     * Session's bundle. Fatal if the Session already built its own
+     * index. Metrics needing the raw cswitch stream (plan()/query()/
+     * bottlenecks()) refuse cache-restored Sessions.
+     */
+    void adoptIndex(std::unique_ptr<TraceIndex> index) const;
+
+    /**
      * Pids of the application whose process names start with
      * @p prefix; an empty prefix selects every non-idle application
      * process. May be empty (no match) — queries over an empty set

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <utility>
 
 #include "analysis/concurrency_timeline.hh"
 #include "analysis/intervals.hh"
 #include "obs/obs.hh"
 #include "sim/logging.hh"
+#include "trace/etl.hh"
 
 namespace deskpar::analysis {
 
@@ -29,6 +31,9 @@ struct TraceIndex::PidColumns
     detail::ConcurrencyTimeline timeline;
     /** Sorted switch-in times of target threads (responsiveness). */
     std::vector<SimTime> dispatches;
+    /** Ready-wait intervals, end-sorted (the index cache spills
+     *  these so a warm `deskpar serve` reopen keeps them). */
+    detail::WaitColumns waits;
 
     bool framesBuilt = false;
     FrameStats frames;
@@ -68,8 +73,89 @@ buildCswitchColumns(const trace::TraceBundle &bundle,
     detail::TimelineSpec spec;
     spec.pids = cols.pids;
     detail::buildConcurrencyTimeline(bundle, spec, cols.timeline,
-                                     &cols.dispatches, nullptr);
+                                     &cols.dispatches, nullptr,
+                                     &cols.waits);
 }
+
+// ---- column-blob primitives (index cache serialization) ----
+
+void
+putZigzag(std::string &out, std::int64_t v)
+{
+    trace::putVarint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                              static_cast<std::uint64_t>(v >> 63));
+}
+
+void
+putDoubleBits(std::string &out, double v)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+bool
+getU64(std::string_view data, std::size_t &pos, std::uint64_t &value)
+{
+    value = 0;
+    unsigned shift = 0;
+    while (true) {
+        if (pos >= data.size() || shift >= 64)
+            return false;
+        auto byte = static_cast<std::uint8_t>(data[pos++]);
+        value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80))
+            return true;
+        shift += 7;
+    }
+}
+
+bool
+getZigzag(std::string_view data, std::size_t &pos,
+          std::int64_t &value)
+{
+    std::uint64_t z = 0;
+    if (!getU64(data, pos, z))
+        return false;
+    value = static_cast<std::int64_t>(z >> 1) ^
+            -static_cast<std::int64_t>(z & 1);
+    return true;
+}
+
+bool
+getByte(std::string_view data, std::size_t &pos, std::uint8_t &value)
+{
+    if (pos >= data.size())
+        return false;
+    value = static_cast<std::uint8_t>(data[pos++]);
+    return true;
+}
+
+bool
+getDoubleBits(std::string_view data, std::size_t &pos, double &value)
+{
+    if (data.size() - pos < 8)
+        return false;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i)
+        bits |= static_cast<std::uint64_t>(
+                    static_cast<std::uint8_t>(data[pos + i]))
+                << (8 * i);
+    pos += 8;
+    std::memcpy(&value, &bits, sizeof value);
+    return true;
+}
+
+/** Bound an element count by the bytes left (each takes ≥ 1 byte). */
+bool
+getCount(std::string_view data, std::size_t &pos, std::uint64_t &n)
+{
+    return getU64(data, pos, n) && n <= data.size() - pos;
+}
+
+/** The serializeColumns()/adoptColumns() blob format version. */
+constexpr std::uint64_t kColumnsVersion = 1;
 
 } // namespace
 
@@ -99,6 +185,14 @@ TraceIndex::cswitchColumns(const PidSet &pids) const
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!cols.cswitchBuilt) {
+            // A restored index has no cswitch stream to sweep — the
+            // cache intentionally drops it. Recomputing here would
+            // silently return empty columns; fail loudly instead.
+            if (restored_)
+                deskpar::fatal(
+                    "TraceIndex: pid set not present in the restored "
+                    "index cache (reopen the trace with a cold "
+                    "ingest)");
             auto &mutable_cols = const_cast<PidColumns &>(cols);
             buildCswitchColumns(bundle_, mutable_cols);
             mutable_cols.cswitchBuilt = true;
@@ -150,6 +244,11 @@ TraceIndex::cpuBusyColumns() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!cpuBusy_) {
+        if (restored_)
+            deskpar::fatal(
+                "TraceIndex: per-CPU busy columns missing from the "
+                "restored index cache (reopen the trace with a cold "
+                "ingest)");
         obs::Span span("index.build.cpubusy", obs::SpanKind::Index,
                        bundle_.cswitches.size());
         auto cb = std::make_unique<CpuBusyColumns>();
@@ -173,6 +272,11 @@ TraceIndex::concurrency(const PidSet &pids, SimTime t0, SimTime t1,
 
     const PidColumns &cols = cswitchColumns(pids);
     if (!cols.timeline.usable || cols.timeline.cutoff != resolved) {
+        if (restored_)
+            deskpar::fatal(
+                "TraceIndex: query needs a cswitch sweep the "
+                "restored index cache cannot answer (reopen the "
+                "trace with a cold ingest)");
         // Direct sweep, warning suppressed: the per-trace dedup below
         // replaces the old once-per-query emission (the profile still
         // carries the count).
@@ -274,6 +378,324 @@ TraceIndex::warm(const PidSet &pids) const
     cswitchColumns(pids);
     frameStats(pids);
     gpuColumns();
+}
+
+bool
+TraceIndex::hasCswitchColumns(const PidSet &pids) const
+{
+    std::vector<trace::Pid> key(pids.begin(), pids.end());
+    std::sort(key.begin(), key.end());
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = perPid_.find(key);
+    return it != perPid_.end() && it->second->cswitchBuilt;
+}
+
+std::string
+TraceIndex::serializeColumns() const
+{
+    // Build the pid-agnostic families first (their builders take the
+    // same mutex the serialization walk holds).
+    const GpuColumns &gc = gpuColumns();
+    const CpuBusyColumns &cb = cpuBusyColumns();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    obs::Span span("index.serialize", obs::SpanKind::Index);
+
+    for (const auto &[key, slot] : perPid_) {
+        if (slot->cswitchBuilt && !slot->timeline.usable)
+            return std::string(); // legacy-fallback index: no cache
+    }
+
+    std::string out;
+    trace::putVarint(out, kColumnsVersion);
+
+    out.push_back(gc.sortedByStart ? 1 : 0);
+    trace::putVarint(out, gc.starts.size());
+    SimTime prev = 0;
+    for (SimTime s : gc.starts) { // may be unsorted → zigzag deltas
+        putZigzag(out, static_cast<std::int64_t>(s - prev));
+        prev = s;
+    }
+    prev = 0;
+    for (SimTime f : gc.maxFinish) { // running max → plain deltas
+        trace::putVarint(out, f - prev);
+        prev = f;
+    }
+
+    trace::putVarint(out, cb.busy.size());
+    for (const auto &[cpu, intervals] : cb.busy) {
+        trace::putVarint(out, cpu);
+        trace::putVarint(out, intervals.size());
+        prev = 0;
+        for (const Interval &iv : intervals) {
+            putZigzag(out, static_cast<std::int64_t>(iv.begin - prev));
+            prev = iv.begin;
+            trace::putVarint(out, iv.end - iv.begin);
+        }
+    }
+
+    trace::putVarint(out, perPid_.size());
+    for (const auto &[key, slot] : perPid_) {
+        trace::putVarint(out, key.size());
+        trace::Pid prevPid = 0;
+        for (trace::Pid pid : key) { // key is sorted
+            trace::putVarint(out, pid - prevPid);
+            prevPid = pid;
+        }
+        const PidColumns &c = *slot;
+        out.push_back(c.cswitchBuilt ? 1 : 0);
+        if (c.cswitchBuilt) {
+            const detail::ConcurrencyTimeline &tl = c.timeline;
+            out.push_back(tl.usable ? 1 : 0);
+            trace::putVarint(out, tl.cutoff);
+            trace::putVarint(out, tl.outOfRangeCpuEvents);
+            trace::putVarint(out, tl.times.size());
+            prev = 0;
+            for (SimTime t : tl.times) { // sorted breakpoints
+                trace::putVarint(out, t - prev);
+                prev = t;
+            }
+            trace::putVarint(out, tl.levels.size());
+            for (int level : tl.levels)
+                putZigzag(out, level);
+            trace::putVarint(out, tl.cum.size());
+            for (SimDuration d : tl.cum)
+                trace::putVarint(out, d);
+            trace::putVarint(out, c.dispatches.size());
+            prev = 0;
+            for (SimTime t : c.dispatches) { // sorted
+                trace::putVarint(out, t - prev);
+                prev = t;
+            }
+            trace::putVarint(out, c.waits.begin.size());
+            prev = 0;
+            for (SimTime t : c.waits.begin) {
+                putZigzag(out, static_cast<std::int64_t>(t - prev));
+                prev = t;
+            }
+            prev = 0;
+            for (SimTime t : c.waits.end) { // end-sorted
+                trace::putVarint(out, t - prev);
+                prev = t;
+            }
+            // minBegin is the suffix minimum of the begin column in
+            // this order — recomputed on adopt, never stored.
+        }
+        out.push_back(c.framesBuilt ? 1 : 0);
+        if (c.framesBuilt) {
+            trace::putVarint(out, c.frames.frames);
+            trace::putVarint(out, c.frames.synthesizedFrames);
+            putDoubleBits(out, c.frames.avgFps);
+            putDoubleBits(out, c.frames.fpsStddev);
+            putDoubleBits(out, c.frames.onePercentLowFps);
+        }
+    }
+    return out;
+}
+
+bool
+TraceIndex::adoptColumns(std::string_view data, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (gpu_ || cpuBusy_ || !perPid_.empty())
+        deskpar::fatal(
+            "TraceIndex::adoptColumns: columns already built");
+    obs::Span span("index.adopt", obs::SpanKind::Index, data.size());
+
+    auto fail = [&](const char *what) {
+        if (error)
+            *error = what;
+        gpu_.reset();
+        cpuBusy_.reset();
+        perPid_.clear();
+        return false;
+    };
+
+    std::size_t pos = 0;
+    std::uint64_t v = 0;
+    if (!getU64(data, pos, v) || v != kColumnsVersion)
+        return fail("unsupported index-columns version");
+
+    std::uint8_t flag = 0;
+    if (!getByte(data, pos, flag))
+        return fail("truncated GPU columns");
+    auto gc = std::make_unique<GpuColumns>();
+    gc->sortedByStart = flag != 0;
+    std::uint64_t n = 0;
+    if (!getCount(data, pos, n))
+        return fail("corrupt GPU column count");
+    gc->starts.reserve(static_cast<std::size_t>(n));
+    gc->maxFinish.reserve(static_cast<std::size_t>(n));
+    SimTime prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::int64_t d = 0;
+        if (!getZigzag(data, pos, d))
+            return fail("truncated GPU start column");
+        prev += static_cast<std::uint64_t>(d);
+        gc->starts.push_back(prev);
+    }
+    prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint64_t d = 0;
+        if (!getU64(data, pos, d))
+            return fail("truncated GPU finish column");
+        prev += d;
+        gc->maxFinish.push_back(prev);
+    }
+
+    auto cb = std::make_unique<CpuBusyColumns>();
+    std::uint64_t cpus = 0;
+    if (!getCount(data, pos, cpus))
+        return fail("corrupt CPU-busy map size");
+    for (std::uint64_t c = 0; c < cpus; ++c) {
+        std::uint64_t cpu = 0, count = 0;
+        if (!getU64(data, pos, cpu) || !getCount(data, pos, count))
+            return fail("corrupt CPU-busy entry");
+        auto &intervals = cb->busy[static_cast<trace::CpuId>(cpu)];
+        intervals.reserve(static_cast<std::size_t>(count));
+        prev = 0;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            std::int64_t db = 0;
+            std::uint64_t len = 0;
+            if (!getZigzag(data, pos, db) || !getU64(data, pos, len))
+                return fail("truncated CPU-busy intervals");
+            prev += static_cast<std::uint64_t>(db);
+            intervals.push_back(Interval{prev, prev + len});
+        }
+    }
+
+    std::uint64_t sets = 0;
+    if (!getCount(data, pos, sets))
+        return fail("corrupt pid-set count");
+    for (std::uint64_t s = 0; s < sets; ++s) {
+        std::uint64_t pidCount = 0;
+        if (!getCount(data, pos, pidCount))
+            return fail("corrupt pid-set size");
+        std::vector<trace::Pid> key;
+        key.reserve(static_cast<std::size_t>(pidCount));
+        trace::Pid prevPid = 0;
+        for (std::uint64_t i = 0; i < pidCount; ++i) {
+            std::uint64_t d = 0;
+            if (!getU64(data, pos, d))
+                return fail("truncated pid set");
+            prevPid += static_cast<trace::Pid>(d);
+            key.push_back(prevPid);
+        }
+        auto cols = std::make_unique<PidColumns>();
+        cols->pids = PidSet(key.begin(), key.end());
+
+        if (!getByte(data, pos, flag))
+            return fail("truncated cswitch-built flag");
+        if (flag) {
+            detail::ConcurrencyTimeline &tl = cols->timeline;
+            if (!getByte(data, pos, flag))
+                return fail("truncated timeline header");
+            tl.usable = flag != 0;
+            std::uint64_t cutoff = 0;
+            if (!getU64(data, pos, cutoff) ||
+                !getU64(data, pos, tl.outOfRangeCpuEvents))
+                return fail("truncated timeline header");
+            tl.cutoff = static_cast<unsigned>(cutoff);
+            if (!getCount(data, pos, n))
+                return fail("corrupt timeline size");
+            tl.times.reserve(static_cast<std::size_t>(n));
+            prev = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::uint64_t d = 0;
+                if (!getU64(data, pos, d))
+                    return fail("truncated timeline times");
+                prev += d;
+                tl.times.push_back(prev);
+            }
+            if (!getCount(data, pos, n))
+                return fail("corrupt level-column size");
+            tl.levels.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::int64_t level = 0;
+                if (!getZigzag(data, pos, level))
+                    return fail("truncated level column");
+                tl.levels.push_back(static_cast<int>(level));
+            }
+            if (!getCount(data, pos, n))
+                return fail("corrupt checkpoint size");
+            tl.cum.reserve(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::uint64_t d = 0;
+                if (!getU64(data, pos, d))
+                    return fail("truncated checkpoint column");
+                tl.cum.push_back(d);
+            }
+            if (!getCount(data, pos, n))
+                return fail("corrupt dispatch-column size");
+            cols->dispatches.reserve(static_cast<std::size_t>(n));
+            prev = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::uint64_t d = 0;
+                if (!getU64(data, pos, d))
+                    return fail("truncated dispatch column");
+                prev += d;
+                cols->dispatches.push_back(prev);
+            }
+            if (!getCount(data, pos, n))
+                return fail("corrupt wait-column size");
+            detail::WaitColumns &w = cols->waits;
+            w.begin.reserve(static_cast<std::size_t>(n));
+            w.end.reserve(static_cast<std::size_t>(n));
+            w.minBegin.reserve(static_cast<std::size_t>(n));
+            prev = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::int64_t d = 0;
+                if (!getZigzag(data, pos, d))
+                    return fail("truncated wait begins");
+                prev += static_cast<std::uint64_t>(d);
+                w.begin.push_back(prev);
+            }
+            prev = 0;
+            for (std::uint64_t i = 0; i < n; ++i) {
+                std::uint64_t d = 0;
+                if (!getU64(data, pos, d))
+                    return fail("truncated wait ends");
+                prev += d;
+                w.end.push_back(prev);
+            }
+            // Rebuild the suffix-minimum column the serializer
+            // elides; one reverse pass over the decoded begins.
+            w.minBegin.assign(w.begin.size(), 0);
+            SimTime mn = 0;
+            for (std::size_t i = w.begin.size(); i-- > 0;) {
+                mn = i + 1 == w.begin.size()
+                         ? w.begin[i]
+                         : std::min(mn, w.begin[i]);
+                w.minBegin[i] = mn;
+            }
+            cols->cswitchBuilt = true;
+        }
+
+        if (!getByte(data, pos, flag))
+            return fail("truncated frames-built flag");
+        if (flag) {
+            std::uint64_t frames = 0, synth = 0;
+            if (!getU64(data, pos, frames) ||
+                !getU64(data, pos, synth) ||
+                !getDoubleBits(data, pos, cols->frames.avgFps) ||
+                !getDoubleBits(data, pos, cols->frames.fpsStddev) ||
+                !getDoubleBits(data, pos,
+                               cols->frames.onePercentLowFps))
+                return fail("truncated frame statistics");
+            cols->frames.frames = static_cast<std::size_t>(frames);
+            cols->frames.synthesizedFrames =
+                static_cast<std::size_t>(synth);
+            cols->framesBuilt = true;
+        }
+        perPid_[std::move(key)] = std::move(cols);
+    }
+    if (pos != data.size())
+        return fail("trailing bytes in index-columns blob");
+
+    gpu_ = std::move(gc);
+    cpuBusy_ = std::move(cb);
+    restored_ = true;
+    return true;
 }
 
 } // namespace deskpar::analysis

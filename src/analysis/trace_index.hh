@@ -45,6 +45,8 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/framerate.hh"
@@ -125,6 +127,37 @@ class TraceIndex
                             unsigned num_cpus) const;
 
     /**
+     * Serialize every built column family — GPU and per-CPU-busy
+     * columns (built here if missing), plus each cached pid set's
+     * concurrency checkpoints, dispatch column, wait intervals and
+     * frame statistics — into a portable byte blob for the on-disk
+     * index cache (analysis/index_cache.hh). Returns an empty string
+     * when any built timeline is unusable (disordered stream): such
+     * an index answers queries through the legacy fallback sweep,
+     * which a warm reopen cannot reproduce, so it is not cacheable.
+     */
+    std::string serializeColumns() const;
+
+    /**
+     * Populate a freshly constructed index from a serializeColumns()
+     * blob instead of sweeping the bundle. Only legal before any
+     * column build (fatal otherwise). Returns false with @p error set
+     * when the blob is malformed; the index is left empty and usable
+     * for a normal cold build. On success the index is marked
+     * restored(): queries against pid sets absent from the blob, and
+     * windowed sweeps the checkpoints cannot answer, fail loudly
+     * instead of silently recomputing from a bundle whose cswitch
+     * stream the cache intentionally omits.
+     */
+    bool adoptColumns(std::string_view data, std::string *error);
+
+    /** True when the columns came from adoptColumns(). */
+    bool restored() const { return restored_; }
+
+    /** True when the cswitch columns of @p pids are already built. */
+    bool hasCswitchColumns(const PidSet &pids) const;
+
+    /**
      * Column layouts; defined in trace_index.cc (opaque to callers,
      * named here so the build/query helpers can take them).
      */
@@ -142,6 +175,9 @@ class TraceIndex
 
     /** One warning per indexed trace (warnOutOfRangeOnce). */
     mutable std::atomic<bool> warnedOutOfRange_{false};
+
+    /** Columns restored from a cache blob (adoptColumns). */
+    mutable bool restored_ = false;
 
     mutable std::mutex mutex_;
     /** Per-pid-set columns, keyed by the sorted pid list. */

@@ -16,6 +16,7 @@
 #include "trace/csv.hh"
 #include "trace/diagnostic.hh"
 #include "trace/etl.hh"
+#include "trace/etlc.hh"
 #include "trace/filter.hh"
 #include "trace/io.hh"
 
@@ -126,6 +127,9 @@ replayJob(const std::string &path, const RunOptions &options,
                 path.compare(path.size() - 4, 4, ".csv") == 0) {
                 report = trace::decodeCpuUsageCsv(file.span(), bundle,
                                                   popts);
+            } else if (trace::isEtlcData(file.span())) {
+                bundle =
+                    trace::decodeEtlc(file.span(), popts, report);
             } else {
                 bundle = trace::decodeEtl(file.span(), popts, report);
             }

@@ -4,6 +4,9 @@
 #include <utility>
 #include <vector>
 
+#include "trace/etl.hh"
+#include "trace/etlc.hh"
+
 namespace deskpar::trace {
 
 namespace {
@@ -83,6 +86,14 @@ Mutation::describe() const
             return "SwapLines";
           case Kind::JunkReadyTime:
             return "JunkReadyTime";
+          case Kind::FlipBlockCrc:
+            return "FlipBlockCrc";
+          case Kind::TruncateFinalBlock:
+            return "TruncateFinalBlock";
+          case Kind::InflateBlockLength:
+            return "InflateBlockLength";
+          case Kind::VarintOverrun:
+            return "VarintOverrun";
           case Kind::kCount:
             break;
         }
@@ -95,7 +106,13 @@ Mutation::describe() const
 
 FaultInjector::FaultInjector(std::string original, std::uint64_t seed,
                              bool text)
-    : original_(std::move(original)), seed_(seed), text_(text)
+    : FaultInjector(std::move(original), seed,
+                    text ? TraceFormat::Text : TraceFormat::Binary)
+{}
+
+FaultInjector::FaultInjector(std::string original, std::uint64_t seed,
+                             TraceFormat format)
+    : original_(std::move(original)), seed_(seed), format_(format)
 {}
 
 Mutation
@@ -104,14 +121,31 @@ FaultInjector::mutationFor(std::size_t index) const
     Rng rng{mix(seed_ ^ (0x5eedull + index))};
     auto byteKinds = static_cast<std::size_t>(
         Mutation::Kind::DeleteCsvField);
-    auto allKinds =
-        static_cast<std::size_t>(Mutation::Kind::kCount);
-    std::size_t kinds = text_ ? allKinds : byteKinds;
+    // The text rotation covers the byte-level and CSV-aware kinds —
+    // everything below the .etlc block-anatomy family.
+    auto textKinds =
+        static_cast<std::size_t>(Mutation::Kind::FlipBlockCrc);
+    constexpr std::size_t etlcKinds = 4;
 
     Mutation m;
     // Rotate through the kinds so every family is covered evenly,
     // regardless of corpus size.
-    m.kind = static_cast<Mutation::Kind>(index % kinds);
+    switch (format_) {
+      case TraceFormat::Binary:
+        m.kind = static_cast<Mutation::Kind>(index % byteKinds);
+        break;
+      case TraceFormat::Text:
+        m.kind = static_cast<Mutation::Kind>(index % textKinds);
+        break;
+      case TraceFormat::Etlc: {
+        std::size_t k = index % (byteKinds + etlcKinds);
+        m.kind = k < byteKinds
+                     ? static_cast<Mutation::Kind>(k)
+                     : static_cast<Mutation::Kind>(
+                           textKinds + (k - byteKinds));
+        break;
+      }
+    }
     m.pos = rng.below(original_.size() + 1);
     m.length = 1 + rng.below(16);
     m.value = static_cast<std::uint8_t>(rng.next() & 0xff);
@@ -267,6 +301,62 @@ FaultInjector::apply(const std::string &data, const Mutation &m,
         out.replace(from, commas[4] - from,
                     m.value & 1 ? "notatime"
                                 : "18446744073709551615");
+        break;
+      }
+
+      case Mutation::Kind::FlipBlockCrc: {
+        auto blocks = etlcScanBlocks(out);
+        if (blocks.empty())
+            break;
+        const EtlcBlockRef &ref = blocks[m.pos % blocks.size()];
+        std::size_t at = ref.crcPos + (m.value & 3);
+        out[at] = static_cast<char>(
+            static_cast<std::uint8_t>(out[at]) ^ 0xff);
+        break;
+      }
+
+      case Mutation::Kind::TruncateFinalBlock: {
+        auto blocks = etlcScanBlocks(out);
+        if (blocks.empty())
+            break;
+        const EtlcBlockRef &last = blocks.back();
+        // Land strictly inside the data bytes, so both the block and
+        // its section frame become short.
+        out.resize(last.dataPos +
+                   m.value % std::max<std::size_t>(1, last.dataLen));
+        break;
+      }
+
+      case Mutation::Kind::InflateBlockLength: {
+        auto blocks = etlcScanBlocks(out);
+        if (blocks.empty())
+            break;
+        const EtlcBlockRef &ref = blocks[m.pos % blocks.size()];
+        // Even values: plausible but wrong (caught by the decoded
+        // length / record-count cross-checks). Odd values: past the
+        // 4 MiB cap (caught before any allocation).
+        std::uint64_t inflated =
+            m.value & 1 ? kEtlcMaxBlockBytes + 1 + ref.rawLen
+                        : ref.rawLen * 2 + 16;
+        std::size_t end = ref.rawLenPos;
+        while (end < out.size() &&
+               (static_cast<std::uint8_t>(out[end]) & 0x80))
+            ++end;
+        std::string varint;
+        putVarint(varint, inflated);
+        out.replace(ref.rawLenPos, end + 1 - ref.rawLenPos, varint);
+        break;
+      }
+
+      case Mutation::Kind::VarintOverrun: {
+        auto blocks = etlcScanBlocks(out);
+        if (blocks.empty())
+            break;
+        const EtlcBlockRef &ref = blocks[m.pos % blocks.size()];
+        std::size_t n =
+            std::min<std::size_t>(12, out.size() - ref.framePos);
+        for (std::size_t i = 0; i < n; ++i)
+            out[ref.framePos + i] = static_cast<char>(0xff);
         break;
       }
 

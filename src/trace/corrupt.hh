@@ -53,6 +53,24 @@ struct Mutation
          * or reject, or non-numeric junk (text inputs).
          */
         JunkReadyTime,
+        /**
+         * XOR one byte of one block's CRC32C field (.etlc inputs —
+         * the checksum no longer matches the stored bytes).
+         */
+        FlipBlockCrc,
+        /** Cut the file inside the final block's data bytes (.etlc). */
+        TruncateFinalBlock,
+        /**
+         * Rewrite one block's uncompressed-length varint: either a
+         * plausible wrong value (decoded-length mismatch) or one
+         * past the 4 MiB cap (allocation guard) (.etlc).
+         */
+        InflateBlockLength,
+        /**
+         * Stomp 0xff over a block frame header so its varints run
+         * past 64 bits / off the section end (.etlc).
+         */
+        VarintOverrun,
         kCount,
     };
 
@@ -65,16 +83,32 @@ struct Mutation
     std::string describe() const;
 };
 
+/** What the injected bytes are, selecting the mutation rotation. */
+enum class TraceFormat : std::uint8_t {
+    /** .etl v3 (or any opaque bytes): byte-level kinds only. */
+    Binary,
+    /** CSV text: byte-level plus the CSV-aware kinds. */
+    Text,
+    /** .etlc: byte-level plus the block-anatomy kinds. */
+    Etlc,
+};
+
 /** Deterministic mutant factory over one serialized trace. */
 class FaultInjector
 {
   public:
     /**
      * @p text selects the CSV-aware mutation kinds in the rotation;
-     * binary inputs get only the byte-level kinds.
+     * binary inputs get only the byte-level kinds. (Kept for the
+     * pre-.etlc call sites; same rotations as the TraceFormat
+     * overload's Binary/Text.)
      */
     FaultInjector(std::string original, std::uint64_t seed,
                   bool text = false);
+
+    /** As above with the full format vocabulary. */
+    FaultInjector(std::string original, std::uint64_t seed,
+                  TraceFormat format);
 
     const std::string &original() const { return original_; }
 
@@ -91,7 +125,7 @@ class FaultInjector
   private:
     std::string original_;
     std::uint64_t seed_;
-    bool text_;
+    TraceFormat format_;
 };
 
 } // namespace deskpar::trace

@@ -590,8 +590,14 @@ readCsvSpan(io::ByteSpan data, TraceBundle &bundle,
     if (jobs > 1 && body.find('"') != std::string_view::npos)
         jobs = 1;
 
+    // Reserve estimate: the bytes-per-row divisor alone over-reserves
+    // badly on traces with long process names (a 300-byte row is
+    // still one event), holding ~2x peak memory through the parallel
+    // merge. One event needs one line, so the newline pre-scan count
+    // is a hard upper bound — take the smaller of the two.
     if (jobs <= 1) {
-        auto rows = body.size() / bytesPerRow + 1;
+        auto rows = std::min<std::uint64_t>(
+            body.size() / bytesPerRow + 1, lineCount(body));
         if (reserved == 0)
             bundle.cswitches.reserve(bundle.cswitches.size() + rows);
         else
@@ -602,10 +608,12 @@ readCsvSpan(io::ByteSpan data, TraceBundle &bundle,
 
     std::vector<io::ByteSpan> chunks = splitAtNewlines(body, jobs);
     std::vector<std::uint64_t> startLines(chunks.size());
+    std::vector<std::uint64_t> chunkLines(chunks.size());
     std::uint64_t nextLine = 2; // line 1 is the header
     for (std::size_t i = 0; i < chunks.size(); ++i) {
         startLines[i] = nextLine;
-        nextLine += lineCount(chunks[i]);
+        chunkLines[i] = lineCount(chunks[i]);
+        nextLine += chunkLines[i];
     }
 
     std::vector<TraceBundle> parts(chunks.size());
@@ -613,7 +621,8 @@ readCsvSpan(io::ByteSpan data, TraceBundle &bundle,
     sim::parallelFor(jobs, chunks.size(), [&](std::size_t i) {
         obs::Span chunkSpan("ingest.csv.chunk", obs::SpanKind::Ingest,
                             chunks[i].size());
-        auto rows = chunks[i].size() / bytesPerRow + 1;
+        auto rows = std::min<std::uint64_t>(
+            chunks[i].size() / bytesPerRow + 1, chunkLines[i]);
         if (reserved == 0)
             parts[i].cswitches.reserve(rows);
         else

@@ -56,7 +56,7 @@ TEST(PeriodicBurst, AnchoredThreadsStayPhaseLocked)
         params.presentsFrame = true;
         params.tickLimit = 20;
         proc.createThread(std::make_shared<PeriodicBurst>(params),
-                          "t" + std::to_string(i));
+                          std::string("t") + std::to_string(i));
     }
     machine.run(sec(3));
     machine.session().stop(machine.now());

@@ -45,7 +45,7 @@ TEST_P(SchedulerSweep, FixedWorkAlwaysCompletes)
     for (unsigned i = 0; i < threads; ++i) {
         proc.createThread(
             makeSequence({Action::compute(workForMs(20.0, 3.7))}),
-            "w" + std::to_string(i));
+            std::string("w") + std::to_string(i));
     }
     machine.run(sec(10));
     for (const auto &thread : proc.threads()) {
@@ -67,7 +67,7 @@ TEST_P(SchedulerSweep, CSwitchStreamIsWellFormed)
                     return Action::compute(workForMs(2.0, 3.7));
                 return Action::exit();
             }),
-            "w" + std::to_string(i));
+            std::string("w") + std::to_string(i));
     }
     machine.run(sec(5));
     machine.session().stop(machine.now());
@@ -107,7 +107,7 @@ TEST_P(SchedulerSweep, ConcurrencyNeverExceedsActiveCpus)
                 }
                 return Action::exit();
             }),
-            "w" + std::to_string(i));
+            std::string("w") + std::to_string(i));
     }
     machine.run(sec(3));
     machine.session().stop(machine.now());
@@ -128,7 +128,7 @@ TEST_P(SchedulerSweep, OnlyActiveCpusAreUsed)
     for (unsigned i = 0; i < 14; ++i) {
         proc.createThread(
             makeSequence({Action::compute(workForMs(5.0, 3.7))}),
-            "w" + std::to_string(i));
+            std::string("w") + std::to_string(i));
     }
     machine.run(sec(2));
     machine.session().stop(machine.now());

@@ -74,7 +74,7 @@ TEST(Scheduler, ParallelThreadsUseDistinctCpus)
     machine.session().start(0);
     auto &proc = machine.createProcess("app");
     for (int i = 0; i < 6; ++i)
-        proc.createThread(burstLoop(1, 5.0), "w" + std::to_string(i));
+        proc.createThread(burstLoop(1, 5.0), std::string("w") + std::to_string(i));
     machine.run(sec(1));
     machine.session().stop(machine.now());
 
@@ -94,7 +94,7 @@ TEST(Scheduler, PlacementPrefersIdlePhysicalCores)
     // 6 threads on a 6-core/12-thread machine: each should land on
     // its own physical core, no SMT sharing.
     for (int i = 0; i < 6; ++i)
-        proc.createThread(burstLoop(1, 5.0), "w" + std::to_string(i));
+        proc.createThread(burstLoop(1, 5.0), std::string("w") + std::to_string(i));
     machine.run(msec(1));
 
     std::set<unsigned> cores;
@@ -115,7 +115,7 @@ TEST(Scheduler, CoreScalingSerializesExcessThreads)
         auto &proc = machine.createProcess("app");
         for (int i = 0; i < 8; ++i) {
             proc.createThread(burstLoop(4, 10.0),
-                              "w" + std::to_string(i));
+                              std::string("w") + std::to_string(i));
         }
         machine.run(sec(10));
         for (const auto &t : proc.threads())
@@ -147,7 +147,7 @@ TEST(Scheduler, QuantumPreemptsWhenOversubscribed)
     machine.session().start(0);
     auto &proc = machine.createProcess("app");
     for (int i = 0; i < 8; ++i)
-        proc.createThread(burstLoop(1, 100.0), "w" + std::to_string(i));
+        proc.createThread(burstLoop(1, 100.0), std::string("w") + std::to_string(i));
     machine.run(sec(5));
     machine.session().stop(machine.now());
 
@@ -167,7 +167,7 @@ TEST(Scheduler, NoSmtMaskNeverSharesCores)
     machine.session().start(0);
     auto &proc = machine.createProcess("app");
     for (int i = 0; i < 6; ++i)
-        proc.createThread(burstLoop(2, 10.0), "w" + std::to_string(i));
+        proc.createThread(burstLoop(2, 10.0), std::string("w") + std::to_string(i));
     machine.run(sec(2));
     EXPECT_EQ(machine.scheduler().stats().smtSharedTime, 0u);
     EXPECT_EQ(machine.activeLogicalCpus(), 6u);
@@ -187,7 +187,7 @@ TEST(Scheduler, SmtContentionSlowsCoRunners)
         unsigned n = cpus;
         for (unsigned i = 0; i < n; ++i) {
             proc.createThread(burstLoop(1, 50.0),
-                              "w" + std::to_string(i));
+                              std::string("w") + std::to_string(i));
         }
         machine.run(sec(10));
         machine.session().stop(machine.now());
@@ -218,7 +218,7 @@ TEST(Scheduler, SmtFriendlinessReducesPenalty)
         auto &proc = machine.createProcess("app", friendliness);
         for (int i = 0; i < 12; ++i) {
             proc.createThread(burstLoop(1, 50.0),
-                              "w" + std::to_string(i));
+                              std::string("w") + std::to_string(i));
         }
         machine.run(sec(10));
         machine.session().stop(machine.now());
@@ -241,7 +241,7 @@ TEST(Scheduler, TurboClockDropsUnderLoad)
 
     auto &proc = machine.createProcess("app");
     for (int i = 0; i < 12; ++i)
-        proc.createThread(burstLoop(1, 50.0), "w" + std::to_string(i));
+        proc.createThread(burstLoop(1, 50.0), std::string("w") + std::to_string(i));
     machine.run(msec(1));
     EXPECT_DOUBLE_EQ(machine.scheduler().currentClockGhz(), 3.70);
 }

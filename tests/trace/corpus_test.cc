@@ -21,6 +21,7 @@
 #include "trace/csv.hh"
 #include "trace/diagnostic.hh"
 #include "trace/etl.hh"
+#include "trace/etlc.hh"
 #include "trace/session.hh"
 
 namespace {
@@ -122,6 +123,14 @@ etlBytes()
     return out.str();
 }
 
+std::string
+etlcBytes()
+{
+    std::ostringstream out;
+    writeEtlc(corpusBundle(), out);
+    return out.str();
+}
+
 /** The corpus invariants one ingest of @p report must satisfy. */
 void
 checkReport(const IngestReport &report, const ParseOptions &options)
@@ -142,9 +151,10 @@ constexpr std::size_t kMutantsPerReader = 250;
 /** Feed every mutant to @p ingest in both modes; nothing escapes. */
 template <typename IngestFn>
 void
-runCorpus(const std::string &valid, bool text, IngestFn &&ingest)
+runCorpus(const std::string &valid, TraceFormat format,
+          IngestFn &&ingest)
 {
-    FaultInjector injector(valid, 0xdeadbeefcafe1234ull, text);
+    FaultInjector injector(valid, 0xdeadbeefcafe1234ull, format);
     for (std::size_t i = 0; i < kMutantsPerReader; ++i) {
         std::string mutant = injector.mutant(i);
         for (ParseMode mode : {ParseMode::Strict, ParseMode::Lenient}) {
@@ -164,7 +174,7 @@ runCorpus(const std::string &valid, bool text, IngestFn &&ingest)
 
 TEST(CorruptionCorpus, CpuCsvMutantsNeverEscape)
 {
-    runCorpus(cpuCsvText(), true,
+    runCorpus(cpuCsvText(), TraceFormat::Text,
               [](const std::string &data,
                  const ParseOptions &options) {
                   std::istringstream in(data);
@@ -175,7 +185,7 @@ TEST(CorruptionCorpus, CpuCsvMutantsNeverEscape)
 
 TEST(CorruptionCorpus, GpuCsvMutantsNeverEscape)
 {
-    runCorpus(gpuCsvText(), true,
+    runCorpus(gpuCsvText(), TraceFormat::Text,
               [](const std::string &data,
                  const ParseOptions &options) {
                   std::istringstream in(data);
@@ -186,7 +196,7 @@ TEST(CorruptionCorpus, GpuCsvMutantsNeverEscape)
 
 TEST(CorruptionCorpus, EtlMutantsNeverEscape)
 {
-    runCorpus(etlBytes(), false,
+    runCorpus(etlBytes(), TraceFormat::Binary,
               [](const std::string &data,
                  const ParseOptions &options) {
                   std::istringstream in(data);
@@ -194,6 +204,25 @@ TEST(CorruptionCorpus, EtlMutantsNeverEscape)
                   readEtl(in, options, report);
                   return report;
               });
+}
+
+TEST(CorruptionCorpus, EtlcMutantsNeverEscape)
+{
+    // The block-anatomy kinds (flipped checksums, truncated final
+    // blocks, inflated length fields, varint overruns) join the
+    // byte-level rotation; decode runs both serial and block-parallel
+    // so the corpus covers the fan-out merge too.
+    for (unsigned threads : {1u, 7u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        runCorpus(etlcBytes(), TraceFormat::Etlc,
+                  [threads](const std::string &data,
+                            ParseOptions options) {
+                      options.threads = threads;
+                      IngestReport report;
+                      decodeEtlc(io::ByteSpan(data), options, report);
+                      return report;
+                  });
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -813,6 +842,83 @@ TEST(RoundTrip, MutantsAreDeterministic)
     for (std::size_t i = 0; i < 32; ++i)
         differing += a.mutant(i) != c.mutant(i);
     EXPECT_GT(differing, 0u);
+}
+
+// ---------------------------------------------------------------------
+// The .etlc block-anatomy mutation family.
+// ---------------------------------------------------------------------
+
+TEST(EtlcCorpus, RotationCoversEveryBlockAnatomyKind)
+{
+    FaultInjector injector(etlcBytes(), 7, TraceFormat::Etlc);
+    bool seen[static_cast<std::size_t>(Mutation::Kind::kCount)] = {};
+    for (std::size_t i = 0; i < 64; ++i)
+        seen[static_cast<std::size_t>(
+            injector.mutationFor(i).kind)] = true;
+    for (Mutation::Kind kind :
+         {Mutation::Kind::FlipBlockCrc,
+          Mutation::Kind::TruncateFinalBlock,
+          Mutation::Kind::InflateBlockLength,
+          Mutation::Kind::VarintOverrun, Mutation::Kind::Truncate,
+          Mutation::Kind::BitFlip})
+        EXPECT_TRUE(seen[static_cast<std::size_t>(kind)])
+            << "kind " << static_cast<unsigned>(kind)
+            << " missing from the Etlc rotation";
+    // The CSV-aware kinds must NOT appear against binary blocks.
+    EXPECT_FALSE(
+        seen[static_cast<std::size_t>(Mutation::Kind::BreakQuote)]);
+}
+
+TEST(EtlcCorpus, TextRotationIsUnchangedByTheNewKinds)
+{
+    // Adding the block-anatomy kinds must not renumber the Text
+    // rotation: mutant streams are part of the corpus contract
+    // (failures reproduce across revisions by index).
+    FaultInjector byFlag(cpuCsvText(), 99, true);
+    FaultInjector byFormat(cpuCsvText(), 99, TraceFormat::Text);
+    for (std::size_t i = 0; i < 48; ++i) {
+        EXPECT_EQ(byFlag.mutationFor(i).kind,
+                  byFormat.mutationFor(i).kind);
+        EXPECT_EQ(byFlag.mutant(i), byFormat.mutant(i));
+        EXPECT_LT(static_cast<std::size_t>(
+                      byFlag.mutationFor(i).kind),
+                  static_cast<std::size_t>(
+                      Mutation::Kind::FlipBlockCrc));
+    }
+}
+
+TEST(EtlcCorpus, BlockMutationsActuallyChangeTheBytes)
+{
+    std::string bytes = etlcBytes();
+    ASSERT_FALSE(etlcScanBlocks(io::ByteSpan(bytes)).empty());
+    for (Mutation::Kind kind :
+         {Mutation::Kind::FlipBlockCrc,
+          Mutation::Kind::TruncateFinalBlock,
+          Mutation::Kind::InflateBlockLength,
+          Mutation::Kind::VarintOverrun}) {
+        Mutation m;
+        m.kind = kind;
+        m.pos = 3;
+        m.length = 4;
+        m.value = 5;
+        std::string mutated = FaultInjector::apply(bytes, m, 11);
+        EXPECT_NE(mutated, bytes)
+            << "no-op mutation " << m.describe();
+    }
+    // ... but degrade to no-ops on bytes without .etlc framing, so
+    // the rotation is safe on arbitrary inputs.
+    Mutation m;
+    m.kind = Mutation::Kind::FlipBlockCrc;
+    EXPECT_EQ(FaultInjector::apply("plain text", m, 0),
+              "plain text");
+}
+
+TEST(EtlcCorpus, EtlcMutantsAreDeterministic)
+{
+    FaultInjector a(etlcBytes(), 42, TraceFormat::Etlc);
+    FaultInjector b(etlcBytes(), 42, TraceFormat::Etlc);
+    for (std::size_t i = 0; i < 32; ++i)
+        EXPECT_EQ(a.mutant(i), b.mutant(i)) << "index " << i;
 }
 
 } // namespace

@@ -137,4 +137,35 @@ TEST(Csv, UnknownEngineFatal)
     EXPECT_THROW(readGpuUtilCsv(ss, out), deskpar::FatalError);
 }
 
+TEST(Csv, EventReserveIsClampedByTheLineCount)
+{
+    // Rows with long process names blow up the bytes-per-row
+    // estimate: ten ~1.3 KiB rows are still ten events, but the
+    // divisor alone used to reserve ~200 slots and hold the excess
+    // through the whole ingest. The newline pre-scan is a hard upper
+    // bound on the row count, so capacity must stay near the true
+    // size in both the serial and the chunked parallel paths.
+    std::string longName(600, 'n');
+    std::ostringstream text;
+    text << "New Process,New PID,New TID,CPU,Ready Time (ns),"
+            "Switch-In Time (ns),Old Process,Old PID,Old TID\n";
+    for (int i = 0; i < 10; ++i)
+        text << longName << " (1000),1000,11,2," << 100 + i << ","
+             << 150 + i << "," << longName << " (1001),1001,12\n";
+    std::string data = text.str();
+
+    for (unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads " + std::to_string(threads));
+        TraceBundle out;
+        ParseOptions options;
+        options.threads = threads;
+        IngestReport report = decodeCpuUsageCsv(
+            io::ByteSpan(data), out, options);
+        EXPECT_TRUE(report.ok()) << report.summary();
+        ASSERT_EQ(out.cswitches.size(), 10u);
+        EXPECT_LE(out.cswitches.capacity(), 32u)
+            << "pre-size estimate ignored the line count";
+    }
+}
+
 } // namespace

@@ -26,11 +26,22 @@
  *       — a reproducibility dossier.
  *
  *   deskpar replay <file...> [--app PREFIX] [--lenient-traces]
- *       Re-analyze saved traces (.etl, or a CPU Usage .csv). A
- *       corrupt file fails that file only — its structured parse
- *       error is reported and every other file still completes.
+ *       Re-analyze saved traces (.etl, block-compressed .etlc, or a
+ *       CPU Usage .csv — formats are sniffed, not guessed from the
+ *       name). A corrupt file fails that file only — its structured
+ *       parse error is reported and every other file still completes.
  *       --lenient-traces skips malformed records instead and
  *       analyzes what remains (the report notes what was dropped).
+ *
+ *   deskpar pack <trace> [-o OUT] [--verify] [--index] [--jobs N]
+ *           [--lenient-traces]
+ *       Convert a .etl or CPU-Usage .csv trace to the block-
+ *       compressed columnar .etlc container (trace/etlc.hh) and
+ *       print the size ratio. --verify re-decodes the packed file
+ *       and cross-checks every analyzer output against the source
+ *       (exit 1 on any mismatch); --index additionally writes the
+ *       .dpidx spill of the built TraceIndex next to the output so
+ *       later opens skip ingest entirely (analysis/index_cache.hh).
  *
  *   deskpar stats <file...> [replay options] [--stats-json FILE]
  *           [--selftrace FILE]
@@ -83,12 +94,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis/index_cache.hh"
 #include "analysis/power.hh"
 #include "analysis/responsiveness.hh"
 #include "analysis/session.hh"
@@ -107,7 +120,9 @@
 #include "trace/csv.hh"
 #include "trace/diagnostic.hh"
 #include "trace/etl.hh"
+#include "trace/etlc.hh"
 #include "trace/io.hh"
+#include "trace/merge.hh"
 
 using namespace deskpar;
 
@@ -152,7 +167,12 @@ constexpr CommandHelp kCommands[] = {
      "write <prefix>.md and <prefix>.jsonl (reproducibility dossier)"},
     {"replay",
      "replay <file...> [--app PREFIX] [--lenient-traces]",
-     "re-analyze saved .etl / CPU-Usage .csv traces"},
+     "re-analyze saved .etl / .etlc / CPU-Usage .csv traces"},
+    {"pack",
+     "pack <trace> [-o OUT] [--verify] [--index] [--jobs N] "
+     "[--lenient-traces]",
+     "convert a trace to block-compressed columnar .etlc "
+     "(+ optional .dpidx index cache)"},
     {"stats",
      "stats <file...> [replay options] [--stats-json FILE] "
      "[--selftrace FILE]",
@@ -801,6 +821,31 @@ printQueryResult(const analysis::QueryResult &result)
     }
 }
 
+/**
+ * Map @p path and decode it by format sniff: a .csv suffix selects
+ * the CPU-Usage reader, the .etlc magic the block-compressed
+ * columnar reader, anything else the .etl v3 reader. @p who names
+ * the command in open-failure diagnostics.
+ */
+trace::TraceBundle
+ingestTraceFile(const std::string &path,
+                const trace::ParseOptions &popts,
+                trace::IngestReport &report, const char *who)
+{
+    trace::TraceBundle bundle;
+    trace::io::MappedFile file =
+        trace::io::MappedFile::openOrThrow(path, who);
+    if (path.size() > 4 &&
+        path.compare(path.size() - 4, 4, ".csv") == 0) {
+        report = trace::decodeCpuUsageCsv(file.span(), bundle, popts);
+    } else if (trace::isEtlcData(file.span())) {
+        bundle = trace::decodeEtlc(file.span(), popts, report);
+    } else {
+        bundle = trace::decodeEtl(file.span(), popts, report);
+    }
+    return bundle;
+}
+
 int
 cmdQuery(int argc, char **argv, int first)
 {
@@ -846,18 +891,8 @@ cmdQuery(int argc, char **argv, int first)
                          : trace::ParseMode::Strict;
     popts.source = path;
     trace::IngestReport report;
-    trace::TraceBundle bundle;
-    {
-        trace::io::MappedFile file =
-            trace::io::MappedFile::openOrThrow(path, "query");
-        if (path.size() > 4 &&
-            path.compare(path.size() - 4, 4, ".csv") == 0) {
-            report =
-                trace::decodeCpuUsageCsv(file.span(), bundle, popts);
-        } else {
-            bundle = trace::decodeEtl(file.span(), popts, report);
-        }
-    }
+    trace::TraceBundle bundle =
+        ingestTraceFile(path, popts, report, "query");
     if (!report.ok()) {
         if (!lenient)
             throw trace::TraceParseError(report.errors.front());
@@ -924,18 +959,8 @@ cmdBottlenecks(int argc, char **argv, int first)
                          : trace::ParseMode::Strict;
     popts.source = path;
     trace::IngestReport report;
-    trace::TraceBundle bundle;
-    {
-        trace::io::MappedFile file =
-            trace::io::MappedFile::openOrThrow(path, "bottlenecks");
-        if (path.size() > 4 &&
-            path.compare(path.size() - 4, 4, ".csv") == 0) {
-            report =
-                trace::decodeCpuUsageCsv(file.span(), bundle, popts);
-        } else {
-            bundle = trace::decodeEtl(file.span(), popts, report);
-        }
-    }
+    trace::TraceBundle bundle =
+        ingestTraceFile(path, popts, report, "bottlenecks");
     if (!report.ok()) {
         if (!lenient)
             throw trace::TraceParseError(report.errors.front());
@@ -964,6 +989,235 @@ cmdBottlenecks(int argc, char **argv, int first)
                           .c_str(),
                stdout);
     return 0;
+}
+
+/** "<input minus .etl/.csv suffix>.etlc" (or append when neither). */
+std::string
+defaultPackOutput(const std::string &path)
+{
+    for (const char *suffix : {".etl", ".csv"}) {
+        std::size_t n = std::strlen(suffix);
+        if (path.size() > n &&
+            path.compare(path.size() - n, n, suffix) == 0)
+            return path.substr(0, path.size() - n) + ".etlc";
+    }
+    return path + ".etlc";
+}
+
+int
+cmdPack(int argc, char **argv, int first)
+{
+    std::string path;
+    std::string outPath;
+    bool verify = false;
+    bool writeIndex = false;
+    bool lenient = false;
+    unsigned jobs = 0;
+    for (int i = first; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (!std::strcmp(arg, "-o") ||
+            !std::strcmp(arg, "--output")) {
+            if (i + 1 >= argc)
+                usage();
+            outPath = argv[++i];
+        } else if (!std::strcmp(arg, "--verify")) {
+            verify = true;
+        } else if (!std::strcmp(arg, "--index")) {
+            writeIndex = true;
+        } else if (!std::strcmp(arg, "--lenient-traces")) {
+            lenient = true;
+        } else if (!std::strcmp(arg, "--jobs")) {
+            if (i + 1 >= argc)
+                usage();
+            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg);
+            usage();
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            usage();
+        }
+    }
+    if (path.empty())
+        usage();
+    if (outPath.empty())
+        outPath = defaultPackOutput(path);
+    if (outPath == path) {
+        std::fprintf(stderr,
+                     "deskpar: pack would overwrite its input "
+                     "'%s'; pass -o to choose another output\n",
+                     path.c_str());
+        return 1;
+    }
+
+    trace::ParseOptions popts;
+    popts.mode = lenient ? trace::ParseMode::Lenient
+                         : trace::ParseMode::Strict;
+    popts.source = path;
+    popts.threads = jobs;
+    trace::IngestReport report;
+    trace::TraceBundle bundle =
+        ingestTraceFile(path, popts, report, "pack");
+    if (!report.ok()) {
+        if (!lenient)
+            throw trace::TraceParseError(report.errors.front());
+        std::fprintf(stderr, "deskpar: degraded ingest: %s\n",
+                     report.summary().c_str());
+    }
+
+    // CSV sources carry no ordering guarantee; the writer demands
+    // the canonical sort.
+    trace::sortBundle(bundle);
+    trace::writeEtlc(bundle, outPath);
+
+    std::error_code ec;
+    auto inSize = std::filesystem::file_size(path, ec);
+    auto outSize = std::filesystem::file_size(outPath, ec);
+    if (!ec && outSize > 0)
+        std::printf("%s: %llu bytes -> %s: %llu bytes (%.2fx)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(inSize),
+                    outPath.c_str(),
+                    static_cast<unsigned long long>(outSize),
+                    static_cast<double>(inSize) /
+                        static_cast<double>(outSize));
+    else
+        std::printf("wrote %s\n", outPath.c_str());
+
+    if (!verify && !writeIndex)
+        return 0;
+
+    // Both --verify and --index re-decode the bytes actually on disk
+    // (strict: the file we just wrote must be flawless).
+    trace::ParseOptions vpopts;
+    vpopts.source = outPath;
+    vpopts.threads = jobs;
+    trace::IngestReport vreport;
+    trace::TraceBundle packed =
+        trace::readEtlc(outPath, vpopts, vreport);
+    if (!vreport.ok()) {
+        std::fprintf(stderr,
+                     "deskpar: pack --verify: re-decode of %s "
+                     "failed: %s\n",
+                     outPath.c_str(), vreport.summary().c_str());
+        return 1;
+    }
+
+    int status = 0;
+    auto mismatch = [&](const char *what) {
+        std::fprintf(stderr,
+                     "deskpar: pack --verify: %s differs between "
+                     "%s and %s\n",
+                     what, path.c_str(), outPath.c_str());
+        status = 1;
+    };
+    // Exact comparison; both sides run the same code on what must be
+    // the same events, so even doubles have to match bit for bit.
+    auto eqd = [](double a, double b) {
+        return a == b || (a != a && b != b);
+    };
+
+    if (verify) {
+        // Canonical-bytes equality covers every event field at once.
+        std::ostringstream srcImage, packedImage;
+        trace::writeEtlc(bundle, srcImage);
+        trace::writeEtlc(packed, packedImage);
+        if (srcImage.str() != packedImage.str())
+            mismatch("canonical .etlc image");
+    }
+
+    analysis::Session srcSession(std::move(bundle));
+    analysis::Session packedSession(std::move(packed));
+
+    if (verify) {
+        const trace::PidSet all;
+        auto a = srcSession.concurrency(all);
+        auto b = packedSession.concurrency(all);
+        if (a.c != b.c || a.numCpus != b.numCpus ||
+            a.window != b.window ||
+            a.outOfRangeCpuEvents != b.outOfRangeCpuEvents)
+            mismatch("concurrency profile");
+
+        auto ga = srcSession.gpuUtil(all);
+        auto gb = packedSession.gpuUtil(all);
+        if (!eqd(ga.aggregateRatio, gb.aggregateRatio) ||
+            !eqd(ga.busyRatio, gb.busyRatio) ||
+            ga.perEngine != gb.perEngine ||
+            ga.packetCount != gb.packetCount ||
+            ga.overlapped != gb.overlapped)
+            mismatch("GPU utilization");
+
+        auto fa = srcSession.frameStats(all);
+        auto fb = packedSession.frameStats(all);
+        if (fa.frames != fb.frames ||
+            fa.synthesizedFrames != fb.synthesizedFrames ||
+            !eqd(fa.avgFps, fb.avgFps) ||
+            !eqd(fa.fpsStddev, fb.fpsStddev) ||
+            !eqd(fa.onePercentLowFps, fb.onePercentLowFps))
+            mismatch("frame statistics");
+
+        auto ra = srcSession.responsiveness(all);
+        auto rb = packedSession.responsiveness(all);
+        if (ra.inputs != rb.inputs || ra.answered != rb.answered ||
+            ra.latency.count() != rb.latency.count() ||
+            !eqd(ra.latency.mean(), rb.latency.mean()) ||
+            !eqd(ra.latency.max(), rb.latency.max()))
+            mismatch("responsiveness");
+
+        sim::CpuSpec cpu;
+        sim::GpuSpec gpu;
+        auto pa = srcSession.power(cpu, gpu);
+        auto pb = packedSession.power(cpu, gpu);
+        if (!eqd(pa.cpuWatts, pb.cpuWatts) ||
+            !eqd(pa.gpuWatts, pb.gpuWatts) ||
+            !eqd(pa.seconds, pb.seconds))
+            mismatch("power estimate");
+
+        std::vector<analysis::Query> queries;
+        for (const char *spec :
+             {"tlp", "gpu/by=engine", "csrate/by=thread"})
+            queries.push_back(analysis::parseQuerySpec(spec));
+        auto qa = srcSession.query(queries, jobs);
+        auto qb = packedSession.query(queries, jobs);
+        bool queriesEqual = qa.size() == qb.size();
+        for (std::size_t q = 0; queriesEqual && q < qa.size(); ++q) {
+            queriesEqual = qa[q].rows.size() == qb[q].rows.size();
+            for (std::size_t r = 0;
+                 queriesEqual && r < qa[q].rows.size(); ++r) {
+                const analysis::QueryRow &x = qa[q].rows[r];
+                const analysis::QueryRow &y = qb[q].rows[r];
+                queriesEqual =
+                    x.key == y.key && x.t0 == y.t0 &&
+                    x.t1 == y.t1 && x.pid == y.pid &&
+                    x.tid == y.tid && eqd(x.value, y.value) &&
+                    x.histogram == y.histogram;
+            }
+        }
+        if (!queriesEqual)
+            mismatch("query batch results");
+
+        if (status == 0)
+            std::printf("verify: %s reproduces every analyzer "
+                        "output of %s\n",
+                        outPath.c_str(), path.c_str());
+    }
+
+    if (writeIndex) {
+        packedSession.index().warm(trace::PidSet{});
+        std::string error;
+        if (analysis::saveIndexCache(packedSession, outPath,
+                                     error)) {
+            std::printf("wrote %s\n",
+                        analysis::indexCachePath(outPath).c_str());
+        } else {
+            std::fprintf(stderr,
+                         "deskpar: pack --index: %s\n",
+                         error.c_str());
+            status = 1;
+        }
+    }
+    return status;
 }
 
 } // namespace
@@ -995,6 +1249,8 @@ main(int argc, char **argv)
             return cmdQuery(argc, argv, 2);
         if (command == "bottlenecks")
             return cmdBottlenecks(argc, argv, 2);
+        if (command == "pack")
+            return cmdPack(argc, argv, 2);
         if (command == "run" || command == "sweep" ||
             command == "threads") {
             if (argc < 3)
