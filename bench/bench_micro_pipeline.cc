@@ -533,11 +533,15 @@ recordIngestBenches()
     bool isFast = fast && fast[0] == '1';
     int csvReps = isFast ? 10 : 25;
     int etlReps = isFast ? 100 : 250;
+    // Min-of-3 around each reps block: a single-shot record flaps
+    // with scheduler noise and trips bench_compare's gate.
     auto record = [](const char *name, int reps,
                      const std::function<void()> &fn) {
-        bench::SuiteTimer timer(name);
-        for (int i = 0; i < reps; ++i)
-            fn();
+        double wall = bench::minWallSeconds(3, [&]() {
+            for (int i = 0; i < reps; ++i)
+                fn();
+        });
+        bench::appendBenchRecord(name, wall);
     };
     unsigned jobs = sim::resolveJobs();
     record("micro_ingest_csv_serial", csvReps,
@@ -583,14 +587,14 @@ recordObsBenches()
         obs::setEnabled(false);
         obs::reset();
     };
-    {
-        bench::SuiteTimer timer("micro_obs_span_disabled");
-        spin(false, disabledReps);
-    }
-    {
-        bench::SuiteTimer timer("micro_obs_span_enabled");
-        spin(true, enabledReps);
-    }
+    bench::appendBenchRecord(
+        "micro_obs_span_disabled",
+        bench::minWallSeconds(3,
+                              [&]() { spin(false, disabledReps); }));
+    bench::appendBenchRecord(
+        "micro_obs_span_enabled",
+        bench::minWallSeconds(3,
+                              [&]() { spin(true, enabledReps); }));
     obs::setEnabled(wasEnabled);
 }
 

@@ -13,7 +13,9 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/session.hh"
@@ -105,6 +107,30 @@ appendBenchRecord(const std::string &name, double wall_seconds)
     out << line << "\n";
     std::printf("\n[%s] wall %.3f s, %u runner thread(s)\n",
                 name.c_str(), wall_seconds, jobs);
+}
+
+/**
+ * Wall seconds of the fastest of @p repeats runs of @p fn. The
+ * micro_* records feed bench_compare's last-vs-previous gate, and a
+ * single-shot sample flaps with scheduler noise: the minimum of a
+ * few repeats is the standard stable estimator of the true cost
+ * (noise only ever adds time). Keep repeats small (3-5) — the point
+ * is de-flaking, not statistics.
+ */
+template <typename Fn>
+inline double
+minWallSeconds(unsigned repeats, Fn &&fn)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (unsigned r = 0; r < repeats; ++r) {
+        auto start = std::chrono::steady_clock::now();
+        fn();
+        std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - start;
+        if (wall.count() < best)
+            best = wall.count();
+    }
+    return best;
 }
 
 /**

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Corpus-scale scenario sweeps: the generator that turns one seed
+ * into thousands of app x machine x policy simulation scenarios, and
+ * the sharded, resumable engine that runs them.
+ *
+ * Scenario i of a sweep is a pure function of (sweep seed, i): an
+ * independent splitmix-derived RNG stream picks the workload, the
+ * active core count (4/8/16/32 on a synthetic 2026-class 32-core
+ * package), SMT on/off, and a named scheduler-policy preset; the
+ * stream's seed also becomes the scenario's machine seed. Because
+ * every row is pure and rows are assembled in index order, the same
+ * seed yields byte-identical per-scenario metric rows at any
+ * DESKPAR_JOBS and across resume boundaries — that reproducibility
+ * is the contract the determinism tests pin.
+ *
+ * Execution is sharded: scenarios are grouped into fixed-size shards,
+ * shards fan out across the work-stealing runner, and each completed
+ * shard is written atomically (tmp + rename) as
+ * `shard-NNNN.jsonl` next to an identity-keyed progress checkpoint
+ * (`sweep.ckpt`, format in DESIGN.md section 16 — same
+ * magic/CRC32C/varint shape as the .dpidx cache). `--resume`
+ * revalidates shard files against the regenerated scenario configs,
+ * so a corrupt or stale checkpoint — or a truncated shard file —
+ * costs exactly the damaged shards, never the completed ones.
+ */
+
+#ifndef DESKPAR_APPS_SWEEP_HH
+#define DESKPAR_APPS_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deskpar::apps {
+
+/** One sampled scenario: what to simulate and under which knobs. */
+struct ScenarioConfig
+{
+    /** Position in the sweep (row key). */
+    std::uint32_t index = 0;
+    /** Workload registry id. */
+    std::string app;
+    /** Active logical CPUs (SMT) or physical cores (no SMT). */
+    unsigned cores = 4;
+    bool smt = true;
+    /** Scheduler-policy preset name. */
+    std::string policy;
+    /** Timeslice of the preset. */
+    sim::SimDuration quantum = 0;
+    /** Machine seed: the scenario's splitmix-derived stream seed. */
+    std::uint64_t seed = 0;
+
+    bool
+    operator==(const ScenarioConfig &other) const
+    {
+        return index == other.index && app == other.app &&
+               cores == other.cores && smt == other.smt &&
+               policy == other.policy &&
+               quantum == other.quantum && seed == other.seed;
+    }
+};
+
+/** Metric row of one executed scenario. */
+struct ScenarioMetrics
+{
+    double tlp = 0.0;
+    double gpuUtilPercent = 0.0;
+    double avgFps = 0.0;
+    std::uint64_t contextSwitches = 0;
+    std::uint64_t traceEvents = 0;
+};
+
+/** Sweep parameters (the checkpoint identity). */
+struct SweepOptions
+{
+    std::uint64_t seed = 1;
+    /** Number of scenarios. */
+    std::uint32_t count = 0;
+    /** Output directory (created if missing). */
+    std::string outDir;
+    /** Reuse valid shard files from a previous run. */
+    bool resume = false;
+    /** Simulated seconds per scenario. */
+    double seconds = 2.0;
+    /** Scenarios per shard (progress/restart granularity). */
+    std::uint32_t shardSize = 16;
+    /** Worker threads; 0 = DESKPAR_JOBS / host cores. */
+    unsigned threads = 0;
+    /**
+     * Test hook: stop cleanly after this many shards have completed
+     * in this invocation (0 = run to the end). Simulates a
+     * mid-sweep kill for the resume tests: the checkpoint and the
+     * finished shard files stay behind, the merged output does not.
+     */
+    std::uint32_t stopAfterShards = 0;
+};
+
+/** What a sweep invocation did. */
+struct SweepReport
+{
+    std::uint32_t scenariosTotal = 0;
+    /** Scenarios simulated by this invocation. */
+    std::uint32_t scenariosRun = 0;
+    /** Shards skipped because a valid file already existed. */
+    std::uint32_t shardsReused = 0;
+    std::uint32_t shardsTotal = 0;
+    /** Path of the merged sweep.jsonl ("" if stopped early). */
+    std::string mergedPath;
+    /** True when every shard completed and the merge was written. */
+    bool complete = false;
+};
+
+/**
+ * Scenario @p index of the sweep seeded @p seed. Pure and cheap:
+ * resume validation regenerates configs instead of trusting disk.
+ */
+ScenarioConfig scenarioAt(std::uint64_t seed, std::uint32_t index);
+
+/**
+ * Simulate @p config for @p seconds simulated seconds and reduce the
+ * trace to its metric row. Pure function of (config, seconds).
+ */
+ScenarioMetrics runScenario(const ScenarioConfig &config,
+                            double seconds);
+
+/**
+ * The serialized JSON row of a scenario. Doubles are printed with
+ * %.17g so the bytes round-trip the exact values — byte identity
+ * across thread counts and resumes is the format's contract.
+ */
+std::string scenarioRow(const ScenarioConfig &config,
+                        const ScenarioMetrics &metrics);
+
+/**
+ * The config prefix of scenarioRow (everything before the metrics):
+ * what resume validation matches shard-file lines against without
+ * re-running the simulation.
+ */
+std::string scenarioRowPrefix(const ScenarioConfig &config);
+
+/** Shard-file name for @p shard ("shard-0007.jsonl"). */
+std::string shardFileName(std::uint32_t shard);
+
+/** Checkpoint file name ("sweep.ckpt"). */
+const char *checkpointFileName();
+
+/**
+ * Serialize the progress checkpoint: identity (seed, count, shard
+ * size, duration) plus the completed-shard bitmap.
+ */
+std::string encodeCheckpoint(const SweepOptions &options,
+                             const std::vector<bool> &completed);
+
+/**
+ * Parse @p bytes; returns false (leaving @p completed empty) when
+ * the checkpoint is corrupt, from another format version, or from a
+ * sweep with a different identity.
+ */
+bool decodeCheckpoint(const std::string &bytes,
+                      const SweepOptions &options,
+                      std::vector<bool> &completed);
+
+/**
+ * Run (or resume) a sweep. Throws FatalError on unusable options or
+ * I/O failure; individual scenario panics propagate (they are bugs —
+ * scenarios are total by construction).
+ */
+SweepReport runSweep(const SweepOptions &options);
+
+} // namespace deskpar::apps
+
+#endif // DESKPAR_APPS_SWEEP_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Arena: a chunked bump allocator for simulation-lifetime objects.
+ *
+ * A Machine owns one Arena; everything whose lifetime equals the run
+ * (SimThread runtimes today; any per-run state tomorrow) is carved
+ * out of it instead of individually heap-allocated, so mid-run thread
+ * spawns — the handbrake/premiere pool ramps spawn continuously — do
+ * not touch malloc once the current chunk has room.
+ *
+ * Ownership rules (also in DESIGN.md section 16):
+ *  - The arena owns raw memory, never object lifetimes. Whoever calls
+ *    create<T>() must call destroy(ptr) (or the object's destructor)
+ *    before the arena dies; the arena's own destructor only frees the
+ *    chunks.
+ *  - Arena memory is never returned or reused within a run; the whole
+ *    arena is dropped with the Machine. This is deliberate: per-run
+ *    peak footprint is small (threads are a few hundred bytes each)
+ *    and a free-list would buy nothing but bookkeeping.
+ *  - Not thread-safe. A Machine is single-threaded by construction;
+ *    each suite-runner worker owns its own Machine and arena.
+ */
+
+#ifndef DESKPAR_SIM_ARENA_HH
+#define DESKPAR_SIM_ARENA_HH
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace deskpar::sim {
+
+/**
+ * Chunked bump allocator; see file comment for the ownership rules.
+ */
+class Arena
+{
+  public:
+    explicit Arena(std::size_t chunkBytes = 64 * 1024)
+        : chunkBytes_(chunkBytes)
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Raw aligned storage; valid until the arena is destroyed.
+     * Alignment is capped at alignof(std::max_align_t) — the chunk
+     * base guarantee — so offsets aligned within a chunk stay
+     * aligned absolutely.
+     */
+    void *
+    allocate(std::size_t size, std::size_t align)
+    {
+        static_assert(sizeof(unsigned char) == 1);
+        if (align > alignof(std::max_align_t))
+            align = alignof(std::max_align_t);
+        std::size_t offset = (used_ + align - 1) & ~(align - 1);
+        if (chunks_.empty() || offset + size > chunkSize_) {
+            std::size_t want =
+                size > chunkBytes_ ? size : chunkBytes_;
+            chunks_.push_back(
+                std::make_unique<unsigned char[]>(want));
+            chunkSize_ = want;
+            offset = 0;
+        }
+        void *ptr = chunks_.back().get() + offset;
+        used_ = offset + size;
+        allocated_ += size;
+        return ptr;
+    }
+
+    /** Construct a T in arena storage. Caller must destroy() it. */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        void *ptr = allocate(sizeof(T), alignof(T));
+        return new (ptr) T(std::forward<Args>(args)...);
+    }
+
+    /** Run the destructor of an arena-created object. */
+    template <typename T>
+    void
+    destroy(T *ptr)
+    {
+        if (ptr)
+            ptr->~T();
+    }
+
+    /** Total payload bytes handed out (diagnostics). */
+    std::size_t bytesAllocated() const { return allocated_; }
+
+    /** Number of chunks the arena has mapped (diagnostics). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+  private:
+    std::size_t chunkBytes_;
+    std::size_t chunkSize_ = 0;
+    std::size_t used_ = 0;
+    std::size_t allocated_ = 0;
+    std::vector<std::unique_ptr<unsigned char[]>> chunks_;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_ARENA_HH

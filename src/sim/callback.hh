@@ -1,0 +1,211 @@
+/**
+ * @file
+ * InlineCallback: the event queue's callback slot.
+ *
+ * std::function<void()> keeps only ~16 bytes of inline storage under
+ * libstdc++, so any capture beyond two pointers heap-allocates — and
+ * the input drivers schedule lambdas that capture a std::string
+ * label, which turned every delivered input event into a malloc/free
+ * pair inside the simulation loop. InlineCallback widens the inline
+ * buffer to kInlineSize bytes (sized for the largest capture the
+ * simulator schedules today, with headroom), so steady-state event
+ * scheduling allocates nothing. Oversized captures still work through
+ * a heap fallback; heapFallbacks() counts them so the zero-malloc
+ * guard test can assert the hot paths stay inline.
+ *
+ * Move-only: the queue's node pool moves callbacks exactly once (out
+ * of the node before firing) and never copies them. Trivially
+ * copyable closures — the simulator's common [this]-capture shape —
+ * carry no manager function: their moves compile to a straight
+ * memcpy of the inline buffer and their destruction to nothing
+ * (invariant: invoke_ set with manage_ null).
+ */
+
+#ifndef DESKPAR_SIM_CALLBACK_HH
+#define DESKPAR_SIM_CALLBACK_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace deskpar::sim {
+
+/**
+ * Move-only void() callable with a wide inline buffer.
+ */
+class InlineCallback
+{
+  public:
+    /** Inline capture budget: fits a [ref, int, std::string] lambda. */
+    static constexpr std::size_t kInlineSize = 48;
+
+    InlineCallback() = default;
+    InlineCallback(std::nullptr_t) {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_v<std::decay_t<F> &>>>
+    InlineCallback(F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (std::is_trivially_copyable_v<Fn> &&
+                      std::is_trivially_destructible_v<Fn> &&
+                      sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            // Trivial closure (the simulator's common [this]-style
+            // capture): no manager at all — invoke_ set with manage_
+            // null means "move is memcpy, destroy is a no-op", so
+            // the node pool shuffles these with zero indirect calls.
+            new (storage_) Fn(std::forward<F>(fn));
+            invoke_ = &invokeInline<Fn>;
+        } else if constexpr (sizeof(Fn) <= kInlineSize &&
+                             alignof(Fn) <=
+                                 alignof(std::max_align_t)) {
+            new (storage_) Fn(std::forward<F>(fn));
+            invoke_ = &invokeInline<Fn>;
+            manage_ = &manageInline<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage_) =
+                new Fn(std::forward<F>(fn));
+            invoke_ = &invokeHeap<Fn>;
+            manage_ = &manageHeap<Fn>;
+            heapFallbackCount().fetch_add(1,
+                                          std::memory_order_relaxed);
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback &
+    operator=(std::nullptr_t)
+    {
+        destroy();
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { destroy(); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+    void
+    operator()()
+    {
+        invoke_(storage_);
+    }
+
+    /**
+     * Number of callbacks constructed through the heap fallback since
+     * process start (capture larger than kInlineSize). The
+     * zero-allocation guard snapshots this around a run.
+     */
+    static std::uint64_t
+    heapFallbacks()
+    {
+        return heapFallbackCount().load(std::memory_order_relaxed);
+    }
+
+  private:
+    enum class Op : std::uint8_t {
+        /** Relocate the value into dest; self is left vacant. */
+        MoveTo,
+        /** Destroy the value in place. */
+        Destroy,
+    };
+
+    using Invoke = void (*)(void *);
+    using Manage = void (*)(Op, void *, void *);
+
+    template <typename Fn>
+    static void
+    invokeInline(void *self)
+    {
+        (*std::launder(reinterpret_cast<Fn *>(self)))();
+    }
+
+    template <typename Fn>
+    static void
+    manageInline(Op op, void *self, void *dest)
+    {
+        Fn *fn = std::launder(reinterpret_cast<Fn *>(self));
+        if (op == Op::MoveTo)
+            new (dest) Fn(std::move(*fn));
+        fn->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    invokeHeap(void *self)
+    {
+        (**std::launder(reinterpret_cast<Fn **>(self)))();
+    }
+
+    template <typename Fn>
+    static void
+    manageHeap(Op op, void *self, void *dest)
+    {
+        Fn **slot = std::launder(reinterpret_cast<Fn **>(self));
+        if (op == Op::MoveTo)
+            *reinterpret_cast<Fn **>(dest) = *slot;
+        else
+            delete *slot;
+    }
+
+    static std::atomic<std::uint64_t> &
+    heapFallbackCount()
+    {
+        // Simulations run concurrently on the suite runner's workers;
+        // the counter is a cross-thread tally, hence atomic.
+        static std::atomic<std::uint64_t> count{0};
+        return count;
+    }
+
+    void
+    moveFrom(InlineCallback &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        if (manage_)
+            manage_(Op::MoveTo, other.storage_, storage_);
+        else if (invoke_)
+            __builtin_memcpy(storage_, other.storage_, kInlineSize);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+    }
+
+    void
+    destroy()
+    {
+        if (manage_)
+            manage_(Op::Destroy, storage_, nullptr);
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+};
+
+} // namespace deskpar::sim
+
+#endif // DESKPAR_SIM_CALLBACK_HH

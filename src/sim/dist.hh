@@ -10,6 +10,8 @@
 #ifndef DESKPAR_SIM_DIST_HH
 #define DESKPAR_SIM_DIST_HH
 
+#include <cstddef>
+
 #include "sim/logging.hh"
 #include "sim/rng.hh"
 
@@ -76,6 +78,37 @@ class Dist
             return rng.exponential(a_);
         }
         panic("Dist::sample: bad kind");
+    }
+
+    /**
+     * Draw @p count samples into @p out. One kind dispatch for the
+     * whole batch instead of one per draw; the draws themselves go
+     * through the sequence-stable Rng methods, so the batch consumes
+     * the engine exactly as @p count sequential sample() calls would
+     * — callers can batch without perturbing calibrated streams.
+     */
+    void
+    sampleBatch(Rng &rng, double *out, std::size_t count) const
+    {
+        switch (kind_) {
+          case Kind::Fixed:
+            for (std::size_t i = 0; i < count; ++i)
+                out[i] = a_;
+            return;
+          case Kind::Uniform:
+            for (std::size_t i = 0; i < count; ++i)
+                out[i] = rng.uniform(a_, b_);
+            return;
+          case Kind::Normal:
+            for (std::size_t i = 0; i < count; ++i)
+                out[i] = rng.normalNonNeg(a_, b_);
+            return;
+          case Kind::Exponential:
+            for (std::size_t i = 0; i < count; ++i)
+                out[i] = rng.exponential(a_);
+            return;
+        }
+        panic("Dist::sampleBatch: bad kind");
     }
 
     /** Expected value of the distribution. */

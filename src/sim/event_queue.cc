@@ -1,31 +1,145 @@
 #include "sim/event_queue.hh"
 
+#include <cstring>
 #include <utility>
 
 #include "sim/logging.hh"
 
 namespace deskpar::sim {
 
+void
+EventQueue::EntryHeap::grow(std::size_t atLeast)
+{
+    std::size_t capacity = capacity_ ? capacity_ * 2 : 256;
+    if (capacity < atLeast)
+        capacity = atLeast;
+    // Three leading pad entries put element 1 (the first child
+    // group) on a cache-line boundary: data_ = raw + 48 bytes, so
+    // &data_[1] is 64-byte-aligned and every group 4i+1..4i+4 of
+    // 16-byte entries spans exactly one line.
+    static_assert(sizeof(Entry) == 16, "entry layout drifted");
+    void *raw = ::operator new((capacity + 3) * sizeof(Entry),
+                               std::align_val_t{64});
+    Entry *data = static_cast<Entry *>(raw) + 3;
+    if (size_)
+        std::memcpy(data, data_, size_ * sizeof(Entry));
+    ::operator delete(raw_, std::align_val_t{64});
+    raw_ = raw;
+    data_ = data;
+    capacity_ = capacity;
+}
+
 std::uint32_t
 EventQueue::acquireNode()
 {
     if (freeHead_ != kNoFree) {
         std::uint32_t index = freeHead_;
-        freeHead_ = pool_[index].nextFree;
+        freeHead_ = static_cast<std::uint32_t>(tickets_[index] &
+                                               kIndexMask);
         return index;
     }
+    if (pool_.size() + 1 > kIndexMask)
+        panic("EventQueue: node pool exceeds ticket index space");
     pool_.emplace_back();
+    tickets_.push_back(kFreeBit | kNoFree);
     return static_cast<std::uint32_t>(pool_.size() - 1);
 }
 
 void
 EventQueue::releaseNode(std::uint32_t index)
 {
-    Node &node = pool_[index];
-    ++node.gen;
-    node.callback = nullptr;
-    node.nextFree = freeHead_;
+    pool_[index].callback = nullptr;
+    tickets_[index] = kFreeBit | freeHead_;
     freeHead_ = index;
+}
+
+void
+EventQueue::siftUp(std::size_t pos, Entry moving)
+{
+    Entry *data = heap_.data();
+    while (pos > 0) {
+        std::size_t parent = (pos - 1) / 4;
+        if (!earlier(moving, data[parent]))
+            break;
+        data[pos] = data[parent];
+        pos = parent;
+    }
+    data[pos] = moving;
+}
+
+/**
+ * Re-place the displaced back element after a pop, bottom-up: walk
+ * the min-child path all the way to a leaf moving children up, then
+ * bubble the element up from the leaf hole. The element came from
+ * the bottom of the heap, so it nearly always belongs near a leaf —
+ * descending first saves the per-level "is it earlier than the
+ * moving element?" compare a top-down sift pays, and the four-way
+ * child minimum is two rounds of conditional moves, not a
+ * data-dependent branch.
+ */
+void
+EventQueue::siftDown(Entry moving)
+{
+    Entry *data = heap_.data();
+    const std::size_t size = heap_.size();
+    std::size_t pos = 0;
+
+    for (;;) {
+        std::size_t first = pos * 4 + 1;
+        if (first + 3 < size) {
+            // The next level's candidates — the children of all four
+            // children — are 16 contiguous entries (4 lines);
+            // prefetching them hides the load latency the
+            // data-dependent descent can't otherwise overlap.
+            std::size_t grand = first * 4 + 1;
+            if (grand < size) {
+                __builtin_prefetch(data + grand);
+                __builtin_prefetch(data + grand + 4);
+                __builtin_prefetch(data + grand + 8);
+                __builtin_prefetch(data + grand + 12);
+            }
+            // Full group: one cache line, branchless min of four.
+            std::size_t a =
+                first + (earlier(data[first + 1], data[first]) ? 1
+                                                               : 0);
+            std::size_t b =
+                first + 2 +
+                (earlier(data[first + 3], data[first + 2]) ? 1 : 0);
+            std::size_t best = earlier(data[b], data[a]) ? b : a;
+            data[pos] = data[best];
+            pos = best;
+        } else if (first < size) {
+            // Partial trailing group (at most once per descent).
+            std::size_t best = first;
+            for (std::size_t child = first + 1; child < size;
+                 ++child) {
+                if (earlier(data[child], data[best]))
+                    best = child;
+            }
+            data[pos] = data[best];
+            pos = best;
+        } else {
+            break;
+        }
+    }
+
+    while (pos > 0) {
+        std::size_t parent = (pos - 1) / 4;
+        if (!earlier(moving, data[parent]))
+            break;
+        data[pos] = data[parent];
+        pos = parent;
+    }
+    data[pos] = moving;
+}
+
+void
+EventQueue::heapPop()
+{
+    Entry displaced = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(displaced);
 }
 
 EventQueue::Handle
@@ -35,26 +149,30 @@ EventQueue::schedule(SimTime when, Callback cb)
         panic("EventQueue::schedule: event in the past");
     if (!cb)
         panic("EventQueue::schedule: empty callback");
+    // 63, not 64: live tickets must stay below kFreeBit.
+    if (nextSeq_ >> (63 - kIndexBits))
+        panic("EventQueue::schedule: sequence space exhausted");
 
     std::uint32_t index = acquireNode();
-    Node &node = pool_[index];
-    node.callback = std::move(cb);
+    std::uint64_t ticket = (nextSeq_++ << kIndexBits) | index;
+    tickets_[index] = ticket;
+    pool_[index].callback = std::move(cb);
 
     Entry entry;
     entry.when = when;
-    entry.seq = nextSeq_++;
-    entry.index = index;
-    entry.gen = node.gen;
-    heap_.push(entry);
+    entry.ticket = ticket;
+    heap_.extend();
+    siftUp(heap_.size() - 1, entry);
     ++liveCount_;
-    return Handle(this, index, node.gen);
+    return Handle(this, ticket);
 }
 
 void
 EventQueue::cancel(Handle &handle)
 {
-    if (handle.queue_ == this && live(handle.index_, handle.gen_)) {
-        releaseNode(handle.index_);
+    if (handle.queue_ == this && live(handle.ticket_)) {
+        releaseNode(
+            static_cast<std::uint32_t>(handle.ticket_ & kIndexMask));
         --liveCount_;
     }
     handle = Handle();
@@ -64,10 +182,15 @@ const EventQueue::Entry *
 EventQueue::peekLive()
 {
     while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (live(top.index, top.gen))
+        const Entry &top = heap_.front();
+        if (live(top.ticket)) {
+            // fireTop touches this entry's node only after the
+            // sift-down; start the (random-index) node fetch now so
+            // it overlaps the heap work.
+            __builtin_prefetch(&pool_[top.ticket & kIndexMask]);
             return &top;
-        heap_.pop();
+        }
+        heapPop();
     }
     return nullptr;
 }
@@ -75,13 +198,15 @@ EventQueue::peekLive()
 void
 EventQueue::fireTop()
 {
-    Entry entry = heap_.top();
-    heap_.pop();
+    Entry entry = heap_.front();
+    heapPop();
     now_ = entry.when;
     // Release before running: the callback may reschedule (reusing
     // this node) and the handle must already read as not pending.
-    Callback cb = std::move(pool_[entry.index].callback);
-    releaseNode(entry.index);
+    std::uint32_t index =
+        static_cast<std::uint32_t>(entry.ticket & kIndexMask);
+    Callback cb = std::move(pool_[index].callback);
+    releaseNode(index);
     --liveCount_;
     cb();
 }
@@ -111,6 +236,25 @@ void
 EventQueue::runAll()
 {
     while (runOne()) {
+    }
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap_.reserve(events);
+    if (pool_.size() >= events)
+        return;
+    // Index kIndexMask is the freelist "none" sentinel.
+    if (events >= kIndexMask)
+        panic("EventQueue::reserve: beyond ticket index space");
+    // Grow the pool and thread the new nodes onto the freelist.
+    std::size_t first = pool_.size();
+    pool_.resize(events);
+    tickets_.resize(events);
+    for (std::size_t i = first; i < events; ++i) {
+        tickets_[i] = kFreeBit | freeHead_;
+        freeHead_ = static_cast<std::uint32_t>(i);
     }
 }
 

@@ -44,6 +44,18 @@ Machine::Machine(const MachineConfig &config)
     session_.registerProcess(0, "Idle");
     if (config.llcModelEnabled)
         scheduler_.setLlcModel(&llcModel_);
+    // Pre-size the event pool so the opening flurry of quantum and
+    // sleep events schedules without growing the heap vectors.
+    queue_.reserve(256);
+}
+
+Machine::~Machine()
+{
+    // Arena objects need explicit destruction (the arena only owns
+    // raw memory); reverse creation order, processes destroy their
+    // threads the same way.
+    for (auto it = processes_.rbegin(); it != processes_.rend(); ++it)
+        arena_.destroy(*it);
 }
 
 SimProcess &
@@ -53,10 +65,10 @@ Machine::createProcess(const std::string &name, double smt_friendliness)
         fatal("Machine::createProcess: smt_friendliness out of [0,1]");
 
     Pid pid = nextPid_++;
-    auto process = std::make_unique<SimProcess>(
+    SimProcess *process = arena_.create<SimProcess>(
         *this, pid, name, smt_friendliness, rootRng_.fork(name));
     SimProcess &ref = *process;
-    processes_.push_back(std::move(process));
+    processes_.push_back(process);
 
     trace::ProcessLifeEvent event;
     event.timestamp = now();
@@ -70,9 +82,9 @@ Machine::createProcess(const std::string &name, double smt_friendliness)
 SimProcess *
 Machine::findProcess(Pid pid)
 {
-    for (auto &process : processes_) {
+    for (SimProcess *process : processes_) {
         if (process->pid() == pid)
-            return process.get();
+            return process;
     }
     return nullptr;
 }

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/cpu.hh"
 #include "sim/event_queue.hh"
 #include "sim/gpu.hh"
@@ -74,6 +75,7 @@ class Machine
 {
   public:
     explicit Machine(const MachineConfig &config);
+    ~Machine();
 
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
@@ -82,6 +84,14 @@ class Machine
     const CpuTopology &topology() const { return topology_; }
 
     EventQueue &queue() { return queue_; }
+
+    /**
+     * Run-lifetime allocator: objects that live exactly as long as
+     * this machine (thread runtimes, per-run state) are carved out of
+     * it so mid-run spawns do no individual heap allocation. See
+     * sim/arena.hh for the ownership rules.
+     */
+    Arena &arena() { return arena_; }
     trace::TraceSession &session() { return session_; }
     GpuModel &gpu() { return gpu_; }
     OsScheduler &scheduler() { return scheduler_; }
@@ -106,8 +116,8 @@ class Machine
     SimProcess &createProcess(const std::string &name,
                               double smt_friendliness = 0.3);
 
-    /** All processes, in creation order. */
-    const std::vector<std::unique_ptr<SimProcess>> &
+    /** All processes, in creation order (arena-owned storage). */
+    const std::vector<SimProcess *> &
     processes() const
     {
         return processes_;
@@ -145,6 +155,7 @@ class Machine
     MachineConfig config_;
     CpuTopology topology_;
     Rng rootRng_;
+    Arena arena_;
     EventQueue queue_;
     trace::TraceSession session_;
     GpuModel gpu_;
@@ -152,7 +163,7 @@ class Machine
     SyncHub sync_;
     LlcModel llcModel_;
     Pid nextPid_ = 1000;
-    std::vector<std::unique_ptr<SimProcess>> processes_;
+    std::vector<SimProcess *> processes_;
     std::unordered_map<int, SyncId> inputChannels_;
 };
 

@@ -13,6 +13,15 @@ SimProcess::SimProcess(Machine &machine, Pid pid, std::string name,
       smtFriendliness_(smt_friendliness), rng_(std::move(rng))
 {}
 
+SimProcess::~SimProcess()
+{
+    // Thread runtimes live in the machine arena; run their
+    // destructors here (reverse creation order) — the arena frees
+    // the storage with the machine.
+    for (auto it = threads_.rbegin(); it != threads_.rend(); ++it)
+        machine_.arena().destroy(*it);
+}
+
 SimThread &
 SimProcess::createThread(std::shared_ptr<ThreadBehavior> behavior,
                          std::string name)
@@ -20,13 +29,11 @@ SimProcess::createThread(std::shared_ptr<ThreadBehavior> behavior,
     if (!behavior)
         fatal("SimProcess::createThread: null behavior");
     Tid tid = pid_ * 10000 + nextTid_++;
-    auto thread = std::make_unique<SimThread>(*this, tid,
-                                              std::move(name),
-                                              std::move(behavior));
-    SimThread &ref = *thread;
-    threads_.push_back(std::move(thread));
-    ref.start();
-    return ref;
+    SimThread *thread = machine_.arena().create<SimThread>(
+        *this, tid, std::move(name), std::move(behavior));
+    threads_.push_back(thread);
+    thread->start();
+    return *thread;
 }
 
 unsigned

@@ -28,6 +28,7 @@ class SimProcess
   public:
     SimProcess(Machine &machine, Pid pid, std::string name,
                double smt_friendliness, Rng rng);
+    ~SimProcess();
 
     SimProcess(const SimProcess &) = delete;
     SimProcess &operator=(const SimProcess &) = delete;
@@ -59,8 +60,8 @@ class SimProcess
     SimThread &createThread(std::shared_ptr<ThreadBehavior> behavior,
                             std::string name);
 
-    /** All threads ever created in this process. */
-    const std::vector<std::unique_ptr<SimThread>> &
+    /** All threads ever created in this process (arena-owned). */
+    const std::vector<SimThread *> &
     threads() const
     {
         return threads_;
@@ -81,7 +82,7 @@ class SimProcess
     Rng rng_;
     Tid nextTid_ = 1;
     std::uint32_t nextFrameId_ = 1;
-    std::vector<std::unique_ptr<SimThread>> threads_;
+    std::vector<SimThread *> threads_;
 };
 
 } // namespace deskpar::sim

@@ -11,6 +11,7 @@
 #ifndef DESKPAR_SIM_RNG_HH
 #define DESKPAR_SIM_RNG_HH
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <string_view>
@@ -75,6 +76,48 @@ class Rng
     }
 
     /**
+     * @{ Direct-arithmetic fast draws. These consume the engine
+     * differently from the std::-distribution methods above, so they
+     * are for sequence-free consumers only (the sweep scenario
+     * generator, benches): the calibrated workload models keep the
+     * draw-for-draw stable methods, whose sequences the Table II
+     * operating-point tests are aligned to.
+     */
+
+    /** Uniform real in [0, 1): top 53 bits of one engine draw. */
+    double
+    unit()
+    {
+        return static_cast<double>(engine_() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Standard normal draw. Box-Muller in batch-of-two: each pair of
+     * engine draws yields two gaussians, the second cached for the
+     * next call — half the transcendental work of the fresh
+     * std::normal_distribution per call above, which discards its
+     * spare every time.
+     */
+    double
+    gaussian()
+    {
+        if (hasSpare_) {
+            hasSpare_ = false;
+            return spare_;
+        }
+        // u1 in (0,1] so the log argument never hits zero.
+        double u1 =
+            static_cast<double>((engine_() >> 11) + 1) * 0x1.0p-53;
+        double u2 = unit();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 6.283185307179586476925286766559 * u2;
+        spare_ = r * std::sin(theta);
+        hasSpare_ = true;
+        return r * std::cos(theta);
+    }
+    /** @} */
+
+    /**
      * Derive an independent substream keyed by @p stream_id.
      * Deterministic: the same parent seed and id give the same child.
      */
@@ -113,6 +156,10 @@ class Rng
     // (not temporal) substreams: independent of how many draws happened.
     std::uint64_t baseSeed_;
     std::mt19937_64 engine_;
+    // Cached second gaussian of the current Box-Muller pair
+    // (gaussian() fast path only; never touched by the stable draws).
+    double spare_ = 0.0;
+    bool hasSpare_ = false;
 };
 
 } // namespace deskpar::sim

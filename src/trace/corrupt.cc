@@ -94,6 +94,14 @@ Mutation::describe() const
             return "InflateBlockLength";
           case Kind::VarintOverrun:
             return "VarintOverrun";
+          case Kind::StompCheckpointMagic:
+            return "StompCheckpointMagic";
+          case Kind::FlipCheckpointCrc:
+            return "FlipCheckpointCrc";
+          case Kind::LieCheckpointBitmap:
+            return "LieCheckpointBitmap";
+          case Kind::ScrambleCheckpointIdentity:
+            return "ScrambleCheckpointIdentity";
           case Kind::kCount:
             break;
         }
@@ -126,6 +134,9 @@ FaultInjector::mutationFor(std::size_t index) const
     auto textKinds =
         static_cast<std::size_t>(Mutation::Kind::FlipBlockCrc);
     constexpr std::size_t etlcKinds = 4;
+    auto checkpointFirst = static_cast<std::size_t>(
+        Mutation::Kind::StompCheckpointMagic);
+    constexpr std::size_t checkpointKinds = 4;
 
     Mutation m;
     // Rotate through the kinds so every family is covered evenly,
@@ -143,6 +154,14 @@ FaultInjector::mutationFor(std::size_t index) const
                      ? static_cast<Mutation::Kind>(k)
                      : static_cast<Mutation::Kind>(
                            textKinds + (k - byteKinds));
+        break;
+      }
+      case TraceFormat::Checkpoint: {
+        std::size_t k = index % (byteKinds + checkpointKinds);
+        m.kind = k < byteKinds
+                     ? static_cast<Mutation::Kind>(k)
+                     : static_cast<Mutation::Kind>(
+                           checkpointFirst + (k - byteKinds));
         break;
       }
     }
@@ -357,6 +376,81 @@ FaultInjector::apply(const std::string &data, const Mutation &m,
             std::min<std::size_t>(12, out.size() - ref.framePos);
         for (std::size_t i = 0; i < n; ++i)
             out[ref.framePos + i] = static_cast<char>(0xff);
+        break;
+      }
+
+      // Sweep-checkpoint anatomy (apps/sweep.cc layout: 8-byte
+      // magic/version, 4-byte little-endian CRC32C of the body,
+      // then six varints — version, seed, count, shard size,
+      // duration, shard count — and the completed-shard bitmap).
+      case Mutation::Kind::StompCheckpointMagic:
+        if (size >= 8)
+            out[m.pos % 8] = static_cast<char>(
+                static_cast<std::uint8_t>(out[m.pos % 8]) ^
+                (m.value | 1));
+        break;
+
+      case Mutation::Kind::FlipCheckpointCrc:
+        if (size >= 12) {
+            std::size_t at = 8 + (m.value & 3);
+            out[at] = static_cast<char>(
+                static_cast<std::uint8_t>(out[at]) ^ 0xff);
+        }
+        break;
+
+      case Mutation::Kind::LieCheckpointBitmap: {
+        if (size < 12)
+            break;
+        // Skip the six header varints to land in the bitmap.
+        std::size_t at = 12;
+        std::uint64_t ignored = 0;
+        ParseError err;
+        bool ok = true;
+        for (int i = 0; ok && i < 6; ++i)
+            ok = tryGetVarint(out, at, ignored, err);
+        if (!ok || at >= out.size())
+            break;
+        std::size_t bitmapLen = out.size() - at;
+        Rng rng{mix(seed ^ m.pos)};
+        // Flip 1-3 bits so the checkpoint both claims unfinished
+        // shards done and finished shards missing.
+        std::size_t flips = 1 + (m.value % 3);
+        for (std::size_t i = 0; i < flips; ++i) {
+            std::size_t byte = at + rng.below(bitmapLen);
+            out[byte] = static_cast<char>(
+                static_cast<std::uint8_t>(out[byte]) ^
+                (1u << rng.below(8)));
+        }
+        // Re-seal: the lie must survive the CRC check to test that
+        // resume distrusts even a well-formed checkpoint.
+        std::uint32_t crc = crc32c(out.substr(12));
+        for (int shift = 0; shift < 32; shift += 8)
+            out[8 + shift / 8] = static_cast<char>(
+                (crc >> shift) & 0xff);
+        break;
+      }
+
+      case Mutation::Kind::ScrambleCheckpointIdentity: {
+        if (size < 12)
+            break;
+        // Varint 2 of the body is the sweep seed; replace it with
+        // seed+1 and re-seal, producing a valid checkpoint of a
+        // different sweep.
+        std::size_t at = 12;
+        std::uint64_t version = 0, sweepSeed = 0;
+        ParseError err;
+        if (!tryGetVarint(out, at, version, err))
+            break;
+        std::size_t seedPos = at;
+        if (!tryGetVarint(out, at, sweepSeed, err))
+            break;
+        std::string replacement;
+        putVarint(replacement, sweepSeed + 1);
+        out.replace(seedPos, at - seedPos, replacement);
+        std::uint32_t crc = crc32c(out.substr(12));
+        for (int shift = 0; shift < 32; shift += 8)
+            out[8 + shift / 8] = static_cast<char>(
+                (crc >> shift) & 0xff);
         break;
       }
 

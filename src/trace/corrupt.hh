@@ -71,6 +71,26 @@ struct Mutation
          * past 64 bits / off the section end (.etlc).
          */
         VarintOverrun,
+        /**
+         * Corrupt one byte of the 8-byte magic/version prefix
+         * (sweep checkpoints — reads as another format).
+         */
+        StompCheckpointMagic,
+        /** XOR one byte of the stored CRC32C (sweep checkpoints). */
+        FlipCheckpointCrc,
+        /**
+         * Flip bits of the completed-shard bitmap and re-seal the
+         * CRC, so the checkpoint decodes cleanly but lies about
+         * progress (sweep checkpoints). Resume must not trust it:
+         * shard files are the ground truth.
+         */
+        LieCheckpointBitmap,
+        /**
+         * Rewrite the seed varint and re-seal the CRC: a
+         * well-formed checkpoint from a different sweep identity
+         * (sweep checkpoints).
+         */
+        ScrambleCheckpointIdentity,
         kCount,
     };
 
@@ -91,6 +111,11 @@ enum class TraceFormat : std::uint8_t {
     Text,
     /** .etlc: byte-level plus the block-anatomy kinds. */
     Etlc,
+    /**
+     * Sweep progress checkpoint (magic + CRC32C + varint body):
+     * byte-level plus the checkpoint-anatomy kinds.
+     */
+    Checkpoint,
 };
 
 /** Deterministic mutant factory over one serialized trace. */

@@ -166,6 +166,7 @@ TraceSession::start(SimTime now)
     if (recording_)
         fatal("TraceSession::start: already recording");
     recording_ = true;
+    active_ = providers_;
     bundle_.startTime = now;
 }
 
@@ -177,6 +178,7 @@ TraceSession::stop(SimTime now)
     if (now < bundle_.startTime)
         panic("TraceSession::stop: time went backwards");
     recording_ = false;
+    active_ = 0;
     bundle_.stopTime = now;
 }
 
@@ -196,7 +198,7 @@ TraceSession::recordProcessLife(const ProcessLifeEvent &e)
 {
     if (e.created)
         registerProcess(e.pid, e.name);
-    if (recording_ && (providers_ & kProviderLifecycle))
+    if (active_ & kProviderLifecycle)
         bundle_.processEvents.push_back(e);
 }
 

@@ -131,32 +131,38 @@ class TraceSession
     /** Set the logical-CPU count stamped into the bundle. */
     void setNumLogicalCpus(std::uint32_t n) { bundle_.numLogicalCpus = n; }
 
-    /** @{ Recording hooks called by the simulated machine. */
+    /**
+     * @{ Recording hooks called by the simulated machine. These sit
+     * on the per-event hot path, so the recording-state and
+     * provider-mask tests are pre-folded into active_ at
+     * start()/stop() time: a dormant hook is one AND plus a
+     * predictable branch, not two loads and two tests.
+     */
     void
     recordCSwitch(const CSwitchEvent &e)
     {
-        if (recording_ && (providers_ & kProviderCSwitch))
+        if (active_ & kProviderCSwitch)
             bundle_.cswitches.push_back(e);
     }
 
     void
     recordGpuPacket(const GpuPacketEvent &e)
     {
-        if (recording_ && (providers_ & kProviderGpu))
+        if (active_ & kProviderGpu)
             bundle_.gpuPackets.push_back(e);
     }
 
     void
     recordFrame(const FrameEvent &e)
     {
-        if (recording_ && (providers_ & kProviderFrames))
+        if (active_ & kProviderFrames)
             bundle_.frames.push_back(e);
     }
 
     void
     recordThreadLife(const ThreadLifeEvent &e)
     {
-        if (recording_ && (providers_ & kProviderLifecycle))
+        if (active_ & kProviderLifecycle)
             bundle_.threadEvents.push_back(e);
     }
 
@@ -165,7 +171,7 @@ class TraceSession
     void
     recordMarker(const MarkerEvent &e)
     {
-        if (recording_ && (providers_ & kProviderMarkers))
+        if (active_ & kProviderMarkers)
             bundle_.markers.push_back(e);
     }
     /** @} */
@@ -185,6 +191,8 @@ class TraceSession
 
   private:
     std::uint32_t providers_;
+    /** providers_ while recording, 0 while stopped. */
+    std::uint32_t active_ = 0;
     bool recording_ = false;
     TraceBundle bundle_;
 };

@@ -11,6 +11,14 @@
  *   deskpar sweep <id> --cores 4,8,12 [options]
  *       Core-scaling sweep (the Figure 4 methodology).
  *
+ *   deskpar sweep --count N --seed S --out DIR [--resume]
+ *           [--seconds X] [--shard-size K] [--jobs N]
+ *       Seeded corpus sweep (apps/sweep.hh): N scenarios sampled
+ *       from app x cores x SMT x scheduler-policy space, executed
+ *       in shards across the work-stealing runner with a resumable
+ *       checkpoint. Same seed => byte-identical sweep.jsonl at any
+ *       job count and across --resume boundaries.
+ *
  *   deskpar suite [options]
  *       The full Table II suite, one row per application.
  *
@@ -113,6 +121,7 @@
 #include "apps/legacy.hh"
 #include "apps/registry.hh"
 #include "apps/runner.hh"
+#include "apps/sweep.hh"
 #include "report/figure.hh"
 #include "report/json.hh"
 #include "report/heatmap.hh"
@@ -157,6 +166,11 @@ constexpr CommandHelp kCommands[] = {
      "run one workload and print its metrics"},
     {"sweep", "sweep <id> --cores 4,8,12 [options]",
      "core-scaling sweep (the Figure 4 methodology)"},
+    {"sweep (corpus)",
+     "sweep --count N --seed S --out DIR [--resume] "
+     "[--seconds X] [--shard-size K] [--jobs N]",
+     "seeded corpus sweep: N sampled scenarios, sharded + "
+     "resumable, one JSON metric row each"},
     {"suite", "suite [options]",
      "the full Table II suite, one row per application"},
     {"threads", "threads <id> [options]",
@@ -384,6 +398,53 @@ cmdSweep(const std::string &id, CliOptions cli)
     }
     table.print(std::cout);
     return 0;
+}
+
+int
+cmdCorpusSweep(int argc, char **argv, int first)
+{
+    apps::SweepOptions options;
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--count")
+            options.count =
+                static_cast<std::uint32_t>(std::stoul(value()));
+        else if (arg == "--seed")
+            options.seed = std::stoull(value());
+        else if (arg == "--out")
+            options.outDir = value();
+        else if (arg == "--resume")
+            options.resume = true;
+        else if (arg == "--seconds")
+            options.seconds = std::stod(value());
+        else if (arg == "--shard-size")
+            options.shardSize =
+                static_cast<std::uint32_t>(std::stoul(value()));
+        else if (arg == "--jobs")
+            options.threads =
+                static_cast<unsigned>(std::stoul(value()));
+        else
+            usage();
+    }
+    if (options.count == 0 || options.outDir.empty())
+        usage();
+
+    apps::SweepReport report = apps::runSweep(options);
+    std::printf("sweep: %u scenarios, %u shards (%u reused, %u run "
+                "this pass)\n",
+                report.scenariosTotal, report.shardsTotal,
+                report.shardsReused, report.scenariosRun);
+    if (report.complete) {
+        std::printf("wrote %s\n", report.mergedPath.c_str());
+        return 0;
+    }
+    std::printf("stopped early; rerun with --resume to finish\n");
+    return 1;
 }
 
 int
@@ -1256,6 +1317,11 @@ main(int argc, char **argv)
             if (argc < 3)
                 usage();
             std::string id = argv[2];
+            // `sweep --count ...` (no workload id) is the seeded
+            // corpus sweep; `sweep <id> ...` stays the Figure 4
+            // core-scaling sweep.
+            if (command == "sweep" && id.rfind("--", 0) == 0)
+                return cmdCorpusSweep(argc, argv, 2);
             CliOptions cli = parseOptions(argc, argv, 3);
             if (command == "run")
                 return cmdRun(id, cli);
