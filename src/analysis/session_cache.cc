@@ -1,0 +1,282 @@
+#include "analysis/session_cache.hh"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hh"
+#include "sim/logging.hh"
+#include "trace/csv.hh"
+#include "trace/etl.hh"
+#include "trace/etlc.hh"
+#include "trace/io.hh"
+
+namespace deskpar::analysis {
+
+namespace {
+
+/**
+ * Flat allowance for the index columns the bundle estimate cannot
+ * see. The columns are a constant-factor reshape of the cswitch
+ * stream, which dominates memoryBytes() for any trace large enough
+ * to matter for eviction, so a small fixed pad keeps the accounting
+ * honest without a second estimator.
+ */
+constexpr std::uint64_t kIndexAllowanceBytes = 256u << 10;
+
+bool
+hasSuffix(const std::string &path, const char *suffix)
+{
+    std::size_t n = std::char_traits<char>::length(suffix);
+    return path.size() > n &&
+           path.compare(path.size() - n, n, suffix) == 0;
+}
+
+std::string
+slotKey(const std::string &path, trace::ParseMode mode)
+{
+    // \x1f cannot appear in the mode tag, so keys never collide
+    // across (path, mode) pairs even for adversarial paths.
+    return path + '\x1f' +
+           (mode == trace::ParseMode::Lenient ? 'L' : 'S');
+}
+
+} // namespace
+
+struct SessionCache::Slot
+{
+    enum class State { Loading, Ready, Failed };
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    State state = State::Loading;
+
+    TraceIdentity identity;
+    std::shared_ptr<const Session> session;
+    std::shared_ptr<const trace::IngestReport> report;
+    trace::IngestStats ingest;
+    /** Charged against the cache budget while resident. */
+    std::uint64_t bytes = 0;
+    /** LRU stamp (cache clock_); only meaningful while resident. */
+    std::uint64_t lastUse = 0;
+    /** Still accounted in residentBytes_ / eligible for eviction. */
+    bool resident = false;
+    /** Set with state == Failed; rethrown to every waiter. */
+    std::exception_ptr error;
+};
+
+SessionCache::SessionCache(const SessionCacheOptions &options)
+    : options_(options)
+{}
+
+SessionCache::~SessionCache() = default;
+
+void
+SessionCache::fill(Slot &slot, const std::string &path,
+                   trace::ParseMode mode)
+{
+    obs::Span span("serve.session.ingest", obs::SpanKind::Ingest);
+
+    std::string error;
+    if (!probeTraceIdentity(path, slot.identity, error))
+        fatal(error);
+
+    trace::ParseOptions popts;
+    popts.mode = mode;
+    popts.source = path;
+
+    auto report = std::make_shared<trace::IngestReport>();
+    trace::TraceBundle bundle;
+    auto start = std::chrono::steady_clock::now();
+    {
+        trace::io::MappedFile file =
+            trace::io::MappedFile::openOrThrow(path, "SessionCache");
+        slot.ingest.bytes = file.span().size();
+        if (hasSuffix(path, ".csv")) {
+            *report =
+                trace::decodeCpuUsageCsv(file.span(), bundle, popts);
+        } else if (trace::isEtlcData(file.span())) {
+            bundle = trace::decodeEtlc(file.span(), popts, *report);
+        } else {
+            bundle = trace::decodeEtl(file.span(), popts, *report);
+        }
+    }
+    if (mode == trace::ParseMode::Strict && !report->ok()) {
+        if (!report->errors.empty())
+            throw trace::TraceParseError(report->errors.front());
+        trace::ParseError generic;
+        generic.source = path;
+        generic.section = "ingest";
+        generic.reason = report->summary();
+        throw trace::TraceParseError(std::move(generic));
+    }
+
+    auto session = std::make_shared<Session>(std::move(bundle));
+    // Materialize the shared column state before the Session is
+    // published: every later reader then takes the lock-free fast
+    // path, and the build cost lands on the cold request that caused
+    // the ingest, where the latency is expected.
+    session->index().warm(PidSet{});
+    slot.ingest.seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    slot.bytes =
+        session->bundle().memoryBytes() + kIndexAllowanceBytes;
+    slot.session = std::move(session);
+    slot.report = std::move(report);
+}
+
+SessionCache::Lease
+SessionCache::acquire(const std::string &path, trace::ParseMode mode)
+{
+    std::string key = slotKey(path, mode);
+    while (true) {
+        std::shared_ptr<Slot> slot;
+        bool filler = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = slots_.find(key);
+            if (it != slots_.end()) {
+                slot = it->second;
+            } else {
+                slot = std::make_shared<Slot>();
+                slots_.emplace(key, slot);
+                ++counters_.misses;
+                filler = true;
+            }
+        }
+
+        if (filler) {
+            try {
+                fill(*slot, path, mode);
+            } catch (...) {
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    auto it = slots_.find(key);
+                    if (it != slots_.end() && it->second == slot)
+                        slots_.erase(it);
+                }
+                std::lock_guard<std::mutex> slock(slot->mutex);
+                slot->state = Slot::State::Failed;
+                slot->error = std::current_exception();
+                slot->cv.notify_all();
+                throw;
+            }
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.ingests;
+                slot->resident = true;
+                slot->lastUse = ++clock_;
+                residentBytes_ += slot->bytes;
+                enforceBudgetLocked(slot.get());
+            }
+            std::lock_guard<std::mutex> slock(slot->mutex);
+            slot->state = Slot::State::Ready;
+            slot->cv.notify_all();
+            return Lease{slot->session, slot->report, slot->ingest,
+                         /*warm=*/false};
+        }
+
+        {
+            std::unique_lock<std::mutex> slock(slot->mutex);
+            slot->cv.wait(slock, [&] {
+                return slot->state != Slot::State::Loading;
+            });
+            if (slot->state == Slot::State::Failed)
+                std::rethrow_exception(slot->error);
+        }
+
+        // Ready hit: serve only while the on-disk file still matches
+        // the identity we ingested. A failed probe (file deleted) or
+        // a mismatch drops the entry and retries cold.
+        TraceIdentity current;
+        std::string error;
+        bool fresh = probeTraceIdentity(path, current, error) &&
+                     current == slot->identity;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = slots_.find(key);
+            bool mapped = it != slots_.end() && it->second == slot;
+            if (fresh) {
+                if (mapped)
+                    slot->lastUse = ++clock_;
+                ++counters_.hits;
+                return Lease{slot->session, slot->report,
+                             slot->ingest, /*warm=*/true};
+            }
+            if (mapped)
+                dropLocked(key, *slot, counters_.invalidations);
+        }
+        // Stale: loop around and ingest the new bytes.
+    }
+}
+
+void
+SessionCache::invalidate(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (trace::ParseMode mode :
+         {trace::ParseMode::Strict, trace::ParseMode::Lenient}) {
+        auto it = slots_.find(slotKey(path, mode));
+        if (it != slots_.end()) {
+            auto slot = it->second;
+            dropLocked(it->first, *slot, counters_.invalidations);
+        }
+    }
+}
+
+SessionCacheStats
+SessionCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    SessionCacheStats stats = counters_;
+    stats.residentBytes = residentBytes_;
+    stats.entries = slots_.size();
+    return stats;
+}
+
+void
+SessionCache::dropLocked(const std::string &key, Slot &slot,
+                         std::uint64_t &counter)
+{
+    if (slot.resident) {
+        residentBytes_ -= slot.bytes;
+        slot.resident = false;
+    }
+    ++counter;
+    slots_.erase(key);
+}
+
+void
+SessionCache::enforceBudgetLocked(const Slot *keep)
+{
+    while (residentBytes_ > options_.maxBytes) {
+        const std::string *victimKey = nullptr;
+        Slot *victim = nullptr;
+        for (auto &entry : slots_) {
+            Slot *slot = entry.second.get();
+            // Loading slots are not yet resident; the just-inserted
+            // entry is exempt so a single over-budget trace can
+            // still be served (it becomes the next victim).
+            if (!slot->resident || slot == keep)
+                continue;
+            if (!victim || slot->lastUse < victim->lastUse) {
+                victimKey = &entry.first;
+                victim = slot;
+            }
+        }
+        if (!victim)
+            break;
+        // dropLocked erases the map node *victimKey points into, so
+        // copy the key first. In-flight leases keep the Session
+        // alive through their shared_ptr; only the cache lets go.
+        std::string key = *victimKey;
+        auto hold = slots_[key];
+        dropLocked(key, *victim, counters_.evictions);
+    }
+}
+
+} // namespace deskpar::analysis

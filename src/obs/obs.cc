@@ -28,6 +28,8 @@ spanKindName(SpanKind kind)
         return "report";
       case SpanKind::Plan:
         return "plan";
+      case SpanKind::Serve:
+        return "serve";
       case SpanKind::Other:
         break;
     }
@@ -88,7 +90,7 @@ writeStatsJson(std::ostream &out, const Snapshot &snapshot)
 {
     // Span/counter names are instrumentation-site literals (no
     // quotes or backslashes), so raw emission is escape-correct.
-    out << "{\"obs\":{\"threads\":" << snapshot.threads
+    out << "{\"schema\":1,\"obs\":{\"threads\":" << snapshot.threads
         << ",\"dropped_spans\":" << snapshot.droppedSpans
         << ",\"spans\":[";
     std::vector<SpanStat> stats = aggregate(snapshot);

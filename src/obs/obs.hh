@@ -70,10 +70,12 @@ enum class SpanKind : std::uint8_t {
     Other = 6,
     /** Query-plan compilation and fused batch execution. */
     Plan = 7,
+    /** One `deskpar serve` request, demultiplexer to response. */
+    Serve = 8,
 };
 
 /** Number of distinct span kinds (array sizing). */
-inline constexpr unsigned kNumSpanKinds = 8;
+inline constexpr unsigned kNumSpanKinds = 9;
 
 /** Human-readable kind name ("task", "ingest", ...). */
 const char *spanKindName(SpanKind kind);

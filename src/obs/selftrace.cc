@@ -130,6 +130,8 @@ selfTraceProcessName(SpanKind kind)
         return "deskpar.report";
       case SpanKind::Plan:
         return "deskpar.plan";
+      case SpanKind::Serve:
+        return "deskpar.serve";
       case SpanKind::Other:
         break;
     }

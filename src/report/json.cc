@@ -120,10 +120,30 @@ JsonWriter::value(const std::string &v)
 JsonWriter &
 JsonWriter::value(double v)
 {
+    return value(v, 6);
+}
+
+JsonWriter &
+JsonWriter::value(double v, int digits)
+{
     separator();
     if (std::isfinite(v)) {
-        char buf[32];
-        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+        out_ << buf;
+    } else {
+        out_ << "null";
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueFixed(double v, int decimals)
+{
+    separator();
+    if (std::isfinite(v)) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
         out_ << buf;
     } else {
         out_ << "null";

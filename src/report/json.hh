@@ -35,6 +35,18 @@ class JsonWriter
     JsonWriter &key(const std::string &name);
     JsonWriter &value(const std::string &v);
     JsonWriter &value(double v);
+    /**
+     * Double with an explicit %g significant-digit count: the
+     * unified result documents emit query values at full round-trip
+     * precision (17) and timestamps at 9, matching what the CLI
+     * always printed.
+     */
+    JsonWriter &value(double v, int digits);
+    /**
+     * Double with a fixed decimal count (%.*f) — the bottleneck
+     * documents keep renderReportJson's 3-decimal ms/ratio text.
+     */
+    JsonWriter &valueFixed(double v, int decimals);
     JsonWriter &value(std::uint64_t v);
     JsonWriter &value(bool v);
 

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Line-oriented client for the serve socket, shared by the
+ * `deskpar client` subcommand, the server tests, and bench_serve.
+ * Blocking, one connection, no framing beyond newline.
+ */
+
+#ifndef DESKPAR_SERVE_CLIENT_HH
+#define DESKPAR_SERVE_CLIENT_HH
+
+#include <string>
+
+namespace deskpar::serve {
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to @p socketPath. False + @p error on failure. */
+    bool connect(const std::string &socketPath, std::string &error);
+
+    /** Send @p line (the trailing '\n' is added here). */
+    bool sendLine(const std::string &line, std::string &error);
+
+    /** Read one response line (without the '\n'). */
+    bool readLine(std::string &line, std::string &error);
+
+    /** sendLine + readLine. */
+    bool call(const std::string &request, std::string &response,
+              std::string &error);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+    /** Bytes read past the last returned line. */
+    std::string buffer_;
+};
+
+} // namespace deskpar::serve
+
+#endif // DESKPAR_SERVE_CLIENT_HH

@@ -1,0 +1,333 @@
+#include "serve/json_value.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace deskpar::serve {
+
+namespace {
+
+/** Nesting cap: a local protocol never needs more; a hostile line
+ *  must not be able to chew arbitrary parser stack. */
+constexpr int kMaxDepth = 64;
+
+} // namespace
+
+/** The recursive-descent reader behind parseJson (befriended by
+ *  JsonValue so it can fill the private members directly). */
+class JsonParser
+{
+  public:
+    JsonParser(std::string_view text, std::string &error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        error_ = "json: offset " + std::to_string(pos_) + ": " + what;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        if (pos_ < text_.size() && text_[pos_] == expected) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (text_.size() - pos_ < len ||
+            text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string &out, std::uint32_t cp)
+    {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            out += static_cast<char>(0xf0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    bool
+    parseHex4(std::uint32_t &out)
+    {
+        if (text_.size() - pos_ < 4)
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<std::uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<std::uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<std::uint32_t>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return fail("expected string");
+        out.clear();
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+                out += '"';
+                break;
+              case '\\':
+                out += '\\';
+                break;
+              case '/':
+                out += '/';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'u': {
+                std::uint32_t cp = 0;
+                if (!parseHex4(cp))
+                    return false;
+                if (cp >= 0xd800 && cp <= 0xdbff) {
+                    // High surrogate: a low surrogate must follow.
+                    if (!literal("\\u", 2))
+                        return fail("unpaired high surrogate");
+                    std::uint32_t low = 0;
+                    if (!parseHex4(low))
+                        return false;
+                    if (low < 0xdc00 || low > 0xdfff)
+                        return fail("bad low surrogate");
+                    cp = 0x10000 + ((cp - 0xd800) << 10) +
+                         (low - 0xdc00);
+                } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+                    return fail("unpaired low surrogate");
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape character");
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected number");
+        std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (!end || *end != '\0')
+            return fail("malformed number");
+        out.type_ = JsonValue::Type::Number;
+        out.number_ = value;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            out.type_ = JsonValue::Type::Object;
+            skipWs();
+            if (consume('}'))
+                return true;
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!consume(':'))
+                    return fail("expected ':' after object key");
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.object_[key] = std::move(value);
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume('}'))
+                    return true;
+                return fail("expected ',' or '}' in object");
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            out.type_ = JsonValue::Type::Array;
+            skipWs();
+            if (consume(']'))
+                return true;
+            while (true) {
+                JsonValue value;
+                if (!parseValue(value, depth + 1))
+                    return false;
+                out.array_.push_back(std::move(value));
+                skipWs();
+                if (consume(','))
+                    continue;
+                if (consume(']'))
+                    return true;
+                return fail("expected ',' or ']' in array");
+            }
+        }
+        if (c == '"') {
+            out.type_ = JsonValue::Type::String;
+            return parseString(out.string_);
+        }
+        if (literal("true", 4)) {
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = true;
+            return true;
+        }
+        if (literal("false", 5)) {
+            out.type_ = JsonValue::Type::Bool;
+            out.bool_ = false;
+            return true;
+        }
+        if (literal("null", 4)) {
+            out.type_ = JsonValue::Type::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    std::string_view text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    auto it = object_.find(key);
+    return it != object_.end() ? &it->second : nullptr;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isString() ? v->string() : fallback;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isNumber() ? v->number() : fallback;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v && v->isBool() ? v->boolean() : fallback;
+}
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &error)
+{
+    return JsonParser(text, error).parse(out);
+}
+
+} // namespace deskpar::serve

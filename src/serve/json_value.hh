@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal JSON reader for the serve protocol.
+ *
+ * The server reads one request object per line; requests are small
+ * (a path, a few strings, a few numbers), so a simple recursive-
+ * descent parser into a tree value is the right tool — no external
+ * dependency, no streaming. Writing stays on report::JsonWriter;
+ * this is the read side only.
+ *
+ * Deviations from full RFC 8259 are rejections, not extensions:
+ * depth is capped (stack safety against adversarial input on a
+ * local socket), trailing garbage after the top-level value is an
+ * error, and \uXXXX escapes (including surrogate pairs) decode to
+ * UTF-8.
+ */
+
+#ifndef DESKPAR_SERVE_JSON_VALUE_HH
+#define DESKPAR_SERVE_JSON_VALUE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deskpar::serve {
+
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool boolean() const { return bool_; }
+    double number() const { return number_; }
+    const std::string &string() const { return string_; }
+    const std::vector<JsonValue> &array() const { return array_; }
+
+    /** Object member, or nullptr when absent (or not an object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** @{ Typed member lookups with defaults for optional fields. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+    double numberOr(const std::string &key, double fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+    /** @} */
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    /** Last duplicate key wins, like every permissive reader. */
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse @p text as one complete JSON value. On failure returns
+ * false and sets @p error to a position-tagged message; @p out is
+ * unspecified.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string &error);
+
+} // namespace deskpar::serve
+
+#endif // DESKPAR_SERVE_JSON_VALUE_HH

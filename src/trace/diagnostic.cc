@@ -16,6 +16,13 @@ namespace {
  */
 std::atomic<DiagnosticSink *> g_sink{nullptr};
 
+/**
+ * The calling thread's private sink, consulted before g_sink.
+ * Thread-local, so installation needs no synchronization at all —
+ * the serve worker pool installs one per request without contending.
+ */
+thread_local DiagnosticSink *t_sink = nullptr;
+
 } // namespace
 
 const char *
@@ -49,6 +56,10 @@ Diagnostic::str() const
 void
 emitDiagnostic(const Diagnostic &diagnostic)
 {
+    if (t_sink) {
+        t_sink->report(diagnostic);
+        return;
+    }
     if (DiagnosticSink *sink =
             g_sink.load(std::memory_order_acquire)) {
         sink->report(diagnostic);
@@ -83,6 +94,14 @@ DiagnosticSink *
 installDiagnosticSink(DiagnosticSink *sink)
 {
     return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+DiagnosticSink *
+installThreadDiagnosticSink(DiagnosticSink *sink)
+{
+    DiagnosticSink *previous = t_sink;
+    t_sink = sink;
+    return previous;
 }
 
 void

@@ -106,6 +106,20 @@ bool emitDiagnosticOnce(std::atomic<bool> &emitted,
  */
 DiagnosticSink *installDiagnosticSink(DiagnosticSink *sink);
 
+/**
+ * Install @p sink for the *calling thread only* and return the
+ * thread's previous sink. A thread-scoped sink takes precedence over
+ * the process-global one, so concurrent request handlers (the
+ * `deskpar serve` worker pool) can each capture their own request's
+ * diagnostics without racing over the global slot. Diagnostics
+ * emitted from helper threads a request fans out to (parallelFor
+ * with jobs > 1) do not see the requester's thread sink — they fall
+ * through to the global sink — so per-request capture is exact only
+ * for requests that analyze inline (jobs == 1, the server default).
+ * Prefer ScopedThreadDiagnosticSink.
+ */
+DiagnosticSink *installThreadDiagnosticSink(DiagnosticSink *sink);
+
 /** Thread-safe sink that stores everything it is given. */
 class CollectingDiagnosticSink : public DiagnosticSink
 {
@@ -136,6 +150,31 @@ class ScopedDiagnosticSink
     ScopedDiagnosticSink(const ScopedDiagnosticSink &) = delete;
     ScopedDiagnosticSink &
     operator=(const ScopedDiagnosticSink &) = delete;
+
+  private:
+    DiagnosticSink *previous_;
+};
+
+/**
+ * Install a sink for the current thread and scope, restore the
+ * thread's previous sink on exit (see installThreadDiagnosticSink).
+ */
+class ScopedThreadDiagnosticSink
+{
+  public:
+    explicit ScopedThreadDiagnosticSink(DiagnosticSink &sink)
+        : previous_(installThreadDiagnosticSink(&sink))
+    {}
+
+    ~ScopedThreadDiagnosticSink()
+    {
+        installThreadDiagnosticSink(previous_);
+    }
+
+    ScopedThreadDiagnosticSink(const ScopedThreadDiagnosticSink &) =
+        delete;
+    ScopedThreadDiagnosticSink &
+    operator=(const ScopedThreadDiagnosticSink &) = delete;
 
   private:
     DiagnosticSink *previous_;

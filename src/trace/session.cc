@@ -32,6 +32,26 @@ TraceBundle::totalEvents() const
            threadEvents.size() + processEvents.size() + markers.size();
 }
 
+std::size_t
+TraceBundle::memoryBytes() const
+{
+    std::size_t bytes = sizeof(*this);
+    bytes += cswitches.capacity() * sizeof(CSwitchEvent);
+    bytes += gpuPackets.capacity() * sizeof(GpuPacketEvent);
+    bytes += frames.capacity() * sizeof(FrameEvent);
+    bytes += threadEvents.capacity() * sizeof(ThreadLifeEvent);
+    bytes += processEvents.capacity() * sizeof(ProcessLifeEvent);
+    bytes += markers.capacity() * sizeof(MarkerEvent);
+    for (const auto &[pid, name] : processNames) {
+        bytes += sizeof(Pid) + sizeof(std::string) + name.capacity();
+        // Hash-node overhead (bucket pointer + next + hash).
+        bytes += 3 * sizeof(void *);
+    }
+    for (const MarkerEvent &marker : markers)
+        bytes += marker.label.capacity();
+    return bytes;
+}
+
 /**
  * One snapshot of the name table, in both lookup directions the
  * analyses need: exact name -> sorted pids, and a lexicographically

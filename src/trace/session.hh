@@ -64,6 +64,14 @@ struct TraceBundle
     std::size_t totalEvents() const;
 
     /**
+     * Approximate resident size of this bundle in bytes: the event
+     * vectors (by capacity — what the allocator actually holds) plus
+     * the name table. The currency of byte-bounded caches
+     * (analysis::SessionCache); an estimate, not an accounting.
+     */
+    std::size_t memoryBytes() const;
+
+    /**
      * Pids whose recorded process name matches exactly, sorted
      * ascending. Served from a lazily built name index (rebuilt when
      * processNames grows or shrinks; TraceSession invalidates it on

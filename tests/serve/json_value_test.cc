@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The serve request parser's JSON reader (serve/json_value.hh).
+ *
+ * Contract under test: every well-formed request line parses into the
+ * right shape (including escapes, surrogate pairs, and duplicate
+ * keys), and every malformed line fails with an offset-tagged error
+ * instead of crashing or truncating — this parser faces whatever
+ * bytes a client writes into the socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/json_value.hh"
+
+namespace {
+
+using namespace deskpar::serve;
+
+JsonValue
+parseOk(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, value, error)) << error;
+    return value;
+}
+
+std::string
+parseFail(const std::string &text)
+{
+    JsonValue value;
+    std::string error;
+    EXPECT_FALSE(parseJson(text, value, error)) << text;
+    EXPECT_FALSE(error.empty());
+    return error;
+}
+
+TEST(JsonValue, ParsesEveryScalarType)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean());
+    EXPECT_FALSE(parseOk("false").boolean());
+    EXPECT_DOUBLE_EQ(parseOk("-12.5e2").number(), -1250.0);
+    EXPECT_EQ(parseOk("\"hi\"").string(), "hi");
+}
+
+TEST(JsonValue, ParsesNestedObjectsAndArrays)
+{
+    JsonValue v = parseOk(
+        R"({"op":"query","specs":["tlp","gpu"],"id":7,)"
+        R"("nested":{"deep":[1,2,{"x":true}]}})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.stringOr("op", ""), "query");
+    EXPECT_EQ(v.numberOr("id", 0), 7.0);
+    const JsonValue *specs = v.find("specs");
+    ASSERT_TRUE(specs && specs->isArray());
+    ASSERT_EQ(specs->array().size(), 2u);
+    EXPECT_EQ(specs->array()[0].string(), "tlp");
+    const JsonValue *nested = v.find("nested");
+    ASSERT_TRUE(nested && nested->isObject());
+    const JsonValue *deep = nested->find("deep");
+    ASSERT_TRUE(deep && deep->isArray());
+    EXPECT_TRUE(deep->array()[2].find("x")->boolean());
+}
+
+TEST(JsonValue, DecodesEscapesAndSurrogatePairs)
+{
+    EXPECT_EQ(parseOk(R"("a\"b\\c\/d\n\t")").string(),
+              "a\"b\\c/d\n\t");
+    // U+00E9 (e-acute), then U+1F600 via a surrogate pair.
+    EXPECT_EQ(parseOk(R"("é")").string(), "\xc3\xa9");
+    EXPECT_EQ(parseOk(R"("😀")").string(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonValue, LastDuplicateKeyWins)
+{
+    JsonValue v = parseOk(R"({"a":1,"a":2})");
+    EXPECT_EQ(v.numberOr("a", 0), 2.0);
+}
+
+TEST(JsonValue, WhitespaceIsInsignificant)
+{
+    JsonValue v = parseOk(" \t{ \"a\" :\n[ 1 , 2 ] }\r\n");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("a")->array().size(), 2u);
+}
+
+TEST(JsonValue, RejectsMalformedInputWithOffsetErrors)
+{
+    EXPECT_NE(parseFail("").find("offset"), std::string::npos);
+    parseFail("{");
+    parseFail("{\"a\":}");
+    parseFail("[1,]");
+    parseFail("\"unterminated");
+    parseFail("tru");
+    parseFail("01x");
+    parseFail(R"("\u12")");         // truncated escape
+    parseFail(R"("\ud83d")");       // unpaired high surrogate
+    parseFail(R"("\ude00")");       // unpaired low surrogate
+    parseFail(R"("\q")");           // unknown escape
+    parseFail("\"raw\x01ctl\"");    // raw control char
+    parseFail("{\"a\":1} trailing");
+    parseFail("{\"a\":1}{}");
+}
+
+TEST(JsonValue, RejectsAbsurdNesting)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    EXPECT_NE(parseFail(deep).find("nesting"), std::string::npos);
+}
+
+TEST(JsonValue, AccessorsDegradeGracefullyOnWrongTypes)
+{
+    JsonValue v = parseOk(R"({"s":"x","n":1,"b":true})");
+    EXPECT_EQ(v.stringOr("n", "d"), "d");
+    EXPECT_EQ(v.numberOr("s", 9), 9.0);
+    EXPECT_TRUE(v.boolOr("missing", true));
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_EQ(parseOk("3").find("a"), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,205 @@
+#include "tools/cli_options.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace deskpar::cli {
+
+bool
+parseUnsigned(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() || text[0] == '-' || text[0] == '+')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+bool
+parseDouble(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+Parser::Parser(std::string command)
+    : command_(std::move(command))
+{}
+
+Parser &
+Parser::flag(const char *name, bool *out)
+{
+    Option opt;
+    opt.name = name;
+    opt.flagOut = out;
+    options_.push_back(std::move(opt));
+    return *this;
+}
+
+Parser &
+Parser::option(const char *name, const char *valueName,
+               std::string *out)
+{
+    return option(name, valueName,
+                  [out](const std::string &value, std::string &) {
+                      *out = value;
+                      return true;
+                  });
+}
+
+Parser &
+Parser::option(const char *name, const char *valueName, double *out)
+{
+    return option(name, valueName,
+                  [out](const std::string &value, std::string &error) {
+                      double parsed = 0;
+                      if (!parseDouble(value, parsed)) {
+                          error = "expects a number, got '" + value +
+                                  "'";
+                          return false;
+                      }
+                      *out = parsed;
+                      return true;
+                  });
+}
+
+Parser &
+Parser::option(const char *name, const char *valueName,
+               std::function<bool(const std::string &, std::string &)>
+                   callback)
+{
+    Option opt;
+    opt.name = name;
+    opt.valueName = valueName;
+    opt.apply = std::move(callback);
+    options_.push_back(std::move(opt));
+    return *this;
+}
+
+Parser &
+Parser::positionals(std::vector<std::string> *out, std::size_t min,
+                    std::size_t max, const char *what)
+{
+    positionals_ = out;
+    minPositionals_ = min;
+    maxPositionals_ = max;
+    positionalWhat_ = what;
+    return *this;
+}
+
+bool
+Parser::fail(const std::string &what) const
+{
+    std::fprintf(stderr, "deskpar %s: %s\n", command_.c_str(),
+                 what.c_str());
+    return false;
+}
+
+const Parser::Option *
+Parser::findOption(const std::string &name) const
+{
+    for (const Option &opt : options_)
+        if (opt.name == name)
+            return &opt;
+    return nullptr;
+}
+
+bool
+Parser::parse(int argc, char **argv, int first)
+{
+    std::vector<std::string> positional;
+    bool optionsDone = false;
+
+    for (int i = first; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!optionsDone && arg == "--") {
+            optionsDone = true;
+            continue;
+        }
+        bool looksLikeOption =
+            !optionsDone && arg.size() >= 2 && arg[0] == '-';
+        if (!looksLikeOption) {
+            positional.push_back(std::move(arg));
+            continue;
+        }
+
+        // Split --name=value; otherwise the value is the next argv.
+        std::string name = arg;
+        std::string value;
+        bool haveValue = false;
+        std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+            haveValue = true;
+        }
+
+        const Option *opt = findOption(name);
+        if (!opt)
+            return fail("unknown option '" + name + "'");
+
+        if (opt->flagOut) {
+            if (haveValue)
+                return fail("option '" + name +
+                            "' does not take a value");
+            *opt->flagOut = true;
+            continue;
+        }
+
+        if (!haveValue) {
+            if (i + 1 >= argc)
+                return fail("option '" + name + "' needs a " +
+                            opt->valueName + " value");
+            value = argv[++i];
+        }
+        std::string error;
+        if (!opt->apply(value, error))
+            return fail("option '" + name + "' " + error);
+    }
+
+    if (!positionals_) {
+        if (!positional.empty())
+            return fail("unexpected argument '" + positional.front() +
+                        "'");
+        return true;
+    }
+    if (positional.size() < minPositionals_) {
+        if (minPositionals_ == 1)
+            return fail("missing " + positionalWhat_);
+        return fail("expected at least " +
+                    std::to_string(minPositionals_) +
+                    " arguments (" + positionalWhat_ + ")");
+    }
+    if (positional.size() > maxPositionals_)
+        return fail("unexpected argument '" +
+                    positional[maxPositionals_] + "'");
+    *positionals_ = std::move(positional);
+    return true;
+}
+
+void
+addCommonOptions(Parser &parser, CommonOptions &out, unsigned mask)
+{
+    if (mask & kOptJobs)
+        parser.option("--jobs", "N", &out.jobs);
+    if (mask & kOptJson)
+        parser.flag("--json", &out.json);
+    if (mask & kOptLenient)
+        parser.flag("--lenient-traces", &out.lenient);
+    if (mask & kOptApp)
+        parser.option("--app", "PREFIX", &out.appPrefix);
+}
+
+} // namespace deskpar::cli

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Shared flag parsing for deskpar subcommands.
+ *
+ * Every subcommand used to hand-roll its own argv loop, and the loops
+ * drifted: one treated a bad number as a generic runtime error (exit
+ * 1), another called usage() (exit 2), a third silently took 0. This
+ * helper makes the behavior uniform by construction:
+ *
+ *   cli::Parser parser("query");
+ *   parser.flag("--explain", &explain);
+ *   parser.option("--app", "PREFIX", &prefix);
+ *   parser.positionals(&args, 2, cli::Parser::kUnlimited);
+ *   if (!parser.parse(argc, argv, 2))
+ *       return 2;   // message already on stderr
+ *
+ * All parse failures print one line to stderr in the shape
+ * "deskpar <command>: <what>" and the command exits 2, matching
+ * usage(). Numeric options reject trailing junk ("8x" is an error,
+ * not 8), which the old std::stoul loops accepted into exit 1.
+ *
+ * The common cross-command options (--jobs, --json, --app,
+ * --lenient-traces) are registered through addCommonOptions() with a
+ * mask, so their spelling, value names, and error text cannot drift
+ * between subcommands again.
+ */
+
+#ifndef DESKPAR_TOOLS_CLI_OPTIONS_HH
+#define DESKPAR_TOOLS_CLI_OPTIONS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace deskpar::cli {
+
+/** Strict unsigned parse ("8x" fails); shared with option(). */
+bool parseUnsigned(const std::string &text, std::uint64_t &out);
+
+/** Strict finite-double parse. */
+bool parseDouble(const std::string &text, double &out);
+
+class Parser
+{
+  public:
+    static constexpr std::size_t kUnlimited =
+        std::numeric_limits<std::size_t>::max();
+
+    /** @p command names the subcommand in error messages. */
+    explicit Parser(std::string command);
+
+    /** Boolean flag: present sets *out to true. */
+    Parser &flag(const char *name, bool *out);
+
+    /** String-valued option: `--name VALUE` or `--name=VALUE`. */
+    Parser &option(const char *name, const char *valueName,
+                   std::string *out);
+
+    /**
+     * Unsigned integer option (any unsigned width); rejects sign,
+     * junk, and out-of-range values.
+     */
+    template <typename T>
+    std::enable_if_t<std::is_unsigned_v<T> &&
+                         !std::is_same_v<T, bool>,
+                     Parser &>
+    option(const char *name, const char *valueName, T *out)
+    {
+        return option(
+            name, valueName,
+            [out](const std::string &value, std::string &error) {
+                std::uint64_t parsed = 0;
+                if (!parseUnsigned(value, parsed) ||
+                    parsed > std::numeric_limits<T>::max()) {
+                    error = "expects a non-negative integer, got '" +
+                            value + "'";
+                    return false;
+                }
+                *out = static_cast<T>(parsed);
+                return true;
+            });
+    }
+
+    /** Finite double option; rejects junk. */
+    Parser &option(const char *name, const char *valueName,
+                   double *out);
+
+    /**
+     * Option with custom validation. The callback returns false and
+     * fills @p error (appended to "deskpar <cmd>: option '--x': ")
+     * to reject the value.
+     */
+    Parser &option(const char *name, const char *valueName,
+                   std::function<bool(const std::string &value,
+                                      std::string &error)>
+                       callback);
+
+    /**
+     * Collect non-option arguments. parse() fails when fewer than
+     * @p min or more than @p max are given. Without this call any
+     * positional argument is an error.
+     */
+    Parser &positionals(std::vector<std::string> *out, std::size_t min,
+                        std::size_t max, const char *what = "argument");
+
+    /**
+     * Parse argv[first..argc). On failure prints one
+     * "deskpar <command>: ..." line to stderr and returns false; the
+     * caller should exit 2. Arguments after a literal "--" are all
+     * positional.
+     */
+    bool parse(int argc, char **argv, int first);
+
+  private:
+    struct Option
+    {
+        std::string name;
+        std::string valueName; // empty for flags
+        bool *flagOut = nullptr;
+        std::function<bool(const std::string &, std::string &)> apply;
+    };
+
+    bool fail(const std::string &what) const;
+    const Option *findOption(const std::string &name) const;
+
+    std::string command_;
+    std::vector<Option> options_;
+    std::vector<std::string> *positionals_ = nullptr;
+    std::size_t minPositionals_ = 0;
+    std::size_t maxPositionals_ = 0;
+    std::string positionalWhat_ = "argument";
+};
+
+/** Which of the shared options a subcommand accepts. */
+enum CommonOption : unsigned {
+    kOptJobs = 1u << 0,    ///< --jobs N (0 = auto)
+    kOptJson = 1u << 1,    ///< --json
+    kOptLenient = 1u << 2, ///< --lenient-traces
+    kOptApp = 1u << 3,     ///< --app PREFIX
+};
+
+/** The options every subcommand spells the same way. */
+struct CommonOptions
+{
+    unsigned jobs = 0;
+    bool json = false;
+    bool lenient = false;
+    std::string appPrefix;
+};
+
+/** Register the masked subset of common options on @p parser. */
+void addCommonOptions(Parser &parser, CommonOptions &out,
+                      unsigned mask);
+
+} // namespace deskpar::cli
+
+#endif // DESKPAR_TOOLS_CLI_OPTIONS_HH

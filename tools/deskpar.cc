@@ -34,12 +34,15 @@
  *       — a reproducibility dossier.
  *
  *   deskpar replay <file...> [--app PREFIX] [--lenient-traces]
+ *           [--json]
  *       Re-analyze saved traces (.etl, block-compressed .etlc, or a
  *       CPU Usage .csv — formats are sniffed, not guessed from the
  *       name). A corrupt file fails that file only — its structured
  *       parse error is reported and every other file still completes.
  *       --lenient-traces skips malformed records instead and
  *       analyzes what remains (the report notes what was dropped).
+ *       --json emits one analyze document per file (JSONL), the same
+ *       schema the serve analyze op returns.
  *
  *   deskpar pack <trace> [-o OUT] [--verify] [--index] [--jobs N]
  *           [--lenient-traces]
@@ -68,8 +71,8 @@
  *         gpu/by=engine      csrate/by=thread
  *         dhist/app=chrome   tlp/by=bucket:250ms
  *       --explain prints the fused plan (distinct filters, column
- *       passes, metrics per pass) before running; --json emits one
- *       JSON array of {query, metric, rows} objects.
+ *       passes, metrics per pass) before running; --json emits the
+ *       versioned query document (schema 1).
  *
  *   deskpar bottlenecks <file> [--json] [--app PREFIX] [--top N]
  *           [--jobs N] [--lenient-traces]
@@ -80,8 +83,27 @@
  *       and the bottleneck-limited vs structurally-serial
  *       classification. --top caps each ranking section.
  *
+ *   deskpar serve <socket> [--workers N] [--cache-mb MB]
+ *           [--request-jobs N]
+ *       Resident analysis daemon (src/serve/): hot traces stay in a
+ *       byte-bounded session cache, requests arrive as newline-
+ *       delimited JSON on a local AF_UNIX socket, and repeat
+ *       requests against the same file skip ingest entirely.
+ *
+ *   deskpar client <socket> <op> [args] [options]
+ *       One request against a running serve: ping | stats |
+ *       shutdown | analyze <trace> | query <trace> <spec>... |
+ *       bottlenecks <trace> | frames <trace> | series <trace>
+ *       [--kind K --window-ms X] | raw <json-line>. Prints the
+ *       result document — byte-identical to the equivalent CLI
+ *       --json invocation.
+ *
  * The per-command synopses live in kCommands below; usage() renders
  * that table, so help text cannot drift from the dispatcher again.
+ *
+ * Exit codes are uniform: 0 success, 1 runtime failure (bad trace,
+ * failed verify, degraded lenient ingest), 2 usage error (unknown
+ * option, malformed number, missing argument).
  *
  * Common options:
  *   --cores N        active CPUs (logical with SMT, physical without)
@@ -112,6 +134,7 @@
 #include "analysis/index_cache.hh"
 #include "analysis/power.hh"
 #include "analysis/responsiveness.hh"
+#include "analysis/service.hh"
 #include "analysis/session.hh"
 #include "analysis/threads.hh"
 #include "analysis/timeseries.hh"
@@ -122,16 +145,23 @@
 #include "apps/registry.hh"
 #include "apps/runner.hh"
 #include "apps/sweep.hh"
+#include "report/documents.hh"
 #include "report/figure.hh"
 #include "report/json.hh"
 #include "report/heatmap.hh"
 #include "report/table.hh"
+#include "serve/client.hh"
+#include "serve/json_value.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 #include "trace/csv.hh"
 #include "trace/diagnostic.hh"
 #include "trace/etl.hh"
 #include "trace/etlc.hh"
 #include "trace/io.hh"
 #include "trace/merge.hh"
+
+#include "cli_options.hh"
 
 using namespace deskpar;
 
@@ -180,7 +210,7 @@ constexpr CommandHelp kCommands[] = {
     {"report", "report <prefix> [options]",
      "write <prefix>.md and <prefix>.jsonl (reproducibility dossier)"},
     {"replay",
-     "replay <file...> [--app PREFIX] [--lenient-traces]",
+     "replay <file...> [--app PREFIX] [--lenient-traces] [--json]",
      "re-analyze saved .etl / .etlc / CPU-Usage .csv traces"},
     {"pack",
      "pack <trace> [-o OUT] [--verify] [--index] [--jobs N] "
@@ -201,6 +231,15 @@ constexpr CommandHelp kCommands[] = {
      "[--jobs N] [--lenient-traces]",
      "wakeup-chain serialization-bottleneck report (ready-queue "
      "waits, culprits, critical path)"},
+    {"serve",
+     "serve <socket> [--workers N] [--cache-mb MB] "
+     "[--request-jobs N]",
+     "resident analysis daemon: hot traces stay cached, requests "
+     "are JSON lines on a local socket"},
+    {"client",
+     "client <socket> <op> [args] [options]",
+     "send one request to a running deskpar serve and print the "
+     "result document"},
 };
 
 [[noreturn]] void
@@ -217,87 +256,104 @@ usage()
     std::exit(2);
 }
 
-std::vector<unsigned>
-parseCoreList(const std::string &arg)
+bool
+parseCoreList(const std::string &arg, std::vector<unsigned> &cores,
+              std::string &error)
 {
-    std::vector<unsigned> cores;
+    cores.clear();
     std::size_t pos = 0;
     while (pos < arg.size()) {
         std::size_t comma = arg.find(',', pos);
         if (comma == std::string::npos)
             comma = arg.size();
-        cores.push_back(static_cast<unsigned>(
-            std::stoul(arg.substr(pos, comma - pos))));
+        std::uint64_t value = 0;
+        if (!cli::parseUnsigned(arg.substr(pos, comma - pos),
+                                value)) {
+            error = "expects a comma-separated core list, got '" +
+                    arg + "'";
+            return false;
+        }
+        cores.push_back(static_cast<unsigned>(value));
         pos = comma + 1;
     }
-    if (cores.empty())
-        usage();
-    return cores;
+    if (cores.empty()) {
+        error = "expects a comma-separated core list, got '" + arg +
+                "'";
+        return false;
+    }
+    return true;
 }
 
-sim::GpuSpec
-gpuByName(const std::string &name)
+bool
+gpuByName(const std::string &name, sim::GpuSpec &gpu,
+          std::string &error)
 {
-    if (name == "1080ti")
-        return sim::GpuSpec::gtx1080Ti();
-    if (name == "680")
-        return sim::GpuSpec::gtx680();
-    if (name == "285")
-        return sim::GpuSpec::gtx285();
-    std::fprintf(stderr, "unknown GPU '%s'\n", name.c_str());
-    std::exit(2);
+    if (name == "1080ti") {
+        gpu = sim::GpuSpec::gtx1080Ti();
+    } else if (name == "680") {
+        gpu = sim::GpuSpec::gtx680();
+    } else if (name == "285") {
+        gpu = sim::GpuSpec::gtx285();
+    } else {
+        error = "expects 1080ti, 680, or 285, got '" + name + "'";
+        return false;
+    }
+    return true;
 }
 
-CliOptions
-parseOptions(int argc, char **argv, int first)
+/**
+ * The shared run/sweep/suite/threads/legacy/report option set, on
+ * the cli::Parser so every malformed value is a uniform exit-2
+ * usage error (the old std::stoul loops threw into exit 1).
+ */
+bool
+parseRunOptions(const char *command, int argc, char **argv, int first,
+                CliOptions &cli)
 {
-    CliOptions cli;
     cli.run.iterations = 3;
     cli.run.duration = sim::sec(30.0);
     cli.run.seedBase = 42;
 
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage();
-        return argv[++i];
-    };
+    double seconds = 30.0;
+    double timelineMs = 0.0;
+    bool noSmt = false;
+    cli::Parser parser(command);
+    parser.option("--cores", "LIST",
+                  [&cli](const std::string &value,
+                         std::string &error) {
+                      if (!parseCoreList(value, cli.sweepCores,
+                                         error))
+                          return false;
+                      cli.run.config.activeCpus =
+                          cli.sweepCores.front();
+                      return true;
+                  });
+    parser.flag("--no-smt", &noSmt);
+    parser.option("--gpu", "NAME",
+                  [&cli](const std::string &value,
+                         std::string &error) {
+                      return gpuByName(value, cli.run.config.gpu,
+                                       error);
+                  });
+    parser.option("--iterations", "N", &cli.run.iterations);
+    parser.option("--seconds", "S", &seconds);
+    parser.option("--seed", "S", &cli.run.seedBase);
+    parser.flag("--manual", &cli.run.manualInput);
+    parser.option("--noise", "X", &cli.run.noiseIntensity);
+    parser.option("--etl", "FILE", &cli.etlPath);
+    parser.option("--cpu-csv", "FILE", &cli.cpuCsvPath);
+    parser.option("--gpu-csv", "FILE", &cli.gpuCsvPath);
+    parser.option("--timeline", "MS", &timelineMs);
+    parser.flag("--json", &cli.json);
+    if (!parser.parse(argc, argv, first))
+        return false;
 
-    for (int i = first; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (!std::strcmp(arg, "--cores")) {
-            cli.sweepCores = parseCoreList(need(i));
-            cli.run.config.activeCpus = cli.sweepCores.front();
-        } else if (!std::strcmp(arg, "--no-smt")) {
-            cli.run.config.smtEnabled = false;
-        } else if (!std::strcmp(arg, "--gpu")) {
-            cli.run.config.gpu = gpuByName(need(i));
-        } else if (!std::strcmp(arg, "--iterations")) {
-            cli.run.iterations =
-                static_cast<unsigned>(std::stoul(need(i)));
-        } else if (!std::strcmp(arg, "--seconds")) {
-            cli.run.duration = sim::sec(std::stod(need(i)));
-        } else if (!std::strcmp(arg, "--seed")) {
-            cli.run.seedBase = std::stoull(need(i));
-        } else if (!std::strcmp(arg, "--manual")) {
-            cli.run.manualInput = true;
-        } else if (!std::strcmp(arg, "--noise")) {
-            cli.run.noiseIntensity = std::stod(need(i));
-        } else if (!std::strcmp(arg, "--etl")) {
-            cli.etlPath = need(i);
-        } else if (!std::strcmp(arg, "--cpu-csv")) {
-            cli.cpuCsvPath = need(i);
-        } else if (!std::strcmp(arg, "--gpu-csv")) {
-            cli.gpuCsvPath = need(i);
-        } else if (!std::strcmp(arg, "--timeline")) {
-            cli.timelineWindow = sim::msec(std::stod(need(i)));
-        } else if (!std::strcmp(arg, "--json")) {
-            cli.json = true;
-        } else {
-            std::fprintf(stderr, "unknown option '%s'\n", arg);
-            usage();
-        }
-    }
-    return cli;
+    if (noSmt)
+        cli.run.config.smtEnabled = false;
+    cli.run.duration = sim::sec(seconds);
+    if (timelineMs > 0)
+        cli.timelineWindow = sim::msec(timelineMs);
+    return true;
 }
 
 void
@@ -404,35 +460,40 @@ int
 cmdCorpusSweep(int argc, char **argv, int first)
 {
     apps::SweepOptions options;
-    for (int i = first; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto value = [&]() -> std::string {
-            if (i + 1 >= argc)
-                usage();
-            return argv[++i];
-        };
-        if (arg == "--count")
-            options.count =
-                static_cast<std::uint32_t>(std::stoul(value()));
-        else if (arg == "--seed")
-            options.seed = std::stoull(value());
-        else if (arg == "--out")
-            options.outDir = value();
-        else if (arg == "--resume")
-            options.resume = true;
-        else if (arg == "--seconds")
-            options.seconds = std::stod(value());
-        else if (arg == "--shard-size")
-            options.shardSize =
-                static_cast<std::uint32_t>(std::stoul(value()));
-        else if (arg == "--jobs")
-            options.threads =
-                static_cast<unsigned>(std::stoul(value()));
-        else
-            usage();
+    unsigned count = 0;
+    unsigned shardSize = 0;
+    bool haveShardSize = false;
+    cli::Parser parser("sweep");
+    parser.option("--count", "N", &count);
+    parser.option("--seed", "S", &options.seed);
+    parser.option("--out", "DIR", &options.outDir);
+    parser.flag("--resume", &options.resume);
+    parser.option("--seconds", "S", &options.seconds);
+    parser.option("--shard-size", "K",
+                  [&](const std::string &value, std::string &error) {
+                      std::uint64_t parsed = 0;
+                      if (!cli::parseUnsigned(value, parsed)) {
+                          error = "expects a non-negative integer, "
+                                  "got '" +
+                                  value + "'";
+                          return false;
+                      }
+                      shardSize = static_cast<unsigned>(parsed);
+                      haveShardSize = true;
+                      return true;
+                  });
+    parser.option("--jobs", "N", &options.threads);
+    if (!parser.parse(argc, argv, first))
+        return 2;
+    options.count = count;
+    if (haveShardSize)
+        options.shardSize = shardSize;
+    if (options.count == 0 || options.outDir.empty()) {
+        std::fprintf(stderr,
+                     "deskpar sweep: a corpus sweep needs --count "
+                     "and --out\n");
+        return 2;
     }
-    if (options.count == 0 || options.outDir.empty())
-        usage();
 
     apps::SweepReport report = apps::runSweep(options);
     std::printf("sweep: %u scenarios, %u shards (%u reused, %u run "
@@ -583,40 +644,28 @@ struct ReplayOptions
     std::vector<std::string> files;
     std::string appPrefix;
     bool lenient = false;
+    bool json = false;
     /** stats only: output paths ("" = stdout / not written). */
     std::string statsJsonPath;
     std::string selfTracePath;
 };
 
-ReplayOptions
-parseReplayOptions(int argc, char **argv, int first, bool statsFlags)
+bool
+parseReplayOptions(const char *command, int argc, char **argv,
+                   int first, bool statsFlags, ReplayOptions &opts)
 {
-    ReplayOptions opts;
-    auto need = [&](int &i) -> const char * {
-        if (i + 1 >= argc)
-            usage();
-        return argv[++i];
-    };
-    for (int i = first; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (!std::strcmp(arg, "--lenient-traces")) {
-            opts.lenient = true;
-        } else if (!std::strcmp(arg, "--app")) {
-            opts.appPrefix = need(i);
-        } else if (statsFlags && !std::strcmp(arg, "--stats-json")) {
-            opts.statsJsonPath = need(i);
-        } else if (statsFlags && !std::strcmp(arg, "--selftrace")) {
-            opts.selfTracePath = need(i);
-        } else if (arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg);
-            usage();
-        } else {
-            opts.files.emplace_back(arg);
-        }
+    cli::Parser parser(command);
+    parser.option("--app", "PREFIX", &opts.appPrefix);
+    parser.flag("--lenient-traces", &opts.lenient);
+    if (statsFlags) {
+        parser.option("--stats-json", "FILE", &opts.statsJsonPath);
+        parser.option("--selftrace", "FILE", &opts.selfTracePath);
+    } else {
+        parser.flag("--json", &opts.json);
     }
-    if (opts.files.empty())
-        usage();
-    return opts;
+    parser.positionals(&opts.files, 1, cli::Parser::kUnlimited,
+                       "trace file");
+    return parser.parse(argc, argv, first);
 }
 
 /** Run the replay batch: one recoverable job per file. */
@@ -689,19 +738,65 @@ reportReplayOutcome(const ReplayOptions &opts,
     return 0;
 }
 
+/**
+ * `replay --json`: one analyze document per file (JSONL) through the
+ * same Service + document writer the serve analyze op uses, so the
+ * two outputs are byte-identical. A failed file emits a failure
+ * document and the batch continues, matching the table path's
+ * fail-one-file-only contract.
+ */
+int
+jsonReplay(const ReplayOptions &opts)
+{
+    analysis::Service service;
+    int status = 0;
+    for (const std::string &file : opts.files) {
+        analysis::ServiceTraceRequest request;
+        request.path = file;
+        request.appPrefix = opts.appPrefix;
+        request.lenient = opts.lenient;
+        request.jobs = 0; // auto, like the batch replay path
+        try {
+            analysis::ServiceAnalyzeResult result =
+                service.analyze(request);
+            report::writeAnalyzeDocument(std::cout, result);
+            std::cout << '\n';
+            if (result.degraded) {
+                std::fprintf(stderr,
+                             "deskpar: degraded ingest: %s\n",
+                             result.degradedSummary.c_str());
+                status = 1;
+            }
+        } catch (const std::exception &err) {
+            report::writeAnalyzeFailureDocument(std::cout, file,
+                                                err.what());
+            std::cout << '\n';
+            std::fprintf(stderr, "deskpar: %s\n", err.what());
+            status = 1;
+        }
+    }
+    return status;
+}
+
 int
 cmdReplay(int argc, char **argv, int first)
 {
-    ReplayOptions opts =
-        parseReplayOptions(argc, argv, first, /*statsFlags=*/false);
+    ReplayOptions opts;
+    if (!parseReplayOptions("replay", argc, argv, first,
+                            /*statsFlags=*/false, opts))
+        return 2;
+    if (opts.json)
+        return jsonReplay(opts);
     return reportReplayOutcome(opts, runReplayBatch(opts));
 }
 
 int
 cmdStats(int argc, char **argv, int first)
 {
-    ReplayOptions opts =
-        parseReplayOptions(argc, argv, first, /*statsFlags=*/true);
+    ReplayOptions opts;
+    if (!parseReplayOptions("stats", argc, argv, first,
+                            /*statsFlags=*/true, opts))
+        return 2;
 
     // Record the batch. reset() scopes the snapshot to this run even
     // when DESKPAR_OBS=1 already traced process startup.
@@ -785,69 +880,6 @@ cmdStats(int argc, char **argv, int first)
     return status;
 }
 
-/** Minimal JSON string escaping for process names / labels. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x",
-                          static_cast<unsigned>(c));
-            out += buf;
-            continue;
-        }
-        out += c;
-    }
-    return out;
-}
-
-void
-writeQueryJson(std::ostream &out,
-               const std::vector<analysis::QueryResult> &results)
-{
-    out << "[";
-    for (std::size_t qi = 0; qi < results.size(); ++qi) {
-        const analysis::QueryResult &result = results[qi];
-        out << (qi ? ",\n " : "\n ") << "{\"query\":\""
-            << jsonEscape(result.query.label) << "\",\"metric\":\""
-            << analysis::queryMetricName(result.query.metric)
-            << "\",\"rows\":[";
-        for (std::size_t ri = 0; ri < result.rows.size(); ++ri) {
-            const analysis::QueryRow &row = result.rows[ri];
-            char num[64];
-            out << (ri ? ",\n   " : "\n   ") << "{\"key\":\""
-                << jsonEscape(row.key) << "\"";
-            std::snprintf(num, sizeof num,
-                          ",\"t0\":%.9g,\"t1\":%.9g",
-                          sim::toSeconds(row.t0),
-                          sim::toSeconds(row.t1));
-            out << num;
-            if (row.pid != 0)
-                out << ",\"pid\":" << row.pid;
-            if (row.tid != 0)
-                out << ",\"tid\":" << row.tid;
-            std::snprintf(num, sizeof num, ",\"value\":%.17g",
-                          row.value);
-            out << num;
-            if (!row.histogram.empty()) {
-                out << ",\"histogram\":[";
-                for (std::size_t b = 0; b < row.histogram.size();
-                     ++b)
-                    out << (b ? "," : "") << row.histogram[b];
-                out << "]";
-            }
-            out << "}";
-        }
-        out << "]}";
-    }
-    out << "\n]\n";
-}
-
 void
 printQueryResult(const analysis::QueryResult &result)
 {
@@ -910,146 +942,83 @@ ingestTraceFile(const std::string &path,
 int
 cmdQuery(int argc, char **argv, int first)
 {
-    std::string path;
-    std::vector<std::string> specs;
-    bool json = false;
+    cli::CommonOptions common;
     bool explain = false;
-    bool lenient = false;
-    unsigned jobs = 0;
-    for (int i = first; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (!std::strcmp(arg, "--json")) {
-            json = true;
-        } else if (!std::strcmp(arg, "--explain")) {
-            explain = true;
-        } else if (!std::strcmp(arg, "--lenient-traces")) {
-            lenient = true;
-        } else if (!std::strcmp(arg, "--jobs")) {
-            if (i + 1 >= argc)
-                usage();
-            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-        } else if (arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg);
-            usage();
-        } else if (path.empty()) {
-            path = arg;
-        } else {
-            specs.emplace_back(arg);
-        }
-    }
-    if (path.empty() || specs.empty())
-        usage();
+    std::vector<std::string> args;
+    cli::Parser parser("query");
+    cli::addCommonOptions(parser, common,
+                          cli::kOptJobs | cli::kOptJson |
+                              cli::kOptLenient);
+    parser.flag("--explain", &explain);
+    parser.positionals(&args, 2, cli::Parser::kUnlimited,
+                       "trace file + specs");
+    if (!parser.parse(argc, argv, first))
+        return 2;
 
-    // Parse every spec before touching the file so a typo in spec 3
-    // costs nothing.
-    std::vector<analysis::Query> queries;
-    queries.reserve(specs.size());
-    for (const std::string &spec : specs)
-        queries.push_back(analysis::parseQuerySpec(spec));
+    analysis::ServiceQueryRequest request;
+    request.trace.path = args[0];
+    request.trace.lenient = common.lenient;
+    request.trace.jobs = common.jobs;
+    request.specs.assign(args.begin() + 1, args.end());
+    request.explain = explain;
 
-    trace::ParseOptions popts;
-    popts.mode = lenient ? trace::ParseMode::Lenient
-                         : trace::ParseMode::Strict;
-    popts.source = path;
-    trace::IngestReport report;
-    trace::TraceBundle bundle =
-        ingestTraceFile(path, popts, report, "query");
-    if (!report.ok()) {
-        if (!lenient)
-            throw trace::TraceParseError(report.errors.front());
+    analysis::Service service;
+    analysis::ServiceQueryResult result = service.query(request);
+    if (result.degraded)
         std::fprintf(stderr, "deskpar: degraded ingest: %s\n",
-                     report.summary().c_str());
-    }
+                     result.degradedSummary.c_str());
 
-    analysis::Session session(std::move(bundle));
-    analysis::QueryPlan plan = session.plan(queries);
     if (explain)
-        std::fputs(plan.explain().str().c_str(), stdout);
-    std::vector<analysis::QueryResult> results = plan.run(jobs);
-
-    if (json) {
-        writeQueryJson(std::cout, results);
+        std::fputs(result.explainText.c_str(), stdout);
+    if (common.json) {
+        report::writeQueryDocument(std::cout, result);
+        std::cout << '\n';
     } else {
-        for (const analysis::QueryResult &result : results)
-            printQueryResult(result);
+        for (const analysis::QueryResult &qr : result.results)
+            printQueryResult(qr);
     }
-    return 0;
+    return result.degraded ? 1 : 0;
 }
 
 int
 cmdBottlenecks(int argc, char **argv, int first)
 {
-    std::string path;
-    std::string appPrefix;
-    bool json = false;
-    bool lenient = false;
-    unsigned jobs = 0;
+    cli::CommonOptions common;
     std::size_t top = 10;
-    for (int i = first; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (!std::strcmp(arg, "--json")) {
-            json = true;
-        } else if (!std::strcmp(arg, "--lenient-traces")) {
-            lenient = true;
-        } else if (!std::strcmp(arg, "--app")) {
-            if (i + 1 >= argc)
-                usage();
-            appPrefix = argv[++i];
-        } else if (!std::strcmp(arg, "--top")) {
-            if (i + 1 >= argc)
-                usage();
-            top = std::stoul(argv[++i]);
-        } else if (!std::strcmp(arg, "--jobs")) {
-            if (i + 1 >= argc)
-                usage();
-            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-        } else if (arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg);
-            usage();
-        } else if (path.empty()) {
-            path = arg;
-        } else {
-            usage();
-        }
-    }
-    if (path.empty())
-        usage();
+    std::vector<std::string> args;
+    cli::Parser parser("bottlenecks");
+    cli::addCommonOptions(parser, common,
+                          cli::kOptJobs | cli::kOptJson |
+                              cli::kOptLenient | cli::kOptApp);
+    parser.option("--top", "N", &top);
+    parser.positionals(&args, 1, 1, "trace file");
+    if (!parser.parse(argc, argv, first))
+        return 2;
 
-    trace::ParseOptions popts;
-    popts.mode = lenient ? trace::ParseMode::Lenient
-                         : trace::ParseMode::Strict;
-    popts.source = path;
-    trace::IngestReport report;
-    trace::TraceBundle bundle =
-        ingestTraceFile(path, popts, report, "bottlenecks");
-    if (!report.ok()) {
-        if (!lenient)
-            throw trace::TraceParseError(report.errors.front());
+    analysis::ServiceBottlenecksRequest request;
+    request.trace.path = args[0];
+    request.trace.appPrefix = common.appPrefix;
+    request.trace.lenient = common.lenient;
+    request.trace.jobs = common.jobs;
+    request.top = top;
+
+    analysis::Service service;
+    analysis::ServiceBottlenecksResult result =
+        service.bottlenecks(request);
+    if (result.degraded)
         std::fprintf(stderr, "deskpar: degraded ingest: %s\n",
-                     report.summary().c_str());
-    }
+                     result.degradedSummary.c_str());
 
-    analysis::Session session(std::move(bundle));
-    trace::PidSet pids;
-    if (!appPrefix.empty()) {
-        pids = session.pids(appPrefix);
-        if (pids.empty()) {
-            std::fprintf(stderr,
-                         "deskpar: no process name matches prefix "
-                         "'%s'\n",
-                         appPrefix.c_str());
-            return 1;
-        }
+    if (common.json) {
+        report::writeBottlenecksDocument(std::cout, result);
+        std::cout << '\n';
+    } else {
+        std::fputs(
+            analysis::blocking::renderReport(result.report, top)
+                .c_str(),
+            stdout);
     }
-    analysis::blocking::BlockingReport blocked =
-        session.bottlenecks(pids, jobs);
-    std::fputs(json ? analysis::blocking::renderReportJson(blocked,
-                                                           top)
-                          .c_str()
-                    : analysis::blocking::renderReport(blocked, top)
-                          .c_str(),
-               stdout);
-    return 0;
+    return result.degraded ? 1 : 0;
 }
 
 /** "<input minus .etl/.csv suffix>.etlc" (or append when neither). */
@@ -1068,40 +1037,24 @@ defaultPackOutput(const std::string &path)
 int
 cmdPack(int argc, char **argv, int first)
 {
-    std::string path;
+    cli::CommonOptions common;
     std::string outPath;
     bool verify = false;
     bool writeIndex = false;
-    bool lenient = false;
-    unsigned jobs = 0;
-    for (int i = first; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (!std::strcmp(arg, "-o") ||
-            !std::strcmp(arg, "--output")) {
-            if (i + 1 >= argc)
-                usage();
-            outPath = argv[++i];
-        } else if (!std::strcmp(arg, "--verify")) {
-            verify = true;
-        } else if (!std::strcmp(arg, "--index")) {
-            writeIndex = true;
-        } else if (!std::strcmp(arg, "--lenient-traces")) {
-            lenient = true;
-        } else if (!std::strcmp(arg, "--jobs")) {
-            if (i + 1 >= argc)
-                usage();
-            jobs = static_cast<unsigned>(std::stoul(argv[++i]));
-        } else if (arg[0] == '-') {
-            std::fprintf(stderr, "unknown option '%s'\n", arg);
-            usage();
-        } else if (path.empty()) {
-            path = arg;
-        } else {
-            usage();
-        }
-    }
-    if (path.empty())
-        usage();
+    std::vector<std::string> args;
+    cli::Parser parser("pack");
+    cli::addCommonOptions(parser, common,
+                          cli::kOptJobs | cli::kOptLenient);
+    parser.option("-o", "FILE", &outPath);
+    parser.option("--output", "FILE", &outPath);
+    parser.flag("--verify", &verify);
+    parser.flag("--index", &writeIndex);
+    parser.positionals(&args, 1, 1, "trace file");
+    if (!parser.parse(argc, argv, first))
+        return 2;
+    const std::string &path = args[0];
+    bool lenient = common.lenient;
+    unsigned jobs = common.jobs;
     if (outPath.empty())
         outPath = defaultPackOutput(path);
     if (outPath == path) {
@@ -1120,11 +1073,15 @@ cmdPack(int argc, char **argv, int first)
     trace::IngestReport report;
     trace::TraceBundle bundle =
         ingestTraceFile(path, popts, report, "pack");
+    // A degraded lenient ingest still packs what survived, but the
+    // run exits nonzero: the output is not a faithful conversion.
+    int status = 0;
     if (!report.ok()) {
         if (!lenient)
             throw trace::TraceParseError(report.errors.front());
         std::fprintf(stderr, "deskpar: degraded ingest: %s\n",
                      report.summary().c_str());
+        status = 1;
     }
 
     // CSV sources carry no ordering guarantee; the writer demands
@@ -1147,7 +1104,7 @@ cmdPack(int argc, char **argv, int first)
         std::printf("wrote %s\n", outPath.c_str());
 
     if (!verify && !writeIndex)
-        return 0;
+        return status;
 
     // Both --verify and --index re-decode the bytes actually on disk
     // (strict: the file we just wrote must be flawless).
@@ -1165,7 +1122,6 @@ cmdPack(int argc, char **argv, int first)
         return 1;
     }
 
-    int status = 0;
     auto mismatch = [&](const char *what) {
         std::fprintf(stderr,
                      "deskpar: pack --verify: %s differs between "
@@ -1281,6 +1237,171 @@ cmdPack(int argc, char **argv, int first)
     return status;
 }
 
+int
+cmdServe(int argc, char **argv, int first)
+{
+    unsigned workers = 4;
+    std::uint64_t cacheMb = 256;
+    unsigned requestJobs = 1;
+    std::vector<std::string> args;
+    cli::Parser parser("serve");
+    parser.option("--workers", "N", &workers);
+    parser.option("--cache-mb", "MB", &cacheMb);
+    parser.option("--request-jobs", "N", &requestJobs);
+    parser.positionals(&args, 1, 1, "socket path");
+    if (!parser.parse(argc, argv, first))
+        return 2;
+
+    serve::ServerOptions options;
+    options.socketPath = args[0];
+    options.workers = workers ? workers : 1;
+    options.cacheBytes = cacheMb << 20;
+    options.requestJobs = requestJobs;
+
+    serve::Server server(options);
+    server.start();
+    std::printf("deskpar serve: listening on %s (%u workers)\n",
+                options.socketPath.c_str(), options.workers);
+    std::fflush(stdout);
+    server.wait();
+    server.stop();
+    std::printf("deskpar serve: stopped\n");
+    return 0;
+}
+
+int
+cmdClient(int argc, char **argv, int first)
+{
+    cli::CommonOptions common;
+    bool explain = false;
+    std::uint64_t top = 10;
+    std::uint64_t id = 0;
+    std::string kind = "tlp";
+    double windowMs = 100.0;
+    std::vector<std::string> args;
+    cli::Parser parser("client");
+    cli::addCommonOptions(parser, common,
+                          cli::kOptLenient | cli::kOptApp);
+    parser.flag("--explain", &explain);
+    parser.option("--top", "N", &top);
+    parser.option("--id", "N", &id);
+    parser.option("--kind", "KIND", &kind);
+    parser.option("--window-ms", "MS", &windowMs);
+    parser.positionals(&args, 2, cli::Parser::kUnlimited,
+                       "socket + op");
+    if (!parser.parse(argc, argv, first))
+        return 2;
+
+    auto argError = [](const char *what) {
+        std::fprintf(stderr, "deskpar client: %s\n", what);
+        return 2;
+    };
+
+    const std::string &socketPath = args[0];
+    const std::string &op = args[1];
+    std::string line;
+    if (op == "raw") {
+        if (args.size() != 3)
+            return argError("raw needs exactly one JSON line");
+        line = args[2];
+    } else {
+        bool needsTrace = op == "analyze" || op == "query" ||
+                          op == "bottlenecks" || op == "series" ||
+                          op == "frames";
+        bool known = needsTrace || op == "ping" || op == "stats" ||
+                     op == "shutdown";
+        if (!known)
+            return argError("unknown op (expected ping, stats, "
+                            "shutdown, analyze, query, bottlenecks, "
+                            "series, frames, or raw)");
+        if (needsTrace && args.size() < 3)
+            return argError("this op needs a trace path");
+        if (op == "query" && args.size() < 4)
+            return argError("query needs a trace path and at least "
+                            "one spec");
+        if (op != "query" && needsTrace && args.size() > 3)
+            return argError("unexpected extra argument");
+        if (!needsTrace && args.size() > 2)
+            return argError("unexpected extra argument");
+
+        std::ostringstream request;
+        report::JsonWriter json(request);
+        json.beginObject().field("op", op).field("id", id);
+        if (needsTrace) {
+            json.field("trace", args[2]);
+            if (!common.appPrefix.empty())
+                json.field("app", common.appPrefix);
+            if (common.lenient)
+                json.field("lenient", true);
+        }
+        if (op == "query") {
+            json.beginArray("specs");
+            for (std::size_t i = 3; i < args.size(); ++i)
+                json.value(args[i]);
+            json.endArray();
+            if (explain)
+                json.field("explain", true);
+        }
+        if (op == "bottlenecks")
+            json.field("top", top);
+        if (op == "series") {
+            json.field("kind", kind);
+            json.field("window_ns",
+                       static_cast<std::uint64_t>(windowMs * 1e6));
+        }
+        json.endObject();
+        line = request.str();
+    }
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(socketPath, error)) {
+        std::fprintf(stderr, "deskpar client: %s\n", error.c_str());
+        return 1;
+    }
+    std::string response;
+    if (!client.call(line, response, error)) {
+        std::fprintf(stderr, "deskpar client: %s\n", error.c_str());
+        return 1;
+    }
+
+    serve::JsonValue envelope;
+    if (!serve::parseJson(response, envelope, error)) {
+        std::fprintf(stderr,
+                     "deskpar client: malformed response: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    if (const serve::JsonValue *diags = envelope.find("diagnostics");
+        diags && diags->isArray()) {
+        for (const serve::JsonValue &d : diags->array())
+            std::fprintf(stderr, "deskpar: %s: %s\n",
+                         d.stringOr("component", "serve").c_str(),
+                         d.stringOr("message", "").c_str());
+    }
+    if (!envelope.boolOr("ok", false)) {
+        const serve::JsonValue *err = envelope.find("error");
+        std::string errKind =
+            err ? err->stringOr("kind", "internal") : "internal";
+        std::string message =
+            err ? err->stringOr("message", "request failed")
+                : "request failed";
+        std::fprintf(stderr, "deskpar: %s\n", message.c_str());
+        // Server-side usage errors exit like local ones.
+        return errKind == "parse" ? 2 : 1;
+    }
+
+    std::string document;
+    if (!serve::extractResult(response, document)) {
+        std::fprintf(stderr,
+                     "deskpar client: response envelope carries no "
+                     "result document\n");
+        return 1;
+    }
+    std::printf("%s\n", document.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -1292,15 +1413,21 @@ main(int argc, char **argv)
     try {
         if (command == "list")
             return cmdList();
-        if (command == "suite")
-            return cmdSuite(parseOptions(argc, argv, 2));
-        if (command == "legacy")
-            return cmdLegacy(parseOptions(argc, argv, 2));
+        if (command == "suite" || command == "legacy") {
+            CliOptions cli;
+            if (!parseRunOptions(command.c_str(), argc, argv, 2,
+                                 cli))
+                return 2;
+            return command == "suite" ? cmdSuite(cli)
+                                      : cmdLegacy(cli);
+        }
         if (command == "report") {
             if (argc < 3)
                 usage();
-            return cmdReport(argv[2],
-                             parseOptions(argc, argv, 3));
+            CliOptions cli;
+            if (!parseRunOptions("report", argc, argv, 3, cli))
+                return 2;
+            return cmdReport(argv[2], cli);
         }
         if (command == "replay")
             return cmdReplay(argc, argv, 2);
@@ -1312,6 +1439,10 @@ main(int argc, char **argv)
             return cmdBottlenecks(argc, argv, 2);
         if (command == "pack")
             return cmdPack(argc, argv, 2);
+        if (command == "serve")
+            return cmdServe(argc, argv, 2);
+        if (command == "client")
+            return cmdClient(argc, argv, 2);
         if (command == "run" || command == "sweep" ||
             command == "threads") {
             if (argc < 3)
@@ -1322,7 +1453,10 @@ main(int argc, char **argv)
             // core-scaling sweep.
             if (command == "sweep" && id.rfind("--", 0) == 0)
                 return cmdCorpusSweep(argc, argv, 2);
-            CliOptions cli = parseOptions(argc, argv, 3);
+            CliOptions cli;
+            if (!parseRunOptions(command.c_str(), argc, argv, 3,
+                                 cli))
+                return 2;
             if (command == "run")
                 return cmdRun(id, cli);
             if (command == "sweep")
